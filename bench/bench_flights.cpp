@@ -1,0 +1,267 @@
+// Reproduces Table 1, Table 2 and Figure 7 of the paper (§5.3
+// "Flights Data").
+//
+// Setup (paper): US-domestic flights 2015-16, 426,411 rows (we use a
+// synthetic generator with the same statistical structure — see
+// DESIGN.md §4); a 5 percent sample (21,320 rows) biased 95 percent
+// toward elapsed_time > 200; population marginals over the attribute
+// pairs (C,E), (O,E), (I,E), (D,E), value-level because all
+// attributes are whole numbers.
+//
+// Methods: Unif (uniform reweighting, the standard AQP baseline), IPF
+// (Mosaic's SEMI-OPEN technique), and M-SWG (Mosaic's OPEN
+// technique, 10 generated samples averaged, groups kept only when
+// they appear in all answers).
+//
+// Figure 7 reports the average percent difference of queries 1-4
+// (continuous) and 5-8 (categorical GROUP BY); Table 2 lists the
+// queries.
+//
+// Set MOSAIC_BENCH_FULL=1 for paper-scale data and training.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "core/encoder.h"
+#include "core/mswg.h"
+#include "data/flights.h"
+#include "stats/ipf.h"
+#include "stats/reweight.h"
+
+using namespace mosaic;
+using bench::Check;
+using bench::RunQuery;
+using bench::Scalar;
+using bench::Unwrap;
+
+namespace {
+
+struct QuerySpec {
+  int id;
+  const char* display;  ///< Table-2 rendering with abbreviations
+  std::string sql;      ///< executable form
+  bool group_by;
+};
+
+std::vector<QuerySpec> Table2Queries() {
+  return {
+      {1, "SELECT AVG(D) FROM F WHERE E > 200",
+       "SELECT AVG(distance) FROM F WHERE elapsed_time > 200", false},
+      {2, "SELECT AVG(I) FROM F WHERE E < 200",
+       "SELECT AVG(taxi_in) FROM F WHERE elapsed_time < 200", false},
+      {3, "SELECT AVG(E) FROM F WHERE D > 1000",
+       "SELECT AVG(elapsed_time) FROM F WHERE distance > 1000", false},
+      {4, "SELECT AVG(O) FROM F WHERE D < 1000",
+       "SELECT AVG(taxi_out) FROM F WHERE distance < 1000", false},
+      {5, "SELECT C, AVG(D) FROM F WHERE E > 200 AND C IN ['WN','AA']",
+       "SELECT carrier, AVG(distance) FROM F WHERE elapsed_time > 200 AND "
+       "carrier IN ('WN','AA') GROUP BY carrier",
+       true},
+      {6, "SELECT C, AVG(I) FROM F WHERE E < 200 AND C IN ['WN','AA']",
+       "SELECT carrier, AVG(taxi_in) FROM F WHERE elapsed_time < 200 AND "
+       "carrier IN ('WN','AA') GROUP BY carrier",
+       true},
+      {7, "SELECT C, AVG(E) FROM F WHERE D > 1000 AND C IN ['WN','AA']",
+       "SELECT carrier, AVG(elapsed_time) FROM F WHERE distance > 1000 AND "
+       "carrier IN ('WN','AA') GROUP BY carrier",
+       true},
+      {8, "SELECT C, AVG(O) FROM F WHERE D < 1000 AND C IN ['US','F9']",
+       "SELECT carrier, AVG(taxi_out) FROM F WHERE distance < 1000 AND "
+       "carrier IN ('US','F9') GROUP BY carrier",
+       true},
+  };
+}
+
+/// Result of a (possibly grouped) aggregate query: group key -> value.
+/// Scalar queries use the empty key.
+using QueryAnswer = std::map<std::string, double>;
+
+QueryAnswer Evaluate(const Table& table, const QuerySpec& q,
+                     const std::vector<double>* weights) {
+  Table r = RunQuery(table, q.sql, weights);
+  QueryAnswer out;
+  for (size_t row = 0; row < r.num_rows(); ++row) {
+    std::string key;
+    double value;
+    if (q.group_by) {
+      key = r.GetValue(row, 0).AsString();
+      value = *r.GetValue(row, 1).ToDouble();
+    } else {
+      value = *r.GetValue(row, 0).ToDouble();
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+/// Paper metric: average percent difference across the truth's
+/// groups; a group missing from the estimate counts as 100 percent.
+double AvgPercentDiff(const QueryAnswer& estimate, const QueryAnswer& truth) {
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [key, true_v] : truth) {
+    auto it = estimate.find(key);
+    acc += it == estimate.end() ? 100.0 : PercentDiff(it->second, true_v);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+/// Combine per-generated-sample answers: keep groups present in all
+/// answers, average the aggregate (§5.3).
+QueryAnswer CombineAnswers(const std::vector<QueryAnswer>& answers) {
+  QueryAnswer out;
+  if (answers.empty()) return out;
+  for (const auto& [key, v] : answers[0]) {
+    double acc = v;
+    bool everywhere = true;
+    for (size_t i = 1; i < answers.size(); ++i) {
+      auto it = answers[i].find(key);
+      if (it == answers[i].end()) {
+        everywhere = false;
+        break;
+      }
+      acc += it->second;
+    }
+    if (everywhere) {
+      out[key] = acc / static_cast<double>(answers.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  const bool full = bench::FullScale();
+  std::printf("=== bench_flights: Table 1, Table 2, Figure 7 (%s budget) "
+              "===\n\n",
+              full ? "paper" : "reduced");
+
+  Rng rng(2020);
+  data::FlightsOptions fopts;
+  fopts.num_rows = full ? 426411 : 120000;  // paper: 426,411 rows
+  Table population = data::GenerateFlights(fopts, &rng);
+  data::FlightsBiasOptions bias;  // 5% sample, 95% long-flight bias
+  Table sample =
+      Unwrap(data::DrawBiasedFlightsSample(population, bias, &rng),
+             "biased sample");
+  std::printf("population: %zu rows; biased sample: %zu rows "
+              "(paper: 426,411 / 21,320)\n\n",
+              population.num_rows(), sample.num_rows());
+
+  // Population marginals over the four attribute pairs of §5.3.
+  std::vector<stats::Marginal> marginals;
+  for (const char* attr : {"carrier", "taxi_out", "taxi_in", "distance"}) {
+    marginals.push_back(Unwrap(
+        stats::Marginal::FromData(population,
+                                  {attr, "elapsed_time"}),
+        "marginal"));
+  }
+
+  // ---- Table 1: attributes and M-SWG encoded dimensionality -----------
+  auto encoder = Unwrap(core::MixedEncoder::Fit(sample, marginals),
+                        "encoder");
+  std::printf("--- Table 1: flights attributes ---\n");
+  {
+    const char* abbrevs[] = {"C", "O", "I", "E", "D"};
+    std::vector<std::vector<std::string>> rows;
+    for (size_t a = 0; a < encoder.num_attributes(); ++a) {
+      const auto& attr = encoder.attribute(a);
+      rows.push_back({attr.name, abbrevs[a], std::to_string(attr.width)});
+    }
+    rows.push_back({"(total encoded dims)", "",
+                    std::to_string(encoder.encoded_dim())});
+    std::printf("%s\n",
+                RenderTable({"Flights", "Abbrv", "M-SWG Dim"}, rows).c_str());
+  }
+
+  // ---- Method weights ---------------------------------------------------
+  const double pop_n = static_cast<double>(population.num_rows());
+  auto unif_w = Unwrap(
+      stats::UniformWeightsToPopulation(sample.num_rows(), pop_n), "unif");
+
+  std::vector<double> ipf_w(sample.num_rows(), 1.0);
+  auto ipf_report =
+      Unwrap(stats::IterativeProportionalFit(sample, marginals, &ipf_w),
+             "ipf");
+  std::printf("IPF: %zu iterations, max marginal L1 error %.4f, uncovered "
+              "target mass %.4f\n\n",
+              ipf_report.iterations, ipf_report.max_l1_error,
+              ipf_report.uncovered_target_mass);
+
+  // ---- M-SWG with the paper's flights configuration --------------------
+  core::MswgOptions mswg;
+  mswg.latent_dim = 0;      // latent = input dimensionality (§5.3)
+  mswg.hidden_layers = 5;   // final parameters: 5 layers
+  mswg.hidden_nodes = 50;   // 50 nodes each
+  mswg.lambda = 1e-7;       // λ = 1e-7
+  mswg.num_projections = 1000;  // p = 1000
+  mswg.projections_per_step = full ? 48 : 24;
+  mswg.batch_size = 500;
+  mswg.softmax_categorical = true;  // softmax over the carrier one-hot
+  mswg.epochs = full ? 80 : 16;
+  mswg.steps_per_epoch = 40;
+  mswg.seed = 11;
+  auto model = Unwrap(core::Mswg::Train(sample, marginals, mswg), "train");
+
+  const size_t kGenSamples = 10;  // paper: 10 generated samples
+  std::vector<Table> generated;
+  std::vector<std::vector<double>> gen_w;
+  for (size_t g = 0; g < kGenSamples; ++g) {
+    Rng grng(300 + g);
+    Table gen = Unwrap(model->Generate(sample.num_rows(), &grng), "gen");
+    gen_w.emplace_back(gen.num_rows(),
+                       pop_n / static_cast<double>(gen.num_rows()));
+    generated.push_back(std::move(gen));
+  }
+
+  // ---- Table 2 + Figure 7 ----------------------------------------------
+  std::printf("--- Table 2 queries / Figure 7 errors (avg percent diff) "
+              "---\n");
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> cont_errs[3], cat_errs[3];
+  for (const QuerySpec& q : Table2Queries()) {
+    QueryAnswer truth = Evaluate(population, q, nullptr);
+    QueryAnswer unif = Evaluate(sample, q, &unif_w);
+    QueryAnswer ipf = Evaluate(sample, q, &ipf_w);
+    std::vector<QueryAnswer> gen_answers;
+    for (size_t g = 0; g < kGenSamples; ++g) {
+      gen_answers.push_back(Evaluate(generated[g], q, &gen_w[g]));
+    }
+    QueryAnswer mswg_ans = CombineAnswers(gen_answers);
+    double e_unif = AvgPercentDiff(unif, truth);
+    double e_ipf = AvgPercentDiff(ipf, truth);
+    double e_mswg = AvgPercentDiff(mswg_ans, truth);
+    (q.group_by ? cat_errs : cont_errs)[0].push_back(e_unif);
+    (q.group_by ? cat_errs : cont_errs)[1].push_back(e_ipf);
+    (q.group_by ? cat_errs : cont_errs)[2].push_back(e_mswg);
+    rows.push_back({std::to_string(q.id), q.display,
+                    FormatDouble(e_unif, 2), FormatDouble(e_ipf, 2),
+                    FormatDouble(e_mswg, 2)});
+  }
+  std::printf(
+      "%s\n",
+      RenderTable({"Id", "Query (Table 2)", "Unif", "IPF", "M-SWG"}, rows)
+          .c_str());
+  std::printf("--- Figure 7 summary ---\n");
+  std::printf("%s\n",
+              RenderTable(
+                  {"query class", "Unif avg", "IPF avg", "M-SWG avg"},
+                  {{"continuous (1-4)", FormatDouble(Mean(cont_errs[0]), 2),
+                    FormatDouble(Mean(cont_errs[1]), 2),
+                    FormatDouble(Mean(cont_errs[2]), 2)},
+                   {"categorical (5-8)", FormatDouble(Mean(cat_errs[0]), 2),
+                    FormatDouble(Mean(cat_errs[1]), 2),
+                    FormatDouble(Mean(cat_errs[2]), 2)}})
+                  .c_str());
+  std::printf(
+      "(expected shape, Fig. 7: continuous errors all under ~25%%; on the "
+      "bias-aligned query 1, Unif/IPF are near zero; IPF/Unif overestimate "
+      "query 3; categorical queries are harder, with M-SWG failing on the "
+      "light-hitter carriers of query 8)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Open-world generation with the M-SWG library API (no SQL): train a
+// marginal-constrained sliced-Wasserstein generator on a biased 2-D
+// sample and use the generated population for range-count queries —
+// the paper's Figure 5/6 workflow, condensed.
+//
+// Run: ./spiral_open_world
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "core/mswg.h"
+#include "data/spiral.h"
+#include "storage/csv.h"
+
+using namespace mosaic;
+
+namespace {
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+  Rng rng(42);
+
+  // A spiral population we pretend not to have, and the biased sample
+  // we do have.
+  data::SpiralOptions pop_opts;
+  pop_opts.population_size = 40000;
+  Table population = data::GenerateSpiralPopulation(pop_opts, &rng);
+  data::SpiralBiasOptions bias;
+  bias.sample_size = 5000;
+  Table sample = Unwrap(data::DrawBiasedSpiralSample(population, bias, &rng),
+                        "sample");
+
+  // What we legitimately know about the population: its 1-D marginals
+  // (think: two published histograms).
+  auto mx = Unwrap(stats::Marginal::FromData(population, {"x"}, 40), "mx");
+  auto my = Unwrap(stats::Marginal::FromData(population, {"y"}, 40), "my");
+
+  // Train the generator (paper's spiral config, shortened).
+  core::MswgOptions opts;
+  opts.latent_dim = 2;
+  opts.hidden_layers = 3;
+  opts.hidden_nodes = 100;
+  opts.lambda = 0.04;
+  opts.batch_size = 500;
+  opts.epochs = 15;
+  opts.steps_per_epoch = 40;
+  opts.verbose = true;  // watch the loss fall
+  std::printf("training M-SWG on %zu biased tuples + 2 marginals...\n",
+              sample.num_rows());
+  auto model = Unwrap(core::Mswg::Train(sample, {mx, my}, opts), "train");
+  std::printf("final loss: %s\n\n",
+              FormatDouble(model->final_loss(), 5).c_str());
+
+  // Generate an open-world population and compare range counts.
+  Rng gen_rng(1);
+  Table generated = Unwrap(model->Generate(5000, &gen_rng), "generate");
+  (void)WriteCsvFile(generated, "spiral_generated.csv");
+
+  double scale_gen = static_cast<double>(population.num_rows()) /
+                     static_cast<double>(generated.num_rows());
+  double scale_sample = static_cast<double>(population.num_rows()) /
+                        static_cast<double>(sample.num_rows());
+  std::vector<double> wg(generated.num_rows(), scale_gen);
+  std::vector<double> ws(sample.num_rows(), scale_sample);
+
+  std::printf("range-count queries (truth vs biased sample vs M-SWG):\n");
+  std::vector<std::vector<std::string>> rows;
+  Rng qrng(9);
+  for (double coverage : {0.3, 0.5, 0.7}) {
+    data::RangeQuery box =
+        data::MakeRandomRangeQuery(population, coverage, &qrng);
+    double truth = data::CountInBox(population, box);
+    double naive = data::CountInBox(sample, box, &ws);
+    double open = data::CountInBox(generated, box, &wg);
+    rows.push_back({StrFormat("box %.0f%% wide", coverage * 100),
+                    FormatDouble(truth, 0),
+                    StrFormat("%s (%.0f%% off)", FormatDouble(naive, 0).c_str(),
+                              PercentDiff(naive, truth)),
+                    StrFormat("%s (%.0f%% off)", FormatDouble(open, 0).c_str(),
+                              PercentDiff(open, truth))});
+  }
+  std::printf("%s\n",
+              RenderTable({"query", "truth", "biased sample", "M-SWG"},
+                          rows)
+                  .c_str());
+  std::printf("generated cloud written to spiral_generated.csv\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Minimal leveled logging. Benchmarks and training loops use INFO for
+// progress; tests run with the level raised to WARNING to stay quiet.
+#ifndef MOSAIC_COMMON_LOGGING_H_
+#define MOSAIC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mosaic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MOSAIC_LOG(level)                                       \
+  ::mosaic::internal::LogMessage(::mosaic::LogLevel::k##level, \
+                                 __FILE__, __LINE__)
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_LOGGING_H_

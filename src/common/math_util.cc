@@ -1,0 +1,80 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double WeightedMean(const std::vector<double>& xs,
+                    const std::vector<double>& ws) {
+  double num = 0.0, den = 0.0;
+  size_t n = std::min(xs.size(), ws.size());
+  for (size_t i = 0; i < n; ++i) {
+    num += xs[i] * ws[i];
+    den += ws[i];
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double PercentDiff(double estimate, double truth) {
+  if (truth == 0.0) return estimate == 0.0 ? 0.0 : 100.0;
+  return std::fabs(estimate - truth) / std::fabs(truth) * 100.0;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  double diff = std::fabs(a - b);
+  double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+BoxStats ComputeBoxStats(const std::vector<double>& xs) {
+  BoxStats stats;
+  stats.n = xs.size();
+  if (xs.empty()) return stats;
+  stats.mean = Mean(xs);
+  stats.median = Median(xs);
+  stats.p03 = Percentile(xs, 3.0);
+  stats.p25 = Percentile(xs, 25.0);
+  stats.p75 = Percentile(xs, 75.0);
+  stats.p97 = Percentile(xs, 97.0);
+  stats.min = *std::min_element(xs.begin(), xs.end());
+  stats.max = *std::max_element(xs.begin(), xs.end());
+  return stats;
+}
+
+}  // namespace mosaic

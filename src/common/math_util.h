@@ -1,0 +1,62 @@
+// Scalar statistics helpers used by the stats module, the benchmark
+// harnesses, and the evaluation reports.
+#ifndef MOSAIC_COMMON_MATH_UTIL_H_
+#define MOSAIC_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mosaic {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for fewer than two values.
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Weighted mean: sum(w*x)/sum(w); 0 when total weight is 0.
+double WeightedMean(const std::vector<double>& xs,
+                    const std::vector<double>& ws);
+
+/// p-th percentile (p in [0,100]) by linear interpolation over the
+/// sorted values; 0 for an empty vector.
+double Percentile(std::vector<double> xs, double p);
+
+/// Median (= 50th percentile).
+double Median(std::vector<double> xs);
+
+/// |a - b| / |b| * 100, with the convention that b == 0 yields 0 when
+/// a == 0 and 100 otherwise. This is the "percent difference" metric
+/// used throughout the paper's evaluation (Figs. 6, 7).
+double PercentDiff(double estimate, double truth);
+
+/// Clamp x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// True when |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9,
+                 double rel_tol = 1e-9);
+
+/// Summary statistics of a set of observations, matching what the
+/// paper's box plots report (mean marker, whiskers at 3rd/97th pct).
+struct BoxStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double p03 = 0.0;   ///< 3rd percentile (lower whisker in Fig. 6)
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p97 = 0.0;   ///< 97th percentile (upper whisker in Fig. 6)
+  double min = 0.0;
+  double max = 0.0;
+  size_t n = 0;
+};
+
+/// Compute BoxStats over the observations.
+BoxStats ComputeBoxStats(const std::vector<double>& xs);
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_MATH_UTIL_H_

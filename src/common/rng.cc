@@ -1,0 +1,137 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mosaic {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr uint64_t kDefaultStream = 0xda3e39cb94b95bdbULL;
+}  // namespace
+
+Rng::Rng(uint64_t seed) { Seed(seed); }
+
+void Rng::Seed(uint64_t seed) {
+  state_ = 0;
+  inc_ = (kDefaultStream << 1u) | 1u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+  has_cached_gaussian_ = false;
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return (NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection to remove modulo bias.
+  uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double target = Uniform() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  for (size_t i = n; i > 1; --i) {
+    size_t j = UniformInt(static_cast<uint64_t>(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher–Yates over an index array; O(n) memory, O(n + k) time.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformInt(static_cast<uint64_t>(n - i));
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+std::vector<double> Rng::UnitVector(size_t dim) {
+  std::vector<double> v(dim);
+  double norm_sq = 0.0;
+  do {
+    norm_sq = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      v[i] = Gaussian();
+      norm_sq += v[i] * v[i];
+    }
+  } while (norm_sq == 0.0);
+  double inv = 1.0 / std::sqrt(norm_sq);
+  for (double& x : v) x *= inv;
+  return v;
+}
+
+}  // namespace mosaic

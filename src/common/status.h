@@ -1,0 +1,156 @@
+// Status and Result<T> error-handling primitives, in the RocksDB/Arrow
+// idiom: fallible operations return Status (or Result<T> when they
+// produce a value) instead of throwing.
+#ifndef MOSAIC_COMMON_STATUS_H_
+#define MOSAIC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mosaic {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kTypeError,
+  kExecutionError,
+  kNotImplemented,
+  kInternal,
+  kIOError,
+  kNotConverged,
+};
+
+/// Human-readable name of a StatusCode, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a free-form message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value or an error. Moves the value out with ValueOrDie()/operator*.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accesses the held value.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// Requires ok(). Moves the held value out.
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors up the call stack.
+#define MOSAIC_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::mosaic::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Evaluate a Result-returning expression; on error propagate, otherwise
+// bind the value to `lhs`. `lhs` may be a declaration.
+#define MOSAIC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define MOSAIC_CONCAT_INNER(a, b) a##b
+#define MOSAIC_CONCAT(a, b) MOSAIC_CONCAT_INNER(a, b)
+
+#define MOSAIC_ASSIGN_OR_RETURN(lhs, expr) \
+  MOSAIC_ASSIGN_OR_RETURN_IMPL(            \
+      MOSAIC_CONCAT(_result_, __LINE__), lhs, expr)
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_STATUS_H_

@@ -1,0 +1,914 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "exec/expr_eval.h"
+#include "sql/parser.h"
+#include "stats/reweight.h"
+#include "storage/csv.h"
+
+namespace mosaic {
+namespace core {
+
+namespace {
+
+constexpr char kWeightColumn[] = "weight";
+
+/// Attach a weight column to a copy of `data`.
+Result<Table> WithWeights(const Table& data,
+                          const std::vector<double>& weights) {
+  if (data.schema().FindColumn(kWeightColumn)) {
+    return Status::InvalidArgument(
+        "relation already has a 'weight' column; it clashes with Mosaic's "
+        "managed weights");
+  }
+  Table out = data;
+  MOSAIC_RETURN_IF_ERROR(out.AddDoubleColumn(kWeightColumn, weights));
+  return out;
+}
+
+/// Average numeric cells across several per-run result tables,
+/// keeping only group keys "appearing in all answers" — the paper's
+/// §5.3 variance-reduction rule for multi-sample OPEN answers.
+Result<Table> CombineOpenRuns(const std::vector<Table>& runs,
+                              const sql::SelectStmt& stmt) {
+  if (runs.size() == 1) return runs[0];
+  const Schema& schema = runs[0].schema();
+  // Group-key output columns = select items that are bare column refs.
+  std::vector<size_t> key_cols;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (stmt.items[i].expr->kind == sql::Expr::Kind::kColumnRef) {
+      key_cols.push_back(i);
+    }
+  }
+  auto key_of = [&](const Table& t, size_t row) {
+    std::vector<Value> key;
+    key.reserve(key_cols.size());
+    for (size_t c : key_cols) key.push_back(t.GetValue(row, c));
+    return key;
+  };
+  // Count appearances and accumulate sums per key.
+  std::map<std::vector<Value>, size_t> seen;
+  std::map<std::vector<Value>, std::vector<double>> sums;
+  for (const Table& run : runs) {
+    for (size_t r = 0; r < run.num_rows(); ++r) {
+      auto key = key_of(run, r);
+      seen[key] += 1;
+      auto& acc = sums[key];
+      if (acc.empty()) acc.assign(schema.num_columns(), 0.0);
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        auto d = run.GetValue(r, c).ToDouble();
+        if (d.ok()) acc[c] += *d;
+      }
+    }
+  }
+  Table out(schema);
+  // Emit in first-run order, keys present in every run only.
+  std::set<std::vector<Value>> emitted;
+  for (size_t r = 0; r < runs[0].num_rows(); ++r) {
+    auto key = key_of(runs[0], r);
+    if (seen[key] < runs.size() || emitted.count(key) > 0) continue;
+    emitted.insert(key);
+    std::vector<Value> row(schema.num_columns());
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      bool is_key = std::find(key_cols.begin(), key_cols.end(), c) !=
+                    key_cols.end();
+      if (is_key) {
+        row[c] = runs[0].GetValue(r, c);
+      } else {
+        double avg = sums[key][c] / static_cast<double>(runs.size());
+        if (schema.column(c).type == DataType::kInt64) {
+          row[c] = Value(static_cast<int64_t>(std::llround(avg)));
+        } else {
+          row[c] = Value(avg);
+        }
+      }
+    }
+    MOSAIC_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Database::Database() {
+  // Ad-hoc OPEN queries get a lighter training budget than the
+  // benches (which configure their own MswgOptions).
+  open_.mswg.epochs = 15;
+  open_.mswg.steps_per_epoch = 30;
+  open_.mswg.batch_size = 256;
+  open_.mswg.projections_per_step = 16;
+}
+
+Result<Table> Database::Execute(const std::string& sql) {
+  MOSAIC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  return ExecuteStatement(&stmt);
+}
+
+Result<Table> Database::ExecuteScript(const std::string& sql) {
+  MOSAIC_ASSIGN_OR_RETURN(auto stmts, sql::ParseScript(sql));
+  if (stmts.empty()) {
+    return Status::InvalidArgument("empty script");
+  }
+  Table last;
+  for (auto& stmt : stmts) {
+    MOSAIC_ASSIGN_OR_RETURN(last, ExecuteStatement(&stmt));
+  }
+  return last;
+}
+
+Result<Table> Database::ExecuteStatement(sql::Statement* stmt) {
+  if (stmt->Is<sql::SelectStmt>()) {
+    return ExecuteSelect(stmt->As<sql::SelectStmt>());
+  }
+  if (stmt->Is<sql::CreateTableStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(
+        ExecuteCreateTable(stmt->As<sql::CreateTableStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::CreatePopulationStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(
+        ExecuteCreatePopulation(&stmt->As<sql::CreatePopulationStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::CreateSampleStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(
+        ExecuteCreateSample(&stmt->As<sql::CreateSampleStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::CreateMetadataStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(
+        ExecuteCreateMetadata(&stmt->As<sql::CreateMetadataStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::InsertStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(ExecuteInsert(stmt->As<sql::InsertStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::CopyStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(ExecuteCopy(stmt->As<sql::CopyStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::DropStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(ExecuteDrop(stmt->As<sql::DropStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::UpdateStmt>()) {
+    MOSAIC_RETURN_IF_ERROR(ExecuteUpdate(stmt->As<sql::UpdateStmt>()));
+    return Table();
+  }
+  if (stmt->Is<sql::ShowStmt>()) {
+    return ExecuteShow(stmt->As<sql::ShowStmt>());
+  }
+  return Status::NotImplemented("unsupported statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// SELECT routing
+// ---------------------------------------------------------------------------
+
+Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
+  if (catalog_.HasTable(stmt.from)) {
+    if (stmt.visibility != sql::Visibility::kDefault) {
+      return Status::InvalidArgument(
+          "visibility levels apply to population queries; '" + stmt.from +
+          "' is an auxiliary table");
+    }
+    MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.from));
+    return exec::ExecuteSelect(*table, stmt);
+  }
+  if (catalog_.HasSample(stmt.from)) {
+    // Direct sample access: plain SQL over the sample tuples. The
+    // managed weights are visible as a 'weight' column so users can
+    // inspect them (§3.2 lets users read and update weights).
+    if (stmt.visibility != sql::Visibility::kDefault &&
+        stmt.visibility != sql::Visibility::kClosed) {
+      return Status::InvalidArgument(
+          "SEMI-OPEN/OPEN apply to population queries; query the "
+          "population instead of sample '" +
+          stmt.from + "'");
+    }
+    MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
+                            catalog_.GetSample(stmt.from));
+    MOSAIC_ASSIGN_OR_RETURN(Table with_w,
+                            WithWeights(sample->data, sample->weights));
+    return exec::ExecuteSelect(with_w, stmt);
+  }
+  if (catalog_.HasPopulation(stmt.from)) {
+    MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* pop,
+                            catalog_.GetPopulation(stmt.from));
+    return ExecutePopulationQuery(stmt, pop);
+  }
+  return Status::NotFound("no relation named '" + stmt.from + "'");
+}
+
+Result<SampleInfo*> Database::ChooseSample(const PopulationInfo& population) {
+  // Samples are registered against the GP; a derived population's
+  // samples are its parent's.
+  const std::string& gp_name =
+      population.global ? population.name : population.parent;
+  auto samples = catalog_.SamplesOf(gp_name);
+  if (samples.empty()) {
+    return Status::NotFound("no sample available for population '" +
+                            population.name + "'");
+  }
+  if (union_samples_ && samples.size() > 1) {
+    // §7 "Multiple Samples": union all same-schema samples and let
+    // the debiasing reweight the combined tuples. Rebuild the scratch
+    // union only when the constituent samples changed.
+    std::string key = ToLower(gp_name);
+    for (SampleInfo* s : samples) {
+      key += "|" + ToLower(s->name) + ":" +
+             std::to_string(s->data.num_rows());
+    }
+    if (key != union_scratch_key_) {
+      SampleInfo merged;
+      merged.name = "__union_of_" + gp_name;
+      merged.population = gp_name;
+      merged.schema = samples[0]->schema;
+      merged.data = Table(merged.schema);
+      for (SampleInfo* s : samples) {
+        if (!(s->schema == merged.schema)) {
+          return Status::NotImplemented(
+              "union of samples requires identical schemas ('" + s->name +
+              "' differs); see §7 'Data Integration'");
+        }
+        MOSAIC_RETURN_IF_ERROR(merged.data.Concat(s->data));
+      }
+      merged.weights.assign(merged.data.num_rows(), 1.0);
+      union_scratch_ = std::move(merged);
+      union_scratch_key_ = key;
+    }
+    if (union_scratch_.data.num_rows() == 0) {
+      return Status::ExecutionError("no ingested tuples in any sample");
+    }
+    return &union_scratch_;
+  }
+  // Assumption 2 of §4: a single, optimal sample. We pick the one
+  // with the most tuples.
+  SampleInfo* best = samples[0];
+  for (SampleInfo* s : samples) {
+    if (s->data.num_rows() > best->data.num_rows()) best = s;
+  }
+  if (best->data.num_rows() == 0) {
+    return Status::ExecutionError("sample '" + best->name +
+                                  "' has no ingested tuples");
+  }
+  return best;
+}
+
+Result<Table> Database::RestrictToPopulation(
+    const Table& sample_data, const PopulationInfo& population) {
+  if (population.global || population.predicate == nullptr) {
+    return sample_data;
+  }
+  MOSAIC_ASSIGN_OR_RETURN(
+      auto rows, exec::FilterRows(sample_data, *population.predicate));
+  return sample_data.Filter(rows);
+}
+
+Result<Database::DebiasPlan> Database::PlanDebias(
+    PopulationInfo* population) {
+  DebiasPlan plan;
+  if (!population->marginals.empty()) {
+    plan.marginals = &population->marginals;
+    plan.reweight_to_global = false;
+  } else if (!population->global) {
+    MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* gp, catalog_.GlobalPopulation());
+    if (gp->marginals.empty()) {
+      return Status::ExecutionError(
+          "population '" + population->name +
+          "' has no metadata and neither does the global population; "
+          "SEMI-OPEN/OPEN queries need marginals (§4 assumption 3)");
+    }
+    plan.marginals = &gp->marginals;
+    plan.reweight_to_global = true;
+  } else {
+    return Status::ExecutionError(
+        "global population '" + population->name +
+        "' has no metadata; SEMI-OPEN/OPEN queries need marginals "
+        "(§4 assumption 3)");
+  }
+  double total = 0.0;
+  for (const auto& m : *plan.marginals) total += m.total();
+  plan.population_size = total / static_cast<double>(plan.marginals->size());
+  return plan;
+}
+
+Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
+                                               PopulationInfo* population) {
+  MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
+  sql::Visibility vis = stmt.visibility == sql::Visibility::kDefault
+                            ? sql::Visibility::kClosed
+                            : stmt.visibility;
+
+  switch (vis) {
+    case sql::Visibility::kClosed: {
+      // LAV-view answering: the sample tuples that belong to the
+      // population, no debiasing.
+      MOSAIC_ASSIGN_OR_RETURN(
+          Table restricted, RestrictToPopulation(sample->data, *population));
+      return exec::ExecuteSelect(restricted, stmt);
+    }
+    case sql::Visibility::kSemiOpen: {
+      MOSAIC_RETURN_IF_ERROR(ReweightForPopulation(population->name).status());
+      // ReweightForPopulation stored per-tuple weights on the sample;
+      // restrict to the population and answer over the weighted view.
+      MOSAIC_ASSIGN_OR_RETURN(Table with_w,
+                              WithWeights(sample->data, sample->weights));
+      MOSAIC_ASSIGN_OR_RETURN(Table restricted,
+                              RestrictToPopulation(with_w, *population));
+      exec::ExecOptions opts;
+      opts.weight_column = kWeightColumn;
+      return exec::ExecuteSelect(restricted, stmt, opts);
+    }
+    case sql::Visibility::kOpen: {
+      size_t runs = std::max<size_t>(1, open_.num_generated_samples);
+      std::vector<Table> results;
+      results.reserve(runs);
+      for (size_t k = 0; k < runs; ++k) {
+        MOSAIC_ASSIGN_OR_RETURN(
+            Table generated,
+            GenerateOpenWorldTable(population->name, open_.generated_rows,
+                                   open_.generation_seed + k));
+        exec::ExecOptions opts;
+        opts.weight_column = kWeightColumn;
+        MOSAIC_ASSIGN_OR_RETURN(Table result,
+                                exec::ExecuteSelect(generated, stmt, opts));
+        results.push_back(std::move(result));
+      }
+      return CombineOpenRuns(results, stmt);
+    }
+    default:
+      return Status::Internal("unexpected visibility");
+  }
+}
+
+Result<stats::IpfReport> Database::ReweightForPopulation(
+    const std::string& population_name) {
+  MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* population,
+                          catalog_.GetPopulation(population_name));
+  MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
+
+  // Known mechanism: Horvitz–Thompson, no marginals needed for the
+  // uniform case (§4.1 "when the sampling mechanism is known ... we
+  // use the known mechanism to reweight the sample by the inverse of
+  // its inclusion probability").
+  if (sample->mechanism.type == sql::MechanismSpec::Type::kUniform) {
+    MOSAIC_ASSIGN_OR_RETURN(
+        sample->weights,
+        stats::UniformMechanismWeights(sample->data.num_rows(),
+                                       sample->mechanism.percent));
+    stats::IpfReport report;
+    report.converged = true;
+    return report;
+  }
+  if (sample->mechanism.type == sql::MechanismSpec::Type::kStratified) {
+    // Inclusion probability per stratum needs the stratum sizes in
+    // the GP, which come from a 1-D marginal over the stratification
+    // attribute.
+    MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* gp, catalog_.GlobalPopulation());
+    const stats::Marginal* strat_marginal = nullptr;
+    for (const auto& m : gp->marginals) {
+      if (m.arity() == 1 &&
+          EqualsIgnoreCase(m.binning(0).attr(),
+                           sample->mechanism.stratify_attr)) {
+        strat_marginal = &m;
+      }
+    }
+    if (strat_marginal == nullptr) {
+      return Status::ExecutionError(
+          "stratified mechanism on '" + sample->mechanism.stratify_attr +
+          "' needs a 1-D GP marginal over that attribute");
+    }
+    MOSAIC_ASSIGN_OR_RETURN(
+        sample->weights,
+        stats::StratifiedMechanismWeights(
+            sample->data, sample->mechanism.stratify_attr, *strat_marginal));
+    stats::IpfReport report;
+    report.converged = true;
+    return report;
+  }
+
+  // Unknown mechanism: IPF against the marginals (Fig. 3).
+  MOSAIC_ASSIGN_OR_RETURN(DebiasPlan plan, PlanDebias(population));
+  if (plan.reweight_to_global || population->global) {
+    // Reweight the full sample to the GP; derived populations are
+    // views over the reweighted sample.
+    std::vector<double> weights(sample->data.num_rows(), 1.0);
+    MOSAIC_ASSIGN_OR_RETURN(
+        auto report,
+        stats::IterativeProportionalFit(sample->data, *plan.marginals,
+                                        &weights, semi_open_.ipf));
+    sample->weights = std::move(weights);
+    return report;
+  }
+  // Metadata on the query population itself: reweight the restricted
+  // sample directly (bottom dashed line of Fig. 3). Weights of tuples
+  // outside the population are zeroed — they do not represent any
+  // population tuple.
+  MOSAIC_ASSIGN_OR_RETURN(Table restricted,
+                          RestrictToPopulation(sample->data, *population));
+  if (restricted.num_rows() == 0) {
+    return Status::ExecutionError(
+        "no sample tuples fall inside population '" + population->name +
+        "'");
+  }
+  std::vector<double> restricted_weights(restricted.num_rows(), 1.0);
+  MOSAIC_ASSIGN_OR_RETURN(
+      auto report,
+      stats::IterativeProportionalFit(restricted, *plan.marginals,
+                                      &restricted_weights, semi_open_.ipf));
+  // Map restricted weights back to the full sample.
+  std::vector<double> full(sample->data.num_rows(), 0.0);
+  MOSAIC_ASSIGN_OR_RETURN(
+      auto rows, population->predicate == nullptr
+                     ? Result<std::vector<size_t>>(std::vector<size_t>())
+                     : exec::FilterRows(sample->data, *population->predicate));
+  if (population->predicate == nullptr) {
+    full.assign(restricted_weights.begin(), restricted_weights.end());
+  } else {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      full[rows[i]] = restricted_weights[i];
+    }
+  }
+  sample->weights = std::move(full);
+  return report;
+}
+
+Result<Table> Database::GenerateOpenWorldTable(
+    const std::string& population_name, size_t rows, uint64_t seed) {
+  MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* population,
+                          catalog_.GetPopulation(population_name));
+  MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
+  MOSAIC_ASSIGN_OR_RETURN(DebiasPlan plan, PlanDebias(population));
+
+  // Training data: the restricted sample when the population carries
+  // its own metadata, the full sample when debiasing to the GP.
+  Table training = sample->data;
+  if (!plan.reweight_to_global && !population->global) {
+    MOSAIC_ASSIGN_OR_RETURN(training,
+                            RestrictToPopulation(sample->data, *population));
+  }
+  if (training.num_rows() == 0) {
+    return Status::ExecutionError("no sample tuples to train the M-SWG on");
+  }
+  if (rows == 0) rows = training.num_rows();
+
+  std::string cache_key =
+      ToLower(population_name) + "|" + ToLower(sample->name) + "|" +
+      std::to_string(training.num_rows()) + "|" +
+      std::to_string(plan.marginals->size()) + "|" +
+      OpenEngineName(open_.engine);
+  std::shared_ptr<PopulationGenerator> model;
+  auto it = model_cache_.find(cache_key);
+  if (open_.cache_models && it != model_cache_.end()) {
+    model = it->second;
+  } else {
+    GeneratorOptions gen_opts;
+    gen_opts.mswg = open_.mswg;
+    gen_opts.ipf = open_.ipf;
+    gen_opts.bayes_net = open_.bayes_net;
+    gen_opts.kde = open_.kde;
+    MOSAIC_ASSIGN_OR_RETURN(
+        auto trained, TrainPopulationGenerator(open_.engine, training,
+                                               *plan.marginals, gen_opts));
+    model = std::shared_ptr<PopulationGenerator>(std::move(trained));
+    if (open_.cache_models) model_cache_[cache_key] = model;
+  }
+
+  Rng gen_rng(seed);
+  MOSAIC_ASSIGN_OR_RETURN(Table generated, model->Generate(rows, &gen_rng));
+  // Uniform reweighting of the generated sample to the population
+  // size (§5.3).
+  std::vector<double> weights(
+      generated.num_rows(),
+      plan.population_size / static_cast<double>(generated.num_rows()));
+  MOSAIC_ASSIGN_OR_RETURN(Table weighted, WithWeights(generated, weights));
+  if (plan.reweight_to_global && population->predicate != nullptr) {
+    // Generated tuples represent the GP; the query population is a
+    // view.
+    MOSAIC_ASSIGN_OR_RETURN(
+        auto keep, exec::FilterRows(weighted, *population->predicate));
+    weighted = weighted.Filter(keep);
+  }
+  return weighted;
+}
+
+// ---------------------------------------------------------------------------
+// DDL / DML
+// ---------------------------------------------------------------------------
+
+Status Database::ExecuteCreateTable(const sql::CreateTableStmt& stmt) {
+  if (stmt.columns.empty()) {
+    return Status::InvalidArgument("CREATE TABLE needs a column list");
+  }
+  Schema schema;
+  for (const auto& def : stmt.columns) {
+    MOSAIC_RETURN_IF_ERROR(schema.AddColumn(def));
+  }
+  return catalog_.AddTable(stmt.name, Table(std::move(schema)));
+}
+
+Status Database::CreateTable(const std::string& name, Table table) {
+  return catalog_.AddTable(name, std::move(table));
+}
+
+Status Database::ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt) {
+  PopulationInfo info;
+  info.name = stmt->name;
+  info.global = stmt->global;
+  if (stmt->global) {
+    if (stmt->columns.empty() && stmt->as_select == nullptr) {
+      return Status::InvalidArgument(
+          "a global population needs a column list");
+    }
+    Schema schema;
+    for (const auto& def : stmt->columns) {
+      MOSAIC_RETURN_IF_ERROR(schema.AddColumn(def));
+    }
+    info.schema = std::move(schema);
+    return catalog_.AddPopulation(std::move(info));
+  }
+  // Derived population: defined by a SELECT over the GP (§3.1 "the
+  // population must be defined with a SELECT statement over a global
+  // population").
+  if (stmt->as_select == nullptr) {
+    return Status::InvalidArgument(
+        "non-global populations must be defined AS (SELECT ... FROM "
+        "<global population> ...)");
+  }
+  sql::SelectStmt* sel = stmt->as_select.get();
+  MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* parent,
+                          catalog_.GetPopulation(sel->from));
+  if (!parent->global) {
+    return Status::InvalidArgument(
+        "populations must be defined over the global population, and '" +
+        sel->from + "' is not global");
+  }
+  info.parent = parent->name;
+  if (sel->select_star) {
+    info.schema = parent->schema;
+  } else {
+    std::vector<size_t> indices;
+    for (const auto& item : sel->items) {
+      if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+        return Status::InvalidArgument(
+            "population definitions may only project columns");
+      }
+      MOSAIC_ASSIGN_OR_RETURN(size_t idx,
+                              parent->schema.ColumnIndex(item.expr->column));
+      indices.push_back(idx);
+    }
+    info.schema = parent->schema.Project(indices);
+  }
+  if (sel->where != nullptr) {
+    info.predicate = sel->where->Clone();
+  }
+  return catalog_.AddPopulation(std::move(info));
+}
+
+Status Database::ExecuteCreateSample(sql::CreateSampleStmt* stmt) {
+  if (stmt->as_select == nullptr) {
+    return Status::InvalidArgument(
+        "CREATE SAMPLE needs AS (SELECT ... FROM <global population>)");
+  }
+  sql::SelectStmt* sel = stmt->as_select.get();
+  MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* pop,
+                          catalog_.GetPopulation(sel->from));
+  if (!pop->global) {
+    return Status::InvalidArgument(
+        "samples are defined over the global population (§3.1); '" +
+        sel->from + "' is not global");
+  }
+  SampleInfo info;
+  info.name = stmt->name;
+  info.population = pop->name;
+  if (!stmt->columns.empty()) {
+    Schema schema;
+    for (const auto& def : stmt->columns) {
+      MOSAIC_RETURN_IF_ERROR(schema.AddColumn(def));
+    }
+    info.schema = std::move(schema);
+  } else if (sel->select_star) {
+    info.schema = pop->schema;
+  } else {
+    std::vector<size_t> indices;
+    for (const auto& item : sel->items) {
+      if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+        return Status::InvalidArgument(
+            "sample definitions may only project columns");
+      }
+      MOSAIC_ASSIGN_OR_RETURN(size_t idx,
+                              pop->schema.ColumnIndex(item.expr->column));
+      indices.push_back(idx);
+    }
+    info.schema = pop->schema.Project(indices);
+  }
+  info.data = Table(info.schema);
+  if (sel->where != nullptr) {
+    info.predicate = sel->where->Clone();
+  }
+  info.mechanism = stmt->mechanism;
+  return catalog_.AddSample(std::move(info));
+}
+
+Status Database::ExecuteCreateMetadata(sql::CreateMetadataStmt* stmt) {
+  if (stmt->population.empty()) {
+    return Status::InvalidArgument(
+        "cannot infer the population for metadata '" + stmt->name +
+        "'; name it '<Population>_M<k>' or use CREATE METADATA ... FOR "
+        "<population>");
+  }
+  if (!catalog_.HasPopulation(stmt->population)) {
+    return Status::NotFound("metadata '" + stmt->name +
+                            "' refers to unknown population '" +
+                            stmt->population + "'");
+  }
+  if (stmt->as_select == nullptr) {
+    return Status::InvalidArgument("CREATE METADATA needs AS (SELECT ...)");
+  }
+  // Evaluate the defining query against its auxiliary relation now;
+  // metadata is materialized at creation time.
+  sql::SelectStmt* sel = stmt->as_select.get();
+  MOSAIC_ASSIGN_OR_RETURN(Table* aux, catalog_.GetTable(sel->from));
+  MOSAIC_ASSIGN_OR_RETURN(Table result, exec::ExecuteSelect(*aux, *sel));
+  MOSAIC_ASSIGN_OR_RETURN(auto marginal,
+                          stats::Marginal::FromMetadataTable(result));
+  return RegisterMarginal(stmt->population, stmt->name, std::move(marginal));
+}
+
+Status Database::RegisterMarginal(const std::string& population,
+                                  const std::string& metadata_name,
+                                  stats::Marginal marginal) {
+  MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* pop,
+                          catalog_.GetPopulation(population));
+  for (const auto& existing : pop->metadata_names) {
+    if (EqualsIgnoreCase(existing, metadata_name)) {
+      return Status::AlreadyExists("metadata '" + metadata_name +
+                                   "' already exists");
+    }
+  }
+  pop->metadata_names.push_back(metadata_name);
+  pop->marginals.push_back(std::move(marginal));
+  InvalidateModelCache();
+  return Status::OK();
+}
+
+Status Database::IngestSample(const std::string& sample_name,
+                              const Table& rows) {
+  MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
+                          catalog_.GetSample(sample_name));
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    // Map by column name so ingests tolerate column order changes.
+    std::vector<Value> row(sample->schema.num_columns());
+    for (size_t c = 0; c < sample->schema.num_columns(); ++c) {
+      MOSAIC_ASSIGN_OR_RETURN(
+          size_t src, rows.schema().ColumnIndex(sample->schema.column(c).name));
+      row[c] = rows.GetValue(r, src);
+    }
+    MOSAIC_RETURN_IF_ERROR(sample->data.AppendRow(row));
+    sample->weights.push_back(1.0);
+  }
+  InvalidateModelCache();
+  return Status::OK();
+}
+
+Status Database::ExecuteInsert(const sql::InsertStmt& stmt) {
+  if (catalog_.HasTable(stmt.table)) {
+    MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.table));
+    for (const auto& row : stmt.rows) {
+      MOSAIC_RETURN_IF_ERROR(table->AppendRow(row));
+    }
+    return Status::OK();
+  }
+  if (catalog_.HasSample(stmt.table)) {
+    MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
+                            catalog_.GetSample(stmt.table));
+    for (const auto& row : stmt.rows) {
+      MOSAIC_RETURN_IF_ERROR(sample->data.AppendRow(row));
+      sample->weights.push_back(1.0);
+    }
+    InvalidateModelCache();
+    return Status::OK();
+  }
+  return Status::NotFound("no table or sample named '" + stmt.table + "'");
+}
+
+Status Database::ExecuteCopy(const sql::CopyStmt& stmt) {
+  if (catalog_.HasTable(stmt.table)) {
+    MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.table));
+    std::ifstream in(stmt.path);
+    if (!in) return Status::IOError("cannot open " + stmt.path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    MOSAIC_ASSIGN_OR_RETURN(Table loaded,
+                            ReadCsv(buf.str(), table->schema()));
+    return table->Concat(loaded);
+  }
+  if (catalog_.HasSample(stmt.table)) {
+    MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
+                            catalog_.GetSample(stmt.table));
+    std::ifstream in(stmt.path);
+    if (!in) return Status::IOError("cannot open " + stmt.path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    MOSAIC_ASSIGN_OR_RETURN(Table loaded,
+                            ReadCsv(buf.str(), sample->schema));
+    return IngestSample(stmt.table, loaded);
+  }
+  return Status::NotFound("no table or sample named '" + stmt.table + "'");
+}
+
+Status Database::ExecuteDrop(const sql::DropStmt& stmt) {
+  Status status;
+  switch (stmt.target) {
+    case sql::DropStmt::Target::kTable:
+      status = catalog_.DropTable(stmt.name);
+      break;
+    case sql::DropStmt::Target::kPopulation:
+      status = catalog_.DropPopulation(stmt.name);
+      break;
+    case sql::DropStmt::Target::kSample:
+      status = catalog_.DropSample(stmt.name);
+      InvalidateModelCache();
+      break;
+    case sql::DropStmt::Target::kMetadata:
+      status = catalog_.DropMetadata(stmt.name);
+      InvalidateModelCache();
+      break;
+  }
+  if (!status.ok() && stmt.if_exists &&
+      status.code() == StatusCode::kNotFound) {
+    return Status::OK();
+  }
+  return status;
+}
+
+Result<Table> Database::ExecuteShow(const sql::ShowStmt& stmt) {
+  Schema schema;
+  Table out;
+  switch (stmt.what) {
+    case sql::ShowStmt::What::kTables: {
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"table_name", DataType::kString}));
+      out = Table(schema);
+      for (const auto& name : catalog_.TableNames()) {
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow({Value(name)}));
+      }
+      return out;
+    }
+    case sql::ShowStmt::What::kPopulations: {
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"population_name", DataType::kString}));
+      MOSAIC_RETURN_IF_ERROR(schema.AddColumn({"global", DataType::kBool}));
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"num_metadata", DataType::kInt64}));
+      out = Table(schema);
+      for (const auto& name : catalog_.PopulationNames()) {
+        MOSAIC_ASSIGN_OR_RETURN(PopulationInfo * pop,
+                                catalog_.GetPopulation(name));
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(pop->name), Value(pop->global),
+             Value(static_cast<int64_t>(pop->marginals.size()))}));
+      }
+      return out;
+    }
+    case sql::ShowStmt::What::kSamples: {
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"sample_name", DataType::kString}));
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"population", DataType::kString}));
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"num_tuples", DataType::kInt64}));
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"mechanism", DataType::kString}));
+      out = Table(schema);
+      for (const auto& name : catalog_.SampleNames()) {
+        MOSAIC_ASSIGN_OR_RETURN(SampleInfo * sample,
+                                catalog_.GetSample(name));
+        std::string mech = "unknown";
+        if (sample->mechanism.type == sql::MechanismSpec::Type::kUniform) {
+          mech = StrFormat("uniform %.3g%%", sample->mechanism.percent);
+        } else if (sample->mechanism.type ==
+                   sql::MechanismSpec::Type::kStratified) {
+          mech = StrFormat("stratified on %s %.3g%%",
+                           sample->mechanism.stratify_attr.c_str(),
+                           sample->mechanism.percent);
+        }
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(sample->name), Value(sample->population),
+             Value(static_cast<int64_t>(sample->data.num_rows())),
+             Value(mech)}));
+      }
+      return out;
+    }
+    case sql::ShowStmt::What::kMetadata: {
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"metadata_name", DataType::kString}));
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"population", DataType::kString}));
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"attributes", DataType::kString}));
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"total_count", DataType::kDouble}));
+      out = Table(schema);
+      for (const auto& pop_name : catalog_.PopulationNames()) {
+        MOSAIC_ASSIGN_OR_RETURN(PopulationInfo * pop,
+                                catalog_.GetPopulation(pop_name));
+        for (size_t i = 0; i < pop->marginals.size(); ++i) {
+          MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+              {Value(pop->metadata_names[i]), Value(pop->name),
+               Value(Join(pop->marginals[i].attribute_names(), ", ")),
+               Value(pop->marginals[i].total())}));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown SHOW target");
+}
+
+Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
+  // UPDATE over a sample may target the managed weight column (§3.2:
+  // "The user can update the initial sample weights via a similar
+  // command"); everything else rewrites stored cells.
+  if (catalog_.HasSample(stmt.table)) {
+    MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
+                            catalog_.GetSample(stmt.table));
+    MOSAIC_ASSIGN_OR_RETURN(Table with_w,
+                            WithWeights(sample->data, sample->weights));
+    std::vector<size_t> rows;
+    if (stmt.where != nullptr) {
+      MOSAIC_ASSIGN_OR_RETURN(rows, exec::FilterRows(with_w, *stmt.where));
+    } else {
+      rows.resize(with_w.num_rows());
+      std::iota(rows.begin(), rows.end(), size_t{0});
+    }
+    exec::Binder binder(&with_w.schema());
+    for (const auto& [col_name, expr] : stmt.assignments) {
+      if (!EqualsIgnoreCase(col_name, kWeightColumn)) {
+        return Status::NotImplemented(
+            "UPDATE on samples currently only supports SET weight = ...");
+      }
+      MOSAIC_ASSIGN_OR_RETURN(auto bound, binder.Bind(*expr));
+      for (size_t r : rows) {
+        MOSAIC_ASSIGN_OR_RETURN(Value v,
+                                exec::EvaluateExpr(*bound, with_w, r));
+        MOSAIC_ASSIGN_OR_RETURN(double w, v.ToDouble());
+        if (w < 0.0) {
+          return Status::InvalidArgument("weights must be non-negative");
+        }
+        sample->weights[r] = w;
+      }
+    }
+    return Status::OK();
+  }
+  if (!catalog_.HasTable(stmt.table)) {
+    return Status::NotFound("no table or sample named '" + stmt.table + "'");
+  }
+  MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.table));
+  std::vector<size_t> rows;
+  if (stmt.where != nullptr) {
+    MOSAIC_ASSIGN_OR_RETURN(rows, exec::FilterRows(*table, *stmt.where));
+  } else {
+    rows.resize(table->num_rows());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+  }
+  std::vector<bool> selected(table->num_rows(), false);
+  for (size_t r : rows) selected[r] = true;
+  exec::Binder binder(&table->schema());
+  std::vector<std::pair<size_t, exec::BoundExprPtr>> bound_assignments;
+  for (const auto& [col_name, expr] : stmt.assignments) {
+    MOSAIC_ASSIGN_OR_RETURN(size_t idx,
+                            table->schema().ColumnIndex(col_name));
+    MOSAIC_ASSIGN_OR_RETURN(auto bound, binder.Bind(*expr));
+    bound_assignments.emplace_back(idx, std::move(bound));
+  }
+  // Columns are append-only; rebuild the table with updated cells.
+  Table updated(table->schema());
+  updated.Reserve(table->num_rows());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    std::vector<Value> row = table->GetRow(r);
+    if (selected[r]) {
+      for (const auto& [idx, bound] : bound_assignments) {
+        MOSAIC_ASSIGN_OR_RETURN(row[idx],
+                                exec::EvaluateExpr(*bound, *table, r));
+      }
+    }
+    MOSAIC_RETURN_IF_ERROR(updated.AppendRow(row));
+  }
+  *table = std::move(updated);
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace mosaic

@@ -1,0 +1,169 @@
+// The Mosaic database facade: parses and executes Mosaic SQL end to
+// end, routing population queries through the three visibility levels
+// of §3.3/§4:
+//
+//   CLOSED    — answer directly over the sample (the LAV-view path);
+//               no reweighting, no generated tuples.
+//   SEMI-OPEN — reweight the sample: Horvitz–Thompson when the
+//               mechanism is known (§4.1), IPF against the marginals
+//               otherwise. Fitted weights are written back to the
+//               sample's weight metadata, as §3.2 prescribes.
+//   OPEN      — additionally generate missing tuples with the M-SWG
+//               (§5) and answer over the weighted generated
+//               population.
+//
+// Fig. 3's two reweighting paths are both implemented: metadata on
+// the query population reweights the restricted sample directly; with
+// only GP metadata the engine reweights to the GP and treats the
+// query population as a view over the reweighted sample.
+#ifndef MOSAIC_CORE_DATABASE_H_
+#define MOSAIC_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/catalog.h"
+#include "core/generator.h"
+#include "core/mswg.h"
+#include "sql/ast.h"
+#include "stats/ipf.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace core {
+
+struct SemiOpenOptions {
+  stats::IpfOptions ipf;
+};
+
+struct OpenOptions {
+  /// Which generative model answers OPEN queries (§4.2: "any
+  /// generative model can be plugged in").
+  OpenEngine engine = OpenEngine::kMswg;
+  MswgOptions mswg;
+  /// Debias-first engines (kBayesNet, kKde) run IPF with these
+  /// settings before modelling.
+  stats::IpfOptions ipf;
+  stats::BayesNetOptions bayes_net;
+  stats::KdeOptions kde;
+  /// Rows to generate; 0 = same as the sample size (the paper's
+  /// setting: "we generate 10 samples with the same number of rows as
+  /// the original sample").
+  size_t generated_rows = 0;
+  /// Independent generated samples to average over for aggregate
+  /// queries (the paper uses 10; the default keeps ad-hoc SQL cheap).
+  size_t num_generated_samples = 1;
+  uint64_t generation_seed = 7;
+  /// Reuse a trained generator across queries against the same
+  /// (population, sample) pair.
+  bool cache_models = true;
+};
+
+class Database {
+ public:
+  Database();
+
+  /// Parse and execute one statement. SELECTs return their result
+  /// table; DDL/DML return an empty table.
+  Result<Table> Execute(const std::string& sql);
+
+  /// Execute a ';'-separated script, discarding intermediate results;
+  /// returns the result of the last statement.
+  Result<Table> ExecuteScript(const std::string& sql);
+
+  // ---- Programmatic API (what the SQL surface is sugar for) -----------
+
+  /// Register an auxiliary table.
+  Status CreateTable(const std::string& name, Table table);
+
+  /// Append rows (matching the sample schema) to a sample relation;
+  /// new tuples get weight 1.
+  Status IngestSample(const std::string& sample, const Table& rows);
+
+  /// Attach a marginal to a population as named metadata.
+  Status RegisterMarginal(const std::string& population,
+                          const std::string& metadata_name,
+                          stats::Marginal marginal);
+
+  /// Compute SEMI-OPEN weights for `population`'s chosen sample and
+  /// store them in the sample's weight metadata. Returns the IPF
+  /// report (or a synthetic one for known mechanisms).
+  Result<stats::IpfReport> ReweightForPopulation(
+      const std::string& population);
+
+  /// Train (or fetch the cached) M-SWG for the population and
+  /// generate one weighted open-world table: `rows` generated tuples,
+  /// each carrying weight population_size / rows in column "weight".
+  Result<Table> GenerateOpenWorldTable(const std::string& population,
+                                       size_t rows, uint64_t seed);
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  SemiOpenOptions* mutable_semi_open_options() { return &semi_open_; }
+  OpenOptions* mutable_open_options() { return &open_; }
+
+  /// §7 "Multiple Samples": when enabled, population queries run over
+  /// the UNION of all same-schema samples of the GP instead of the
+  /// single largest one ("One solution is to union together all
+  /// related samples and let IPF or the neural network reweight the
+  /// tuples accordingly"). The unioned relation has no single
+  /// mechanism, so reweighting always goes through IPF.
+  void set_union_samples(bool enabled) { union_samples_ = enabled; }
+  bool union_samples() const { return union_samples_; }
+
+  /// Drop all cached trained generators (e.g. after new metadata).
+  void InvalidateModelCache() { model_cache_.clear(); }
+
+ private:
+  Result<Table> ExecuteStatement(sql::Statement* stmt);
+  Result<Table> ExecuteSelect(const sql::SelectStmt& stmt);
+  Result<Table> ExecutePopulationQuery(const sql::SelectStmt& stmt,
+                                       PopulationInfo* population);
+  Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
+  Status ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt);
+  Status ExecuteCreateSample(sql::CreateSampleStmt* stmt);
+  Status ExecuteCreateMetadata(sql::CreateMetadataStmt* stmt);
+  Status ExecuteInsert(const sql::InsertStmt& stmt);
+  Status ExecuteCopy(const sql::CopyStmt& stmt);
+  Status ExecuteDrop(const sql::DropStmt& stmt);
+  Status ExecuteUpdate(const sql::UpdateStmt& stmt);
+  Result<Table> ExecuteShow(const sql::ShowStmt& stmt);
+
+  /// The "single, optimal sample" of §4's assumption 2: the sample of
+  /// the population's GP with the most rows.
+  Result<SampleInfo*> ChooseSample(const PopulationInfo& population);
+
+  /// Sample rows restricted to the population (applies the derived
+  /// population's predicate); identity for the GP itself.
+  Result<Table> RestrictToPopulation(const Table& sample_data,
+                                     const PopulationInfo& population);
+
+  /// Marginals + population size to debias against, following Fig. 3:
+  /// the population's own metadata when present, else the GP's
+  /// (restrict_after_reweight is set in the latter case).
+  struct DebiasPlan {
+    const std::vector<stats::Marginal>* marginals = nullptr;
+    bool reweight_to_global = false;
+    double population_size = 0.0;
+  };
+  Result<DebiasPlan> PlanDebias(PopulationInfo* population);
+
+  Catalog catalog_;
+  SemiOpenOptions semi_open_;
+  OpenOptions open_;
+  std::map<std::string, std::shared_ptr<PopulationGenerator>> model_cache_;
+  bool union_samples_ = false;
+  /// Scratch relation materializing the union of samples; rebuilt
+  /// lazily when the underlying samples change size.
+  SampleInfo union_scratch_;
+  std::string union_scratch_key_;
+};
+
+}  // namespace core
+}  // namespace mosaic
+
+#endif  // MOSAIC_CORE_DATABASE_H_

@@ -1,0 +1,98 @@
+// Mixed-data encoding for the M-SWG (§5.3): "we one-hot encode the
+// categorical variables and scale all attributes to be between 0 and
+// 1". The encoder also maps *marginal cells* into the encoded space
+// so the training loss can compare generated batches against target
+// batches drawn from the marginals, and decodes generated rows back
+// into relational tuples ("we leave the softmax output continuous and
+// only force the output to be binary for data generation").
+#ifndef MOSAIC_CORE_ENCODER_H_
+#define MOSAIC_CORE_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/matrix.h"
+#include "stats/marginal.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace core {
+
+/// How categorical attributes are embedded (§7 "Data Encoding").
+/// One-hot is the paper's default; binary encoding ([48]'s approach)
+/// uses ceil(log2(k)) dimensions but "introduces various
+/// relationships between attribute values that may not exist" — both
+/// are implemented so the ablation bench can compare them.
+enum class CategoricalEncoding { kOneHot, kBinary };
+
+/// Encoding plan for one source attribute.
+struct AttributeEncoding {
+  std::string name;
+  DataType source_type = DataType::kDouble;
+  bool categorical = false;
+  CategoricalEncoding cat_encoding = CategoricalEncoding::kOneHot;
+  /// First encoded column and how many encoded columns this
+  /// attribute occupies (1 for numeric, #categories for one-hot).
+  size_t start_col = 0;
+  size_t width = 1;
+  /// Category list (one-hot order) for categorical attributes.
+  std::vector<Value> categories;
+  /// Min-max scaling for numeric attributes.
+  double min_value = 0.0;
+  double max_value = 1.0;
+};
+
+class MixedEncoder {
+ public:
+  /// Derive the encoding from the sample data: string columns are
+  /// one-hot encoded over their observed categories; numeric columns
+  /// are min-max scaled over the range observed in the sample,
+  /// widened to cover any range information present in `marginals`
+  /// (population marginals can reach beyond the biased sample).
+  static Result<MixedEncoder> Fit(
+      const Table& sample, const std::vector<stats::Marginal>& marginals,
+      CategoricalEncoding cat_encoding = CategoricalEncoding::kOneHot);
+
+  size_t encoded_dim() const { return encoded_dim_; }
+  size_t num_attributes() const { return attrs_.size(); }
+  const AttributeEncoding& attribute(size_t i) const { return attrs_[i]; }
+  Result<const AttributeEncoding*> AttributeByName(
+      const std::string& name) const;
+
+  /// Encode a table into an (n x encoded_dim) matrix.
+  Result<nn::Matrix> Encode(const Table& table) const;
+
+  /// Decode generated rows back to a table with the original schema.
+  /// One-hot blocks are decoded by argmax; numeric outputs are
+  /// clamped to [0,1], unscaled and rounded for integer columns.
+  Result<Table> Decode(const nn::Matrix& encoded) const;
+
+  /// Encoded columns touched by a marginal (the subspace its loss
+  /// term lives in).
+  Result<std::vector<size_t>> MarginalColumns(
+      const stats::Marginal& marginal) const;
+
+  /// Draw `n` encoded-space target points from a marginal: sample
+  /// cells proportional to their counts, then embed each cell —
+  /// one-hot for categorical bins, scaled (and jittered within the
+  /// bin for continuous binnings) for numeric bins. The output is
+  /// (n x MarginalColumns(m).size()), columns in the same order.
+  Result<nn::Matrix> SampleMarginalTargets(const stats::Marginal& marginal,
+                                           size_t n, Rng* rng) const;
+
+  /// Scale a raw numeric value of an attribute into [0,1].
+  double ScaleNumeric(const AttributeEncoding& attr, double raw) const;
+  /// Inverse of ScaleNumeric.
+  double UnscaleNumeric(const AttributeEncoding& attr, double scaled) const;
+
+ private:
+  std::vector<AttributeEncoding> attrs_;
+  size_t encoded_dim_ = 0;
+};
+
+}  // namespace core
+}  // namespace mosaic
+
+#endif  // MOSAIC_CORE_ENCODER_H_

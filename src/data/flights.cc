@@ -1,0 +1,113 @@
+#include "data/flights.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic {
+namespace data {
+
+const std::vector<std::string>& FlightCarriers() {
+  static const std::vector<std::string> kCarriers = {
+      "WN", "AA", "DL", "UA", "OO", "EV", "B6", "AS",
+      "NK", "MQ", "HA", "VX", "US", "F9"};
+  return kCarriers;
+}
+
+namespace {
+
+/// Relative carrier frequencies: heavy skew with 'US' and 'F9' as the
+/// light hitters queries 8 exercises.
+const std::vector<double>& CarrierWeights() {
+  static const std::vector<double> kWeights = {
+      24.0, 16.0, 15.0, 10.0, 9.0, 7.0, 5.0, 4.0,
+      3.0,  2.5,  1.5,  1.2,  0.8, 0.5};
+  return kWeights;
+}
+
+/// Per-carrier route-length profile: mean log-distance. Regionals
+/// (OO/EV/MQ) fly short hops; HA/VX skew long.
+const std::vector<double>& CarrierLogDistanceMean() {
+  static const std::vector<double> kMeans = {
+      6.4, 6.9, 6.8, 7.0, 5.9, 5.8, 6.9, 6.7,
+      6.6, 5.9, 7.4, 7.1, 6.5, 6.7};
+  return kMeans;
+}
+
+}  // namespace
+
+Table GenerateFlights(const FlightsOptions& options, Rng* rng) {
+  Schema schema;
+  (void)schema.AddColumn(ColumnDef{"carrier", DataType::kString});
+  (void)schema.AddColumn(ColumnDef{"taxi_out", DataType::kInt64});
+  (void)schema.AddColumn(ColumnDef{"taxi_in", DataType::kInt64});
+  (void)schema.AddColumn(ColumnDef{"elapsed_time", DataType::kInt64});
+  (void)schema.AddColumn(ColumnDef{"distance", DataType::kInt64});
+  Table table(schema);
+  table.Reserve(options.num_rows);
+  const auto& carriers = FlightCarriers();
+  const auto& weights = CarrierWeights();
+  const auto& log_means = CarrierLogDistanceMean();
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    size_t c = rng->Categorical(weights);
+    // Log-normal distances clipped to the domestic range [31, 4983].
+    double dist = std::exp(rng->Gaussian(log_means[c], 0.65));
+    dist = std::min(std::max(dist, 31.0), 4983.0);
+    // Taxi times: airport congestion varies mildly with carrier size
+    // (big carriers fly into big hubs).
+    double hub_factor = 1.0 + 0.3 * (weights[c] / weights[0]);
+    double taxi_out = std::max(1.0, rng->Gaussian(14.0 * hub_factor, 5.0));
+    double taxi_in = std::max(1.0, rng->Gaussian(6.5 * hub_factor, 2.5));
+    // Air time: climb/descend overhead plus cruise at ~7.6 miles/min,
+    // slower effective speed on short hops.
+    double cruise = dist / (7.6 - 2.2 * std::exp(-dist / 400.0));
+    double elapsed =
+        taxi_out + taxi_in + 18.0 + cruise + rng->Gaussian(0.0, 9.0);
+    elapsed = std::max(elapsed, taxi_out + taxi_in + 10.0);
+    (void)table.AppendRow({Value(carriers[c]),
+                           Value(static_cast<int64_t>(std::llround(taxi_out))),
+                           Value(static_cast<int64_t>(std::llround(taxi_in))),
+                           Value(static_cast<int64_t>(std::llround(elapsed))),
+                           Value(static_cast<int64_t>(std::llround(dist)))});
+  }
+  return table;
+}
+
+Result<Table> DrawBiasedFlightsSample(const Table& population,
+                                      const FlightsBiasOptions& options,
+                                      Rng* rng) {
+  if (options.sample_fraction <= 0.0 || options.sample_fraction > 1.0) {
+    return Status::InvalidArgument("sample_fraction must be in (0, 1]");
+  }
+  if (options.bias < 0.0 || options.bias > 1.0) {
+    return Status::InvalidArgument("bias must be in [0, 1]");
+  }
+  MOSAIC_ASSIGN_OR_RETURN(const Column* ec,
+                          population.ColumnByName("elapsed_time"));
+  std::vector<size_t> long_rows, short_rows;
+  for (size_t r = 0; r < population.num_rows(); ++r) {
+    if (static_cast<int64_t>(*ec->GetDouble(r)) >
+        options.elapsed_threshold) {
+      long_rows.push_back(r);
+    } else {
+      short_rows.push_back(r);
+    }
+  }
+  size_t n = static_cast<size_t>(
+      std::llround(options.sample_fraction *
+                   static_cast<double>(population.num_rows())));
+  size_t n_long = static_cast<size_t>(std::llround(options.bias *
+                                                   static_cast<double>(n)));
+  n_long = std::min(n_long, long_rows.size());
+  size_t n_short = std::min(n - n_long, short_rows.size());
+  auto pick_long = rng->SampleWithoutReplacement(long_rows.size(), n_long);
+  auto pick_short = rng->SampleWithoutReplacement(short_rows.size(), n_short);
+  std::vector<size_t> rows;
+  rows.reserve(n_long + n_short);
+  for (size_t i : pick_long) rows.push_back(long_rows[i]);
+  for (size_t i : pick_short) rows.push_back(short_rows[i]);
+  std::sort(rows.begin(), rows.end());
+  return population.Filter(rows);
+}
+
+}  // namespace data
+}  // namespace mosaic

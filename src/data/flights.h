@@ -1,0 +1,61 @@
+// Synthetic stand-in for the IDEBench flights dataset (§5.3 "Flights
+// Data"). The real benchmark data is not redistributable here, so we
+// generate a population with the properties the experiments actually
+// exploit (see DESIGN.md §4):
+//
+//   * the Table-1 schema — carrier (14 distinct values), taxi_out,
+//     taxi_in, elapsed_time, distance, all whole numbers;
+//   * a skewed carrier distribution with popular carriers ('WN',
+//     'AA') and light hitters ('US', 'F9');
+//   * strong distance -> elapsed_time correlation (cruise speed plus
+//     taxi and overhead), which is what defeats uniform reweighting
+//     on query 3;
+//   * carrier-dependent route-length profiles so carrier x elapsed
+//     marginals carry signal.
+#ifndef MOSAIC_DATA_FLIGHTS_H_
+#define MOSAIC_DATA_FLIGHTS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace data {
+
+/// The 14 carrier codes, ordered by decreasing popularity.
+const std::vector<std::string>& FlightCarriers();
+
+struct FlightsOptions {
+  /// Paper uses the 2015–16 slice: 426,411 rows.
+  size_t num_rows = 426411;
+};
+
+/// Generate the flights population with schema
+/// (carrier VARCHAR, taxi_out INT, taxi_in INT, elapsed_time INT,
+///  distance INT).
+Table GenerateFlights(const FlightsOptions& options, Rng* rng);
+
+struct FlightsBiasOptions {
+  /// Sample size as a fraction of the population (paper: 5 percent).
+  double sample_fraction = 0.05;
+  /// Fraction of sample tuples that must satisfy the bias predicate
+  /// elapsed_time > threshold (paper: 95 percent).
+  double bias = 0.95;
+  int64_t elapsed_threshold = 200;
+};
+
+/// Draw the biased sample: `bias` of the tuples come from flights
+/// with elapsed_time > threshold, the rest from the complement
+/// (uniformly within each part).
+Result<Table> DrawBiasedFlightsSample(const Table& population,
+                                      const FlightsBiasOptions& options,
+                                      Rng* rng);
+
+}  // namespace data
+}  // namespace mosaic
+
+#endif  // MOSAIC_DATA_FLIGHTS_H_

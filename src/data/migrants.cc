@@ -1,0 +1,105 @@
+#include "data/migrants.h"
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+
+namespace mosaic {
+namespace data {
+
+const std::vector<std::string>& MigrantCountries() {
+  static const std::vector<std::string> kCountries = {
+      "UK", "FR", "DE", "ES", "IT", "NL", "SE", "PL", "PT", "GR"};
+  return kCountries;
+}
+
+const std::vector<std::string>& EmailProviders() {
+  static const std::vector<std::string> kProviders = {
+      "Yahoo", "Gmail", "Outlook", "AOL", "Other"};
+  return kProviders;
+}
+
+namespace {
+
+/// Country population shares (migrants).
+const std::vector<double>& CountryWeights() {
+  static const std::vector<double> kWeights = {20, 15, 18, 11, 10,
+                                               7,  6,  5,  4,  4};
+  return kWeights;
+}
+
+/// Email-provider usage per country: Yahoo share declines from UK to
+/// GR, which is exactly the Internet-usage selection bias the
+/// motivating example corrects for.
+double ProviderWeight(size_t country, size_t provider) {
+  static const double kBase[] = {0.30, 0.35, 0.20, 0.05, 0.10};
+  double w = kBase[provider];
+  if (provider == 0) {  // Yahoo: strong per-country variation
+    w *= 1.5 - 0.12 * static_cast<double>(country);
+  }
+  if (provider == 1) {  // Gmail picks up the slack
+    w *= 0.7 + 0.10 * static_cast<double>(country);
+  }
+  return w;
+}
+
+const std::vector<std::string>& AgeGroups() {
+  static const std::vector<std::string> kAges = {"18-29", "30-44", "45-64",
+                                                 "65+"};
+  return kAges;
+}
+
+}  // namespace
+
+Table GenerateMigrantsPopulation(const MigrantsOptions& options, Rng* rng) {
+  Schema schema;
+  (void)schema.AddColumn(ColumnDef{"country", DataType::kString});
+  (void)schema.AddColumn(ColumnDef{"email", DataType::kString});
+  (void)schema.AddColumn(ColumnDef{"age_group", DataType::kString});
+  Table table(schema);
+  table.Reserve(options.population_size);
+  const auto& countries = MigrantCountries();
+  const auto& providers = EmailProviders();
+  const auto& ages = AgeGroups();
+  static const std::vector<double> kAgeWeights = {0.35, 0.33, 0.22, 0.10};
+  for (size_t i = 0; i < options.population_size; ++i) {
+    size_t c = rng->Categorical(CountryWeights());
+    std::vector<double> pw(providers.size());
+    for (size_t p = 0; p < providers.size(); ++p) {
+      pw[p] = ProviderWeight(c, p);
+    }
+    size_t p = rng->Categorical(pw);
+    size_t a = rng->Categorical(kAgeWeights);
+    (void)table.AppendRow(
+        {Value(countries[c]), Value(providers[p]), Value(ages[a])});
+  }
+  return table;
+}
+
+namespace {
+Result<Table> Report(const Table& population, const std::string& attr) {
+  MOSAIC_ASSIGN_OR_RETURN(
+      auto stmt, sql::ParseStatement("SELECT " + attr +
+                                     ", COUNT(*) AS reported_count FROM pop "
+                                     "GROUP BY " +
+                                     attr));
+  return exec::ExecuteSelect(population, stmt.As<sql::SelectStmt>());
+}
+}  // namespace
+
+Result<Table> EurostatCountryReport(const Table& population) {
+  return Report(population, "country");
+}
+
+Result<Table> EurostatEmailReport(const Table& population) {
+  return Report(population, "email");
+}
+
+Result<Table> YahooSample(const Table& population) {
+  MOSAIC_ASSIGN_OR_RETURN(
+      auto stmt,
+      sql::ParseStatement("SELECT * FROM pop WHERE email = 'Yahoo'"));
+  return exec::ExecuteSelect(population, stmt.As<sql::SelectStmt>());
+}
+
+}  // namespace data
+}  // namespace mosaic

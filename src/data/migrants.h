@@ -1,0 +1,49 @@
+// Synthetic Europe-migrants scenario: the paper's motivating example
+// (§2), where a data scientist estimates migrant counts per country
+// from a Yahoo!-email sample debiased against Eurostat marginals
+// (inspired by Zagheni & Weber [50]).
+//
+// We generate a ground-truth migrant population over (country, email,
+// age_group) with email-provider usage that *varies by country* —
+// precisely the selection bias the example is about — plus the
+// Eurostat-style report tables (migrants per country, migrants per
+// email provider).
+#ifndef MOSAIC_DATA_MIGRANTS_H_
+#define MOSAIC_DATA_MIGRANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace data {
+
+const std::vector<std::string>& MigrantCountries();
+const std::vector<std::string>& EmailProviders();
+
+struct MigrantsOptions {
+  size_t population_size = 200000;
+};
+
+/// Population with schema (country VARCHAR, email VARCHAR,
+/// age_group VARCHAR).
+Table GenerateMigrantsPopulation(const MigrantsOptions& options, Rng* rng);
+
+/// The "Eurostat" report: (country, reported_count) aggregated from
+/// the population.
+Result<Table> EurostatCountryReport(const Table& population);
+
+/// The "Eurostat" report: (email, reported_count).
+Result<Table> EurostatEmailReport(const Table& population);
+
+/// All tuples whose email provider is "Yahoo" — the biased sample the
+/// motivating example queries.
+Result<Table> YahooSample(const Table& population);
+
+}  // namespace data
+}  // namespace mosaic
+
+#endif  // MOSAIC_DATA_MIGRANTS_H_

@@ -1,0 +1,101 @@
+#include "data/spiral.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic {
+namespace data {
+
+Table GenerateSpiralPopulation(const SpiralOptions& options, Rng* rng) {
+  Schema schema;
+  (void)schema.AddColumn(ColumnDef{"x", DataType::kDouble});
+  (void)schema.AddColumn(ColumnDef{"y", DataType::kDouble});
+  Table table(schema);
+  table.Reserve(options.population_size);
+  // Archimedean spiral r = t / t_max, mapped into the unit box; the
+  // density along t is uniform, matching the visual of Fig. 5.
+  for (size_t i = 0; i < options.population_size; ++i) {
+    double t = rng->Uniform() * options.max_angle;
+    double r = 0.5 * t / options.max_angle;
+    double x = 0.5 + r * std::cos(t) + rng->Gaussian(0.0, options.noise);
+    double y = 0.4 + r * std::sin(t) + rng->Gaussian(0.0, options.noise);
+    (void)table.AppendRow({Value(x), Value(y)});
+  }
+  return table;
+}
+
+Result<Table> DrawBiasedSpiralSample(const Table& population,
+                                     const SpiralBiasOptions& options,
+                                     Rng* rng) {
+  if (options.sample_size > population.num_rows()) {
+    return Status::InvalidArgument("sample larger than population");
+  }
+  MOSAIC_ASSIGN_OR_RETURN(const Column* xc, population.ColumnByName("x"));
+  MOSAIC_ASSIGN_OR_RETURN(const Column* yc, population.ColumnByName("y"));
+  size_t n = population.num_rows();
+  // Recover the arm position t of each point from its angle+radius
+  // and bias inclusion by exp(-strength * t / t_max). We approximate
+  // t by the radius (they are proportional for this spiral).
+  std::vector<double> probs(n);
+  for (size_t r = 0; r < n; ++r) {
+    double x = *xc->GetDouble(r) - 0.5;
+    double y = *yc->GetDouble(r) - 0.4;
+    double radius = std::sqrt(x * x + y * y) / 0.5;  // ~ t / t_max
+    probs[r] = std::exp(-options.bias_strength * radius);
+  }
+  // Weighted sampling without replacement (exponential-keys trick:
+  // keep the sample_size largest u_i^(1/w_i), equivalently smallest
+  // -log(u)/w).
+  std::vector<std::pair<double, size_t>> keys(n);
+  for (size_t r = 0; r < n; ++r) {
+    double u = rng->Uniform();
+    // Guard against u == 0.
+    u = std::max(u, 1e-300);
+    keys[r] = {-std::log(u) / probs[r], r};
+  }
+  std::partial_sort(keys.begin(), keys.begin() + options.sample_size,
+                    keys.end());
+  std::vector<size_t> rows(options.sample_size);
+  for (size_t i = 0; i < options.sample_size; ++i) rows[i] = keys[i].second;
+  std::sort(rows.begin(), rows.end());
+  return population.Filter(rows);
+}
+
+RangeQuery MakeRandomRangeQuery(const Table& population, double coverage,
+                                Rng* rng) {
+  const Column& xc = **population.ColumnByName("x");
+  const Column& yc = **population.ColumnByName("y");
+  double x_min = 1e300, x_max = -1e300, y_min = 1e300, y_max = -1e300;
+  for (size_t r = 0; r < population.num_rows(); ++r) {
+    double x = *xc.GetDouble(r), y = *yc.GetDouble(r);
+    x_min = std::min(x_min, x);
+    x_max = std::max(x_max, x);
+    y_min = std::min(y_min, y);
+    y_max = std::max(y_max, y);
+  }
+  double wx = (x_max - x_min) * coverage;
+  double wy = (y_max - y_min) * coverage;
+  RangeQuery q;
+  q.x_lo = x_min + rng->Uniform() * (x_max - x_min - wx);
+  q.x_hi = q.x_lo + wx;
+  q.y_lo = y_min + rng->Uniform() * (y_max - y_min - wy);
+  q.y_hi = q.y_lo + wy;
+  return q;
+}
+
+double CountInBox(const Table& table, const RangeQuery& q,
+                  const std::vector<double>* weights) {
+  const Column& xc = **table.ColumnByName("x");
+  const Column& yc = **table.ColumnByName("y");
+  double count = 0.0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    double x = *xc.GetDouble(r), y = *yc.GetDouble(r);
+    if (x >= q.x_lo && x <= q.x_hi && y >= q.y_lo && y <= q.y_hi) {
+      count += weights != nullptr ? (*weights)[r] : 1.0;
+    }
+  }
+  return count;
+}
+
+}  // namespace data
+}  // namespace mosaic

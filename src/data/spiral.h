@@ -1,0 +1,61 @@
+// Synthetic 2-D spiral population and biased sample (§5.3 "Synthetic
+// Data", following the mixture-learning experiments of Cai et al.
+// [9]). Used by the Figure 5/6 benches and the open-world examples.
+#ifndef MOSAIC_DATA_SPIRAL_H_
+#define MOSAIC_DATA_SPIRAL_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace data {
+
+struct SpiralOptions {
+  size_t population_size = 100000;
+  /// Angular range of the spiral arm, in radians.
+  double max_angle = 3.0 * 3.14159265358979323846;
+  /// Gaussian jitter around the arm.
+  double noise = 0.02;
+};
+
+/// Generate the spiral population: schema (x DOUBLE, y DOUBLE), points
+/// roughly in the unit box like Fig. 5.
+Table GenerateSpiralPopulation(const SpiralOptions& options, Rng* rng);
+
+struct SpiralBiasOptions {
+  size_t sample_size = 10000;
+  /// Strength of the selection bias along the spiral arm: inclusion
+  /// probability ∝ exp(-strength * t / t_max), so the inner arm is
+  /// heavily over-represented (mimicking Fig. 5(a)'s clumped sample).
+  double bias_strength = 3.0;
+};
+
+/// Draw a biased sample (without replacement) from a spiral
+/// population generated with the same options. The bias depends on
+/// the position along the arm, which correlates with both x and y —
+/// exactly the kind of bias 1-D marginals only partially describe.
+Result<Table> DrawBiasedSpiralSample(const Table& population,
+                                     const SpiralBiasOptions& options,
+                                     Rng* rng);
+
+/// A random 2-D range-count query (Fig. 6): an axis-aligned box whose
+/// width covers `coverage` of the data range in each dimension,
+/// placed uniformly at random inside the data bounds.
+struct RangeQuery {
+  double x_lo, x_hi, y_lo, y_hi;
+};
+
+RangeQuery MakeRandomRangeQuery(const Table& population, double coverage,
+                                Rng* rng);
+
+/// Exact count of population rows inside the box.
+double CountInBox(const Table& table, const RangeQuery& q,
+                  const std::vector<double>* weights = nullptr);
+
+}  // namespace data
+}  // namespace mosaic
+
+#endif  // MOSAIC_DATA_SPIRAL_H_

@@ -1,0 +1,487 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "exec/expr_eval.h"
+
+namespace mosaic {
+namespace exec {
+
+namespace {
+
+/// One aggregate call site lifted out of the SELECT list.
+struct AggSpec {
+  sql::AggFunc func;
+  bool is_star = false;
+  BoundExprPtr arg;       // null for COUNT(*)
+  std::string rendering;  // dedup key, e.g. "AVG(distance)"
+};
+
+/// Accumulator for one aggregate within one group.
+struct AggAccum {
+  double sum_w = 0.0;
+  double sum_wx = 0.0;
+  int64_t count_n = 0;
+  Value vmin;
+  Value vmax;
+  bool any = false;
+};
+
+struct AggCollection {
+  std::vector<AggSpec> specs;
+  Binder* binder = nullptr;
+  Status error;
+
+  Result<size_t> MapAggregate(const sql::Expr& expr) {
+    std::string key = expr.ToString();
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].rendering == key) return i;
+    }
+    AggSpec spec;
+    spec.func = expr.agg_func;
+    spec.is_star = expr.agg_is_star;
+    spec.rendering = key;
+    if (!spec.is_star) {
+      if (expr.child == nullptr) {
+        return Status::BindError("aggregate missing argument: " + key);
+      }
+      if (expr.child->ContainsAggregate()) {
+        return Status::BindError("nested aggregates are not allowed: " + key);
+      }
+      MOSAIC_ASSIGN_OR_RETURN(spec.arg, binder->Bind(*expr.child));
+    }
+    specs.push_back(std::move(spec));
+    return specs.size() - 1;
+  }
+
+  static Result<size_t> MapAggregateThunk(const sql::Expr& expr, void* ctx) {
+    return static_cast<AggCollection*>(ctx)->MapAggregate(expr);
+  }
+};
+
+/// Column name for an output select item.
+std::string OutputName(const sql::SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == sql::Expr::Kind::kColumnRef) {
+    return item.expr->column;
+  }
+  return item.expr->ToString();
+}
+
+/// In an aggregate query, any column reference outside an aggregate
+/// must be a GROUP BY key (non-key columns have no single value per
+/// group).
+Status ValidateGroupColumnRefs(const sql::Expr& expr,
+                               const std::vector<std::string>& group_by) {
+  if (expr.kind == sql::Expr::Kind::kAggregate) return Status::OK();
+  if (expr.kind == sql::Expr::Kind::kColumnRef) {
+    for (const auto& g : group_by) {
+      if (EqualsIgnoreCase(g, expr.column)) return Status::OK();
+    }
+    return Status::BindError("column '" + expr.column +
+                             "' must appear in GROUP BY or inside an "
+                             "aggregate");
+  }
+  for (const sql::Expr* child :
+       {expr.child.get(), expr.left.get(), expr.right.get(),
+        expr.between_lo.get(), expr.between_hi.get()}) {
+    if (child != nullptr) {
+      MOSAIC_RETURN_IF_ERROR(ValidateGroupColumnRefs(*child, group_by));
+    }
+  }
+  return Status::OK();
+}
+
+/// Add an output column, suffixing "_2", "_3", ... on name collisions
+/// (SQL permits duplicate select-item names; our schemas do not).
+Status AddOutputColumn(Schema* schema, std::string name, DataType type) {
+  if (!schema->FindColumn(name)) {
+    return schema->AddColumn(ColumnDef{std::move(name), type});
+  }
+  for (int suffix = 2;; ++suffix) {
+    std::string candidate = name + "_" + std::to_string(suffix);
+    if (!schema->FindColumn(candidate)) {
+      return schema->AddColumn(ColumnDef{std::move(candidate), type});
+    }
+  }
+}
+
+Result<Value> Finalize(const AggSpec& spec, const AggAccum& acc,
+                       bool weighted) {
+  switch (spec.func) {
+    case sql::AggFunc::kCount:
+      if (weighted) return Value(acc.sum_w);
+      return Value(acc.count_n);
+    case sql::AggFunc::kSum:
+      return Value(acc.sum_wx);
+    case sql::AggFunc::kAvg:
+      if (acc.sum_w == 0.0) {
+        return Status::ExecutionError("AVG over empty/zero-weight group");
+      }
+      return Value(acc.sum_wx / acc.sum_w);
+    case sql::AggFunc::kMin:
+      if (!acc.any) {
+        return Status::ExecutionError("MIN over empty group");
+      }
+      return acc.vmin;
+    case sql::AggFunc::kMax:
+      if (!acc.any) {
+        return Status::ExecutionError("MAX over empty group");
+      }
+      return acc.vmax;
+  }
+  return Status::Internal("unreachable aggregate func");
+}
+
+DataType AggOutputType(const AggSpec& spec, bool weighted) {
+  switch (spec.func) {
+    case sql::AggFunc::kCount:
+      return weighted ? DataType::kDouble : DataType::kInt64;
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kAvg:
+      return DataType::kDouble;
+    case sql::AggFunc::kMin:
+    case sql::AggFunc::kMax:
+      return spec.arg != nullptr ? spec.arg->type : DataType::kDouble;
+  }
+  return DataType::kDouble;
+}
+
+Status ApplyOrderByAndLimit(const sql::SelectStmt& stmt, Table* out,
+                            bool skip_order = false) {
+  if (!stmt.order_by.empty() && !skip_order) {
+    std::vector<std::pair<size_t, bool>> keys;  // (col, desc)
+    for (const auto& o : stmt.order_by) {
+      auto idx = out->schema().FindColumn(o.column);
+      if (!idx) {
+        return Status::BindError("ORDER BY column '" + o.column +
+                                 "' not in result set");
+      }
+      keys.emplace_back(*idx, o.descending);
+    }
+    std::vector<size_t> order(out->num_rows());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (const auto& [col, desc] : keys) {
+        Value va = out->GetValue(a, col);
+        Value vb = out->GetValue(b, col);
+        if (va < vb) return !desc;
+        if (vb < va) return desc;
+      }
+      return false;
+    });
+    *out = out->Filter(order);
+  }
+  if (stmt.limit && static_cast<size_t>(*stmt.limit) < out->num_rows()) {
+    std::vector<size_t> head(static_cast<size_t>(*stmt.limit));
+    std::iota(head.begin(), head.end(), size_t{0});
+    *out = out->Filter(head);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> TotalWeight(const Table& table,
+                           const std::string& weight_column) {
+  if (weight_column.empty()) {
+    return static_cast<double>(table.num_rows());
+  }
+  MOSAIC_ASSIGN_OR_RETURN(const Column* col,
+                          table.ColumnByName(weight_column));
+  double total = 0.0;
+  for (size_t r = 0; r < col->size(); ++r) {
+    MOSAIC_ASSIGN_OR_RETURN(double w, col->GetDouble(r));
+    total += w;
+  }
+  return total;
+}
+
+Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
+                            const ExecOptions& opts) {
+  const Schema& schema = source.schema();
+  const bool weighted = !opts.weight_column.empty();
+  std::optional<size_t> weight_idx;
+  if (weighted) {
+    auto idx = schema.FindColumn(opts.weight_column);
+    if (!idx) {
+      return Status::BindError("weight column '" + opts.weight_column +
+                               "' not found");
+    }
+    weight_idx = *idx;
+  }
+
+  // --- WHERE ---------------------------------------------------------------
+  std::vector<size_t> rows;
+  if (stmt.where != nullptr) {
+    if (stmt.where->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    MOSAIC_ASSIGN_OR_RETURN(rows, FilterRows(source, *stmt.where));
+  } else {
+    rows.resize(source.num_rows());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+  }
+
+  // --- Detect aggregation --------------------------------------------------
+  bool has_aggregates = false;
+  for (const auto& item : stmt.items) {
+    if (item.expr->ContainsAggregate()) has_aggregates = true;
+  }
+  if (stmt.having != nullptr && stmt.having->ContainsAggregate()) {
+    has_aggregates = true;
+  }
+  if (stmt.select_star && (has_aggregates || !stmt.group_by.empty())) {
+    return Status::BindError("SELECT * cannot be combined with aggregation");
+  }
+  if (!stmt.group_by.empty() && !has_aggregates) {
+    return Status::BindError("GROUP BY requires aggregates in SELECT list");
+  }
+
+  // --- Projection-only path ------------------------------------------------
+  if (!has_aggregates) {
+    Binder binder(&schema);
+    std::vector<BoundExprPtr> bound_items;
+    Schema out_schema;
+    if (stmt.select_star) {
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        if (weight_idx && c == *weight_idx) continue;  // hide weight
+        auto e = std::make_unique<BoundExpr>();
+        e->kind = BoundExpr::Kind::kColumnRef;
+        e->column_index = c;
+        e->type = schema.column(c).type;
+        bound_items.push_back(std::move(e));
+        MOSAIC_RETURN_IF_ERROR(out_schema.AddColumn(schema.column(c)));
+      }
+    } else {
+      for (const auto& item : stmt.items) {
+        MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*item.expr));
+        MOSAIC_RETURN_IF_ERROR(
+            AddOutputColumn(&out_schema, OutputName(item), bound->type));
+        bound_items.push_back(std::move(bound));
+      }
+    }
+    // ORDER BY may reference columns of the source relation that are
+    // not projected (standard SQL): when any order column is missing
+    // from the output, sort the selected row ids by the source
+    // columns before projecting.
+    bool presorted = false;
+    if (!stmt.order_by.empty()) {
+      bool all_in_output = true;
+      for (const auto& o : stmt.order_by) {
+        if (!out_schema.FindColumn(o.column)) all_in_output = false;
+      }
+      if (!all_in_output) {
+        std::vector<std::pair<size_t, bool>> keys;
+        for (const auto& o : stmt.order_by) {
+          auto idx = schema.FindColumn(o.column);
+          if (!idx) {
+            return Status::BindError("ORDER BY column '" + o.column +
+                                     "' not found");
+          }
+          keys.emplace_back(*idx, o.descending);
+        }
+        std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+          for (const auto& [col, desc] : keys) {
+            Value va = source.GetValue(a, col);
+            Value vb = source.GetValue(b, col);
+            if (va < vb) return !desc;
+            if (vb < va) return desc;
+          }
+          return false;
+        });
+        presorted = true;
+      }
+    }
+    Table out(out_schema);
+    out.Reserve(rows.size());
+    std::vector<Value> row(bound_items.size());
+    for (size_t r : rows) {
+      for (size_t c = 0; c < bound_items.size(); ++c) {
+        MOSAIC_ASSIGN_OR_RETURN(row[c],
+                                EvaluateExpr(*bound_items[c], source, r));
+      }
+      MOSAIC_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+    MOSAIC_RETURN_IF_ERROR(ApplyOrderByAndLimit(stmt, &out, presorted));
+    return out;
+  }
+
+  // --- Aggregation path ----------------------------------------------------
+  // Resolve GROUP BY columns.
+  std::vector<size_t> group_cols;
+  for (const auto& name : stmt.group_by) {
+    auto idx = schema.FindColumn(name);
+    if (!idx) {
+      return Status::BindError("GROUP BY column '" + name + "' not found");
+    }
+    group_cols.push_back(*idx);
+  }
+
+  // Lift aggregates out of the SELECT items; bind post-aggregation
+  // projections against group keys + agg slots.
+  Binder binder(&schema);
+  AggCollection aggs;
+  aggs.binder = &binder;
+  binder.set_aggregate_mapper(&AggCollection::MapAggregateThunk, &aggs);
+
+  std::vector<BoundExprPtr> bound_items;
+  for (const auto& item : stmt.items) {
+    // Column refs outside aggregates must be GROUP BY keys.
+    MOSAIC_RETURN_IF_ERROR(
+        ValidateGroupColumnRefs(*item.expr, stmt.group_by));
+    MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*item.expr));
+    bound_items.push_back(std::move(bound));
+  }
+  // HAVING binds through the same aggregate-lifting machinery, so any
+  // aggregates it mentions get slots and are accumulated below.
+  BoundExprPtr bound_having;
+  if (stmt.having != nullptr) {
+    MOSAIC_RETURN_IF_ERROR(
+        ValidateGroupColumnRefs(*stmt.having, stmt.group_by));
+    MOSAIC_ASSIGN_OR_RETURN(bound_having, binder.Bind(*stmt.having));
+    if (bound_having->type != DataType::kBool) {
+      return Status::TypeError("HAVING predicate must be boolean");
+    }
+  }
+
+  // Accumulate per group. std::map over key vectors gives a
+  // deterministic (sorted) group order.
+  std::map<std::vector<Value>, std::vector<AggAccum>> groups;
+  for (size_t r : rows) {
+    std::vector<Value> key;
+    key.reserve(group_cols.size());
+    for (size_t c : group_cols) key.push_back(source.GetValue(r, c));
+    auto [it, inserted] = groups.try_emplace(
+        std::move(key), std::vector<AggAccum>(aggs.specs.size()));
+    double w = 1.0;
+    if (weight_idx) {
+      MOSAIC_ASSIGN_OR_RETURN(w, source.column(*weight_idx).GetDouble(r));
+    }
+    for (size_t a = 0; a < aggs.specs.size(); ++a) {
+      AggAccum& acc = it->second[a];
+      const AggSpec& spec = aggs.specs[a];
+      acc.sum_w += w;
+      acc.count_n += 1;
+      if (!spec.is_star && spec.arg != nullptr) {
+        MOSAIC_ASSIGN_OR_RETURN(Value v,
+                                EvaluateExpr(*spec.arg, source, r));
+        if (spec.func == sql::AggFunc::kSum ||
+            spec.func == sql::AggFunc::kAvg) {
+          MOSAIC_ASSIGN_OR_RETURN(double x, v.ToDouble());
+          acc.sum_wx += w * x;
+        }
+        if (!acc.any || v < acc.vmin) acc.vmin = v;
+        if (!acc.any || acc.vmax < v) acc.vmax = v;
+        acc.any = true;
+      }
+    }
+  }
+  // GROUP BY with no matching rows yields an empty result; a global
+  // aggregate (no GROUP BY) yields one row even over zero rows.
+  if (groups.empty() && stmt.group_by.empty()) {
+    groups.emplace(std::vector<Value>{},
+                   std::vector<AggAccum>(aggs.specs.size()));
+  }
+
+  // Output schema: SELECT items, typed by bound expression (group key
+  // columns keep their source type).
+  Schema out_schema;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    DataType type = bound_items[i]->type;
+    if (bound_items[i]->kind == BoundExpr::Kind::kAggResult) {
+      type = AggOutputType(aggs.specs[bound_items[i]->agg_slot], weighted);
+    }
+    MOSAIC_RETURN_IF_ERROR(
+        AddOutputColumn(&out_schema, OutputName(stmt.items[i]), type));
+  }
+  Table out(out_schema);
+  out.Reserve(groups.size());
+
+  // Build a per-group synthetic row table so post-aggregation
+  // expressions (e.g. AVG(x)/2, key columns) can be evaluated through
+  // the normal path: group keys live in a one-row table, aggregate
+  // values in agg_values.
+  for (const auto& [key, accs] : groups) {
+    std::vector<Value> agg_values(aggs.specs.size());
+    for (size_t a = 0; a < aggs.specs.size(); ++a) {
+      MOSAIC_ASSIGN_OR_RETURN(agg_values[a],
+                              Finalize(aggs.specs[a], accs[a], weighted));
+    }
+    Table key_row(schema);
+    if (!key.empty()) {
+      // A full-width row carrying the group key values; non-key
+      // columns hold the first value of the group (never read:
+      // non-key column refs were rejected at bind time, and aggregate
+      // args were evaluated during accumulation).
+      std::vector<Value> row_vals(schema.num_columns(), Value(int64_t{0}));
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        // Fill with a type-correct placeholder.
+        switch (schema.column(c).type) {
+          case DataType::kInt64:
+            row_vals[c] = Value(int64_t{0});
+            break;
+          case DataType::kDouble:
+            row_vals[c] = Value(0.0);
+            break;
+          case DataType::kBool:
+            row_vals[c] = Value(false);
+            break;
+          case DataType::kString:
+            row_vals[c] = Value(std::string());
+            break;
+          default:
+            break;
+        }
+      }
+      for (size_t k = 0; k < group_cols.size(); ++k) {
+        row_vals[group_cols[k]] = key[k];
+      }
+      MOSAIC_RETURN_IF_ERROR(key_row.AppendRow(row_vals));
+    } else {
+      // Global aggregate: no key columns may be referenced.
+      std::vector<Value> row_vals;
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        switch (schema.column(c).type) {
+          case DataType::kInt64:
+            row_vals.emplace_back(int64_t{0});
+            break;
+          case DataType::kDouble:
+            row_vals.emplace_back(0.0);
+            break;
+          case DataType::kBool:
+            row_vals.emplace_back(false);
+            break;
+          case DataType::kString:
+            row_vals.emplace_back(std::string());
+            break;
+          default:
+            break;
+        }
+      }
+      MOSAIC_RETURN_IF_ERROR(key_row.AppendRow(row_vals));
+    }
+    if (bound_having != nullptr) {
+      MOSAIC_ASSIGN_OR_RETURN(
+          Value keep, EvaluateExpr(*bound_having, key_row, 0, &agg_values));
+      if (!keep.AsBool()) continue;
+    }
+    std::vector<Value> out_row(bound_items.size());
+    for (size_t c = 0; c < bound_items.size(); ++c) {
+      MOSAIC_ASSIGN_OR_RETURN(
+          out_row[c], EvaluateExpr(*bound_items[c], key_row, 0, &agg_values));
+    }
+    MOSAIC_RETURN_IF_ERROR(out.AppendRow(out_row));
+  }
+
+  MOSAIC_RETURN_IF_ERROR(ApplyOrderByAndLimit(stmt, &out));
+  return out;
+}
+
+}  // namespace exec
+}  // namespace mosaic

@@ -1,0 +1,48 @@
+// SELECT execution over a single in-memory table, with optional
+// per-tuple weights.
+//
+// Weighted aggregation implements the paper's §5.3 rewrite: "To run
+// the aggregate queries over a weighted sample, we simply modify the
+// aggregate to be over a weight attribute (e.g. COUNT(*) becomes
+// SUM(weight))":
+//
+//   COUNT(*)  -> SUM(w)
+//   COUNT(e)  -> SUM(w)            (columns are non-nullable)
+//   SUM(e)    -> SUM(w * e)
+//   AVG(e)    -> SUM(w * e) / SUM(w)
+//   MIN/MAX   -> unchanged (weights do not affect extrema)
+//
+// The engine-managed weight column is hidden from `SELECT *`.
+#ifndef MOSAIC_EXEC_EXECUTOR_H_
+#define MOSAIC_EXEC_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace exec {
+
+struct ExecOptions {
+  /// Name of the weight column in the source table; empty = every
+  /// tuple has weight 1 (plain SQL).
+  std::string weight_column;
+};
+
+/// Execute `stmt` against `source`. `stmt.from` is ignored — the
+/// caller has already resolved the relation (Mosaic's core engine
+/// routes population queries to reweighted/generated tables first).
+Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
+                            const ExecOptions& opts = {});
+
+/// Total weight of the table (sum of the weight column, or row count
+/// when `weight_column` is empty).
+Result<double> TotalWeight(const Table& table,
+                           const std::string& weight_column);
+
+}  // namespace exec
+}  // namespace mosaic
+
+#endif  // MOSAIC_EXEC_EXECUTOR_H_

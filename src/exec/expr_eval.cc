@@ -1,0 +1,299 @@
+#include "exec/expr_eval.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mosaic {
+namespace exec {
+
+namespace {
+
+bool IsNumericType(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kBool;
+}
+
+/// Static result type of an arithmetic binary op.
+Result<DataType> ArithmeticType(sql::BinaryOp op, DataType lhs,
+                                DataType rhs) {
+  if (!IsNumericType(lhs) || !IsNumericType(rhs)) {
+    return Status::TypeError("arithmetic requires numeric operands");
+  }
+  if (op == sql::BinaryOp::kDiv) return DataType::kDouble;
+  if (lhs == DataType::kInt64 && rhs == DataType::kInt64) {
+    return DataType::kInt64;
+  }
+  return DataType::kDouble;
+}
+
+}  // namespace
+
+Result<BoundExprPtr> Binder::Bind(const sql::Expr& expr) {
+  auto out = std::make_unique<BoundExpr>();
+  switch (expr.kind) {
+    case sql::Expr::Kind::kLiteral: {
+      out->kind = BoundExpr::Kind::kLiteral;
+      out->literal = expr.literal;
+      out->type = expr.literal.type();
+      return out;
+    }
+    case sql::Expr::Kind::kColumnRef: {
+      auto idx = schema_->FindColumn(expr.column);
+      if (!idx) {
+        return Status::BindError("unknown column '" + expr.column + "'");
+      }
+      out->kind = BoundExpr::Kind::kColumnRef;
+      out->column_index = *idx;
+      out->type = schema_->column(*idx).type;
+      return out;
+    }
+    case sql::Expr::Kind::kUnary: {
+      MOSAIC_ASSIGN_OR_RETURN(out->child, Bind(*expr.child));
+      out->kind = BoundExpr::Kind::kUnary;
+      out->unary_op = expr.unary_op;
+      if (expr.unary_op == sql::UnaryOp::kNot) {
+        if (out->child->type != DataType::kBool) {
+          return Status::TypeError("NOT requires a boolean operand");
+        }
+        out->type = DataType::kBool;
+      } else {
+        if (!IsNumericType(out->child->type)) {
+          return Status::TypeError("unary '-' requires a numeric operand");
+        }
+        out->type = out->child->type == DataType::kInt64 ? DataType::kInt64
+                                                         : DataType::kDouble;
+      }
+      return out;
+    }
+    case sql::Expr::Kind::kBinary: {
+      MOSAIC_ASSIGN_OR_RETURN(out->left, Bind(*expr.left));
+      MOSAIC_ASSIGN_OR_RETURN(out->right, Bind(*expr.right));
+      out->kind = BoundExpr::Kind::kBinary;
+      out->binary_op = expr.binary_op;
+      switch (expr.binary_op) {
+        case sql::BinaryOp::kAnd:
+        case sql::BinaryOp::kOr:
+          if (out->left->type != DataType::kBool ||
+              out->right->type != DataType::kBool) {
+            return Status::TypeError("AND/OR require boolean operands");
+          }
+          out->type = DataType::kBool;
+          break;
+        case sql::BinaryOp::kEq:
+        case sql::BinaryOp::kNe:
+        case sql::BinaryOp::kLt:
+        case sql::BinaryOp::kLe:
+        case sql::BinaryOp::kGt:
+        case sql::BinaryOp::kGe: {
+          DataType lt = out->left->type, rt = out->right->type;
+          bool ok = (IsNumericType(lt) && IsNumericType(rt)) ||
+                    (lt == DataType::kString && rt == DataType::kString);
+          if (!ok) {
+            return Status::TypeError(
+                std::string("cannot compare ") + DataTypeName(lt) + " with " +
+                DataTypeName(rt));
+          }
+          out->type = DataType::kBool;
+          break;
+        }
+        case sql::BinaryOp::kAdd:
+        case sql::BinaryOp::kSub:
+        case sql::BinaryOp::kMul:
+        case sql::BinaryOp::kDiv: {
+          MOSAIC_ASSIGN_OR_RETURN(
+              out->type,
+              ArithmeticType(expr.binary_op, out->left->type,
+                             out->right->type));
+          break;
+        }
+      }
+      return out;
+    }
+    case sql::Expr::Kind::kIn: {
+      MOSAIC_ASSIGN_OR_RETURN(out->child, Bind(*expr.child));
+      out->kind = BoundExpr::Kind::kIn;
+      out->in_list = expr.in_list;
+      for (const auto& v : expr.in_list) {
+        bool ok = (IsNumericType(out->child->type) &&
+                   IsNumericType(v.type())) ||
+                  (out->child->type == DataType::kString &&
+                   v.type() == DataType::kString);
+        if (!ok) {
+          return Status::TypeError("IN list value " + v.ToString() +
+                                   " does not match subject type");
+        }
+      }
+      out->type = DataType::kBool;
+      return out;
+    }
+    case sql::Expr::Kind::kBetween: {
+      MOSAIC_ASSIGN_OR_RETURN(out->child, Bind(*expr.child));
+      MOSAIC_ASSIGN_OR_RETURN(out->between_lo, Bind(*expr.between_lo));
+      MOSAIC_ASSIGN_OR_RETURN(out->between_hi, Bind(*expr.between_hi));
+      if (!IsNumericType(out->child->type) ||
+          !IsNumericType(out->between_lo->type) ||
+          !IsNumericType(out->between_hi->type)) {
+        return Status::TypeError("BETWEEN requires numeric operands");
+      }
+      out->kind = BoundExpr::Kind::kBetween;
+      out->type = DataType::kBool;
+      return out;
+    }
+    case sql::Expr::Kind::kAggregate: {
+      if (agg_mapper_ == nullptr) {
+        return Status::BindError(
+            "aggregate " + expr.ToString() +
+            " not allowed here (only in SELECT list)");
+      }
+      MOSAIC_ASSIGN_OR_RETURN(out->agg_slot, agg_mapper_(expr, agg_ctx_));
+      out->kind = BoundExpr::Kind::kAggResult;
+      // Aggregates over weighted samples are doubles; the executor
+      // casts COUNT back to int for unweighted plain-SQL runs.
+      out->type = DataType::kDouble;
+      return out;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
+                           size_t row, const std::vector<Value>* agg_values) {
+  switch (expr.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return expr.literal;
+    case BoundExpr::Kind::kColumnRef:
+      return table.GetValue(row, expr.column_index);
+    case BoundExpr::Kind::kAggResult: {
+      if (agg_values == nullptr || expr.agg_slot >= agg_values->size()) {
+        return Status::Internal("aggregate slot not available");
+      }
+      return (*agg_values)[expr.agg_slot];
+    }
+    case BoundExpr::Kind::kUnary: {
+      MOSAIC_ASSIGN_OR_RETURN(Value v,
+                              EvaluateExpr(*expr.child, table, row,
+                                           agg_values));
+      if (expr.unary_op == sql::UnaryOp::kNot) return Value(!v.AsBool());
+      MOSAIC_ASSIGN_OR_RETURN(double d, v.ToDouble());
+      if (expr.type == DataType::kInt64) {
+        return Value(static_cast<int64_t>(-v.AsInt64()));
+      }
+      return Value(-d);
+    }
+    case BoundExpr::Kind::kBinary: {
+      // Short-circuit logic ops.
+      if (expr.binary_op == sql::BinaryOp::kAnd) {
+        MOSAIC_ASSIGN_OR_RETURN(
+            Value l, EvaluateExpr(*expr.left, table, row, agg_values));
+        if (!l.AsBool()) return Value(false);
+        return EvaluateExpr(*expr.right, table, row, agg_values);
+      }
+      if (expr.binary_op == sql::BinaryOp::kOr) {
+        MOSAIC_ASSIGN_OR_RETURN(
+            Value l, EvaluateExpr(*expr.left, table, row, agg_values));
+        if (l.AsBool()) return Value(true);
+        return EvaluateExpr(*expr.right, table, row, agg_values);
+      }
+      MOSAIC_ASSIGN_OR_RETURN(Value l,
+                              EvaluateExpr(*expr.left, table, row,
+                                           agg_values));
+      MOSAIC_ASSIGN_OR_RETURN(Value r,
+                              EvaluateExpr(*expr.right, table, row,
+                                           agg_values));
+      switch (expr.binary_op) {
+        case sql::BinaryOp::kEq:
+          return Value(l == r);
+        case sql::BinaryOp::kNe:
+          return Value(!(l == r));
+        case sql::BinaryOp::kLt:
+          return Value(l < r);
+        case sql::BinaryOp::kLe:
+          return Value(!(r < l));
+        case sql::BinaryOp::kGt:
+          return Value(r < l);
+        case sql::BinaryOp::kGe:
+          return Value(!(l < r));
+        case sql::BinaryOp::kAdd:
+        case sql::BinaryOp::kSub:
+        case sql::BinaryOp::kMul:
+        case sql::BinaryOp::kDiv: {
+          MOSAIC_ASSIGN_OR_RETURN(double lv, l.ToDouble());
+          MOSAIC_ASSIGN_OR_RETURN(double rv, r.ToDouble());
+          double result;
+          switch (expr.binary_op) {
+            case sql::BinaryOp::kAdd:
+              result = lv + rv;
+              break;
+            case sql::BinaryOp::kSub:
+              result = lv - rv;
+              break;
+            case sql::BinaryOp::kMul:
+              result = lv * rv;
+              break;
+            default:
+              if (rv == 0.0) {
+                return Status::ExecutionError("division by zero");
+              }
+              result = lv / rv;
+              break;
+          }
+          if (expr.type == DataType::kInt64) {
+            return Value(static_cast<int64_t>(std::llround(result)));
+          }
+          return Value(result);
+        }
+        default:
+          return Status::Internal("unreachable binary op");
+      }
+    }
+    case BoundExpr::Kind::kIn: {
+      MOSAIC_ASSIGN_OR_RETURN(Value v,
+                              EvaluateExpr(*expr.child, table, row,
+                                           agg_values));
+      for (const auto& item : expr.in_list) {
+        if (v == item) return Value(true);
+      }
+      return Value(false);
+    }
+    case BoundExpr::Kind::kBetween: {
+      MOSAIC_ASSIGN_OR_RETURN(Value v,
+                              EvaluateExpr(*expr.child, table, row,
+                                           agg_values));
+      MOSAIC_ASSIGN_OR_RETURN(Value lo,
+                              EvaluateExpr(*expr.between_lo, table, row,
+                                           agg_values));
+      MOSAIC_ASSIGN_OR_RETURN(Value hi,
+                              EvaluateExpr(*expr.between_hi, table, row,
+                                           agg_values));
+      return Value(!(v < lo) && !(hi < v));
+    }
+  }
+  return Status::Internal("unreachable bound expression kind");
+}
+
+Result<std::vector<size_t>> FilterRows(const Table& table,
+                                       const sql::Expr& predicate) {
+  Binder binder(&table.schema());
+  MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(predicate));
+  if (bound->type != DataType::kBool) {
+    return Status::TypeError("WHERE predicate must be boolean, got " +
+                             std::string(DataTypeName(bound->type)));
+  }
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    MOSAIC_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*bound, table, r));
+    if (v.AsBool()) rows.push_back(r);
+  }
+  return rows;
+}
+
+Result<Value> EvaluateScalarOnRow(const Table& table, size_t row,
+                                  const sql::Expr& expr) {
+  Binder binder(&table.schema());
+  MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(expr));
+  return EvaluateExpr(*bound, table, row);
+}
+
+}  // namespace exec
+}  // namespace mosaic

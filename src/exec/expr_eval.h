@@ -1,0 +1,95 @@
+// Bound expressions and row-at-a-time evaluation.
+//
+// The binder resolves AST column names to column indices against a
+// schema and computes static result types; the evaluator then runs a
+// bound expression over table rows. Aggregates never appear inside
+// bound scalar expressions — the executor lifts them out first
+// (see executor.h).
+#ifndef MOSAIC_EXEC_EXPR_EVAL_H_
+#define MOSAIC_EXEC_EXPR_EVAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace exec {
+
+struct BoundExpr;
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+struct BoundExpr {
+  enum class Kind {
+    kLiteral,
+    kColumnRef,
+    kUnary,
+    kBinary,
+    kIn,
+    kBetween,
+    kAggResult,  ///< reference to a pre-computed aggregate slot
+  };
+
+  Kind kind;
+  DataType type = DataType::kNull;  ///< static result type
+
+  Value literal;                      // kLiteral
+  size_t column_index = 0;            // kColumnRef
+  sql::UnaryOp unary_op = sql::UnaryOp::kNot;
+  sql::BinaryOp binary_op = sql::BinaryOp::kEq;
+  BoundExprPtr child;
+  BoundExprPtr left;
+  BoundExprPtr right;
+  BoundExprPtr between_lo;
+  BoundExprPtr between_hi;
+  std::vector<Value> in_list;
+  size_t agg_slot = 0;                // kAggResult
+};
+
+/// Binds scalar (non-aggregate) expressions against a schema.
+/// `agg_slots` optionally maps aggregate AST nodes to result slots for
+/// use in post-aggregation projection (executor internal).
+class Binder {
+ public:
+  explicit Binder(const Schema* schema) : schema_(schema) {}
+
+  /// Bind a scalar expression. Errors on aggregates unless an
+  /// aggregate mapper is installed via set_aggregate_mapper.
+  Result<BoundExprPtr> Bind(const sql::Expr& expr);
+
+  /// Install a callback that maps an aggregate AST node to a slot
+  /// index (used when projecting SELECT items after aggregation).
+  using AggregateMapper = Result<size_t> (*)(const sql::Expr&, void*);
+  void set_aggregate_mapper(AggregateMapper mapper, void* ctx) {
+    agg_mapper_ = mapper;
+    agg_ctx_ = ctx;
+  }
+
+ private:
+  const Schema* schema_;
+  AggregateMapper agg_mapper_ = nullptr;
+  void* agg_ctx_ = nullptr;
+};
+
+/// Evaluate a bound expression for one row of `table`. For
+/// kAggResult nodes, `agg_values` supplies the slot values.
+Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
+                           size_t row,
+                           const std::vector<Value>* agg_values = nullptr);
+
+/// Evaluate a predicate over every row; returns indices where it is
+/// true. The predicate must be aggregate-free and boolean-typed.
+Result<std::vector<size_t>> FilterRows(const Table& table,
+                                       const sql::Expr& predicate);
+
+/// Convenience: bind + evaluate an aggregate-free expression on one
+/// row.
+Result<Value> EvaluateScalarOnRow(const Table& table, size_t row,
+                                  const sql::Expr& expr);
+
+}  // namespace exec
+}  // namespace mosaic
+
+#endif  // MOSAIC_EXEC_EXPR_EVAL_H_

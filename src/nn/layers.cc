@@ -1,0 +1,203 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace mosaic {
+namespace nn {
+
+// --------------------------------------------------------------------------
+// Linear
+// --------------------------------------------------------------------------
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
+    : weight_(Matrix::XavierUniform(in_features, out_features, rng)),
+      bias_(Matrix(1, out_features)) {}
+
+Matrix Linear::Forward(const Matrix& x, bool /*training*/) {
+  cached_input_ = x;
+  Matrix y = Matrix::MatMul(x, weight_.value);
+  for (size_t i = 0; i < y.rows(); ++i) {
+    for (size_t j = 0; j < y.cols(); ++j) {
+      y.at(i, j) += bias_.value.at(0, j);
+    }
+  }
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& dy) {
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T
+  weight_.grad.AddScaled(Matrix::MatMulTransA(cached_input_, dy), 1.0);
+  for (size_t i = 0; i < dy.rows(); ++i) {
+    for (size_t j = 0; j < dy.cols(); ++j) {
+      bias_.grad.at(0, j) += dy.at(i, j);
+    }
+  }
+  return Matrix::MatMulTransB(dy, weight_.value);
+}
+
+// --------------------------------------------------------------------------
+// ReLU
+// --------------------------------------------------------------------------
+
+Matrix ReLU::Forward(const Matrix& x, bool /*training*/) {
+  cached_input_ = x;
+  Matrix y = x;
+  for (double& v : y.data()) {
+    if (v < 0.0) v = 0.0;
+  }
+  return y;
+}
+
+Matrix ReLU::Backward(const Matrix& dy) {
+  Matrix dx = dy;
+  for (size_t i = 0; i < dx.size(); ++i) {
+    if (cached_input_.data()[i] <= 0.0) dx.data()[i] = 0.0;
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------------------
+// BatchNorm1d
+// --------------------------------------------------------------------------
+
+BatchNorm1d::BatchNorm1d(size_t features, double momentum, double epsilon)
+    : gamma_(Matrix(1, features, 1.0)),
+      beta_(Matrix(1, features, 0.0)),
+      running_mean_(1, features, 0.0),
+      running_var_(1, features, 1.0),
+      momentum_(momentum),
+      epsilon_(epsilon) {}
+
+Matrix BatchNorm1d::Forward(const Matrix& x, bool training) {
+  size_t n = x.rows(), f = x.cols();
+  Matrix y(n, f);
+  cached_xhat_ = Matrix(n, f);
+  cached_inv_std_.assign(f, 0.0);
+  cached_batch_ = n;
+  for (size_t j = 0; j < f; ++j) {
+    double mean, var;
+    if (training && n > 1) {
+      mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += x.at(i, j);
+      mean /= static_cast<double>(n);
+      var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = x.at(i, j) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      running_mean_.at(0, j) = (1.0 - momentum_) * running_mean_.at(0, j) +
+                               momentum_ * mean;
+      running_var_.at(0, j) =
+          (1.0 - momentum_) * running_var_.at(0, j) + momentum_ * var;
+    } else {
+      mean = running_mean_.at(0, j);
+      var = running_var_.at(0, j);
+    }
+    double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    cached_inv_std_[j] = inv_std;
+    for (size_t i = 0; i < n; ++i) {
+      double xhat = (x.at(i, j) - mean) * inv_std;
+      cached_xhat_.at(i, j) = xhat;
+      y.at(i, j) = gamma_.value.at(0, j) * xhat + beta_.value.at(0, j);
+    }
+  }
+  return y;
+}
+
+Matrix BatchNorm1d::Backward(const Matrix& dy) {
+  // Standard batch-norm backward (training-mode batch statistics).
+  size_t n = dy.rows(), f = dy.cols();
+  Matrix dx(n, f);
+  double inv_n = 1.0 / static_cast<double>(cached_batch_);
+  for (size_t j = 0; j < f; ++j) {
+    double g = gamma_.value.at(0, j);
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum_dy += dy.at(i, j);
+      sum_dy_xhat += dy.at(i, j) * cached_xhat_.at(i, j);
+    }
+    gamma_.grad.at(0, j) += sum_dy_xhat;
+    beta_.grad.at(0, j) += sum_dy;
+    for (size_t i = 0; i < n; ++i) {
+      double xhat = cached_xhat_.at(i, j);
+      dx.at(i, j) = g * cached_inv_std_[j] *
+                    (dy.at(i, j) - inv_n * sum_dy - inv_n * xhat *
+                                                        sum_dy_xhat);
+    }
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------------------
+// SoftmaxBlock
+// --------------------------------------------------------------------------
+
+SoftmaxBlock::SoftmaxBlock(size_t start_col, size_t width)
+    : start_(start_col), width_(width) {}
+
+Matrix SoftmaxBlock::Forward(const Matrix& x, bool /*training*/) {
+  Matrix y = x;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double max_v = -1e300;
+    for (size_t j = start_; j < start_ + width_; ++j) {
+      max_v = std::max(max_v, x.at(i, j));
+    }
+    double denom = 0.0;
+    for (size_t j = start_; j < start_ + width_; ++j) {
+      denom += std::exp(x.at(i, j) - max_v);
+    }
+    for (size_t j = start_; j < start_ + width_; ++j) {
+      y.at(i, j) = std::exp(x.at(i, j) - max_v) / denom;
+    }
+  }
+  cached_output_ = y;
+  return y;
+}
+
+Matrix SoftmaxBlock::Backward(const Matrix& dy) {
+  Matrix dx = dy;
+  for (size_t i = 0; i < dy.rows(); ++i) {
+    // Jacobian of softmax within the block: ds_j/dz_k = s_j(δ_jk - s_k).
+    double dot = 0.0;
+    for (size_t j = start_; j < start_ + width_; ++j) {
+      dot += dy.at(i, j) * cached_output_.at(i, j);
+    }
+    for (size_t j = start_; j < start_ + width_; ++j) {
+      double s = cached_output_.at(i, j);
+      dx.at(i, j) = s * (dy.at(i, j) - dot);
+    }
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------------------
+// Sequential
+// --------------------------------------------------------------------------
+
+Matrix Sequential::Forward(const Matrix& x, bool training) {
+  Matrix cur = x;
+  for (auto& layer : layers_) {
+    cur = layer->Forward(cur, training);
+  }
+  return cur;
+}
+
+Matrix Sequential::Backward(const Matrix& dy) {
+  Matrix cur = dy;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    cur = layers_[i]->Backward(cur);
+  }
+  return cur;
+}
+
+std::vector<Parameter*> Sequential::Params() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace mosaic

@@ -1,0 +1,133 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// This is everything §5.3's generator configurations need: fully
+// connected layers, ReLU, batch normalization "after each layer", and
+// a softmax block over the one-hot columns of the categorical
+// attribute ("we add a softmax layer for the categorical variable").
+// Each layer caches what its backward pass needs; Backward must be
+// called right after the matching Forward.
+#ifndef MOSAIC_NN_LAYERS_H_
+#define MOSAIC_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace mosaic {
+namespace nn {
+
+/// A trainable tensor and its gradient accumulator.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  explicit Parameter(Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output. `training` switches batch-norm between
+  /// batch statistics and running statistics.
+  virtual Matrix Forward(const Matrix& x, bool training) = 0;
+
+  /// Propagate the loss gradient; accumulates into parameter grads and
+  /// returns d(loss)/d(input).
+  virtual Matrix Backward(const Matrix& dy) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> Params() { return {}; }
+};
+
+/// Fully connected: y = x W + b, W is (in x out).
+class Linear : public Layer {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng);
+
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& dy) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+
+  size_t in_features() const { return weight_.value.rows(); }
+  size_t out_features() const { return weight_.value.cols(); }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;  // 1 x out
+  Matrix cached_input_;
+};
+
+class ReLU : public Layer {
+ public:
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& dy) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Per-feature batch normalization with learned scale/shift and
+/// running statistics for eval mode.
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(size_t features, double momentum = 0.1,
+                       double epsilon = 1e-5);
+
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& dy) override;
+  std::vector<Parameter*> Params() override { return {&gamma_, &beta_}; }
+
+ private:
+  Parameter gamma_;  // 1 x features
+  Parameter beta_;   // 1 x features
+  Matrix running_mean_;
+  Matrix running_var_;
+  double momentum_, epsilon_;
+  // Backward caches.
+  Matrix cached_xhat_;
+  std::vector<double> cached_inv_std_;
+  size_t cached_batch_ = 0;
+};
+
+/// Softmax over a contiguous block of columns (the one-hot columns of
+/// one categorical attribute); identity on the rest.
+class SoftmaxBlock : public Layer {
+ public:
+  SoftmaxBlock(size_t start_col, size_t width);
+
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& dy) override;
+
+ private:
+  size_t start_, width_;
+  Matrix cached_output_;
+};
+
+/// Layer pipeline.
+class Sequential {
+ public:
+  template <typename L, typename... Args>
+  L* Add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* ptr = layer.get();
+    layers_.push_back(std::move(layer));
+    return ptr;
+  }
+
+  Matrix Forward(const Matrix& x, bool training);
+  Matrix Backward(const Matrix& dy);
+  std::vector<Parameter*> Params();
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace nn
+}  // namespace mosaic
+
+#endif  // MOSAIC_NN_LAYERS_H_

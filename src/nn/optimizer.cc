@@ -1,0 +1,70 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mosaic {
+namespace nn {
+
+Adam::Adam(std::vector<Parameter*> params, const AdamOptions& options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    auto& value = params_[p]->value.data();
+    auto& grad = params_[p]->grad.data();
+    auto& m = m_[p].data();
+    auto& v = v_[p].data();
+    for (size_t i = 0; i < value.size(); ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * grad[i];
+      v[i] = options_.beta2 * v[i] +
+             (1.0 - options_.beta2) * grad[i] * grad[i];
+      double mhat = m[i] / bc1;
+      double vhat = v[i] / bc2;
+      value[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.epsilon);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->grad.Zero();
+}
+
+PlateauScheduler::PlateauScheduler(Adam* optimizer, size_t patience,
+                                   double factor, double min_lr)
+    : optimizer_(optimizer),
+      patience_(patience),
+      factor_(factor),
+      min_lr_(min_lr),
+      best_loss_(std::numeric_limits<double>::infinity()) {}
+
+bool PlateauScheduler::Observe(double loss) {
+  if (loss < best_loss_ - 1e-12) {
+    best_loss_ = loss;
+    since_best_ = 0;
+    return false;
+  }
+  ++since_best_;
+  if (since_best_ >= patience_) {
+    since_best_ = 0;
+    double new_lr = std::max(min_lr_, optimizer_->lr() * factor_);
+    if (new_lr < optimizer_->lr()) {
+      optimizer_->set_lr(new_lr);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nn
+}  // namespace mosaic

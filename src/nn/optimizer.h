@@ -1,0 +1,68 @@
+// Adam optimizer with the learning-rate-on-plateau schedule §5.3
+// describes: "Pytorch's Adam optimizer with the default settings and
+// an initial learning rate of 0.001 that decreases by a factor of 10
+// if a plateau is reached during training."
+#ifndef MOSAIC_NN_OPTIMIZER_H_
+#define MOSAIC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace mosaic {
+namespace nn {
+
+struct AdamOptions {
+  double lr = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, const AdamOptions& options = {});
+
+  /// Apply one update from the accumulated gradients.
+  void Step();
+
+  /// Clear accumulated gradients.
+  void ZeroGrad();
+
+  double lr() const { return options_.lr; }
+  void set_lr(double lr) { options_.lr = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamOptions options_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  size_t t_ = 0;
+};
+
+/// Reduce-LR-on-plateau: call Observe(loss) once per epoch; when the
+/// best loss has not improved for `patience` epochs, the LR is
+/// multiplied by `factor` (down to `min_lr`).
+class PlateauScheduler {
+ public:
+  PlateauScheduler(Adam* optimizer, size_t patience = 5,
+                   double factor = 0.1, double min_lr = 1e-7);
+
+  /// Returns true when this call reduced the learning rate.
+  bool Observe(double loss);
+
+  double best_loss() const { return best_loss_; }
+
+ private:
+  Adam* optimizer_;
+  size_t patience_;
+  double factor_;
+  double min_lr_;
+  double best_loss_;
+  size_t since_best_ = 0;
+};
+
+}  // namespace nn
+}  // namespace mosaic
+
+#endif  // MOSAIC_NN_OPTIMIZER_H_

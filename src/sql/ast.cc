@@ -1,0 +1,213 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace mosaic {
+namespace sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+const char* VisibilityName(Visibility v) {
+  switch (v) {
+    case Visibility::kDefault:
+      return "DEFAULT";
+    case Visibility::kClosed:
+      return "CLOSED";
+    case Visibility::kSemiOpen:
+      return "SEMI-OPEN";
+    case Visibility::kOpen:
+      return "OPEN";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->column = column;
+  out->unary_op = unary_op;
+  out->binary_op = binary_op;
+  if (child) out->child = child->Clone();
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  if (between_lo) out->between_lo = between_lo->Clone();
+  if (between_hi) out->between_hi = between_hi->Clone();
+  out->in_list = in_list;
+  out->agg_func = agg_func;
+  out->agg_is_star = agg_is_star;
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumnRef:
+      return column;
+    case Kind::kUnary:
+      return std::string(unary_op == UnaryOp::kNot ? "NOT " : "-") +
+             child->ToString();
+    case Kind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpName(binary_op) + " " +
+             right->ToString() + ")";
+    case Kind::kIn: {
+      std::vector<std::string> vals;
+      vals.reserve(in_list.size());
+      for (const auto& v : in_list) vals.push_back(v.ToString());
+      return child->ToString() + " IN (" + Join(vals, ", ") + ")";
+    }
+    case Kind::kBetween:
+      return child->ToString() + " BETWEEN " + between_lo->ToString() +
+             " AND " + between_hi->ToString();
+    case Kind::kAggregate:
+      return std::string(AggFuncName(agg_func)) + "(" +
+             (agg_is_star ? "*" : child->ToString()) + ")";
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == Kind::kAggregate) return true;
+  for (const Expr* e : {child.get(), left.get(), right.get(),
+                        between_lo.get(), between_hi.get()}) {
+    if (e != nullptr && e->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeColumnRef(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->unary_op = op;
+  e->child = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(lhs);
+  e->right = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::MakeIn(ExprPtr subject, std::vector<Value> list) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIn;
+  e->child = std::move(subject);
+  e->in_list = std::move(list);
+  return e;
+}
+
+ExprPtr Expr::MakeBetween(ExprPtr subject, ExprPtr lo, ExprPtr hi) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBetween;
+  e->child = std::move(subject);
+  e->between_lo = std::move(lo);
+  e->between_hi = std::move(hi);
+  return e;
+}
+
+ExprPtr Expr::MakeAggregate(AggFunc func, ExprPtr arg, bool star) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg_func = func;
+  e->child = std::move(arg);
+  e->agg_is_star = star;
+  return e;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (visibility != Visibility::kDefault) {
+    out += std::string(VisibilityName(visibility)) + " ";
+  }
+  if (select_star) {
+    out += "*";
+  } else {
+    std::vector<std::string> parts;
+    parts.reserve(items.size());
+    for (const auto& item : items) {
+      std::string s = item.expr->ToString();
+      if (!item.alias.empty()) s += " AS " + item.alias;
+      parts.push_back(std::move(s));
+    }
+    out += Join(parts, ", ");
+  }
+  out += " FROM " + from;
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) out += " GROUP BY " + Join(group_by, ", ");
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& o : order_by) {
+      parts.push_back(o.column + (o.descending ? " DESC" : ""));
+    }
+    out += " ORDER BY " + Join(parts, ", ");
+  }
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace mosaic

@@ -1,0 +1,226 @@
+// Abstract syntax tree for Mosaic SQL, including the paper's
+// extensions: CREATE [GLOBAL] POPULATION, CREATE SAMPLE ... USING
+// MECHANISM, CREATE METADATA, and the SELECT visibility keyword
+// (CLOSED | SEMI-OPEN | OPEN).
+#ifndef MOSAIC_SQL_AST_H_
+#define MOSAIC_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace mosaic {
+namespace sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+/// Aggregate functions supported over (possibly weighted) samples.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* BinaryOpName(BinaryOp op);
+const char* AggFuncName(AggFunc func);
+
+struct Expr {
+  enum class Kind {
+    kLiteral,    ///< constant Value
+    kColumnRef,  ///< bare column name
+    kUnary,
+    kBinary,
+    kIn,         ///< expr IN (v1, v2, ...)
+    kBetween,    ///< expr BETWEEN lo AND hi
+    kAggregate,  ///< COUNT(*) / SUM(e) / AVG(e) / MIN(e) / MAX(e)
+  };
+
+  Kind kind;
+
+  // kLiteral
+  Value literal;
+  // kColumnRef
+  std::string column;
+  // kUnary / kBinary / kIn / kBetween / kAggregate argument slots
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kEq;
+  ExprPtr child;          // unary operand / IN & BETWEEN subject / agg arg
+  ExprPtr left;           // binary lhs
+  ExprPtr right;          // binary rhs
+  ExprPtr between_lo;
+  ExprPtr between_hi;
+  std::vector<Value> in_list;
+  AggFunc agg_func = AggFunc::kCount;
+  bool agg_is_star = false;  ///< COUNT(*)
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// Readable rendering for error messages and tests.
+  std::string ToString() const;
+
+  /// True if this subtree contains an aggregate node.
+  bool ContainsAggregate() const;
+
+  // Factory helpers.
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumnRef(std::string name);
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeIn(ExprPtr subject, std::vector<Value> list);
+  static ExprPtr MakeBetween(ExprPtr subject, ExprPtr lo, ExprPtr hi);
+  static ExprPtr MakeAggregate(AggFunc func, ExprPtr arg, bool star);
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// Query visibility level (§3.3 of the paper). kDefault means the
+/// user wrote no keyword: auxiliary tables run as plain SQL; for
+/// population targets Mosaic falls back to CLOSED, the conservative
+/// choice (no reweighting, no generated tuples).
+enum class Visibility { kDefault, kClosed, kSemiOpen, kOpen };
+
+const char* VisibilityName(Visibility v);
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< empty = derive from the expression
+};
+
+struct OrderByItem {
+  std::string column;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  Visibility visibility = Visibility::kDefault;
+  bool select_star = false;       ///< SELECT *
+  std::vector<SelectItem> items;  ///< empty when select_star
+  std::string from;               ///< single relation name
+  ExprPtr where;                  ///< may be null
+  std::vector<std::string> group_by;
+  ExprPtr having;                 ///< may be null; aggregates allowed
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::string ToString() const;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  bool temporary = false;
+  std::vector<ColumnDef> columns;
+};
+
+/// Sampling mechanism clause (CREATE SAMPLE ... USING MECHANISM ...).
+struct MechanismSpec {
+  enum class Type { kNone, kUniform, kStratified };
+  Type type = Type::kNone;
+  std::string stratify_attr;  ///< for kStratified
+  double percent = 0.0;       ///< sample size as percent of the GP
+
+  bool has_mechanism() const { return type != Type::kNone; }
+};
+
+struct CreatePopulationStmt {
+  std::string name;
+  bool global = false;
+  std::vector<ColumnDef> columns;           ///< may be empty when AS used
+  std::unique_ptr<SelectStmt> as_select;    ///< defines non-global pops
+};
+
+struct CreateSampleStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;  ///< may be empty (inherit from select)
+  std::unique_ptr<SelectStmt> as_select;  ///< SELECT ... FROM <gl_pop> ...
+  MechanismSpec mechanism;
+};
+
+struct CreateMetadataStmt {
+  std::string name;
+  /// Population the metadata describes. Comes from `FOR <pop>` when
+  /// present, else derived from the `<pop>_Mk` naming convention the
+  /// paper uses in §2.
+  std::string population;
+  std::unique_ptr<SelectStmt> as_select;  ///< SELECT A[,B], COUNT(*) ... GROUP BY
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct CopyStmt {
+  std::string table;
+  std::string path;  ///< CSV file
+};
+
+struct DropStmt {
+  enum class Target { kTable, kPopulation, kSample, kMetadata };
+  Target target = Target::kTable;
+  std::string name;
+  bool if_exists = false;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< may be null
+};
+
+/// SHOW TABLES | POPULATIONS | SAMPLES | METADATA — catalog
+/// introspection (used by the interactive shell).
+struct ShowStmt {
+  enum class What { kTables, kPopulations, kSamples, kMetadata };
+  What what = What::kTables;
+};
+
+struct Statement {
+  std::variant<SelectStmt, CreateTableStmt, CreatePopulationStmt,
+               CreateSampleStmt, CreateMetadataStmt, InsertStmt, CopyStmt,
+               DropStmt, UpdateStmt, ShowStmt>
+      node;
+
+  template <typename T>
+  bool Is() const {
+    return std::holds_alternative<T>(node);
+  }
+  template <typename T>
+  const T& As() const {
+    return std::get<T>(node);
+  }
+  template <typename T>
+  T& As() {
+    return std::get<T>(node);
+  }
+};
+
+}  // namespace sql
+}  // namespace mosaic
+
+#endif  // MOSAIC_SQL_AST_H_

@@ -1,0 +1,55 @@
+// Token stream definitions for Mosaic's SQL dialect.
+#ifndef MOSAIC_SQL_TOKEN_H_
+#define MOSAIC_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mosaic {
+namespace sql {
+
+enum class TokenType {
+  // Literals / identifiers
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // Punctuation & operators
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,        // =
+  kNe,        // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kDot,
+  // Keywords (subset; the lexer marks any known keyword)
+  kKeyword,
+  kEof,
+};
+
+/// One lexed token. For kKeyword, `text` holds the upper-cased keyword.
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;        ///< identifier name / keyword / literal text
+  int64_t int_value = 0;   ///< valid for kIntLiteral
+  double double_value = 0; ///< valid for kDoubleLiteral
+  size_t offset = 0;       ///< byte offset in the input (for errors)
+
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Printable description used in parser error messages.
+std::string TokenTypeName(TokenType type);
+
+}  // namespace sql
+}  // namespace mosaic
+
+#endif  // MOSAIC_SQL_TOKEN_H_

@@ -1,0 +1,69 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mosaic {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0.0) {
+  assert(hi > lo);
+  assert(num_bins >= 1);
+  width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+Histogram Histogram::FromData(const std::vector<double>& xs, double lo,
+                              double hi, size_t num_bins) {
+  Histogram h(lo, hi, num_bins);
+  for (double x : xs) h.Add(x);
+  return h;
+}
+
+Histogram Histogram::FromWeightedData(const std::vector<double>& xs,
+                                      const std::vector<double>& ws,
+                                      double lo, double hi, size_t num_bins) {
+  assert(xs.size() == ws.size());
+  Histogram h(lo, hi, num_bins);
+  for (size_t i = 0; i < xs.size(); ++i) h.Add(xs[i], ws[i]);
+  return h;
+}
+
+void Histogram::Add(double x, double w) {
+  counts_[BinOf(x)] += w;
+  total_ += w;
+}
+
+size_t Histogram::BinOf(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  size_t bin = static_cast<size_t>((x - lo_) / width_);
+  return std::min(bin, counts_.size() - 1);
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+Result<double> Histogram::TotalVariation(const Histogram& a,
+                                         const Histogram& b) {
+  if (a.num_bins() != b.num_bins() || a.lo() != b.lo() || a.hi() != b.hi()) {
+    return Status::InvalidArgument(
+        "TotalVariation requires identical binning");
+  }
+  auto pa = a.Normalized();
+  auto pb = b.Normalized();
+  double l1 = 0.0;
+  for (size_t i = 0; i < pa.size(); ++i) l1 += std::fabs(pa[i] - pb[i]);
+  return 0.5 * l1;
+}
+
+}  // namespace stats
+}  // namespace mosaic

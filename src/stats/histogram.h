@@ -1,0 +1,64 @@
+// Equi-width 1-D histograms over doubles, with weights. Used for
+// marginal construction over continuous attributes and for
+// distribution diagnostics in tests and benches.
+#ifndef MOSAIC_STATS_HISTOGRAM_H_
+#define MOSAIC_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mosaic {
+namespace stats {
+
+class Histogram {
+ public:
+  /// Equi-width bins over [lo, hi]; values outside are clamped into
+  /// the edge bins. Requires hi > lo and num_bins >= 1.
+  Histogram(double lo, double hi, size_t num_bins);
+
+  /// Build from data with unit weights.
+  static Histogram FromData(const std::vector<double>& xs, double lo,
+                            double hi, size_t num_bins);
+
+  /// Build from weighted data.
+  static Histogram FromWeightedData(const std::vector<double>& xs,
+                                    const std::vector<double>& ws, double lo,
+                                    double hi, size_t num_bins);
+
+  void Add(double x, double w = 1.0);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+
+  /// Bin index for a value (clamped to [0, num_bins-1]).
+  size_t BinOf(double x) const;
+
+  /// Center of a bin.
+  double BinCenter(size_t bin) const;
+
+  double count(size_t bin) const { return counts_[bin]; }
+  const std::vector<double>& counts() const { return counts_; }
+  double total() const { return total_; }
+
+  /// Probability mass per bin (empty histogram -> all zeros).
+  std::vector<double> Normalized() const;
+
+  /// Total variation distance between two histograms with identical
+  /// binning (0.5 * L1 of normalized masses).
+  static Result<double> TotalVariation(const Histogram& a,
+                                       const Histogram& b);
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace mosaic
+
+#endif  // MOSAIC_STATS_HISTOGRAM_H_

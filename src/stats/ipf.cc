@@ -1,0 +1,125 @@
+#include "stats/ipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mosaic {
+namespace stats {
+
+Result<IpfReport> IterativeProportionalFit(
+    const Table& sample, const std::vector<Marginal>& marginals,
+    std::vector<double>* weights, const IpfOptions& options) {
+  if (weights == nullptr || weights->size() != sample.num_rows()) {
+    return Status::InvalidArgument("weights must match sample row count");
+  }
+  if (marginals.empty()) {
+    return Status::InvalidArgument("IPF needs at least one marginal");
+  }
+  if (sample.num_rows() == 0) {
+    return Status::InvalidArgument("IPF over empty sample");
+  }
+  for (double w : *weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("initial weights must be >= 0");
+    }
+  }
+
+  // Precompute per-marginal cell ids for every row.
+  std::vector<std::vector<int64_t>> cells(marginals.size());
+  for (size_t m = 0; m < marginals.size(); ++m) {
+    MOSAIC_ASSIGN_OR_RETURN(cells[m], marginals[m].CellIds(sample));
+  }
+
+  // Uncovered target mass: cells with target > 0 but no sample rows.
+  double uncovered = 0.0;
+  for (size_t m = 0; m < marginals.size(); ++m) {
+    std::vector<bool> covered(marginals[m].NumCells(), false);
+    for (int64_t c : cells[m]) {
+      if (c >= 0) covered[static_cast<size_t>(c)] = true;
+    }
+    double miss = 0.0;
+    for (size_t c = 0; c < marginals[m].NumCells(); ++c) {
+      if (!covered[c]) miss += marginals[m].count(c);
+    }
+    uncovered += miss / marginals[m].total();
+  }
+  uncovered /= static_cast<double>(marginals.size());
+
+  IpfReport report;
+  report.uncovered_target_mass = uncovered;
+
+  std::vector<double>& w = *weights;
+  std::vector<double> cell_mass;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // One raking cycle: scale to each marginal in turn.
+    for (size_t m = 0; m < marginals.size(); ++m) {
+      const Marginal& marg = marginals[m];
+      cell_mass.assign(marg.NumCells(), 0.0);
+      double covered_weight = 0.0;
+      for (size_t r = 0; r < w.size(); ++r) {
+        if (cells[m][r] >= 0) {
+          cell_mass[static_cast<size_t>(cells[m][r])] += w[r];
+          covered_weight += w[r];
+        }
+      }
+      if (covered_weight <= 0.0) {
+        return Status::ExecutionError(
+            "IPF: sample has zero weight in the support of marginal over (" +
+            marg.binning(0).attr() + ")");
+      }
+      // Target restricted to covered cells, renormalized so each
+      // raking step matches the achievable distribution.
+      double covered_target = 0.0;
+      for (size_t c = 0; c < marg.NumCells(); ++c) {
+        if (cell_mass[c] > 0.0) covered_target += marg.count(c);
+      }
+      if (covered_target <= 0.0) {
+        return Status::ExecutionError(
+            "IPF: no overlap between sample and marginal support");
+      }
+      for (size_t r = 0; r < w.size(); ++r) {
+        int64_t c = cells[m][r];
+        if (c < 0) continue;
+        double cur = cell_mass[static_cast<size_t>(c)];
+        if (cur <= 0.0) continue;
+        double target = marg.count(static_cast<size_t>(c)) / covered_target;
+        double current = cur / covered_weight;
+        if (current > 0.0) {
+          w[r] *= target / current;
+        }
+      }
+    }
+    report.iterations = iter + 1;
+
+    // Convergence check on the normalized L1 error of every marginal.
+    double max_err = 0.0;
+    for (size_t m = 0; m < marginals.size(); ++m) {
+      MOSAIC_ASSIGN_OR_RETURN(double err, marginals[m].L1Error(sample, w));
+      // Subtract the irreducible uncovered part of this marginal so
+      // convergence is judged on what reweighting can actually fix.
+      max_err = std::max(max_err, err);
+    }
+    report.max_l1_error = max_err;
+    if (max_err <= options.tolerance + 2.0 * uncovered) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  if (options.scale_to_population) {
+    double avg_total = 0.0;
+    for (const auto& m : marginals) avg_total += m.total();
+    avg_total /= static_cast<double>(marginals.size());
+    double w_total = 0.0;
+    for (double x : w) w_total += x;
+    if (w_total > 0.0) {
+      double scale = avg_total / w_total;
+      for (double& x : w) x *= scale;
+    }
+  }
+  return report;
+}
+
+}  // namespace stats
+}  // namespace mosaic

@@ -1,0 +1,62 @@
+// Iterative Proportional Fitting (raking / Sinkhorn matrix scaling):
+// Mosaic's SEMI-OPEN debiasing technique when the sampling mechanism
+// is unknown (§4.1, inherited from Themis [42]; classic reference is
+// Deming & Stephan 1940 [13]).
+//
+// Given a sample and a set of population marginals, IPF rescales the
+// per-tuple weights so that the weighted sample reproduces every
+// marginal: it cycles through the marginals and, for each cell,
+// multiplies the weights of the sample tuples falling in that cell by
+// target_mass / current_mass. With consistent marginals this
+// converges to the maximum-entropy reweighting subject to the
+// marginal constraints.
+//
+// Cells with positive target mass but *no* sample tuples cannot be
+// fixed by reweighting — those are exactly the false negatives the
+// paper attributes to SEMI-OPEN queries (§3.3); the report exposes the
+// uncovered mass so callers can quantify it.
+#ifndef MOSAIC_STATS_IPF_H_
+#define MOSAIC_STATS_IPF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/marginal.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace stats {
+
+struct IpfOptions {
+  size_t max_iterations = 200;  ///< full cycles through all marginals
+  /// Converged when the max normalized L1 marginal error (see
+  /// Marginal::L1Error) across marginals falls below this.
+  double tolerance = 1e-6;
+  /// Scale the final weights so the total equals the (average)
+  /// marginal total — i.e. the weighted sample represents the
+  /// population size, not the sample size.
+  bool scale_to_population = true;
+};
+
+struct IpfReport {
+  size_t iterations = 0;
+  double max_l1_error = 0.0;  ///< at exit, across all marginals
+  bool converged = false;
+  /// Fraction of target mass (averaged over marginals) living in
+  /// cells with zero sample coverage: reweighting can never recover
+  /// it (SEMI-OPEN false negatives).
+  double uncovered_target_mass = 0.0;
+};
+
+/// Run IPF. `weights` must have one entry per sample row; it is used
+/// as the starting point (the paper initializes weights to 1) and is
+/// overwritten with the fitted weights. Rows outside a marginal's
+/// support keep their weight for that marginal's update.
+Result<IpfReport> IterativeProportionalFit(
+    const Table& sample, const std::vector<Marginal>& marginals,
+    std::vector<double>* weights, const IpfOptions& options = {});
+
+}  // namespace stats
+}  // namespace mosaic
+
+#endif  // MOSAIC_STATS_IPF_H_

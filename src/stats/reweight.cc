@@ -1,0 +1,54 @@
+#include "stats/reweight.h"
+
+namespace mosaic {
+namespace stats {
+
+Result<std::vector<double>> UniformMechanismWeights(size_t num_rows,
+                                                    double percent) {
+  if (percent <= 0.0 || percent > 100.0) {
+    return Status::InvalidArgument("percent must be in (0, 100]");
+  }
+  return std::vector<double>(num_rows, 100.0 / percent);
+}
+
+Result<std::vector<double>> UniformWeightsToPopulation(
+    size_t num_rows, double population_size) {
+  if (num_rows == 0) {
+    return Status::InvalidArgument("empty sample");
+  }
+  if (population_size <= 0.0) {
+    return Status::InvalidArgument("population size must be positive");
+  }
+  return std::vector<double>(num_rows,
+                             population_size / static_cast<double>(num_rows));
+}
+
+Result<std::vector<double>> StratifiedMechanismWeights(
+    const Table& sample, const std::string& attr,
+    const Marginal& population_marginal) {
+  if (population_marginal.arity() != 1 ||
+      population_marginal.binning(0).attr() != attr) {
+    return Status::InvalidArgument(
+        "stratified reweighting needs a 1-D population marginal over '" +
+        attr + "'");
+  }
+  MOSAIC_ASSIGN_OR_RETURN(auto cells, population_marginal.CellIds(sample));
+  // Count sample tuples per stratum.
+  std::vector<double> n_h(population_marginal.NumCells(), 0.0);
+  for (int64_t c : cells) {
+    if (c < 0) {
+      return Status::ExecutionError(
+          "sample tuple outside the stratification marginal's support");
+    }
+    n_h[static_cast<size_t>(c)] += 1.0;
+  }
+  std::vector<double> weights(sample.num_rows(), 1.0);
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    size_t h = static_cast<size_t>(cells[r]);
+    weights[r] = population_marginal.count(h) / n_h[h];
+  }
+  return weights;
+}
+
+}  // namespace stats
+}  // namespace mosaic

@@ -1,0 +1,41 @@
+// Known-mechanism reweighting (§4.1, "when the sampling mechanism is
+// known"): Horvitz–Thompson weights w(t) = 1 / Pr_S(t), plus the
+// uniform-reweighting baseline ("Unif") the paper compares against —
+// "the standard approximate query processing technique when there is
+// no knowledge of how the sample was generated" (§5.3).
+#ifndef MOSAIC_STATS_REWEIGHT_H_
+#define MOSAIC_STATS_REWEIGHT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/marginal.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace stats {
+
+/// Uniform mechanism with the given sampling percent: every tuple had
+/// inclusion probability percent/100, so every weight is 100/percent.
+Result<std::vector<double>> UniformMechanismWeights(size_t num_rows,
+                                                    double percent);
+
+/// Uniform reweighting to a known population size: w = N / n for all
+/// tuples (the paper's Unif baseline, which assumes nothing about the
+/// bias).
+Result<std::vector<double>> UniformWeightsToPopulation(
+    size_t num_rows, double population_size);
+
+/// Stratified mechanism on one attribute: within stratum h the
+/// inclusion probability is n_h / N_h, where n_h counts sample tuples
+/// in the stratum and N_h comes from a 1-D population marginal over
+/// the stratification attribute. Weights are N_h / n_h.
+Result<std::vector<double>> StratifiedMechanismWeights(
+    const Table& sample, const std::string& attr,
+    const Marginal& population_marginal);
+
+}  // namespace stats
+}  // namespace mosaic
+
+#endif  // MOSAIC_STATS_REWEIGHT_H_

@@ -1,0 +1,77 @@
+// Columnar storage. A Column is a typed vector; string columns are
+// dictionary-encoded (int32 codes + shared Dictionary). Columns are
+// non-nullable: Mosaic's sample/population relations are fully
+// materialized numeric/categorical data, and rejecting NULLs at append
+// time keeps the stats and NN encoders branch-free.
+#ifndef MOSAIC_STORAGE_COLUMN_H_
+#define MOSAIC_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace mosaic {
+
+class Column {
+ public:
+  /// Empty column of the given type (kInt64, kDouble, kString, kBool).
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  /// Append with coercion (int64 -> double column etc.). Errors on
+  /// NULL or non-coercible values.
+  Status Append(const Value& v);
+
+  /// Fast typed appends (require matching column type).
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(const std::string& s);
+  /// Append a pre-encoded dictionary code (string columns).
+  void AppendCode(int32_t code);
+
+  /// Value at a row (decodes strings).
+  Value GetValue(size_t row) const;
+
+  /// Numeric view of a row; errors for string columns.
+  Result<double> GetDouble(size_t row) const;
+
+  /// Dictionary code at a row (string columns only).
+  int32_t GetCode(size_t row) const;
+
+  /// Dictionary (string columns only).
+  const Dictionary& dictionary() const { return *dict_; }
+  const std::shared_ptr<Dictionary>& shared_dictionary() const {
+    return dict_;
+  }
+
+  /// Whole column as doubles; string columns yield their codes. Used
+  /// by the stats and NN layers, which treat categorical codes as
+  /// class indices.
+  std::vector<double> ToDoubleVector() const;
+
+  /// New column containing the given rows, in order. String columns
+  /// share this column's dictionary.
+  Column Gather(const std::vector<size_t>& rows) const;
+
+  /// Reserve capacity for n rows.
+  void Reserve(size_t n);
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<int32_t> codes_;
+  std::shared_ptr<Dictionary> dict_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_STORAGE_COLUMN_H_

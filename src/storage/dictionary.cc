@@ -1,0 +1,26 @@
+#include "storage/dictionary.h"
+
+#include <cassert>
+
+namespace mosaic {
+
+int32_t Dictionary::GetOrInsert(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(values_.size());
+  values_.push_back(s);
+  index_.emplace(s, code);
+  return code;
+}
+
+int32_t Dictionary::Find(const std::string& s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Decode(int32_t code) const {
+  assert(code >= 0 && static_cast<size_t>(code) < values_.size());
+  return values_[static_cast<size_t>(code)];
+}
+
+}  // namespace mosaic

@@ -1,0 +1,44 @@
+// String dictionary for categorical columns. Categorical attributes
+// (carrier, country, email provider, ...) are stored as int32 codes;
+// the dictionary maps codes <-> strings. The encoder (one-hot) and the
+// marginal builder read the dictionary directly, which is why
+// dictionary encoding is a storage-level concern in Mosaic rather than
+// a compression detail.
+#ifndef MOSAIC_STORAGE_DICTIONARY_H_
+#define MOSAIC_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mosaic {
+
+class Dictionary {
+ public:
+  /// Code for the string, inserting it if new. Codes are dense,
+  /// starting at 0, in first-seen order.
+  int32_t GetOrInsert(const std::string& s);
+
+  /// Code for the string, or -1 if absent.
+  int32_t Find(const std::string& s) const;
+
+  /// String for a valid code.
+  const std::string& Decode(int32_t code) const;
+
+  /// Number of distinct values.
+  size_t size() const { return values_.size(); }
+
+  /// All values in code order.
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_STORAGE_DICTIONARY_H_

@@ -1,0 +1,44 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace mosaic {
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto idx = FindColumn(name);
+  if (!idx) return Status::NotFound("no column named '" + name + "'");
+  return *idx;
+}
+
+Status Schema::AddColumn(ColumnDef def) {
+  if (FindColumn(def.name)) {
+    return Status::AlreadyExists("duplicate column '" + def.name + "'");
+  }
+  columns_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<ColumnDef> defs;
+  defs.reserve(indices.size());
+  for (size_t i : indices) defs.push_back(columns_[i]);
+  return Schema(std::move(defs));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(c.name + " " + DataTypeName(c.type));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace mosaic

@@ -1,0 +1,62 @@
+// Relation schemas: ordered, named, typed columns.
+#ifndef MOSAIC_STORAGE_SCHEMA_H_
+#define MOSAIC_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace mosaic {
+
+/// One column declaration.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of column definitions. Column names are matched
+/// case-insensitively, as in SQL.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with the given name (case-insensitive), or
+  /// nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Index of the column; NotFound status if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Append a column; errors on duplicate name.
+  Status AddColumn(ColumnDef def);
+
+  /// Sub-schema with the given column indices, in order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_STORAGE_SCHEMA_H_

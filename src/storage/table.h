@@ -1,0 +1,77 @@
+// In-memory columnar table: the storage unit behind every Mosaic
+// relation kind (auxiliary tables, sample relations, materialized
+// query results, generated open-world data).
+#ifndef MOSAIC_STORAGE_TABLE_H_
+#define MOSAIC_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace mosaic {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+
+  /// Column by name; NotFound if absent.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Append one row; values are coerced to column types.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Value at (row, col).
+  Value GetValue(size_t row, size_t col) const;
+
+  /// Whole row as Values.
+  std::vector<Value> GetRow(size_t row) const;
+
+  /// New table with only the given rows, in order.
+  Table Filter(const std::vector<size_t>& rows) const;
+
+  /// New table with only the given columns, in order.
+  Table Project(const std::vector<size_t>& column_indices) const;
+
+  /// Append every row of `other` (schemas must be equal).
+  Status Concat(const Table& other);
+
+  /// Add a column filled from `values` (size must equal num_rows, or
+  /// table must be empty).
+  Status AddColumn(ColumnDef def, const std::vector<Value>& values);
+
+  /// Add a double column from raw doubles (fast path used for weights).
+  Status AddDoubleColumn(const std::string& name,
+                         const std::vector<double>& values);
+
+  /// Row indices sorted by the given column ascending (stable).
+  std::vector<size_t> SortIndices(size_t col) const;
+
+  /// Pretty-print at most `limit` rows.
+  std::string ToString(size_t limit = 20) const;
+
+  /// Reserve row capacity in every column.
+  void Reserve(size_t n);
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_STORAGE_TABLE_H_

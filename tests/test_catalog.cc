@@ -1,0 +1,111 @@
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace core {
+namespace {
+
+PopulationInfo MakePop(const std::string& name, bool global) {
+  PopulationInfo p;
+  p.name = name;
+  p.global = global;
+  EXPECT_TRUE(p.schema.AddColumn({"x", DataType::kInt64}).ok());
+  return p;
+}
+
+SampleInfo MakeSample(const std::string& name, const std::string& pop) {
+  SampleInfo s;
+  s.name = name;
+  s.population = pop;
+  EXPECT_TRUE(s.schema.AddColumn({"x", DataType::kInt64}).ok());
+  s.data = Table(s.schema);
+  return s;
+}
+
+TEST(Catalog, AddAndGetCaseInsensitive) {
+  Catalog c;
+  ASSERT_TRUE(c.AddPopulation(MakePop("Flights", true)).ok());
+  EXPECT_TRUE(c.HasPopulation("FLIGHTS"));
+  auto p = c.GetPopulation("flights");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->name, "Flights");
+}
+
+TEST(Catalog, NamespaceSharedAcrossKinds) {
+  Catalog c;
+  ASSERT_TRUE(c.AddPopulation(MakePop("X", true)).ok());
+  EXPECT_EQ(c.AddSample(MakeSample("x", "X")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.AddTable("X", Table()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Catalog, SingleGlobalPopulationEnforced) {
+  Catalog c;
+  ASSERT_TRUE(c.AddPopulation(MakePop("GP1", true)).ok());
+  EXPECT_FALSE(c.AddPopulation(MakePop("GP2", true)).ok());
+  // Non-global additions are fine.
+  EXPECT_TRUE(c.AddPopulation(MakePop("Derived", false)).ok());
+  auto gp = c.GlobalPopulation();
+  ASSERT_TRUE(gp.ok());
+  EXPECT_EQ((*gp)->name, "GP1");
+}
+
+TEST(Catalog, GlobalPopulationMissing) {
+  Catalog c;
+  EXPECT_EQ(c.GlobalPopulation().status().code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, SamplesOfPopulation) {
+  Catalog c;
+  ASSERT_TRUE(c.AddPopulation(MakePop("GP", true)).ok());
+  ASSERT_TRUE(c.AddSample(MakeSample("s1", "GP")).ok());
+  ASSERT_TRUE(c.AddSample(MakeSample("s2", "GP")).ok());
+  ASSERT_TRUE(c.AddSample(MakeSample("s3", "Other")).ok());
+  EXPECT_EQ(c.SamplesOf("gp").size(), 2u);
+  EXPECT_EQ(c.SamplesOf("other").size(), 1u);
+  EXPECT_TRUE(c.SamplesOf("none").empty());
+}
+
+TEST(Catalog, DropOperations) {
+  Catalog c;
+  ASSERT_TRUE(c.AddPopulation(MakePop("GP", true)).ok());
+  ASSERT_TRUE(c.AddSample(MakeSample("s", "GP")).ok());
+  ASSERT_TRUE(c.AddTable("t", Table()).ok());
+  EXPECT_TRUE(c.DropSample("S").ok());
+  EXPECT_FALSE(c.HasSample("s"));
+  EXPECT_TRUE(c.DropTable("T").ok());
+  EXPECT_TRUE(c.DropPopulation("gp").ok());
+  EXPECT_EQ(c.DropPopulation("gp").code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, MetadataDropByName) {
+  Catalog c;
+  PopulationInfo p = MakePop("GP", true);
+  p.metadata_names.push_back("GP_M1");
+  auto m = stats::Marginal::FromCounts(
+      {stats::AttributeBinning::Categorical("x", {Value(int64_t{1})})},
+      {1.0});
+  ASSERT_TRUE(m.ok());
+  p.marginals.push_back(*m);
+  ASSERT_TRUE(c.AddPopulation(std::move(p)).ok());
+  EXPECT_TRUE(c.DropMetadata("gp_m1").ok());
+  auto pop = c.GetPopulation("GP");
+  ASSERT_TRUE(pop.ok());
+  EXPECT_TRUE((*pop)->marginals.empty());
+  EXPECT_EQ(c.DropMetadata("gp_m1").code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, NameListings) {
+  Catalog c;
+  ASSERT_TRUE(c.AddPopulation(MakePop("GP", true)).ok());
+  ASSERT_TRUE(c.AddSample(MakeSample("s", "GP")).ok());
+  ASSERT_TRUE(c.AddTable("t", Table()).ok());
+  EXPECT_EQ(c.PopulationNames().size(), 1u);
+  EXPECT_EQ(c.SampleNames().size(), 1u);
+  EXPECT_EQ(c.TableNames().size(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace mosaic

@@ -1,0 +1,121 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace {
+
+Schema FlightsSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"carrier", DataType::kString}).ok());
+  EXPECT_TRUE(s.AddColumn({"distance", DataType::kInt64}).ok());
+  return s;
+}
+
+TEST(Csv, ReadWithSchema) {
+  auto t = ReadCsv("carrier,distance\nWN,500\nAA,1200\n", FlightsSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0).AsString(), "WN");
+  EXPECT_EQ(t->GetValue(1, 1).AsInt64(), 1200);
+}
+
+TEST(Csv, HeaderOrderIndependent) {
+  auto t = ReadCsv("distance,carrier\n500,WN\n", FlightsSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0).AsString(), "WN");
+  EXPECT_EQ(t->GetValue(0, 1).AsInt64(), 500);
+}
+
+TEST(Csv, MissingSchemaColumnFails) {
+  auto t = ReadCsv("carrier\nWN\n", FlightsSchema());
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(Csv, UnknownCsvColumnFails) {
+  auto t = ReadCsv("carrier,distance,bogus\nWN,1,2\n", FlightsSchema());
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(Csv, BadIntFails) {
+  auto t = ReadCsv("carrier,distance\nWN,notanumber\n", FlightsSchema());
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(Csv, RaggedRowFails) {
+  auto t = ReadCsv("carrier,distance\nWN\n", FlightsSchema());
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndQuotes) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn({"note", DataType::kString}).ok());
+  auto t = ReadCsv("note\n\"hello, world\"\n\"she said \"\"hi\"\"\"\n", s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0).AsString(), "hello, world");
+  EXPECT_EQ(t->GetValue(1, 0).AsString(), "she said \"hi\"");
+}
+
+TEST(Csv, UnterminatedQuoteFails) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn({"note", DataType::kString}).ok());
+  EXPECT_FALSE(ReadCsv("note\n\"oops\n", s).ok());
+}
+
+TEST(Csv, InferSchemaTypes) {
+  auto t = ReadCsvInferSchema("a,b,c\n1,1.5,x\n2,2.5,y\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().column(1).type, DataType::kDouble);
+  EXPECT_EQ(t->schema().column(2).type, DataType::kString);
+}
+
+TEST(Csv, InferSchemaIntPromotedToStringOnMixed) {
+  auto t = ReadCsvInferSchema("a\n1\nx\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, DataType::kString);
+}
+
+TEST(Csv, EmptyInputFails) {
+  EXPECT_FALSE(ReadCsvInferSchema("").ok());
+  EXPECT_FALSE(ReadCsvInferSchema("   \n  ").ok());
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  Schema s = FlightsSchema();
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value("WN"), Value(int64_t{500})}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("a,b"), Value(int64_t{7})}).ok());
+  std::string csv = WriteCsv(t);
+  auto back = ReadCsv(csv, s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->GetValue(1, 0).AsString(), "a,b");
+  EXPECT_EQ(back->GetValue(1, 1).AsInt64(), 7);
+}
+
+TEST(Csv, FileRoundTrip) {
+  Schema s = FlightsSchema();
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value("AA"), Value(int64_t{100})}).ok());
+  std::string path = testing::TempDir() + "/mosaic_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 1u);
+  EXPECT_EQ(back->GetValue(0, 0).AsString(), "AA");
+}
+
+TEST(Csv, MissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/path.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(Csv, CrLfTolerated) {
+  auto t = ReadCsv("carrier,distance\r\nWN,500\r\n", FlightsSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0).AsString(), "WN");
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/math_util.h"
+#include "data/flights.h"
+#include "data/migrants.h"
+#include "data/spiral.h"
+
+namespace mosaic {
+namespace data {
+namespace {
+
+TEST(Spiral, PopulationShape) {
+  Rng rng(1);
+  SpiralOptions opts;
+  opts.population_size = 5000;
+  Table pop = GenerateSpiralPopulation(opts, &rng);
+  EXPECT_EQ(pop.num_rows(), 5000u);
+  EXPECT_EQ(pop.num_columns(), 2u);
+  // Points live roughly in the unit box (Fig. 5 axes).
+  auto xs = pop.column(0).ToDoubleVector();
+  auto ys = pop.column(1).ToDoubleVector();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_GT(xs[i], -0.5);
+    EXPECT_LT(xs[i], 1.5);
+    EXPECT_GT(ys[i], -0.7);
+    EXPECT_LT(ys[i], 1.5);
+  }
+}
+
+TEST(Spiral, Deterministic) {
+  SpiralOptions opts;
+  opts.population_size = 100;
+  Rng r1(9), r2(9);
+  Table a = GenerateSpiralPopulation(opts, &r1);
+  Table b = GenerateSpiralPopulation(opts, &r2);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.GetValue(i, 0).AsDouble(),
+                     b.GetValue(i, 0).AsDouble());
+  }
+}
+
+TEST(Spiral, BiasedSampleOverRepresentsInnerArm) {
+  Rng rng(2);
+  SpiralOptions opts;
+  opts.population_size = 20000;
+  Table pop = GenerateSpiralPopulation(opts, &rng);
+  SpiralBiasOptions bias;
+  bias.sample_size = 2000;
+  auto sample = DrawBiasedSpiralSample(pop, bias, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_rows(), 2000u);
+  // Mean radius of the sample must be clearly below the population's.
+  auto radius = [](const Table& t) {
+    double acc = 0.0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      double x = t.GetValue(r, 0).AsDouble() - 0.5;
+      double y = t.GetValue(r, 1).AsDouble() - 0.4;
+      acc += std::sqrt(x * x + y * y);
+    }
+    return acc / static_cast<double>(t.num_rows());
+  };
+  EXPECT_LT(radius(*sample), 0.8 * radius(pop));
+}
+
+TEST(Spiral, SampleLargerThanPopulationFails) {
+  Rng rng(3);
+  SpiralOptions opts;
+  opts.population_size = 10;
+  Table pop = GenerateSpiralPopulation(opts, &rng);
+  SpiralBiasOptions bias;
+  bias.sample_size = 11;
+  EXPECT_FALSE(DrawBiasedSpiralSample(pop, bias, &rng).ok());
+}
+
+TEST(Spiral, RangeQueryWithinBoundsAndCoverage) {
+  Rng rng(4);
+  SpiralOptions opts;
+  opts.population_size = 2000;
+  Table pop = GenerateSpiralPopulation(opts, &rng);
+  for (double coverage : {0.1, 0.5, 0.8}) {
+    RangeQuery q = MakeRandomRangeQuery(pop, coverage, &rng);
+    EXPECT_LT(q.x_lo, q.x_hi);
+    EXPECT_LT(q.y_lo, q.y_hi);
+  }
+}
+
+TEST(Spiral, CountInBoxWeightedVsUnweighted) {
+  Rng rng(5);
+  SpiralOptions opts;
+  opts.population_size = 1000;
+  Table pop = GenerateSpiralPopulation(opts, &rng);
+  RangeQuery q{0.0, 1.0, -0.2, 1.0};
+  double unweighted = CountInBox(pop, q);
+  std::vector<double> w(pop.num_rows(), 2.0);
+  double weighted = CountInBox(pop, q, &w);
+  EXPECT_DOUBLE_EQ(weighted, 2.0 * unweighted);
+  EXPECT_GT(unweighted, 900.0);  // nearly everything inside
+}
+
+TEST(Flights, SchemaMatchesTable1) {
+  Rng rng(6);
+  FlightsOptions opts;
+  opts.num_rows = 5000;
+  Table f = GenerateFlights(opts, &rng);
+  ASSERT_EQ(f.num_columns(), 5u);
+  EXPECT_EQ(f.schema().column(0).name, "carrier");
+  EXPECT_EQ(f.schema().column(0).type, DataType::kString);
+  EXPECT_EQ(f.schema().column(3).name, "elapsed_time");
+  EXPECT_EQ(f.schema().column(3).type, DataType::kInt64);
+  // Table 1: the carrier attribute one-hot encodes to 14 dims.
+  EXPECT_EQ(FlightCarriers().size(), 14u);
+  std::set<std::string> seen;
+  for (size_t r = 0; r < f.num_rows(); ++r) {
+    seen.insert(f.GetValue(r, 0).AsString());
+  }
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(Flights, CarrierSkewHasLightHitters) {
+  Rng rng(7);
+  FlightsOptions opts;
+  opts.num_rows = 50000;
+  Table f = GenerateFlights(opts, &rng);
+  std::map<std::string, size_t> counts;
+  for (size_t r = 0; r < f.num_rows(); ++r) {
+    counts[f.GetValue(r, 0).AsString()]++;
+  }
+  // WN dominates; US and F9 are light hitters (the query-8 setup).
+  EXPECT_GT(counts["WN"], 10 * counts["F9"]);
+  EXPECT_GT(counts["WN"], 10 * counts["US"]);
+  EXPECT_GT(counts["F9"], 0u);
+}
+
+TEST(Flights, DistanceElapsedCorrelated) {
+  Rng rng(8);
+  FlightsOptions opts;
+  opts.num_rows = 20000;
+  Table f = GenerateFlights(opts, &rng);
+  auto d = f.column(4).ToDoubleVector();
+  auto e = f.column(3).ToDoubleVector();
+  double md = Mean(d), me = Mean(e);
+  double cov = 0.0, vd = 0.0, ve = 0.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    cov += (d[i] - md) * (e[i] - me);
+    vd += (d[i] - md) * (d[i] - md);
+    ve += (e[i] - me) * (e[i] - me);
+  }
+  double corr = cov / std::sqrt(vd * ve);
+  // The correlation that defeats Unif/IPF on query 3.
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(Flights, ValuesAreWholeAndInRange) {
+  Rng rng(9);
+  FlightsOptions opts;
+  opts.num_rows = 2000;
+  Table f = GenerateFlights(opts, &rng);
+  for (size_t r = 0; r < f.num_rows(); ++r) {
+    int64_t dist = f.GetValue(r, 4).AsInt64();
+    EXPECT_GE(dist, 31);
+    EXPECT_LE(dist, 4983);
+    EXPECT_GE(f.GetValue(r, 1).AsInt64(), 1);  // taxi_out
+    EXPECT_GE(f.GetValue(r, 2).AsInt64(), 1);  // taxi_in
+    EXPECT_GT(f.GetValue(r, 3).AsInt64(),
+              f.GetValue(r, 1).AsInt64());  // elapsed > taxi_out
+  }
+}
+
+TEST(Flights, BiasedSampleComposition) {
+  Rng rng(10);
+  FlightsOptions opts;
+  opts.num_rows = 50000;
+  Table f = GenerateFlights(opts, &rng);
+  FlightsBiasOptions bias;  // 5% sample, 95% long flights
+  auto sample = DrawBiasedFlightsSample(f, bias, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_NEAR(static_cast<double>(sample->num_rows()), 2500.0, 5.0);
+  size_t longf = 0;
+  for (size_t r = 0; r < sample->num_rows(); ++r) {
+    if (sample->GetValue(r, 3).AsInt64() > 200) ++longf;
+  }
+  EXPECT_NEAR(static_cast<double>(longf) / sample->num_rows(), 0.95, 0.02);
+}
+
+TEST(Flights, BiasOptionsValidated) {
+  Rng rng(11);
+  FlightsOptions opts;
+  opts.num_rows = 100;
+  Table f = GenerateFlights(opts, &rng);
+  FlightsBiasOptions bad;
+  bad.sample_fraction = 0.0;
+  EXPECT_FALSE(DrawBiasedFlightsSample(f, bad, &rng).ok());
+  bad.sample_fraction = 0.5;
+  bad.bias = 1.5;
+  EXPECT_FALSE(DrawBiasedFlightsSample(f, bad, &rng).ok());
+}
+
+TEST(Migrants, PopulationAndReports) {
+  Rng rng(12);
+  MigrantsOptions opts;
+  opts.population_size = 20000;
+  Table pop = GenerateMigrantsPopulation(opts, &rng);
+  EXPECT_EQ(pop.num_rows(), 20000u);
+  auto country = EurostatCountryReport(pop);
+  ASSERT_TRUE(country.ok());
+  EXPECT_EQ(country->num_rows(), MigrantCountries().size());
+  auto email = EurostatEmailReport(pop);
+  ASSERT_TRUE(email.ok());
+  EXPECT_EQ(email->num_rows(), EmailProviders().size());
+  // Report totals must equal the population size.
+  double total = 0.0;
+  for (size_t r = 0; r < country->num_rows(); ++r) {
+    total += static_cast<double>(country->GetValue(r, 1).AsInt64());
+  }
+  EXPECT_DOUBLE_EQ(total, 20000.0);
+}
+
+TEST(Migrants, YahooSampleIsBiasedByCountry) {
+  Rng rng(13);
+  MigrantsOptions opts;
+  opts.population_size = 50000;
+  Table pop = GenerateMigrantsPopulation(opts, &rng);
+  auto yahoo = YahooSample(pop);
+  ASSERT_TRUE(yahoo.ok());
+  ASSERT_GT(yahoo->num_rows(), 0u);
+  // Every sampled tuple is Yahoo.
+  for (size_t r = 0; r < std::min<size_t>(yahoo->num_rows(), 100); ++r) {
+    EXPECT_EQ(yahoo->GetValue(r, 1).AsString(), "Yahoo");
+  }
+  // Yahoo share differs across countries (the designed selection
+  // bias): UK share > GR share.
+  auto share = [&](const std::string& c) {
+    double in_pop = 0, in_yahoo = 0;
+    for (size_t r = 0; r < pop.num_rows(); ++r) {
+      if (pop.GetValue(r, 0).AsString() == c) {
+        in_pop += 1;
+        if (pop.GetValue(r, 1).AsString() == "Yahoo") in_yahoo += 1;
+      }
+    }
+    return in_yahoo / in_pop;
+  };
+  EXPECT_GT(share("UK"), share("GR") + 0.1);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace mosaic

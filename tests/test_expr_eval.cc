@@ -1,0 +1,176 @@
+#include "exec/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace mosaic {
+namespace exec {
+namespace {
+
+Table MakeTable() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"carrier", DataType::kString}).ok());
+  EXPECT_TRUE(s.AddColumn({"elapsed", DataType::kInt64}).ok());
+  EXPECT_TRUE(s.AddColumn({"dist", DataType::kDouble}).ok());
+  Table t(s);
+  EXPECT_TRUE(
+      t.AppendRow({Value("WN"), Value(int64_t{250}), Value(800.0)}).ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value("AA"), Value(int64_t{150}), Value(400.0)}).ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value("US"), Value(int64_t{90}), Value(200.0)}).ok());
+  return t;
+}
+
+sql::ExprPtr ParseExpr(const std::string& text) {
+  auto stmt = sql::ParseStatement("SELECT * FROM t WHERE " + text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return std::move(stmt->As<sql::SelectStmt>().where);
+}
+
+std::vector<size_t> MustFilter(const Table& t, const std::string& pred) {
+  auto expr = ParseExpr(pred);
+  auto rows = FilterRows(t, *expr);
+  EXPECT_TRUE(rows.ok()) << pred << ": " << rows.status().ToString();
+  return std::move(rows).value();
+}
+
+TEST(ExprEval, Comparisons) {
+  Table t = MakeTable();
+  EXPECT_EQ(MustFilter(t, "elapsed > 200").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "elapsed >= 150").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "elapsed < 100").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "elapsed <= 150").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "elapsed = 150").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "elapsed <> 150").size(), 2u);
+}
+
+TEST(ExprEval, StringComparison) {
+  Table t = MakeTable();
+  EXPECT_EQ(MustFilter(t, "carrier = 'WN'").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "carrier <> 'WN'").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "carrier > 'AA'").size(), 2u);
+}
+
+TEST(ExprEval, CrossNumericTypeComparison) {
+  Table t = MakeTable();
+  // int column vs double literal.
+  EXPECT_EQ(MustFilter(t, "elapsed > 149.5").size(), 2u);
+  // double column vs int literal.
+  EXPECT_EQ(MustFilter(t, "dist = 400").size(), 1u);
+}
+
+TEST(ExprEval, BooleanConnectives) {
+  Table t = MakeTable();
+  EXPECT_EQ(MustFilter(t, "elapsed > 100 AND dist < 500").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "elapsed > 200 OR carrier = 'US'").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "NOT carrier = 'WN'").size(), 2u);
+}
+
+TEST(ExprEval, InList) {
+  Table t = MakeTable();
+  EXPECT_EQ(MustFilter(t, "carrier IN ('WN', 'AA')").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "carrier NOT IN ('WN', 'AA')").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "elapsed IN (90, 150)").size(), 2u);
+}
+
+TEST(ExprEval, Between) {
+  Table t = MakeTable();
+  EXPECT_EQ(MustFilter(t, "elapsed BETWEEN 90 AND 150").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "dist BETWEEN 0 AND 10").size(), 0u);
+}
+
+TEST(ExprEval, Arithmetic) {
+  Table t = MakeTable();
+  // speed = dist / elapsed > 3 miles per minute.
+  EXPECT_EQ(MustFilter(t, "dist / elapsed > 3").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "elapsed * 2 = 300").size(), 1u);
+  EXPECT_EQ(MustFilter(t, "elapsed + 10 > 155").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "-elapsed < -100").size(), 2u);
+}
+
+TEST(ExprEval, DivisionByZeroFails) {
+  Table t = MakeTable();
+  auto expr = ParseExpr("dist / (elapsed - elapsed) > 1");
+  EXPECT_FALSE(FilterRows(t, *expr).ok());
+}
+
+TEST(ExprEval, ShortCircuitAvoidsDivisionByZero) {
+  Table t = MakeTable();
+  // AND short-circuits: second conjunct never evaluated.
+  EXPECT_EQ(MustFilter(t, "elapsed < 0 AND dist / 0 > 1").size(), 0u);
+  // OR short-circuits when the first disjunct is true.
+  EXPECT_EQ(MustFilter(t, "elapsed > 0 OR dist / 0 > 1").size(), 3u);
+}
+
+TEST(Binder, UnknownColumnIsBindError) {
+  Table t = MakeTable();
+  auto expr = ParseExpr("nope > 1");
+  auto rows = FilterRows(t, *expr);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kBindError);
+}
+
+TEST(Binder, TypeErrors) {
+  Table t = MakeTable();
+  // string vs numeric comparison
+  EXPECT_EQ(FilterRows(t, *ParseExpr("carrier > 1")).status().code(),
+            StatusCode::kTypeError);
+  // arithmetic on strings
+  EXPECT_EQ(FilterRows(t, *ParseExpr("carrier + 1 > 0")).status().code(),
+            StatusCode::kTypeError);
+  // NOT on non-boolean
+  EXPECT_EQ(FilterRows(t, *ParseExpr("NOT elapsed > 1 AND NOT dist")).status().code(),
+            StatusCode::kTypeError);
+  // BETWEEN over strings
+  EXPECT_EQ(
+      FilterRows(t, *ParseExpr("carrier BETWEEN 'A' AND 'B'")).status().code(),
+      StatusCode::kTypeError);
+}
+
+TEST(Binder, NonBooleanPredicateRejected) {
+  Table t = MakeTable();
+  auto stmt = sql::ParseStatement("SELECT * FROM t WHERE elapsed + 1");
+  ASSERT_TRUE(stmt.ok());
+  auto rows = FilterRows(t, *stmt->As<sql::SelectStmt>().where);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kTypeError);
+}
+
+TEST(Binder, AggregateOutsideSelectListRejected) {
+  Table t = MakeTable();
+  auto expr = ParseExpr("elapsed > 1");  // valid filter first
+  ASSERT_NE(expr, nullptr);
+  // Build COUNT(*) > 1 by hand.
+  auto agg = sql::Expr::MakeAggregate(sql::AggFunc::kCount, nullptr, true);
+  auto cmp = sql::Expr::MakeBinary(sql::BinaryOp::kGt, std::move(agg),
+                                   sql::Expr::MakeLiteral(Value(int64_t{1})));
+  auto rows = FilterRows(t, *cmp);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kBindError);
+}
+
+TEST(ExprEval, IntArithmeticStaysInt) {
+  Table t = MakeTable();
+  auto stmt = sql::ParseStatement("SELECT elapsed + 1 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  auto v = EvaluateScalarOnRow(t, 0, *stmt->As<sql::SelectStmt>().items[0].expr);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), DataType::kInt64);
+  EXPECT_EQ(v->AsInt64(), 251);
+}
+
+TEST(ExprEval, DivisionAlwaysDouble) {
+  Table t = MakeTable();
+  auto stmt = sql::ParseStatement("SELECT elapsed / 2 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  auto v = EvaluateScalarOnRow(t, 0, *stmt->As<sql::SelectStmt>().items[0].expr);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 125.0);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace mosaic

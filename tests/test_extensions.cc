@@ -1,0 +1,269 @@
+// Tests for the post-paper extensions: HAVING, SHOW, binary
+// categorical encoding, and the §7 "Multiple Samples" union mode.
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/encoder.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+
+namespace mosaic {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HAVING
+// ---------------------------------------------------------------------------
+
+Table GroupData() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"g", DataType::kString}).ok());
+  EXPECT_TRUE(s.AddColumn({"v", DataType::kInt64}).ok());
+  Table t(s);
+  auto add = [&](const char* g, int64_t v) {
+    EXPECT_TRUE(t.AppendRow({Value(g), Value(v)}).ok());
+  };
+  add("a", 1);
+  add("a", 2);
+  add("a", 3);
+  add("b", 10);
+  add("b", 20);
+  add("c", 100);
+  return t;
+}
+
+Result<Table> Exec(const Table& t, const std::string& q) {
+  MOSAIC_ASSIGN_OR_RETURN(auto stmt, sql::ParseStatement(q));
+  return exec::ExecuteSelect(t, stmt.As<sql::SelectStmt>());
+}
+
+TEST(Having, ParsesAndRenders) {
+  auto stmt = sql::ParseStatement(
+      "SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& sel = stmt->As<sql::SelectStmt>();
+  ASSERT_NE(sel.having, nullptr);
+  EXPECT_NE(sel.ToString().find("HAVING"), std::string::npos);
+}
+
+TEST(Having, RequiresGroupBy) {
+  EXPECT_FALSE(
+      sql::ParseStatement("SELECT COUNT(*) FROM t HAVING COUNT(*) > 1")
+          .ok());
+}
+
+TEST(Having, FiltersGroupsByAggregate) {
+  Table t = GroupData();
+  auto r = Exec(t,
+                "SELECT g, COUNT(*) AS c FROM t GROUP BY g "
+                "HAVING COUNT(*) > 1 ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->GetValue(0, 0).AsString(), "a");
+  EXPECT_EQ(r->GetValue(1, 0).AsString(), "b");
+}
+
+TEST(Having, AggregateNotInSelectList) {
+  Table t = GroupData();
+  auto r = Exec(t,
+                "SELECT g FROM t GROUP BY g HAVING SUM(v) >= 30 ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);  // b (30), c (100)
+  EXPECT_EQ(r->GetValue(0, 0).AsString(), "b");
+}
+
+TEST(Having, GroupKeyReferenceAllowed) {
+  Table t = GroupData();
+  auto r = Exec(t,
+                "SELECT g, AVG(v) FROM t GROUP BY g "
+                "HAVING g <> 'c' AND COUNT(*) > 0 ORDER BY g");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(Having, NonKeyColumnRejected) {
+  Table t = GroupData();
+  auto r = Exec(t, "SELECT g, COUNT(*) FROM t GROUP BY g HAVING v > 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(Having, NonBooleanRejected) {
+  Table t = GroupData();
+  auto r = Exec(t, "SELECT g, COUNT(*) FROM t GROUP BY g HAVING SUM(v)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(Having, NonKeyColumnInSelectExpressionRejected) {
+  // Regression: a non-key column nested inside an arithmetic select
+  // item must be rejected, not silently read a placeholder.
+  Table t = GroupData();
+  auto r = Exec(t, "SELECT v + 1, COUNT(*) FROM t GROUP BY g");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+// ---------------------------------------------------------------------------
+// SHOW
+// ---------------------------------------------------------------------------
+
+TEST(Show, ListsCatalogContents) {
+  core::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE aux (a VARCHAR, c INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO aux VALUES ('x', 10)").ok());
+  ASSERT_TRUE(
+      db.Execute("CREATE GLOBAL POPULATION P (a VARCHAR)").ok());
+  ASSERT_TRUE(
+      db.Execute("CREATE METADATA P_M1 AS (SELECT a, c FROM aux)").ok());
+  ASSERT_TRUE(db.Execute("CREATE SAMPLE S AS (SELECT * FROM P "
+                         "USING MECHANISM UNIFORM PERCENT 10)")
+                  .ok());
+
+  auto tables = db.Execute("SHOW TABLES");
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->num_rows(), 1u);
+  EXPECT_EQ(tables->GetValue(0, 0).AsString(), "aux");
+
+  auto pops = db.Execute("SHOW POPULATIONS");
+  ASSERT_TRUE(pops.ok());
+  ASSERT_EQ(pops->num_rows(), 1u);
+  EXPECT_EQ(pops->GetValue(0, 0).AsString(), "P");
+  EXPECT_TRUE(pops->GetValue(0, 1).AsBool());
+  EXPECT_EQ(pops->GetValue(0, 2).AsInt64(), 1);
+
+  auto samples = db.Execute("SHOW SAMPLES");
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->num_rows(), 1u);
+  EXPECT_EQ(samples->GetValue(0, 0).AsString(), "S");
+  EXPECT_NE(samples->GetValue(0, 3).AsString().find("uniform"),
+            std::string::npos);
+
+  auto metadata = db.Execute("SHOW METADATA");
+  ASSERT_TRUE(metadata.ok());
+  ASSERT_EQ(metadata->num_rows(), 1u);
+  EXPECT_EQ(metadata->GetValue(0, 0).AsString(), "P_M1");
+  EXPECT_DOUBLE_EQ(metadata->GetValue(0, 3).AsDouble(), 10.0);
+}
+
+TEST(Show, BadTargetIsParseError) {
+  EXPECT_FALSE(sql::ParseStatement("SHOW GIBBERISH").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Binary categorical encoding (§7 "Data Encoding")
+// ---------------------------------------------------------------------------
+
+Table CatTable() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"state", DataType::kString}).ok());
+  Table t(s);
+  for (const char* v : {"CA", "FL", "NY", "TX", "WA"}) {
+    EXPECT_TRUE(t.AppendRow({Value(v)}).ok());
+  }
+  return t;
+}
+
+TEST(BinaryEncoding, WidthIsCeilLog2) {
+  auto enc = core::MixedEncoder::Fit(CatTable(), {},
+                                     core::CategoricalEncoding::kBinary);
+  ASSERT_TRUE(enc.ok());
+  // 5 categories -> 3 bits (vs 5 one-hot slots).
+  EXPECT_EQ(enc->encoded_dim(), 3u);
+  auto onehot = core::MixedEncoder::Fit(CatTable(), {},
+                                        core::CategoricalEncoding::kOneHot);
+  ASSERT_TRUE(onehot.ok());
+  EXPECT_EQ(onehot->encoded_dim(), 5u);
+}
+
+TEST(BinaryEncoding, RoundTripsAllCategories) {
+  Table t = CatTable();
+  auto enc = core::MixedEncoder::Fit(t, {},
+                                     core::CategoricalEncoding::kBinary);
+  ASSERT_TRUE(enc.ok());
+  auto m = enc->Encode(t);
+  ASSERT_TRUE(m.ok());
+  for (double v : m->data()) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+  auto back = enc->Decode(*m);
+  ASSERT_TRUE(back.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_TRUE(back->GetValue(r, 0) == t.GetValue(r, 0)) << r;
+  }
+}
+
+TEST(BinaryEncoding, DecodeClampsOutOfRangeBitPatterns) {
+  Table t = CatTable();
+  auto enc = core::MixedEncoder::Fit(t, {},
+                                     core::CategoricalEncoding::kBinary);
+  ASSERT_TRUE(enc.ok());
+  // Bit pattern 111 = 7 > 4 (max index) must clamp, not crash.
+  nn::Matrix m(1, 3, 1.0);
+  auto back = enc->Decode(m);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetValue(0, 0).AsString(), "WA");  // index 4
+}
+
+// ---------------------------------------------------------------------------
+// Union of multiple samples (§7 "Multiple Samples")
+// ---------------------------------------------------------------------------
+
+TEST(UnionSamples, CombinesComplementarySamples) {
+  core::Database db;
+  auto ok = [&](const std::string& sql) {
+    auto r = db.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  ok("CREATE GLOBAL POPULATION Things (color VARCHAR)");
+  ok("CREATE TABLE Report (color VARCHAR, cnt INT)");
+  ok("INSERT INTO Report VALUES ('red', 60), ('blue', 40)");
+  ok("CREATE METADATA Things_M1 AS (SELECT color, cnt FROM Report)");
+  // Two samples covering different parts of the population.
+  ok("CREATE SAMPLE Reds AS (SELECT * FROM Things WHERE color = 'red')");
+  ok("INSERT INTO Reds VALUES ('red'), ('red'), ('red')");
+  ok("CREATE SAMPLE Blues AS (SELECT * FROM Things WHERE color = 'blue')");
+  ok("INSERT INTO Blues VALUES ('blue')");
+
+  // Without union mode: only the bigger sample (Reds) is used, so
+  // SEMI-OPEN sees no blue tuples at all.
+  auto single = db.Execute(
+      "SELECT SEMI-OPEN color, COUNT(*) FROM Things GROUP BY color");
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single->num_rows(), 1u);
+
+  // With union mode, both colors are represented and IPF hits the
+  // marginal exactly.
+  db.set_union_samples(true);
+  auto both = db.Execute(
+      "SELECT SEMI-OPEN color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color");
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  ASSERT_EQ(both->num_rows(), 2u);
+  EXPECT_EQ(both->GetValue(0, 0).AsString(), "blue");
+  EXPECT_NEAR(both->GetValue(0, 1).AsDouble(), 40.0, 0.5);
+  EXPECT_NEAR(both->GetValue(1, 1).AsDouble(), 60.0, 0.5);
+}
+
+TEST(UnionSamples, SchemaMismatchRejected) {
+  core::Database db;
+  ASSERT_TRUE(db.Execute("CREATE GLOBAL POPULATION P "
+                         "(a VARCHAR, b INT)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE R (a VARCHAR, cnt INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO R VALUES ('x', 10)").ok());
+  ASSERT_TRUE(
+      db.Execute("CREATE METADATA P_M1 AS (SELECT a, cnt FROM R)").ok());
+  ASSERT_TRUE(db.Execute("CREATE SAMPLE S1 AS (SELECT * FROM P)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO S1 VALUES ('x', 1)").ok());
+  ASSERT_TRUE(db.Execute("CREATE SAMPLE S2 (a VARCHAR) AS "
+                         "(SELECT a FROM P)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO S2 VALUES ('x')").ok());
+  db.set_union_samples(true);
+  auto r = db.Execute("SELECT SEMI-OPEN COUNT(*) FROM P");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotImplemented);
+}
+
+}  // namespace
+}  // namespace mosaic

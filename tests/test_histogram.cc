@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace stats {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.num_bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_EQ(h.BinOf(0.0), 0u);
+  EXPECT_EQ(h.BinOf(1.9), 0u);
+  EXPECT_EQ(h.BinOf(2.0), 1u);
+  EXPECT_EQ(h.BinOf(9.99), 4u);
+  EXPECT_EQ(h.BinOf(10.0), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.BinOf(-100.0), 0u);
+  EXPECT_EQ(h.BinOf(100.0), 4u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5);
+  h.Add(1.5, 2.0);
+  h.Add(1.6);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, FromData) {
+  Histogram h = Histogram::FromData({0.1, 0.2, 0.9}, 0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+}
+
+TEST(Histogram, FromWeightedData) {
+  Histogram h =
+      Histogram::FromWeightedData({0.1, 0.9}, {3.0, 7.0}, 0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 7.0);
+}
+
+TEST(Histogram, NormalizedSumsToOne) {
+  Histogram h = Histogram::FromData({1, 2, 3, 4, 5}, 0.0, 10.0, 4);
+  auto p = h.Normalized();
+  double total = 0.0;
+  for (double x : p) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, NormalizedEmptyIsZeros) {
+  Histogram h(0.0, 1.0, 3);
+  for (double x : h.Normalized()) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Histogram, TotalVariationIdentical) {
+  Histogram a = Histogram::FromData({1, 2, 3}, 0.0, 10.0, 5);
+  auto tv = Histogram::TotalVariation(a, a);
+  ASSERT_TRUE(tv.ok());
+  EXPECT_DOUBLE_EQ(*tv, 0.0);
+}
+
+TEST(Histogram, TotalVariationDisjointIsOne) {
+  Histogram a(0.0, 10.0, 2), b(0.0, 10.0, 2);
+  a.Add(1.0);
+  b.Add(9.0);
+  EXPECT_DOUBLE_EQ(*Histogram::TotalVariation(a, b), 1.0);
+}
+
+TEST(Histogram, TotalVariationBinningMismatchFails) {
+  Histogram a(0.0, 10.0, 2), b(0.0, 10.0, 4);
+  EXPECT_FALSE(Histogram::TotalVariation(a, b).ok());
+  Histogram c(0.0, 5.0, 2);
+  EXPECT_FALSE(Histogram::TotalVariation(a, c).ok());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace mosaic

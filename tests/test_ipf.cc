@@ -1,0 +1,218 @@
+#include "stats/ipf.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mosaic {
+namespace stats {
+namespace {
+
+/// A 2-attribute categorical sample with controllable cell counts.
+Table MakeSample(const std::vector<std::array<const char*, 2>>& rows) {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"a", DataType::kString}).ok());
+  EXPECT_TRUE(s.AddColumn({"b", DataType::kString}).ok());
+  Table t(s);
+  for (const auto& r : rows) {
+    EXPECT_TRUE(t.AppendRow({Value(r[0]), Value(r[1])}).ok());
+  }
+  return t;
+}
+
+Marginal MarginalOver(const std::string& attr,
+                      std::vector<std::pair<const char*, double>> counts) {
+  std::vector<Value> cats;
+  std::vector<double> c;
+  for (auto& [name, count] : counts) {
+    cats.emplace_back(name);
+    c.push_back(count);
+  }
+  auto m = Marginal::FromCounts(
+      {AttributeBinning::Categorical(attr, cats)}, c);
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(Ipf, SingleMarginalExactFit) {
+  // Sample: 3x a=x, 1x a=y. Target: x=10, y=30.
+  Table sample = MakeSample({{"x", "p"}, {"x", "p"}, {"x", "q"}, {"y", "q"}});
+  std::vector<double> w(4, 1.0);
+  auto report = IterativeProportionalFit(
+      sample, {MarginalOver("a", {{"x", 10}, {"y", 30}})}, &w);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->converged);
+  // Each x-row gets 10/3, the y-row gets 30.
+  EXPECT_NEAR(w[0], 10.0 / 3.0, 1e-9);
+  EXPECT_NEAR(w[3], 30.0, 1e-9);
+  double total = w[0] + w[1] + w[2] + w[3];
+  EXPECT_NEAR(total, 40.0, 1e-9);  // scaled to population
+}
+
+TEST(Ipf, TwoMarginalsConverge) {
+  Table sample = MakeSample({{"x", "p"}, {"x", "q"}, {"y", "p"}, {"y", "q"}});
+  std::vector<double> w(4, 1.0);
+  std::vector<Marginal> margs = {
+      MarginalOver("a", {{"x", 70}, {"y", 30}}),
+      MarginalOver("b", {{"p", 40}, {"q", 60}}),
+  };
+  auto report = IterativeProportionalFit(sample, margs, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  for (const auto& m : margs) {
+    auto err = m.L1Error(sample, w);
+    ASSERT_TRUE(err.ok());
+    EXPECT_LT(*err, 1e-5);
+  }
+}
+
+TEST(Ipf, BiasedStartingWeightsStillConverge) {
+  Table sample = MakeSample({{"x", "p"}, {"x", "q"}, {"y", "p"}, {"y", "q"}});
+  std::vector<double> w = {100.0, 0.5, 3.0, 7.0};
+  std::vector<Marginal> margs = {
+      MarginalOver("a", {{"x", 50}, {"y", 50}}),
+      MarginalOver("b", {{"p", 25}, {"q", 75}}),
+  };
+  auto report = IterativeProportionalFit(sample, margs, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  for (const auto& m : margs) {
+    EXPECT_LT(*m.L1Error(sample, w), 1e-5);
+  }
+}
+
+TEST(Ipf, UncoveredCellsReported) {
+  // Target has mass on a=z but the sample has no z tuples: that mass
+  // is unreachable (SEMI-OPEN false negatives).
+  Table sample = MakeSample({{"x", "p"}, {"y", "p"}});
+  std::vector<double> w(2, 1.0);
+  auto report = IterativeProportionalFit(
+      sample, {MarginalOver("a", {{"x", 40}, {"y", 40}, {"z", 20}})}, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->uncovered_target_mass, 0.2, 1e-12);
+  // Covered part is fit proportionally: x and y get equal mass.
+  EXPECT_NEAR(w[0], w[1], 1e-9);
+}
+
+TEST(Ipf, ZeroOverlapFails) {
+  Table sample = MakeSample({{"x", "p"}});
+  std::vector<double> w(1, 1.0);
+  auto report = IterativeProportionalFit(
+      sample, {MarginalOver("a", {{"zz", 10.0}})}, &w);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Ipf, InputValidation) {
+  Table sample = MakeSample({{"x", "p"}});
+  std::vector<double> w(1, 1.0);
+  EXPECT_FALSE(IterativeProportionalFit(sample, {}, &w).ok());
+  std::vector<double> wrong_size(3, 1.0);
+  EXPECT_FALSE(IterativeProportionalFit(
+                   sample, {MarginalOver("a", {{"x", 1.0}})}, &wrong_size)
+                   .ok());
+  std::vector<double> negative = {-1.0};
+  EXPECT_FALSE(IterativeProportionalFit(
+                   sample, {MarginalOver("a", {{"x", 1.0}})}, &negative)
+                   .ok());
+}
+
+TEST(Ipf, NoPopulationScalingOption) {
+  Table sample = MakeSample({{"x", "p"}, {"y", "p"}});
+  std::vector<double> w(2, 1.0);
+  IpfOptions opts;
+  opts.scale_to_population = false;
+  auto report = IterativeProportionalFit(
+      sample, {MarginalOver("a", {{"x", 300}, {"y", 100}})}, &w, opts);
+  ASSERT_TRUE(report.ok());
+  // Proportions fit (3:1) regardless of absolute scale.
+  EXPECT_NEAR(w[0] / w[1], 3.0, 1e-6);
+}
+
+TEST(Ipf, TwoDimensionalMarginal) {
+  Table sample = MakeSample({{"x", "p"}, {"x", "q"}, {"y", "p"}, {"y", "q"}});
+  auto m2 = Marginal::FromCounts(
+      {AttributeBinning::Categorical("a", {Value("x"), Value("y")}),
+       AttributeBinning::Categorical("b", {Value("p"), Value("q")})},
+      {10, 20, 30, 40});
+  ASSERT_TRUE(m2.ok());
+  std::vector<double> w(4, 1.0);
+  auto report = IterativeProportionalFit(sample, {*m2}, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  // With a full 2-D marginal and one tuple per cell, weights equal
+  // the cell targets exactly.
+  EXPECT_NEAR(w[0], 10.0, 1e-6);
+  EXPECT_NEAR(w[1], 20.0, 1e-6);
+  EXPECT_NEAR(w[2], 30.0, 1e-6);
+  EXPECT_NEAR(w[3], 40.0, 1e-6);
+}
+
+TEST(Ipf, InconsistentMarginalsStillTerminate) {
+  // Marginals with different totals (inconsistent): IPF oscillates
+  // toward a compromise; it must terminate and report the residual.
+  Table sample = MakeSample({{"x", "p"}, {"x", "q"}, {"y", "p"}, {"y", "q"}});
+  std::vector<Marginal> margs = {
+      MarginalOver("a", {{"x", 90}, {"y", 10}}),
+      MarginalOver("b", {{"p", 10}, {"q", 90}}),
+  };
+  std::vector<double> w(4, 1.0);
+  IpfOptions opts;
+  opts.max_iterations = 50;
+  auto report = IterativeProportionalFit(sample, margs, &w, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->iterations, 50u);
+  for (double x : w) {
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 0.0);
+  }
+}
+
+// Property sweep: IPF must converge for random biased samples of
+// varying size against consistent random marginals.
+class IpfRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IpfRandomSweep, ConvergesOnRandomInstances) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const char* as[] = {"a0", "a1", "a2"};
+  const char* bs[] = {"b0", "b1"};
+  // Random population over 3x2 cells.
+  std::vector<double> pop_cells(6);
+  for (double& c : pop_cells) c = 10.0 + rng.Uniform() * 90.0;
+  // Marginals of that population.
+  std::vector<std::pair<const char*, double>> ma, mb;
+  for (int i = 0; i < 3; ++i) {
+    ma.emplace_back(as[i], pop_cells[2 * i] + pop_cells[2 * i + 1]);
+  }
+  for (int j = 0; j < 2; ++j) {
+    mb.emplace_back(bs[j],
+                    pop_cells[j] + pop_cells[2 + j] + pop_cells[4 + j]);
+  }
+  // Biased sample: one tuple per cell with random multiplicity.
+  std::vector<std::array<const char*, 2>> rows;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      size_t copies = 1 + rng.UniformInt(uint64_t{4});
+      for (size_t k = 0; k < copies; ++k) rows.push_back({as[i], bs[j]});
+    }
+  }
+  Table sample = MakeSample(rows);
+  std::vector<double> w(sample.num_rows(), 1.0);
+  std::vector<Marginal> margs = {MarginalOver("a", ma),
+                                 MarginalOver("b", mb)};
+  auto report = IterativeProportionalFit(sample, margs, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged) << "seed " << GetParam();
+  for (const auto& m : margs) {
+    EXPECT_LT(*m.L1Error(sample, w), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpfRandomSweep,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace stats
+}  // namespace mosaic

@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& s) {
+  auto r = Lex(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = MustLex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, TokenType::kEof);
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto toks = MustLex("select SeLeCt SELECT");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::kKeyword);
+    EXPECT_EQ(toks[i].text, "SELECT");
+  }
+}
+
+TEST(Lexer, IdentifiersKeepCase) {
+  auto toks = MustLex("EuropeMigrants_M1");
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[0].text, "EuropeMigrants_M1");
+}
+
+TEST(Lexer, MosaicKeywords) {
+  auto toks = MustLex("POPULATION SAMPLE METADATA MECHANISM CLOSED OPEN");
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::kKeyword) << i;
+  }
+}
+
+TEST(Lexer, IntAndDoubleLiterals) {
+  auto toks = MustLex("42 1.5 0.001 2e3 1.5e-2");
+  EXPECT_EQ(toks[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 1.5);
+  EXPECT_DOUBLE_EQ(toks[2].double_value, 0.001);
+  EXPECT_DOUBLE_EQ(toks[3].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[4].double_value, 0.015);
+}
+
+TEST(Lexer, StringLiteralWithEscape) {
+  auto toks = MustLex("'WN' 'it''s'");
+  EXPECT_EQ(toks[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(toks[0].text, "WN");
+  EXPECT_EQ(toks[1].text, "it's");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(Lexer, Operators) {
+  auto toks = MustLex("= <> != < <= > >= + - * /");
+  EXPECT_EQ(toks[0].type, TokenType::kEq);
+  EXPECT_EQ(toks[1].type, TokenType::kNe);
+  EXPECT_EQ(toks[2].type, TokenType::kNe);
+  EXPECT_EQ(toks[3].type, TokenType::kLt);
+  EXPECT_EQ(toks[4].type, TokenType::kLe);
+  EXPECT_EQ(toks[5].type, TokenType::kGt);
+  EXPECT_EQ(toks[6].type, TokenType::kGe);
+  EXPECT_EQ(toks[7].type, TokenType::kPlus);
+  EXPECT_EQ(toks[8].type, TokenType::kMinus);
+  EXPECT_EQ(toks[9].type, TokenType::kStar);
+  EXPECT_EQ(toks[10].type, TokenType::kSlash);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto toks = MustLex("SELECT -- the whole row\n*");
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].type, TokenType::kStar);
+  EXPECT_EQ(toks[2].type, TokenType::kEof);
+}
+
+TEST(Lexer, MinusVsComment) {
+  auto toks = MustLex("1 - 2");
+  EXPECT_EQ(toks[1].type, TokenType::kMinus);
+  // But "--" starts a comment.
+  auto toks2 = MustLex("1 --2");
+  EXPECT_EQ(toks2.size(), 2u);  // 1 and EOF
+}
+
+TEST(Lexer, BracketsBecomeParens) {
+  // The paper writes C IN ['WN', 'AA'].
+  auto toks = MustLex("['WN']");
+  EXPECT_EQ(toks[0].type, TokenType::kLParen);
+  EXPECT_EQ(toks[2].type, TokenType::kRParen);
+}
+
+TEST(Lexer, SemiOpenLexesAsThreeTokens) {
+  auto toks = MustLex("SEMI-OPEN");
+  EXPECT_TRUE(toks[0].IsKeyword("SEMI"));
+  EXPECT_EQ(toks[1].type, TokenType::kMinus);
+  EXPECT_TRUE(toks[2].IsKeyword("OPEN"));
+}
+
+TEST(Lexer, UnexpectedCharFailsWithOffset) {
+  auto r = Lex("SELECT @");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset 7"), std::string::npos);
+}
+
+TEST(Lexer, OffsetsRecorded) {
+  auto toks = MustLex("SELECT x");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 7u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace mosaic

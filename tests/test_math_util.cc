@@ -1,0 +1,83 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mosaic {
+namespace {
+
+TEST(MathUtil, MeanAndVariance) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), std::sqrt(2.0));
+}
+
+TEST(MathUtil, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(MathUtil, WeightedMean) {
+  EXPECT_DOUBLE_EQ(WeightedMean({1.0, 10.0}, {9.0, 1.0}), 1.9);
+  EXPECT_DOUBLE_EQ(WeightedMean({1.0, 2.0}, {0.0, 0.0}), 0.0);
+}
+
+TEST(MathUtil, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 25.0);
+}
+
+TEST(MathUtil, PercentileUnsortedInput) {
+  std::vector<double> xs = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+}
+
+TEST(MathUtil, PercentDiff) {
+  EXPECT_DOUBLE_EQ(PercentDiff(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentDiff(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentDiff(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentDiff(5.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(PercentDiff(-110.0, -100.0), 10.0);
+}
+
+TEST(MathUtil, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e9, 1e9 * (1 + 1e-12)));
+}
+
+TEST(MathUtil, BoxStats) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  BoxStats stats = ComputeBoxStats(xs);
+  EXPECT_EQ(stats.n, 100u);
+  EXPECT_DOUBLE_EQ(stats.mean, 50.5);
+  EXPECT_DOUBLE_EQ(stats.median, 50.5);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_NEAR(stats.p03, 3.97, 0.01);
+  EXPECT_NEAR(stats.p97, 97.03, 0.01);
+  EXPECT_LT(stats.p25, stats.p75);
+}
+
+TEST(MathUtil, BoxStatsEmpty) {
+  BoxStats stats = ComputeBoxStats({});
+  EXPECT_EQ(stats.n, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+
+namespace mosaic {
+namespace nn {
+namespace {
+
+TEST(Matrix, BasicAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(Matrix, MatMulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]]
+  double av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  a.data().assign(av, av + 6);
+  b.data().assign(bv, bv + 6);
+  Matrix c = Matrix::MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedMatMulsAgreeWithExplicit) {
+  Rng rng(1);
+  Matrix a = Matrix::Gaussian(4, 3, &rng);
+  Matrix b = Matrix::Gaussian(4, 5, &rng);
+  // a^T b via MatMulTransA must equal transposing manually.
+  Matrix at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Matrix expect = Matrix::MatMul(at, b);
+  Matrix got = Matrix::MatMulTransA(a, b);
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expect.data()[i], 1e-12);
+  }
+  // a b^T via MatMulTransB.
+  Matrix c = Matrix::Gaussian(6, 3, &rng);
+  Matrix ct(3, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 3; ++j) ct.at(j, i) = c.at(i, j);
+  }
+  Matrix expect2 = Matrix::MatMul(a, ct);
+  Matrix got2 = Matrix::MatMulTransB(a, c);
+  for (size_t i = 0; i < expect2.size(); ++i) {
+    EXPECT_NEAR(got2.data()[i], expect2.data()[i], 1e-12);
+  }
+}
+
+TEST(Matrix, XavierBounds) {
+  Rng rng(2);
+  Matrix m = Matrix::XavierUniform(50, 70, &rng);
+  double bound = std::sqrt(6.0 / 120.0);
+  for (double v : m.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Numerical gradient checking: for loss L = sum(y * G) with constant
+// G, backwards pass must match finite differences of the forward pass.
+// ---------------------------------------------------------------------------
+
+double ForwardLoss(Layer* layer, const Matrix& x, const Matrix& g) {
+  // Important: BatchNorm caches batch stats; use training=true
+  // consistently.
+  Matrix y = layer->Forward(x, true);
+  double loss = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) loss += y.data()[i] * g.data()[i];
+  return loss;
+}
+
+void CheckInputGradient(Layer* layer, Matrix x, size_t out_rows,
+                        size_t out_cols, double tol = 1e-5) {
+  Rng rng(3);
+  Matrix g = Matrix::Gaussian(out_rows, out_cols, &rng);
+  (void)layer->Forward(x, true);
+  Matrix dx = layer->Backward(g);
+  const double eps = 1e-6;
+  for (size_t i = 0; i < x.size(); i += std::max<size_t>(1, x.size() / 17)) {
+    double orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    double up = ForwardLoss(layer, x, g);
+    x.data()[i] = orig - eps;
+    double down = ForwardLoss(layer, x, g);
+    x.data()[i] = orig;
+    double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, tol) << "input grad at " << i;
+  }
+}
+
+void CheckParamGradients(Layer* layer, const Matrix& x, size_t out_rows,
+                         size_t out_cols, double tol = 1e-5) {
+  Rng rng(4);
+  Matrix g = Matrix::Gaussian(out_rows, out_cols, &rng);
+  for (Parameter* p : layer->Params()) p->grad.Zero();
+  (void)layer->Forward(x, true);
+  (void)layer->Backward(g);
+  const double eps = 1e-6;
+  for (Parameter* p : layer->Params()) {
+    for (size_t i = 0; i < p->value.size();
+         i += std::max<size_t>(1, p->value.size() / 13)) {
+      double orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      double up = ForwardLoss(layer, x, g);
+      p->value.data()[i] = orig - eps;
+      double down = ForwardLoss(layer, x, g);
+      p->value.data()[i] = orig;
+      double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(p->grad.data()[i], numeric, tol) << "param grad at " << i;
+    }
+  }
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(5);
+  Linear layer(4, 3, &rng);
+  Matrix x = Matrix::Gaussian(6, 4, &rng);
+  CheckInputGradient(&layer, x, 6, 3);
+  CheckParamGradients(&layer, x, 6, 3);
+}
+
+TEST(Linear, ForwardAddsBias) {
+  Rng rng(6);
+  Linear layer(2, 2, &rng);
+  layer.Params()[0]->value.Zero();          // W = 0
+  layer.Params()[1]->value.at(0, 0) = 3.0;  // b = (3, 0)
+  Matrix x(1, 2, 5.0);
+  Matrix y = layer.Forward(x, true);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 1), 0.0);
+}
+
+TEST(ReLULayer, ForwardClampsNegative) {
+  ReLU relu;
+  Matrix x(1, 3);
+  x.at(0, 0) = -1.0;
+  x.at(0, 1) = 0.0;
+  x.at(0, 2) = 2.0;
+  Matrix y = relu.Forward(x, true);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 2), 2.0);
+}
+
+TEST(ReLULayer, GradientCheck) {
+  Rng rng(7);
+  ReLU relu;
+  // Keep values away from the kink at 0 for finite differences.
+  Matrix x = Matrix::Gaussian(5, 4, &rng);
+  for (double& v : x.data()) {
+    if (std::fabs(v) < 0.05) v = 0.5;
+  }
+  CheckInputGradient(&relu, x, 5, 4);
+}
+
+TEST(BatchNorm, NormalizesBatch) {
+  BatchNorm1d bn(2);
+  Rng rng(8);
+  Matrix x = Matrix::Gaussian(256, 2, &rng);
+  for (size_t i = 0; i < x.rows(); ++i) x.at(i, 0) = x.at(i, 0) * 5 + 10;
+  Matrix y = bn.Forward(x, true);
+  double mean = 0.0, var = 0.0;
+  for (size_t i = 0; i < y.rows(); ++i) mean += y.at(i, 0);
+  mean /= static_cast<double>(y.rows());
+  for (size_t i = 0; i < y.rows(); ++i) {
+    var += (y.at(i, 0) - mean) * (y.at(i, 0) - mean);
+  }
+  var /= static_cast<double>(y.rows());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-3);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  BatchNorm1d bn(1);
+  Rng rng(9);
+  // Train on data with mean 4.
+  for (int step = 0; step < 200; ++step) {
+    Matrix x(64, 1);
+    for (double& v : x.data()) v = rng.Gaussian(4.0, 1.0);
+    (void)bn.Forward(x, true);
+  }
+  // In eval mode a constant input at the running mean maps near 0.
+  Matrix probe(2, 1, 4.0);
+  Matrix y = bn.Forward(probe, false);
+  EXPECT_NEAR(y.at(0, 0), 0.0, 0.2);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  Rng rng(10);
+  BatchNorm1d bn(3);
+  Matrix x = Matrix::Gaussian(8, 3, &rng);
+  CheckInputGradient(&bn, x, 8, 3, 1e-4);
+  CheckParamGradients(&bn, x, 8, 3, 1e-4);
+}
+
+TEST(Softmax, BlockSumsToOneAndLeavesRestAlone) {
+  SoftmaxBlock sm(1, 3);
+  Matrix x(2, 5);
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = double(i) * 0.3;
+  Matrix y = sm.Forward(x, true);
+  for (size_t r = 0; r < 2; ++r) {
+    double total = y.at(r, 1) + y.at(r, 2) + y.at(r, 3);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(y.at(r, 0), x.at(r, 0));
+    EXPECT_DOUBLE_EQ(y.at(r, 4), x.at(r, 4));
+  }
+}
+
+TEST(Softmax, GradientCheck) {
+  Rng rng(11);
+  SoftmaxBlock sm(0, 4);
+  Matrix x = Matrix::Gaussian(6, 4, &rng);
+  CheckInputGradient(&sm, x, 6, 4);
+}
+
+TEST(Sequential, ComposesAndBackpropagates) {
+  Rng rng(12);
+  Sequential net;
+  net.Add<Linear>(3, 8, &rng);
+  net.Add<ReLU>();
+  net.Add<Linear>(8, 2, &rng);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.Params().size(), 4u);
+  Matrix x = Matrix::Gaussian(4, 3, &rng);
+  Matrix y = net.Forward(x, true);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 2u);
+  Matrix dy(4, 2, 1.0);
+  Matrix dx = net.Backward(dy);
+  EXPECT_EQ(dx.rows(), 4u);
+  EXPECT_EQ(dx.cols(), 3u);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // One parameter vector theta, loss = ||theta - target||^2.
+  Parameter theta(Matrix(1, 4, 0.0));
+  Matrix target(1, 4);
+  target.at(0, 0) = 1.0;
+  target.at(0, 1) = -2.0;
+  target.at(0, 2) = 0.5;
+  target.at(0, 3) = 3.0;
+  AdamOptions opts;
+  opts.lr = 0.05;
+  Adam adam({&theta}, opts);
+  for (int step = 0; step < 2000; ++step) {
+    adam.ZeroGrad();
+    for (size_t i = 0; i < 4; ++i) {
+      theta.grad.at(0, i) = 2.0 * (theta.value.at(0, i) - target.at(0, i));
+    }
+    adam.Step();
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(theta.value.at(0, i), target.at(0, i), 1e-3);
+  }
+}
+
+TEST(PlateauScheduler, ReducesOnPlateau) {
+  Parameter p(Matrix(1, 1));
+  Adam adam({&p});
+  PlateauScheduler sched(&adam, /*patience=*/3, /*factor=*/0.1);
+  EXPECT_DOUBLE_EQ(adam.lr(), 0.001);
+  EXPECT_FALSE(sched.Observe(1.0));  // best
+  EXPECT_FALSE(sched.Observe(1.0));
+  EXPECT_FALSE(sched.Observe(1.0));
+  EXPECT_TRUE(sched.Observe(1.0));  // 3 epochs without improvement
+  EXPECT_NEAR(adam.lr(), 1e-4, 1e-12);
+}
+
+TEST(PlateauScheduler, ImprovementResetsCounter) {
+  Parameter p(Matrix(1, 1));
+  Adam adam({&p});
+  PlateauScheduler sched(&adam, 2);
+  EXPECT_FALSE(sched.Observe(1.0));
+  EXPECT_FALSE(sched.Observe(1.1));
+  EXPECT_FALSE(sched.Observe(0.9));  // improvement
+  EXPECT_FALSE(sched.Observe(1.0));
+  EXPECT_DOUBLE_EQ(adam.lr(), 0.001);
+}
+
+TEST(PlateauScheduler, RespectsMinLr) {
+  Parameter p(Matrix(1, 1));
+  Adam adam({&p});
+  PlateauScheduler sched(&adam, 1, 0.1, /*min_lr=*/1e-4);
+  for (int i = 0; i < 20; ++i) sched.Observe(1.0);
+  EXPECT_GE(adam.lr(), 1e-4);
+}
+
+TEST(Training, TinyRegressionConverges) {
+  // End-to-end: fit y = 2x - 1 with a small MLP via MSE.
+  Rng rng(13);
+  Sequential net;
+  net.Add<Linear>(1, 16, &rng);
+  net.Add<ReLU>();
+  net.Add<Linear>(16, 1, &rng);
+  AdamOptions opts;
+  opts.lr = 0.01;
+  Adam adam(net.Params(), opts);
+  double final_loss = 1e9;
+  for (int step = 0; step < 800; ++step) {
+    Matrix x(32, 1);
+    for (double& v : x.data()) v = rng.Uniform(-1.0, 1.0);
+    Matrix y = net.Forward(x, true);
+    Matrix dy(32, 1);
+    double loss = 0.0;
+    for (size_t i = 0; i < 32; ++i) {
+      double target = 2.0 * x.at(i, 0) - 1.0;
+      double diff = y.at(i, 0) - target;
+      loss += diff * diff / 32.0;
+      dy.at(i, 0) = 2.0 * diff / 32.0;
+    }
+    adam.ZeroGrad();
+    net.Backward(dy);
+    adam.Step();
+    final_loss = loss;
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace mosaic

@@ -1,0 +1,310 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace sql {
+namespace {
+
+Statement MustParse(const std::string& s) {
+  auto r = ParseStatement(s);
+  EXPECT_TRUE(r.ok()) << "parsing `" << s << "`: " << r.status().ToString();
+  return std::move(r).value();
+}
+
+const SelectStmt& AsSelect(const Statement& stmt) {
+  EXPECT_TRUE(stmt.Is<SelectStmt>());
+  return stmt.As<SelectStmt>();
+}
+
+TEST(Parser, SelectStar) {
+  auto stmt = MustParse("SELECT * FROM flights");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_TRUE(sel.select_star);
+  EXPECT_EQ(sel.from, "flights");
+  EXPECT_EQ(sel.visibility, Visibility::kDefault);
+}
+
+TEST(Parser, VisibilityKeywords) {
+  EXPECT_EQ(AsSelect(MustParse("SELECT CLOSED * FROM p")).visibility,
+            Visibility::kClosed);
+  EXPECT_EQ(AsSelect(MustParse("SELECT SEMI-OPEN * FROM p")).visibility,
+            Visibility::kSemiOpen);
+  EXPECT_EQ(AsSelect(MustParse("SELECT semi-open * FROM p")).visibility,
+            Visibility::kSemiOpen);
+  EXPECT_EQ(AsSelect(MustParse("SELECT OPEN * FROM p")).visibility,
+            Visibility::kOpen);
+}
+
+TEST(Parser, PaperExampleQuery) {
+  // Lines 15-17 of the paper's motivating example.
+  auto stmt = MustParse(
+      "SELECT SEMI-OPEN country, email, COUNT(*) FROM EuropeMigrants "
+      "GROUP BY country, email");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_EQ(sel.visibility, Visibility::kSemiOpen);
+  ASSERT_EQ(sel.items.size(), 3u);
+  EXPECT_EQ(sel.items[0].expr->kind, Expr::Kind::kColumnRef);
+  EXPECT_EQ(sel.items[2].expr->kind, Expr::Kind::kAggregate);
+  EXPECT_TRUE(sel.items[2].expr->agg_is_star);
+  ASSERT_EQ(sel.group_by.size(), 2u);
+  EXPECT_EQ(sel.group_by[1], "email");
+}
+
+TEST(Parser, PaperFlightsQuery) {
+  // Query 5 of Table 2.
+  auto stmt = MustParse(
+      "SELECT C, AVG(D) FROM F WHERE E > 200 AND C IN ['WN', 'AA'] "
+      "GROUP BY C");
+  const auto& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[1].expr->agg_func, AggFunc::kAvg);
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->binary_op, BinaryOp::kAnd);
+}
+
+TEST(Parser, BareIdentifierIsColumnRef) {
+  // The paper writes `WHERE email = Yahoo` (unquoted); Mosaic keeps
+  // strict SQL semantics — a bare identifier in expression position is
+  // a column reference, and string literals must be quoted. (IN lists
+  // and INSERT literals do accept bare identifiers as strings, which
+  // covers the paper's `C IN [WN, AA]` style.)
+  auto stmt = MustParse("SELECT * FROM p WHERE email = Yahoo");
+  const auto& sel = AsSelect(stmt);
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->right->kind, Expr::Kind::kColumnRef);
+}
+
+TEST(Parser, BareIdentifierInListIsStringLiteral) {
+  auto stmt = MustParse("SELECT * FROM p WHERE c IN (WN, AA)");
+  const auto& w = *AsSelect(stmt).where;
+  ASSERT_EQ(w.in_list.size(), 2u);
+  EXPECT_EQ(w.in_list[0].AsString(), "WN");
+}
+
+TEST(Parser, AliasesAndArithmetic) {
+  auto stmt =
+      MustParse("SELECT AVG(d) AS avg_d, SUM(d) / 2 AS half FROM f");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_EQ(sel.items[0].alias, "avg_d");
+  EXPECT_EQ(sel.items[1].alias, "half");
+  EXPECT_TRUE(sel.items[1].expr->ContainsAggregate());
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto stmt = MustParse("SELECT a + b * c FROM t");
+  EXPECT_EQ(AsSelect(stmt).items[0].expr->ToString(), "(a + (b * c))");
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  EXPECT_EQ(AsSelect(stmt).where->ToString(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(Parser, NotAndParens) {
+  auto stmt = MustParse("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)");
+  EXPECT_EQ(AsSelect(stmt).where->ToString(),
+            "NOT ((a = 1) OR (b = 2))");
+}
+
+TEST(Parser, Between) {
+  auto stmt = MustParse("SELECT * FROM t WHERE x BETWEEN 1 AND 5");
+  EXPECT_EQ(AsSelect(stmt).where->kind, Expr::Kind::kBetween);
+}
+
+TEST(Parser, NotIn) {
+  auto stmt = MustParse("SELECT * FROM t WHERE c NOT IN ('a', 'b')");
+  const auto& w = *AsSelect(stmt).where;
+  EXPECT_EQ(w.kind, Expr::Kind::kUnary);
+  EXPECT_EQ(w.child->kind, Expr::Kind::kIn);
+  EXPECT_EQ(w.child->in_list.size(), 2u);
+}
+
+TEST(Parser, NegativeLiteralsInList) {
+  auto stmt = MustParse("SELECT * FROM t WHERE x IN (-1, -2.5)");
+  const auto& w = *AsSelect(stmt).where;
+  EXPECT_EQ(w.in_list[0].AsInt64(), -1);
+  EXPECT_DOUBLE_EQ(w.in_list[1].AsDouble(), -2.5);
+}
+
+TEST(Parser, OrderByAndLimit) {
+  auto stmt =
+      MustParse("SELECT * FROM t ORDER BY a DESC, b ASC LIMIT 10");
+  const auto& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.order_by.size(), 2u);
+  EXPECT_TRUE(sel.order_by[0].descending);
+  EXPECT_FALSE(sel.order_by[1].descending);
+  EXPECT_EQ(*sel.limit, 10);
+}
+
+TEST(Parser, CreateTable) {
+  auto stmt = MustParse(
+      "CREATE TEMPORARY TABLE Eurostat (country VARCHAR, "
+      "reported_count INT)");
+  ASSERT_TRUE(stmt.Is<CreateTableStmt>());
+  const auto& ct = stmt.As<CreateTableStmt>();
+  EXPECT_TRUE(ct.temporary);
+  EXPECT_EQ(ct.name, "Eurostat");
+  ASSERT_EQ(ct.columns.size(), 2u);
+  EXPECT_EQ(ct.columns[1].type, DataType::kInt64);
+}
+
+TEST(Parser, CreateGlobalPopulation) {
+  auto stmt = MustParse(
+      "CREATE GLOBAL POPULATION EuropeMigrants (country VARCHAR, "
+      "email VARCHAR)");
+  ASSERT_TRUE(stmt.Is<CreatePopulationStmt>());
+  const auto& cp = stmt.As<CreatePopulationStmt>();
+  EXPECT_TRUE(cp.global);
+  EXPECT_EQ(cp.columns.size(), 2u);
+  EXPECT_EQ(cp.as_select, nullptr);
+}
+
+TEST(Parser, CreateDerivedPopulation) {
+  auto stmt = MustParse(
+      "CREATE POPULATION UkMigrants AS "
+      "(SELECT * FROM EuropeMigrants WHERE country = 'UK')");
+  const auto& cp = stmt.As<CreatePopulationStmt>();
+  EXPECT_FALSE(cp.global);
+  ASSERT_NE(cp.as_select, nullptr);
+  EXPECT_EQ(cp.as_select->from, "EuropeMigrants");
+  EXPECT_NE(cp.as_select->where, nullptr);
+}
+
+TEST(Parser, CreateSampleWithPredicate) {
+  // Lines 10-12 of the paper's example.
+  auto stmt = MustParse(
+      "CREATE SAMPLE YahooMigrants AS "
+      "(SELECT * FROM EuropeMigrants WHERE email = Yahoo)");
+  ASSERT_TRUE(stmt.Is<CreateSampleStmt>());
+  const auto& cs = stmt.As<CreateSampleStmt>();
+  EXPECT_EQ(cs.name, "YahooMigrants");
+  EXPECT_FALSE(cs.mechanism.has_mechanism());
+  EXPECT_NE(cs.as_select->where, nullptr);
+}
+
+TEST(Parser, CreateSampleUniformMechanism) {
+  auto stmt = MustParse(
+      "CREATE SAMPLE S AS (SELECT * FROM GP USING MECHANISM UNIFORM "
+      "PERCENT 10)");
+  const auto& cs = stmt.As<CreateSampleStmt>();
+  EXPECT_EQ(cs.mechanism.type, MechanismSpec::Type::kUniform);
+  EXPECT_DOUBLE_EQ(cs.mechanism.percent, 10.0);
+}
+
+TEST(Parser, CreateSampleStratifiedMechanism) {
+  auto stmt = MustParse(
+      "CREATE SAMPLE S AS (SELECT * FROM GP USING MECHANISM STRATIFIED "
+      "ON carrier PERCENT 20)");
+  const auto& cs = stmt.As<CreateSampleStmt>();
+  EXPECT_EQ(cs.mechanism.type, MechanismSpec::Type::kStratified);
+  EXPECT_EQ(cs.mechanism.stratify_attr, "carrier");
+  EXPECT_DOUBLE_EQ(cs.mechanism.percent, 20.0);
+}
+
+TEST(Parser, CreateSamplePercentOutOfRangeFails) {
+  EXPECT_FALSE(ParseStatement("CREATE SAMPLE S AS (SELECT * FROM GP USING "
+                              "MECHANISM UNIFORM PERCENT 0)")
+                   .ok());
+  EXPECT_FALSE(ParseStatement("CREATE SAMPLE S AS (SELECT * FROM GP USING "
+                              "MECHANISM UNIFORM PERCENT 150)")
+                   .ok());
+}
+
+TEST(Parser, CreateMetadataNamingConvention) {
+  auto stmt = MustParse(
+      "CREATE METADATA EuropeMigrants_M1 AS "
+      "(SELECT country, reported_count FROM Eurostat)");
+  const auto& cm = stmt.As<CreateMetadataStmt>();
+  EXPECT_EQ(cm.name, "EuropeMigrants_M1");
+  EXPECT_EQ(cm.population, "EuropeMigrants");
+}
+
+TEST(Parser, CreateMetadataForClause) {
+  auto stmt = MustParse(
+      "CREATE METADATA m FOR Flights AS (SELECT c, COUNT(*) FROM aux "
+      "GROUP BY c)");
+  const auto& cm = stmt.As<CreateMetadataStmt>();
+  EXPECT_EQ(cm.population, "Flights");
+}
+
+TEST(Parser, InsertMultipleRows) {
+  auto stmt = MustParse(
+      "INSERT INTO t VALUES ('a', 1, 1.5), ('b', -2, 2.5)");
+  const auto& ins = stmt.As<InsertStmt>();
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[0][0].AsString(), "a");
+  EXPECT_EQ(ins.rows[1][1].AsInt64(), -2);
+}
+
+TEST(Parser, Copy) {
+  auto stmt = MustParse("COPY flights FROM '/tmp/f.csv'");
+  const auto& cp = stmt.As<CopyStmt>();
+  EXPECT_EQ(cp.table, "flights");
+  EXPECT_EQ(cp.path, "/tmp/f.csv");
+}
+
+TEST(Parser, DropVariants) {
+  EXPECT_EQ(MustParse("DROP TABLE t").As<DropStmt>().target,
+            DropStmt::Target::kTable);
+  EXPECT_EQ(MustParse("DROP POPULATION p").As<DropStmt>().target,
+            DropStmt::Target::kPopulation);
+  EXPECT_EQ(MustParse("DROP SAMPLE s").As<DropStmt>().target,
+            DropStmt::Target::kSample);
+  auto d = MustParse("DROP METADATA IF EXISTS m").As<DropStmt>();
+  EXPECT_EQ(d.target, DropStmt::Target::kMetadata);
+  EXPECT_TRUE(d.if_exists);
+}
+
+TEST(Parser, UpdateWeights) {
+  auto stmt =
+      MustParse("UPDATE s SET weight = 2.0 WHERE carrier = 'WN'");
+  const auto& up = stmt.As<UpdateStmt>();
+  ASSERT_EQ(up.assignments.size(), 1u);
+  EXPECT_EQ(up.assignments[0].first, "weight");
+  EXPECT_NE(up.where, nullptr);
+}
+
+TEST(Parser, ScriptWithSemicolons) {
+  auto r = ParseScript("SELECT * FROM a; SELECT * FROM b;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(Parser, ErrorsAreParseErrors) {
+  for (const char* bad : {
+           "SELECT",
+           "SELECT FROM t",
+           "SELECT * FROM",
+           "SELECT * FROM t WHERE",
+           "CREATE",
+           "CREATE GLOBAL TABLE t (a INT)",
+           "INSERT INTO t",
+           "SELECT * FROM t GROUP BY",
+           "SELECT * FROM t LIMIT x",
+           "SELECT COUNT( FROM t",
+       }) {
+    auto r = ParseStatement(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
+    }
+  }
+}
+
+TEST(Parser, MultipleStatementsRejectedBySingleParse) {
+  EXPECT_FALSE(ParseStatement("SELECT * FROM a; SELECT * FROM b").ok());
+}
+
+TEST(Parser, ExprCloneIsDeep) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a > 1 AND b IN (1, 2)");
+  const auto& w = *AsSelect(stmt).where;
+  auto clone = w.Clone();
+  EXPECT_EQ(clone->ToString(), w.ToString());
+  EXPECT_NE(clone->left.get(), w.left.get());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace mosaic

@@ -1,0 +1,92 @@
+#include "stats/reweight.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace stats {
+namespace {
+
+TEST(Reweight, UniformMechanism) {
+  auto w = UniformMechanismWeights(5, 10.0);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), 5u);
+  for (double x : *w) EXPECT_DOUBLE_EQ(x, 10.0);
+}
+
+TEST(Reweight, UniformMechanismValidation) {
+  EXPECT_FALSE(UniformMechanismWeights(5, 0.0).ok());
+  EXPECT_FALSE(UniformMechanismWeights(5, -1.0).ok());
+  EXPECT_FALSE(UniformMechanismWeights(5, 101.0).ok());
+  EXPECT_TRUE(UniformMechanismWeights(5, 100.0).ok());
+}
+
+TEST(Reweight, UniformToPopulation) {
+  auto w = UniformWeightsToPopulation(4, 1000.0);
+  ASSERT_TRUE(w.ok());
+  for (double x : *w) EXPECT_DOUBLE_EQ(x, 250.0);
+  EXPECT_FALSE(UniformWeightsToPopulation(0, 10.0).ok());
+  EXPECT_FALSE(UniformWeightsToPopulation(4, 0.0).ok());
+}
+
+Table StratSample() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"stratum", DataType::kString}).ok());
+  Table t(s);
+  // 2 tuples from stratum a, 1 from stratum b.
+  EXPECT_TRUE(t.AppendRow({Value("a")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("a")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("b")}).ok());
+  return t;
+}
+
+Marginal StratMarginal(double na, double nb) {
+  auto m = Marginal::FromCounts(
+      {AttributeBinning::Categorical("stratum", {Value("a"), Value("b")})},
+      {na, nb});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(Reweight, StratifiedHorvitzThompson) {
+  Table sample = StratSample();
+  auto w = StratifiedMechanismWeights(sample, "stratum",
+                                      StratMarginal(100, 50));
+  ASSERT_TRUE(w.ok());
+  // Stratum a: N_h=100, n_h=2 -> 50 each; stratum b: 50/1 = 50.
+  EXPECT_DOUBLE_EQ((*w)[0], 50.0);
+  EXPECT_DOUBLE_EQ((*w)[1], 50.0);
+  EXPECT_DOUBLE_EQ((*w)[2], 50.0);
+  // Total estimated population = 150 = marginal total.
+  EXPECT_DOUBLE_EQ((*w)[0] + (*w)[1] + (*w)[2], 150.0);
+}
+
+TEST(Reweight, StratifiedSkewedStrata) {
+  Table sample = StratSample();
+  auto w = StratifiedMechanismWeights(sample, "stratum",
+                                      StratMarginal(10, 990));
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ((*w)[0], 5.0);
+  EXPECT_DOUBLE_EQ((*w)[2], 990.0);
+}
+
+TEST(Reweight, StratifiedWrongMarginalRejected) {
+  Table sample = StratSample();
+  // Marginal over a different attribute.
+  auto m = Marginal::FromCounts(
+      {AttributeBinning::Categorical("other", {Value("a")})}, {1.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(StratifiedMechanismWeights(sample, "stratum", *m).ok());
+}
+
+TEST(Reweight, StratifiedTupleOutsideSupportRejected) {
+  Table sample = StratSample();
+  // Marginal missing stratum b.
+  auto m = Marginal::FromCounts(
+      {AttributeBinning::Categorical("stratum", {Value("a")})}, {100.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(StratifiedMechanismWeights(sample, "stratum", *m).ok());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace mosaic

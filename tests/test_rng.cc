@@ -1,0 +1,188 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mosaic {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(99);
+  uint32_t first = a.NextU32();
+  a.NextU32();
+  a.Seed(99);
+  EXPECT_EQ(a.NextU32(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(uint64_t{10});
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, UniformIntSignedRange) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(int64_t{-5}, int64_t{5});
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(14);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(weights)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(15);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(16);
+  auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(18);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementUnbiased) {
+  Rng rng(19);
+  // Each of 10 items should appear in a size-5 subset about half the
+  // time.
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t v : rng.SampleWithoutReplacement(10, 5)) counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(trials), 0.5, 0.02);
+  }
+}
+
+TEST(Rng, UnitVectorHasUnitNorm) {
+  Rng rng(20);
+  for (size_t dim : {1u, 2u, 5u, 20u}) {
+    auto v = rng.UnitVector(dim);
+    EXPECT_EQ(v.size(), dim);
+    double norm_sq = 0.0;
+    for (double x : v) norm_sq += x * x;
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, UnitVectorDirectionsCoverSphere) {
+  Rng rng(21);
+  // Mean of many random unit vectors should be near the origin.
+  double mx = 0.0, my = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto v = rng.UnitVector(2);
+    mx += v[0];
+    my += v[1];
+  }
+  EXPECT_NEAR(mx / n, 0.0, 0.02);
+  EXPECT_NEAR(my / n, 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace mosaic

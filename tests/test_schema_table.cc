@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace {
+
+Schema MakeSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"id", DataType::kInt64}).ok());
+  EXPECT_TRUE(s.AddColumn({"name", DataType::kString}).ok());
+  EXPECT_TRUE(s.AddColumn({"score", DataType::kDouble}).ok());
+  return s;
+}
+
+TEST(Schema, FindColumnCaseInsensitive) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(*s.FindColumn("ID"), 0u);
+  EXPECT_EQ(*s.FindColumn("Name"), 1u);
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+}
+
+TEST(Schema, DuplicateColumnRejected) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.AddColumn({"ID", DataType::kDouble}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Schema, Project) {
+  Schema s = MakeSchema();
+  Schema p = s.Project({2, 0});
+  ASSERT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name, "score");
+  EXPECT_EQ(p.column(1).name, "id");
+}
+
+TEST(Schema, ToString) {
+  EXPECT_EQ(MakeSchema().ToString(), "id INT, name VARCHAR, score DOUBLE");
+}
+
+Table MakeTable() {
+  Table t(MakeSchema());
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{1}), Value("alice"), Value(3.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value("bob"), Value(1.5)}).ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{3}), Value("carol"), Value(2.5)}).ok());
+  return t;
+}
+
+TEST(Table, AppendAndGet) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.GetValue(1, 1).AsString(), "bob");
+  EXPECT_DOUBLE_EQ(t.GetValue(2, 2).AsDouble(), 2.5);
+}
+
+TEST(Table, AppendCoercesTypes) {
+  Table t = MakeTable();
+  // double into int column, int into double column.
+  EXPECT_TRUE(t.AppendRow({Value(4.0), Value("dee"), Value(int64_t{7})}).ok());
+  EXPECT_EQ(t.GetValue(3, 0).AsInt64(), 4);
+  EXPECT_DOUBLE_EQ(t.GetValue(3, 2).AsDouble(), 7.0);
+}
+
+TEST(Table, AppendWrongArityFails) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{1})}).ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(Table, AppendNullRejectedAtomically) {
+  Table t = MakeTable();
+  Status st = t.AppendRow({Value(int64_t{9}), Value(), Value(1.0)});
+  EXPECT_FALSE(st.ok());
+  // The failed row must not partially mutate any column.
+  EXPECT_EQ(t.num_rows(), 3u);
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(t.column(c).size(), 3u);
+  }
+}
+
+TEST(Table, AppendNonCoercibleRejectedAtomically) {
+  Table t = MakeTable();
+  Status st = t.AppendRow({Value("notanint"), Value("x"), Value(1.0)});
+  EXPECT_FALSE(st.ok());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(t.column(c).size(), 3u);
+  }
+}
+
+TEST(Table, FilterSelectsRows) {
+  Table t = MakeTable();
+  Table f = t.Filter({2, 0});
+  ASSERT_EQ(f.num_rows(), 2u);
+  EXPECT_EQ(f.GetValue(0, 1).AsString(), "carol");
+  EXPECT_EQ(f.GetValue(1, 1).AsString(), "alice");
+}
+
+TEST(Table, FilterSharesDictionary) {
+  Table t = MakeTable();
+  Table f = t.Filter({1});
+  EXPECT_EQ(f.GetValue(0, 1).AsString(), "bob");
+  // Dictionary is shared, not copied: same size even though the
+  // filtered column holds one row.
+  EXPECT_EQ(f.column(1).dictionary().size(), 3u);
+}
+
+TEST(Table, ProjectColumns) {
+  Table t = MakeTable();
+  Table p = t.Project({1});
+  EXPECT_EQ(p.num_columns(), 1u);
+  EXPECT_EQ(p.num_rows(), 3u);
+  EXPECT_EQ(p.GetValue(0, 0).AsString(), "alice");
+}
+
+TEST(Table, ConcatMatchingSchemas) {
+  Table a = MakeTable();
+  Table b = MakeTable();
+  ASSERT_TRUE(a.Concat(b).ok());
+  EXPECT_EQ(a.num_rows(), 6u);
+  EXPECT_EQ(a.GetValue(5, 1).AsString(), "carol");
+}
+
+TEST(Table, ConcatSchemaMismatch) {
+  Table a = MakeTable();
+  Schema other;
+  ASSERT_TRUE(other.AddColumn({"id", DataType::kInt64}).ok());
+  Table b(other);
+  EXPECT_FALSE(a.Concat(b).ok());
+}
+
+TEST(Table, AddColumn) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.AddColumn({"flag", DataType::kBool},
+                          {Value(true), Value(false), Value(true)})
+                  .ok());
+  EXPECT_EQ(t.num_columns(), 4u);
+  EXPECT_TRUE(t.GetValue(0, 3).AsBool());
+}
+
+TEST(Table, AddColumnSizeMismatch) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.AddColumn({"flag", DataType::kBool}, {Value(true)}).ok());
+  // Schema must be rolled back.
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_FALSE(t.schema().FindColumn("flag").has_value());
+}
+
+TEST(Table, AddDoubleColumn) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.AddDoubleColumn("weight", {1.0, 2.0, 3.0}).ok());
+  EXPECT_DOUBLE_EQ(t.GetValue(2, 3).AsDouble(), 3.0);
+}
+
+TEST(Table, SortIndices) {
+  Table t = MakeTable();
+  auto idx = t.SortIndices(2);  // by score: 1.5, 2.5, 3.5
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 2u);
+  EXPECT_EQ(idx[2], 0u);
+}
+
+TEST(Table, ColumnByName) {
+  Table t = MakeTable();
+  auto col = t.ColumnByName("SCORE");
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ(*(*col)->GetDouble(0), 3.5);
+  EXPECT_FALSE(t.ColumnByName("nope").ok());
+}
+
+TEST(Table, ToStringLimit) {
+  Table t = MakeTable();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("alice"), std::string::npos);
+  EXPECT_EQ(s.find("carol"), std::string::npos);
+  EXPECT_NE(s.find("3 rows total"), std::string::npos);
+}
+
+TEST(Column, ToDoubleVector) {
+  Table t = MakeTable();
+  auto scores = t.column(2).ToDoubleVector();
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0], 3.5);
+  // String columns expose their dictionary codes.
+  auto codes = t.column(1).ToDoubleVector();
+  EXPECT_DOUBLE_EQ(codes[0], 0.0);
+  EXPECT_DOUBLE_EQ(codes[2], 2.0);
+}
+
+TEST(Column, GetDoubleOnStringFails) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.column(1).GetDouble(0).ok());
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("thing is missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "thing is missing");
+  EXPECT_EQ(s.ToString(), "NotFound: thing is missing");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kNotConverged); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::ParseError("x"), Status::ParseError("x"));
+  EXPECT_FALSE(Status::ParseError("x") == Status::ParseError("y"));
+  EXPECT_FALSE(Status::ParseError("x") == Status::BindError("x"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  MOSAIC_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_EQ(UseReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Doubler(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  MOSAIC_ASSIGN_OR_RETURN(int doubled, Doubler(x));
+  MOSAIC_ASSIGN_OR_RETURN(int quadrupled, Doubler(doubled));
+  return quadrupled;
+}
+
+TEST(Macros, AssignOrReturnChains) {
+  Result<int> r = UseAssignOrReturn(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 12);
+  EXPECT_FALSE(UseAssignOrReturn(-3).ok());
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,77 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mosaic {
+namespace {
+
+TEST(StringUtil, ToLowerUpper) {
+  EXPECT_EQ(ToLower("SELECT x"), "select x");
+  EXPECT_EQ(ToUpper("semi-open"), "SEMI-OPEN");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtil, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Carrier", "CARRIER"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n a \r"), "a");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d rows, %.2f pct", 42, 3.14159), "42 rows, 3.14 pct");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtil, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.001), "0.001");
+  EXPECT_EQ(FormatDouble(-2.50), "-2.5");
+}
+
+TEST(StringUtil, RenderTableAligns) {
+  std::string out = RenderTable({"a", "long_header"},
+                                {{"1", "2"}, {"333", "4"}});
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,103 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace mosaic {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_TRUE(Value(true).AsBool());
+}
+
+TEST(Value, ToDouble) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{3}).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).ToDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(*Value(true).ToDouble(), 1.0);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value().ToDouble().ok());
+}
+
+TEST(Value, CastIntToDouble) {
+  auto r = Value(int64_t{7}).CastTo(DataType::kDouble);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 7.0);
+}
+
+TEST(Value, CastDoubleToIntRounds) {
+  EXPECT_EQ(Value(2.6).CastTo(DataType::kInt64)->AsInt64(), 3);
+  EXPECT_EQ(Value(-2.6).CastTo(DataType::kInt64)->AsInt64(), -3);
+}
+
+TEST(Value, CastStringToNumeric) {
+  EXPECT_EQ(Value("123").CastTo(DataType::kInt64)->AsInt64(), 123);
+  EXPECT_DOUBLE_EQ(Value("1.5").CastTo(DataType::kDouble)->AsDouble(), 1.5);
+  EXPECT_FALSE(Value("12x").CastTo(DataType::kInt64).ok());
+  EXPECT_FALSE(Value("abc").CastTo(DataType::kDouble).ok());
+}
+
+TEST(Value, CastToString) {
+  EXPECT_EQ(Value(int64_t{5}).CastTo(DataType::kString)->AsString(), "5");
+  EXPECT_EQ(Value(1.25).CastTo(DataType::kString)->AsString(), "1.25");
+  EXPECT_EQ(Value(true).CastTo(DataType::kString)->AsString(), "true");
+}
+
+TEST(Value, CastIdentity) {
+  Value v("keep");
+  auto r = v.CastTo(DataType::kString);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "keep");
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value("abc").ToString(), "'abc'");
+  EXPECT_EQ(Value(false).ToString(), "FALSE");
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value(int64_t{3}) == Value(3.0));
+  EXPECT_FALSE(Value(int64_t{3}) == Value(3.5));
+  EXPECT_TRUE(Value(true) == Value(int64_t{1}));
+}
+
+TEST(Value, StringEqualityIsExact) {
+  EXPECT_TRUE(Value("a") == Value("a"));
+  EXPECT_FALSE(Value("a") == Value("A"));
+  EXPECT_FALSE(Value("1") == Value(int64_t{1}));
+}
+
+TEST(Value, OrderingNumeric) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(2.5));
+  EXPECT_FALSE(Value(2.5) < Value(int64_t{1}));
+  EXPECT_FALSE(Value(2.0) < Value(int64_t{2}));
+}
+
+TEST(Value, OrderingNullFirst) {
+  EXPECT_TRUE(Value() < Value(int64_t{0}));
+  EXPECT_FALSE(Value(int64_t{0}) < Value());
+  EXPECT_FALSE(Value() < Value());
+}
+
+TEST(Value, OrderingStrings) {
+  EXPECT_TRUE(Value("AA") < Value("WN"));
+  EXPECT_FALSE(Value("WN") < Value("AA"));
+}
+
+TEST(DataTypeParsing, Aliases) {
+  EXPECT_EQ(*ParseDataType("INTEGER"), DataType::kInt64);
+  EXPECT_EQ(*ParseDataType("bigint"), DataType::kInt64);
+  EXPECT_EQ(*ParseDataType("Float"), DataType::kDouble);
+  EXPECT_EQ(*ParseDataType("TEXT"), DataType::kString);
+  EXPECT_EQ(*ParseDataType("varchar"), DataType::kString);
+  EXPECT_EQ(*ParseDataType("BOOLEAN"), DataType::kBool);
+  EXPECT_FALSE(ParseDataType("BLOB").ok());
+}
+
+}  // namespace
+}  // namespace mosaic

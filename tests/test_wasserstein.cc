@@ -1,0 +1,155 @@
+#include "stats/wasserstein.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mosaic {
+namespace stats {
+namespace {
+
+TEST(Wasserstein1D, IdenticalDistributionsAreZero) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_NEAR(*Wasserstein1D(xs, xs), 0.0, 1e-12);
+}
+
+TEST(Wasserstein1D, PointMassesDistance) {
+  // W1 between delta(0) and delta(3) is 3.
+  EXPECT_NEAR(*Wasserstein1D({0.0}, {3.0}), 3.0, 1e-12);
+}
+
+TEST(Wasserstein1D, TranslationInvariantShift) {
+  // W1(P, P + c) = |c| for any distribution.
+  std::vector<double> xs = {0.0, 1.0, 5.0, 9.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(x + 2.5);
+  EXPECT_NEAR(*Wasserstein1D(xs, ys), 2.5, 1e-12);
+}
+
+TEST(Wasserstein1D, Symmetry) {
+  std::vector<double> xs = {0, 1, 2}, ys = {5, 6, 9};
+  EXPECT_NEAR(*Wasserstein1D(xs, ys), *Wasserstein1D(ys, xs), 1e-12);
+}
+
+TEST(Wasserstein1D, TriangleInequality) {
+  std::vector<double> a = {0, 1}, b = {2, 3}, c = {7, 9};
+  double ab = *Wasserstein1D(a, b);
+  double bc = *Wasserstein1D(b, c);
+  double ac = *Wasserstein1D(a, c);
+  EXPECT_LE(ac, ab + bc + 1e-12);
+}
+
+TEST(Wasserstein1D, WeightedAtoms) {
+  // P = 0.75*delta(0) + 0.25*delta(4); Q = delta(0).
+  // Transport 0.25 mass a distance 4: W1 = 1.
+  auto w = Wasserstein1D({0.0, 4.0}, {3.0, 1.0}, {0.0}, {1.0});
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(*w, 1.0, 1e-12);
+}
+
+TEST(Wasserstein1D, WeightsNormalizedInternally) {
+  // Scaling all weights must not change the distance.
+  auto w1 = Wasserstein1D({0.0, 1.0}, {1.0, 1.0}, {2.0}, {5.0});
+  auto w2 = Wasserstein1D({0.0, 1.0}, {100.0, 100.0}, {2.0}, {0.1});
+  EXPECT_NEAR(*w1, *w2, 1e-12);
+}
+
+TEST(Wasserstein1D, DuplicatedSupportPoints) {
+  // Repeated atoms at the same location must merge cleanly.
+  auto w = Wasserstein1D({1.0, 1.0, 1.0}, {4.0, 4.0, 4.0});
+  EXPECT_NEAR(*w, 3.0, 1e-12);
+}
+
+TEST(Wasserstein1D, ErrorsOnBadInput) {
+  EXPECT_FALSE(Wasserstein1D({}, {1.0}).ok());
+  EXPECT_FALSE(Wasserstein1D({1.0}, {}).ok());
+  EXPECT_FALSE(Wasserstein1D({1.0}, {1.0}, {1.0}, {-1.0}).ok());
+  EXPECT_FALSE(Wasserstein1D({1.0}, {0.0}, {1.0}, {1.0}).ok());  // zero mass
+  EXPECT_FALSE(Wasserstein1D({1.0, 2.0}, {1.0}, {1.0}, {1.0}).ok());
+}
+
+TEST(W2SquaredMatched, KnownValue) {
+  // Sorted pairs: (1,2),(3,5) -> ((1)^2 + (2)^2)/2 = 2.5.
+  auto w = Wasserstein2SquaredMatched({3.0, 1.0}, {2.0, 5.0});
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(*w, 2.5, 1e-12);
+}
+
+TEST(W2SquaredMatched, ZeroForIdentical) {
+  EXPECT_NEAR(*Wasserstein2SquaredMatched({5, 1, 3}, {1, 3, 5}), 0.0, 1e-12);
+}
+
+TEST(W2SquaredMatched, SizeMismatchFails) {
+  EXPECT_FALSE(Wasserstein2SquaredMatched({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(Wasserstein2SquaredMatched({}, {}).ok());
+}
+
+TEST(SortedMatching, PairsSortedRanks) {
+  auto pairs = SortedMatching({3.0, 1.0, 2.0}, {30.0, 10.0, 20.0});
+  ASSERT_TRUE(pairs.ok());
+  // rank 0: x index 1 (value 1), y index 1 (value 10)
+  EXPECT_EQ((*pairs)[0].first, 1u);
+  EXPECT_EQ((*pairs)[0].second, 1u);
+  EXPECT_EQ((*pairs)[2].first, 0u);
+  EXPECT_EQ((*pairs)[2].second, 0u);
+}
+
+PointSet MakePoints(std::vector<std::pair<double, double>> pts) {
+  PointSet ps;
+  ps.n = pts.size();
+  ps.d = 2;
+  for (auto [x, y] : pts) {
+    ps.data.push_back(x);
+    ps.data.push_back(y);
+  }
+  return ps;
+}
+
+TEST(Project, DotProducts) {
+  PointSet ps = MakePoints({{1, 0}, {0, 1}, {2, 2}});
+  auto proj = Project(ps, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(proj[0], 1.0);
+  EXPECT_DOUBLE_EQ(proj[1], 0.0);
+  EXPECT_DOUBLE_EQ(proj[2], 2.0);
+}
+
+TEST(SlicedWasserstein, ZeroForIdenticalSets) {
+  Rng rng(3);
+  PointSet p = MakePoints({{0, 0}, {1, 1}, {2, 0}});
+  auto sw = SlicedWasserstein(p, p, 20, &rng);
+  ASSERT_TRUE(sw.ok());
+  EXPECT_NEAR(*sw, 0.0, 1e-12);
+}
+
+TEST(SlicedWasserstein, DetectsTranslation) {
+  Rng rng(4);
+  PointSet p = MakePoints({{0, 0}, {1, 0}});
+  PointSet q = MakePoints({{10, 0}, {11, 0}});
+  auto sw = SlicedWasserstein(p, q, 500, &rng);
+  ASSERT_TRUE(sw.ok());
+  // Expected: E_w |w_x| * 10 = (2/pi) * 10 for random unit w in 2-D.
+  EXPECT_NEAR(*sw, 10.0 * 2.0 / M_PI, 0.5);
+}
+
+TEST(SlicedWasserstein, DimensionMismatchFails) {
+  Rng rng(5);
+  PointSet p = MakePoints({{0, 0}});
+  PointSet q;
+  q.n = 1;
+  q.d = 3;
+  q.data = {0, 0, 0};
+  EXPECT_FALSE(SlicedWasserstein(p, q, 5, &rng).ok());
+}
+
+TEST(SlicedWasserstein, EmptyOrNoProjectionFails) {
+  Rng rng(6);
+  PointSet p = MakePoints({{0, 0}});
+  PointSet empty;
+  empty.d = 2;
+  EXPECT_FALSE(SlicedWasserstein(p, empty, 5, &rng).ok());
+  EXPECT_FALSE(SlicedWasserstein(p, p, 0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace mosaic

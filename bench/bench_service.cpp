@@ -1,0 +1,201 @@
+// Throughput of the concurrent query service on a cached-model mixed
+// workload (CLOSED group-bys, OPEN aggregates, SHOW): the same query
+// stream is replayed through services with 1..N request threads and
+// queries/sec + speedup are reported, then once more with the result
+// cache enabled to show its effect.
+//
+//   ./bench_service [max_threads] [queries]
+//
+// The model cache is pre-warmed so OPEN queries measure generation +
+// execution, not training. The result cache is disabled during the
+// scaling runs so every query does real work. Generation threads
+// scale with request threads.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "service/query_service.h"
+
+using namespace mosaic;
+using bench::Check;
+using bench::Unwrap;
+
+namespace {
+
+const char* kColors[] = {"red", "blue", "green", "gold"};
+const char* kSizes[] = {"S", "M", "L"};
+
+/// A categorical world big enough that queries cost real work:
+/// 4 colors x 3 sizes, a biased ~1500-row sample, marginals on both
+/// attributes.
+void BuildWorld(core::Database* db, size_t sample_rows) {
+  auto exec = [db](const std::string& sql) {
+    Unwrap(db->Execute(sql), sql.c_str());
+  };
+  exec("CREATE GLOBAL POPULATION Things (color VARCHAR, size VARCHAR)");
+  exec("CREATE TABLE ColorReport (color VARCHAR, cnt INT)");
+  exec("INSERT INTO ColorReport VALUES ('red', 40000), ('blue', 30000), "
+       "('green', 20000), ('gold', 10000)");
+  exec("CREATE TABLE SizeReport (size VARCHAR, cnt INT)");
+  exec("INSERT INTO SizeReport VALUES ('S', 50000), ('M', 30000), "
+       "('L', 20000)");
+  exec("CREATE METADATA Things_M1 AS (SELECT color, cnt FROM ColorReport)");
+  exec("CREATE METADATA Things_M2 AS (SELECT size, cnt FROM SizeReport)");
+  exec("CREATE SAMPLE Biased AS (SELECT * FROM Things WHERE color = 'red' "
+       "OR color = 'blue')");
+
+  // Biased ingest: only red/blue tuples, size skewed toward S.
+  Schema schema;
+  Check(schema.AddColumn({"color", DataType::kString}), "schema color");
+  Check(schema.AddColumn({"size", DataType::kString}), "schema size");
+  Table rows(schema);
+  Rng rng(17);
+  for (size_t i = 0; i < sample_rows; ++i) {
+    const char* color = rng.Bernoulli(0.6) ? "red" : "blue";
+    const char* size = kSizes[rng.Categorical({5.0, 2.0, 1.0})];
+    Check(rows.AppendRow({Value(std::string(color)),
+                          Value(std::string(size))}),
+          "append");
+  }
+  Check(db->IngestSample("Biased", rows), "ingest");
+
+  auto* open = db->mutable_open_options();
+  open->mswg.epochs = 4;
+  open->mswg.steps_per_epoch = 8;
+  open->mswg.batch_size = 128;
+  open->mswg.num_projections = 64;
+  open->mswg.projections_per_step = 8;
+  open->generated_rows = 2000;
+  open->num_generated_samples = 10;  // the paper's setting
+}
+
+std::vector<std::string> MakeWorkload(size_t n) {
+  // ~70% CLOSED reads with varied predicates, ~20% OPEN aggregates
+  // (cached model), ~10% catalog SHOWs.
+  std::vector<std::string> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 10) {
+      case 0:
+      case 1:
+        queries.push_back(
+            "SELECT CLOSED color, COUNT(*) AS c FROM Things GROUP BY "
+            "color");
+        break;
+      case 2:
+      case 3:
+        queries.push_back(std::string("SELECT CLOSED COUNT(*) AS c FROM "
+                                      "Things WHERE size = '") +
+                          kSizes[i % 3] + "'");
+        break;
+      case 4:
+      case 5:
+        queries.push_back(std::string("SELECT CLOSED size, COUNT(*) AS c "
+                                      "FROM Things WHERE color = '") +
+                          kColors[i % 2] + "' GROUP BY size");
+        break;
+      case 6:
+        queries.push_back("SELECT CLOSED COUNT(*) AS c FROM Things");
+        break;
+      case 7:
+      case 8:
+        queries.push_back(
+            "SELECT OPEN color, COUNT(*) AS c FROM Things GROUP BY color");
+        break;
+      default:
+        queries.push_back("SHOW SAMPLES");
+        break;
+    }
+  }
+  return queries;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  service::ServiceStats stats;
+};
+
+RunResult RunWorkload(size_t threads, const std::vector<std::string>& queries,
+                      size_t result_cache_capacity, size_t sample_rows) {
+  service::ServiceOptions opts;
+  opts.num_request_threads = threads;
+  opts.num_generation_threads = threads;
+  opts.result_cache_capacity = result_cache_capacity;
+  service::QueryService service(opts);
+  BuildWorld(service.database(), sample_rows);
+
+  // Pre-warm the model cache: the scaling measurement is about
+  // serving, not training.
+  Unwrap(service.Execute("SELECT OPEN COUNT(*) FROM Things"), "warmup");
+
+  auto start = std::chrono::steady_clock::now();
+  auto futures = service.SubmitBatch(queries);
+  for (auto& f : futures) {
+    Check(f.get().status(), "workload query");
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(end - start).count();
+  out.qps = static_cast<double>(queries.size()) / out.seconds;
+  out.stats = service.Stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  size_t max_threads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  size_t num_queries = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 400;
+  const size_t kSampleRows = 1500;
+
+  std::printf("=== bench_service: query-service throughput ===\n");
+  std::printf("hardware threads: %u, workload: %zu queries "
+              "(70%% CLOSED / 20%% OPEN / 10%% SHOW)\n\n",
+              std::thread::hardware_concurrency(), num_queries);
+
+  std::vector<std::string> workload = MakeWorkload(num_queries);
+
+  std::printf("--- scaling (result cache off, model cache warm) ---\n");
+  std::printf("%-8s %10s %10s %9s\n", "threads", "seconds", "q/s",
+              "speedup");
+  double base_qps = 0.0;
+  double best_speedup = 0.0;
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    RunResult r = RunWorkload(threads, workload, /*result_cache=*/0,
+                              kSampleRows);
+    if (threads == 1) base_qps = r.qps;
+    double speedup = r.qps / base_qps;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("%-8zu %10.3f %10.1f %8.2fx\n", threads, r.seconds, r.qps,
+                speedup);
+  }
+
+  std::printf("\n--- result cache on (%zu entries), %zu threads ---\n",
+              size_t{256}, max_threads);
+  RunResult cached = RunWorkload(max_threads, workload, 256, kSampleRows);
+  std::printf("%-8zu %10.3f %10.1f\n", max_threads, cached.seconds,
+              cached.qps);
+  std::printf("result cache: %llu hits / %llu misses (%.0f%% hit rate), "
+              "%llu insertions, %llu evictions\n",
+              (unsigned long long)cached.stats.result_cache.hits,
+              (unsigned long long)cached.stats.result_cache.misses,
+              100.0 * cached.stats.result_cache.hit_rate(),
+              (unsigned long long)cached.stats.result_cache.insertions,
+              (unsigned long long)cached.stats.result_cache.evictions);
+  std::printf("model cache:  %llu hits, %llu insertions\n",
+              (unsigned long long)cached.stats.model_cache.hits,
+              (unsigned long long)cached.stats.model_cache.insertions);
+
+  std::printf("\nbest speedup over 1 thread: %.2fx\n", best_speedup);
+  return 0;
+}

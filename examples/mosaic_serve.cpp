@@ -1,0 +1,136 @@
+// Multi-threaded serving demo: several client threads each open a
+// session against one QueryService and fire mixed CLOSED / SEMI-OPEN
+// / OPEN traffic at the flights-style world, while the main thread
+// reports live service statistics.
+//
+//   ./mosaic_serve [clients] [queries_per_client]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "service/query_service.h"
+
+using namespace mosaic;
+
+namespace {
+
+void BuildWorld(core::Database* db) {
+  auto exec = [db](const std::string& sql) {
+    auto r = db->Execute(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "setup failed (%s): %s\n", sql.c_str(),
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  exec("CREATE GLOBAL POPULATION People (email VARCHAR, device VARCHAR)");
+  exec("CREATE TABLE EmailReport (email VARCHAR, cnt INT)");
+  exec("INSERT INTO EmailReport VALUES ('gmail', 550), ('yahoo', 300), "
+       "('aol', 150)");
+  exec("CREATE TABLE DeviceReport (device VARCHAR, cnt INT)");
+  exec("INSERT INTO DeviceReport VALUES ('phone', 600), ('laptop', 400)");
+  exec("CREATE METADATA People_M1 AS (SELECT email, cnt FROM EmailReport)");
+  exec("CREATE METADATA People_M2 AS "
+       "(SELECT device, cnt FROM DeviceReport)");
+  exec("CREATE SAMPLE Panel AS (SELECT * FROM People WHERE email = "
+       "'gmail')");
+  exec("INSERT INTO Panel VALUES ('gmail','phone'), ('gmail','phone'), "
+       "('gmail','phone'), ('gmail','phone'), ('gmail','laptop'), "
+       "('gmail','laptop')");
+
+  auto* open = db->mutable_open_options();
+  open->mswg.epochs = 5;
+  open->mswg.steps_per_epoch = 10;
+  open->mswg.batch_size = 64;
+  open->mswg.num_projections = 64;
+  open->mswg.projections_per_step = 8;
+  open->generated_rows = 500;
+  open->num_generated_samples = 10;
+}
+
+const char* kQueries[] = {
+    "SELECT CLOSED email, COUNT(*) AS c FROM People GROUP BY email",
+    "SELECT CLOSED COUNT(*) AS c FROM People WHERE device = 'phone'",
+    "SELECT SEMI-OPEN COUNT(*) AS c FROM People",
+    "SELECT SEMI-OPEN device, COUNT(*) AS c FROM People GROUP BY device",
+    "SELECT OPEN email, COUNT(*) AS c FROM People GROUP BY email",
+    "SHOW METADATA",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  size_t num_clients = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  size_t per_client = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 20;
+
+  service::ServiceOptions opts;
+  opts.num_request_threads = 4;
+  opts.num_generation_threads = 4;
+  service::QueryService service(opts);
+  BuildWorld(service.database());
+
+  std::printf("mosaic_serve: %zu clients x %zu queries, "
+              "4 request + 4 generation threads\n\n",
+              num_clients, per_client);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> failures{0};
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&service, &failures, c, per_client] {
+      service::Session session = service.OpenSession();
+      size_t n = sizeof(kQueries) / sizeof(kQueries[0]);
+      for (size_t i = 0; i < per_client; ++i) {
+        auto result = session.Execute(kQueries[(c + i) % n]);
+        if (!result.ok()) ++failures;
+      }
+    });
+  }
+
+  std::thread reporter([&service, &done] {
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      service::ServiceStats s = service.Stats();
+      std::printf("  [stats] %llu queries (%llu reads / %llu writes), "
+                  "result cache %.0f%% hit, model cache %llu hits\n",
+                  (unsigned long long)s.queries_total,
+                  (unsigned long long)s.reads,
+                  (unsigned long long)s.writes,
+                  100.0 * s.result_cache.hit_rate(),
+                  (unsigned long long)s.model_cache.hits);
+    }
+  });
+
+  for (auto& c : clients) c.join();
+  done.store(true);
+  reporter.join();
+
+  auto seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  service::ServiceStats s = service.Stats();
+  std::printf("\nserved %llu queries in %.2fs (%.1f q/s), %llu failed\n",
+              (unsigned long long)s.queries_total, seconds,
+              static_cast<double>(s.queries_total) / seconds,
+              (unsigned long long)failures.load());
+  std::printf("sessions: %llu; result cache: %llu/%llu hits "
+              "(%zu entries, %llu invalidations); model cache: "
+              "%llu hits, %llu trained\n",
+              (unsigned long long)s.sessions_opened,
+              (unsigned long long)s.result_cache.hits,
+              (unsigned long long)(s.result_cache.hits +
+                                   s.result_cache.misses),
+              s.result_cache.entries,
+              (unsigned long long)s.result_cache.invalidations,
+              (unsigned long long)s.model_cache.hits,
+              (unsigned long long)s.model_cache.insertions);
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -6,6 +6,8 @@
 //
 // Meta-commands: \h (help), \q (quit). SHOW TABLES / POPULATIONS /
 // SAMPLES / METADATA inspect the catalog.
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
 #include <string>

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the test suite in Release
+# mode and again under AddressSanitizer (MOSAIC_SANITIZE=address).
+# Pass "thread" as $1 to add a ThreadSanitizer pass over the
+# concurrency-sensitive tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_suite() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== ${name}: configure ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_suite "Release" build-release -DCMAKE_BUILD_TYPE=Release
+run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMOSAIC_SANITIZE=address
+
+if [[ "${1:-}" == "thread" ]]; then
+  # TSan pass over the threaded subsystem tests (the full suite under
+  # TSan is slow; these are the tests that exercise concurrency).
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMOSAIC_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" --target \
+    test_thread_pool test_lru_cache test_service
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'test_(thread_pool|lru_cache|service)'
+fi
+
+echo "All checks passed."

@@ -1,0 +1,145 @@
+// A bounded, thread-safe LRU cache with hit/miss/eviction counters.
+//
+// Replaces the Database's former unbounded std::map model cache and
+// backs the query service's canonicalized-SQL result cache. Values
+// are returned by copy (cache std::shared_ptr for heavyweight values
+// such as trained generators) so entries can be evicted while callers
+// still hold a reference.
+#ifndef MOSAIC_COMMON_LRU_CACHE_H_
+#define MOSAIC_COMMON_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace mosaic {
+
+/// Counters describing cache effectiveness; all monotonically
+/// increasing except `entries`.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+  uint64_t invalidations = 0;  ///< entries dropped by Clear()/Erase()
+  size_t entries = 0;
+  size_t capacity = 0;
+
+  double hit_rate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// `capacity` = max entries; 0 disables caching (every Get misses,
+  /// Put is a no-op).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the value and refreshes recency, or nullopt on miss.
+  std::optional<V> Get(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Like Get, but without touching the hit/miss counters: for the
+  /// re-check in double-checked locking, where the first Get already
+  /// accounted for the lookup.
+  std::optional<V> Peek(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Insert or overwrite; evicts the least-recently-used entry when
+  /// over capacity.
+  void Put(const K& key, V value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    ++stats_.insertions;
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  /// Drops one entry if present.
+  void Erase(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+  }
+
+  /// Drops every entry (counted as invalidations, not evictions).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.invalidations += order_.size();
+    order_.clear();
+    index_.clear();
+  }
+
+  /// Change the bound; evicts LRU entries if shrinking below the
+  /// current size.
+  void set_capacity(size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+    while (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+
+  CacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheStats out = stats_;
+    out.entries = order_.size();
+    out.capacity = capacity_;
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  ///< front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_LRU_CACHE_H_

@@ -1,0 +1,88 @@
+// A general-purpose fixed-size worker pool: callers Submit callables
+// and get std::futures back; the destructor drains the queue and
+// joins the workers (graceful shutdown).
+//
+// Used by the query service for request fan-out and by the Database
+// for parallel OPEN-query sample generation. Nested blocking — a pool
+// task waiting on futures served by the *same* pool — can deadlock
+// once every worker blocks, so the service keeps two pools: one for
+// requests, one for generation (see service/query_service.h).
+#ifndef MOSAIC_COMMON_THREAD_POOL_H_
+#define MOSAIC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mosaic {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains remaining queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a callable; returns a future for its result. Tasks
+  /// submitted after Shutdown() run inline on the calling thread (the
+  /// pool never silently drops work).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!accepting_) {
+        lock.unlock();
+        (*task)();
+        return future;
+      }
+      queue_.emplace_back([task] { (*task)(); });
+      ++scheduled_;
+    }
+    wake_worker_.notify_one();
+    return future;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Stop accepting new tasks, finish the queue, join the workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks submitted but not yet finished (queued + running).
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::mutex join_mu_;
+  std::condition_variable wake_worker_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t scheduled_ = 0;  ///< queued + running
+  bool accepting_ = true;
+  bool stopping_ = false;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_THREAD_POOL_H_

@@ -99,7 +99,7 @@ Result<Table> CombineOpenRuns(const std::vector<Table>& runs,
 
 }  // namespace
 
-Database::Database() {
+Database::Database() : model_cache_(kDefaultModelCacheCapacity) {
   // Ad-hoc OPEN queries get a lighter training budget than the
   // benches (which configure their own MswgOptions).
   open_.mswg.epochs = 15;
@@ -111,6 +111,10 @@ Database::Database() {
 Result<Table> Database::Execute(const std::string& sql) {
   MOSAIC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   return ExecuteStatement(&stmt);
+}
+
+Result<Table> Database::ExecuteParsed(sql::Statement* stmt) {
+  return ExecuteStatement(stmt);
 }
 
 Result<Table> Database::ExecuteScript(const std::string& sql) {
@@ -305,7 +309,6 @@ Result<Database::DebiasPlan> Database::PlanDebias(
 
 Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
                                                PopulationInfo* population) {
-  MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
   sql::Visibility vis = stmt.visibility == sql::Visibility::kDefault
                             ? sql::Visibility::kClosed
                             : stmt.visibility;
@@ -314,11 +317,13 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
     case sql::Visibility::kClosed: {
       // LAV-view answering: the sample tuples that belong to the
       // population, no debiasing.
+      MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
       MOSAIC_ASSIGN_OR_RETURN(
           Table restricted, RestrictToPopulation(sample->data, *population));
       return exec::ExecuteSelect(restricted, stmt);
     }
     case sql::Visibility::kSemiOpen: {
+      MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
       MOSAIC_RETURN_IF_ERROR(ReweightForPopulation(population->name).status());
       // ReweightForPopulation stored per-tuple weights on the sample;
       // restrict to the population and answer over the weighted view.
@@ -332,18 +337,68 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
     }
     case sql::Visibility::kOpen: {
       size_t runs = std::max<size_t>(1, open_.num_generated_samples);
+      // Train (or fetch) the generator once, then produce the
+      // independent generated samples — on the generation pool when
+      // one is attached, sequentially otherwise. Each run k owns seed
+      // generation_seed + k, so both paths are bit-identical.
+      MOSAIC_ASSIGN_OR_RETURN(OpenWorldModel model,
+                              PrepareOpenWorldModel(population->name));
+      auto run_one = [&, this](size_t k) -> Result<Table> {
+        // Exceptions must not escape: pool tasks reference this stack
+        // frame, and an unwinding submitter would leave them dangling.
+        try {
+          MOSAIC_ASSIGN_OR_RETURN(
+              Table generated,
+              GenerateFromModel(model, open_.generated_rows,
+                                open_.generation_seed + k));
+          exec::ExecOptions opts;
+          opts.weight_column = kWeightColumn;
+          return exec::ExecuteSelect(generated, stmt, opts);
+        } catch (const std::exception& e) {
+          return Status::Internal(std::string("open-sample generation "
+                                              "threw: ") +
+                                  e.what());
+        } catch (...) {
+          return Status::Internal("open-sample generation threw");
+        }
+      };
       std::vector<Table> results;
       results.reserve(runs);
-      for (size_t k = 0; k < runs; ++k) {
-        MOSAIC_ASSIGN_OR_RETURN(
-            Table generated,
-            GenerateOpenWorldTable(population->name, open_.generated_rows,
-                                   open_.generation_seed + k));
-        exec::ExecOptions opts;
-        opts.weight_column = kWeightColumn;
-        MOSAIC_ASSIGN_OR_RETURN(Table result,
-                                exec::ExecuteSelect(generated, stmt, opts));
-        results.push_back(std::move(result));
+      if (gen_pool_ != nullptr && runs > 1) {
+        // The tasks capture this stack frame, so it must not unwind
+        // while they are in flight: all vector capacity is allocated
+        // up front (run_one itself never throws), and the one
+        // remaining throw source — Submit's own allocations — is
+        // guarded by a drain-then-rethrow.
+        std::vector<std::future<Result<Table>>> futures;
+        futures.reserve(runs - 1);
+        std::vector<Result<Table>> rest;
+        rest.reserve(runs - 1);
+        Result<Table> first = Status::Internal("open sample 0 not run");
+        try {
+          for (size_t k = 1; k < runs; ++k) {
+            futures.push_back(gen_pool_->Submit([&run_one, k] {
+              return run_one(k);
+            }));
+          }
+          // Run sample 0 on the submitting thread.
+          first = run_one(0);
+        } catch (...) {
+          for (auto& f : futures) f.wait();
+          throw;
+        }
+        for (auto& f : futures) rest.push_back(f.get());
+        MOSAIC_ASSIGN_OR_RETURN(Table first_table, std::move(first));
+        results.push_back(std::move(first_table));
+        for (auto& r : rest) {
+          MOSAIC_ASSIGN_OR_RETURN(Table t, std::move(r));
+          results.push_back(std::move(t));
+        }
+      } else {
+        for (size_t k = 0; k < runs; ++k) {
+          MOSAIC_ASSIGN_OR_RETURN(Table t, run_one(k));
+          results.push_back(std::move(t));
+        }
       }
       return CombineOpenRuns(results, stmt);
     }
@@ -444,8 +499,8 @@ Result<stats::IpfReport> Database::ReweightForPopulation(
   return report;
 }
 
-Result<Table> Database::GenerateOpenWorldTable(
-    const std::string& population_name, size_t rows, uint64_t seed) {
+Result<Database::OpenWorldModel> Database::PrepareOpenWorldModel(
+    const std::string& population_name) {
   MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* population,
                           catalog_.GetPopulation(population_name));
   MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
@@ -461,46 +516,83 @@ Result<Table> Database::GenerateOpenWorldTable(
   if (training.num_rows() == 0) {
     return Status::ExecutionError("no sample tuples to train the M-SWG on");
   }
-  if (rows == 0) rows = training.num_rows();
+
+  OpenWorldModel out;
+  out.population_size = plan.population_size;
+  out.default_rows = training.num_rows();
+  if (plan.reweight_to_global && population->predicate != nullptr) {
+    out.restrict_predicate = population->predicate.get();
+  }
 
   std::string cache_key =
       ToLower(population_name) + "|" + ToLower(sample->name) + "|" +
       std::to_string(training.num_rows()) + "|" +
       std::to_string(plan.marginals->size()) + "|" +
       OpenEngineName(open_.engine);
-  std::shared_ptr<PopulationGenerator> model;
-  auto it = model_cache_.find(cache_key);
-  if (open_.cache_models && it != model_cache_.end()) {
-    model = it->second;
-  } else {
-    GeneratorOptions gen_opts;
-    gen_opts.mswg = open_.mswg;
-    gen_opts.ipf = open_.ipf;
-    gen_opts.bayes_net = open_.bayes_net;
-    gen_opts.kde = open_.kde;
-    MOSAIC_ASSIGN_OR_RETURN(
-        auto trained, TrainPopulationGenerator(open_.engine, training,
-                                               *plan.marginals, gen_opts));
-    model = std::shared_ptr<PopulationGenerator>(std::move(trained));
-    if (open_.cache_models) model_cache_[cache_key] = model;
+  if (open_.cache_models) {
+    if (auto cached = model_cache_.Get(cache_key)) {
+      out.model = std::move(*cached);
+      return out;
+    }
   }
+  // Serialize training per key: concurrent OPEN queries against the
+  // same key wait here and find the model cached instead of training
+  // twice; different keys train concurrently.
+  std::shared_ptr<std::mutex> key_mu;
+  {
+    std::lock_guard<std::mutex> map_lock(train_mu_);
+    auto& slot = train_mutexes_[cache_key];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    key_mu = slot;
+  }
+  std::lock_guard<std::mutex> train_lock(*key_mu);
+  if (open_.cache_models) {
+    // Peek, not Get: the pre-lock Get already counted this lookup.
+    if (auto cached = model_cache_.Peek(cache_key)) {
+      out.model = std::move(*cached);
+      return out;
+    }
+  }
+  GeneratorOptions gen_opts;
+  gen_opts.mswg = open_.mswg;
+  gen_opts.ipf = open_.ipf;
+  gen_opts.bayes_net = open_.bayes_net;
+  gen_opts.kde = open_.kde;
+  MOSAIC_ASSIGN_OR_RETURN(
+      auto trained, TrainPopulationGenerator(open_.engine, training,
+                                             *plan.marginals, gen_opts));
+  out.model = std::shared_ptr<PopulationGenerator>(std::move(trained));
+  if (open_.cache_models) model_cache_.Put(cache_key, out.model);
+  return out;
+}
 
+Result<Table> Database::GenerateFromModel(const OpenWorldModel& model,
+                                          size_t rows, uint64_t seed) const {
+  if (rows == 0) rows = model.default_rows;
   Rng gen_rng(seed);
-  MOSAIC_ASSIGN_OR_RETURN(Table generated, model->Generate(rows, &gen_rng));
+  MOSAIC_ASSIGN_OR_RETURN(Table generated,
+                          model.model->Generate(rows, &gen_rng));
   // Uniform reweighting of the generated sample to the population
   // size (§5.3).
   std::vector<double> weights(
       generated.num_rows(),
-      plan.population_size / static_cast<double>(generated.num_rows()));
+      model.population_size / static_cast<double>(generated.num_rows()));
   MOSAIC_ASSIGN_OR_RETURN(Table weighted, WithWeights(generated, weights));
-  if (plan.reweight_to_global && population->predicate != nullptr) {
+  if (model.restrict_predicate != nullptr) {
     // Generated tuples represent the GP; the query population is a
     // view.
     MOSAIC_ASSIGN_OR_RETURN(
-        auto keep, exec::FilterRows(weighted, *population->predicate));
+        auto keep, exec::FilterRows(weighted, *model.restrict_predicate));
     weighted = weighted.Filter(keep);
   }
   return weighted;
+}
+
+Result<Table> Database::GenerateOpenWorldTable(
+    const std::string& population_name, size_t rows, uint64_t seed) {
+  MOSAIC_ASSIGN_OR_RETURN(OpenWorldModel model,
+                          PrepareOpenWorldModel(population_name));
+  return GenerateFromModel(model, rows, seed);
 }
 
 // ---------------------------------------------------------------------------

@@ -19,12 +19,15 @@
 #ifndef MOSAIC_CORE_DATABASE_H_
 #define MOSAIC_CORE_DATABASE_H_
 
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "core/generator.h"
 #include "core/mswg.h"
@@ -58,17 +61,26 @@ struct OpenOptions {
   size_t num_generated_samples = 1;
   uint64_t generation_seed = 7;
   /// Reuse a trained generator across queries against the same
-  /// (population, sample) pair.
+  /// (population, sample) pair. Bound the cache with
+  /// Database::set_model_cache_capacity.
   bool cache_models = true;
 };
 
 class Database {
  public:
+  /// Default bound on the trained-generator LRU cache (entries).
+  static constexpr size_t kDefaultModelCacheCapacity = 16;
+
   Database();
 
   /// Parse and execute one statement. SELECTs return their result
   /// table; DDL/DML return an empty table.
   Result<Table> Execute(const std::string& sql);
+
+  /// Execute an already-parsed statement (the service layer parses
+  /// once for classification and reuses the AST here). May consume
+  /// parts of `*stmt`; single use only.
+  Result<Table> ExecuteParsed(sql::Statement* stmt);
 
   /// Execute a ';'-separated script, discarding intermediate results;
   /// returns the result of the last statement.
@@ -116,7 +128,30 @@ class Database {
   bool union_samples() const { return union_samples_; }
 
   /// Drop all cached trained generators (e.g. after new metadata).
-  void InvalidateModelCache() { model_cache_.clear(); }
+  /// Thread-safe: may be called while OPEN queries are in flight;
+  /// they keep their shared_ptr to the model they already fetched.
+  void InvalidateModelCache() {
+    model_cache_.Clear();
+    std::lock_guard<std::mutex> lock(train_mu_);
+    train_mutexes_.clear();
+  }
+
+  /// Re-bound the trained-generator LRU cache, evicting as needed.
+  void set_model_cache_capacity(size_t capacity) {
+    model_cache_.set_capacity(capacity);
+  }
+
+  /// Hit/miss/eviction counters of the trained-generator cache.
+  CacheStats ModelCacheStats() const { return model_cache_.Stats(); }
+
+  /// When set, the `num_generated_samples` independent OPEN-query
+  /// samples are generated on this pool instead of sequentially.
+  /// Seeds are threaded per sample index (generation_seed + k), so
+  /// parallel answers are bit-identical to the sequential path. The
+  /// pool must not be one whose tasks block on this Database (the
+  /// query service dedicates a generation pool).
+  void set_generation_pool(ThreadPool* pool) { gen_pool_ = pool; }
+  ThreadPool* generation_pool() const { return gen_pool_; }
 
  private:
   Result<Table> ExecuteStatement(sql::Statement* stmt);
@@ -152,10 +187,45 @@ class Database {
   };
   Result<DebiasPlan> PlanDebias(PopulationInfo* population);
 
+  /// A trained (or cache-fetched) generator plus everything needed to
+  /// turn it into weighted open-world tables without touching the
+  /// catalog again — the unit of work handed to generation threads.
+  struct OpenWorldModel {
+    std::shared_ptr<PopulationGenerator> model;
+    double population_size = 0.0;
+    /// Row count used when the caller passes rows == 0 (the paper's
+    /// "same number of rows as the original sample").
+    size_t default_rows = 0;
+    /// Non-null when generated tuples represent the GP and the query
+    /// population is a view: filter after generation.
+    const sql::Expr* restrict_predicate = nullptr;
+  };
+
+  /// Fetch the population's generator from the LRU cache or train it.
+  /// Training of a given key happens at most once even under
+  /// concurrent OPEN queries.
+  Result<OpenWorldModel> PrepareOpenWorldModel(
+      const std::string& population_name);
+
+  /// Generate one weighted open-world table from a prepared model.
+  /// Const and thread-safe: generation threads share the model and
+  /// differ only in their seed.
+  Result<Table> GenerateFromModel(const OpenWorldModel& model, size_t rows,
+                                  uint64_t seed) const;
+
   Catalog catalog_;
   SemiOpenOptions semi_open_;
   OpenOptions open_;
-  std::map<std::string, std::shared_ptr<PopulationGenerator>> model_cache_;
+  LruCache<std::string, std::shared_ptr<PopulationGenerator>> model_cache_;
+  /// Per-cache-key training locks: concurrent OPEN queries on the
+  /// same key train once instead of racing, while different keys
+  /// train independently. train_mu_ only guards the lock map itself
+  /// (cleared together with the model cache, so it cannot grow
+  /// without bound as ingest changes keys).
+  std::mutex train_mu_;
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>>
+      train_mutexes_;
+  ThreadPool* gen_pool_ = nullptr;
   bool union_samples_ = false;
   /// Scratch relation materializing the union of samples; rebuilt
   /// lazily when the underlying samples change size.

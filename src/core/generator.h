@@ -39,8 +39,10 @@ class PopulationGenerator {
  public:
   virtual ~PopulationGenerator() = default;
 
-  /// Generate n synthetic population tuples.
-  virtual Result<Table> Generate(size_t n, Rng* rng) = 0;
+  /// Generate n synthetic population tuples. Const — a trained model
+  /// is immutable, so concurrent Generate calls (each with their own
+  /// Rng) are safe; parallel OPEN answering relies on this.
+  virtual Result<Table> Generate(size_t n, Rng* rng) const = 0;
 
   /// Engine name for logs and reports ("m-swg", "bayes-net", "kde").
   virtual std::string name() const = 0;

@@ -249,15 +249,17 @@ Result<std::unique_ptr<Mswg>> Mswg::Train(
   return model;
 }
 
-Result<nn::Matrix> Mswg::GenerateEncoded(size_t n, Rng* rng) {
+Result<nn::Matrix> Mswg::GenerateEncoded(size_t n, Rng* rng) const {
   // Generate in batches so batch-norm sees eval-mode statistics and
-  // memory stays bounded.
+  // memory stays bounded. Inference goes through the const Infer path
+  // (no backward caches touched), so a trained model may serve
+  // several generation threads at once, each with its own Rng.
   nn::Matrix out(n, encoder_.encoded_dim());
   size_t done = 0;
   while (done < n) {
     size_t batch = std::min(options_.batch_size, n - done);
     nn::Matrix z = nn::Matrix::Gaussian(batch, latent_dim_, rng);
-    nn::Matrix x = net_.Forward(z, /*training=*/false);
+    nn::Matrix x = net_.Infer(z);
     for (size_t i = 0; i < batch; ++i) {
       for (size_t j = 0; j < x.cols(); ++j) {
         out.at(done + i, j) = x.at(i, j);
@@ -268,7 +270,7 @@ Result<nn::Matrix> Mswg::GenerateEncoded(size_t n, Rng* rng) {
   return out;
 }
 
-Result<Table> Mswg::Generate(size_t n, Rng* rng) {
+Result<Table> Mswg::Generate(size_t n, Rng* rng) const {
   MOSAIC_ASSIGN_OR_RETURN(nn::Matrix encoded, GenerateEncoded(n, rng));
   return encoder_.Decode(encoded);
 }

@@ -83,12 +83,15 @@ class Mswg {
       const Table& sample, std::vector<stats::Marginal> marginals,
       const MswgOptions& options);
 
-  /// Generate n decoded tuples with the sample's schema.
-  Result<Table> Generate(size_t n, Rng* rng);
+  /// Generate n decoded tuples with the sample's schema. Const and
+  /// safe to call from several threads concurrently (each caller
+  /// brings its own Rng): inference uses nn::Sequential::Infer, which
+  /// never touches the training caches.
+  Result<Table> Generate(size_t n, Rng* rng) const;
 
   /// Generate n encoded-space rows (pre-decode; softmax left
   /// continuous).
-  Result<nn::Matrix> GenerateEncoded(size_t n, Rng* rng);
+  Result<nn::Matrix> GenerateEncoded(size_t n, Rng* rng) const;
 
   /// Per-epoch training losses (total of the three Eq.-1 terms).
   const std::vector<double>& loss_history() const { return loss_history_; }

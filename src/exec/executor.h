@@ -13,6 +13,12 @@
 //   MIN/MAX   -> unchanged (weights do not affect extrema)
 //
 // The engine-managed weight column is hidden from `SELECT *`.
+//
+// Thread-safety contract: every function here is a pure function of
+// its inputs — no globals, no caches — so concurrent calls over
+// tables that no writer is mutating are safe. The query service's
+// shared-lock read path and the parallel OPEN generation tasks both
+// depend on this.
 #ifndef MOSAIC_EXEC_EXECUTOR_H_
 #define MOSAIC_EXEC_EXECUTOR_H_
 

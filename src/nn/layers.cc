@@ -15,6 +15,10 @@ Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
 
 Matrix Linear::Forward(const Matrix& x, bool /*training*/) {
   cached_input_ = x;
+  return Infer(x);
+}
+
+Matrix Linear::Infer(const Matrix& x) const {
   Matrix y = Matrix::MatMul(x, weight_.value);
   for (size_t i = 0; i < y.rows(); ++i) {
     for (size_t j = 0; j < y.cols(); ++j) {
@@ -41,6 +45,10 @@ Matrix Linear::Backward(const Matrix& dy) {
 
 Matrix ReLU::Forward(const Matrix& x, bool /*training*/) {
   cached_input_ = x;
+  return Infer(x);
+}
+
+Matrix ReLU::Infer(const Matrix& x) const {
   Matrix y = x;
   for (double& v : y.data()) {
     if (v < 0.0) v = 0.0;
@@ -105,6 +113,20 @@ Matrix BatchNorm1d::Forward(const Matrix& x, bool training) {
   return y;
 }
 
+Matrix BatchNorm1d::Infer(const Matrix& x) const {
+  size_t n = x.rows(), f = x.cols();
+  Matrix y(n, f);
+  for (size_t j = 0; j < f; ++j) {
+    double mean = running_mean_.at(0, j);
+    double inv_std = 1.0 / std::sqrt(running_var_.at(0, j) + epsilon_);
+    for (size_t i = 0; i < n; ++i) {
+      double xhat = (x.at(i, j) - mean) * inv_std;
+      y.at(i, j) = gamma_.value.at(0, j) * xhat + beta_.value.at(0, j);
+    }
+  }
+  return y;
+}
+
 Matrix BatchNorm1d::Backward(const Matrix& dy) {
   // Standard batch-norm backward (training-mode batch statistics).
   size_t n = dy.rows(), f = dy.cols();
@@ -137,6 +159,11 @@ SoftmaxBlock::SoftmaxBlock(size_t start_col, size_t width)
     : start_(start_col), width_(width) {}
 
 Matrix SoftmaxBlock::Forward(const Matrix& x, bool /*training*/) {
+  cached_output_ = Infer(x);
+  return cached_output_;
+}
+
+Matrix SoftmaxBlock::Infer(const Matrix& x) const {
   Matrix y = x;
   for (size_t i = 0; i < x.rows(); ++i) {
     double max_v = -1e300;
@@ -151,7 +178,6 @@ Matrix SoftmaxBlock::Forward(const Matrix& x, bool /*training*/) {
       y.at(i, j) = std::exp(x.at(i, j) - max_v) / denom;
     }
   }
-  cached_output_ = y;
   return y;
 }
 
@@ -179,6 +205,14 @@ Matrix Sequential::Forward(const Matrix& x, bool training) {
   Matrix cur = x;
   for (auto& layer : layers_) {
     cur = layer->Forward(cur, training);
+  }
+  return cur;
+}
+
+Matrix Sequential::Infer(const Matrix& x) const {
+  Matrix cur = x;
+  for (const auto& layer : layers_) {
+    cur = layer->Infer(cur);
   }
   return cur;
 }

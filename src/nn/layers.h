@@ -34,6 +34,11 @@ class Layer {
   /// batch statistics and running statistics.
   virtual Matrix Forward(const Matrix& x, bool training) = 0;
 
+  /// Eval-mode forward pass without touching the backward caches:
+  /// numerically identical to Forward(x, false) but const, so several
+  /// threads may run inference on one trained network concurrently.
+  virtual Matrix Infer(const Matrix& x) const = 0;
+
   /// Propagate the loss gradient; accumulates into parameter grads and
   /// returns d(loss)/d(input).
   virtual Matrix Backward(const Matrix& dy) = 0;
@@ -48,6 +53,7 @@ class Linear : public Layer {
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& dy) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
 
@@ -63,6 +69,7 @@ class Linear : public Layer {
 class ReLU : public Layer {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& dy) override;
 
  private:
@@ -77,6 +84,7 @@ class BatchNorm1d : public Layer {
                        double epsilon = 1e-5);
 
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& dy) override;
   std::vector<Parameter*> Params() override { return {&gamma_, &beta_}; }
 
@@ -99,6 +107,7 @@ class SoftmaxBlock : public Layer {
   SoftmaxBlock(size_t start_col, size_t width);
 
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& dy) override;
 
  private:
@@ -118,6 +127,7 @@ class Sequential {
   }
 
   Matrix Forward(const Matrix& x, bool training);
+  Matrix Infer(const Matrix& x) const;
   Matrix Backward(const Matrix& dy);
   std::vector<Parameter*> Params();
 

@@ -1,0 +1,158 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "sql/parser.h"
+
+namespace mosaic {
+namespace service {
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Result<Table> Session::Execute(const std::string& sql) {
+  state_->submitted.fetch_add(1, std::memory_order_relaxed);
+  return service_->Run(sql, state_.get());
+}
+
+std::future<Result<Table>> Session::Submit(const std::string& sql) {
+  state_->submitted.fetch_add(1, std::memory_order_relaxed);
+  QueryService* service = service_;
+  auto state = state_;
+  return service->request_pool_.Submit(
+      [service, state, sql] { return service->Run(sql, state.get()); });
+}
+
+std::vector<std::future<Result<Table>>> Session::SubmitBatch(
+    const std::vector<std::string>& sqls) {
+  std::vector<std::future<Result<Table>>> futures;
+  futures.reserve(sqls.size());
+  for (const auto& sql : sqls) futures.push_back(Submit(sql));
+  return futures;
+}
+
+uint64_t Session::id() const { return state_->id; }
+
+uint64_t Session::queries_submitted() const {
+  return state_->submitted.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(options),
+      request_pool_(options.num_request_threads),
+      result_cache_(options.result_cache_capacity) {
+  db_.set_model_cache_capacity(options.model_cache_capacity);
+  if (options.num_generation_threads > 0) {
+    generation_pool_ =
+        std::make_unique<ThreadPool>(options.num_generation_threads);
+    db_.set_generation_pool(generation_pool_.get());
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Session QueryService::OpenSession() {
+  auto state = std::make_shared<Session::State>();
+  state->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return Session(this, std::move(state));
+}
+
+Result<Table> QueryService::Execute(const std::string& sql) {
+  queries_total_.fetch_add(1, std::memory_order_relaxed);
+  return Run(sql, nullptr);
+}
+
+std::future<Result<Table>> QueryService::Submit(const std::string& sql) {
+  queries_total_.fetch_add(1, std::memory_order_relaxed);
+  return request_pool_.Submit([this, sql] { return Run(sql, nullptr); });
+}
+
+std::vector<std::future<Result<Table>>> QueryService::SubmitBatch(
+    const std::vector<std::string>& sqls) {
+  std::vector<std::future<Result<Table>>> futures;
+  futures.reserve(sqls.size());
+  for (const auto& sql : sqls) futures.push_back(Submit(sql));
+  return futures;
+}
+
+Result<Table> QueryService::Run(const std::string& sql,
+                                Session::State* session) {
+  if (session != nullptr) {
+    queries_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto fail = [this](Status status) -> Result<Table> {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+
+  // Parse once: the AST classifies the statement and is then handed
+  // to the engine for execution (ExecuteParsed).
+  auto parsed = sql::ParseStatement(sql);
+  if (!parsed.ok()) return fail(parsed.status());
+  sql::Statement stmt = std::move(parsed).value();
+
+  // §7 "Multiple Samples" mode rebuilds the union scratch sample
+  // lazily inside SELECT, so reads stop being read-only.
+  bool treat_as_read = ClassifyStatement(stmt) == StatementClass::kRead &&
+                       !db_.union_samples();
+
+  if (treat_as_read) {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    std::string key;
+    if (auto canon = CanonicalizeSql(sql); canon.ok()) {
+      key = std::move(*canon);
+      if (auto cached = result_cache_.Get(key)) {
+        return Table(**cached);
+      }
+    }
+    std::shared_lock<std::shared_mutex> read_lock(catalog_mu_);
+    Result<Table> result = db_.ExecuteParsed(&stmt);
+    if (!result.ok()) return fail(result.status());
+    if (!key.empty()) {
+      result_cache_.Put(key,
+                        std::make_shared<const Table>(result.value()));
+    }
+    return result;
+  }
+
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> write_lock(catalog_mu_);
+  Result<Table> result = db_.ExecuteParsed(&stmt);
+  // Catalog state may have changed; cached results are stale.
+  result_cache_.Clear();
+  if (!result.ok()) return fail(result.status());
+  return result;
+}
+
+void QueryService::InvalidateCaches() {
+  result_cache_.Clear();
+  db_.InvalidateModelCache();
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats s;
+  s.queries_total = queries_total_.load(std::memory_order_relaxed);
+  s.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.result_cache = result_cache_.Stats();
+  s.model_cache = db_.ModelCacheStats();
+  return s;
+}
+
+void QueryService::Shutdown() {
+  // Request tasks may block on generation futures, so the request
+  // pool drains first while generation is still serving it.
+  request_pool_.Shutdown();
+  if (generation_pool_ != nullptr) generation_pool_->Shutdown();
+}
+
+}  // namespace service
+}  // namespace mosaic

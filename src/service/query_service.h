@@ -1,0 +1,159 @@
+// Concurrent query-serving subsystem in front of core::Database.
+//
+// Threading model
+//   - A request pool runs submitted statements. Statements are
+//     classified up front (service/sql_canonical.h): reads (CLOSED /
+//     OPEN SELECTs, SHOW) execute under a shared lock, concurrently
+//     with each other; writers (DDL, DML, UPDATE, and SELECT
+//     SEMI-OPEN, which persists weights) take the lock exclusively,
+//     serializing catalog mutations.
+//   - A second, dedicated generation pool is handed to the Database
+//     for parallel OPEN-query sample generation. Keeping the two
+//     pools separate means a request task blocking on generation
+//     futures can never deadlock the pool serving it.
+//
+// Caching
+//   - Model cache: the Database's bounded LRU of trained generators
+//     (shared across sessions; invalidated by metadata changes).
+//   - Result cache: canonicalized-SQL -> result table, bounded LRU.
+//     Only read-class statements are cached; any writer flushes it.
+//     OPEN answers are cacheable because generation seeds are
+//     deterministic (seed + sample index).
+#ifndef MOSAIC_SERVICE_QUERY_SERVICE_H_
+#define MOSAIC_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "service/sql_canonical.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace service {
+
+struct ServiceOptions {
+  /// Workers executing submitted statements.
+  size_t num_request_threads = 4;
+  /// Workers producing OPEN-query generated samples; 0 disables
+  /// parallel generation (the sequential engine path).
+  size_t num_generation_threads = 4;
+  /// Result-cache bound in entries; 0 disables result caching.
+  size_t result_cache_capacity = 256;
+  /// Trained-generator cache bound, applied to the owned Database.
+  size_t model_cache_capacity = 16;
+};
+
+/// Aggregate service counters; a consistent-enough snapshot for
+/// monitoring (counters are sampled individually).
+struct ServiceStats {
+  uint64_t queries_total = 0;
+  uint64_t queries_failed = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t sessions_opened = 0;
+  CacheStats result_cache;
+  CacheStats model_cache;
+};
+
+class QueryService;
+
+/// A lightweight client handle. Sessions share the service's catalog
+/// and caches but keep their own submission counters; handles are
+/// cheap to copy and safe to use from several threads.
+class Session {
+ public:
+  /// Run one statement synchronously on the calling thread.
+  Result<Table> Execute(const std::string& sql);
+
+  /// Enqueue one statement on the request pool.
+  std::future<Result<Table>> Submit(const std::string& sql);
+
+  /// Fan a batch out across the request pool, one future per
+  /// statement, in input order.
+  std::vector<std::future<Result<Table>>> SubmitBatch(
+      const std::vector<std::string>& sqls);
+
+  uint64_t id() const;
+  uint64_t queries_submitted() const;
+
+ private:
+  friend class QueryService;
+  struct State {
+    uint64_t id = 0;
+    std::atomic<uint64_t> submitted{0};
+  };
+  Session(QueryService* service, std::shared_ptr<State> state)
+      : service_(service), state_(std::move(state)) {}
+
+  QueryService* service_;
+  std::shared_ptr<State> state_;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = ServiceOptions());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Open a client handle.
+  Session OpenSession();
+
+  /// Service-level variants of the Session API (an anonymous
+  /// session).
+  Result<Table> Execute(const std::string& sql);
+  std::future<Result<Table>> Submit(const std::string& sql);
+  std::vector<std::future<Result<Table>>> SubmitBatch(
+      const std::vector<std::string>& sqls);
+
+  /// The owned engine, for programmatic setup (ingest, options).
+  /// Exclusive access — do not call while queries are in flight. The
+  /// SQL path flushes the result cache on writes, but mutations made
+  /// through this pointer bypass it: follow them with
+  /// InvalidateCaches() if the service already answered queries.
+  core::Database* database() { return &db_; }
+
+  /// Drop both the result cache and the trained-model cache.
+  void InvalidateCaches();
+
+  ServiceStats Stats() const;
+
+  /// Drain both pools and stop accepting work. Called by the
+  /// destructor; statements submitted afterwards run inline.
+  void Shutdown();
+
+ private:
+  friend class Session;
+
+  Result<Table> Run(const std::string& sql, Session::State* session);
+
+  ServiceOptions options_;
+  core::Database db_;
+  ThreadPool request_pool_;
+  /// Null when num_generation_threads == 0 (sequential OPEN path).
+  std::unique_ptr<ThreadPool> generation_pool_;
+  /// Readers = read-class statements, writers = catalog mutations.
+  std::shared_mutex catalog_mu_;
+  LruCache<std::string, std::shared_ptr<const Table>> result_cache_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> queries_total_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+};
+
+}  // namespace service
+}  // namespace mosaic
+
+#endif  // MOSAIC_SERVICE_QUERY_SERVICE_H_

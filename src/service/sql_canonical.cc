@@ -1,0 +1,102 @@
+#include "service/sql_canonical.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "storage/value.h"
+
+namespace mosaic {
+namespace service {
+
+namespace {
+
+const char* PunctText(sql::TokenType type) {
+  switch (type) {
+    case sql::TokenType::kLParen: return "(";
+    case sql::TokenType::kRParen: return ")";
+    case sql::TokenType::kComma: return ",";
+    case sql::TokenType::kSemicolon: return ";";
+    case sql::TokenType::kStar: return "*";
+    case sql::TokenType::kPlus: return "+";
+    case sql::TokenType::kMinus: return "-";
+    case sql::TokenType::kSlash: return "/";
+    case sql::TokenType::kEq: return "=";
+    case sql::TokenType::kNe: return "<>";
+    case sql::TokenType::kLt: return "<";
+    case sql::TokenType::kLe: return "<=";
+    case sql::TokenType::kGt: return ">";
+    case sql::TokenType::kGe: return ">=";
+    case sql::TokenType::kDot: return ".";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+Result<std::string> CanonicalizeSql(const std::string& sql) {
+  MOSAIC_ASSIGN_OR_RETURN(auto tokens, sql::Lex(sql));
+  std::string out;
+  out.reserve(sql.size());
+  for (const auto& tok : tokens) {
+    if (tok.type == sql::TokenType::kEof) break;
+    // Trailing semicolons don't change the statement.
+    if (tok.type == sql::TokenType::kSemicolon) continue;
+    if (!out.empty()) out += ' ';
+    switch (tok.type) {
+      case sql::TokenType::kIdentifier:
+        out += ToLower(tok.text);
+        break;
+      case sql::TokenType::kKeyword:
+        out += tok.text;  // lexer upper-cases keywords
+        break;
+      case sql::TokenType::kIntLiteral:
+        out += std::to_string(tok.int_value);
+        break;
+      case sql::TokenType::kDoubleLiteral:
+        out += FormatDouble(tok.double_value, 17);
+        break;
+      case sql::TokenType::kStringLiteral: {
+        out += '\'';
+        for (char c : tok.text) {
+          out += c;
+          if (c == '\'') out += '\'';
+        }
+        out += '\'';
+        break;
+      }
+      default: {
+        const char* p = PunctText(tok.type);
+        if (p == nullptr) {
+          return Status::Internal("unprintable token in canonicalizer");
+        }
+        out += p;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatementClass ClassifyStatement(const sql::Statement& stmt) {
+  if (stmt.Is<sql::ShowStmt>()) return StatementClass::kRead;
+  if (stmt.Is<sql::SelectStmt>()) {
+    const auto& sel = stmt.As<sql::SelectStmt>();
+    // SEMI-OPEN persists the fitted weights on the sample (§3.2), so
+    // it is a writer despite being a SELECT.
+    return sel.visibility == sql::Visibility::kSemiOpen
+               ? StatementClass::kWrite
+               : StatementClass::kRead;
+  }
+  return StatementClass::kWrite;
+}
+
+Result<StatementClass> ClassifySql(const std::string& sql) {
+  MOSAIC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  return ClassifyStatement(stmt);
+}
+
+}  // namespace service
+}  // namespace mosaic

@@ -1,0 +1,44 @@
+// SQL canonicalization and read/write classification for the query
+// service's result cache and locking policy.
+#ifndef MOSAIC_SERVICE_SQL_CANONICAL_H_
+#define MOSAIC_SERVICE_SQL_CANONICAL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace mosaic {
+namespace service {
+
+/// Canonical cache key for a statement: tokens re-joined with single
+/// spaces, identifiers lower-cased, keywords upper-cased, numeric
+/// literals normalized — so "select  COUNT(*) from T" and
+/// "SELECT count(*) FROM t" share one result-cache entry. Fails on
+/// statements the lexer rejects.
+Result<std::string> CanonicalizeSql(const std::string& sql);
+
+/// How the service must schedule a statement.
+enum class StatementClass {
+  /// Pure read over the catalog: runs under the shared lock and its
+  /// result may be cached (SELECT at CLOSED/OPEN visibility, SHOW).
+  kRead,
+  /// Mutates catalog state and runs exclusively: DDL/DML/UPDATE, and
+  /// SELECT SEMI-OPEN (it writes fitted weights back to the sample,
+  /// §3.2).
+  kWrite,
+};
+
+/// Classify an already-parsed statement. OPEN queries count as
+/// reads: the only state they touch is the model cache, which
+/// synchronizes itself.
+StatementClass ClassifyStatement(const sql::Statement& stmt);
+
+/// Parse and classify one statement. Parse failures are returned
+/// verbatim so the caller can surface them without re-parsing.
+Result<StatementClass> ClassifySql(const std::string& sql);
+
+}  // namespace service
+}  // namespace mosaic
+
+#endif  // MOSAIC_SERVICE_SQL_CANONICAL_H_

@@ -1,0 +1,341 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/sql_canonical.h"
+
+namespace mosaic {
+namespace service {
+namespace {
+
+/// Cheap training budget so OPEN queries stay fast in tests.
+void UseTinyOpenOptions(core::Database* db) {
+  auto* open = db->mutable_open_options();
+  open->mswg.epochs = 2;
+  open->mswg.steps_per_epoch = 4;
+  open->mswg.batch_size = 32;
+  open->mswg.num_projections = 16;
+  open->mswg.projections_per_step = 4;
+  open->mswg.hidden_layers = 1;
+  open->mswg.hidden_nodes = 8;
+  open->generated_rows = 64;
+  open->num_generated_samples = 3;
+}
+
+void SetUpTinyWorld(core::Database* db) {
+  auto ok = [db](const std::string& sql) {
+    auto r = db->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  ok("CREATE GLOBAL POPULATION Things (color VARCHAR, size VARCHAR)");
+  ok("CREATE TABLE ColorReport (color VARCHAR, cnt INT)");
+  ok("INSERT INTO ColorReport VALUES ('red', 60), ('blue', 40)");
+  ok("CREATE TABLE SizeReport (size VARCHAR, cnt INT)");
+  ok("INSERT INTO SizeReport VALUES ('S', 50), ('L', 50)");
+  ok("CREATE METADATA Things_M1 AS (SELECT color, cnt FROM ColorReport)");
+  ok("CREATE METADATA Things_M2 AS (SELECT size, cnt FROM SizeReport)");
+  ok("CREATE SAMPLE RedSample AS (SELECT * FROM Things WHERE color = "
+     "'red')");
+  ok("INSERT INTO RedSample VALUES ('red','S'), ('red','S'), ('red','S'), "
+     "('red','S'), ('red','S'), ('red','S'), ('red','L'), ('red','L')");
+  UseTinyOpenOptions(db);
+}
+
+::testing::AssertionResult TablesEqual(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return ::testing::AssertionFailure() << "schemas differ";
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.num_rows() << " vs "
+           << b.num_rows();
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.schema().num_columns(); ++c) {
+      if (!(a.GetValue(r, c) == b.GetValue(r, c))) {
+        return ::testing::AssertionFailure()
+               << "cell (" << r << "," << c
+               << ") differs: " << a.GetValue(r, c).ToString() << " vs "
+               << b.GetValue(r, c).ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization / classification
+// ---------------------------------------------------------------------------
+
+TEST(SqlCanonical, NormalizesWhitespaceCaseAndSemicolons) {
+  auto a = CanonicalizeSql("select  COUNT(*)  from T ;");
+  auto b = CanonicalizeSql("SELECT count(*) FROM t");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SqlCanonical, PreservesStringLiteralCase) {
+  auto a = CanonicalizeSql("SELECT * FROM t WHERE c = 'Red'");
+  auto b = CanonicalizeSql("SELECT * FROM t WHERE c = 'red'");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(SqlCanonical, ClassifiesReadsAndWrites) {
+  auto read_class = [](const std::string& sql) {
+    auto c = ClassifySql(sql);
+    EXPECT_TRUE(c.ok()) << sql;
+    return c.ok() && *c == StatementClass::kRead;
+  };
+  EXPECT_TRUE(read_class("SELECT * FROM t"));
+  EXPECT_TRUE(read_class("SELECT CLOSED COUNT(*) FROM p"));
+  EXPECT_TRUE(read_class("SELECT OPEN COUNT(*) FROM p"));
+  EXPECT_TRUE(read_class("SHOW TABLES"));
+  EXPECT_FALSE(read_class("SELECT SEMI-OPEN COUNT(*) FROM p"));
+  EXPECT_FALSE(read_class("INSERT INTO t VALUES (1)"));
+  EXPECT_FALSE(read_class("CREATE TABLE t2 (a INT)"));
+  EXPECT_FALSE(read_class("DROP TABLE t"));
+  EXPECT_FALSE(read_class("UPDATE s SET weight = 2"));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel OPEN generation: bit-identical to the sequential engine
+// ---------------------------------------------------------------------------
+
+TEST(ParallelOpen, MatchesSequentialBitForBit) {
+  const std::string query =
+      "SELECT OPEN color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color";
+
+  core::Database sequential;
+  SetUpTinyWorld(&sequential);
+  auto seq = sequential.Execute(query);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  ThreadPool pool(4);
+  core::Database parallel;
+  SetUpTinyWorld(&parallel);
+  parallel.set_generation_pool(&pool);
+  auto par = parallel.Execute(query);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  EXPECT_TRUE(TablesEqual(*seq, *par));
+}
+
+TEST(ParallelOpen, SeedsAreThreadedPerSampleIndex) {
+  // Two generated tables for consecutive sample indices must differ
+  // (independent samples), yet regenerating with the same seed must
+  // reproduce exactly.
+  core::Database db;
+  SetUpTinyWorld(&db);
+  auto a = db.GenerateOpenWorldTable("Things", 32, 7);
+  auto b = db.GenerateOpenWorldTable("Things", 32, 8);
+  auto a2 = db.GenerateOpenWorldTable("Things", 32, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(TablesEqual(*a, *a2));
+  EXPECT_FALSE(TablesEqual(*a, *b));
+}
+
+// ---------------------------------------------------------------------------
+// Model cache
+// ---------------------------------------------------------------------------
+
+TEST(ModelCache, ReusesTrainedGeneratorAcrossQueries) {
+  core::Database db;
+  SetUpTinyWorld(&db);
+  ASSERT_TRUE(db.Execute("SELECT OPEN COUNT(*) FROM Things").ok());
+  CacheStats after_first = db.ModelCacheStats();
+  EXPECT_EQ(after_first.insertions, 1u);
+  ASSERT_TRUE(db.Execute("SELECT OPEN COUNT(*) FROM Things").ok());
+  CacheStats after_second = db.ModelCacheStats();
+  EXPECT_EQ(after_second.insertions, 1u);
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST(ModelCache, InvalidationForcesRetraining) {
+  core::Database db;
+  SetUpTinyWorld(&db);
+  ASSERT_TRUE(db.Execute("SELECT OPEN COUNT(*) FROM Things").ok());
+  db.InvalidateModelCache();
+  EXPECT_EQ(db.ModelCacheStats().entries, 0u);
+  ASSERT_TRUE(db.Execute("SELECT OPEN COUNT(*) FROM Things").ok());
+  EXPECT_EQ(db.ModelCacheStats().insertions, 2u);
+}
+
+TEST(ModelCache, InvalidateSafeWhileQueriesInFlight) {
+  core::Database db;
+  SetUpTinyWorld(&db);
+  ASSERT_TRUE(db.Execute("SELECT OPEN COUNT(*) FROM Things").ok());
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&db, &stop] {
+    while (!stop.load()) db.InvalidateModelCache();
+  });
+  // OPEN generation holds its shared_ptr to the model; concurrent
+  // invalidation must never crash it.
+  for (int i = 0; i < 5; ++i) {
+    auto r = db.GenerateOpenWorldTable("Things", 16, 7 + i);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  stop.store(true);
+  invalidator.join();
+}
+
+// ---------------------------------------------------------------------------
+// QueryService: sessions, caches, concurrency
+// ---------------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServiceOptions opts;
+    opts.num_request_threads = 4;
+    opts.num_generation_threads = 2;
+    service_ = std::make_unique<QueryService>(opts);
+    SetUpTinyWorld(service_->database());
+  }
+
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_F(ServiceTest, SessionsGetDistinctIdsAndCountSubmissions) {
+  Session a = service_->OpenSession();
+  Session b = service_->OpenSession();
+  EXPECT_NE(a.id(), b.id());
+  ASSERT_TRUE(a.Execute("SELECT COUNT(*) FROM Things").ok());
+  a.Submit("SELECT COUNT(*) FROM Things").get();
+  EXPECT_EQ(a.queries_submitted(), 2u);
+  EXPECT_EQ(b.queries_submitted(), 0u);
+  EXPECT_EQ(service_->Stats().sessions_opened, 2u);
+}
+
+TEST_F(ServiceTest, SubmitBatchPreservesOrder) {
+  Session s = service_->OpenSession();
+  auto futures = s.SubmitBatch({
+      "SELECT CLOSED COUNT(*) AS c FROM Things",
+      "SELECT color, COUNT(*) AS c FROM Things GROUP BY color",
+      "SHOW TABLES",
+  });
+  ASSERT_EQ(futures.size(), 3u);
+  auto r0 = futures[0].get();
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0->GetValue(0, 0).AsInt64(), 8);
+  auto r2 = futures[2].get();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->schema().column(0).name, "table_name");
+}
+
+TEST_F(ServiceTest, ParseErrorsFailTheQueryNotTheService) {
+  auto r = service_->Execute("SELEKT nonsense");
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(service_->Stats().queries_failed, 1u);
+  EXPECT_TRUE(service_->Execute("SELECT COUNT(*) FROM Things").ok());
+}
+
+TEST_F(ServiceTest, ResultCacheHitsOnEquivalentSql) {
+  ASSERT_TRUE(
+      service_->Execute("SELECT closed COUNT(*) FROM Things").ok());
+  ASSERT_TRUE(
+      service_->Execute("select CLOSED count(*)   from things ;").ok());
+  CacheStats stats = service_->Stats().result_cache;
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST_F(ServiceTest, WritesInvalidateTheResultCache) {
+  auto before = service_->Execute("SELECT CLOSED COUNT(*) AS c FROM Things");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->GetValue(0, 0).AsInt64(), 8);
+  ASSERT_TRUE(
+      service_->Execute("INSERT INTO RedSample VALUES ('red','S')").ok());
+  auto after = service_->Execute("SELECT CLOSED COUNT(*) AS c FROM Things");
+  ASSERT_TRUE(after.ok());
+  // A stale cache would still answer 8.
+  EXPECT_EQ(after->GetValue(0, 0).AsInt64(), 9);
+  EXPECT_GE(service_->Stats().result_cache.invalidations, 1u);
+}
+
+TEST_F(ServiceTest, OpenQueryThroughServiceMatchesPlainEngine) {
+  core::Database reference;
+  SetUpTinyWorld(&reference);
+  const std::string query =
+      "SELECT OPEN color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color";
+  auto expected = reference.Execute(query);
+  ASSERT_TRUE(expected.ok());
+  auto got = service_->Execute(query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(TablesEqual(*expected, *got));
+  // And a cached re-run returns the same table.
+  auto again = service_->Execute(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(TablesEqual(*expected, *again));
+}
+
+TEST_F(ServiceTest, ConcurrentMixedWorkloadMatchesGroundTruth) {
+  // Ground truth from a single-threaded engine with identical options.
+  core::Database reference;
+  SetUpTinyWorld(&reference);
+  const std::vector<std::string> queries = {
+      "SELECT CLOSED color, COUNT(*) AS c FROM Things GROUP BY color",
+      "SELECT CLOSED COUNT(*) AS c FROM Things",
+      "SELECT SEMI-OPEN COUNT(*) AS c FROM Things",
+      "SELECT SEMI-OPEN size, COUNT(*) AS c FROM Things GROUP BY size "
+      "ORDER BY size",
+      "SELECT OPEN color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color",
+      "SHOW SAMPLES",
+  };
+  std::map<std::string, Table> truth;
+  for (const auto& q : queries) {
+    auto r = reference.Execute(q);
+    ASSERT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    truth.emplace(q, std::move(r).value());
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 12;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, t, &queries, &truth, &mismatches] {
+      Session session = service_->OpenSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string& q = queries[(t + i) % queries.size()];
+        auto r = session.Execute(q);
+        if (!r.ok() || !TablesEqual(truth.at(q), *r)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.queries_total,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_GT(stats.result_cache.hits, 0u);
+}
+
+TEST_F(ServiceTest, StatsExposeModelCache) {
+  ASSERT_TRUE(service_->Execute("SELECT OPEN COUNT(*) FROM Things").ok());
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.model_cache.insertions, 1u);
+  EXPECT_EQ(stats.model_cache.capacity, 16u);
+  service_->InvalidateCaches();
+  EXPECT_EQ(service_->Stats().model_cache.entries, 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace mosaic

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, and run the test suite in Release
-# mode and again under AddressSanitizer (MOSAIC_SANITIZE=address).
-# Pass "thread" as $1 to add a ThreadSanitizer pass over the
-# concurrency-sensitive tests.
+# mode, again under AddressSanitizer (MOSAIC_SANITIZE=address), and a
+# ThreadSanitizer pass over the concurrency-sensitive tests (the
+# query service routes reads through the shared-lock batch executor,
+# so the TSan leg is not optional). Pass "fast" as $1 to skip the
+# TSan leg for quick local iterations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +25,10 @@ run_suite "Release" build-release -DCMAKE_BUILD_TYPE=Release
 run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=address
 
-if [[ "${1:-}" == "thread" ]]; then
+if [[ "${1:-}" != "fast" ]]; then
   # TSan pass over the threaded subsystem tests (the full suite under
-  # TSan is slow; these are the tests that exercise concurrency).
+  # TSan is slow; these are the tests that exercise concurrency —
+  # including concurrent reads through the batch executor).
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMOSAIC_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target \

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <numeric>
 #include <set>
@@ -9,11 +10,13 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/batch_eval.h"
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
 #include "sql/parser.h"
 #include "stats/reweight.h"
 #include "storage/csv.h"
+#include "storage/table_view.h"
 
 namespace mosaic {
 namespace core {
@@ -33,6 +36,32 @@ Result<Table> WithWeights(const Table& data,
   Table out = data;
   MOSAIC_RETURN_IF_ERROR(out.AddDoubleColumn(kWeightColumn, weights));
   return out;
+}
+
+/// Zero-copy counterpart of WithWeights: a view over `data`'s columns
+/// plus a span over the external weight vector. `weights` must
+/// outlive the view.
+Result<TableView> MakeWeightedView(const Table& data,
+                                   const std::vector<double>& weights) {
+  if (data.schema().FindColumn(kWeightColumn)) {
+    return Status::InvalidArgument(
+        "relation already has a 'weight' column; it clashes with Mosaic's "
+        "managed weights");
+  }
+  TableView view(data);
+  MOSAIC_RETURN_IF_ERROR(
+      view.AddDoubleSpan(kWeightColumn, weights.data(), weights.size()));
+  return view;
+}
+
+/// Selection of `view`'s rows belonging to the population (all rows
+/// for the GP or a predicate-less population).
+Result<SelectionVector> PopulationSelection(const TableView& view,
+                                            const PopulationInfo& population) {
+  if (population.global || population.predicate == nullptr) {
+    return SelectionVector::All(view.num_rows());
+  }
+  return exec::SelectRows(view, *population.predicate);
 }
 
 /// Average numeric cells across several per-run result tables,
@@ -106,6 +135,8 @@ Database::Database() : model_cache_(kDefaultModelCacheCapacity) {
   open_.mswg.steps_per_epoch = 30;
   open_.mswg.batch_size = 256;
   open_.mswg.projections_per_step = 16;
+  const char* row_env = std::getenv("MOSAIC_ROW_PATH");
+  if (row_env != nullptr && row_env[0] == '1') force_row_exec_ = true;
 }
 
 Result<Table> Database::Execute(const std::string& sql) {
@@ -187,7 +218,9 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
           "' is an auxiliary table");
     }
     MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.from));
-    return exec::ExecuteSelect(*table, stmt);
+    exec::ExecOptions opts;
+    opts.use_row_path = force_row_exec_;
+    return exec::ExecuteSelect(*table, stmt, opts);
   }
   if (catalog_.HasSample(stmt.from)) {
     // Direct sample access: plain SQL over the sample tuples. The
@@ -202,9 +235,17 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
     }
     MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                             catalog_.GetSample(stmt.from));
-    MOSAIC_ASSIGN_OR_RETURN(Table with_w,
-                            WithWeights(sample->data, sample->weights));
-    return exec::ExecuteSelect(with_w, stmt);
+    if (force_row_exec_) {
+      MOSAIC_ASSIGN_OR_RETURN(Table with_w,
+                              WithWeights(sample->data, sample->weights));
+      exec::ExecOptions opts;
+      opts.use_row_path = true;
+      return exec::ExecuteSelect(with_w, stmt, opts);
+    }
+    MOSAIC_ASSIGN_OR_RETURN(TableView view,
+                            MakeWeightedView(sample->data, sample->weights));
+    return exec::ExecuteSelect(view, SelectionVector::All(view.num_rows()),
+                               stmt);
   }
   if (catalog_.HasPopulation(stmt.from)) {
     MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* pop,
@@ -274,9 +315,18 @@ Result<Table> Database::RestrictToPopulation(
   if (population.global || population.predicate == nullptr) {
     return sample_data;
   }
-  MOSAIC_ASSIGN_OR_RETURN(
-      auto rows, exec::FilterRows(sample_data, *population.predicate));
-  return sample_data.Filter(rows);
+  if (force_row_exec_) {
+    MOSAIC_ASSIGN_OR_RETURN(
+        auto rows, exec::FilterRows(sample_data, *population.predicate));
+    return sample_data.Filter(rows);
+  }
+  // Batch filter + typed gather: one selection pass over spans, one
+  // materialization for consumers that need an owning Table (IPF /
+  // M-SWG training input).
+  TableView view(sample_data);
+  MOSAIC_ASSIGN_OR_RETURN(SelectionVector sel,
+                          exec::SelectRows(view, *population.predicate));
+  return view.Materialize(sel);
 }
 
 Result<Database::DebiasPlan> Database::PlanDebias(
@@ -316,24 +366,47 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
   switch (vis) {
     case sql::Visibility::kClosed: {
       // LAV-view answering: the sample tuples that belong to the
-      // population, no debiasing.
+      // population, no debiasing. The batch path answers over a
+      // zero-copy view of the sample restricted by a selection
+      // vector; no intermediate Table is materialized.
       MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
-      MOSAIC_ASSIGN_OR_RETURN(
-          Table restricted, RestrictToPopulation(sample->data, *population));
-      return exec::ExecuteSelect(restricted, stmt);
+      if (force_row_exec_) {
+        MOSAIC_ASSIGN_OR_RETURN(
+            Table restricted,
+            RestrictToPopulation(sample->data, *population));
+        exec::ExecOptions opts;
+        opts.use_row_path = true;
+        return exec::ExecuteSelect(restricted, stmt, opts);
+      }
+      TableView view(sample->data);
+      MOSAIC_ASSIGN_OR_RETURN(SelectionVector sel,
+                              PopulationSelection(view, *population));
+      return exec::ExecuteSelect(view, std::move(sel), stmt);
     }
     case sql::Visibility::kSemiOpen: {
       MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
       MOSAIC_RETURN_IF_ERROR(ReweightForPopulation(population->name).status());
       // ReweightForPopulation stored per-tuple weights on the sample;
-      // restrict to the population and answer over the weighted view.
-      MOSAIC_ASSIGN_OR_RETURN(Table with_w,
-                              WithWeights(sample->data, sample->weights));
-      MOSAIC_ASSIGN_OR_RETURN(Table restricted,
-                              RestrictToPopulation(with_w, *population));
+      // restrict to the population and answer over the weighted view
+      // (the weights live beside the sample and are attached as an
+      // external span — the sample tuples are never copied).
+      if (force_row_exec_) {
+        MOSAIC_ASSIGN_OR_RETURN(Table with_w,
+                                WithWeights(sample->data, sample->weights));
+        MOSAIC_ASSIGN_OR_RETURN(Table restricted,
+                                RestrictToPopulation(with_w, *population));
+        exec::ExecOptions opts;
+        opts.weight_column = kWeightColumn;
+        opts.use_row_path = true;
+        return exec::ExecuteSelect(restricted, stmt, opts);
+      }
+      MOSAIC_ASSIGN_OR_RETURN(TableView view,
+                              MakeWeightedView(sample->data, sample->weights));
+      MOSAIC_ASSIGN_OR_RETURN(SelectionVector sel,
+                              PopulationSelection(view, *population));
       exec::ExecOptions opts;
       opts.weight_column = kWeightColumn;
-      return exec::ExecuteSelect(restricted, stmt, opts);
+      return exec::ExecuteSelect(view, std::move(sel), stmt, opts);
     }
     case sql::Visibility::kOpen: {
       size_t runs = std::max<size_t>(1, open_.num_generated_samples);
@@ -347,13 +420,34 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
         // Exceptions must not escape: pool tasks reference this stack
         // frame, and an unwinding submitter would leave them dangling.
         try {
+          const uint64_t seed = open_.generation_seed + k;
+          if (force_row_exec_) {
+            MOSAIC_ASSIGN_OR_RETURN(
+                Table generated,
+                GenerateFromModel(model, open_.generated_rows, seed));
+            exec::ExecOptions opts;
+            opts.weight_column = kWeightColumn;
+            opts.use_row_path = true;
+            return exec::ExecuteSelect(generated, stmt, opts);
+          }
+          // Batch path: answer over a weighted view of the raw
+          // generated table; the uniform §5.3 weights are an external
+          // span and the view-restriction predicate (when the query
+          // population is a view over the GP) becomes a selection
+          // vector — no weighted or filtered copy is materialized.
           MOSAIC_ASSIGN_OR_RETURN(
-              Table generated,
-              GenerateFromModel(model, open_.generated_rows,
-                                open_.generation_seed + k));
+              GeneratedSample gen,
+              GenerateSample(model, open_.generated_rows, seed));
+          MOSAIC_ASSIGN_OR_RETURN(TableView view,
+                                  MakeWeightedView(gen.data, gen.weights));
+          SelectionVector sel = SelectionVector::All(view.num_rows());
+          if (model.restrict_predicate != nullptr) {
+            MOSAIC_ASSIGN_OR_RETURN(
+                sel, exec::SelectRows(view, *model.restrict_predicate));
+          }
           exec::ExecOptions opts;
           opts.weight_column = kWeightColumn;
-          return exec::ExecuteSelect(generated, stmt, opts);
+          return exec::ExecuteSelect(view, std::move(sel), stmt, opts);
         } catch (const std::exception& e) {
           return Status::Internal(std::string("open-sample generation "
                                               "threw: ") +
@@ -484,13 +578,13 @@ Result<stats::IpfReport> Database::ReweightForPopulation(
                                       &restricted_weights, semi_open_.ipf));
   // Map restricted weights back to the full sample.
   std::vector<double> full(sample->data.num_rows(), 0.0);
-  MOSAIC_ASSIGN_OR_RETURN(
-      auto rows, population->predicate == nullptr
-                     ? Result<std::vector<size_t>>(std::vector<size_t>())
-                     : exec::FilterRows(sample->data, *population->predicate));
   if (population->predicate == nullptr) {
     full.assign(restricted_weights.begin(), restricted_weights.end());
   } else {
+    TableView view(sample->data);
+    MOSAIC_ASSIGN_OR_RETURN(
+        SelectionVector rows,
+        exec::SelectRows(view, *population->predicate));
     for (size_t i = 0; i < rows.size(); ++i) {
       full[rows[i]] = restricted_weights[i];
     }
@@ -566,18 +660,25 @@ Result<Database::OpenWorldModel> Database::PrepareOpenWorldModel(
   return out;
 }
 
-Result<Table> Database::GenerateFromModel(const OpenWorldModel& model,
-                                          size_t rows, uint64_t seed) const {
+Result<Database::GeneratedSample> Database::GenerateSample(
+    const OpenWorldModel& model, size_t rows, uint64_t seed) const {
   if (rows == 0) rows = model.default_rows;
   Rng gen_rng(seed);
-  MOSAIC_ASSIGN_OR_RETURN(Table generated,
-                          model.model->Generate(rows, &gen_rng));
+  GeneratedSample out;
+  MOSAIC_ASSIGN_OR_RETURN(out.data, model.model->Generate(rows, &gen_rng));
   // Uniform reweighting of the generated sample to the population
   // size (§5.3).
-  std::vector<double> weights(
-      generated.num_rows(),
-      model.population_size / static_cast<double>(generated.num_rows()));
-  MOSAIC_ASSIGN_OR_RETURN(Table weighted, WithWeights(generated, weights));
+  out.weights.assign(
+      out.data.num_rows(),
+      model.population_size / static_cast<double>(out.data.num_rows()));
+  return out;
+}
+
+Result<Table> Database::GenerateFromModel(const OpenWorldModel& model,
+                                          size_t rows, uint64_t seed) const {
+  MOSAIC_ASSIGN_OR_RETURN(GeneratedSample gen,
+                          GenerateSample(model, rows, seed));
+  MOSAIC_ASSIGN_OR_RETURN(Table weighted, WithWeights(gen.data, gen.weights));
   if (model.restrict_predicate != nullptr) {
     // Generated tuples represent the GP; the query population is a
     // view.
@@ -936,30 +1037,76 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   if (catalog_.HasSample(stmt.table)) {
     MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                             catalog_.GetSample(stmt.table));
-    MOSAIC_ASSIGN_OR_RETURN(Table with_w,
-                            WithWeights(sample->data, sample->weights));
-    std::vector<size_t> rows;
-    if (stmt.where != nullptr) {
-      MOSAIC_ASSIGN_OR_RETURN(rows, exec::FilterRows(with_w, *stmt.where));
-    } else {
-      rows.resize(with_w.num_rows());
-      std::iota(rows.begin(), rows.end(), size_t{0});
+    if (force_row_exec_) {
+      MOSAIC_ASSIGN_OR_RETURN(Table with_w,
+                              WithWeights(sample->data, sample->weights));
+      std::vector<size_t> rows;
+      if (stmt.where != nullptr) {
+        MOSAIC_ASSIGN_OR_RETURN(rows, exec::FilterRows(with_w, *stmt.where));
+      } else {
+        rows.resize(with_w.num_rows());
+        std::iota(rows.begin(), rows.end(), size_t{0});
+      }
+      exec::Binder binder(&with_w.schema());
+      // Evaluate every assignment over every row before writing any,
+      // so a failing expression leaves the weights untouched — the
+      // same state the batch path (whole-batch evaluation) leaves
+      // behind.
+      std::vector<std::vector<double>> new_weights;
+      for (const auto& [col_name, expr] : stmt.assignments) {
+        if (!EqualsIgnoreCase(col_name, kWeightColumn)) {
+          return Status::NotImplemented(
+              "UPDATE on samples currently only supports SET weight = ...");
+        }
+        MOSAIC_ASSIGN_OR_RETURN(auto bound, binder.Bind(*expr));
+        std::vector<double> values;
+        values.reserve(rows.size());
+        for (size_t r : rows) {
+          MOSAIC_ASSIGN_OR_RETURN(Value v,
+                                  exec::EvaluateExpr(*bound, with_w, r));
+          MOSAIC_ASSIGN_OR_RETURN(double w, v.ToDouble());
+          values.push_back(w);
+        }
+        new_weights.push_back(std::move(values));
+      }
+      for (const auto& values : new_weights) {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (values[i] < 0.0) {
+            return Status::InvalidArgument("weights must be non-negative");
+          }
+          sample->weights[rows[i]] = values[i];
+        }
+      }
+      return Status::OK();
     }
-    exec::Binder binder(&with_w.schema());
+    // Batch path: weighted zero-copy view; assignments are evaluated
+    // as whole batches against the pre-update weights (the row path
+    // reads a snapshot copy, so batches are computed before any write
+    // lands), then written back in row order.
+    MOSAIC_ASSIGN_OR_RETURN(TableView view,
+                            MakeWeightedView(sample->data, sample->weights));
+    SelectionVector rows = SelectionVector::All(view.num_rows());
+    if (stmt.where != nullptr) {
+      MOSAIC_ASSIGN_OR_RETURN(rows, exec::SelectRows(view, *stmt.where));
+    }
+    exec::Binder binder(&view.schema());
+    std::vector<std::vector<double>> new_weights;
     for (const auto& [col_name, expr] : stmt.assignments) {
       if (!EqualsIgnoreCase(col_name, kWeightColumn)) {
         return Status::NotImplemented(
             "UPDATE on samples currently only supports SET weight = ...");
       }
       MOSAIC_ASSIGN_OR_RETURN(auto bound, binder.Bind(*expr));
-      for (size_t r : rows) {
-        MOSAIC_ASSIGN_OR_RETURN(Value v,
-                                exec::EvaluateExpr(*bound, with_w, r));
-        MOSAIC_ASSIGN_OR_RETURN(double w, v.ToDouble());
-        if (w < 0.0) {
+      MOSAIC_ASSIGN_OR_RETURN(std::vector<double> values,
+                              exec::EvalDoubleBatch(*bound, view, rows.rows()));
+      new_weights.push_back(std::move(values));
+    }
+    for (const auto& values : new_weights) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (values[i] < 0.0) {
           return Status::InvalidArgument("weights must be non-negative");
         }
-        sample->weights[r] = w;
+        sample->weights[rows[i]] = values[i];
       }
     }
     return Status::OK();

@@ -144,6 +144,14 @@ class Database {
   /// Hit/miss/eviction counters of the trained-generator cache.
   CacheStats ModelCacheStats() const { return model_cache_.Stats(); }
 
+  /// Route SELECT execution through the legacy row-at-a-time
+  /// interpreter and materializing relation plumbing instead of the
+  /// zero-copy batch path. The two are bit-identical; this is the
+  /// parity oracle for differential tests. Also enabled by setting
+  /// MOSAIC_ROW_PATH=1 in the environment.
+  void set_force_row_exec(bool enabled) { force_row_exec_ = enabled; }
+  bool force_row_exec() const { return force_row_exec_; }
+
   /// When set, the `num_generated_samples` independent OPEN-query
   /// samples are generated on this pool instead of sequentially.
   /// Seeds are threaded per sample index (generation_seed + k), so
@@ -207,6 +215,18 @@ class Database {
   Result<OpenWorldModel> PrepareOpenWorldModel(
       const std::string& population_name);
 
+  /// Raw generated tuples plus their uniform §5.3 weights
+  /// (population_size / rows), before weight attachment and
+  /// view-restriction — the single source both the materializing
+  /// (GenerateFromModel) and zero-copy (OPEN batch) consumers build
+  /// on.
+  struct GeneratedSample {
+    Table data;
+    std::vector<double> weights;
+  };
+  Result<GeneratedSample> GenerateSample(const OpenWorldModel& model,
+                                         size_t rows, uint64_t seed) const;
+
   /// Generate one weighted open-world table from a prepared model.
   /// Const and thread-safe: generation threads share the model and
   /// differ only in their seed.
@@ -227,6 +247,7 @@ class Database {
       train_mutexes_;
   ThreadPool* gen_pool_ = nullptr;
   bool union_samples_ = false;
+  bool force_row_exec_ = false;
   /// Scratch relation materializing the union of samples; rebuilt
   /// lazily when the underlying samples change size.
   SampleInfo union_scratch_;

@@ -1,0 +1,571 @@
+#include "exec/batch_eval.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace mosaic {
+namespace exec {
+
+namespace {
+
+/// Double comparison matching Value::operator< / == (numeric Values
+/// always compare through their double view).
+inline bool CmpD(sql::BinaryOp op, double l, double r) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return l == r;
+    case sql::BinaryOp::kNe:
+      return l != r;
+    case sql::BinaryOp::kLt:
+      return l < r;
+    case sql::BinaryOp::kLe:
+      return l <= r;
+    case sql::BinaryOp::kGt:
+      return l > r;
+    case sql::BinaryOp::kGe:
+      return l >= r;
+    default:
+      return false;
+  }
+}
+
+inline bool CmpS(sql::BinaryOp op, const std::string& l,
+                 const std::string& r) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return l == r;
+    case sql::BinaryOp::kNe:
+      return l != r;
+    case sql::BinaryOp::kLt:
+      return l < r;
+    case sql::BinaryOp::kLe:
+      return !(r < l);
+    case sql::BinaryOp::kGt:
+      return r < l;
+    case sql::BinaryOp::kGe:
+      return !(l < r);
+    default:
+      return false;
+  }
+}
+
+/// `lit op col` rewritten as `col op' lit`.
+sql::BinaryOp ReverseOp(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kLt:
+      return sql::BinaryOp::kGt;
+    case sql::BinaryOp::kLe:
+      return sql::BinaryOp::kGe;
+    case sql::BinaryOp::kGt:
+      return sql::BinaryOp::kLt;
+    case sql::BinaryOp::kGe:
+      return sql::BinaryOp::kLe;
+    default:
+      return op;  // Eq / Ne are symmetric
+  }
+}
+
+inline double SpanDouble(const ColumnSpan& span, uint32_t row) {
+  switch (span.type) {
+    case DataType::kInt64:
+      return static_cast<double>(span.i64[row]);
+    case DataType::kDouble:
+      return span.f64[row];
+    default:
+      return span.b8[row] != 0 ? 1.0 : 0.0;
+  }
+}
+
+bool IsNumericSpan(const ColumnSpan& span) {
+  return span.type == DataType::kInt64 || span.type == DataType::kDouble ||
+         span.type == DataType::kBool;
+}
+
+/// String column vs string literal: resolve the literal through the
+/// dictionary once, then compare codes (Eq/Ne) or a per-code truth
+/// table (ordering ops) — no per-row decoding.
+std::vector<uint8_t> CodeCompareMask(const ColumnSpan& span,
+                                     const std::string& literal,
+                                     sql::BinaryOp op,
+                                     const std::vector<uint32_t>& rows) {
+  std::vector<uint8_t> mask(rows.size());
+  if (op == sql::BinaryOp::kEq || op == sql::BinaryOp::kNe) {
+    const int32_t code = span.dict->Find(literal);
+    if (op == sql::BinaryOp::kEq) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        mask[i] = span.codes[rows[i]] == code;
+      }
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        mask[i] = span.codes[rows[i]] != code;
+      }
+    }
+    return mask;
+  }
+  std::vector<uint8_t> table(span.dict->size());
+  for (size_t c = 0; c < table.size(); ++c) {
+    table[c] = CmpS(op, span.dict->Decode(static_cast<int32_t>(c)), literal);
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    mask[i] = table[span.codes[rows[i]]];
+  }
+  return mask;
+}
+
+Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
+                                         const TableView& view,
+                                         const std::vector<uint32_t>& rows) {
+  const BoundExpr& l = *expr.left;
+  const BoundExpr& r = *expr.right;
+  const sql::BinaryOp op = expr.binary_op;
+  const size_t n = rows.size();
+  std::vector<uint8_t> mask(n);
+
+  if (l.type == DataType::kString) {
+    // --- string comparisons: dictionary codes where possible -------------
+    if (l.kind == BoundExpr::Kind::kColumnRef &&
+        r.kind == BoundExpr::Kind::kLiteral) {
+      return CodeCompareMask(view.column(l.column_index),
+                             r.literal.AsString(), op, rows);
+    }
+    if (l.kind == BoundExpr::Kind::kLiteral &&
+        r.kind == BoundExpr::Kind::kColumnRef) {
+      return CodeCompareMask(view.column(r.column_index),
+                             l.literal.AsString(), ReverseOp(op), rows);
+    }
+    if (l.kind == BoundExpr::Kind::kColumnRef &&
+        r.kind == BoundExpr::Kind::kColumnRef) {
+      const ColumnSpan& ls = view.column(l.column_index);
+      const ColumnSpan& rs = view.column(r.column_index);
+      if (ls.dict == rs.dict &&
+          (op == sql::BinaryOp::kEq || op == sql::BinaryOp::kNe)) {
+        const bool eq = op == sql::BinaryOp::kEq;
+        for (size_t i = 0; i < n; ++i) {
+          mask[i] = (ls.codes[rows[i]] == rs.codes[rows[i]]) == eq;
+        }
+        return mask;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = CmpS(op, ls.dict->Decode(ls.codes[rows[i]]),
+                       rs.dict->Decode(rs.codes[rows[i]]));
+      }
+      return mask;
+    }
+    // Generic string fallback (e.g. literal vs literal).
+    MOSAIC_ASSIGN_OR_RETURN(BatchVec lb, EvalBatch(l, view, rows));
+    MOSAIC_ASSIGN_OR_RETURN(BatchVec rb, EvalBatch(r, view, rows));
+    for (size_t i = 0; i < n; ++i) {
+      mask[i] = CmpS(op, lb.StringAt(i), rb.StringAt(i));
+    }
+    return mask;
+  }
+
+  // --- numeric comparisons ---------------------------------------------
+  if (l.kind == BoundExpr::Kind::kColumnRef &&
+      r.kind == BoundExpr::Kind::kLiteral &&
+      IsNumericSpan(view.column(l.column_index))) {
+    const ColumnSpan& span = view.column(l.column_index);
+    MOSAIC_ASSIGN_OR_RETURN(double lit, r.literal.ToDouble());
+    for (size_t i = 0; i < n; ++i) {
+      mask[i] = CmpD(op, SpanDouble(span, rows[i]), lit);
+    }
+    return mask;
+  }
+  if (l.kind == BoundExpr::Kind::kLiteral &&
+      r.kind == BoundExpr::Kind::kColumnRef &&
+      IsNumericSpan(view.column(r.column_index))) {
+    const ColumnSpan& span = view.column(r.column_index);
+    MOSAIC_ASSIGN_OR_RETURN(double lit, l.literal.ToDouble());
+    const sql::BinaryOp rev = ReverseOp(op);
+    for (size_t i = 0; i < n; ++i) {
+      mask[i] = CmpD(rev, SpanDouble(span, rows[i]), lit);
+    }
+    return mask;
+  }
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> lv,
+                          EvalDoubleBatch(l, view, rows));
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> rv,
+                          EvalDoubleBatch(r, view, rows));
+  for (size_t i = 0; i < n; ++i) mask[i] = CmpD(op, lv[i], rv[i]);
+  return mask;
+}
+
+Result<std::vector<uint8_t>> InMask(const BoundExpr& expr,
+                                    const TableView& view,
+                                    const std::vector<uint32_t>& rows) {
+  const BoundExpr& subject = *expr.child;
+  const size_t n = rows.size();
+  std::vector<uint8_t> mask(n, 0);
+  if (subject.type == DataType::kString) {
+    if (subject.kind == BoundExpr::Kind::kColumnRef) {
+      // Dictionary-code membership: resolve each list string to a
+      // code once; absent strings can never match.
+      const ColumnSpan& span = view.column(subject.column_index);
+      std::vector<uint8_t> member(span.dict->size(), 0);
+      for (const Value& item : expr.in_list) {
+        const int32_t code = span.dict->Find(item.AsString());
+        if (code >= 0) member[code] = 1;
+      }
+      for (size_t i = 0; i < n; ++i) mask[i] = member[span.codes[rows[i]]];
+      return mask;
+    }
+    MOSAIC_ASSIGN_OR_RETURN(BatchVec sb, EvalBatch(subject, view, rows));
+    for (size_t i = 0; i < n; ++i) {
+      for (const Value& item : expr.in_list) {
+        if (sb.StringAt(i) == item.AsString()) {
+          mask[i] = 1;
+          break;
+        }
+      }
+    }
+    return mask;
+  }
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> vals,
+                          EvalDoubleBatch(subject, view, rows));
+  std::vector<double> items;
+  items.reserve(expr.in_list.size());
+  for (const Value& item : expr.in_list) {
+    MOSAIC_ASSIGN_OR_RETURN(double d, item.ToDouble());
+    items.push_back(d);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (double item : items) {
+      if (vals[i] == item) {
+        mask[i] = 1;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+Result<std::vector<uint8_t>> BetweenMask(const BoundExpr& expr,
+                                         const TableView& view,
+                                         const std::vector<uint32_t>& rows) {
+  // Fused fast path: numeric column between literal bounds.
+  if (expr.child->kind == BoundExpr::Kind::kColumnRef &&
+      expr.between_lo->kind == BoundExpr::Kind::kLiteral &&
+      expr.between_hi->kind == BoundExpr::Kind::kLiteral &&
+      IsNumericSpan(view.column(expr.child->column_index))) {
+    const ColumnSpan& span = view.column(expr.child->column_index);
+    MOSAIC_ASSIGN_OR_RETURN(double lo, expr.between_lo->literal.ToDouble());
+    MOSAIC_ASSIGN_OR_RETURN(double hi, expr.between_hi->literal.ToDouble());
+    std::vector<uint8_t> mask(rows.size());
+    if (span.type == DataType::kInt64) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const double v = static_cast<double>(span.i64[rows[i]]);
+        mask[i] = v >= lo && v <= hi;
+      }
+    } else if (span.type == DataType::kDouble) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const double v = span.f64[rows[i]];
+        mask[i] = v >= lo && v <= hi;
+      }
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const double v = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
+        mask[i] = v >= lo && v <= hi;
+      }
+    }
+    return mask;
+  }
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> v,
+                          EvalDoubleBatch(*expr.child, view, rows));
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> lo,
+                          EvalDoubleBatch(*expr.between_lo, view, rows));
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> hi,
+                          EvalDoubleBatch(*expr.between_hi, view, rows));
+  std::vector<uint8_t> mask(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    mask[i] = v[i] >= lo[i] && v[i] <= hi[i];
+  }
+  return mask;
+}
+
+/// Arithmetic over double batches; int64-typed results round through
+/// double exactly like the row evaluator (llround, then back to
+/// double when consumed in an enclosing numeric context).
+Result<std::vector<double>> ArithDoubleBatch(
+    const BoundExpr& expr, const TableView& view,
+    const std::vector<uint32_t>& rows) {
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> l,
+                          EvalDoubleBatch(*expr.left, view, rows));
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> r,
+                          EvalDoubleBatch(*expr.right, view, rows));
+  switch (expr.binary_op) {
+    case sql::BinaryOp::kAdd:
+      for (size_t i = 0; i < l.size(); ++i) l[i] += r[i];
+      break;
+    case sql::BinaryOp::kSub:
+      for (size_t i = 0; i < l.size(); ++i) l[i] -= r[i];
+      break;
+    case sql::BinaryOp::kMul:
+      for (size_t i = 0; i < l.size(); ++i) l[i] *= r[i];
+      break;
+    case sql::BinaryOp::kDiv:
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (r[i] == 0.0) {
+          return Status::ExecutionError("division by zero");
+        }
+        l[i] /= r[i];
+      }
+      break;
+    default:
+      return Status::Internal("unreachable arithmetic op");
+  }
+  if (expr.type == DataType::kInt64) {
+    for (double& v : l) {
+      v = static_cast<double>(static_cast<int64_t>(std::llround(v)));
+    }
+  }
+  return l;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
+                                      const TableView& view,
+                                      const std::vector<uint32_t>& rows) {
+  const size_t n = rows.size();
+  switch (expr.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return std::vector<uint8_t>(n, expr.literal.AsBool() ? 1 : 0);
+    case BoundExpr::Kind::kColumnRef: {
+      const ColumnSpan& span = view.column(expr.column_index);
+      std::vector<uint8_t> mask(n);
+      for (size_t i = 0; i < n; ++i) mask[i] = span.b8[rows[i]];
+      return mask;
+    }
+    case BoundExpr::Kind::kUnary: {
+      MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                              EvalMask(*expr.child, view, rows));
+      for (auto& m : mask) m = !m;
+      return mask;
+    }
+    case BoundExpr::Kind::kBinary: {
+      if (expr.binary_op == sql::BinaryOp::kAnd ||
+          expr.binary_op == sql::BinaryOp::kOr) {
+        // Row-path short-circuit parity: the right side only runs on
+        // rows the left side did not decide.
+        const bool is_and = expr.binary_op == sql::BinaryOp::kAnd;
+        MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> lmask,
+                                EvalMask(*expr.left, view, rows));
+        std::vector<uint32_t> pending;
+        for (size_t i = 0; i < n; ++i) {
+          if (static_cast<bool>(lmask[i]) == is_and) {
+            pending.push_back(rows[i]);
+          }
+        }
+        MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> rmask,
+                                EvalMask(*expr.right, view, pending));
+        std::vector<uint8_t> mask(n);
+        size_t j = 0;
+        for (size_t i = 0; i < n; ++i) {
+          mask[i] = static_cast<bool>(lmask[i]) == is_and
+                        ? rmask[j++]
+                        : lmask[i];
+        }
+        return mask;
+      }
+      return CompareMask(expr, view, rows);
+    }
+    case BoundExpr::Kind::kIn:
+      return InMask(expr, view, rows);
+    case BoundExpr::Kind::kBetween:
+      return BetweenMask(expr, view, rows);
+    case BoundExpr::Kind::kAggResult:
+      return Status::Internal("aggregate slot not available in batch path");
+  }
+  return Status::Internal("unreachable bound expression kind");
+}
+
+Result<std::vector<double>> EvalDoubleBatch(
+    const BoundExpr& expr, const TableView& view,
+    const std::vector<uint32_t>& rows) {
+  const size_t n = rows.size();
+  switch (expr.kind) {
+    case BoundExpr::Kind::kLiteral: {
+      if (n == 0) return std::vector<double>{};
+      MOSAIC_ASSIGN_OR_RETURN(double v, expr.literal.ToDouble());
+      return std::vector<double>(n, v);
+    }
+    case BoundExpr::Kind::kColumnRef: {
+      const ColumnSpan& span = view.column(expr.column_index);
+      std::vector<double> out(n);
+      switch (span.type) {
+        case DataType::kInt64:
+          for (size_t i = 0; i < n; ++i) {
+            out[i] = static_cast<double>(span.i64[rows[i]]);
+          }
+          return out;
+        case DataType::kDouble:
+          for (size_t i = 0; i < n; ++i) out[i] = span.f64[rows[i]];
+          return out;
+        case DataType::kBool:
+          for (size_t i = 0; i < n; ++i) {
+            out[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
+          }
+          return out;
+        default: {
+          if (n == 0) return out;
+          // Same error the row path raises on the first row.
+          auto err = Value(span.dict->Decode(span.codes[rows[0]])).ToDouble();
+          return err.status();
+        }
+      }
+    }
+    case BoundExpr::Kind::kUnary: {
+      if (expr.unary_op == sql::UnaryOp::kNot) break;  // bool: mask below
+      MOSAIC_ASSIGN_OR_RETURN(std::vector<double> out,
+                              EvalDoubleBatch(*expr.child, view, rows));
+      for (double& v : out) v = -v;
+      return out;
+    }
+    case BoundExpr::Kind::kBinary: {
+      switch (expr.binary_op) {
+        case sql::BinaryOp::kAdd:
+        case sql::BinaryOp::kSub:
+        case sql::BinaryOp::kMul:
+        case sql::BinaryOp::kDiv:
+          return ArithDoubleBatch(expr, view, rows);
+        default:
+          break;  // comparisons / AND / OR: boolean, mask below
+      }
+      break;
+    }
+    case BoundExpr::Kind::kIn:
+    case BoundExpr::Kind::kBetween:
+      break;  // boolean, mask below
+    case BoundExpr::Kind::kAggResult:
+      return Status::Internal("aggregate slot not available in batch path");
+  }
+  if (expr.type == DataType::kBool) {
+    MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                            EvalMask(expr, view, rows));
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = mask[i] ? 1.0 : 0.0;
+    return out;
+  }
+  return Status::Internal("expression has no numeric batch form");
+}
+
+Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
+                           const std::vector<uint32_t>& rows) {
+  const size_t n = rows.size();
+  BatchVec out;
+  out.type = expr.type;
+  switch (expr.type) {
+    case DataType::kBool: {
+      MOSAIC_ASSIGN_OR_RETURN(out.b8, EvalMask(expr, view, rows));
+      return out;
+    }
+    case DataType::kDouble: {
+      MOSAIC_ASSIGN_OR_RETURN(out.f64, EvalDoubleBatch(expr, view, rows));
+      return out;
+    }
+    case DataType::kInt64: {
+      switch (expr.kind) {
+        case BoundExpr::Kind::kLiteral:
+          out.i64.assign(n, expr.literal.AsInt64());
+          return out;
+        case BoundExpr::Kind::kColumnRef: {
+          const ColumnSpan& span = view.column(expr.column_index);
+          out.i64.resize(n);
+          for (size_t i = 0; i < n; ++i) out.i64[i] = span.i64[rows[i]];
+          return out;
+        }
+        case BoundExpr::Kind::kUnary: {
+          MOSAIC_ASSIGN_OR_RETURN(BatchVec child,
+                                  EvalBatch(*expr.child, view, rows));
+          out.i64 = std::move(child.i64);
+          for (int64_t& v : out.i64) v = -v;
+          return out;
+        }
+        case BoundExpr::Kind::kBinary: {
+          MOSAIC_ASSIGN_OR_RETURN(std::vector<double> v,
+                                  ArithDoubleBatch(expr, view, rows));
+          out.i64.resize(n);
+          // ArithDoubleBatch already rounded int-typed results; this
+          // narrowing is exact.
+          for (size_t i = 0; i < n; ++i) {
+            out.i64[i] = static_cast<int64_t>(v[i]);
+          }
+          return out;
+        }
+        default:
+          return Status::Internal("unexpected int64 batch expression");
+      }
+    }
+    case DataType::kString: {
+      switch (expr.kind) {
+        case BoundExpr::Kind::kColumnRef: {
+          const ColumnSpan& span = view.column(expr.column_index);
+          out.dict = span.dict;
+          out.codes.resize(n);
+          for (size_t i = 0; i < n; ++i) out.codes[i] = span.codes[rows[i]];
+          return out;
+        }
+        case BoundExpr::Kind::kLiteral:
+          out.strs.assign(n, expr.literal.AsString());
+          return out;
+        default:
+          return Status::Internal("unexpected string batch expression");
+      }
+    }
+    default:
+      return Status::Internal("cannot batch-evaluate NULL-typed expression");
+  }
+}
+
+Result<SelectionVector> FilterView(const TableView& view,
+                                   const BoundExpr& predicate) {
+  return FilterView(view, predicate, SelectionVector::All(view.num_rows()));
+}
+
+Result<SelectionVector> FilterView(const TableView& view,
+                                   const BoundExpr& predicate,
+                                   SelectionVector base) {
+  // Flatten the AND spine so each conjunct refines the selection:
+  // later conjuncts only run on surviving rows, like the row
+  // evaluator's short-circuit.
+  std::vector<const BoundExpr*> conjuncts;
+  std::vector<const BoundExpr*> stack{&predicate};
+  while (!stack.empty()) {
+    const BoundExpr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == BoundExpr::Kind::kBinary &&
+        e->binary_op == sql::BinaryOp::kAnd) {
+      // Push right first so conjuncts pop in left-to-right order.
+      stack.push_back(e->right.get());
+      stack.push_back(e->left.get());
+    } else {
+      conjuncts.push_back(e);
+    }
+  }
+  std::vector<uint32_t> rows = std::move(*base.mutable_rows());
+  for (const BoundExpr* conjunct : conjuncts) {
+    if (rows.empty()) break;
+    MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                            EvalMask(*conjunct, view, rows));
+    size_t kept = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (mask[i]) rows[kept++] = rows[i];
+    }
+    rows.resize(kept);
+  }
+  return SelectionVector(std::move(rows));
+}
+
+Result<SelectionVector> SelectRows(const TableView& view,
+                                   const sql::Expr& predicate) {
+  Binder binder(&view.schema());
+  MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(predicate));
+  if (bound->type != DataType::kBool) {
+    return Status::TypeError("WHERE predicate must be boolean, got " +
+                             std::string(DataTypeName(bound->type)));
+  }
+  return FilterView(view, *bound);
+}
+
+}  // namespace exec
+}  // namespace mosaic

@@ -5,8 +5,11 @@
 #include <limits>
 #include <map>
 #include <numeric>
+#include <optional>
+#include <unordered_map>
 
 #include "common/string_util.h"
+#include "exec/batch_eval.h"
 #include "exec/expr_eval.h"
 
 namespace mosaic {
@@ -31,6 +34,10 @@ struct AggAccum {
   Value vmax;
   bool any = false;
 };
+
+/// Groups in output order: (key values, one accumulator per spec).
+using SortedGroups =
+    std::vector<std::pair<std::vector<Value>, std::vector<AggAccum>>>;
 
 struct AggCollection {
   std::vector<AggSpec> specs;
@@ -152,6 +159,84 @@ DataType AggOutputType(const AggSpec& spec, bool weighted) {
   return DataType::kDouble;
 }
 
+/// Project finalized groups through the SELECT items (and HAVING),
+/// via a one-row synthetic table carrying the group key — shared by
+/// the row and batch paths so post-aggregation semantics cannot
+/// drift.
+Result<Table> EmitGroups(const Schema& schema, const sql::SelectStmt& stmt,
+                         const std::vector<BoundExprPtr>& bound_items,
+                         const BoundExpr* bound_having,
+                         const std::vector<AggSpec>& specs,
+                         const std::vector<size_t>& group_cols,
+                         const SortedGroups& groups, bool weighted) {
+  // Output schema: SELECT items, typed by bound expression (group key
+  // columns keep their source type).
+  Schema out_schema;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    DataType type = bound_items[i]->type;
+    if (bound_items[i]->kind == BoundExpr::Kind::kAggResult) {
+      type = AggOutputType(specs[bound_items[i]->agg_slot], weighted);
+    }
+    MOSAIC_RETURN_IF_ERROR(
+        AddOutputColumn(&out_schema, OutputName(stmt.items[i]), type));
+  }
+  Table out(out_schema);
+  out.Reserve(groups.size());
+
+  for (const auto& [key, accs] : groups) {
+    std::vector<Value> agg_values(specs.size());
+    for (size_t a = 0; a < specs.size(); ++a) {
+      MOSAIC_ASSIGN_OR_RETURN(agg_values[a],
+                              Finalize(specs[a], accs[a], weighted));
+    }
+    Table key_row(schema);
+    // A full-width row carrying the group key values; non-key columns
+    // hold a type-correct placeholder (never read: non-key column
+    // refs were rejected at bind time, and aggregate args were
+    // evaluated during accumulation).
+    std::vector<Value> row_vals;
+    row_vals.reserve(schema.num_columns());
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      switch (schema.column(c).type) {
+        case DataType::kInt64:
+          row_vals.emplace_back(int64_t{0});
+          break;
+        case DataType::kDouble:
+          row_vals.emplace_back(0.0);
+          break;
+        case DataType::kBool:
+          row_vals.emplace_back(false);
+          break;
+        case DataType::kString:
+          row_vals.emplace_back(std::string());
+          break;
+        default:
+          break;
+      }
+    }
+    for (size_t k = 0; k < group_cols.size() && k < key.size(); ++k) {
+      row_vals[group_cols[k]] = key[k];
+    }
+    MOSAIC_RETURN_IF_ERROR(key_row.AppendRow(row_vals));
+    if (bound_having != nullptr) {
+      MOSAIC_ASSIGN_OR_RETURN(
+          Value keep, EvaluateExpr(*bound_having, key_row, 0, &agg_values));
+      if (!keep.AsBool()) continue;
+    }
+    std::vector<Value> out_row(bound_items.size());
+    for (size_t c = 0; c < bound_items.size(); ++c) {
+      MOSAIC_ASSIGN_OR_RETURN(
+          out_row[c], EvaluateExpr(*bound_items[c], key_row, 0, &agg_values));
+    }
+    MOSAIC_RETURN_IF_ERROR(out.AppendRow(out_row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Row path (legacy interpreter, kept as the parity oracle)
+// ---------------------------------------------------------------------------
+
 Status ApplyOrderByAndLimit(const sql::SelectStmt& stmt, Table* out,
                             bool skip_order = false) {
   if (!stmt.order_by.empty() && !skip_order) {
@@ -185,25 +270,9 @@ Status ApplyOrderByAndLimit(const sql::SelectStmt& stmt, Table* out,
   return Status::OK();
 }
 
-}  // namespace
-
-Result<double> TotalWeight(const Table& table,
-                           const std::string& weight_column) {
-  if (weight_column.empty()) {
-    return static_cast<double>(table.num_rows());
-  }
-  MOSAIC_ASSIGN_OR_RETURN(const Column* col,
-                          table.ColumnByName(weight_column));
-  double total = 0.0;
-  for (size_t r = 0; r < col->size(); ++r) {
-    MOSAIC_ASSIGN_OR_RETURN(double w, col->GetDouble(r));
-    total += w;
-  }
-  return total;
-}
-
-Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
-                            const ExecOptions& opts) {
+Result<Table> ExecuteSelectRow(const Table& source,
+                               const sql::SelectStmt& stmt,
+                               const ExecOptions& opts) {
   const Schema& schema = source.schema();
   const bool weighted = !opts.weight_column.empty();
   std::optional<size_t> weight_idx;
@@ -389,98 +458,732 @@ Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
                    std::vector<AggAccum>(aggs.specs.size()));
   }
 
-  // Output schema: SELECT items, typed by bound expression (group key
-  // columns keep their source type).
-  Schema out_schema;
-  for (size_t i = 0; i < stmt.items.size(); ++i) {
-    DataType type = bound_items[i]->type;
-    if (bound_items[i]->kind == BoundExpr::Kind::kAggResult) {
-      type = AggOutputType(aggs.specs[bound_items[i]->agg_slot], weighted);
-    }
-    MOSAIC_RETURN_IF_ERROR(
-        AddOutputColumn(&out_schema, OutputName(stmt.items[i]), type));
+  SortedGroups sorted_groups;
+  sorted_groups.reserve(groups.size());
+  for (auto& [key, accs] : groups) {
+    sorted_groups.emplace_back(key, std::move(accs));
   }
-  Table out(out_schema);
-  out.Reserve(groups.size());
-
-  // Build a per-group synthetic row table so post-aggregation
-  // expressions (e.g. AVG(x)/2, key columns) can be evaluated through
-  // the normal path: group keys live in a one-row table, aggregate
-  // values in agg_values.
-  for (const auto& [key, accs] : groups) {
-    std::vector<Value> agg_values(aggs.specs.size());
-    for (size_t a = 0; a < aggs.specs.size(); ++a) {
-      MOSAIC_ASSIGN_OR_RETURN(agg_values[a],
-                              Finalize(aggs.specs[a], accs[a], weighted));
-    }
-    Table key_row(schema);
-    if (!key.empty()) {
-      // A full-width row carrying the group key values; non-key
-      // columns hold the first value of the group (never read:
-      // non-key column refs were rejected at bind time, and aggregate
-      // args were evaluated during accumulation).
-      std::vector<Value> row_vals(schema.num_columns(), Value(int64_t{0}));
-      for (size_t c = 0; c < schema.num_columns(); ++c) {
-        // Fill with a type-correct placeholder.
-        switch (schema.column(c).type) {
-          case DataType::kInt64:
-            row_vals[c] = Value(int64_t{0});
-            break;
-          case DataType::kDouble:
-            row_vals[c] = Value(0.0);
-            break;
-          case DataType::kBool:
-            row_vals[c] = Value(false);
-            break;
-          case DataType::kString:
-            row_vals[c] = Value(std::string());
-            break;
-          default:
-            break;
-        }
-      }
-      for (size_t k = 0; k < group_cols.size(); ++k) {
-        row_vals[group_cols[k]] = key[k];
-      }
-      MOSAIC_RETURN_IF_ERROR(key_row.AppendRow(row_vals));
-    } else {
-      // Global aggregate: no key columns may be referenced.
-      std::vector<Value> row_vals;
-      for (size_t c = 0; c < schema.num_columns(); ++c) {
-        switch (schema.column(c).type) {
-          case DataType::kInt64:
-            row_vals.emplace_back(int64_t{0});
-            break;
-          case DataType::kDouble:
-            row_vals.emplace_back(0.0);
-            break;
-          case DataType::kBool:
-            row_vals.emplace_back(false);
-            break;
-          case DataType::kString:
-            row_vals.emplace_back(std::string());
-            break;
-          default:
-            break;
-        }
-      }
-      MOSAIC_RETURN_IF_ERROR(key_row.AppendRow(row_vals));
-    }
-    if (bound_having != nullptr) {
-      MOSAIC_ASSIGN_OR_RETURN(
-          Value keep, EvaluateExpr(*bound_having, key_row, 0, &agg_values));
-      if (!keep.AsBool()) continue;
-    }
-    std::vector<Value> out_row(bound_items.size());
-    for (size_t c = 0; c < bound_items.size(); ++c) {
-      MOSAIC_ASSIGN_OR_RETURN(
-          out_row[c], EvaluateExpr(*bound_items[c], key_row, 0, &agg_values));
-    }
-    MOSAIC_RETURN_IF_ERROR(out.AppendRow(out_row));
-  }
-
+  MOSAIC_ASSIGN_OR_RETURN(
+      Table out, EmitGroups(schema, stmt, bound_items, bound_having.get(),
+                            aggs.specs, group_cols, sorted_groups, weighted));
   MOSAIC_RETURN_IF_ERROR(ApplyOrderByAndLimit(stmt, &out));
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Batch path (vectorized columnar pipeline)
+// ---------------------------------------------------------------------------
+
+/// Typed sort key for one ORDER BY column, precomputed once per row
+/// position: numeric columns compare through double (exactly like
+/// Value::operator<), string columns through the code's lexicographic
+/// rank in its dictionary.
+struct SortKeyCol {
+  bool is_string = false;
+  bool desc = false;
+  std::vector<double> num;
+  std::vector<int32_t> rank;
+};
+
+/// rank[code] = lexicographic position of the code's string.
+std::vector<int32_t> DictionaryRanks(const Dictionary& dict) {
+  std::vector<int32_t> order(dict.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::vector<std::string>& values = dict.values();
+  std::sort(order.begin(), order.end(),
+            [&](int32_t a, int32_t b) { return values[a] < values[b]; });
+  std::vector<int32_t> rank(dict.size());
+  for (size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  return rank;
+}
+
+SortKeyCol MakeSortKey(const ColumnSpan& span,
+                       const std::vector<uint32_t>& rows, bool desc) {
+  SortKeyCol key;
+  key.desc = desc;
+  if (span.type == DataType::kString) {
+    key.is_string = true;
+    std::vector<int32_t> ranks = DictionaryRanks(*span.dict);
+    key.rank.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      key.rank[i] = ranks[span.codes[rows[i]]];
+    }
+  } else {
+    key.num.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      switch (span.type) {
+        case DataType::kInt64:
+          key.num[i] = static_cast<double>(span.i64[rows[i]]);
+          break;
+        case DataType::kDouble:
+          key.num[i] = span.f64[rows[i]];
+          break;
+        default:
+          key.num[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
+          break;
+      }
+    }
+  }
+  return key;
+}
+
+/// Positions 0..n-1 ordered by the keys; index tiebreak makes the
+/// order total, so the result equals a stable sort and partial_sort
+/// under LIMIT yields exactly the stable-sorted prefix.
+std::vector<uint32_t> SortPermutation(const std::vector<SortKeyCol>& keys,
+                                      size_t n,
+                                      std::optional<size_t> limit) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), uint32_t{0});
+  auto cmp = [&](uint32_t a, uint32_t b) {
+    for (const SortKeyCol& k : keys) {
+      if (k.is_string) {
+        if (k.rank[a] < k.rank[b]) return !k.desc;
+        if (k.rank[b] < k.rank[a]) return k.desc;
+      } else {
+        if (k.num[a] < k.num[b]) return !k.desc;
+        if (k.num[b] < k.num[a]) return k.desc;
+      }
+    }
+    return a < b;
+  };
+  if (limit && *limit < n) {
+    std::partial_sort(perm.begin(), perm.begin() + *limit, perm.end(), cmp);
+    perm.resize(*limit);
+  } else {
+    std::sort(perm.begin(), perm.end(), cmp);
+  }
+  return perm;
+}
+
+std::optional<size_t> LimitOf(const sql::SelectStmt& stmt) {
+  if (!stmt.limit) return std::nullopt;
+  if (*stmt.limit < 0) return std::nullopt;  // row path: cast never truncates
+  return static_cast<size_t>(*stmt.limit);
+}
+
+/// ORDER BY + LIMIT over a materialized result table using typed sort
+/// keys (and top-N selection instead of full sort when LIMIT is
+/// present).
+Status SortLimitTable(const sql::SelectStmt& stmt, Table* out) {
+  std::optional<size_t> limit = LimitOf(stmt);
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKeyCol> keys;
+    std::vector<uint32_t> identity(out->num_rows());
+    std::iota(identity.begin(), identity.end(), uint32_t{0});
+    for (const auto& o : stmt.order_by) {
+      auto idx = out->schema().FindColumn(o.column);
+      if (!idx) {
+        return Status::BindError("ORDER BY column '" + o.column +
+                                 "' not in result set");
+      }
+      keys.push_back(MakeSortKey(ColumnSpan::FromColumn(out->column(*idx)),
+                                 identity, o.descending));
+    }
+    std::vector<uint32_t> perm =
+        SortPermutation(keys, out->num_rows(), limit);
+    std::vector<size_t> order(perm.begin(), perm.end());
+    *out = out->Filter(order);
+    return Status::OK();
+  }
+  if (limit && *limit < out->num_rows()) {
+    std::vector<size_t> head(*limit);
+    std::iota(head.begin(), head.end(), size_t{0});
+    *out = out->Filter(head);
+  }
+  return Status::OK();
+}
+
+Result<Column> ColumnFromBatch(BatchVec batch) {
+  switch (batch.type) {
+    case DataType::kInt64:
+      return Column::FromInt64(std::move(batch.i64));
+    case DataType::kDouble:
+      return Column::FromDouble(std::move(batch.f64));
+    case DataType::kBool:
+      return Column::FromBool(std::move(batch.b8));
+    case DataType::kString: {
+      if (batch.dict != nullptr) {
+        // Result columns must own a private dictionary: the source
+        // dictionary belongs to a live relation and a later ingest
+        // would grow it under readers holding this result outside the
+        // service lock. Small dictionaries are cloned wholesale (the
+        // codes stay valid, no decoding); dictionaries much larger
+        // than the result are compacted through decode instead.
+        if (batch.dict->size() <= batch.codes.size() + 64) {
+          return Column::FromCodes(std::make_shared<Dictionary>(*batch.dict),
+                                   std::move(batch.codes));
+        }
+        Column col(DataType::kString);
+        col.Reserve(batch.codes.size());
+        for (int32_t code : batch.codes) {
+          col.AppendString(batch.dict->Decode(code));
+        }
+        return col;
+      }
+      Column col(DataType::kString);
+      col.Reserve(batch.strs.size());
+      for (const auto& s : batch.strs) col.AppendString(s);
+      return col;
+    }
+    default:
+      return Status::Internal("cannot materialize NULL-typed batch");
+  }
+}
+
+/// True if evaluating the expression can raise a runtime error
+/// (division is the only erroring scalar op). Guards LIMIT pushdown:
+/// the row path evaluates every selected row before truncating, so
+/// the batch path may only skip rows whose evaluation cannot error.
+bool ContainsDiv(const BoundExpr& e) {
+  if (e.kind == BoundExpr::Kind::kBinary &&
+      e.binary_op == sql::BinaryOp::kDiv) {
+    return true;
+  }
+  for (const BoundExpr* c :
+       {e.child.get(), e.left.get(), e.right.get(), e.between_lo.get(),
+        e.between_hi.get()}) {
+    if (c != nullptr && ContainsDiv(*c)) return true;
+  }
+  return false;
+}
+
+/// Per-GROUP BY-column dense codes over the selected rows, plus the
+/// decode table back to Values.
+struct GroupKeyCol {
+  DataType type = DataType::kNull;
+  std::vector<uint32_t> codes;  // per selected position
+  uint64_t card = 1;
+  std::vector<int64_t> i64_vals;   // kInt64 decode table
+  std::vector<double> f64_vals;    // kDouble decode table
+  const Dictionary* dict = nullptr;  // kString decode
+
+  Value Decode(uint64_t code) const {
+    switch (type) {
+      case DataType::kInt64:
+        return Value(i64_vals[code]);
+      case DataType::kDouble:
+        return Value(f64_vals[code]);
+      case DataType::kBool:
+        return Value(code != 0);
+      case DataType::kString:
+        return Value(dict->Decode(static_cast<int32_t>(code)));
+      default:
+        return Value::Null();
+    }
+  }
+};
+
+GroupKeyCol MakeGroupKey(const ColumnSpan& span,
+                         const std::vector<uint32_t>& rows) {
+  GroupKeyCol key;
+  key.type = span.type;
+  key.codes.resize(rows.size());
+  switch (span.type) {
+    case DataType::kString: {
+      key.dict = span.dict.get();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        key.codes[i] = static_cast<uint32_t>(span.codes[rows[i]]);
+      }
+      key.card = std::max<uint64_t>(1, span.dict->size());
+      break;
+    }
+    case DataType::kBool: {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        key.codes[i] = span.b8[rows[i]] != 0 ? 1 : 0;
+      }
+      key.card = 2;
+      break;
+    }
+    case DataType::kInt64: {
+      // Key identity goes through double, matching the row path's
+      // std::map<Value> comparator (Value compares all numerics as
+      // doubles, merging int64 keys that collide beyond 2^53). The
+      // decode table keeps the first-seen int64, which is exactly the
+      // key the row path's map retains.
+      std::unordered_map<double, uint32_t> ids;
+      ids.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        auto [it, inserted] = ids.try_emplace(
+            static_cast<double>(span.i64[rows[i]]),
+            static_cast<uint32_t>(key.i64_vals.size()));
+        if (inserted) key.i64_vals.push_back(span.i64[rows[i]]);
+        key.codes[i] = it->second;
+      }
+      key.card = std::max<uint64_t>(1, key.i64_vals.size());
+      break;
+    }
+    case DataType::kDouble: {
+      std::unordered_map<double, uint32_t> ids;
+      ids.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        auto [it, inserted] = ids.try_emplace(
+            span.f64[rows[i]], static_cast<uint32_t>(key.f64_vals.size()));
+        if (inserted) key.f64_vals.push_back(span.f64[rows[i]]);
+        key.codes[i] = it->second;
+      }
+      key.card = std::max<uint64_t>(1, key.f64_vals.size());
+      break;
+    }
+    default:
+      break;
+  }
+  return key;
+}
+
+/// Convert a typed aggregate-argument batch to the double view the
+/// row path obtains via Value::ToDouble, with its exact error on
+/// string input.
+Result<std::vector<double>> BatchToDoubles(const BatchVec& batch) {
+  std::vector<double> out(batch.size());
+  switch (batch.type) {
+    case DataType::kInt64:
+      for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<double>(batch.i64[i]);
+      }
+      return out;
+    case DataType::kDouble:
+      return batch.f64;
+    case DataType::kBool:
+      for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = batch.b8[i] != 0 ? 1.0 : 0.0;
+      }
+      return out;
+    case DataType::kString: {
+      if (out.empty()) return out;
+      auto err = Value(batch.StringAt(0)).ToDouble();
+      return err.status();
+    }
+    default:
+      return Status::Internal("cannot convert batch to doubles");
+  }
+}
+
+Value BatchValueAt(const BatchVec& batch, size_t i) {
+  switch (batch.type) {
+    case DataType::kInt64:
+      return Value(batch.i64[i]);
+    case DataType::kDouble:
+      return Value(batch.f64[i]);
+    case DataType::kBool:
+      return Value(batch.b8[i] != 0);
+    case DataType::kString:
+      return Value(batch.StringAt(i));
+    default:
+      return Value::Null();
+  }
+}
+
+/// Strict `a < b` over batch positions with Value semantics (numeric
+/// through double, strings lexicographic).
+bool BatchLess(const BatchVec& batch, size_t a, size_t b) {
+  switch (batch.type) {
+    case DataType::kInt64:
+      return static_cast<double>(batch.i64[a]) <
+             static_cast<double>(batch.i64[b]);
+    case DataType::kDouble:
+      return batch.f64[a] < batch.f64[b];
+    case DataType::kBool:
+      return batch.b8[a] < batch.b8[b];
+    case DataType::kString:
+      return batch.StringAt(a) < batch.StringAt(b);
+    default:
+      return false;
+  }
+}
+
+/// Vectorized SELECT over a view restricted to `sel`. Returns nullopt
+/// when the plan must fall back to the row path (group-key code space
+/// overflowing 64-bit packing).
+Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
+                                                SelectionVector sel,
+                                                const sql::SelectStmt& stmt,
+                                                const ExecOptions& opts) {
+  const Schema& schema = view.schema();
+  const bool weighted = !opts.weight_column.empty();
+  std::optional<size_t> weight_idx;
+  if (weighted) {
+    auto idx = schema.FindColumn(opts.weight_column);
+    if (!idx) {
+      return Status::BindError("weight column '" + opts.weight_column +
+                               "' not found");
+    }
+    weight_idx = *idx;
+  }
+
+  // --- WHERE: refine the selection vector ----------------------------------
+  if (stmt.where != nullptr) {
+    if (stmt.where->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    Binder where_binder(&schema);
+    MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr pred,
+                            where_binder.Bind(*stmt.where));
+    if (pred->type != DataType::kBool) {
+      return Status::TypeError("WHERE predicate must be boolean, got " +
+                               std::string(DataTypeName(pred->type)));
+    }
+    MOSAIC_ASSIGN_OR_RETURN(sel, FilterView(view, *pred, std::move(sel)));
+  }
+
+  bool has_aggregates = false;
+  for (const auto& item : stmt.items) {
+    if (item.expr->ContainsAggregate()) has_aggregates = true;
+  }
+  if (stmt.having != nullptr && stmt.having->ContainsAggregate()) {
+    has_aggregates = true;
+  }
+  if (stmt.select_star && (has_aggregates || !stmt.group_by.empty())) {
+    return Status::BindError("SELECT * cannot be combined with aggregation");
+  }
+  if (!stmt.group_by.empty() && !has_aggregates) {
+    return Status::BindError("GROUP BY requires aggregates in SELECT list");
+  }
+
+  // --- Projection-only path ------------------------------------------------
+  if (!has_aggregates) {
+    Binder binder(&schema);
+    std::vector<BoundExprPtr> bound_items;
+    Schema out_schema;
+    if (stmt.select_star) {
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        if (weight_idx && c == *weight_idx) continue;  // hide weight
+        auto e = std::make_unique<BoundExpr>();
+        e->kind = BoundExpr::Kind::kColumnRef;
+        e->column_index = c;
+        e->type = schema.column(c).type;
+        bound_items.push_back(std::move(e));
+        MOSAIC_RETURN_IF_ERROR(out_schema.AddColumn(schema.column(c)));
+      }
+    } else {
+      for (const auto& item : stmt.items) {
+        MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*item.expr));
+        MOSAIC_RETURN_IF_ERROR(
+            AddOutputColumn(&out_schema, OutputName(item), bound->type));
+        bound_items.push_back(std::move(bound));
+      }
+    }
+    std::optional<size_t> limit = LimitOf(stmt);
+    bool items_can_error = false;
+    for (const auto& item : bound_items) {
+      if (ContainsDiv(*item)) items_can_error = true;
+    }
+    // LIMIT pushdown below the projection is only sound when no item
+    // can raise a runtime error on a truncated row.
+    const std::optional<size_t> eval_limit =
+        items_can_error ? std::nullopt : limit;
+    bool presorted = false;
+    if (!stmt.order_by.empty()) {
+      bool all_in_output = true;
+      for (const auto& o : stmt.order_by) {
+        if (!out_schema.FindColumn(o.column)) all_in_output = false;
+      }
+      if (!all_in_output) {
+        // Pre-sort the selection by source columns, then project only
+        // the LIMIT prefix.
+        std::vector<SortKeyCol> keys;
+        for (const auto& o : stmt.order_by) {
+          auto idx = schema.FindColumn(o.column);
+          if (!idx) {
+            return Status::BindError("ORDER BY column '" + o.column +
+                                     "' not found");
+          }
+          keys.push_back(
+              MakeSortKey(view.column(*idx), sel.rows(), o.descending));
+        }
+        std::vector<uint32_t> perm =
+            SortPermutation(keys, sel.size(), eval_limit);
+        std::vector<uint32_t> sorted(perm.size());
+        for (size_t i = 0; i < perm.size(); ++i) sorted[i] = sel[perm[i]];
+        *sel.mutable_rows() = std::move(sorted);
+        presorted = true;
+      }
+    }
+    const bool limit_only = presorted || stmt.order_by.empty();
+    if (limit_only && eval_limit && *eval_limit < sel.size()) {
+      sel.mutable_rows()->resize(*eval_limit);
+    }
+    std::vector<Column> columns;
+    columns.reserve(bound_items.size());
+    for (const auto& item : bound_items) {
+      MOSAIC_ASSIGN_OR_RETURN(BatchVec batch,
+                              EvalBatch(*item, view, sel.rows()));
+      MOSAIC_ASSIGN_OR_RETURN(Column col, ColumnFromBatch(std::move(batch)));
+      columns.push_back(std::move(col));
+    }
+    Table out(out_schema, std::move(columns), sel.size());
+    if (limit_only && limit && *limit < out.num_rows()) {
+      std::vector<size_t> head(*limit);
+      std::iota(head.begin(), head.end(), size_t{0});
+      out = out.Filter(head);
+    }
+    if (!limit_only) {
+      MOSAIC_RETURN_IF_ERROR(SortLimitTable(stmt, &out));
+    }
+    return std::optional<Table>(std::move(out));
+  }
+
+  // --- Aggregation path ----------------------------------------------------
+  std::vector<size_t> group_cols;
+  for (const auto& name : stmt.group_by) {
+    auto idx = schema.FindColumn(name);
+    if (!idx) {
+      return Status::BindError("GROUP BY column '" + name + "' not found");
+    }
+    group_cols.push_back(*idx);
+  }
+
+  Binder binder(&schema);
+  AggCollection aggs;
+  aggs.binder = &binder;
+  binder.set_aggregate_mapper(&AggCollection::MapAggregateThunk, &aggs);
+
+  std::vector<BoundExprPtr> bound_items;
+  for (const auto& item : stmt.items) {
+    MOSAIC_RETURN_IF_ERROR(
+        ValidateGroupColumnRefs(*item.expr, stmt.group_by));
+    MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(*item.expr));
+    bound_items.push_back(std::move(bound));
+  }
+  BoundExprPtr bound_having;
+  if (stmt.having != nullptr) {
+    MOSAIC_RETURN_IF_ERROR(
+        ValidateGroupColumnRefs(*stmt.having, stmt.group_by));
+    MOSAIC_ASSIGN_OR_RETURN(bound_having, binder.Bind(*stmt.having));
+    if (bound_having->type != DataType::kBool) {
+      return Status::TypeError("HAVING predicate must be boolean");
+    }
+  }
+
+  const std::vector<uint32_t>& srows = sel.rows();
+  const size_t n = srows.size();
+
+  // --- Group ids: per-column dense codes packed into a uint64 key ----------
+  std::vector<uint32_t> gid(n, 0);
+  std::vector<uint64_t> group_packed;
+  std::vector<GroupKeyCol> key_cols;
+  if (group_cols.empty()) {
+    // Global aggregate: one group, even over zero rows.
+    group_packed.push_back(0);
+  } else {
+    key_cols.reserve(group_cols.size());
+    // Guard the code-space product per multiply: each card is < 2^32,
+    // so checking after every step keeps the 128-bit product far from
+    // wrapping before the decline triggers.
+    unsigned __int128 code_space = 1;
+    bool overflow = false;
+    for (size_t c : group_cols) {
+      key_cols.push_back(MakeGroupKey(view.column(c), srows));
+      code_space *= key_cols.back().card;
+      if (code_space > (static_cast<unsigned __int128>(1) << 62)) {
+        overflow = true;
+        break;
+      }
+    }
+    if (overflow) {
+      return std::optional<Table>();  // fall back to the row path
+    }
+    const uint64_t packed_card = static_cast<uint64_t>(code_space);
+    std::vector<uint64_t> packed(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t key = key_cols[0].codes[i];
+      for (size_t k = 1; k < key_cols.size(); ++k) {
+        key = key * key_cols[k].card + key_cols[k].codes[i];
+      }
+      packed[i] = key;
+    }
+    // Flat (direct-indexed) table when the packed code space is
+    // small — both absolutely and relative to the selection, so a
+    // tiny selection over a huge dictionary does not zero-fill
+    // megabytes per query. Open hashing otherwise. Group ids are
+    // first-seen order.
+    constexpr uint64_t kDirectTableMax = uint64_t{1} << 20;
+    if (packed_card <= kDirectTableMax &&
+        packed_card <= std::max<uint64_t>(1024, 4 * n)) {
+      std::vector<int32_t> slot(packed_card, -1);
+      for (size_t i = 0; i < n; ++i) {
+        int32_t& g = slot[packed[i]];
+        if (g < 0) {
+          g = static_cast<int32_t>(group_packed.size());
+          group_packed.push_back(packed[i]);
+        }
+        gid[i] = static_cast<uint32_t>(g);
+      }
+    } else {
+      std::unordered_map<uint64_t, uint32_t> slot;
+      slot.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        auto [it, inserted] = slot.try_emplace(
+            packed[i], static_cast<uint32_t>(group_packed.size()));
+        if (inserted) group_packed.push_back(packed[i]);
+        gid[i] = it->second;
+      }
+    }
+  }
+  const size_t num_groups = group_packed.size();
+
+  // --- Accumulate: tight loops over the selection --------------------------
+  std::vector<double> w;
+  if (weighted) {
+    const ColumnSpan& wspan = view.column(*weight_idx);
+    w.resize(n);
+    if (wspan.type == DataType::kDouble) {
+      // The managed weight column is always a double span.
+      for (size_t i = 0; i < n; ++i) w[i] = wspan.f64[srows[i]];
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        MOSAIC_ASSIGN_OR_RETURN(w[i], wspan.GetDouble(srows[i]));
+      }
+    }
+  }
+  // sum_w / count are identical across specs (accumulated in the same
+  // row order), so compute them once.
+  std::vector<double> sum_w(num_groups, 0.0);
+  std::vector<int64_t> count_n(num_groups, 0);
+  if (weighted) {
+    for (size_t i = 0; i < n; ++i) {
+      sum_w[gid[i]] += w[i];
+      count_n[gid[i]] += 1;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      sum_w[gid[i]] += 1.0;
+      count_n[gid[i]] += 1;
+    }
+  }
+
+  const size_t num_specs = aggs.specs.size();
+  std::vector<std::vector<double>> sum_wx(num_specs);
+  std::vector<std::vector<int64_t>> min_pos(num_specs);
+  std::vector<std::vector<int64_t>> max_pos(num_specs);
+  std::vector<BatchVec> arg_batches(num_specs);
+  for (size_t a = 0; a < num_specs; ++a) {
+    const AggSpec& spec = aggs.specs[a];
+    if (spec.is_star || spec.arg == nullptr) continue;
+    MOSAIC_ASSIGN_OR_RETURN(arg_batches[a],
+                            EvalBatch(*spec.arg, view, srows));
+    if (spec.func == sql::AggFunc::kSum || spec.func == sql::AggFunc::kAvg) {
+      MOSAIC_ASSIGN_OR_RETURN(std::vector<double> x,
+                              BatchToDoubles(arg_batches[a]));
+      auto& acc = sum_wx[a];
+      acc.assign(num_groups, 0.0);
+      if (weighted) {
+        for (size_t i = 0; i < n; ++i) acc[gid[i]] += w[i] * x[i];
+      } else {
+        for (size_t i = 0; i < n; ++i) acc[gid[i]] += x[i];
+      }
+    }
+    if (spec.func == sql::AggFunc::kMin ||
+        spec.func == sql::AggFunc::kMax) {
+      const BatchVec& batch = arg_batches[a];
+      auto& mins = min_pos[a];
+      auto& maxs = max_pos[a];
+      mins.assign(num_groups, -1);
+      maxs.assign(num_groups, -1);
+      for (size_t i = 0; i < n; ++i) {
+        int64_t& mn = mins[gid[i]];
+        int64_t& mx = maxs[gid[i]];
+        if (mn < 0 || BatchLess(batch, i, static_cast<size_t>(mn))) {
+          mn = static_cast<int64_t>(i);
+        }
+        if (mx < 0 || BatchLess(batch, static_cast<size_t>(mx), i)) {
+          mx = static_cast<int64_t>(i);
+        }
+      }
+    }
+  }
+
+  // --- Finalize into sorted groups and emit --------------------------------
+  SortedGroups sorted_groups;
+  sorted_groups.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<Value> key;
+    if (!key_cols.empty()) {
+      key.resize(key_cols.size());
+      uint64_t packed = group_packed[g];
+      for (size_t k = key_cols.size(); k-- > 1;) {
+        key[k] = key_cols[k].Decode(packed % key_cols[k].card);
+        packed /= key_cols[k].card;
+      }
+      key[0] = key_cols[0].Decode(packed);
+    }
+    std::vector<AggAccum> accs(num_specs);
+    for (size_t a = 0; a < num_specs; ++a) {
+      AggAccum& acc = accs[a];
+      acc.sum_w = sum_w[g];
+      acc.count_n = count_n[g];
+      if (!sum_wx[a].empty()) acc.sum_wx = sum_wx[a][g];
+      if (!min_pos[a].empty() && min_pos[a][g] >= 0) {
+        acc.any = true;
+        acc.vmin = BatchValueAt(arg_batches[a],
+                                static_cast<size_t>(min_pos[a][g]));
+        acc.vmax = BatchValueAt(arg_batches[a],
+                                static_cast<size_t>(max_pos[a][g]));
+      }
+    }
+    sorted_groups.emplace_back(std::move(key), std::move(accs));
+  }
+  // The row path's std::map emits groups in sorted key order.
+  std::sort(sorted_groups.begin(), sorted_groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  MOSAIC_ASSIGN_OR_RETURN(
+      Table out, EmitGroups(schema, stmt, bound_items, bound_having.get(),
+                            aggs.specs, group_cols, sorted_groups, weighted));
+  MOSAIC_RETURN_IF_ERROR(SortLimitTable(stmt, &out));
+  return std::optional<Table>(std::move(out));
+}
+
+}  // namespace
+
+Result<double> TotalWeight(const Table& table,
+                           const std::string& weight_column) {
+  if (weight_column.empty()) {
+    return static_cast<double>(table.num_rows());
+  }
+  MOSAIC_ASSIGN_OR_RETURN(const Column* col,
+                          table.ColumnByName(weight_column));
+  double total = 0.0;
+  for (size_t r = 0; r < col->size(); ++r) {
+    MOSAIC_ASSIGN_OR_RETURN(double w, col->GetDouble(r));
+    total += w;
+  }
+  return total;
+}
+
+Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
+                            const ExecOptions& opts) {
+  if (opts.use_row_path) {
+    return ExecuteSelectRow(source, stmt, opts);
+  }
+  TableView view(source);
+  MOSAIC_ASSIGN_OR_RETURN(
+      std::optional<Table> batched,
+      ExecuteSelectBatch(view, SelectionVector::All(source.num_rows()), stmt,
+                         opts));
+  if (batched) return std::move(*batched);
+  return ExecuteSelectRow(source, stmt, opts);
+}
+
+Result<Table> ExecuteSelect(const TableView& view, SelectionVector sel,
+                            const sql::SelectStmt& stmt,
+                            const ExecOptions& opts) {
+  if (!opts.use_row_path) {
+    // The batch planner only declines grouped plans (group-key code
+    // spaces overflowing 64-bit packing), so the original selection
+    // is kept for the fallback only when GROUP BY is present.
+    SelectionVector backup;
+    if (!stmt.group_by.empty()) backup = sel;
+    MOSAIC_ASSIGN_OR_RETURN(
+        std::optional<Table> batched,
+        ExecuteSelectBatch(view, std::move(sel), stmt, opts));
+    if (batched) return std::move(*batched);
+    sel = std::move(backup);
+  }
+  // Row-path oracle (or batch fallback): materialize the selected
+  // rows and run the legacy interpreter.
+  Table materialized = view.Materialize(sel);
+  return ExecuteSelectRow(materialized, stmt, opts);
 }
 
 }  // namespace exec

@@ -14,6 +14,21 @@
 //
 // The engine-managed weight column is hidden from `SELECT *`.
 //
+// Two execution paths produce bit-identical results:
+//
+//   batch (default) — vectorized columnar pipeline over TableView +
+//     SelectionVector: WHERE predicates refine selection vectors in
+//     typed kernels (dictionary-code compares for strings), GROUP BY
+//     is a flat hash aggregation keyed on packed per-column group
+//     codes, aggregates accumulate over selected spans in tight
+//     loops, and ORDER BY sorts precomputed typed keys (partial_sort
+//     when LIMIT is present).
+//   row (parity oracle) — the original Value-at-a-time interpreter,
+//     kept behind ExecOptions::use_row_path for differential testing
+//     (tests/test_exec_parity.cc) and as the fallback for the rare
+//     plans the batch path declines (e.g. group-key code spaces that
+//     overflow 64-bit packing).
+//
 // Thread-safety contract: every function here is a pure function of
 // its inputs — no globals, no caches — so concurrent calls over
 // tables that no writer is mutating are safe. The query service's
@@ -27,6 +42,7 @@
 #include "common/status.h"
 #include "sql/ast.h"
 #include "storage/table.h"
+#include "storage/table_view.h"
 
 namespace mosaic {
 namespace exec {
@@ -35,12 +51,24 @@ struct ExecOptions {
   /// Name of the weight column in the source table; empty = every
   /// tuple has weight 1 (plain SQL).
   std::string weight_column;
+  /// Run the legacy row-at-a-time interpreter instead of the batch
+  /// pipeline. Results are bit-identical; the row path exists as a
+  /// parity oracle and fallback.
+  bool use_row_path = false;
 };
 
 /// Execute `stmt` against `source`. `stmt.from` is ignored — the
 /// caller has already resolved the relation (Mosaic's core engine
 /// routes population queries to reweighted/generated tables first).
 Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
+                            const ExecOptions& opts = {});
+
+/// Execute `stmt` against a zero-copy view restricted to `sel` —
+/// the core engine answers population queries this way without
+/// materializing the restricted (or weight-extended) relation. WHERE
+/// further refines `sel` (taken by value: move it in).
+Result<Table> ExecuteSelect(const TableView& view, SelectionVector sel,
+                            const sql::SelectStmt& stmt,
                             const ExecOptions& opts = {});
 
 /// Total weight of the table (sum of the weight column, or row count

@@ -157,6 +157,59 @@ Result<BoundExprPtr> Binder::Bind(const sql::Expr& expr) {
   return Status::Internal("unreachable expression kind");
 }
 
+void SpecializeStringPredicates(BoundExpr* expr, const Table& table) {
+  if (expr == nullptr) return;
+  if (expr->kind == BoundExpr::Kind::kBinary &&
+      (expr->binary_op == sql::BinaryOp::kEq ||
+       expr->binary_op == sql::BinaryOp::kNe) &&
+      expr->left->type == DataType::kString &&
+      expr->right->type == DataType::kString) {
+    const BoundExpr& l = *expr->left;
+    const BoundExpr& r = *expr->right;
+    const bool l_col = l.kind == BoundExpr::Kind::kColumnRef;
+    const bool r_col = r.kind == BoundExpr::Kind::kColumnRef;
+    if (l_col && r.kind == BoundExpr::Kind::kLiteral) {
+      expr->use_codes = true;
+      expr->literal_code = table.column(l.column_index)
+                               .dictionary()
+                               .Find(r.literal.AsString());
+      return;
+    }
+    if (r_col && l.kind == BoundExpr::Kind::kLiteral) {
+      expr->use_codes = true;
+      expr->literal_code = table.column(r.column_index)
+                               .dictionary()
+                               .Find(l.literal.AsString());
+      return;
+    }
+    if (l_col && r_col &&
+        table.column(l.column_index).shared_dictionary() ==
+            table.column(r.column_index).shared_dictionary()) {
+      expr->use_codes = true;
+      expr->code_pair = true;
+      return;
+    }
+  }
+  if (expr->kind == BoundExpr::Kind::kIn &&
+      expr->child->kind == BoundExpr::Kind::kColumnRef &&
+      expr->child->type == DataType::kString) {
+    const Dictionary& dict =
+        table.column(expr->child->column_index).dictionary();
+    expr->use_codes = true;
+    expr->in_codes.clear();
+    for (const Value& item : expr->in_list) {
+      const int32_t code = dict.Find(item.AsString());
+      if (code >= 0) expr->in_codes.push_back(code);
+    }
+    return;
+  }
+  for (BoundExpr* child :
+       {expr->child.get(), expr->left.get(), expr->right.get(),
+        expr->between_lo.get(), expr->between_hi.get()}) {
+    SpecializeStringPredicates(child, table);
+  }
+}
+
 Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
                            size_t row, const std::vector<Value>* agg_values) {
   switch (expr.kind) {
@@ -194,6 +247,20 @@ Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
             Value l, EvaluateExpr(*expr.left, table, row, agg_values));
         if (l.AsBool()) return Value(true);
         return EvaluateExpr(*expr.right, table, row, agg_values);
+      }
+      if (expr.use_codes) {
+        bool eq;
+        if (expr.code_pair) {
+          eq = table.column(expr.left->column_index).GetCode(row) ==
+               table.column(expr.right->column_index).GetCode(row);
+        } else {
+          const BoundExpr& col =
+              expr.left->kind == BoundExpr::Kind::kColumnRef ? *expr.left
+                                                             : *expr.right;
+          eq = table.column(col.column_index).GetCode(row) ==
+               expr.literal_code;
+        }
+        return Value(expr.binary_op == sql::BinaryOp::kEq ? eq : !eq);
       }
       MOSAIC_ASSIGN_OR_RETURN(Value l,
                               EvaluateExpr(*expr.left, table, row,
@@ -248,6 +315,14 @@ Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
       }
     }
     case BoundExpr::Kind::kIn: {
+      if (expr.use_codes) {
+        const int32_t code =
+            table.column(expr.child->column_index).GetCode(row);
+        for (int32_t c : expr.in_codes) {
+          if (c == code) return Value(true);
+        }
+        return Value(false);
+      }
       MOSAIC_ASSIGN_OR_RETURN(Value v,
                               EvaluateExpr(*expr.child, table, row,
                                            agg_values));
@@ -280,6 +355,7 @@ Result<std::vector<size_t>> FilterRows(const Table& table,
     return Status::TypeError("WHERE predicate must be boolean, got " +
                              std::string(DataTypeName(bound->type)));
   }
+  SpecializeStringPredicates(bound.get(), table);
   std::vector<size_t> rows;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     MOSAIC_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*bound, table, r));

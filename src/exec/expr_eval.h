@@ -46,6 +46,13 @@ struct BoundExpr {
   BoundExprPtr between_hi;
   std::vector<Value> in_list;
   size_t agg_slot = 0;                // kAggResult
+
+  // Filled by SpecializeStringPredicates: string =/!=/IN evaluated on
+  // dictionary codes instead of decoding a string per row.
+  bool use_codes = false;
+  bool code_pair = false;     ///< kBinary: both sides are same-dict columns
+  int32_t literal_code = -1;  ///< kBinary: literal's code in the column dict
+  std::vector<int32_t> in_codes;  ///< kIn: list codes present in the dict
 };
 
 /// Binds scalar (non-aggregate) expressions against a schema.
@@ -78,6 +85,14 @@ class Binder {
 Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
                            size_t row,
                            const std::vector<Value>* agg_values = nullptr);
+
+/// Rewrite string =/!=/IN nodes of a bound expression to compare
+/// dictionary codes against `table`'s columns: literals are resolved
+/// through the column's dictionary once (absent strings can never
+/// match), and same-dictionary column pairs compare codes directly.
+/// The specialized expression is only valid against tables sharing
+/// `table`'s dictionaries (Filter/Gather results qualify).
+void SpecializeStringPredicates(BoundExpr* expr, const Table& table);
 
 /// Evaluate a predicate over every row; returns indices where it is
 /// true. The predicate must be aggregate-free and boolean-typed.

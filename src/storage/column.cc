@@ -74,6 +74,32 @@ void Column::AppendCode(int32_t code) {
   codes_.push_back(code);
 }
 
+Column Column::FromInt64(std::vector<int64_t> values) {
+  Column out(DataType::kInt64);
+  out.ints_ = std::move(values);
+  return out;
+}
+
+Column Column::FromDouble(std::vector<double> values) {
+  Column out(DataType::kDouble);
+  out.doubles_ = std::move(values);
+  return out;
+}
+
+Column Column::FromBool(std::vector<uint8_t> values) {
+  Column out(DataType::kBool);
+  out.bools_ = std::move(values);
+  return out;
+}
+
+Column Column::FromCodes(std::shared_ptr<Dictionary> dict,
+                         std::vector<int32_t> codes) {
+  Column out(DataType::kString);
+  out.dict_ = std::move(dict);
+  out.codes_ = std::move(codes);
+  return out;
+}
+
 Value Column::GetValue(size_t row) const {
   switch (type_) {
     case DataType::kInt64:

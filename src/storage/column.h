@@ -36,6 +36,15 @@ class Column {
   /// Append a pre-encoded dictionary code (string columns).
   void AppendCode(int32_t code);
 
+  /// Zero-copy construction from pre-built storage (the batch
+  /// executor materializes result columns this way instead of
+  /// appending row by row).
+  static Column FromInt64(std::vector<int64_t> values);
+  static Column FromDouble(std::vector<double> values);
+  static Column FromBool(std::vector<uint8_t> values);
+  static Column FromCodes(std::shared_ptr<Dictionary> dict,
+                          std::vector<int32_t> codes);
+
   /// Value at a row (decodes strings).
   Value GetValue(size_t row) const;
 
@@ -44,6 +53,23 @@ class Column {
 
   /// Dictionary code at a row (string columns only).
   int32_t GetCode(size_t row) const;
+
+  /// Raw typed storage, valid while the column is alive and
+  /// unmodified. Each is non-null only for the matching column type
+  /// (string columns expose their dictionary codes). The batch
+  /// executor reads these through ColumnSpan (storage/table_view.h).
+  const int64_t* raw_int64() const {
+    return type_ == DataType::kInt64 ? ints_.data() : nullptr;
+  }
+  const double* raw_double() const {
+    return type_ == DataType::kDouble ? doubles_.data() : nullptr;
+  }
+  const uint8_t* raw_bool() const {
+    return type_ == DataType::kBool ? bools_.data() : nullptr;
+  }
+  const int32_t* raw_codes() const {
+    return type_ == DataType::kString ? codes_.data() : nullptr;
+  }
 
   /// Dictionary (string columns only).
   const Dictionary& dictionary() const { return *dict_; }

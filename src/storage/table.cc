@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 
 #include "common/string_util.h"
@@ -11,6 +12,17 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
   columns_.reserve(schema_.num_columns());
   for (const auto& def : schema_.columns()) {
     columns_.emplace_back(def.type);
+  }
+}
+
+Table::Table(Schema schema, std::vector<Column> columns, size_t num_rows)
+    : schema_(std::move(schema)),
+      columns_(std::move(columns)),
+      num_rows_(num_rows) {
+  assert(schema_.num_columns() == columns_.size());
+  for (const auto& col : columns_) {
+    assert(col.size() == num_rows_);
+    (void)col;
   }
 }
 

@@ -19,6 +19,11 @@ class Table {
   Table() = default;
   explicit Table(Schema schema);
 
+  /// Assemble a table from pre-built columns (zero-copy
+  /// materialization path used by the batch executor). Column types
+  /// and sizes must match the schema and `num_rows`.
+  Table(Schema schema, std::vector<Column> columns, size_t num_rows);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

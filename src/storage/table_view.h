@@ -1,0 +1,110 @@
+// Zero-copy columnar views for the vectorized executor.
+//
+// A ColumnSpan exposes a column's raw typed storage (int64/double/bool
+// arrays, or dictionary codes for strings); a TableView bundles spans
+// with a schema; a SelectionVector names the rows of a view that a
+// predicate kept. Together they let the execution layer filter,
+// aggregate, and project population tables without materializing
+// intermediate Table copies — e.g. a reweighted sample is just a view
+// of the sample's columns plus an external span over its weight
+// vector.
+//
+// Views are non-owning: the Table (and any external span) must outlive
+// the view. Dictionaries are held by shared_ptr so result columns can
+// share them.
+#ifndef MOSAIC_STORAGE_TABLE_VIEW_H_
+#define MOSAIC_STORAGE_TABLE_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace mosaic {
+
+/// Typed, read-only view of one column's storage. Exactly one payload
+/// pointer is set, matching `type` (strings expose dictionary codes —
+/// predicates compare codes, never decoded strings).
+struct ColumnSpan {
+  DataType type = DataType::kNull;
+  size_t size = 0;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const uint8_t* b8 = nullptr;
+  const int32_t* codes = nullptr;
+  std::shared_ptr<const Dictionary> dict;  ///< string columns only
+
+  /// Boxed value at `row` (decodes strings). Boundary use only — the
+  /// batch kernels read the typed pointers directly.
+  Value GetValue(size_t row) const;
+
+  /// Numeric view of a row; errors for string spans.
+  Result<double> GetDouble(size_t row) const;
+
+  static ColumnSpan FromColumn(const Column& column);
+  static ColumnSpan FromDoubles(const double* data, size_t n);
+};
+
+/// Row indices into a view, ascending — the set of rows a predicate
+/// kept. uint32 bounds tables at ~4B rows, which keeps selection
+/// traffic half the size of size_t.
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+  explicit SelectionVector(std::vector<uint32_t> rows)
+      : rows_(std::move(rows)) {}
+
+  /// Dense selection 0..n-1.
+  static SelectionVector All(size_t n);
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  uint32_t operator[](size_t i) const { return rows_[i]; }
+
+  const std::vector<uint32_t>& rows() const { return rows_; }
+  std::vector<uint32_t>* mutable_rows() { return &rows_; }
+
+ private:
+  std::vector<uint32_t> rows_;
+};
+
+/// Schema + one span per column. Constructed over a Table, optionally
+/// extended with external spans (the engine-managed weight column is
+/// attached this way, without copying the sample).
+class TableView {
+ public:
+  TableView() = default;
+  explicit TableView(const Table& table);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return spans_.size(); }
+  const ColumnSpan& column(size_t i) const { return spans_[i]; }
+
+  /// Append an external double span as a named column (e.g. per-tuple
+  /// weights living in a std::vector<double> beside the table).
+  /// Errors on duplicate name or size mismatch against a non-empty
+  /// view.
+  Status AddDoubleSpan(const std::string& name, const double* data,
+                       size_t n);
+
+  /// Boxed value at (row, col) — boundary/debug use.
+  Value GetValue(size_t row, size_t col) const;
+
+  /// Materialize the selected rows into a Table (used when a consumer
+  /// genuinely needs an owning Table, e.g. IPF training input).
+  Table Materialize(const SelectionVector& sel) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnSpan> spans_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_STORAGE_TABLE_VIEW_H_

@@ -313,6 +313,50 @@ TEST(Database, DropIfExistsTolerant) {
   EXPECT_FALSE(db.Execute("DROP TABLE nope").ok());
 }
 
+TEST_F(TinyWorld, RowAndBatchExecutionBitIdentical) {
+  // End-to-end parity oracle: the same database answers every
+  // visibility level identically through the legacy row path
+  // (materializing WithWeights/Filter plumbing) and the zero-copy
+  // batch path.
+  const std::vector<std::string> queries = {
+      "SELECT * FROM RedSample",
+      "SELECT color, size, weight FROM RedSample ORDER BY size LIMIT 3",
+      "SELECT CLOSED color, COUNT(*) AS c FROM Things GROUP BY color",
+      "SELECT SEMI-OPEN size, COUNT(*) AS c FROM Things GROUP BY size "
+      "ORDER BY size",
+      "SELECT SEMI-OPEN COUNT(*) AS c FROM Things WHERE size = 'S'",
+      "SELECT SEMI-OPEN AVG(weight) AS aw FROM RedSample",  // rejected
+      "SELECT AVG(weight) AS aw, MIN(size) AS ms FROM RedSample",
+      "UPDATE RedSample SET weight = weight * 2 WHERE size = 'S'",
+      "SELECT weight FROM RedSample ORDER BY weight DESC LIMIT 4",
+  };
+  for (const auto& sql : queries) {
+    db_.set_force_row_exec(true);
+    auto row_res = db_.Execute(sql);
+    db_.set_force_row_exec(false);
+    auto batch_res = db_.Execute(sql);
+    ASSERT_EQ(row_res.ok(), batch_res.ok())
+        << sql << "\n row: " << row_res.status().ToString()
+        << "\n batch: " << batch_res.status().ToString();
+    if (!row_res.ok()) continue;
+    ASSERT_TRUE(row_res->schema() == batch_res->schema()) << sql;
+    ASSERT_EQ(row_res->num_rows(), batch_res->num_rows()) << sql;
+    for (size_t r = 0; r < row_res->num_rows(); ++r) {
+      for (size_t c = 0; c < row_res->num_columns(); ++c) {
+        Value a = row_res->GetValue(r, c);
+        Value b = batch_res->GetValue(r, c);
+        ASSERT_EQ(a.type(), b.type()) << sql;
+        ASSERT_TRUE(a == b) << sql << " at (" << r << "," << c
+                            << "): " << a.ToString() << " vs "
+                            << b.ToString();
+        if (a.type() == DataType::kDouble) {
+          ASSERT_EQ(a.AsDouble(), b.AsDouble()) << sql;  // bit-exact
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace mosaic

@@ -283,6 +283,80 @@ TEST(Executor, WeightedEquivalentToReplication) {
   }
 }
 
+TEST(Executor, OrderByLimitIsTopNSelection) {
+  // ORDER BY + LIMIT runs top-N selection (partial_sort) in the
+  // batch path rather than a full sort + truncate; it must still
+  // return exactly the stable-sorted prefix, with ties in original
+  // row order — on both paths.
+  Schema s;
+  ASSERT_TRUE(s.AddColumn({"k", DataType::kInt64}).ok());
+  ASSERT_TRUE(s.AddColumn({"id", DataType::kInt64}).ok());
+  Table t(s);
+  // Many duplicate keys so ties cross the LIMIT boundary.
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i % 5), Value(i)}).ok());
+  }
+  for (bool row_path : {false, true}) {
+    ExecOptions opts;
+    opts.use_row_path = row_path;
+    auto stmt = sql::ParseStatement(
+        "SELECT k, id FROM t ORDER BY k LIMIT 7");
+    ASSERT_TRUE(stmt.ok());
+    auto r = ExecuteSelect(t, stmt->As<sql::SelectStmt>(), opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->num_rows(), 7u);
+    // k == 0 rows are ids 0, 5, 10, ... in original order.
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(r->GetValue(i, 0).AsInt64(), 0) << "path=" << row_path;
+      EXPECT_EQ(r->GetValue(i, 1).AsInt64(), static_cast<int64_t>(5 * i))
+          << "path=" << row_path;
+    }
+  }
+}
+
+TEST(Executor, OrderByDescLimitMatchesFullSort) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn({"x", DataType::kDouble}).ok());
+  Table t(s);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(((i * 37) % 100) * 0.5)}).ok());
+  }
+  Table full = MustRun(t, "SELECT x FROM t ORDER BY x DESC");
+  Table top = MustRun(t, "SELECT x FROM t ORDER BY x DESC LIMIT 10");
+  ASSERT_EQ(top.num_rows(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(top.GetValue(i, 0).AsDouble(), full.GetValue(i, 0).AsDouble());
+  }
+}
+
+TEST(Executor, OrderByUnprojectedColumnWithLimit) {
+  // ORDER BY over a source column that is not projected pre-sorts the
+  // selection; LIMIT then truncates it.
+  Table t = FlightsMini();
+  Table r = MustRun(t, "SELECT carrier FROM t ORDER BY dist DESC LIMIT 2");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetValue(0, 0).AsString(), "US");
+  EXPECT_EQ(r.GetValue(1, 0).AsString(), "AA");
+}
+
+TEST(Executor, GroupByOrderByLimit) {
+  Table t = FlightsMini();
+  for (bool row_path : {false, true}) {
+    ExecOptions opts;
+    opts.use_row_path = row_path;
+    opts.weight_column = "weight";
+    auto stmt = sql::ParseStatement(
+        "SELECT carrier, COUNT(*) AS c FROM t GROUP BY carrier "
+        "ORDER BY c DESC LIMIT 2");
+    ASSERT_TRUE(stmt.ok());
+    auto r = ExecuteSelect(t, stmt->As<sql::SelectStmt>(), opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->num_rows(), 2u);
+    EXPECT_EQ(r->GetValue(0, 0).AsString(), "US");  // weight 10
+    EXPECT_EQ(r->GetValue(1, 0).AsString(), "AA");  // weight 4
+  }
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace mosaic

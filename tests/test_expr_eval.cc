@@ -171,6 +171,65 @@ TEST(ExprEval, DivisionAlwaysDouble) {
   EXPECT_DOUBLE_EQ(v->AsDouble(), 125.0);
 }
 
+TEST(ExprEval, InOverMixedIntAndDouble) {
+  Table t = MakeTable();
+  // Numeric IN lists may mix int and double literals; membership is
+  // numeric equality (elapsed 150 matches 150.0, 90 matches 90).
+  EXPECT_EQ(MustFilter(t, "elapsed IN (150.0, 90)").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "elapsed IN (149.5, 90.5)").size(), 0u);
+  // Double subject against int literals.
+  EXPECT_EQ(MustFilter(t, "dist IN (800, 200)").size(), 2u);
+  // Empty-match list with one hit.
+  EXPECT_EQ(MustFilter(t, "dist IN (400.0)").size(), 1u);
+}
+
+TEST(ExprEval, BetweenBoundsAreInclusive) {
+  Table t = MakeTable();
+  EXPECT_EQ(MustFilter(t, "elapsed BETWEEN 90 AND 250").size(), 3u);
+  EXPECT_EQ(MustFilter(t, "elapsed BETWEEN 91 AND 249").size(), 1u);
+  // Degenerate bounds: lo == hi selects exactly the boundary value.
+  EXPECT_EQ(MustFilter(t, "elapsed BETWEEN 150 AND 150").size(), 1u);
+  // Inverted bounds select nothing.
+  EXPECT_EQ(MustFilter(t, "elapsed BETWEEN 250 AND 90").size(), 0u);
+  // Mixed int/double bounds.
+  EXPECT_EQ(MustFilter(t, "dist BETWEEN 199.5 AND 400").size(), 2u);
+}
+
+TEST(ExprEval, NotOverComparisons) {
+  Table t = MakeTable();
+  EXPECT_EQ(MustFilter(t, "NOT (elapsed > 200)").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "NOT (carrier = 'WN')").size(), 2u);
+  EXPECT_EQ(MustFilter(t, "NOT (elapsed BETWEEN 90 AND 250)").size(), 0u);
+  EXPECT_EQ(MustFilter(t, "NOT (carrier IN ('WN', 'AA'))").size(), 1u);
+  // Double negation is the identity.
+  EXPECT_EQ(MustFilter(t, "NOT (NOT (elapsed > 200))").size(), 1u);
+}
+
+TEST(ExprEval, SpecializedStringPredicatesCompareCodes) {
+  Table t = MakeTable();
+  Binder binder(&t.schema());
+  // Equality against a present literal.
+  auto expr = ParseExpr("carrier = 'AA'");
+  auto bound = binder.Bind(*expr);
+  ASSERT_TRUE(bound.ok());
+  SpecializeStringPredicates(bound->get(), t);
+  EXPECT_TRUE((*bound)->use_codes);
+  EXPECT_EQ((*bound)->literal_code,
+            t.column(0).dictionary().Find("AA"));
+  // A literal absent from the dictionary can never match (=) and
+  // always matches (!=).
+  EXPECT_EQ(MustFilter(t, "carrier = 'ZZ'").size(), 0u);
+  EXPECT_EQ(MustFilter(t, "carrier != 'ZZ'").size(), 3u);
+  // IN keeps only codes present in the dictionary.
+  auto in_expr = ParseExpr("carrier IN ('WN', 'ZZ', 'US')");
+  auto in_bound = binder.Bind(*in_expr);
+  ASSERT_TRUE(in_bound.ok());
+  SpecializeStringPredicates(in_bound->get(), t);
+  EXPECT_TRUE((*in_bound)->use_codes);
+  EXPECT_EQ((*in_bound)->in_codes.size(), 2u);
+  EXPECT_EQ(MustFilter(t, "carrier IN ('WN', 'ZZ', 'US')").size(), 2u);
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace mosaic

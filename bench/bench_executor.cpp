@@ -3,17 +3,25 @@
 // shapes of the paper's workload — filter + weighted aggregate
 // (the §5.3 rewrite), grouped aggregation, and ORDER BY ... LIMIT.
 //
-// Emits BENCH_executor.json into the working directory (see
-// scripts/bench_exec.sh). Row count defaults to 1M; override with
-// MOSAIC_BENCH_ROWS for quick local runs.
+// Also times the morsel-parallel path (exec/morsel.h) against the
+// single-threaded batch path at several morsel sizes, on a pool sized
+// to the hardware — morsel results are bit-identical by construction,
+// so the interesting number is the ratio.
+//
+// Emits BENCH_executor.json and BENCH_morsel.json into the working
+// directory (see scripts/bench_exec.sh). Row count defaults to 1M;
+// override with MOSAIC_BENCH_ROWS for quick local runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
 #include "storage/table.h"
@@ -50,11 +58,8 @@ Table MakeSynthetic(size_t rows) {
   return Table(std::move(s), std::move(columns), rows);
 }
 
-double RunTimed(const Table& t, const sql::SelectStmt& stmt, bool row_path,
-                int reps, Table* out) {
-  exec::ExecOptions opts;
-  opts.weight_column = "weight";
-  opts.use_row_path = row_path;
+double RunTimedOpts(const Table& t, const sql::SelectStmt& stmt,
+                    const exec::ExecOptions& opts, int reps, Table* out) {
   double best_ms = 1e300;
   for (int i = 0; i < reps; ++i) {
     auto start = std::chrono::steady_clock::now();
@@ -75,6 +80,14 @@ struct BenchResult {
   double batch_ms = 0.0;
   double speedup() const { return batch_ms > 0.0 ? row_ms / batch_ms : 0.0; }
 };
+
+double RunTimed(const Table& t, const sql::SelectStmt& stmt, bool row_path,
+                int reps, Table* out) {
+  exec::ExecOptions opts;
+  opts.weight_column = "weight";
+  opts.use_row_path = row_path;
+  return RunTimedOpts(t, stmt, opts, reps, out);
+}
 
 BenchResult RunBench(const Table& t, const std::string& name,
                      const std::string& sql, int row_reps, int batch_reps) {
@@ -100,6 +113,72 @@ BenchResult RunBench(const Table& t, const std::string& name,
   }
   std::printf("%-14s row %10.2f ms   batch %8.2f ms   speedup %6.1fx\n",
               name.c_str(), res.row_ms, res.batch_ms, res.speedup());
+  return res;
+}
+
+struct MorselBenchResult {
+  std::string name;
+  size_t morsel_size = 0;
+  size_t threads = 1;
+  double batch_ms = 0.0;
+  double morsel_ms = 0.0;
+  double ratio() const { return morsel_ms > 0.0 ? batch_ms / morsel_ms : 0.0; }
+};
+
+/// Time the morsel path against the single-threaded batch path for
+/// one query; results are checked bit-identical (the fuzzer's
+/// guarantee, re-asserted here on the benchmark data). `pool` null =
+/// the 1-thread morsel configuration (partition/merge overhead only).
+MorselBenchResult RunMorselBench(const Table& t, const std::string& name,
+                                 const std::string& sql, size_t morsel_size,
+                                 ThreadPool* pool, int reps) {
+  auto parsed = Unwrap(sql::ParseStatement(sql), "parse");
+  const auto& stmt = parsed.As<sql::SelectStmt>();
+  MorselBenchResult res;
+  res.name = name;
+  res.morsel_size = morsel_size;
+  res.threads = pool != nullptr ? pool->num_threads() + 1 : 1;
+
+  exec::ExecOptions batch_opts;
+  batch_opts.weight_column = "weight";
+  exec::ExecOptions morsel_opts = batch_opts;
+  morsel_opts.morsels.morsel_size = morsel_size;
+  morsel_opts.morsels.pool = pool;
+
+  // Interleave the two paths rep by rep so both take their best from
+  // the same machine state (frequency scaling and cache residency
+  // drift across a run on small hosts).
+  Table batch_out, morsel_out;
+  res.batch_ms = 1e300;
+  res.morsel_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    res.batch_ms =
+        std::min(res.batch_ms, RunTimedOpts(t, stmt, batch_opts, 1, &batch_out));
+    res.morsel_ms = std::min(
+        res.morsel_ms, RunTimedOpts(t, stmt, morsel_opts, 1, &morsel_out));
+  }
+
+  if (batch_out.num_rows() != morsel_out.num_rows() ||
+      batch_out.num_columns() != morsel_out.num_columns()) {
+    std::fprintf(stderr, "BENCH FATAL: %s batch/morsel shape mismatch\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  for (size_t r = 0; r < batch_out.num_rows(); ++r) {
+    for (size_t c = 0; c < batch_out.num_columns(); ++c) {
+      if (!(batch_out.GetValue(r, c) == morsel_out.GetValue(r, c))) {
+        std::fprintf(stderr,
+                     "BENCH FATAL: %s batch/morsel value mismatch at "
+                     "(%zu, %zu)\n",
+                     name.c_str(), r, c);
+        std::exit(1);
+      }
+    }
+  }
+  std::printf("%-14s morsel=%-7zu threads=%zu  batch %8.2f ms   "
+              "morsel %8.2f ms   ratio %5.2fx\n",
+              name.c_str(), morsel_size, res.threads, res.batch_ms,
+              res.morsel_ms, res.ratio());
   return res;
 }
 
@@ -152,5 +231,57 @@ int main() {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_executor.json\n");
+
+  // --- Morsel-parallel configurations -----------------------------------
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool pool(hw);
+  std::printf("morsel pool: %zu worker(s) + caller\n", pool.num_threads());
+  const size_t morsel_sizes[] = {16384, 65536};
+  const char* queries[][2] = {
+      {"filter_agg",
+       "SELECT COUNT(*), SUM(delay), AVG(delay) FROM t "
+       "WHERE dist BETWEEN 500 AND 1500 AND carrier IN ('AA', 'WN')"},
+      {"group_by",
+       "SELECT carrier, COUNT(*), SUM(delay), AVG(dist) FROM t "
+       "WHERE dist > 250 GROUP BY carrier ORDER BY carrier"},
+      {"order_limit",
+       "SELECT dist, delay FROM t WHERE delay > 0 "
+       "ORDER BY dist DESC LIMIT 100"},
+  };
+  std::vector<MorselBenchResult> morsel_results;
+  for (const auto& q : queries) {
+    for (size_t ms : morsel_sizes) {
+      // 1-thread configuration first (no pool: the acceptance bar is
+      // that partition/merge overhead stays within noise), then the
+      // pooled configuration.
+      morsel_results.push_back(
+          RunMorselBench(t, q[0], q[1], ms, nullptr, /*reps=*/5));
+      morsel_results.push_back(
+          RunMorselBench(t, q[0], q[1], ms, &pool, /*reps=*/5));
+    }
+  }
+
+  std::FILE* mjson = std::fopen("BENCH_morsel.json", "w");
+  if (mjson == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_morsel.json\n");
+    return 1;
+  }
+  std::fprintf(mjson,
+               "{\n  \"rows\": %zu,\n  \"pool_threads\": %zu,\n"
+               "  \"benches\": [\n",
+               rows, pool.num_threads());
+  for (size_t i = 0; i < morsel_results.size(); ++i) {
+    const MorselBenchResult& r = morsel_results[i];
+    std::fprintf(mjson,
+                 "    {\"name\": \"%s\", \"morsel_size\": %zu, "
+                 "\"threads\": %zu, \"batch_ms\": %.3f, "
+                 "\"morsel_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.morsel_size, r.threads, r.batch_ms,
+                 r.morsel_ms, r.ratio(),
+                 i + 1 < morsel_results.size() ? "," : "");
+  }
+  std::fprintf(mjson, "  ]\n}\n");
+  std::fclose(mjson);
+  std::printf("wrote BENCH_morsel.json\n");
   return 0;
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Build (Release) and run the executor benchmark, leaving
-# BENCH_executor.json in the repository root. Usage:
+# BENCH_executor.json and BENCH_morsel.json in the repository root.
+# Usage:
 #   scripts/bench_exec.sh [rows]
 # rows defaults to 1000000 (the acceptance-criteria scale).
 set -euo pipefail
@@ -16,3 +17,5 @@ MOSAIC_BENCH_ROWS="${ROWS}" ./build-release/bench_executor
 
 echo "--- BENCH_executor.json ---"
 cat BENCH_executor.json
+echo "--- BENCH_morsel.json ---"
+cat BENCH_morsel.json

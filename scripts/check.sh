@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, and run the test suite in Release
-# mode, again under AddressSanitizer (MOSAIC_SANITIZE=address), and a
-# ThreadSanitizer pass over the concurrency-sensitive tests (the
-# query service routes reads through the shared-lock batch executor,
-# so the TSan leg is not optional). Pass "fast" as $1 to skip the
-# TSan leg for quick local iterations.
+# mode (plain and morsel-parallel), again under AddressSanitizer
+# (MOSAIC_SANITIZE=address), and a ThreadSanitizer pass over the
+# concurrency-sensitive tests (the query service routes reads through
+# the shared-lock batch executor and morsels fan intra-query work onto
+# the shared request pool, so the TSan leg is not optional). Pass
+# "fast" as $1 to skip the TSan leg for quick local iterations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,19 +23,34 @@ run_suite() {
 }
 
 run_suite "Release" build-release -DCMAKE_BUILD_TYPE=Release
+
+# Morsel leg: every suite again with morsel-split batch execution
+# (MOSAIC_MORSELS sets the engine-wide morsel size; results must be
+# bit-identical, so every existing assertion doubles as a parity
+# check).
+echo "=== Release + MOSAIC_MORSELS=4: ctest ==="
+MOSAIC_MORSELS=4 ctest --test-dir build-release --output-on-failure \
+  -j "${JOBS}"
+
 run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=address
 
 if [[ "${1:-}" != "fast" ]]; then
   # TSan pass over the threaded subsystem tests (the full suite under
   # TSan is slow; these are the tests that exercise concurrency —
-  # including concurrent reads through the batch executor).
+  # concurrent reads through the batch executor, morsel fan-out on the
+  # shared request pool, and the cross-path SQL fuzzer's parallel
+  # morsel runs).
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMOSAIC_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target \
-    test_thread_pool test_lru_cache test_service
+    test_thread_pool test_lru_cache test_service test_sql_fuzz
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz)'
+  # And once more with engine-wide morsels on, so every service-level
+  # query also fans intra-query morsels across the request pool.
+  MOSAIC_MORSELS=4 ctest --test-dir build-tsan --output-on-failure \
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz)'
 fi
 
 echo "All checks passed."

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace mosaic {
 
@@ -37,6 +38,41 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return scheduled_ == 0; });
+}
+
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --scheduled_;
+    if (scheduled_ == 0) all_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::HelpUntil(const std::function<bool()>& ready) {
+  while (!ready()) {
+    if (TryRunOne()) continue;
+    // Queue empty and not ready: the awaited task is running on
+    // another worker. Sleep until new work is queued (we might help
+    // with it) or a short timeout re-checks `ready` — the awaited
+    // completion has no dedicated signal.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!queue_.empty()) continue;
+    wake_worker_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  // While waiting we may have consumed a Submit's notify_one that was
+  // meant for an idle worker; if work is still queued as we leave,
+  // pass the baton on so no task is stranded behind our exit.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty()) wake_worker_.notify_one();
 }
 
 void ThreadPool::Shutdown() {

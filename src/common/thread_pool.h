@@ -2,11 +2,21 @@
 // and get std::futures back; the destructor drains the queue and
 // joins the workers (graceful shutdown).
 //
-// Used by the query service for request fan-out and by the Database
-// for parallel OPEN-query sample generation. Nested blocking — a pool
-// task waiting on futures served by the *same* pool — can deadlock
-// once every worker blocks, so the service keeps two pools: one for
-// requests, one for generation (see service/query_service.h).
+// Used by the query service for request fan-out, by the Database for
+// parallel OPEN-query sample generation, and by the morsel executor
+// for intra-query parallelism. Nested blocking — a pool task waiting
+// on futures served by the *same* pool — can deadlock once every
+// worker blocks. Two escape hatches exist:
+//   - the service keeps two pools (requests vs generation), so a
+//     request task blocking on generation futures always has workers
+//     to serve it;
+//   - TryRunOne()/HelpUntil() are the generic run-inline fallback for
+//     a task that must wait on sibling work in its *own* pool: queued
+//     tasks run inline while waiting, so progress never depends on a
+//     free worker. No production path currently needs them — the
+//     morsel driver avoids blocking on queued work altogether via its
+//     claim loop (exec/morsel.h) — but any future nested wait must go
+//     through them rather than a bare future.get().
 #ifndef MOSAIC_COMMON_THREAD_POOL_H_
 #define MOSAIC_COMMON_THREAD_POOL_H_
 
@@ -59,6 +69,20 @@ class ThreadPool {
 
   /// Blocks until every task submitted so far has finished.
   void Wait();
+
+  /// Pop one queued task and run it on the calling thread; returns
+  /// false when the queue is empty. The run-inline fallback for tasks
+  /// that would otherwise block on work stuck behind them in the
+  /// queue (safe to call from inside a pool task).
+  bool TryRunOne();
+
+  /// Block until `ready()` returns true, draining queued tasks on the
+  /// calling thread while waiting. Unlike waiting on a future, this
+  /// cannot deadlock when called from a pool task: the work being
+  /// waited for is either running on another worker (and will
+  /// finish) or still queued (and gets run here inline). `ready` is
+  /// called with no pool lock held and must be thread-safe.
+  void HelpUntil(const std::function<bool()>& ready);
 
   /// Stop accepting new tasks, finish the queue, join the workers.
   /// Idempotent; also called by the destructor.

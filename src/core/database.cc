@@ -137,6 +137,23 @@ Database::Database() : model_cache_(kDefaultModelCacheCapacity) {
   open_.mswg.projections_per_step = 16;
   const char* row_env = std::getenv("MOSAIC_ROW_PATH");
   if (row_env != nullptr && row_env[0] == '1') force_row_exec_ = true;
+  // MOSAIC_MORSELS=<rows> turns on morsel-split batch execution
+  // engine-wide (CI runs every suite this way; see scripts/check.sh).
+  // Parallelism still requires a pool — set_morsel_pool, which the
+  // query service wires to its request pool.
+  const char* morsel_env = std::getenv("MOSAIC_MORSELS");
+  if (morsel_env != nullptr) {
+    const long long size = std::atoll(morsel_env);
+    if (size > 0) morsel_size_ = static_cast<size_t>(size);
+  }
+}
+
+exec::ExecOptions Database::BatchExecOptions() const {
+  exec::ExecOptions opts;
+  opts.morsels.morsel_size = morsel_size_;
+  opts.morsels.parallelism = morsel_parallelism_;
+  opts.morsels.pool = morsel_pool_;
+  return opts;
 }
 
 Result<Table> Database::Execute(const std::string& sql) {
@@ -218,7 +235,7 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
           "' is an auxiliary table");
     }
     MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.from));
-    exec::ExecOptions opts;
+    exec::ExecOptions opts = BatchExecOptions();
     opts.use_row_path = force_row_exec_;
     return exec::ExecuteSelect(*table, stmt, opts);
   }
@@ -245,7 +262,7 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
     MOSAIC_ASSIGN_OR_RETURN(TableView view,
                             MakeWeightedView(sample->data, sample->weights));
     return exec::ExecuteSelect(view, SelectionVector::All(view.num_rows()),
-                               stmt);
+                               stmt, BatchExecOptions());
   }
   if (catalog_.HasPopulation(stmt.from)) {
     MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* pop,
@@ -381,7 +398,8 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
       TableView view(sample->data);
       MOSAIC_ASSIGN_OR_RETURN(SelectionVector sel,
                               PopulationSelection(view, *population));
-      return exec::ExecuteSelect(view, std::move(sel), stmt);
+      return exec::ExecuteSelect(view, std::move(sel), stmt,
+                                 BatchExecOptions());
     }
     case sql::Visibility::kSemiOpen: {
       MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
@@ -404,7 +422,7 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
                               MakeWeightedView(sample->data, sample->weights));
       MOSAIC_ASSIGN_OR_RETURN(SelectionVector sel,
                               PopulationSelection(view, *population));
-      exec::ExecOptions opts;
+      exec::ExecOptions opts = BatchExecOptions();
       opts.weight_column = kWeightColumn;
       return exec::ExecuteSelect(view, std::move(sel), stmt, opts);
     }
@@ -445,7 +463,7 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
             MOSAIC_ASSIGN_OR_RETURN(
                 sel, exec::SelectRows(view, *model.restrict_predicate));
           }
-          exec::ExecOptions opts;
+          exec::ExecOptions opts = BatchExecOptions();
           opts.weight_column = kWeightColumn;
           return exec::ExecuteSelect(view, std::move(sel), stmt, opts);
         } catch (const std::exception& e) {

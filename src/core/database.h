@@ -36,6 +36,11 @@
 #include "storage/table.h"
 
 namespace mosaic {
+
+namespace exec {
+struct ExecOptions;  // exec/executor.h — only named by value here
+}  // namespace exec
+
 namespace core {
 
 struct SemiOpenOptions {
@@ -161,7 +166,34 @@ class Database {
   void set_generation_pool(ThreadPool* pool) { gen_pool_ = pool; }
   ThreadPool* generation_pool() const { return gen_pool_; }
 
+  /// Morsel-parallel batch execution for every visibility level:
+  /// when `morsel_size` > 0, batch-path SELECTs split their selection
+  /// into morsels of that many rows and run them on the morsel pool
+  /// (below), merging in deterministic morsel order — bit-identical
+  /// to the single-threaded batch path at every size/thread count.
+  /// `parallelism` caps concurrent morsels per query, counting the
+  /// executing thread; 0 = executing thread + every pool worker. Also
+  /// enabled by MOSAIC_MORSELS=<size> in the environment.
+  void set_morsel_options(size_t morsel_size, size_t parallelism) {
+    morsel_size_ = morsel_size;
+    morsel_parallelism_ = parallelism;
+  }
+  size_t morsel_size() const { return morsel_size_; }
+  size_t morsel_parallelism() const { return morsel_parallelism_; }
+
+  /// Pool supplying the extra intra-query workers. Safe to share with
+  /// a pool that also runs whole queries (the service's request
+  /// pool): the morsel driver claims work without ever blocking on
+  /// pool capacity, so saturation cannot deadlock (exec/morsel.h).
+  /// Null runs morsels on the executing thread only.
+  void set_morsel_pool(ThreadPool* pool) { morsel_pool_ = pool; }
+  ThreadPool* morsel_pool() const { return morsel_pool_; }
+
  private:
+  /// ExecOptions carrying this engine's morsel configuration — the
+  /// base every batch-path SELECT builds on.
+  exec::ExecOptions BatchExecOptions() const;
+
   Result<Table> ExecuteStatement(sql::Statement* stmt);
   Result<Table> ExecuteSelect(const sql::SelectStmt& stmt);
   Result<Table> ExecutePopulationQuery(const sql::SelectStmt& stmt,
@@ -246,6 +278,9 @@ class Database {
   std::unordered_map<std::string, std::shared_ptr<std::mutex>>
       train_mutexes_;
   ThreadPool* gen_pool_ = nullptr;
+  ThreadPool* morsel_pool_ = nullptr;
+  size_t morsel_size_ = 0;
+  size_t morsel_parallelism_ = 0;
   bool union_samples_ = false;
   bool force_row_exec_ = false;
   /// Scratch relation materializing the union of samples; rebuilt

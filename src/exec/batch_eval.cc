@@ -87,7 +87,7 @@ bool IsNumericSpan(const ColumnSpan& span) {
 std::vector<uint8_t> CodeCompareMask(const ColumnSpan& span,
                                      const std::string& literal,
                                      sql::BinaryOp op,
-                                     const std::vector<uint32_t>& rows) {
+                                     SelectionSlice rows) {
   std::vector<uint8_t> mask(rows.size());
   if (op == sql::BinaryOp::kEq || op == sql::BinaryOp::kNe) {
     const int32_t code = span.dict->Find(literal);
@@ -114,7 +114,7 @@ std::vector<uint8_t> CodeCompareMask(const ColumnSpan& span,
 
 Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
                                          const TableView& view,
-                                         const std::vector<uint32_t>& rows) {
+                                         SelectionSlice rows) {
   const BoundExpr& l = *expr.left;
   const BoundExpr& r = *expr.right;
   const sql::BinaryOp op = expr.binary_op;
@@ -192,7 +192,7 @@ Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
 
 Result<std::vector<uint8_t>> InMask(const BoundExpr& expr,
                                     const TableView& view,
-                                    const std::vector<uint32_t>& rows) {
+                                    SelectionSlice rows) {
   const BoundExpr& subject = *expr.child;
   const size_t n = rows.size();
   std::vector<uint8_t> mask(n, 0);
@@ -241,7 +241,7 @@ Result<std::vector<uint8_t>> InMask(const BoundExpr& expr,
 
 Result<std::vector<uint8_t>> BetweenMask(const BoundExpr& expr,
                                          const TableView& view,
-                                         const std::vector<uint32_t>& rows) {
+                                         SelectionSlice rows) {
   // Fused fast path: numeric column between literal bounds.
   if (expr.child->kind == BoundExpr::Kind::kColumnRef &&
       expr.between_lo->kind == BoundExpr::Kind::kLiteral &&
@@ -287,7 +287,7 @@ Result<std::vector<uint8_t>> BetweenMask(const BoundExpr& expr,
 /// double when consumed in an enclosing numeric context).
 Result<std::vector<double>> ArithDoubleBatch(
     const BoundExpr& expr, const TableView& view,
-    const std::vector<uint32_t>& rows) {
+    SelectionSlice rows) {
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> l,
                           EvalDoubleBatch(*expr.left, view, rows));
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> r,
@@ -325,7 +325,7 @@ Result<std::vector<double>> ArithDoubleBatch(
 
 Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
                                       const TableView& view,
-                                      const std::vector<uint32_t>& rows) {
+                                      SelectionSlice rows) {
   const size_t n = rows.size();
   switch (expr.kind) {
     case BoundExpr::Kind::kLiteral:
@@ -381,7 +381,7 @@ Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
 
 Result<std::vector<double>> EvalDoubleBatch(
     const BoundExpr& expr, const TableView& view,
-    const std::vector<uint32_t>& rows) {
+    SelectionSlice rows) {
   const size_t n = rows.size();
   switch (expr.kind) {
     case BoundExpr::Kind::kLiteral: {
@@ -450,7 +450,7 @@ Result<std::vector<double>> EvalDoubleBatch(
 }
 
 Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
-                           const std::vector<uint32_t>& rows) {
+                           SelectionSlice rows) {
   const size_t n = rows.size();
   BatchVec out;
   out.type = expr.type;
@@ -522,12 +522,12 @@ Result<SelectionVector> FilterView(const TableView& view,
   return FilterView(view, predicate, SelectionVector::All(view.num_rows()));
 }
 
-Result<SelectionVector> FilterView(const TableView& view,
-                                   const BoundExpr& predicate,
-                                   SelectionVector base) {
-  // Flatten the AND spine so each conjunct refines the selection:
-  // later conjuncts only run on surviving rows, like the row
-  // evaluator's short-circuit.
+namespace {
+
+/// Flatten the AND spine so each conjunct refines the selection:
+/// later conjuncts only run on surviving rows, like the row
+/// evaluator's short-circuit.
+std::vector<const BoundExpr*> FlattenConjuncts(const BoundExpr& predicate) {
   std::vector<const BoundExpr*> conjuncts;
   std::vector<const BoundExpr*> stack{&predicate};
   while (!stack.empty()) {
@@ -542,17 +542,58 @@ Result<SelectionVector> FilterView(const TableView& view,
       conjuncts.push_back(e);
     }
   }
-  std::vector<uint32_t> rows = std::move(*base.mutable_rows());
-  for (const BoundExpr* conjunct : conjuncts) {
-    if (rows.empty()) break;
+  return conjuncts;
+}
+
+/// Refine an owning row list in place through the conjuncts.
+Status RefineRows(const TableView& view,
+                  const std::vector<const BoundExpr*>& conjuncts,
+                  size_t first_conjunct, std::vector<uint32_t>* rows) {
+  for (size_t c = first_conjunct; c < conjuncts.size(); ++c) {
+    if (rows->empty()) break;
     MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
-                            EvalMask(*conjunct, view, rows));
+                            EvalMask(*conjuncts[c], view, *rows));
     size_t kept = 0;
-    for (size_t i = 0; i < rows.size(); ++i) {
-      if (mask[i]) rows[kept++] = rows[i];
+    for (size_t i = 0; i < rows->size(); ++i) {
+      if (mask[i]) (*rows)[kept++] = (*rows)[i];
     }
-    rows.resize(kept);
+    rows->resize(kept);
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SelectionVector> FilterView(const TableView& view,
+                                   const BoundExpr& predicate,
+                                   SelectionVector base) {
+  std::vector<const BoundExpr*> conjuncts = FlattenConjuncts(predicate);
+  std::vector<uint32_t> rows = std::move(*base.mutable_rows());
+  MOSAIC_RETURN_IF_ERROR(RefineRows(view, conjuncts, 0, &rows));
+  return SelectionVector(std::move(rows));
+}
+
+Result<SelectionVector> FilterSlice(const TableView& view,
+                                    const BoundExpr& predicate,
+                                    SelectionSlice base) {
+  std::vector<const BoundExpr*> conjuncts = FlattenConjuncts(predicate);
+  // First conjunct runs over the zero-copy slice; survivors become
+  // the owning list the remaining conjuncts refine in place.
+  std::vector<uint32_t> rows;
+  if (conjuncts.empty() || base.empty()) {
+    rows.assign(base.begin(), base.end());
+    return SelectionVector(std::move(rows));
+  }
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                          EvalMask(*conjuncts[0], view, base));
+  // Worst case every row survives; reserving the slice size keeps the
+  // compaction allocation-free (morsel slices are small and short-
+  // lived, so over-reserving is cheap).
+  rows.reserve(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (mask[i]) rows.push_back(base[i]);
+  }
+  MOSAIC_RETURN_IF_ERROR(RefineRows(view, conjuncts, 1, &rows));
   return SelectionVector(std::move(rows));
 }
 

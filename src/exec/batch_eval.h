@@ -66,18 +66,18 @@ struct BatchVec {
 /// value at view row rows[i].
 Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
                                       const TableView& view,
-                                      const std::vector<uint32_t>& rows);
+                                      SelectionSlice rows);
 
 /// Evaluate a numeric expression over `rows` as doubles (the
 /// aggregation input form). Errors exactly like Value::ToDouble for
 /// non-numeric expressions (on the first row).
 Result<std::vector<double>> EvalDoubleBatch(const BoundExpr& expr,
                                             const TableView& view,
-                                            const std::vector<uint32_t>& rows);
+                                            SelectionSlice rows);
 
 /// Evaluate an expression over `rows` into its statically typed batch.
 Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
-                           const std::vector<uint32_t>& rows);
+                           SelectionSlice rows);
 
 /// Rows of `view` where the bound boolean predicate holds. Conjuncts
 /// refine the selection left to right, so the right side of an AND is
@@ -90,6 +90,14 @@ Result<SelectionVector> FilterView(const TableView& view,
 Result<SelectionVector> FilterView(const TableView& view,
                                    const BoundExpr& predicate,
                                    SelectionVector base);
+
+/// Refine a zero-copy slice of a selection — the morsel unit. Row ids
+/// that survive the predicate are returned as a fresh (owning)
+/// SelectionVector; concatenating the results of consecutive slices
+/// in slice order reproduces the whole-selection filter exactly.
+Result<SelectionVector> FilterSlice(const TableView& view,
+                                    const BoundExpr& predicate,
+                                    SelectionSlice base);
 
 /// Bind `predicate` against the view's schema and filter. The batch
 /// counterpart of FilterRows (expr_eval.h).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <numeric>
@@ -497,8 +498,8 @@ std::vector<int32_t> DictionaryRanks(const Dictionary& dict) {
   return rank;
 }
 
-SortKeyCol MakeSortKey(const ColumnSpan& span,
-                       const std::vector<uint32_t>& rows, bool desc) {
+SortKeyCol MakeSortKey(const ColumnSpan& span, SelectionSlice rows,
+                       bool desc) {
   SortKeyCol key;
   key.desc = desc;
   if (span.type == DataType::kString) {
@@ -674,8 +675,7 @@ struct GroupKeyCol {
   }
 };
 
-GroupKeyCol MakeGroupKey(const ColumnSpan& span,
-                         const std::vector<uint32_t>& rows) {
+GroupKeyCol MakeGroupKey(const ColumnSpan& span, SelectionSlice rows) {
   GroupKeyCol key;
   key.type = span.type;
   key.codes.resize(rows.size());
@@ -792,6 +792,281 @@ bool BatchLess(const BatchVec& batch, size_t a, size_t b) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Morsel-parallel building blocks (exec/morsel.h)
+//
+// Each helper degrades to its single-threaded counterpart when the
+// driver is disabled or the input fits one morsel, and otherwise
+// produces the identical result by running per-morsel and merging in
+// morsel order: the concatenation of per-morsel outputs is exactly
+// the sequence the whole-selection kernel produces, because every
+// per-row value depends only on its own row.
+// ---------------------------------------------------------------------------
+
+/// WHERE refinement per morsel over zero-copy slices of the base
+/// selection; survivors concatenate in morsel order.
+Result<SelectionVector> MorselFilter(const TableView& view,
+                                     const BoundExpr& pred,
+                                     SelectionVector base,
+                                     const MorselDriver& driver) {
+  const size_t n = base.size();
+  const size_t num_morsels = driver.NumMorsels(n);
+  if (num_morsels <= 1) return FilterView(view, pred, std::move(base));
+  std::vector<SelectionVector> parts(num_morsels);
+  MOSAIC_RETURN_IF_ERROR(driver.Run(num_morsels, [&](size_t m) -> Status {
+    auto [begin, end] = driver.Range(n, m);
+    MOSAIC_ASSIGN_OR_RETURN(
+        parts[m], FilterSlice(view, pred, base.Slice(begin, end - begin)));
+    return Status::OK();
+  }));
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<uint32_t> rows;
+  rows.reserve(total);
+  for (const auto& part : parts) {
+    rows.insert(rows.end(), part.rows().begin(), part.rows().end());
+  }
+  return SelectionVector(std::move(rows));
+}
+
+/// Expression evaluation per morsel into a single preallocated
+/// output: each morsel evaluates its slice and splices the (still
+/// cache-hot) result into its disjoint range, so no cold full-size
+/// concatenation pass runs afterwards.
+Result<BatchVec> MorselEvalBatch(const BoundExpr& expr, const TableView& view,
+                                 const SelectionVector& sel,
+                                 const MorselDriver& driver) {
+  const size_t n = sel.size();
+  const size_t num_morsels = driver.NumMorsels(n);
+  if (num_morsels <= 1) return EvalBatch(expr, view, sel.rows());
+  BatchVec out;
+  out.type = expr.type;
+  switch (expr.type) {
+    case DataType::kInt64:
+      out.i64.resize(n);
+      break;
+    case DataType::kDouble:
+      out.f64.resize(n);
+      break;
+    case DataType::kBool:
+      out.b8.resize(n);
+      break;
+    case DataType::kString:
+      // EvalBatch produces codes for column refs, broadcast strings
+      // for literals — the only two string batch shapes.
+      if (expr.kind == BoundExpr::Kind::kColumnRef) {
+        out.dict = view.column(expr.column_index).dict;
+        out.codes.resize(n);
+      } else {
+        out.strs.resize(n);
+      }
+      break;
+    default:
+      // Untyped expressions error; delegate for the identical status.
+      return EvalBatch(expr, view, sel.rows());
+  }
+  MOSAIC_RETURN_IF_ERROR(driver.Run(num_morsels, [&](size_t m) -> Status {
+    auto [begin, end] = driver.Range(n, m);
+    MOSAIC_ASSIGN_OR_RETURN(
+        BatchVec part, EvalBatch(expr, view, sel.Slice(begin, end - begin)));
+    switch (out.type) {
+      case DataType::kInt64:
+        std::copy(part.i64.begin(), part.i64.end(), out.i64.begin() + begin);
+        break;
+      case DataType::kDouble:
+        std::copy(part.f64.begin(), part.f64.end(), out.f64.begin() + begin);
+        break;
+      case DataType::kBool:
+        std::copy(part.b8.begin(), part.b8.end(), out.b8.begin() + begin);
+        break;
+      case DataType::kString:
+        if (out.dict != nullptr) {
+          std::copy(part.codes.begin(), part.codes.end(),
+                    out.codes.begin() + begin);
+        } else {
+          std::move(part.strs.begin(), part.strs.end(),
+                    out.strs.begin() + begin);
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::OK();
+  }));
+  return out;
+}
+
+/// Per-tuple weight gather, each morsel writing its disjoint range of
+/// the preallocated output.
+Result<std::vector<double>> MorselGatherWeights(const ColumnSpan& wspan,
+                                                const SelectionVector& sel,
+                                                const MorselDriver& driver) {
+  const std::vector<uint32_t>& rows = sel.rows();
+  const size_t n = rows.size();
+  std::vector<double> w(n);
+  MOSAIC_RETURN_IF_ERROR(
+      driver.Run(driver.NumMorsels(n), [&](size_t m) -> Status {
+        auto [begin, end] = driver.Range(n, m);
+        if (wspan.type == DataType::kDouble) {
+          // The managed weight column is always a double span.
+          for (size_t i = begin; i < end; ++i) w[i] = wspan.f64[rows[i]];
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            MOSAIC_ASSIGN_OR_RETURN(w[i], wspan.GetDouble(rows[i]));
+          }
+        }
+        return Status::OK();
+      }));
+  return w;
+}
+
+/// MakeSortKey with the gather split across morsels (dictionary ranks
+/// are computed once, serially).
+SortKeyCol MakeSortKeyMorsel(const ColumnSpan& span,
+                             const SelectionVector& sel, bool desc,
+                             const MorselDriver& driver) {
+  const std::vector<uint32_t>& rows = sel.rows();
+  const size_t n = rows.size();
+  const size_t num_morsels = driver.NumMorsels(n);
+  if (num_morsels <= 1) return MakeSortKey(span, rows, desc);
+  SortKeyCol key;
+  key.desc = desc;
+  if (span.type == DataType::kString) {
+    key.is_string = true;
+    std::vector<int32_t> ranks = DictionaryRanks(*span.dict);
+    key.rank.resize(n);
+    (void)driver.Run(num_morsels, [&](size_t m) {
+      auto [begin, end] = driver.Range(n, m);
+      for (size_t i = begin; i < end; ++i) {
+        key.rank[i] = ranks[span.codes[rows[i]]];
+      }
+      return Status::OK();
+    });
+  } else {
+    key.num.resize(n);
+    (void)driver.Run(num_morsels, [&](size_t m) {
+      auto [begin, end] = driver.Range(n, m);
+      switch (span.type) {
+        case DataType::kInt64:
+          for (size_t i = begin; i < end; ++i) {
+            key.num[i] = static_cast<double>(span.i64[rows[i]]);
+          }
+          break;
+        case DataType::kDouble:
+          for (size_t i = begin; i < end; ++i) key.num[i] = span.f64[rows[i]];
+          break;
+        default:
+          for (size_t i = begin; i < end; ++i) {
+            key.num[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
+          }
+          break;
+      }
+      return Status::OK();
+    });
+  }
+  return key;
+}
+
+/// MakeGroupKey with per-morsel work: string/bool codes are pure
+/// gathers; int64/double columns build per-morsel local dictionaries
+/// that a serial merge (in morsel order) folds into the global
+/// first-seen code assignment — identical to the sequential one,
+/// because a value first occurring in morsel m cannot occur in any
+/// earlier morsel — followed by a parallel remap of local to global
+/// codes.
+GroupKeyCol MakeGroupKeyMorsel(const ColumnSpan& span,
+                               const SelectionVector& sel,
+                               const MorselDriver& driver) {
+  const std::vector<uint32_t>& rows = sel.rows();
+  const size_t n = rows.size();
+  const size_t num_morsels = driver.NumMorsels(n);
+  if (num_morsels <= 1) return MakeGroupKey(span, rows);
+  GroupKeyCol key;
+  key.type = span.type;
+  key.codes.resize(n);
+  switch (span.type) {
+    case DataType::kString: {
+      key.dict = span.dict.get();
+      key.card = std::max<uint64_t>(1, span.dict->size());
+      (void)driver.Run(num_morsels, [&](size_t m) {
+        auto [begin, end] = driver.Range(n, m);
+        for (size_t i = begin; i < end; ++i) {
+          key.codes[i] = static_cast<uint32_t>(span.codes[rows[i]]);
+        }
+        return Status::OK();
+      });
+      return key;
+    }
+    case DataType::kBool: {
+      key.card = 2;
+      (void)driver.Run(num_morsels, [&](size_t m) {
+        auto [begin, end] = driver.Range(n, m);
+        for (size_t i = begin; i < end; ++i) {
+          key.codes[i] = span.b8[rows[i]] != 0 ? 1 : 0;
+        }
+        return Status::OK();
+      });
+      return key;
+    }
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      const bool is_int = span.type == DataType::kInt64;
+      // Key identity goes through double (see MakeGroupKey); local
+      // dictionaries record first-seen order within their morsel.
+      std::vector<std::vector<double>> local_vals(num_morsels);
+      std::vector<std::vector<int64_t>> local_i64(num_morsels);
+      (void)driver.Run(num_morsels, [&](size_t m) {
+        auto [begin, end] = driver.Range(n, m);
+        std::unordered_map<double, uint32_t> ids;
+        ids.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          const double v = is_int ? static_cast<double>(span.i64[rows[i]])
+                                  : span.f64[rows[i]];
+          auto [it, inserted] = ids.try_emplace(
+              v, static_cast<uint32_t>(local_vals[m].size()));
+          if (inserted) {
+            local_vals[m].push_back(v);
+            if (is_int) local_i64[m].push_back(span.i64[rows[i]]);
+          }
+          key.codes[i] = it->second;
+        }
+        return Status::OK();
+      });
+      std::unordered_map<double, uint32_t> global;
+      std::vector<std::vector<uint32_t>> remap(num_morsels);
+      for (size_t m = 0; m < num_morsels; ++m) {
+        remap[m].resize(local_vals[m].size());
+        for (size_t j = 0; j < local_vals[m].size(); ++j) {
+          const uint32_t next_code = static_cast<uint32_t>(
+              is_int ? key.i64_vals.size() : key.f64_vals.size());
+          auto [it, inserted] = global.try_emplace(local_vals[m][j],
+                                                   next_code);
+          if (inserted) {
+            if (is_int) {
+              key.i64_vals.push_back(local_i64[m][j]);
+            } else {
+              key.f64_vals.push_back(local_vals[m][j]);
+            }
+          }
+          remap[m][j] = it->second;
+        }
+      }
+      (void)driver.Run(num_morsels, [&](size_t m) {
+        auto [begin, end] = driver.Range(n, m);
+        for (size_t i = begin; i < end; ++i) {
+          key.codes[i] = remap[m][key.codes[i]];
+        }
+        return Status::OK();
+      });
+      key.card = std::max<uint64_t>(
+          1, is_int ? key.i64_vals.size() : key.f64_vals.size());
+      return key;
+    }
+    default:
+      return key;
+  }
+}
+
 /// Vectorized SELECT over a view restricted to `sel`. Returns nullopt
 /// when the plan must fall back to the row path (group-key code space
 /// overflowing 64-bit packing).
@@ -800,6 +1075,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
                                                 const sql::SelectStmt& stmt,
                                                 const ExecOptions& opts) {
   const Schema& schema = view.schema();
+  const MorselDriver morsels(opts.morsels);
   const bool weighted = !opts.weight_column.empty();
   std::optional<size_t> weight_idx;
   if (weighted) {
@@ -823,7 +1099,8 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
       return Status::TypeError("WHERE predicate must be boolean, got " +
                                std::string(DataTypeName(pred->type)));
     }
-    MOSAIC_ASSIGN_OR_RETURN(sel, FilterView(view, *pred, std::move(sel)));
+    MOSAIC_ASSIGN_OR_RETURN(
+        sel, MorselFilter(view, *pred, std::move(sel), morsels));
   }
 
   bool has_aggregates = false;
@@ -888,8 +1165,8 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
             return Status::BindError("ORDER BY column '" + o.column +
                                      "' not found");
           }
-          keys.push_back(
-              MakeSortKey(view.column(*idx), sel.rows(), o.descending));
+          keys.push_back(MakeSortKeyMorsel(view.column(*idx), sel,
+                                           o.descending, morsels));
         }
         std::vector<uint32_t> perm =
             SortPermutation(keys, sel.size(), eval_limit);
@@ -907,7 +1184,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     columns.reserve(bound_items.size());
     for (const auto& item : bound_items) {
       MOSAIC_ASSIGN_OR_RETURN(BatchVec batch,
-                              EvalBatch(*item, view, sel.rows()));
+                              MorselEvalBatch(*item, view, sel, morsels));
       MOSAIC_ASSIGN_OR_RETURN(Column col, ColumnFromBatch(std::move(batch)));
       columns.push_back(std::move(col));
     }
@@ -955,8 +1232,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     }
   }
 
-  const std::vector<uint32_t>& srows = sel.rows();
-  const size_t n = srows.size();
+  const size_t n = sel.size();
 
   // --- Group ids: per-column dense codes packed into a uint64 key ----------
   std::vector<uint32_t> gid(n, 0);
@@ -973,7 +1249,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     unsigned __int128 code_space = 1;
     bool overflow = false;
     for (size_t c : group_cols) {
-      key_cols.push_back(MakeGroupKey(view.column(c), srows));
+      key_cols.push_back(MakeGroupKeyMorsel(view.column(c), sel, morsels));
       code_space *= key_cols.back().card;
       if (code_space > (static_cast<unsigned __int128>(1) << 62)) {
         overflow = true;
@@ -985,13 +1261,17 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     }
     const uint64_t packed_card = static_cast<uint64_t>(code_space);
     std::vector<uint64_t> packed(n);
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t key = key_cols[0].codes[i];
-      for (size_t k = 1; k < key_cols.size(); ++k) {
-        key = key * key_cols[k].card + key_cols[k].codes[i];
+    (void)morsels.Run(morsels.NumMorsels(n), [&](size_t m) {
+      auto [begin, end] = morsels.Range(n, m);
+      for (size_t i = begin; i < end; ++i) {
+        uint64_t key = key_cols[0].codes[i];
+        for (size_t k = 1; k < key_cols.size(); ++k) {
+          key = key * key_cols[k].card + key_cols[k].codes[i];
+        }
+        packed[i] = key;
       }
-      packed[i] = key;
-    }
+      return Status::OK();
+    });
     // Flat (direct-indexed) table when the packed code space is
     // small — both absolutely and relative to the selection, so a
     // tiny selection over a huge dictionary does not zero-fill
@@ -1023,32 +1303,56 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
   const size_t num_groups = group_packed.size();
 
   // --- Accumulate: tight loops over the selection --------------------------
+  //
+  // Under morsels, the per-row work (weight gather, aggregate-argument
+  // evaluation) and the exact aggregates (COUNT, MIN, MAX — integer
+  // adds and order-exact comparisons) run as per-morsel partial
+  // flat-hash states merged in morsel order. Floating-point sums are
+  // the exception: addition is not associative, so merging per-morsel
+  // partial sums would make the rounding depend on the morsel size.
+  // They reduce serially in selection order over per-row values that
+  // were computed in parallel, which keeps every morsel configuration
+  // bit-identical to the single-threaded batch path.
   std::vector<double> w;
   if (weighted) {
-    const ColumnSpan& wspan = view.column(*weight_idx);
-    w.resize(n);
-    if (wspan.type == DataType::kDouble) {
-      // The managed weight column is always a double span.
-      for (size_t i = 0; i < n; ++i) w[i] = wspan.f64[srows[i]];
-    } else {
-      for (size_t i = 0; i < n; ++i) {
-        MOSAIC_ASSIGN_OR_RETURN(w[i], wspan.GetDouble(srows[i]));
-      }
-    }
+    MOSAIC_ASSIGN_OR_RETURN(
+        w, MorselGatherWeights(view.column(*weight_idx), sel, morsels));
   }
+  const size_t num_agg_morsels = morsels.NumMorsels(n);
+  // Partial states cost one num_groups-sized array per morsel; fall
+  // back to the (identical-result) serial scan when that would dwarf
+  // the selection itself.
+  const bool partial_agg =
+      num_agg_morsels > 1 &&
+      static_cast<uint64_t>(num_agg_morsels) * num_groups <=
+          std::max<uint64_t>(4096, 8 * n);
   // sum_w / count are identical across specs (accumulated in the same
   // row order), so compute them once.
   std::vector<double> sum_w(num_groups, 0.0);
   std::vector<int64_t> count_n(num_groups, 0);
-  if (weighted) {
-    for (size_t i = 0; i < n; ++i) {
-      sum_w[gid[i]] += w[i];
-      count_n[gid[i]] += 1;
+  if (partial_agg) {
+    std::vector<std::vector<int64_t>> part(num_agg_morsels);
+    (void)morsels.Run(num_agg_morsels, [&](size_t m) {
+      auto [begin, end] = morsels.Range(n, m);
+      part[m].assign(num_groups, 0);
+      for (size_t i = begin; i < end; ++i) part[m][gid[i]] += 1;
+      return Status::OK();
+    });
+    for (size_t m = 0; m < num_agg_morsels; ++m) {
+      for (size_t g = 0; g < num_groups; ++g) count_n[g] += part[m][g];
     }
   } else {
-    for (size_t i = 0; i < n; ++i) {
-      sum_w[gid[i]] += 1.0;
-      count_n[gid[i]] += 1;
+    for (size_t i = 0; i < n; ++i) count_n[gid[i]] += 1;
+  }
+  if (weighted) {
+    // Ordered serial reduction (see block comment above).
+    for (size_t i = 0; i < n; ++i) sum_w[gid[i]] += w[i];
+  } else {
+    // Sequentially accumulating 1.0 per row yields exactly the
+    // integer count (counts are far below 2^53), so the exact partial
+    // counts reproduce the unweighted sum bit for bit.
+    for (size_t g = 0; g < num_groups; ++g) {
+      sum_w[g] = static_cast<double>(count_n[g]);
     }
   }
 
@@ -1061,12 +1365,15 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     const AggSpec& spec = aggs.specs[a];
     if (spec.is_star || spec.arg == nullptr) continue;
     MOSAIC_ASSIGN_OR_RETURN(arg_batches[a],
-                            EvalBatch(*spec.arg, view, srows));
+                            MorselEvalBatch(*spec.arg, view, sel, morsels));
     if (spec.func == sql::AggFunc::kSum || spec.func == sql::AggFunc::kAvg) {
       MOSAIC_ASSIGN_OR_RETURN(std::vector<double> x,
                               BatchToDoubles(arg_batches[a]));
       auto& acc = sum_wx[a];
       acc.assign(num_groups, 0.0);
+      // Ordered serial reduction (see block comment above); the
+      // per-row products w[i] * x[i] are exact inputs evaluated in
+      // parallel above.
       if (weighted) {
         for (size_t i = 0; i < n; ++i) acc[gid[i]] += w[i] * x[i];
       } else {
@@ -1080,14 +1387,57 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
       auto& maxs = max_pos[a];
       mins.assign(num_groups, -1);
       maxs.assign(num_groups, -1);
-      for (size_t i = 0; i < n; ++i) {
-        int64_t& mn = mins[gid[i]];
-        int64_t& mx = maxs[gid[i]];
-        if (mn < 0 || BatchLess(batch, i, static_cast<size_t>(mn))) {
-          mn = static_cast<int64_t>(i);
+      if (partial_agg) {
+        // Per-morsel partial argmin/argmax, merged in morsel order
+        // with the same strict comparisons as the serial scan — the
+        // first-seen winner among equals is preserved, so the merge
+        // is bit-identical to the sequential result.
+        std::vector<std::vector<int64_t>> pmin(num_agg_morsels);
+        std::vector<std::vector<int64_t>> pmax(num_agg_morsels);
+        (void)morsels.Run(num_agg_morsels, [&](size_t m) {
+          auto [begin, end] = morsels.Range(n, m);
+          auto& lmin = pmin[m];
+          auto& lmax = pmax[m];
+          lmin.assign(num_groups, -1);
+          lmax.assign(num_groups, -1);
+          for (size_t i = begin; i < end; ++i) {
+            int64_t& mn = lmin[gid[i]];
+            int64_t& mx = lmax[gid[i]];
+            if (mn < 0 || BatchLess(batch, i, static_cast<size_t>(mn))) {
+              mn = static_cast<int64_t>(i);
+            }
+            if (mx < 0 || BatchLess(batch, static_cast<size_t>(mx), i)) {
+              mx = static_cast<int64_t>(i);
+            }
+          }
+          return Status::OK();
+        });
+        for (size_t m = 0; m < num_agg_morsels; ++m) {
+          for (size_t g = 0; g < num_groups; ++g) {
+            if (pmin[m][g] >= 0 &&
+                (mins[g] < 0 ||
+                 BatchLess(batch, static_cast<size_t>(pmin[m][g]),
+                           static_cast<size_t>(mins[g])))) {
+              mins[g] = pmin[m][g];
+            }
+            if (pmax[m][g] >= 0 &&
+                (maxs[g] < 0 ||
+                 BatchLess(batch, static_cast<size_t>(maxs[g]),
+                           static_cast<size_t>(pmax[m][g])))) {
+              maxs[g] = pmax[m][g];
+            }
+          }
         }
-        if (mx < 0 || BatchLess(batch, static_cast<size_t>(mx), i)) {
-          mx = static_cast<int64_t>(i);
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          int64_t& mn = mins[gid[i]];
+          int64_t& mx = maxs[gid[i]];
+          if (mn < 0 || BatchLess(batch, i, static_cast<size_t>(mn))) {
+            mn = static_cast<int64_t>(i);
+          }
+          if (mx < 0 || BatchLess(batch, static_cast<size_t>(mx), i)) {
+            mx = static_cast<int64_t>(i);
+          }
         }
       }
     }

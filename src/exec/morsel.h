@@ -1,0 +1,97 @@
+// Morsel-driven intra-query parallelism for the batch executor
+// (Leis et al., "Morsel-Driven Parallelism", the scheduling model
+// behind modern vectorized engines).
+//
+// A query's selection vector is split into fixed-size morsels; WHERE
+// kernels, expression evaluation, group-key gathering, and the exact
+// (order-insensitive) aggregate partials run per morsel, possibly on
+// several threads, and the partial states are merged in morsel order.
+// Because the concatenation of per-morsel results in morsel order is
+// exactly the sequence the single-threaded batch path produces, every
+// merge is deterministic and the morsel path is bit-identical to the
+// batch path (and hence to the row-path oracle) at every morsel size
+// and thread count. Floating-point sums are the one aggregate whose
+// merge order would change the rounding, so they are reduced serially
+// in selection order over per-row products computed in parallel —
+// see executor.cc.
+//
+// Scheduling: MorselDriver::Run never blocks on queued pool work.
+// The calling thread claims morsels from a shared atomic counter and
+// executes them itself; helper tasks submitted to the (shared) pool
+// do the same when a worker picks them up. A helper that only runs
+// after all morsels are claimed exits immediately, so the driver is
+// deadlock-free even when the pool is saturated with other queries'
+// work or has a single thread — the property that lets the query
+// service share one request pool between inter-query and intra-query
+// parallelism.
+#ifndef MOSAIC_EXEC_MORSEL_H_
+#define MOSAIC_EXEC_MORSEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace mosaic {
+namespace exec {
+
+struct MorselOptions {
+  /// Rows per morsel; 0 disables morsel execution (the batch path
+  /// runs single-threaded over the whole selection).
+  size_t morsel_size = 0;
+  /// Maximum concurrent morsels, counting the calling thread;
+  /// 0 = calling thread plus every pool worker.
+  size_t parallelism = 0;
+  /// Extra workers (typically the service's request pool). Null means
+  /// morsels still partition and merge — exercising the slicing and
+  /// merge logic — but run only on the calling thread.
+  ThreadPool* pool = nullptr;
+
+  bool enabled() const { return morsel_size > 0; }
+};
+
+/// Partitions [0, n) row positions into morsels and runs a callback
+/// per morsel, claim-loop style (see file comment).
+class MorselDriver {
+ public:
+  explicit MorselDriver(const MorselOptions& options) : options_(options) {}
+
+  const MorselOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled(); }
+
+  /// Number of morsels covering `rows` positions (0 for empty input).
+  size_t NumMorsels(size_t rows) const {
+    if (!enabled() || rows == 0) return rows == 0 ? 0 : 1;
+    return (rows + options_.morsel_size - 1) / options_.morsel_size;
+  }
+
+  /// [begin, end) positions of morsel `m` out of NumMorsels(rows).
+  std::pair<size_t, size_t> Range(size_t rows, size_t m) const {
+    if (!enabled()) return {0, rows};
+    size_t begin = m * options_.morsel_size;
+    size_t end = begin + options_.morsel_size;
+    if (begin > rows) begin = rows;
+    if (end > rows) end = rows;
+    return {begin, end};
+  }
+
+  /// Run fn(m) for every morsel index m in [0, num_morsels). fn must
+  /// be safe to call concurrently for distinct m, must not throw, and
+  /// should write its result into caller-preallocated per-morsel
+  /// slots. Returns the error of the lowest failing morsel index
+  /// (deterministic regardless of execution interleaving). Blocks
+  /// until every started morsel finished; never blocks on pool
+  /// capacity.
+  Status Run(size_t num_morsels,
+             const std::function<Status(size_t)>& fn) const;
+
+ private:
+  MorselOptions options_;
+};
+
+}  // namespace exec
+}  // namespace mosaic
+
+#endif  // MOSAIC_EXEC_MORSEL_H_

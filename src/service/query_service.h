@@ -11,6 +11,13 @@
 //     for parallel OPEN-query sample generation. Keeping the two
 //     pools separate means a request task blocking on generation
 //     futures can never deadlock the pool serving it.
+//   - The request pool doubles as the intra-query morsel pool
+//     (ServiceOptions::morsel_size / MOSAIC_MORSELS): a query splits
+//     its batch pipeline into morsels that idle request workers help
+//     execute. Safe to share because the morsel driver claims work
+//     from an atomic counter and never blocks on queued pool work
+//     (exec/morsel.h) — a saturated pool just runs each query's
+//     morsels on its own thread.
 //
 // Caching
 //   - Model cache: the Database's bounded LRU of trained generators
@@ -53,6 +60,16 @@ struct ServiceOptions {
   /// of the vectorized batch path (bit-identical results; parity
   /// oracle / escape hatch). Result cache keys are unaffected.
   bool force_row_exec = false;
+  /// Rows per intra-query morsel for batch-path SELECTs; 0 leaves
+  /// morsel execution to the MOSAIC_MORSELS environment knob (unset:
+  /// disabled). Morsels run on the request pool, which is shared
+  /// between inter-query and intra-query work — the morsel driver
+  /// never blocks on queued pool work, so the sharing cannot deadlock
+  /// (exec/morsel.h). Results are bit-identical at every setting.
+  size_t morsel_size = 0;
+  /// Max concurrent morsels per query, counting the thread executing
+  /// the query; 0 = that thread plus every request worker.
+  size_t morsel_parallelism = 0;
 };
 
 /// Aggregate service counters; a consistent-enough snapshot for

@@ -327,6 +327,107 @@ TEST_F(ServiceTest, ConcurrentMixedWorkloadMatchesGroundTruth) {
   EXPECT_GT(stats.result_cache.hits, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Morsel-parallel service execution
+// ---------------------------------------------------------------------------
+
+// Morsels share the request pool with whole queries; a mixed
+// reader/writer workload under that sharing must neither deadlock
+// (the nested-submit hazard) nor produce results that differ from a
+// single-threaded engine. Morsel size 2 over the 8-row tiny world
+// forces several morsels per query.
+TEST(ServiceMorsels, MixedReadersAndWritersWithMorselsEnabled) {
+  ServiceOptions opts;
+  opts.num_request_threads = 4;
+  opts.num_generation_threads = 2;
+  opts.morsel_size = 2;
+  QueryService service(opts);
+  SetUpTinyWorld(service.database());
+
+  core::Database reference;
+  SetUpTinyWorld(&reference);
+  const std::vector<std::string> reads = {
+      "SELECT CLOSED color, COUNT(*) AS c FROM Things GROUP BY color",
+      "SELECT CLOSED COUNT(*), MIN(size), MAX(size) FROM Things",
+      "SELECT size, COUNT(*) AS c FROM Things GROUP BY size ORDER BY size",
+      "SELECT * FROM RedSample ORDER BY size LIMIT 5",
+      "SELECT OPEN color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color",
+  };
+  std::map<std::string, Table> truth;
+  for (const auto& q : reads) {
+    auto r = reference.Execute(q);
+    ASSERT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    truth.emplace(q, std::move(r).value());
+  }
+
+  constexpr int kReaders = 6;
+  constexpr int kPerReader = 10;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kReaders; ++t) {
+    clients.emplace_back([&service, t, &reads, &truth, &mismatches,
+                          &failures] {
+      Session session = service.OpenSession();
+      for (int i = 0; i < kPerReader; ++i) {
+        const std::string& q = reads[(t + i) % reads.size()];
+        auto r = session.Execute(q);
+        if (!r.ok()) {
+          ++failures;
+        } else if (!TablesEqual(truth.at(q), *r)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  // A writer mutating an auxiliary table (exclusive lock) interleaves
+  // with morsel-fanned readers on the same pool.
+  std::thread writer([&service, &failures] {
+    Session session = service.OpenSession();
+    for (int i = 0; i < 8; ++i) {
+      if (!session
+               .Execute("INSERT INTO ColorReport VALUES ('w" +
+                        std::to_string(i) + "', 1)")
+               .ok()) {
+        ++failures;
+      }
+      if (!session.Execute("SELECT COUNT(*) FROM ColorReport").ok()) {
+        ++failures;
+      }
+    }
+  });
+  for (auto& c : clients) c.join();
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// SubmitBatch saturates the request pool with queries that each fan
+// morsels back into the same pool — the claim-loop design must keep
+// every submission completing (no worker is ever blocked waiting on
+// queued morsel work).
+TEST(ServiceMorsels, SaturatedPoolStillCompletesMorselQueries) {
+  ServiceOptions opts;
+  opts.num_request_threads = 2;
+  opts.num_generation_threads = 0;
+  opts.morsel_size = 1;  // maximal fan-out per query
+  QueryService service(opts);
+  SetUpTinyWorld(service.database());
+
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 24; ++i) {
+    sqls.push_back("SELECT color, COUNT(*) AS c FROM Things GROUP BY color");
+  }
+  auto futures = service.SubmitBatch(sqls);
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->num_rows(), 1u);
+    EXPECT_EQ(r->GetValue(0, 1).AsInt64(), 8);
+  }
+}
+
 TEST_F(ServiceTest, StatsExposeModelCache) {
   ASSERT_TRUE(service_->Execute("SELECT OPEN COUNT(*) FROM Things").ok());
   ServiceStats stats = service_->Stats();

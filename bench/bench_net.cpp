@@ -1,0 +1,202 @@
+// Network-layer bench: loopback wire-protocol throughput vs the same
+// workload through in-process QueryService sessions. Quantifies what
+// one frame round-trip costs (serialize, syscalls, poll loop,
+// deserialize) on top of query execution.
+//
+//   ./bench_net [clients] [queries_per_client]
+//
+// Emits BENCH_net.json. On a 1-core container the client threads,
+// poll thread, and request pool all share one CPU, so loopback/
+// in-process ratios here are an upper bound on the true transport
+// overhead; absolute q/s needs real cores.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+using namespace mosaic;
+
+namespace {
+
+void BuildWorld(core::Database* db) {
+  auto exec = [db](const std::string& sql) {
+    bench::Check(db->Execute(sql).status(), sql.c_str());
+  };
+  exec("CREATE GLOBAL POPULATION People (email VARCHAR, device VARCHAR)");
+  exec("CREATE TABLE EmailReport (email VARCHAR, cnt INT)");
+  exec("INSERT INTO EmailReport VALUES ('gmail', 550), ('yahoo', 300), "
+       "('aol', 150)");
+  exec("CREATE TABLE DeviceReport (device VARCHAR, cnt INT)");
+  exec("INSERT INTO DeviceReport VALUES ('phone', 600), ('laptop', 400)");
+  exec("CREATE METADATA People_M1 AS (SELECT email, cnt FROM EmailReport)");
+  exec("CREATE METADATA People_M2 AS "
+       "(SELECT device, cnt FROM DeviceReport)");
+  exec("CREATE SAMPLE Panel AS (SELECT * FROM People WHERE email = "
+       "'gmail')");
+  exec("INSERT INTO Panel VALUES ('gmail','phone'), ('gmail','phone'), "
+       "('gmail','phone'), ('gmail','phone'), ('gmail','laptop'), "
+       "('gmail','laptop')");
+}
+
+/// Read-heavy CLOSED workload (result-cache-friendly): the execution
+/// cost is small and stable, so the measured difference between the
+/// two transports is dominated by the transport itself.
+const std::vector<std::string>& Workload() {
+  static const std::vector<std::string> queries = {
+      "SELECT CLOSED email, COUNT(*) AS c FROM People GROUP BY email",
+      "SELECT CLOSED COUNT(*) AS c FROM People WHERE device = 'phone'",
+      "SELECT CLOSED device, COUNT(*) AS c FROM People GROUP BY device",
+      "SHOW METADATA",
+  };
+  return queries;
+}
+
+struct BenchResult {
+  std::string name;
+  double seconds = 0;
+  double qps = 0;
+  size_t queries = 0;
+};
+
+template <typename PerClientFn>
+BenchResult RunClients(const std::string& name, size_t clients,
+                       size_t per_client, PerClientFn fn) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([c, per_client, &fn] { fn(c, per_client); });
+  }
+  for (auto& t : threads) t.join();
+  BenchResult r;
+  r.name = name;
+  r.queries = clients * per_client;
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  r.qps = static_cast<double>(r.queries) / r.seconds;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  const size_t clients =
+      argc > 1 ? bench::Unwrap(ParseUint64(argv[1]), "clients") : 4;
+  const size_t per_client =
+      argc > 2 ? bench::Unwrap(ParseUint64(argv[2]), "queries") : 500;
+
+  service::ServiceOptions opts;
+  opts.num_request_threads = 4;
+  opts.num_generation_threads = 2;
+  service::QueryService service(opts);
+  BuildWorld(service.database());
+
+  net::ServerOptions server_opts;
+  server_opts.port = 0;
+  net::Server server(&service, server_opts);
+  bench::Check(server.Start(), "server start");
+  const uint16_t port = server.port();
+
+  std::vector<BenchResult> results;
+
+  // --- in-process sessions (the PR-1..3 serving path) -------------------
+  for (size_t c : {size_t(1), clients}) {
+    results.push_back(RunClients(
+        "inprocess_" + std::to_string(c) + "c", c, per_client,
+        [&service](size_t tid, size_t n) {
+          service::Session session = service.OpenSession();
+          const auto& queries = Workload();
+          for (size_t i = 0; i < n; ++i) {
+            auto r = session.Execute(queries[(tid + i) % queries.size()]);
+            bench::Check(r.status(), "inprocess query");
+          }
+        }));
+  }
+
+  // --- loopback TCP, one QUERY frame per statement ----------------------
+  for (size_t c : {size_t(1), clients}) {
+    results.push_back(RunClients(
+        "loopback_" + std::to_string(c) + "c", c, per_client,
+        [port](size_t tid, size_t n) {
+          net::Client client;
+          net::ClientOptions copts;
+          copts.port = port;
+          bench::Check(client.Connect(copts), "connect");
+          const auto& queries = Workload();
+          for (size_t i = 0; i < n; ++i) {
+            auto r = client.Query(queries[(tid + i) % queries.size()]);
+            bench::Check(r.status(), "loopback query");
+          }
+          bench::Check(client.Close(), "close");
+        }));
+  }
+
+  // --- loopback TCP, BATCH frames (amortized round-trips) ---------------
+  constexpr size_t kBatchSize = 16;
+  results.push_back(RunClients(
+      "loopback_batch16_1c", 1, per_client, [port](size_t, size_t n) {
+        net::Client client;
+        net::ClientOptions copts;
+        copts.port = port;
+        bench::Check(client.Connect(copts), "connect");
+        const auto& queries = Workload();
+        size_t done = 0;
+        while (done < n) {
+          std::vector<std::string> batch;
+          for (size_t i = 0; i < kBatchSize && done + i < n; ++i) {
+            batch.push_back(queries[(done + i) % queries.size()]);
+          }
+          auto outcomes = client.Batch(batch);
+          bench::Check(outcomes.status(), "loopback batch");
+          for (const auto& o : *outcomes) {
+            bench::Check(o.status, "loopback batch item");
+          }
+          done += batch.size();
+        }
+        bench::Check(client.Close(), "close");
+      }));
+
+  server.Shutdown();
+
+  std::printf("%-22s %10s %12s\n", "bench", "seconds", "queries/s");
+  for (const auto& r : results) {
+    std::printf("%-22s %10.3f %12.0f\n", r.name.c_str(), r.seconds, r.qps);
+  }
+  const double in1 = results[0].qps;
+  const double net1 = results[2].qps;
+  std::printf("\nloopback/in-process (1 client): %.2fx\n",
+              net1 / in1);
+
+  std::FILE* json = std::fopen("BENCH_net.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_net.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"clients\": %zu,\n  \"queries_per_client\": %zu,\n"
+               "  \"hardware_threads\": %u,\n  \"benches\": [\n",
+               clients, per_client,
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "\"queries\": %zu, \"qps\": %.1f}%s\n",
+                 results[i].name.c_str(), results[i].seconds,
+                 results[i].queries, results[i].qps,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_net.json\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Command-line client for a running mosaic_serve: connects over TCP,
+// runs statements, prints result tables.
+//
+//   ./mosaic_client --port=N [--host=ADDR] "SELECT ..." ["SQL" ...]
+//   ./mosaic_client --port=N --stats      print server counters
+//   ./mosaic_client --port=N --smoke      demo-world smoke check
+//                                         (pairs with mosaic_serve
+//                                         --demo-world; used by
+//                                         scripts/check.sh)
+//
+// Exit code 0 iff every requested statement succeeded.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/client.h"
+
+using namespace mosaic;
+
+namespace {
+
+bool NumericFlag(const char* arg, const char* name, uint64_t* out) {
+  return mosaic::NumericFlag(arg, name, out, "mosaic_client");
+}
+
+int RunSmoke(net::Client* client) {
+  // Mixed visibility levels against the --demo-world catalog; every
+  // statement must succeed and the CLOSED count must be exact.
+  const std::vector<std::string> queries = {
+      "SELECT CLOSED email, COUNT(*) AS c FROM People GROUP BY email",
+      "SELECT CLOSED COUNT(*) AS c FROM People WHERE device = 'phone'",
+      "SELECT SEMI-OPEN COUNT(*) AS c FROM People",
+      "SELECT OPEN email, COUNT(*) AS c FROM People GROUP BY email "
+      "ORDER BY email",
+      "SHOW METADATA",
+  };
+  for (const auto& sql : queries) {
+    auto result = client->Query(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "smoke FAILED (%s): %s\n", sql.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+  // And once more as a single BATCH frame, exercising the fan-out.
+  auto batch = client->Batch(queries);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "smoke FAILED (batch): %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (!(*batch)[i].ok()) {
+      std::fprintf(stderr, "smoke FAILED (batch[%zu]): %s\n", i,
+                   (*batch)[i].status.ToString().c_str());
+      return 1;
+    }
+  }
+  auto stats = client->Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "smoke FAILED (stats): %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("smoke OK: %llu queries served, %llu protocol errors\n",
+              (unsigned long long)stats->queries_total,
+              (unsigned long long)stats->protocol_errors);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+
+  net::ClientOptions opts;
+  bool want_stats = false;
+  bool want_smoke = false;
+  std::vector<std::string> statements;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t n = 0;
+    if (NumericFlag(arg, "port", &n)) {
+      if (n == 0 || n > 65535) {
+        std::fprintf(stderr, "mosaic_client: --port=%llu out of range\n",
+                     static_cast<unsigned long long>(n));
+        return 2;
+      }
+      opts.port = static_cast<uint16_t>(n);
+    } else if (StringFlag(arg, "host", &opts.host)) {
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      want_smoke = true;
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "mosaic_client: unknown flag %s\n", arg);
+      return 2;
+    } else {
+      statements.emplace_back(arg);
+    }
+  }
+  if (opts.port == 0) {
+    std::fprintf(stderr,
+                 "usage: mosaic_client --port=N [--host=ADDR] "
+                 "[--stats|--smoke] [SQL ...]\n");
+    return 2;
+  }
+
+  net::Client client;
+  Status connected = client.Connect(opts);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "mosaic_client: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+
+  int rc = 0;
+  if (want_smoke) rc = RunSmoke(&client);
+  for (const auto& sql : statements) {
+    auto result = client.Query(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error (%s): %s\n", sql.c_str(),
+                   result.status().ToString().c_str());
+      rc = 1;
+      if (!client.connected()) break;  // transport gone; stop here
+      continue;
+    }
+    std::printf("%s\n", result->ToString(50).c_str());
+  }
+  if (want_stats && client.connected()) {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf(
+          "queries_total=%llu queries_failed=%llu reads=%llu "
+          "writes=%llu\n"
+          "sessions=%llu open / %llu closed; connections=%llu opened, "
+          "%llu active, %llu rejected\n"
+          "result_cache: %llu hits / %llu misses (%llu entries); "
+          "model_cache: %llu hits, %llu trained\n"
+          "frames: %llu in / %llu out, %llu protocol errors\n",
+          (unsigned long long)stats->queries_total,
+          (unsigned long long)stats->queries_failed,
+          (unsigned long long)stats->reads,
+          (unsigned long long)stats->writes,
+          (unsigned long long)stats->sessions_opened,
+          (unsigned long long)stats->sessions_closed,
+          (unsigned long long)stats->connections_opened,
+          (unsigned long long)stats->connections_active,
+          (unsigned long long)stats->connections_rejected,
+          (unsigned long long)stats->result_cache_hits,
+          (unsigned long long)stats->result_cache_misses,
+          (unsigned long long)stats->result_cache_entries,
+          (unsigned long long)stats->model_cache_hits,
+          (unsigned long long)stats->model_cache_insertions,
+          (unsigned long long)stats->frames_received,
+          (unsigned long long)stats->frames_sent,
+          (unsigned long long)stats->protocol_errors);
+    }
+  }
+  if (client.connected()) (void)client.Close();
+  return rc;
+}

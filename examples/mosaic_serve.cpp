@@ -1,24 +1,48 @@
-// Multi-threaded serving demo: several client threads each open a
-// session against one QueryService and fire mixed CLOSED / SEMI-OPEN
-// / OPEN traffic at the flights-style world, while the main thread
-// reports live service statistics.
+// Mosaic network server: binds a TCP port and serves the wire
+// protocol (src/net/protocol.h) in front of a concurrent
+// QueryService. Clients connect with examples/mosaic_client.cpp or
+// the net::Client library.
 //
-//   ./mosaic_serve [clients] [queries_per_client]
-#include <atomic>
+//   ./mosaic_serve [flags]
+//     --host=ADDR              bind address     (default 127.0.0.1)
+//     --port=N                 TCP port; 0 = ephemeral (default 7878)
+//     --port-file=PATH         write the bound port to PATH (for
+//                              scripts; written after listen succeeds)
+//     --request-threads=N      request pool size          (default 4)
+//     --generation-threads=N   OPEN generation pool size  (default 4)
+//     --max-connections=N      concurrent connection cap  (default 64)
+//     --morsels=N              intra-query morsel size    (default off)
+//     --demo-world             preload the flights-style demo catalog
+//     --verbose                info-level logging
+//
+// Runs until SIGINT/SIGTERM, then drains: in-flight statements
+// finish, replies flush, connections close, and the process exits 0.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
-#include <vector>
 
+#include "common/flags.h"
 #include "common/logging.h"
+#include "net/server.h"
 #include "service/query_service.h"
 
 using namespace mosaic;
 
 namespace {
 
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+bool NumericFlag(const char* arg, const char* name, uint64_t* out) {
+  return mosaic::NumericFlag(arg, name, out, "mosaic_serve");
+}
+
+/// The flights-style demo world from the earlier in-process demo,
+/// kept behind --demo-world so the server can also start empty.
 void BuildWorld(core::Database* db) {
   auto exec = [db](const std::string& sql) {
     auto r = db->Execute(sql);
@@ -53,84 +77,95 @@ void BuildWorld(core::Database* db) {
   open->num_generated_samples = 10;
 }
 
-const char* kQueries[] = {
-    "SELECT CLOSED email, COUNT(*) AS c FROM People GROUP BY email",
-    "SELECT CLOSED COUNT(*) AS c FROM People WHERE device = 'phone'",
-    "SELECT SEMI-OPEN COUNT(*) AS c FROM People",
-    "SELECT SEMI-OPEN device, COUNT(*) AS c FROM People GROUP BY device",
-    "SELECT OPEN email, COUNT(*) AS c FROM People GROUP BY email",
-    "SHOW METADATA",
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
-  size_t num_clients = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
-  size_t per_client = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 20;
 
-  service::ServiceOptions opts;
-  opts.num_request_threads = 4;
-  opts.num_generation_threads = 4;
-  service::QueryService service(opts);
-  BuildWorld(service.database());
+  net::ServerOptions server_opts;
+  server_opts.port = 7878;
+  service::ServiceOptions service_opts;
+  std::string port_file;
+  uint64_t morsel_size = 0;
+  bool demo_world = false;
 
-  std::printf("mosaic_serve: %zu clients x %zu queries, "
-              "4 request + 4 generation threads\n\n",
-              num_clients, per_client);
-
-  std::atomic<bool> done{false};
-  std::atomic<uint64_t> failures{0};
-  auto start = std::chrono::steady_clock::now();
-
-  std::vector<std::thread> clients;
-  for (size_t c = 0; c < num_clients; ++c) {
-    clients.emplace_back([&service, &failures, c, per_client] {
-      service::Session session = service.OpenSession();
-      size_t n = sizeof(kQueries) / sizeof(kQueries[0]);
-      for (size_t i = 0; i < per_client; ++i) {
-        auto result = session.Execute(kQueries[(c + i) % n]);
-        if (!result.ok()) ++failures;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t n = 0;
+    if (NumericFlag(arg, "port", &n)) {
+      if (n > 65535) {
+        std::fprintf(stderr, "mosaic_serve: --port=%llu out of range\n",
+                     static_cast<unsigned long long>(n));
+        return 2;
       }
-    });
+      server_opts.port = static_cast<uint16_t>(n);
+    } else if (NumericFlag(arg, "request-threads", &n)) {
+      service_opts.num_request_threads = n;
+    } else if (NumericFlag(arg, "generation-threads", &n)) {
+      service_opts.num_generation_threads = n;
+    } else if (NumericFlag(arg, "max-connections", &n)) {
+      server_opts.max_connections = n;
+    } else if (NumericFlag(arg, "morsels", &n)) {
+      morsel_size = n;
+    } else if (StringFlag(arg, "host", &server_opts.host) ||
+               StringFlag(arg, "port-file", &port_file)) {
+    } else if (std::strcmp(arg, "--demo-world") == 0) {
+      demo_world = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      SetLogLevel(LogLevel::kInfo);
+    } else {
+      std::fprintf(stderr, "mosaic_serve: unknown flag %s\n", arg);
+      return 2;
+    }
+  }
+  service_opts.morsel_size = static_cast<size_t>(morsel_size);
+
+  service::QueryService service(service_opts);
+  if (demo_world) BuildWorld(service.database());
+
+  net::Server server(&service, server_opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "mosaic_serve: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("mosaic_serve: listening on %s:%u (%zu request + %zu "
+              "generation threads%s)\n",
+              server_opts.host.c_str(), server.port(),
+              service_opts.num_request_threads,
+              service_opts.num_generation_threads,
+              demo_world ? ", demo world loaded" : "");
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "mosaic_serve: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
   }
 
-  std::thread reporter([&service, &done] {
-    while (!done.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(500));
-      service::ServiceStats s = service.Stats();
-      std::printf("  [stats] %llu queries (%llu reads / %llu writes), "
-                  "result cache %.0f%% hit, model cache %llu hits\n",
-                  (unsigned long long)s.queries_total,
-                  (unsigned long long)s.reads,
-                  (unsigned long long)s.writes,
-                  100.0 * s.result_cache.hit_rate(),
-                  (unsigned long long)s.model_cache.hits);
-    }
-  });
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
 
-  for (auto& c : clients) c.join();
-  done.store(true);
-  reporter.join();
-
-  auto seconds = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-  service::ServiceStats s = service.Stats();
-  std::printf("\nserved %llu queries in %.2fs (%.1f q/s), %llu failed\n",
-              (unsigned long long)s.queries_total, seconds,
-              static_cast<double>(s.queries_total) / seconds,
-              (unsigned long long)failures.load());
-  std::printf("sessions: %llu; result cache: %llu/%llu hits "
-              "(%zu entries, %llu invalidations); model cache: "
-              "%llu hits, %llu trained\n",
-              (unsigned long long)s.sessions_opened,
-              (unsigned long long)s.result_cache.hits,
-              (unsigned long long)(s.result_cache.hits +
-                                   s.result_cache.misses),
-              s.result_cache.entries,
-              (unsigned long long)s.result_cache.invalidations,
-              (unsigned long long)s.model_cache.hits,
-              (unsigned long long)s.model_cache.insertions);
-  return failures.load() == 0 ? 0 : 1;
+  std::printf("mosaic_serve: draining...\n");
+  server.Shutdown();
+  const net::NetServerStats nets = server.stats();
+  const service::ServiceStats svc = service.Stats();
+  std::printf("mosaic_serve: served %llu queries (%llu failed) over %llu "
+              "connections; %llu frames in / %llu out, %llu protocol "
+              "errors\n",
+              (unsigned long long)svc.queries_total,
+              (unsigned long long)svc.queries_failed,
+              (unsigned long long)nets.connections_opened,
+              (unsigned long long)nets.frames_received,
+              (unsigned long long)nets.frames_sent,
+              (unsigned long long)nets.protocol_errors);
+  return 0;
 }

@@ -22,7 +22,41 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
+# Network serving E2E: boot a real mosaic_serve on an ephemeral
+# loopback port, run the client smoke workload (mixed visibility
+# levels, one BATCH frame, STATS), then SIGTERM and require a clean
+# drain (exit 0). Exercises the full socket path the unit tests mock
+# at most one layer of.
+run_server_e2e() {
+  local name="$1" build_dir="$2"
+  echo "=== ${name}: server E2E ==="
+  local port_file="${build_dir}/server_e2e.port"
+  rm -f "${port_file}"
+  "${build_dir}/mosaic_serve" --demo-world --port=0 \
+    --port-file="${port_file}" &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "${port_file}" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "${port_file}" ]]; then
+    echo "ERROR: mosaic_serve did not come up" >&2
+    kill -9 "${server_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  if ! "${build_dir}/mosaic_client" --port="$(cat "${port_file}")" --smoke
+  then
+    echo "ERROR: client smoke failed" >&2
+    kill -TERM "${server_pid}" 2>/dev/null || true
+    wait "${server_pid}" || true
+    exit 1
+  fi
+  kill -TERM "${server_pid}"
+  wait "${server_pid}"   # non-zero (unclean drain) fails the script
+}
+
 run_suite "Release" build-release -DCMAKE_BUILD_TYPE=Release
+run_server_e2e "Release" build-release
 
 # Morsel leg: every suite again with morsel-split batch execution
 # (MOSAIC_MORSELS sets the engine-wide morsel size; results must be
@@ -34,6 +68,7 @@ MOSAIC_MORSELS=4 ctest --test-dir build-release --output-on-failure \
 
 run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=address
+run_server_e2e "ASan" build-asan
 
 if [[ "${1:-}" != "fast" ]]; then
   # TSan pass over the threaded subsystem tests (the full suite under
@@ -44,13 +79,14 @@ if [[ "${1:-}" != "fast" ]]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMOSAIC_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target \
-    test_thread_pool test_lru_cache test_service test_sql_fuzz
+    test_thread_pool test_lru_cache test_service test_sql_fuzz \
+    test_net_e2e
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e)'
   # And once more with engine-wide morsels on, so every service-level
   # query also fans intra-query morsels across the request pool.
   MOSAIC_MORSELS=4 ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e)'
 fi
 
 echo "All checks passed."

@@ -1,0 +1,42 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mosaic {
+
+std::optional<size_t> EnvSize(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  auto parsed = ParseUint64(raw);
+  if (!parsed.ok()) {
+    MOSAIC_LOG(Warning) << name << "='" << raw
+                        << "' ignored: " << parsed.status().message();
+    return std::nullopt;
+  }
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    if (*parsed > static_cast<uint64_t>(SIZE_MAX)) {
+      MOSAIC_LOG(Warning) << name << "='" << raw
+                          << "' ignored: exceeds size_t";
+      return std::nullopt;
+    }
+  }
+  return static_cast<size_t>(*parsed);
+}
+
+bool EnvFlag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return false;
+  if (std::strcmp(raw, "1") == 0) return true;
+  if (std::strcmp(raw, "0") != 0) {
+    MOSAIC_LOG(Warning) << name << "='" << raw
+                        << "' is not 0/1; treating as unset";
+  }
+  return false;
+}
+
+}  // namespace mosaic

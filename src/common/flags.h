@@ -1,0 +1,46 @@
+// Minimal `--flag=value` parsing for the example binaries, sharing
+// the strict numeric parse (ParseUint64) with the engine's env knobs
+// so a typo'd flag aborts startup instead of half-configuring the
+// process. Header-only: two helpers, no registry — the binaries have
+// a handful of flags each.
+#ifndef MOSAIC_COMMON_FLAGS_H_
+#define MOSAIC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace mosaic {
+
+/// If `arg` is `--<name>=<number>`, store the strictly parsed value
+/// and return true; on garbage/overflow print an error naming `prog`
+/// and exit(2). Returns false when `arg` is some other flag.
+inline bool NumericFlag(const char* arg, const char* name, uint64_t* out,
+                        const char* prog) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (!StartsWith(arg, prefix)) return false;
+  auto parsed = ParseUint64(arg + prefix.size());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: bad %s: %s\n", prog, arg,
+                 parsed.status().message().c_str());
+    std::exit(2);
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// If `arg` is `--<name>=<value>`, store the value and return true.
+inline bool StringFlag(const char* arg, const char* name,
+                       std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (!StartsWith(arg, prefix)) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_FLAGS_H_

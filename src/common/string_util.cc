@@ -30,6 +30,27 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   return true;
 }
 
+Result<uint64_t> ParseUint64(std::string_view s) {
+  const std::string_view trimmed = Trim(s);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("expected a number, got empty string");
+  }
+  uint64_t value = 0;
+  for (char c : trimmed) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid number '" +
+                                     std::string(trimmed) + "'");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("number '" + std::string(trimmed) +
+                                     "' overflows uint64");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 std::string_view Trim(std::string_view s) {
   size_t begin = 0;
   while (begin < s.size() &&

@@ -4,9 +4,12 @@
 #ifndef MOSAIC_COMMON_STRING_UTIL_H_
 #define MOSAIC_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace mosaic {
 
@@ -31,6 +34,15 @@ std::string Join(const std::vector<std::string>& parts,
 
 /// True if `s` begins with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strict non-negative base-10 integer parse: the whole string
+/// (surrounding whitespace allowed) must be digits, and the value
+/// must fit uint64. Rejects empty input, signs, trailing garbage, and
+/// overflow — the shared parser behind numeric environment knobs
+/// (common/env.h) and the server binaries' flag parsing, so a typo'd
+/// `MOSAIC_MORSELS=1e6` or `--port=80x` fails loudly instead of
+/// silently misconfiguring.
+Result<uint64_t> ParseUint64(std::string_view s);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)

@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "exec/batch_eval.h"
@@ -135,16 +136,14 @@ Database::Database() : model_cache_(kDefaultModelCacheCapacity) {
   open_.mswg.steps_per_epoch = 30;
   open_.mswg.batch_size = 256;
   open_.mswg.projections_per_step = 16;
-  const char* row_env = std::getenv("MOSAIC_ROW_PATH");
-  if (row_env != nullptr && row_env[0] == '1') force_row_exec_ = true;
+  if (EnvFlag("MOSAIC_ROW_PATH")) force_row_exec_ = true;
   // MOSAIC_MORSELS=<rows> turns on morsel-split batch execution
   // engine-wide (CI runs every suite this way; see scripts/check.sh).
   // Parallelism still requires a pool — set_morsel_pool, which the
-  // query service wires to its request pool.
-  const char* morsel_env = std::getenv("MOSAIC_MORSELS");
-  if (morsel_env != nullptr) {
-    const long long size = std::atoll(morsel_env);
-    if (size > 0) morsel_size_ = static_cast<size_t>(size);
+  // query service wires to its request pool. Garbage or overflowing
+  // values warn and leave morsels disabled (common/env.h).
+  if (auto size = EnvSize("MOSAIC_MORSELS"); size.has_value() && *size > 0) {
+    morsel_size_ = *size;
   }
 }
 

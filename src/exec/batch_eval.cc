@@ -1,5 +1,6 @@
 #include "exec/batch_eval.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -83,12 +84,12 @@ bool IsNumericSpan(const ColumnSpan& span) {
 
 /// String column vs string literal: resolve the literal through the
 /// dictionary once, then compare codes (Eq/Ne) or a per-code truth
-/// table (ordering ops) — no per-row decoding.
-std::vector<uint8_t> CodeCompareMask(const ColumnSpan& span,
-                                     const std::string& literal,
-                                     sql::BinaryOp op,
-                                     SelectionSlice rows) {
-  std::vector<uint8_t> mask(rows.size());
+/// table (ordering ops) — no per-row decoding. All comparison kernels
+/// write into a caller-provided mask so the morsel path can aim them
+/// straight at its range of the shared output (no splice copy).
+void CodeCompareInto(const ColumnSpan& span, const std::string& literal,
+                     sql::BinaryOp op, SelectionSlice rows,
+                     uint8_t* mask) {
   if (op == sql::BinaryOp::kEq || op == sql::BinaryOp::kNe) {
     const int32_t code = span.dict->Find(literal);
     if (op == sql::BinaryOp::kEq) {
@@ -100,7 +101,7 @@ std::vector<uint8_t> CodeCompareMask(const ColumnSpan& span,
         mask[i] = span.codes[rows[i]] != code;
       }
     }
-    return mask;
+    return;
   }
   std::vector<uint8_t> table(span.dict->size());
   for (size_t c = 0; c < table.size(); ++c) {
@@ -109,29 +110,28 @@ std::vector<uint8_t> CodeCompareMask(const ColumnSpan& span,
   for (size_t i = 0; i < rows.size(); ++i) {
     mask[i] = table[span.codes[rows[i]]];
   }
-  return mask;
 }
 
-Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
-                                         const TableView& view,
-                                         SelectionSlice rows) {
+Status CompareInto(const BoundExpr& expr, const TableView& view,
+                   SelectionSlice rows, uint8_t* mask) {
   const BoundExpr& l = *expr.left;
   const BoundExpr& r = *expr.right;
   const sql::BinaryOp op = expr.binary_op;
   const size_t n = rows.size();
-  std::vector<uint8_t> mask(n);
 
   if (l.type == DataType::kString) {
     // --- string comparisons: dictionary codes where possible -------------
     if (l.kind == BoundExpr::Kind::kColumnRef &&
         r.kind == BoundExpr::Kind::kLiteral) {
-      return CodeCompareMask(view.column(l.column_index),
-                             r.literal.AsString(), op, rows);
+      CodeCompareInto(view.column(l.column_index), r.literal.AsString(), op,
+                      rows, mask);
+      return Status::OK();
     }
     if (l.kind == BoundExpr::Kind::kLiteral &&
         r.kind == BoundExpr::Kind::kColumnRef) {
-      return CodeCompareMask(view.column(r.column_index),
-                             l.literal.AsString(), ReverseOp(op), rows);
+      CodeCompareInto(view.column(r.column_index), l.literal.AsString(),
+                      ReverseOp(op), rows, mask);
+      return Status::OK();
     }
     if (l.kind == BoundExpr::Kind::kColumnRef &&
         r.kind == BoundExpr::Kind::kColumnRef) {
@@ -143,13 +143,13 @@ Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
         for (size_t i = 0; i < n; ++i) {
           mask[i] = (ls.codes[rows[i]] == rs.codes[rows[i]]) == eq;
         }
-        return mask;
+        return Status::OK();
       }
       for (size_t i = 0; i < n; ++i) {
         mask[i] = CmpS(op, ls.dict->Decode(ls.codes[rows[i]]),
                        rs.dict->Decode(rs.codes[rows[i]]));
       }
-      return mask;
+      return Status::OK();
     }
     // Generic string fallback (e.g. literal vs literal).
     MOSAIC_ASSIGN_OR_RETURN(BatchVec lb, EvalBatch(l, view, rows));
@@ -157,7 +157,7 @@ Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
     for (size_t i = 0; i < n; ++i) {
       mask[i] = CmpS(op, lb.StringAt(i), rb.StringAt(i));
     }
-    return mask;
+    return Status::OK();
   }
 
   // --- numeric comparisons ---------------------------------------------
@@ -169,7 +169,7 @@ Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
     for (size_t i = 0; i < n; ++i) {
       mask[i] = CmpD(op, SpanDouble(span, rows[i]), lit);
     }
-    return mask;
+    return Status::OK();
   }
   if (l.kind == BoundExpr::Kind::kLiteral &&
       r.kind == BoundExpr::Kind::kColumnRef &&
@@ -180,22 +180,21 @@ Result<std::vector<uint8_t>> CompareMask(const BoundExpr& expr,
     for (size_t i = 0; i < n; ++i) {
       mask[i] = CmpD(rev, SpanDouble(span, rows[i]), lit);
     }
-    return mask;
+    return Status::OK();
   }
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> lv,
                           EvalDoubleBatch(l, view, rows));
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> rv,
                           EvalDoubleBatch(r, view, rows));
   for (size_t i = 0; i < n; ++i) mask[i] = CmpD(op, lv[i], rv[i]);
-  return mask;
+  return Status::OK();
 }
 
-Result<std::vector<uint8_t>> InMask(const BoundExpr& expr,
-                                    const TableView& view,
-                                    SelectionSlice rows) {
+Status InInto(const BoundExpr& expr, const TableView& view,
+              SelectionSlice rows, uint8_t* mask) {
   const BoundExpr& subject = *expr.child;
   const size_t n = rows.size();
-  std::vector<uint8_t> mask(n, 0);
+  std::fill(mask, mask + n, static_cast<uint8_t>(0));
   if (subject.type == DataType::kString) {
     if (subject.kind == BoundExpr::Kind::kColumnRef) {
       // Dictionary-code membership: resolve each list string to a
@@ -207,7 +206,7 @@ Result<std::vector<uint8_t>> InMask(const BoundExpr& expr,
         if (code >= 0) member[code] = 1;
       }
       for (size_t i = 0; i < n; ++i) mask[i] = member[span.codes[rows[i]]];
-      return mask;
+      return Status::OK();
     }
     MOSAIC_ASSIGN_OR_RETURN(BatchVec sb, EvalBatch(subject, view, rows));
     for (size_t i = 0; i < n; ++i) {
@@ -218,7 +217,7 @@ Result<std::vector<uint8_t>> InMask(const BoundExpr& expr,
         }
       }
     }
-    return mask;
+    return Status::OK();
   }
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> vals,
                           EvalDoubleBatch(subject, view, rows));
@@ -236,12 +235,11 @@ Result<std::vector<uint8_t>> InMask(const BoundExpr& expr,
       }
     }
   }
-  return mask;
+  return Status::OK();
 }
 
-Result<std::vector<uint8_t>> BetweenMask(const BoundExpr& expr,
-                                         const TableView& view,
-                                         SelectionSlice rows) {
+Status BetweenInto(const BoundExpr& expr, const TableView& view,
+                   SelectionSlice rows, uint8_t* mask) {
   // Fused fast path: numeric column between literal bounds.
   if (expr.child->kind == BoundExpr::Kind::kColumnRef &&
       expr.between_lo->kind == BoundExpr::Kind::kLiteral &&
@@ -250,7 +248,6 @@ Result<std::vector<uint8_t>> BetweenMask(const BoundExpr& expr,
     const ColumnSpan& span = view.column(expr.child->column_index);
     MOSAIC_ASSIGN_OR_RETURN(double lo, expr.between_lo->literal.ToDouble());
     MOSAIC_ASSIGN_OR_RETURN(double hi, expr.between_hi->literal.ToDouble());
-    std::vector<uint8_t> mask(rows.size());
     if (span.type == DataType::kInt64) {
       for (size_t i = 0; i < rows.size(); ++i) {
         const double v = static_cast<double>(span.i64[rows[i]]);
@@ -267,7 +264,7 @@ Result<std::vector<uint8_t>> BetweenMask(const BoundExpr& expr,
         mask[i] = v >= lo && v <= hi;
       }
     }
-    return mask;
+    return Status::OK();
   }
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> v,
                           EvalDoubleBatch(*expr.child, view, rows));
@@ -275,139 +272,144 @@ Result<std::vector<uint8_t>> BetweenMask(const BoundExpr& expr,
                           EvalDoubleBatch(*expr.between_lo, view, rows));
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> hi,
                           EvalDoubleBatch(*expr.between_hi, view, rows));
-  std::vector<uint8_t> mask(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     mask[i] = v[i] >= lo[i] && v[i] <= hi[i];
   }
-  return mask;
+  return Status::OK();
 }
 
-/// Arithmetic over double batches; int64-typed results round through
-/// double exactly like the row evaluator (llround, then back to
-/// double when consumed in an enclosing numeric context).
-Result<std::vector<double>> ArithDoubleBatch(
-    const BoundExpr& expr, const TableView& view,
-    SelectionSlice rows) {
-  MOSAIC_ASSIGN_OR_RETURN(std::vector<double> l,
-                          EvalDoubleBatch(*expr.left, view, rows));
+/// Arithmetic over double batches, left operand evaluated directly
+/// into `out`; int64-typed results round through double exactly like
+/// the row evaluator (llround, then back to double when consumed in
+/// an enclosing numeric context).
+Status ArithDoubleInto(const BoundExpr& expr, const TableView& view,
+                       SelectionSlice rows, double* out) {
+  const size_t n = rows.size();
+  MOSAIC_RETURN_IF_ERROR(EvalDoubleInto(*expr.left, view, rows, out));
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> r,
                           EvalDoubleBatch(*expr.right, view, rows));
   switch (expr.binary_op) {
     case sql::BinaryOp::kAdd:
-      for (size_t i = 0; i < l.size(); ++i) l[i] += r[i];
+      for (size_t i = 0; i < n; ++i) out[i] += r[i];
       break;
     case sql::BinaryOp::kSub:
-      for (size_t i = 0; i < l.size(); ++i) l[i] -= r[i];
+      for (size_t i = 0; i < n; ++i) out[i] -= r[i];
       break;
     case sql::BinaryOp::kMul:
-      for (size_t i = 0; i < l.size(); ++i) l[i] *= r[i];
+      for (size_t i = 0; i < n; ++i) out[i] *= r[i];
       break;
     case sql::BinaryOp::kDiv:
-      for (size_t i = 0; i < l.size(); ++i) {
+      for (size_t i = 0; i < n; ++i) {
         if (r[i] == 0.0) {
           return Status::ExecutionError("division by zero");
         }
-        l[i] /= r[i];
+        out[i] /= r[i];
       }
       break;
     default:
       return Status::Internal("unreachable arithmetic op");
   }
   if (expr.type == DataType::kInt64) {
-    for (double& v : l) {
-      v = static_cast<double>(static_cast<int64_t>(std::llround(v)));
+    for (size_t i = 0; i < n; ++i) {
+      out[i] =
+          static_cast<double>(static_cast<int64_t>(std::llround(out[i])));
     }
   }
-  return l;
+  return Status::OK();
 }
 
 }  // namespace
 
-Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
-                                      const TableView& view,
-                                      SelectionSlice rows) {
+Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
+                    SelectionSlice rows, uint8_t* dst) {
   const size_t n = rows.size();
   switch (expr.kind) {
-    case BoundExpr::Kind::kLiteral:
-      return std::vector<uint8_t>(n, expr.literal.AsBool() ? 1 : 0);
+    case BoundExpr::Kind::kLiteral: {
+      const uint8_t v = expr.literal.AsBool() ? 1 : 0;
+      std::fill(dst, dst + n, v);
+      return Status::OK();
+    }
     case BoundExpr::Kind::kColumnRef: {
       const ColumnSpan& span = view.column(expr.column_index);
-      std::vector<uint8_t> mask(n);
-      for (size_t i = 0; i < n; ++i) mask[i] = span.b8[rows[i]];
-      return mask;
+      for (size_t i = 0; i < n; ++i) dst[i] = span.b8[rows[i]];
+      return Status::OK();
     }
     case BoundExpr::Kind::kUnary: {
-      MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
-                              EvalMask(*expr.child, view, rows));
-      for (auto& m : mask) m = !m;
-      return mask;
+      MOSAIC_RETURN_IF_ERROR(EvalMaskInto(*expr.child, view, rows, dst));
+      for (size_t i = 0; i < n; ++i) dst[i] = !dst[i];
+      return Status::OK();
     }
     case BoundExpr::Kind::kBinary: {
       if (expr.binary_op == sql::BinaryOp::kAnd ||
           expr.binary_op == sql::BinaryOp::kOr) {
         // Row-path short-circuit parity: the right side only runs on
-        // rows the left side did not decide.
+        // rows the left side did not decide. The left mask lands in
+        // `dst` and the right-side results are merged over it.
         const bool is_and = expr.binary_op == sql::BinaryOp::kAnd;
-        MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> lmask,
-                                EvalMask(*expr.left, view, rows));
+        MOSAIC_RETURN_IF_ERROR(EvalMaskInto(*expr.left, view, rows, dst));
         std::vector<uint32_t> pending;
         for (size_t i = 0; i < n; ++i) {
-          if (static_cast<bool>(lmask[i]) == is_and) {
+          if (static_cast<bool>(dst[i]) == is_and) {
             pending.push_back(rows[i]);
           }
         }
-        MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> rmask,
-                                EvalMask(*expr.right, view, pending));
-        std::vector<uint8_t> mask(n);
+        std::vector<uint8_t> rmask(pending.size());
+        MOSAIC_RETURN_IF_ERROR(
+            EvalMaskInto(*expr.right, view, pending, rmask.data()));
         size_t j = 0;
         for (size_t i = 0; i < n; ++i) {
-          mask[i] = static_cast<bool>(lmask[i]) == is_and
-                        ? rmask[j++]
-                        : lmask[i];
+          if (static_cast<bool>(dst[i]) == is_and) dst[i] = rmask[j++];
         }
-        return mask;
+        return Status::OK();
       }
-      return CompareMask(expr, view, rows);
+      return CompareInto(expr, view, rows, dst);
     }
     case BoundExpr::Kind::kIn:
-      return InMask(expr, view, rows);
+      return InInto(expr, view, rows, dst);
     case BoundExpr::Kind::kBetween:
-      return BetweenMask(expr, view, rows);
+      return BetweenInto(expr, view, rows, dst);
     case BoundExpr::Kind::kAggResult:
       return Status::Internal("aggregate slot not available in batch path");
   }
   return Status::Internal("unreachable bound expression kind");
 }
 
-Result<std::vector<double>> EvalDoubleBatch(
-    const BoundExpr& expr, const TableView& view,
-    SelectionSlice rows) {
+Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
+                                      const TableView& view,
+                                      SelectionSlice rows) {
+  std::vector<uint8_t> mask(rows.size());
+  MOSAIC_RETURN_IF_ERROR(EvalMaskInto(expr, view, rows, mask.data()));
+  return mask;
+}
+
+Status EvalDoubleInto(const BoundExpr& expr, const TableView& view,
+                      SelectionSlice rows, double* dst) {
   const size_t n = rows.size();
   switch (expr.kind) {
     case BoundExpr::Kind::kLiteral: {
-      if (n == 0) return std::vector<double>{};
+      if (n == 0) return Status::OK();
       MOSAIC_ASSIGN_OR_RETURN(double v, expr.literal.ToDouble());
-      return std::vector<double>(n, v);
+      std::fill(dst, dst + n, v);
+      return Status::OK();
     }
     case BoundExpr::Kind::kColumnRef: {
       const ColumnSpan& span = view.column(expr.column_index);
-      std::vector<double> out(n);
       switch (span.type) {
         case DataType::kInt64:
           for (size_t i = 0; i < n; ++i) {
-            out[i] = static_cast<double>(span.i64[rows[i]]);
+            dst[i] = static_cast<double>(span.i64[rows[i]]);
           }
-          return out;
+          return Status::OK();
         case DataType::kDouble:
-          for (size_t i = 0; i < n; ++i) out[i] = span.f64[rows[i]];
-          return out;
+          for (size_t i = 0; i < n; ++i) dst[i] = span.f64[rows[i]];
+          return Status::OK();
         case DataType::kBool:
           for (size_t i = 0; i < n; ++i) {
-            out[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
+            dst[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
           }
-          return out;
+          return Status::OK();
         default: {
-          if (n == 0) return out;
+          if (n == 0) return Status::OK();
           // Same error the row path raises on the first row.
           auto err = Value(span.dict->Decode(span.codes[rows[0]])).ToDouble();
           return err.status();
@@ -416,10 +418,9 @@ Result<std::vector<double>> EvalDoubleBatch(
     }
     case BoundExpr::Kind::kUnary: {
       if (expr.unary_op == sql::UnaryOp::kNot) break;  // bool: mask below
-      MOSAIC_ASSIGN_OR_RETURN(std::vector<double> out,
-                              EvalDoubleBatch(*expr.child, view, rows));
-      for (double& v : out) v = -v;
-      return out;
+      MOSAIC_RETURN_IF_ERROR(EvalDoubleInto(*expr.child, view, rows, dst));
+      for (size_t i = 0; i < n; ++i) dst[i] = -dst[i];
+      return Status::OK();
     }
     case BoundExpr::Kind::kBinary: {
       switch (expr.binary_op) {
@@ -427,7 +428,7 @@ Result<std::vector<double>> EvalDoubleBatch(
         case sql::BinaryOp::kSub:
         case sql::BinaryOp::kMul:
         case sql::BinaryOp::kDiv:
-          return ArithDoubleBatch(expr, view, rows);
+          return ArithDoubleInto(expr, view, rows, dst);
         default:
           break;  // comparisons / AND / OR: boolean, mask below
       }
@@ -442,55 +443,88 @@ Result<std::vector<double>> EvalDoubleBatch(
   if (expr.type == DataType::kBool) {
     MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
                             EvalMask(expr, view, rows));
-    std::vector<double> out(n);
-    for (size_t i = 0; i < n; ++i) out[i] = mask[i] ? 1.0 : 0.0;
-    return out;
+    for (size_t i = 0; i < n; ++i) dst[i] = mask[i] ? 1.0 : 0.0;
+    return Status::OK();
   }
   return Status::Internal("expression has no numeric batch form");
 }
 
-Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
-                           SelectionSlice rows) {
-  const size_t n = rows.size();
-  BatchVec out;
-  out.type = expr.type;
+Result<std::vector<double>> EvalDoubleBatch(
+    const BoundExpr& expr, const TableView& view,
+    SelectionSlice rows) {
+  std::vector<double> out(rows.size());
+  MOSAIC_RETURN_IF_ERROR(EvalDoubleInto(expr, view, rows, out.data()));
+  return out;
+}
+
+Status PrepareBatchVec(const BoundExpr& expr, const TableView& view,
+                       size_t n, BatchVec* out) {
+  out->type = expr.type;
   switch (expr.type) {
-    case DataType::kBool: {
-      MOSAIC_ASSIGN_OR_RETURN(out.b8, EvalMask(expr, view, rows));
-      return out;
-    }
-    case DataType::kDouble: {
-      MOSAIC_ASSIGN_OR_RETURN(out.f64, EvalDoubleBatch(expr, view, rows));
-      return out;
-    }
+    case DataType::kBool:
+      out->b8.resize(n);
+      return Status::OK();
+    case DataType::kDouble:
+      out->f64.resize(n);
+      return Status::OK();
+    case DataType::kInt64:
+      out->i64.resize(n);
+      return Status::OK();
+    case DataType::kString:
+      // Column refs produce codes against the column's shared
+      // dictionary; every other string batch shape is a broadcast
+      // literal (EvalBatchInto rejects anything else).
+      if (expr.kind == BoundExpr::Kind::kColumnRef) {
+        out->dict = view.column(expr.column_index).dict;
+        out->codes.resize(n);
+      } else {
+        out->strs.resize(n);
+      }
+      return Status::OK();
+    default:
+      return Status::Internal("cannot batch-evaluate NULL-typed expression");
+  }
+}
+
+Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
+                     SelectionSlice rows, BatchVec* out, size_t offset) {
+  const size_t n = rows.size();
+  if (out->type != expr.type) {
+    return Status::Internal("batch output type mismatch");
+  }
+  switch (expr.type) {
+    case DataType::kBool:
+      return EvalMaskInto(expr, view, rows, out->b8.data() + offset);
+    case DataType::kDouble:
+      return EvalDoubleInto(expr, view, rows, out->f64.data() + offset);
     case DataType::kInt64: {
+      int64_t* dst = out->i64.data() + offset;
       switch (expr.kind) {
-        case BoundExpr::Kind::kLiteral:
-          out.i64.assign(n, expr.literal.AsInt64());
-          return out;
+        case BoundExpr::Kind::kLiteral: {
+          const int64_t v = expr.literal.AsInt64();
+          std::fill(dst, dst + n, v);
+          return Status::OK();
+        }
         case BoundExpr::Kind::kColumnRef: {
           const ColumnSpan& span = view.column(expr.column_index);
-          out.i64.resize(n);
-          for (size_t i = 0; i < n; ++i) out.i64[i] = span.i64[rows[i]];
-          return out;
+          for (size_t i = 0; i < n; ++i) dst[i] = span.i64[rows[i]];
+          return Status::OK();
         }
         case BoundExpr::Kind::kUnary: {
-          MOSAIC_ASSIGN_OR_RETURN(BatchVec child,
-                                  EvalBatch(*expr.child, view, rows));
-          out.i64 = std::move(child.i64);
-          for (int64_t& v : out.i64) v = -v;
-          return out;
+          MOSAIC_RETURN_IF_ERROR(
+              EvalBatchInto(*expr.child, view, rows, out, offset));
+          for (size_t i = 0; i < n; ++i) dst[i] = -dst[i];
+          return Status::OK();
         }
         case BoundExpr::Kind::kBinary: {
-          MOSAIC_ASSIGN_OR_RETURN(std::vector<double> v,
-                                  ArithDoubleBatch(expr, view, rows));
-          out.i64.resize(n);
-          // ArithDoubleBatch already rounded int-typed results; this
+          std::vector<double> v(n);
+          MOSAIC_RETURN_IF_ERROR(ArithDoubleInto(expr, view, rows, v.data()));
+          // ArithDoubleInto already rounded int-typed results; this
           // narrowing is exact.
           for (size_t i = 0; i < n; ++i) {
-            out.i64[i] = static_cast<int64_t>(v[i]);
+            dst[i] = static_cast<int64_t>(v[i]);
           }
-          return out;
+          return Status::OK();
         }
         default:
           return Status::Internal("unexpected int64 batch expression");
@@ -500,14 +534,18 @@ Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
       switch (expr.kind) {
         case BoundExpr::Kind::kColumnRef: {
           const ColumnSpan& span = view.column(expr.column_index);
-          out.dict = span.dict;
-          out.codes.resize(n);
-          for (size_t i = 0; i < n; ++i) out.codes[i] = span.codes[rows[i]];
-          return out;
+          if (out->dict != span.dict) {
+            return Status::Internal("batch output dictionary mismatch");
+          }
+          int32_t* dst = out->codes.data() + offset;
+          for (size_t i = 0; i < n; ++i) dst[i] = span.codes[rows[i]];
+          return Status::OK();
         }
-        case BoundExpr::Kind::kLiteral:
-          out.strs.assign(n, expr.literal.AsString());
-          return out;
+        case BoundExpr::Kind::kLiteral: {
+          const std::string& v = expr.literal.AsString();
+          for (size_t i = 0; i < n; ++i) out->strs[offset + i] = v;
+          return Status::OK();
+        }
         default:
           return Status::Internal("unexpected string batch expression");
       }
@@ -515,6 +553,14 @@ Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
     default:
       return Status::Internal("cannot batch-evaluate NULL-typed expression");
   }
+}
+
+Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
+                           SelectionSlice rows) {
+  BatchVec out;
+  MOSAIC_RETURN_IF_ERROR(PrepareBatchVec(expr, view, rows.size(), &out));
+  MOSAIC_RETURN_IF_ERROR(EvalBatchInto(expr, view, rows, &out, 0));
+  return out;
 }
 
 Result<SelectionVector> FilterView(const TableView& view,

@@ -830,9 +830,10 @@ Result<SelectionVector> MorselFilter(const TableView& view,
 }
 
 /// Expression evaluation per morsel into a single preallocated
-/// output: each morsel evaluates its slice and splices the (still
-/// cache-hot) result into its disjoint range, so no cold full-size
-/// concatenation pass runs afterwards.
+/// output: the offset-writing kernels (EvalBatchInto) aim each
+/// morsel's final evaluation loop directly at its disjoint range, so
+/// there is no per-morsel result vector and no splice copy afterwards
+/// — the write that computes a value is the write that lands it.
 Result<BatchVec> MorselEvalBatch(const BoundExpr& expr, const TableView& view,
                                  const SelectionVector& sel,
                                  const MorselDriver& driver) {
@@ -840,58 +841,11 @@ Result<BatchVec> MorselEvalBatch(const BoundExpr& expr, const TableView& view,
   const size_t num_morsels = driver.NumMorsels(n);
   if (num_morsels <= 1) return EvalBatch(expr, view, sel.rows());
   BatchVec out;
-  out.type = expr.type;
-  switch (expr.type) {
-    case DataType::kInt64:
-      out.i64.resize(n);
-      break;
-    case DataType::kDouble:
-      out.f64.resize(n);
-      break;
-    case DataType::kBool:
-      out.b8.resize(n);
-      break;
-    case DataType::kString:
-      // EvalBatch produces codes for column refs, broadcast strings
-      // for literals — the only two string batch shapes.
-      if (expr.kind == BoundExpr::Kind::kColumnRef) {
-        out.dict = view.column(expr.column_index).dict;
-        out.codes.resize(n);
-      } else {
-        out.strs.resize(n);
-      }
-      break;
-    default:
-      // Untyped expressions error; delegate for the identical status.
-      return EvalBatch(expr, view, sel.rows());
-  }
+  MOSAIC_RETURN_IF_ERROR(PrepareBatchVec(expr, view, n, &out));
   MOSAIC_RETURN_IF_ERROR(driver.Run(num_morsels, [&](size_t m) -> Status {
     auto [begin, end] = driver.Range(n, m);
-    MOSAIC_ASSIGN_OR_RETURN(
-        BatchVec part, EvalBatch(expr, view, sel.Slice(begin, end - begin)));
-    switch (out.type) {
-      case DataType::kInt64:
-        std::copy(part.i64.begin(), part.i64.end(), out.i64.begin() + begin);
-        break;
-      case DataType::kDouble:
-        std::copy(part.f64.begin(), part.f64.end(), out.f64.begin() + begin);
-        break;
-      case DataType::kBool:
-        std::copy(part.b8.begin(), part.b8.end(), out.b8.begin() + begin);
-        break;
-      case DataType::kString:
-        if (out.dict != nullptr) {
-          std::copy(part.codes.begin(), part.codes.end(),
-                    out.codes.begin() + begin);
-        } else {
-          std::move(part.strs.begin(), part.strs.end(),
-                    out.strs.begin() + begin);
-        }
-        break;
-      default:
-        break;
-    }
-    return Status::OK();
+    return EvalBatchInto(expr, view, sel.Slice(begin, end - begin), &out,
+                         begin);
   }));
   return out;
 }

@@ -1,0 +1,205 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mosaic {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() {
+  if (connected()) (void)Close();
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      session_id_(other.session_id_),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Disconnect();
+    fd_ = other.fd_;
+    session_id_ = other.session_id_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Drop buffered bytes and any poisoned framing error, so a later
+  // Connect() starts from a clean stream.
+  reader_ = FrameReader();
+}
+
+Status Client::Connect(const ClientOptions& options) {
+  if (connected()) return Status::InvalidArgument("already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse server address '" +
+                                   options.host + "'");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Errno("connect");
+    Disconnect();
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  HelloRequest hello;
+  hello.client_name = options.client_name;
+  auto reply = Roundtrip(MessageType::kHello, EncodeHelloRequest(hello),
+                         MessageType::kHelloOk);
+  if (!reply.ok()) {
+    Disconnect();
+    return reply.status();
+  }
+  auto decoded = DecodeHelloReply(reply->payload);
+  if (!decoded.ok()) {
+    Disconnect();
+    return decoded.status();
+  }
+  session_id_ = decoded->session_id;
+  return Status::OK();
+}
+
+Status Client::SendFrame(MessageType type, std::string_view payload) {
+  if (!connected()) return Status::IOError("not connected");
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    return Status::InvalidArgument("request exceeds max frame size");
+  }
+  const std::string frame = EncodeFrame(type, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    Status s = Errno("send");
+    Disconnect();
+    return s;
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::ReadFrame() {
+  if (!connected()) return Status::IOError("not connected");
+  char buf[16 * 1024];
+  while (true) {
+    Frame frame;
+    auto got = reader_.Next(&frame);
+    if (!got.ok()) {
+      Disconnect();
+      return got.status();
+    }
+    if (*got) {
+      if (frame.type == MessageType::kError) {
+        Status carried;
+        Status decoded = DecodeErrorReply(frame.payload, &carried);
+        Disconnect();
+        return decoded.ok() ? carried : decoded;
+      }
+      return frame;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      Disconnect();
+      return Status::IOError("server closed connection");
+    }
+    if (errno == EINTR) continue;
+    Status s = Errno("recv");
+    Disconnect();
+    return s;
+  }
+}
+
+Result<Frame> Client::Roundtrip(MessageType type, std::string_view payload,
+                                MessageType expected_reply) {
+  MOSAIC_RETURN_IF_ERROR(SendFrame(type, payload));
+  MOSAIC_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  if (reply.type != expected_reply) {
+    Status s = Status::InvalidArgument(
+        std::string("expected ") + MessageTypeName(expected_reply) +
+        " reply, got " + MessageTypeName(reply.type));
+    Disconnect();
+    return s;
+  }
+  return reply;
+}
+
+Result<Table> Client::Query(const std::string& sql) {
+  MOSAIC_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MessageType::kQuery, EncodeQueryRequest(sql),
+                             MessageType::kResult));
+  MOSAIC_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                          DecodeResultReply(reply.payload));
+  if (!outcome.ok()) return outcome.status;
+  return std::move(outcome.table);
+}
+
+Result<std::vector<QueryOutcome>> Client::Batch(
+    const std::vector<std::string>& sqls) {
+  MOSAIC_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MessageType::kBatch, EncodeBatchRequest(sqls),
+                             MessageType::kBatchResult));
+  MOSAIC_ASSIGN_OR_RETURN(std::vector<QueryOutcome> outcomes,
+                          DecodeBatchResultReply(reply.payload));
+  if (outcomes.size() != sqls.size()) {
+    Disconnect();
+    return Status::InvalidArgument(
+        "batch reply count mismatch: sent " + std::to_string(sqls.size()) +
+        ", got " + std::to_string(outcomes.size()));
+  }
+  return outcomes;
+}
+
+Result<StatsSnapshot> Client::Stats() {
+  MOSAIC_ASSIGN_OR_RETURN(Frame reply,
+                          Roundtrip(MessageType::kStats, "",
+                                    MessageType::kStatsResult));
+  return DecodeStatsReply(reply.payload);
+}
+
+Status Client::Close() {
+  if (!connected()) return Status::OK();
+  auto reply = Roundtrip(MessageType::kClose, "", MessageType::kGoodbye);
+  Disconnect();
+  return reply.status();
+}
+
+}  // namespace net
+}  // namespace mosaic

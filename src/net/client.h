@@ -1,0 +1,82 @@
+// Blocking C++ client for the Mosaic wire protocol: the library
+// behind examples/mosaic_client.cpp and the loopback tests/benches.
+//
+// One Client is one TCP connection = one server-side session. Calls
+// are synchronous (send request, block for the reply) and the object
+// is NOT thread-safe — concurrency comes from one Client per thread,
+// which is also what exercises the server's inter-query parallelism.
+#ifndef MOSAIC_NET_CLIENT_H_
+#define MOSAIC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Reported to the server in HELLO (shows up in logs).
+  std::string client_name = "mosaic_client";
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect and run the HELLO handshake. The client is usable only
+  /// after this succeeds.
+  Status Connect(const ClientOptions& options);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Server-assigned session id (valid after Connect).
+  uint64_t session_id() const { return session_id_; }
+
+  /// Run one statement; returns the result table or the statement's
+  /// error. Transport or protocol failures also surface as Status and
+  /// leave the connection closed.
+  Result<Table> Query(const std::string& sql);
+
+  /// Run a batch; the server fans the statements across its request
+  /// pool and replies once with per-statement outcomes in input order.
+  Result<std::vector<QueryOutcome>> Batch(
+      const std::vector<std::string>& sqls);
+
+  /// Fetch the server's combined service + network counters.
+  Result<StatsSnapshot> Stats();
+
+  /// Polite shutdown: CLOSE, wait for GOODBYE, close the socket.
+  /// Also called by the destructor (best effort, errors swallowed).
+  Status Close();
+
+ private:
+  Status SendFrame(MessageType type, std::string_view payload);
+  /// Block until one full frame arrives. An ERROR frame is surfaced
+  /// as its carried Status and closes the connection.
+  Result<Frame> ReadFrame();
+  Result<Frame> Roundtrip(MessageType type, std::string_view payload,
+                          MessageType expected_reply);
+  void Disconnect();
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  FrameReader reader_;
+};
+
+}  // namespace net
+}  // namespace mosaic
+
+#endif  // MOSAIC_NET_CLIENT_H_

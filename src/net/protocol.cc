@@ -1,0 +1,601 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/schema.h"
+
+namespace mosaic {
+namespace net {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated frame: ") + what);
+}
+
+/// Highest valid StatusCode, for decoding.
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(
+    StatusCode::kNotConverged);
+
+/// Highest valid DataType tag, for decoding.
+constexpr uint8_t kMaxDataTypeTag = static_cast<uint8_t>(DataType::kBool);
+
+}  // namespace
+
+bool IsKnownMessageType(uint8_t tag) {
+  switch (static_cast<MessageType>(tag)) {
+    case MessageType::kHello:
+    case MessageType::kQuery:
+    case MessageType::kBatch:
+    case MessageType::kStats:
+    case MessageType::kClose:
+    case MessageType::kHelloOk:
+    case MessageType::kResult:
+    case MessageType::kBatchResult:
+    case MessageType::kStatsResult:
+    case MessageType::kGoodbye:
+    case MessageType::kError:
+      return true;
+  }
+  return false;
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHello:
+      return "HELLO";
+    case MessageType::kQuery:
+      return "QUERY";
+    case MessageType::kBatch:
+      return "BATCH";
+    case MessageType::kStats:
+      return "STATS";
+    case MessageType::kClose:
+      return "CLOSE";
+    case MessageType::kHelloOk:
+      return "HELLO_OK";
+    case MessageType::kResult:
+      return "RESULT";
+    case MessageType::kBatchResult:
+      return "BATCH_RESULT";
+    case MessageType::kStatsResult:
+      return "STATS_RESULT";
+    case MessageType::kGoodbye:
+      return "GOODBYE";
+    case MessageType::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(MessageType type, std::string_view payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size() + 1);
+  std::string out;
+  out.reserve(kFrameLengthBytes + length);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+  }
+  out.push_back(static_cast<char>(type));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  // Compact lazily: drop consumed bytes once they dominate the buffer
+  // so long-lived connections do not grow without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+Result<bool> FrameReader::Next(Frame* frame) {
+  if (!error_.ok()) return error_;
+  if (buffered() < kFrameLengthBytes) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const uint32_t length = static_cast<uint32_t>(p[0]) |
+                          (static_cast<uint32_t>(p[1]) << 8) |
+                          (static_cast<uint32_t>(p[2]) << 16) |
+                          (static_cast<uint32_t>(p[3]) << 24);
+  if (length == 0) {
+    error_ = Status::InvalidArgument("frame length 0: missing type tag");
+    return error_;
+  }
+  if (length > kMaxFrameBytes) {
+    error_ = Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds limit " +
+        std::to_string(kMaxFrameBytes));
+    return error_;
+  }
+  if (buffered() < kFrameLengthBytes + length) return false;
+  frame->type =
+      static_cast<MessageType>(buf_[pos_ + kFrameLengthBytes]);
+  frame->payload.assign(buf_, pos_ + kFrameLengthBytes + 1, length - 1);
+  pos_ += kFrameLengthBytes + length;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+Status WireReader::Need(size_t n, const char* what) {
+  if (remaining() < n) return Truncated(what);
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::ReadU8() {
+  MOSAIC_RETURN_IF_ERROR(Need(1, "u8"));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<bool> WireReader::ReadBool() {
+  MOSAIC_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+  return v != 0;
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  MOSAIC_RETURN_IF_ERROR(Need(4, "u32"));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::ReadU64() {
+  MOSAIC_RETURN_IF_ERROR(Need(8, "u64"));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> WireReader::ReadI64() {
+  MOSAIC_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> WireReader::ReadDouble() {
+  MOSAIC_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::ReadString() {
+  MOSAIC_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  // The declared length must be covered by bytes already present —
+  // never allocate on the strength of an unverified prefix.
+  MOSAIC_RETURN_IF_ERROR(Need(len, "string body"));
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Value / Status
+// ---------------------------------------------------------------------------
+
+void EncodeValue(const Value& v, WireWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kInt64:
+      w->PutI64(v.AsInt64());
+      break;
+    case DataType::kDouble:
+      w->PutDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      w->PutString(v.AsString());
+      break;
+    case DataType::kBool:
+      w->PutBool(v.AsBool());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(WireReader* r) {
+  MOSAIC_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+  if (tag > kMaxDataTypeTag) {
+    return Status::InvalidArgument("unknown value type tag " +
+                                   std::to_string(tag));
+  }
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kInt64: {
+      MOSAIC_ASSIGN_OR_RETURN(int64_t v, r->ReadI64());
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      MOSAIC_ASSIGN_OR_RETURN(double v, r->ReadDouble());
+      return Value(v);
+    }
+    case DataType::kString: {
+      MOSAIC_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+      return Value(std::move(v));
+    }
+    case DataType::kBool: {
+      MOSAIC_ASSIGN_OR_RETURN(bool v, r->ReadBool());
+      return Value(v);
+    }
+  }
+  return Status::Internal("unreachable value tag");
+}
+
+void EncodeStatus(const Status& s, WireWriter* w) {
+  w->PutU8(static_cast<uint8_t>(s.code()));
+  w->PutString(s.message());
+}
+
+Status DecodeStatus(WireReader* r, Status* out) {
+  MOSAIC_ASSIGN_OR_RETURN(uint8_t code, r->ReadU8());
+  if (code > kMaxStatusCode) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  MOSAIC_ASSIGN_OR_RETURN(std::string msg, r->ReadString());
+  *out = Status(static_cast<StatusCode>(code), std::move(msg));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+void EncodeTable(const Table& t, WireWriter* w) {
+  const Schema& schema = t.schema();
+  w->PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    w->PutString(schema.column(c).name);
+    w->PutU8(static_cast<uint8_t>(schema.column(c).type));
+  }
+  w->PutU64(t.num_rows());
+  const size_t n = t.num_rows();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = t.column(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+        for (size_t i = 0; i < n; ++i) w->PutI64(col.raw_int64()[i]);
+        break;
+      case DataType::kDouble:
+        for (size_t i = 0; i < n; ++i) w->PutDouble(col.raw_double()[i]);
+        break;
+      case DataType::kBool:
+        for (size_t i = 0; i < n; ++i) w->PutU8(col.raw_bool()[i]);
+        break;
+      case DataType::kString: {
+        const Dictionary& dict = col.dictionary();
+        w->PutU32(static_cast<uint32_t>(dict.size()));
+        for (const std::string& s : dict.values()) w->PutString(s);
+        for (size_t i = 0; i < n; ++i) {
+          w->PutU32(static_cast<uint32_t>(col.raw_codes()[i]));
+        }
+        break;
+      }
+      case DataType::kNull:
+        break;  // unreachable: columns are typed
+    }
+  }
+}
+
+Result<Table> DecodeTable(WireReader* r) {
+  MOSAIC_ASSIGN_OR_RETURN(uint32_t num_columns, r->ReadU32());
+  // Each declared column costs at least 5 bytes (empty name + type),
+  // so a count the payload cannot hold is rejected up front.
+  if (num_columns > r->remaining() / 5) {
+    return Status::InvalidArgument("column count exceeds payload");
+  }
+  Schema schema;
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    MOSAIC_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    MOSAIC_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+    if (tag == static_cast<uint8_t>(DataType::kNull) ||
+        tag > kMaxDataTypeTag) {
+      return Status::InvalidArgument("invalid column type tag " +
+                                     std::to_string(tag));
+    }
+    MOSAIC_RETURN_IF_ERROR(
+        schema.AddColumn({std::move(name), static_cast<DataType>(tag)}));
+  }
+  MOSAIC_ASSIGN_OR_RETURN(uint64_t num_rows, r->ReadU64());
+  // No row can be narrower than one byte per column, so anything the
+  // remaining payload cannot possibly cover is malformed — this keeps
+  // hostile row counts from driving the resize calls below.
+  if (num_columns > 0 && num_rows > r->remaining()) {
+    return Status::InvalidArgument("row count exceeds payload");
+  }
+  if (num_columns == 0 && num_rows > 0) {
+    return Status::InvalidArgument("rows declared for zero columns");
+  }
+  const size_t n = static_cast<size_t>(num_rows);
+  std::vector<Column> columns;
+  columns.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    switch (schema.column(c).type) {
+      case DataType::kInt64: {
+        if (r->remaining() < n * 8) return Truncated("int64 column");
+        std::vector<int64_t> vals(n);
+        for (size_t i = 0; i < n; ++i) {
+          MOSAIC_ASSIGN_OR_RETURN(vals[i], r->ReadI64());
+        }
+        columns.push_back(Column::FromInt64(std::move(vals)));
+        break;
+      }
+      case DataType::kDouble: {
+        if (r->remaining() < n * 8) return Truncated("double column");
+        std::vector<double> vals(n);
+        for (size_t i = 0; i < n; ++i) {
+          MOSAIC_ASSIGN_OR_RETURN(vals[i], r->ReadDouble());
+        }
+        columns.push_back(Column::FromDouble(std::move(vals)));
+        break;
+      }
+      case DataType::kBool: {
+        if (r->remaining() < n) return Truncated("bool column");
+        std::vector<uint8_t> vals(n);
+        for (size_t i = 0; i < n; ++i) {
+          MOSAIC_ASSIGN_OR_RETURN(vals[i], r->ReadU8());
+        }
+        columns.push_back(Column::FromBool(std::move(vals)));
+        break;
+      }
+      case DataType::kString: {
+        MOSAIC_ASSIGN_OR_RETURN(uint32_t dict_size, r->ReadU32());
+        if (dict_size > r->remaining() / 4) {
+          return Status::InvalidArgument("dictionary size exceeds payload");
+        }
+        auto dict = std::make_shared<Dictionary>();
+        for (uint32_t d = 0; d < dict_size; ++d) {
+          MOSAIC_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+          if (dict->GetOrInsert(s) != static_cast<int32_t>(d)) {
+            return Status::InvalidArgument(
+                "duplicate dictionary entry '" + s + "'");
+          }
+        }
+        if (r->remaining() < n * 4) return Truncated("string codes");
+        std::vector<int32_t> codes(n);
+        for (size_t i = 0; i < n; ++i) {
+          MOSAIC_ASSIGN_OR_RETURN(uint32_t code, r->ReadU32());
+          if (code >= dict_size) {
+            return Status::InvalidArgument(
+                "dictionary code " + std::to_string(code) +
+                " out of range (dictionary has " +
+                std::to_string(dict_size) + " entries)");
+          }
+          codes[i] = static_cast<int32_t>(code);
+        }
+        columns.push_back(Column::FromCodes(std::move(dict),
+                                            std::move(codes)));
+        break;
+      }
+      case DataType::kNull:
+        return Status::Internal("unreachable column type");
+    }
+  }
+  return Table(std::move(schema), std::move(columns), n);
+}
+
+void EncodeQueryOutcome(const QueryOutcome& o, WireWriter* w) {
+  w->PutBool(o.status.ok());
+  if (o.status.ok()) {
+    EncodeTable(o.table, w);
+  } else {
+    EncodeStatus(o.status, w);
+  }
+}
+
+Result<QueryOutcome> DecodeQueryOutcome(WireReader* r) {
+  MOSAIC_ASSIGN_OR_RETURN(bool ok, r->ReadBool());
+  QueryOutcome outcome;
+  if (ok) {
+    MOSAIC_ASSIGN_OR_RETURN(outcome.table, DecodeTable(r));
+  } else {
+    MOSAIC_RETURN_IF_ERROR(DecodeStatus(r, &outcome.status));
+    if (outcome.status.ok()) {
+      return Status::InvalidArgument("failed outcome carries OK status");
+    }
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+std::string EncodeHelloRequest(const HelloRequest& m) {
+  WireWriter w;
+  w.PutU32(m.version);
+  w.PutString(m.client_name);
+  return w.Take();
+}
+
+Result<HelloRequest> DecodeHelloRequest(std::string_view payload) {
+  WireReader r(payload);
+  HelloRequest m;
+  MOSAIC_ASSIGN_OR_RETURN(m.version, r.ReadU32());
+  MOSAIC_ASSIGN_OR_RETURN(m.client_name, r.ReadString());
+  return m;
+}
+
+std::string EncodeHelloReply(const HelloReply& m) {
+  WireWriter w;
+  w.PutU32(m.version);
+  w.PutU64(m.session_id);
+  w.PutString(m.server_name);
+  return w.Take();
+}
+
+Result<HelloReply> DecodeHelloReply(std::string_view payload) {
+  WireReader r(payload);
+  HelloReply m;
+  MOSAIC_ASSIGN_OR_RETURN(m.version, r.ReadU32());
+  MOSAIC_ASSIGN_OR_RETURN(m.session_id, r.ReadU64());
+  MOSAIC_ASSIGN_OR_RETURN(m.server_name, r.ReadString());
+  return m;
+}
+
+std::string EncodeQueryRequest(const std::string& sql) {
+  WireWriter w;
+  w.PutString(sql);
+  return w.Take();
+}
+
+Result<std::string> DecodeQueryRequest(std::string_view payload) {
+  WireReader r(payload);
+  return r.ReadString();
+}
+
+std::string EncodeBatchRequest(const std::vector<std::string>& sqls) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(sqls.size()));
+  for (const auto& sql : sqls) w.PutString(sql);
+  return w.Take();
+}
+
+Result<std::vector<std::string>> DecodeBatchRequest(
+    std::string_view payload) {
+  WireReader r(payload);
+  MOSAIC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (count > r.remaining() / 4) {
+    return Status::InvalidArgument("batch count exceeds payload");
+  }
+  std::vector<std::string> sqls;
+  sqls.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MOSAIC_ASSIGN_OR_RETURN(std::string sql, r.ReadString());
+    sqls.push_back(std::move(sql));
+  }
+  return sqls;
+}
+
+std::string EncodeResultReply(const QueryOutcome& outcome) {
+  WireWriter w;
+  EncodeQueryOutcome(outcome, &w);
+  return w.Take();
+}
+
+Result<QueryOutcome> DecodeResultReply(std::string_view payload) {
+  WireReader r(payload);
+  return DecodeQueryOutcome(&r);
+}
+
+std::string EncodeBatchResultReply(
+    const std::vector<QueryOutcome>& outcomes) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(outcomes.size()));
+  for (const auto& o : outcomes) EncodeQueryOutcome(o, &w);
+  return w.Take();
+}
+
+Result<std::vector<QueryOutcome>> DecodeBatchResultReply(
+    std::string_view payload) {
+  WireReader r(payload);
+  MOSAIC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (count > r.remaining()) {
+    return Status::InvalidArgument("batch result count exceeds payload");
+  }
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MOSAIC_ASSIGN_OR_RETURN(QueryOutcome o, DecodeQueryOutcome(&r));
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+std::string EncodeStatsReply(const StatsSnapshot& m) {
+  const uint64_t fields[] = {
+      m.queries_total,        m.queries_failed,
+      m.reads,                m.writes,
+      m.sessions_opened,      m.sessions_closed,
+      m.result_cache_hits,    m.result_cache_misses,
+      m.result_cache_entries, m.model_cache_hits,
+      m.model_cache_insertions, m.connections_opened,
+      m.connections_active,   m.connections_rejected,
+      m.frames_received,      m.frames_sent,
+      m.protocol_errors,
+  };
+  constexpr size_t kNumFields = sizeof(fields) / sizeof(fields[0]);
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(kNumFields));
+  for (uint64_t f : fields) w.PutU64(f);
+  return w.Take();
+}
+
+Result<StatsSnapshot> DecodeStatsReply(std::string_view payload) {
+  WireReader r(payload);
+  MOSAIC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (static_cast<uint64_t>(count) * 8 > r.remaining()) {
+    return Status::InvalidArgument("stats field count exceeds payload");
+  }
+  StatsSnapshot m;
+  uint64_t* fields[] = {
+      &m.queries_total,        &m.queries_failed,
+      &m.reads,                &m.writes,
+      &m.sessions_opened,      &m.sessions_closed,
+      &m.result_cache_hits,    &m.result_cache_misses,
+      &m.result_cache_entries, &m.model_cache_hits,
+      &m.model_cache_insertions, &m.connections_opened,
+      &m.connections_active,   &m.connections_rejected,
+      &m.frames_received,      &m.frames_sent,
+      &m.protocol_errors,
+  };
+  constexpr size_t kNumFields = sizeof(fields) / sizeof(fields[0]);
+  for (uint32_t i = 0; i < count; ++i) {
+    MOSAIC_ASSIGN_OR_RETURN(uint64_t v, r.ReadU64());
+    // Unknown trailing fields from a newer server are skipped.
+    if (i < kNumFields) *fields[i] = v;
+  }
+  return m;
+}
+
+std::string EncodeErrorReply(const Status& status) {
+  WireWriter w;
+  EncodeStatus(status, &w);
+  return w.Take();
+}
+
+Status DecodeErrorReply(std::string_view payload, Status* out) {
+  WireReader r(payload);
+  return DecodeStatus(&r, out);
+}
+
+}  // namespace net
+}  // namespace mosaic

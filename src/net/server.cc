@@ -1,0 +1,653 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mosaic {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Replies that cannot fit one frame are downgraded to an in-band
+/// error so the connection survives (the client sees a failed
+/// statement, not a dead socket).
+std::string EncodeBoundedResult(const QueryOutcome& outcome) {
+  std::string payload = EncodeResultReply(outcome);
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    payload = EncodeResultReply(
+        {Status::ExecutionError("result table exceeds the wire protocol's "
+                                "frame limit"),
+         Table()});
+  }
+  return payload;
+}
+
+std::string EncodeBoundedBatchResult(std::vector<QueryOutcome> outcomes) {
+  std::string payload = EncodeBatchResultReply(outcomes);
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    for (auto& o : outcomes) {
+      o = {Status::ExecutionError("batch result exceeds the wire "
+                                  "protocol's frame limit"),
+           Table()};
+    }
+    payload = EncodeBatchResultReply(outcomes);
+  }
+  return payload;
+}
+
+}  // namespace
+
+/// Handle shared between the poll thread and request-pool completion
+/// callbacks: lets a callback nudge the poll loop without touching the
+/// Server object (which may already be destroyed when a straggling
+/// callback fires after Shutdown).
+struct WakePipe {
+  std::mutex mu;
+  int write_fd = -1;  ///< -1 once the server is gone
+
+  void Wake() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (write_fd < 0) return;
+    const char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wake-up.
+    [[maybe_unused]] ssize_t n = ::write(write_fd, &byte, 1);
+  }
+};
+
+struct Server::Connection {
+  int fd = -1;
+  std::optional<service::Session> session;
+  FrameReader reader;
+
+  // Poll-thread-only state.
+  std::string outbuf;
+  size_t outpos = 0;
+  bool hello_done = false;
+  bool reads_stopped = false;       ///< no further frames accepted
+  bool close_after_flush = false;   ///< close once outbuf drains
+  uint64_t next_seq = 0;            ///< next request sequence number
+  uint64_t next_to_send = 0;        ///< earliest un-flushed reply
+  uint64_t close_seq = UINT64_MAX;  ///< seq of the GOODBYE reply
+
+  // Shared with completion callbacks.
+  std::mutex mu;
+  bool closed = false;                     ///< guarded by mu
+  size_t inflight = 0;                     ///< guarded by mu
+  std::map<uint64_t, std::string> ready;   ///< encoded reply frames
+
+  size_t PendingLocked() const { return inflight + ready.size(); }
+
+  size_t Pending() {
+    std::lock_guard<std::mutex> lock(mu);
+    return PendingLocked();
+  }
+};
+
+namespace {
+
+/// Deposit one completed reply and wake the poll loop. Free function
+/// on purpose: callbacks must not dereference the Server.
+void DeliverReply(const std::shared_ptr<Server::Connection>& conn,
+                  const std::shared_ptr<WakePipe>& wake, uint64_t seq,
+                  std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->inflight--;
+    if (!conn->closed) conn->ready.emplace(seq, std::move(frame));
+  }
+  wake->Wake();
+}
+
+}  // namespace
+
+Server::Server(service::QueryService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse bind address '" +
+                                   options_.host + "'");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto fail = [this](Status status) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  };
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail(Errno("bind"));
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail(Errno("listen"));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return fail(Errno("getsockname"));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (Status nb = SetNonBlocking(listen_fd_); !nb.ok()) return fail(nb);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return fail(Errno("pipe"));
+  wake_read_fd_ = pipe_fds[0];
+  (void)SetNonBlocking(wake_read_fd_);
+  (void)SetNonBlocking(pipe_fds[1]);
+  wake_ = std::make_shared<WakePipe>();
+  wake_->write_fd = pipe_fds[1];
+
+  running_.store(true, std::memory_order_release);
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  MOSAIC_LOG(Info) << "mosaic server listening on " << options_.host << ":"
+                   << port_;
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (!started_.load() || !running_.exchange(false)) {
+    // Never started, or a previous Shutdown already ran.
+    if (poll_thread_.joinable()) poll_thread_.join();
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_ != nullptr) wake_->Wake();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  // Detach the wake pipe so straggling callbacks become no-ops, then
+  // release the fds.
+  if (wake_ != nullptr) {
+    std::lock_guard<std::mutex> lock(wake_->mu);
+    ::close(wake_->write_fd);
+    wake_->write_fd = -1;
+  }
+  if (wake_read_fd_ >= 0) {
+    ::close(wake_read_fd_);
+    wake_read_fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+NetServerStats Server::stats() const {
+  NetServerStats s;
+  s.connections_opened = connections_opened_.load();
+  s.connections_rejected = connections_rejected_.load();
+  s.frames_received = frames_received_.load();
+  s.frames_sent = frames_sent_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.connections_active = connections_active_.load();
+  return s;
+}
+
+StatsSnapshot Server::Snapshot() const {
+  const service::ServiceStats svc = service_->Stats();
+  const NetServerStats nets = stats();
+  StatsSnapshot snap;
+  snap.queries_total = svc.queries_total;
+  snap.queries_failed = svc.queries_failed;
+  snap.reads = svc.reads;
+  snap.writes = svc.writes;
+  snap.sessions_opened = svc.sessions_opened;
+  snap.sessions_closed = svc.sessions_closed;
+  snap.result_cache_hits = svc.result_cache.hits;
+  snap.result_cache_misses = svc.result_cache.misses;
+  snap.result_cache_entries = svc.result_cache.entries;
+  snap.model_cache_hits = svc.model_cache.hits;
+  snap.model_cache_insertions = svc.model_cache.insertions;
+  snap.connections_opened = nets.connections_opened;
+  snap.connections_active = nets.connections_active;
+  snap.connections_rejected = nets.connections_rejected;
+  snap.frames_received = nets.frames_received;
+  snap.frames_sent = nets.frames_sent;
+  snap.protocol_errors = nets.protocol_errors;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Poll loop
+// ---------------------------------------------------------------------------
+
+void Server::PollLoop() {
+  using Clock = std::chrono::steady_clock;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  while (true) {
+    if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_deadline = Clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+      // Stop accepting; in-flight statements keep running.
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+
+    // Move completed replies into write buffers, retire drained
+    // zombies, and (while draining) close fully quiesced connections.
+    for (auto& conn : connections_) FlushReady(conn.get());
+    zombies_.erase(std::remove_if(zombies_.begin(), zombies_.end(),
+                                  [](const auto& z) {
+                                    return z->Pending() == 0;
+                                  }),
+                   zombies_.end());
+    if (draining) {
+      for (size_t i = connections_.size(); i-- > 0;) {
+        Connection* conn = connections_[i].get();
+        if (conn->Pending() == 0 && conn->outpos == conn->outbuf.size()) {
+          CloseConnection(i, /*abort_inflight=*/false);
+        }
+      }
+      const bool expired = Clock::now() >= drain_deadline;
+      if (expired) {
+        for (size_t i = connections_.size(); i-- > 0;) {
+          CloseConnection(i, /*abort_inflight=*/true);
+        }
+        zombies_.clear();
+      }
+      if (connections_.empty() && zombies_.empty()) break;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<size_t> conn_of_fd;  // parallel; SIZE_MAX for specials
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    conn_of_fd.push_back(SIZE_MAX);
+    if (!draining && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      conn_of_fd.push_back(SIZE_MAX);
+    }
+    for (size_t i = 0; i < connections_.size(); ++i) {
+      Connection* conn = connections_[i].get();
+      short events = 0;
+      const bool backpressured =
+          conn->Pending() >= options_.max_inflight_per_connection;
+      if (!draining && !conn->reads_stopped && !backpressured) {
+        events |= POLLIN;
+      }
+      if (conn->outpos < conn->outbuf.size()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+      conn_of_fd.push_back(i);
+    }
+
+    const int timeout_ms = draining ? 20 : 200;
+    const int nready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (nready < 0 && errno != EINTR) {
+      MOSAIC_LOG(Error) << "poll failed: " << std::strerror(errno);
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (!draining && listen_fd_ >= 0 && fds.size() > 1 &&
+        conn_of_fd[1] == SIZE_MAX && (fds[1].revents & POLLIN)) {
+      AcceptPending();
+    }
+
+    // Walk connection fds back to front so CloseConnection's
+    // swap-remove cannot disturb indices not yet visited.
+    for (size_t f = fds.size(); f-- > 0;) {
+      const size_t idx = conn_of_fd[f];
+      if (idx == SIZE_MAX || idx >= connections_.size()) continue;
+      Connection* conn = connections_[idx].get();
+      if (fds[f].fd != conn->fd) continue;  // replaced meanwhile
+      const short revents = fds[f].revents;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        CloseConnection(idx, /*abort_inflight=*/true);
+        continue;
+      }
+      if (revents & POLLIN) {
+        Status s = ReadFromConnection(conn);
+        if (!s.ok()) {
+          CloseConnection(idx, /*abort_inflight=*/true);
+          continue;
+        }
+      }
+      FlushReady(conn);
+      if (conn->outpos < conn->outbuf.size()) {
+        Status s = WriteToConnection(conn);
+        if (!s.ok()) {
+          CloseConnection(idx, /*abort_inflight=*/true);
+          continue;
+        }
+      }
+      if (conn->close_after_flush && conn->outpos == conn->outbuf.size()) {
+        CloseConnection(idx, /*abort_inflight=*/false);
+      }
+    }
+  }
+
+  // Loop exit (drain complete or poll failure): cut whatever is left.
+  for (size_t i = connections_.size(); i-- > 0;) {
+    CloseConnection(i, /*abort_inflight=*/true);
+  }
+  zombies_.clear();
+}
+
+void Server::AcceptPending() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      MOSAIC_LOG(Warning) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      // Best-effort refusal so the client sees why, then hang up.
+      const std::string frame = EncodeFrame(
+          MessageType::kError,
+          EncodeErrorReply(Status::ExecutionError(
+              "server connection limit reached (" +
+              std::to_string(options_.max_connections) + ")")));
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      connections_rejected_.fetch_add(1);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->session = service_->OpenSession();
+    connections_.push_back(std::move(conn));
+    connections_opened_.fetch_add(1);
+    connections_active_.store(connections_.size());
+  }
+}
+
+Status Server::ReadFromConnection(Connection* conn) {
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->reader.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) return Status::IOError("peer closed connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+  while (!conn->reads_stopped) {
+    Frame frame;
+    auto got = conn->reader.Next(&frame);
+    if (!got.ok()) {
+      SendProtocolError(conn, got.status());
+      break;
+    }
+    if (!*got) break;
+    frames_received_.fetch_add(1);
+    Status s = HandleFrame(conn, std::move(frame));
+    if (!s.ok()) SendProtocolError(conn, s);
+  }
+  return Status::OK();
+}
+
+Status Server::HandleFrame(Connection* conn, Frame frame) {
+  if (!IsKnownMessageType(static_cast<uint8_t>(frame.type))) {
+    return Status::InvalidArgument(
+        "unknown message type tag " +
+        std::to_string(static_cast<unsigned>(frame.type)));
+  }
+  if (!conn->hello_done) {
+    if (frame.type != MessageType::kHello) {
+      return Status::InvalidArgument(
+          std::string("expected HELLO, got ") +
+          MessageTypeName(frame.type));
+    }
+    MOSAIC_ASSIGN_OR_RETURN(HelloRequest hello,
+                            DecodeHelloRequest(frame.payload));
+    if (hello.version != kProtocolVersion) {
+      return Status::InvalidArgument(
+          "protocol version mismatch: client speaks v" +
+          std::to_string(hello.version) + ", server speaks v" +
+          std::to_string(kProtocolVersion));
+    }
+    conn->hello_done = true;
+    HelloReply reply;
+    reply.session_id = conn->session->id();
+    reply.server_name = options_.server_name;
+    // Nothing can be in flight before HELLO, so the reply bypasses
+    // the sequence queue.
+    conn->outbuf += EncodeFrame(MessageType::kHelloOk,
+                                EncodeHelloReply(reply));
+    frames_sent_.fetch_add(1);
+    return Status::OK();
+  }
+  switch (frame.type) {
+    case MessageType::kQuery: {
+      MOSAIC_ASSIGN_OR_RETURN(std::string sql,
+                              DecodeQueryRequest(frame.payload));
+      DispatchQuery(conn, conn->next_seq++, std::move(sql));
+      return Status::OK();
+    }
+    case MessageType::kBatch: {
+      MOSAIC_ASSIGN_OR_RETURN(std::vector<std::string> sqls,
+                              DecodeBatchRequest(frame.payload));
+      DispatchBatch(conn, conn->next_seq++, std::move(sqls));
+      return Status::OK();
+    }
+    case MessageType::kStats: {
+      const uint64_t seq = conn->next_seq++;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->ready.emplace(seq, EncodeFrame(MessageType::kStatsResult,
+                                             EncodeStatsReply(Snapshot())));
+      }
+      return Status::OK();
+    }
+    case MessageType::kClose: {
+      const uint64_t seq = conn->next_seq++;
+      conn->close_seq = seq;
+      conn->reads_stopped = true;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->ready.emplace(seq, EncodeFrame(MessageType::kGoodbye, ""));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("unexpected client message ") +
+          MessageTypeName(frame.type));
+  }
+}
+
+void Server::DispatchQuery(Connection* conn, uint64_t seq,
+                           std::string sql) {
+  // Find the shared_ptr owner: the callback needs shared ownership so
+  // an abrupt disconnect cannot free the connection under it.
+  std::shared_ptr<Connection> owner;
+  for (const auto& c : connections_) {
+    if (c.get() == conn) {
+      owner = c;
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->inflight++;
+  }
+  auto wake = wake_;
+  conn->session->SubmitAsync(
+      std::move(sql), [owner, wake, seq](Result<Table> result) {
+        QueryOutcome outcome;
+        if (result.ok()) {
+          outcome.table = std::move(result).value();
+        } else {
+          outcome.status = result.status();
+        }
+        DeliverReply(owner, wake, seq,
+                     EncodeFrame(MessageType::kResult,
+                                 EncodeBoundedResult(outcome)));
+      });
+}
+
+void Server::DispatchBatch(Connection* conn, uint64_t seq,
+                           std::vector<std::string> sqls) {
+  std::shared_ptr<Connection> owner;
+  for (const auto& c : connections_) {
+    if (c.get() == conn) {
+      owner = c;
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->inflight++;
+  }
+  auto wake = wake_;
+  if (sqls.empty()) {
+    DeliverReply(owner, wake, seq,
+                 EncodeFrame(MessageType::kBatchResult,
+                             EncodeBatchResultReply({})));
+    return;
+  }
+  struct BatchState {
+    std::vector<QueryOutcome> outcomes;
+    std::atomic<size_t> remaining;
+  };
+  auto batch = std::make_shared<BatchState>();
+  batch->outcomes.resize(sqls.size());
+  batch->remaining.store(sqls.size());
+  // Statements fan out across the request pool individually, so a
+  // BATCH from one connection exercises inter-query parallelism even
+  // with a single client attached.
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    conn->session->SubmitAsync(
+        std::move(sqls[i]),
+        [owner, wake, seq, batch, i](Result<Table> result) {
+          if (result.ok()) {
+            batch->outcomes[i].table = std::move(result).value();
+          } else {
+            batch->outcomes[i].status = result.status();
+          }
+          if (batch->remaining.fetch_sub(1) == 1) {
+            DeliverReply(owner, wake, seq,
+                         EncodeFrame(MessageType::kBatchResult,
+                                     EncodeBoundedBatchResult(
+                                         std::move(batch->outcomes))));
+          }
+        });
+  }
+}
+
+void Server::FlushReady(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  auto it = conn->ready.find(conn->next_to_send);
+  while (it != conn->ready.end()) {
+    conn->outbuf += it->second;
+    conn->ready.erase(it);
+    frames_sent_.fetch_add(1);
+    if (conn->next_to_send == conn->close_seq) {
+      conn->close_after_flush = true;
+    }
+    ++conn->next_to_send;
+    it = conn->ready.find(conn->next_to_send);
+  }
+}
+
+Status Server::WriteToConnection(Connection* conn) {
+  while (conn->outpos < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbuf.data() + conn->outpos,
+               conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outpos += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return Errno("send");
+  }
+  if (conn->outpos == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->outpos = 0;
+  }
+  return Status::OK();
+}
+
+void Server::SendProtocolError(Connection* conn, const Status& error) {
+  protocol_errors_.fetch_add(1);
+  MOSAIC_LOG(Warning) << "protocol error on fd " << conn->fd << ": "
+                      << error.ToString();
+  // The ERROR frame jumps any unflushed replies — the conversation is
+  // over — and the connection closes once it is on the wire.
+  conn->outbuf += EncodeFrame(MessageType::kError, EncodeErrorReply(error));
+  frames_sent_.fetch_add(1);
+  conn->reads_stopped = true;
+  conn->close_after_flush = true;
+}
+
+void Server::CloseConnection(size_t index, bool abort_inflight) {
+  std::shared_ptr<Connection> conn = connections_[index];
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+    conn->ready.clear();
+  }
+  ::close(conn->fd);
+  conn->fd = -1;
+  service_->CloseSession(*conn->session);
+  connections_.erase(connections_.begin() +
+                     static_cast<ptrdiff_t>(index));
+  connections_active_.store(connections_.size());
+  if (abort_inflight && conn->Pending() > 0) {
+    // Completion callbacks still reference this connection; keep it
+    // on the zombie list until they have all fired.
+    zombies_.push_back(std::move(conn));
+  }
+}
+
+void Server::WakePoll() {
+  if (wake_ != nullptr) wake_->Wake();
+}
+
+}  // namespace net
+}  // namespace mosaic

@@ -1,0 +1,150 @@
+// TCP front end for the query service: a poll(2)-based accept loop
+// that speaks the Mosaic wire protocol (net/protocol.h) and maps each
+// connection onto one service::Session.
+//
+// Threading model
+//   - One poll thread owns every socket: it accepts connections,
+//     reassembles frames, and writes replies. It never executes SQL.
+//   - QUERY / BATCH payloads are handed to the query service's
+//     request pool via Session::SubmitAsync, so inter-query
+//     concurrency comes from however many connections have statements
+//     in flight — the sockets feed the same pool that in-process
+//     callers share. Completion callbacks encode the reply, park it
+//     in the connection's outbox, and nudge the poll thread through a
+//     self-pipe.
+//   - Requests may be pipelined: each gets a sequence number and
+//     replies flush strictly in request order, whatever order the
+//     pool finishes them in. A connection exceeding
+//     max_inflight_per_connection stops being read until replies
+//     drain (backpressure instead of unbounded buffering).
+//
+// Lifecycle
+//   - Abrupt client disconnects mid-query are safe: the connection
+//     object is kept alive (a "zombie") until its last in-flight
+//     callback has fired, and callbacks drop replies for closed
+//     connections.
+//   - Shutdown() drains gracefully: stop accepting, stop reading,
+//     finish in-flight statements, flush outboxes, then close — with
+//     a deadline (drain_timeout_ms) after which remaining
+//     connections are cut. The destructor calls Shutdown().
+#ifndef MOSAIC_NET_SERVER_H_
+#define MOSAIC_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "service/query_service.h"
+
+namespace mosaic {
+namespace net {
+
+struct WakePipe;
+
+struct ServerOptions {
+  /// Interface to bind; loopback by default (the reproduction serves
+  /// local benches/tests, not the open internet).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Hard cap on concurrent connections; newcomers beyond it get an
+  /// ERROR frame and an immediate close.
+  size_t max_connections = 64;
+  /// Per-connection pipelining depth before backpressure pauses reads.
+  size_t max_inflight_per_connection = 32;
+  /// Grace period for Shutdown() to finish in-flight statements and
+  /// flush replies before force-closing.
+  int drain_timeout_ms = 10000;
+  /// Name reported in the HELLO_OK handshake.
+  std::string server_name = "mosaic";
+};
+
+/// Network-level counters (the service's own counters live in
+/// ServiceStats); sampled individually, like ServiceStats.
+struct NetServerStats {
+  uint64_t connections_opened = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t protocol_errors = 0;
+  size_t connections_active = 0;
+};
+
+class Server {
+ public:
+  /// The service must outlive the server.
+  Server(service::QueryService* service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and start the poll thread. Fails (without leaking
+  /// sockets) when the address is unavailable.
+  Status Start();
+
+  /// Port actually bound (resolves port 0); valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// True between a successful Start() and Shutdown().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful drain, then stop. Idempotent; called by the destructor.
+  void Shutdown();
+
+  NetServerStats stats() const;
+
+  /// Snapshot for the STATS message: service counters + net counters.
+  StatsSnapshot Snapshot() const;
+
+ public:
+  struct Connection;
+
+ private:
+  void PollLoop();
+  void AcceptPending();
+  Status ReadFromConnection(Connection* conn);
+  Status HandleFrame(Connection* conn, Frame frame);
+  void DispatchQuery(Connection* conn, uint64_t seq, std::string sql);
+  void DispatchBatch(Connection* conn, uint64_t seq,
+                     std::vector<std::string> sqls);
+  void FlushReady(Connection* conn);
+  Status WriteToConnection(Connection* conn);
+  void SendProtocolError(Connection* conn, const Status& error);
+  void CloseConnection(size_t index, bool abort_inflight);
+  void WakePoll();
+
+  service::QueryService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  std::shared_ptr<WakePipe> wake_;
+  uint16_t port_ = 0;
+  std::thread poll_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> started_{false};
+
+  /// Live connections, owned by the poll thread; callbacks hold weak
+  /// shared_ptr copies. Zombies (closed but with callbacks in flight)
+  /// are retired by the poll loop once their in-flight count is zero.
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::shared_ptr<Connection>> zombies_;
+
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<size_t> connections_active_{0};
+};
+
+}  // namespace net
+}  // namespace mosaic
+
+#endif  // MOSAIC_NET_SERVER_H_

@@ -24,6 +24,17 @@ std::future<Result<Table>> Session::Submit(const std::string& sql) {
       [service, state, sql] { return service->Run(sql, state.get()); });
 }
 
+void Session::SubmitAsync(std::string sql,
+                          std::function<void(Result<Table>)> done) {
+  state_->submitted.fetch_add(1, std::memory_order_relaxed);
+  QueryService* service = service_;
+  auto state = state_;
+  service->request_pool_.Submit(
+      [service, state, sql = std::move(sql), done = std::move(done)] {
+        done(service->Run(sql, state.get()));
+      });
+}
+
 std::vector<std::future<Result<Table>>> Session::SubmitBatch(
     const std::vector<std::string>& sqls) {
   std::vector<std::future<Result<Table>>> futures;
@@ -71,6 +82,11 @@ Session QueryService::OpenSession() {
   state->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   return Session(this, std::move(state));
+}
+
+void QueryService::CloseSession(const Session& session) {
+  (void)session;
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Result<Table> QueryService::Execute(const std::string& sql) {
@@ -152,6 +168,7 @@ ServiceStats QueryService::Stats() const {
   s.reads = reads_.load(std::memory_order_relaxed);
   s.writes = writes_.load(std::memory_order_relaxed);
   s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
   s.result_cache = result_cache_.Stats();
   s.model_cache = db_.ModelCacheStats();
   return s;

@@ -30,6 +30,7 @@
 #define MOSAIC_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <shared_mutex>
@@ -80,6 +81,7 @@ struct ServiceStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
   CacheStats result_cache;
   CacheStats model_cache;
 };
@@ -96,6 +98,14 @@ class Session {
 
   /// Enqueue one statement on the request pool.
   std::future<Result<Table>> Submit(const std::string& sql);
+
+  /// Enqueue one statement on the request pool and deliver the result
+  /// to `done` on the worker that executed it (instead of a future).
+  /// The callback form lets event-driven callers — the TCP server's
+  /// poll loop — avoid parking a thread per in-flight statement. The
+  /// callback must not block on other request-pool work.
+  void SubmitAsync(std::string sql,
+                   std::function<void(Result<Table>)> done);
 
   /// Fan a batch out across the request pool, one future per
   /// statement, in input order.
@@ -128,6 +138,12 @@ class QueryService {
 
   /// Open a client handle.
   Session OpenSession();
+
+  /// Record the end of a session's lifetime (handles are plain
+  /// values, so closure is an explicit event — the network server
+  /// calls this when a connection goes away). Purely observational
+  /// today: the handle stays usable, only the stats move.
+  void CloseSession(const Session& session);
 
   /// Service-level variants of the Session API (an anonymous
   /// session).
@@ -172,6 +188,7 @@ class QueryService {
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
 };
 
 }  // namespace service

@@ -1,0 +1,449 @@
+// End-to-end tests for the TCP serving stack: a real loopback server
+// in front of a QueryService, exercised by real client connections.
+// The core assertion is transport transparency — results over the
+// wire are bit-identical to in-process QueryService::Execute — plus
+// the failure modes a network layer must survive: abrupt disconnects
+// mid-query, malformed frames from live sockets, connection-limit
+// refusals, and graceful drain with statements in flight.
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "service/query_service.h"
+
+namespace mosaic {
+namespace net {
+namespace {
+
+/// Cheap training budget so OPEN queries stay fast in tests.
+void UseTinyOpenOptions(core::Database* db) {
+  auto* open = db->mutable_open_options();
+  open->mswg.epochs = 2;
+  open->mswg.steps_per_epoch = 4;
+  open->mswg.batch_size = 32;
+  open->mswg.num_projections = 16;
+  open->mswg.projections_per_step = 4;
+  open->mswg.hidden_layers = 1;
+  open->mswg.hidden_nodes = 8;
+  open->generated_rows = 64;
+  open->num_generated_samples = 3;
+}
+
+void SetUpTinyWorld(core::Database* db) {
+  auto ok = [db](const std::string& sql) {
+    auto r = db->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  ok("CREATE GLOBAL POPULATION Things (color VARCHAR, size VARCHAR)");
+  ok("CREATE TABLE ColorReport (color VARCHAR, cnt INT)");
+  ok("INSERT INTO ColorReport VALUES ('red', 60), ('blue', 40)");
+  ok("CREATE TABLE SizeReport (size VARCHAR, cnt INT)");
+  ok("INSERT INTO SizeReport VALUES ('S', 50), ('L', 50)");
+  ok("CREATE METADATA Things_M1 AS (SELECT color, cnt FROM ColorReport)");
+  ok("CREATE METADATA Things_M2 AS (SELECT size, cnt FROM SizeReport)");
+  ok("CREATE SAMPLE RedSample AS (SELECT * FROM Things WHERE color = "
+     "'red')");
+  ok("INSERT INTO RedSample VALUES ('red','S'), ('red','S'), ('red','S'), "
+     "('red','S'), ('red','S'), ('red','S'), ('red','L'), ('red','L')");
+  UseTinyOpenOptions(db);
+}
+
+::testing::AssertionResult TablesEqual(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return ::testing::AssertionFailure() << "schemas differ";
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.num_rows() << " vs "
+           << b.num_rows();
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.schema().num_columns(); ++c) {
+      if (!(a.GetValue(r, c) == b.GetValue(r, c))) {
+        return ::testing::AssertionFailure()
+               << "cell (" << r << "," << c
+               << ") differs: " << a.GetValue(r, c).ToString() << " vs "
+               << b.GetValue(r, c).ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// The mixed CLOSED / SEMI-OPEN / OPEN workload from the service
+/// tests, now crossing a socket.
+const std::vector<std::string>& MixedWorkload() {
+  static const std::vector<std::string> queries = {
+      "SELECT CLOSED color, COUNT(*) AS c FROM Things GROUP BY color",
+      "SELECT CLOSED COUNT(*) AS c FROM Things",
+      "SELECT SEMI-OPEN COUNT(*) AS c FROM Things",
+      "SELECT SEMI-OPEN size, COUNT(*) AS c FROM Things GROUP BY size "
+      "ORDER BY size",
+      "SELECT OPEN color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color",
+      "SHOW SAMPLES",
+  };
+  return queries;
+}
+
+class NetE2ETest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions server_opts = ServerOptions()) {
+    service::ServiceOptions opts;
+    opts.num_request_threads = 4;
+    opts.num_generation_threads = 2;
+    service_ = std::make_unique<service::QueryService>(opts);
+    SetUpTinyWorld(service_->database());
+    server_opts.port = 0;
+    server_ = std::make_unique<Server>(service_.get(), server_opts);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client Connect() {
+    Client client;
+    ClientOptions copts;
+    copts.port = server_->port();
+    EXPECT_TRUE(client.Connect(copts).ok());
+    return client;
+  }
+
+  std::unique_ptr<service::QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+// ---------------------------------------------------------------------------
+// Bit-identical results across the wire, concurrently
+// ---------------------------------------------------------------------------
+
+TEST_F(NetE2ETest, ConcurrentClientsMatchInProcessExecuteBitForBit) {
+  StartServer();
+  // Ground truth from a single-threaded engine with identical options.
+  core::Database reference;
+  SetUpTinyWorld(&reference);
+  std::map<std::string, Table> truth;
+  for (const auto& q : MixedWorkload()) {
+    auto r = reference.Execute(q);
+    ASSERT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    truth.emplace(q, std::move(r).value());
+  }
+
+  constexpr int kClients = 5;
+  constexpr int kPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  const uint16_t port = server_->port();
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([t, port, &truth, &mismatches, &failures] {
+      Client client;
+      ClientOptions copts;
+      copts.port = port;
+      if (!client.Connect(copts).ok()) {
+        failures += kPerClient;
+        return;
+      }
+      const auto& queries = MixedWorkload();
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string& q = queries[(t + i) % queries.size()];
+        auto r = client.Query(q);
+        if (!r.ok()) {
+          ++failures;
+        } else if (!TablesEqual(*r, truth.at(q))) {
+          ++mismatches;
+        }
+      }
+      (void)client.Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Verify content equality from a fresh connection (after the
+  // concurrent phase, results must still be the deterministic truth).
+  Client client = Connect();
+  for (const auto& q : MixedWorkload()) {
+    auto viaWire = client.Query(q);
+    ASSERT_TRUE(viaWire.ok()) << q << " -> " << viaWire.status().ToString();
+    auto inProcess = service_->Execute(q);
+    ASSERT_TRUE(inProcess.ok());
+    EXPECT_TRUE(TablesEqual(*viaWire, *inProcess)) << q;
+    EXPECT_TRUE(TablesEqual(*viaWire, truth.at(q))) << q;
+  }
+  ASSERT_TRUE(client.Close().ok());
+}
+
+TEST_F(NetE2ETest, BatchFansOutAndPreservesOrderAndErrors) {
+  StartServer();
+  Client client = Connect();
+  std::vector<std::string> sqls = MixedWorkload();
+  sqls.insert(sqls.begin() + 2, "SELECT FROM nowhere");  // parse error
+  auto outcomes = client.Batch(sqls);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE((*outcomes)[i].ok());
+      continue;
+    }
+    ASSERT_TRUE((*outcomes)[i].ok()) << sqls[i];
+    auto expected = service_->Execute(sqls[i]);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(TablesEqual((*outcomes)[i].table, *expected)) << sqls[i];
+  }
+  ASSERT_TRUE(client.Close().ok());
+}
+
+TEST_F(NetE2ETest, StatsReflectSessionsAndStatementErrors) {
+  StartServer();
+  Client client = Connect();
+  EXPECT_GT(client.session_id(), 0u);
+  // A statement error is an in-band failed result, not a dead socket.
+  auto bad = client.Query("SELECT FROM nowhere");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(client.connected());
+  auto good = client.Query("SELECT CLOSED COUNT(*) AS c FROM Things");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->queries_total, 2u);
+  EXPECT_GE(stats->queries_failed, 1u);
+  EXPECT_GE(stats->sessions_opened, 1u);
+  EXPECT_EQ(stats->connections_active, 1u);
+  ASSERT_TRUE(client.Close().ok());
+
+  // Session closure is reflected after the connection goes away.
+  for (int i = 0; i < 50; ++i) {
+    if (service_->Stats().sessions_closed >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(service_->Stats().sessions_closed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile / unlucky clients
+// ---------------------------------------------------------------------------
+
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void RawSend(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Read frames until one arrives, EOF, or a short timeout.
+Result<Frame> RawReadFrame(int fd) {
+  FrameReader reader;
+  char buf[4096];
+  while (true) {
+    Frame frame;
+    auto got = reader.Next(&frame);
+    if (!got.ok()) return got.status();
+    if (*got) return frame;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return Status::IOError("eof");
+    reader.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+TEST_F(NetE2ETest, ServerSurvivesAbruptDisconnectMidQuery) {
+  StartServer();
+  for (int round = 0; round < 3; ++round) {
+    const int fd = RawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    RawSend(fd, EncodeFrame(MessageType::kHello,
+                            EncodeHelloRequest({kProtocolVersion, "rude"})));
+    auto hello = RawReadFrame(fd);
+    ASSERT_TRUE(hello.ok());
+    ASSERT_EQ(hello->type, MessageType::kHelloOk);
+    // Fire an OPEN query (slow: trains a generator) and hang up
+    // without reading the reply.
+    RawSend(fd, EncodeFrame(
+                    MessageType::kQuery,
+                    EncodeQueryRequest(
+                        "SELECT OPEN COUNT(*) AS c FROM Things")));
+    ::close(fd);
+  }
+  // The server must still serve new clients correctly.
+  Client client = Connect();
+  auto r = client.Query("SELECT CLOSED COUNT(*) AS c FROM Things");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->GetValue(0, 0).AsInt64(), 8);
+  ASSERT_TRUE(client.Close().ok());
+}
+
+TEST_F(NetE2ETest, MalformedFramesGetErrorReplyAndClose) {
+  StartServer();
+  {
+    // Oversized length prefix.
+    const int fd = RawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    std::string evil(8, '\0');
+    const uint32_t huge = kMaxFrameBytes + 7;
+    std::memcpy(evil.data(), &huge, 4);
+    RawSend(fd, evil);
+    auto reply = RawReadFrame(fd);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, MessageType::kError);
+    // Connection is closed afterwards.
+    auto next = RawReadFrame(fd);
+    EXPECT_FALSE(next.ok());
+    ::close(fd);
+  }
+  {
+    // QUERY before HELLO.
+    const int fd = RawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    RawSend(fd, EncodeFrame(MessageType::kQuery,
+                            EncodeQueryRequest("SELECT 1")));
+    auto reply = RawReadFrame(fd);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, MessageType::kError);
+    ::close(fd);
+  }
+  {
+    // Unknown message tag.
+    const int fd = RawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    RawSend(fd, EncodeFrame(MessageType::kHello,
+                            EncodeHelloRequest({kProtocolVersion, "x"})));
+    auto hello = RawReadFrame(fd);
+    ASSERT_TRUE(hello.ok());
+    RawSend(fd, EncodeFrame(static_cast<MessageType>(0x42), "junk"));
+    auto reply = RawReadFrame(fd);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, MessageType::kError);
+    ::close(fd);
+  }
+  EXPECT_GE(server_->stats().protocol_errors, 3u);
+  // And the server still works.
+  Client client = Connect();
+  EXPECT_TRUE(client.Query("SELECT CLOSED COUNT(*) AS c FROM Things").ok());
+  ASSERT_TRUE(client.Close().ok());
+}
+
+TEST_F(NetE2ETest, VersionMismatchIsRefused) {
+  StartServer();
+  const int fd = RawConnect(server_->port());
+  ASSERT_GE(fd, 0);
+  RawSend(fd, EncodeFrame(MessageType::kHello,
+                          EncodeHelloRequest({kProtocolVersion + 1, "old"})));
+  auto reply = RawReadFrame(fd);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MessageType::kError);
+  ::close(fd);
+}
+
+TEST_F(NetE2ETest, ConnectionLimitRefusesExtraClients) {
+  ServerOptions opts;
+  opts.max_connections = 2;
+  StartServer(opts);
+  Client a = Connect();
+  Client b = Connect();
+  Client c;
+  ClientOptions copts;
+  copts.port = server_->port();
+  Status refused = c.Connect(copts);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_GE(server_->stats().connections_rejected, 1u);
+  ASSERT_TRUE(a.Close().ok());
+  ASSERT_TRUE(b.Close().ok());
+  // Capacity freed: a new client fits again.
+  for (int i = 0; i < 100; ++i) {
+    if (server_->stats().connections_active == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Client d;
+  EXPECT_TRUE(d.Connect(copts).ok());
+  (void)d.Close();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+TEST_F(NetE2ETest, ShutdownDrainsInFlightQueries) {
+  StartServer();
+  core::Database reference;
+  SetUpTinyWorld(&reference);
+  std::map<std::string, Table> truth;
+  for (const auto& q : MixedWorkload()) {
+    auto r = reference.Execute(q);
+    ASSERT_TRUE(r.ok());
+    truth.emplace(q, std::move(r).value());
+  }
+
+  constexpr int kClients = 4;
+  std::atomic<int> bad_results{0};
+  std::atomic<int> ok_results{0};
+  const uint16_t port = server_->port();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([t, port, &bad_results, &ok_results, &truth] {
+      Client client;
+      ClientOptions copts;
+      copts.port = port;
+      if (!client.Connect(copts).ok()) return;
+      const auto& queries = MixedWorkload();
+      for (int i = 0;; ++i) {
+        const std::string& q = queries[(t + i) % queries.size()];
+        auto r = client.Query(q);
+        if (!r.ok()) {
+          // Transport gone: acceptable once the drain begins. A
+          // statement-level error would be a bug.
+          if (client.connected()) ++bad_results;
+          break;
+        }
+        // Every reply that does arrive must be complete and correct.
+        if (!TablesEqual(*r, truth.at(q))) ++bad_results;
+        ++ok_results;
+      }
+    });
+  }
+  // Let the clients get statements in flight, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server_->Shutdown();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad_results.load(), 0);
+  EXPECT_GT(ok_results.load(), 0);
+  // Drain closed every connection and session.
+  EXPECT_EQ(server_->stats().connections_active, 0u);
+  const auto svc = service_->Stats();
+  EXPECT_EQ(svc.sessions_opened - svc.sessions_closed, 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mosaic

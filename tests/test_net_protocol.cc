@@ -1,0 +1,358 @@
+// Wire-protocol codec tests: round-trips for every payload type, and
+// fuzz-style hostile-input coverage — truncated, oversized, bit-
+// flipped, and random frames must come back as Status errors, never
+// crash, over-read, or allocate unbounded memory.
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace mosaic {
+namespace net {
+namespace {
+
+Table MakeSampleTable() {
+  Schema schema({{"name", DataType::kString},
+                 {"count", DataType::kInt64},
+                 {"score", DataType::kDouble},
+                 {"flag", DataType::kBool}});
+  Table t(schema);
+  const char* names[] = {"red", "blue", "red", "green", "blue", "red"};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(names[i]), Value(int64_t(i * 7 - 3)),
+                             Value(i * 0.25 - 1.0), Value(i % 2 == 0)})
+                    .ok());
+  }
+  return t;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_TRUE(a.schema() == b.schema()) << "schemas differ";
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_TRUE(a.GetValue(r, c) == b.GetValue(r, c))
+          << "cell (" << r << "," << c << "): "
+          << a.GetValue(r, c).ToString() << " vs "
+          << b.GetValue(r, c).ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(FrameReader, RoundTripsAndReassemblesPartialReads) {
+  const std::string f1 = EncodeFrame(MessageType::kQuery, "SELECT 1");
+  const std::string f2 = EncodeFrame(MessageType::kClose, "");
+  const std::string stream = f1 + f2;
+
+  // Feed one byte at a time: frames must pop exactly when complete.
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char c : stream) {
+    reader.Feed(&c, 1);
+    Frame frame;
+    auto got = reader.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    if (*got) frames.push_back(std::move(frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kQuery);
+  EXPECT_EQ(frames[0].payload, "SELECT 1");
+  EXPECT_EQ(frames[1].type, MessageType::kClose);
+  EXPECT_EQ(frames[1].payload, "");
+  EXPECT_EQ(reader.buffered(), 0u);
+
+  // And both at once.
+  FrameReader bulk;
+  bulk.Feed(stream.data(), stream.size());
+  Frame frame;
+  ASSERT_TRUE(*bulk.Next(&frame));
+  EXPECT_EQ(frame.payload, "SELECT 1");
+  ASSERT_TRUE(*bulk.Next(&frame));
+  EXPECT_EQ(frame.type, MessageType::kClose);
+  EXPECT_FALSE(*bulk.Next(&frame));
+}
+
+TEST(FrameReader, RejectsOversizedAndZeroLengthFrames) {
+  // Length prefix beyond kMaxFrameBytes: rejected before buffering.
+  FrameReader reader;
+  const uint32_t huge = kMaxFrameBytes + 1;
+  char prefix[4];
+  std::memcpy(prefix, &huge, 4);  // little-endian host assumed in tests
+  reader.Feed(prefix, 4);
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  // The stream stays poisoned.
+  reader.Feed("xxxx", 4);
+  EXPECT_FALSE(reader.Next(&frame).ok());
+
+  FrameReader zero;
+  const char zeros[4] = {0, 0, 0, 0};
+  zero.Feed(zeros, 4);
+  EXPECT_FALSE(zero.Next(&frame).ok());
+}
+
+TEST(FrameReader, SurvivesRandomGarbage) {
+  std::mt19937 rng(20260726);
+  for (int trial = 0; trial < 200; ++trial) {
+    FrameReader reader;
+    const size_t len = rng() % 300;
+    std::string junk(len, '\0');
+    for (char& c : junk) c = static_cast<char>(rng());
+    reader.Feed(junk.data(), junk.size());
+    // Drain: every outcome (frame, need-more, error) is acceptable;
+    // the invariant is no crash and termination.
+    for (int i = 0; i < 64; ++i) {
+      Frame frame;
+      auto got = reader.Next(&frame);
+      if (!got.ok() || !*got) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive + object codecs
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, ValueRoundTripsEveryTypeIncludingNull) {
+  const std::vector<Value> values = {
+      Value::Null(),        Value(int64_t(-42)), Value(int64_t(0)),
+      Value(3.14159),       Value(-0.0),         Value(std::string("hello")),
+      Value(std::string("")), Value(true),       Value(false),
+  };
+  for (const Value& v : values) {
+    WireWriter w;
+    EncodeValue(v, &w);
+    WireReader r(w.buffer());
+    auto decoded = DecodeValue(&r);
+    ASSERT_TRUE(decoded.ok()) << v.ToString();
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(v.type(), decoded->type());
+    if (!v.is_null()) EXPECT_TRUE(v == *decoded) << v.ToString();
+  }
+}
+
+TEST(WireCodec, ValueRejectsUnknownTagAndTruncation) {
+  WireReader bad_tag(std::string_view("\x09", 1));
+  EXPECT_FALSE(DecodeValue(&bad_tag).ok());
+
+  WireWriter w;
+  EncodeValue(Value(std::string("abcdef")), &w);
+  // Truncate at every prefix length: must error, never crash.
+  for (size_t cut = 0; cut < w.buffer().size(); ++cut) {
+    WireReader r(std::string_view(w.buffer().data(), cut));
+    EXPECT_FALSE(DecodeValue(&r).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireCodec, StatusRoundTripsAndRejectsUnknownCode) {
+  const Status s = Status::ExecutionError("division by zero");
+  WireWriter w;
+  EncodeStatus(s, &w);
+  WireReader r(w.buffer());
+  Status decoded;
+  ASSERT_TRUE(DecodeStatus(&r, &decoded).ok());
+  EXPECT_TRUE(s == decoded);
+
+  WireReader bad(std::string_view("\xff\x00\x00\x00\x00", 5));
+  Status out;
+  EXPECT_FALSE(DecodeStatus(&bad, &out).ok());
+}
+
+TEST(WireCodec, TableRoundTripsAllColumnTypes) {
+  const Table t = MakeSampleTable();
+  WireWriter w;
+  EncodeTable(t, &w);
+  WireReader r(w.buffer());
+  auto decoded = DecodeTable(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(r.AtEnd());
+  ExpectTablesIdentical(t, *decoded);
+}
+
+TEST(WireCodec, TableRoundTripsEmptyAndZeroRowTables) {
+  {
+    WireWriter w;
+    EncodeTable(Table(), &w);
+    WireReader r(w.buffer());
+    auto decoded = DecodeTable(&r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->num_rows(), 0u);
+    EXPECT_EQ(decoded->num_columns(), 0u);
+  }
+  {
+    Table t(Schema({{"s", DataType::kString}, {"x", DataType::kInt64}}));
+    WireWriter w;
+    EncodeTable(t, &w);
+    WireReader r(w.buffer());
+    auto decoded = DecodeTable(&r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectTablesIdentical(t, *decoded);
+  }
+}
+
+TEST(WireCodec, TableRejectsHostileDeclaredSizes) {
+  // Row count far beyond the payload must fail before allocating.
+  WireWriter w;
+  w.PutU32(1);
+  w.PutString("c");
+  w.PutU8(static_cast<uint8_t>(DataType::kInt64));
+  w.PutU64(uint64_t(1) << 40);  // a terabyte of rows, no bytes behind it
+  WireReader r(w.buffer());
+  EXPECT_FALSE(DecodeTable(&r).ok());
+
+  // Column count beyond the payload too.
+  WireWriter w2;
+  w2.PutU32(0xffffffffu);
+  WireReader r2(w2.buffer());
+  EXPECT_FALSE(DecodeTable(&r2).ok());
+
+  // Dictionary code out of range.
+  WireWriter w3;
+  w3.PutU32(1);
+  w3.PutString("s");
+  w3.PutU8(static_cast<uint8_t>(DataType::kString));
+  w3.PutU64(1);
+  w3.PutU32(1);      // dict size 1
+  w3.PutString("a");
+  w3.PutU32(7);      // code 7 out of range
+  WireReader r3(w3.buffer());
+  EXPECT_FALSE(DecodeTable(&r3).ok());
+}
+
+TEST(WireCodec, TableTruncationsAlwaysError) {
+  WireWriter w;
+  EncodeTable(MakeSampleTable(), &w);
+  const std::string& full = w.buffer();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WireReader r(std::string_view(full.data(), cut));
+    EXPECT_FALSE(DecodeTable(&r).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireCodec, QueryOutcomeRoundTripsBothArms) {
+  {
+    QueryOutcome ok{Status::OK(), MakeSampleTable()};
+    auto decoded = DecodeResultReply(EncodeResultReply(ok));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_TRUE(decoded->ok());
+    ExpectTablesIdentical(ok.table, decoded->table);
+  }
+  {
+    QueryOutcome failed{Status::ParseError("unexpected token"), Table()};
+    auto decoded = DecodeResultReply(EncodeResultReply(failed));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(decoded->ok());
+    EXPECT_TRUE(decoded->status == failed.status);
+  }
+}
+
+TEST(WireCodec, MessagesRoundTrip) {
+  HelloRequest hello{kProtocolVersion, "unit-test"};
+  auto hello2 = DecodeHelloRequest(EncodeHelloRequest(hello));
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_EQ(hello2->version, hello.version);
+  EXPECT_EQ(hello2->client_name, hello.client_name);
+
+  HelloReply reply{kProtocolVersion, 17, "mosaic"};
+  auto reply2 = DecodeHelloReply(EncodeHelloReply(reply));
+  ASSERT_TRUE(reply2.ok());
+  EXPECT_EQ(reply2->session_id, 17u);
+
+  const std::vector<std::string> sqls = {"SELECT 1", "", "SHOW TABLES"};
+  auto batch2 = DecodeBatchRequest(EncodeBatchRequest(sqls));
+  ASSERT_TRUE(batch2.ok());
+  EXPECT_EQ(*batch2, sqls);
+
+  StatsSnapshot stats;
+  stats.queries_total = 101;
+  stats.protocol_errors = 3;
+  stats.connections_active = 2;
+  auto stats2 = DecodeStatsReply(EncodeStatsReply(stats));
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->queries_total, 101u);
+  EXPECT_EQ(stats2->protocol_errors, 3u);
+  EXPECT_EQ(stats2->connections_active, 2u);
+
+  Status carried;
+  ASSERT_TRUE(DecodeErrorReply(
+                  EncodeErrorReply(Status::InvalidArgument("nope")),
+                  &carried)
+                  .ok());
+  EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodec, BatchRequestRejectsHostileCount) {
+  WireWriter w;
+  w.PutU32(0xfffffff0u);
+  EXPECT_FALSE(DecodeBatchRequest(w.buffer()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized fuzz: mutated real frames through every decoder
+// ---------------------------------------------------------------------------
+
+TEST(WireCodecFuzz, MutatedPayloadsNeverCrashDecoders) {
+  std::mt19937 rng(987654321);
+  // Seed corpus: one valid payload per decoder.
+  const std::string result_payload =
+      EncodeResultReply({Status::OK(), MakeSampleTable()});
+  const std::string batch_payload = EncodeBatchResultReply(
+      {{Status::OK(), MakeSampleTable()},
+       {Status::ExecutionError("boom"), Table()}});
+  const std::string hello_payload =
+      EncodeHelloRequest({kProtocolVersion, "fuzz"});
+  const std::string stats_payload = EncodeStatsReply(StatsSnapshot{});
+
+  auto mutate = [&rng](std::string s) {
+    if (s.empty()) return s;
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0) {
+      s.resize(rng() % s.size());  // truncate
+    } else if (op == 1) {
+      s[rng() % s.size()] = static_cast<char>(rng());  // flip a byte
+    } else {
+      for (int i = 0; i < 8 && !s.empty(); ++i) {
+        s[rng() % s.size()] = static_cast<char>(rng());
+      }
+    }
+    return s;
+  };
+
+  for (int trial = 0; trial < 500; ++trial) {
+    // Outcomes don't matter (a mutation can stay valid); the decoders
+    // must terminate with either a value or a Status.
+    (void)DecodeResultReply(mutate(result_payload));
+    (void)DecodeBatchResultReply(mutate(batch_payload));
+    (void)DecodeHelloRequest(mutate(hello_payload));
+    (void)DecodeStatsReply(mutate(stats_payload));
+    (void)DecodeBatchRequest(mutate(batch_payload));
+    (void)DecodeQueryRequest(mutate(hello_payload));
+  }
+
+  // Pure-random payloads as well.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string junk(rng() % 200, '\0');
+    for (char& c : junk) c = static_cast<char>(rng());
+    (void)DecodeResultReply(junk);
+    (void)DecodeBatchResultReply(junk);
+    (void)DecodeHelloRequest(junk);
+    (void)DecodeStatsReply(junk);
+    Status out;
+    (void)DecodeErrorReply(junk, &out);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mosaic

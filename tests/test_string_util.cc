@@ -64,6 +64,27 @@ TEST(StringUtil, FormatDoubleTrimsZeros) {
   EXPECT_EQ(FormatDouble(-2.50), "-2.5");
 }
 
+TEST(StringUtil, ParseUint64AcceptsStrictDecimal) {
+  auto expect_value = [](const char* s, uint64_t want) {
+    auto r = ParseUint64(s);
+    ASSERT_TRUE(r.ok()) << s << " -> " << r.status().ToString();
+    EXPECT_EQ(*r, want) << s;
+  };
+  expect_value("0", 0);
+  expect_value("42", 42);
+  expect_value("  7 ", 7);           // surrounding whitespace ok
+  expect_value("18446744073709551615", UINT64_MAX);
+}
+
+TEST(StringUtil, ParseUint64RejectsGarbageSignsAndOverflow) {
+  for (const char* bad :
+       {"", "   ", "-1", "+1", "1e6", "80x", "x80", "4 2", "0.5",
+        "18446744073709551616",            // UINT64_MAX + 1
+        "99999999999999999999999999"}) {  // way past
+    EXPECT_FALSE(ParseUint64(bad).ok()) << "'" << bad << "'";
+  }
+}
+
 TEST(StringUtil, RenderTableAligns) {
   std::string out = RenderTable({"a", "long_header"},
                                 {{"1", "2"}, {"333", "4"}});

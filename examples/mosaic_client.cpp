@@ -146,7 +146,9 @@ int main(int argc, char** argv) {
           "%llu active, %llu rejected\n"
           "result_cache: %llu hits / %llu misses (%llu entries); "
           "model_cache: %llu hits, %llu trained\n"
-          "frames: %llu in / %llu out, %llu protocol errors\n",
+          "frames: %llu in / %llu out, %llu protocol errors\n"
+          "weights: %llu epochs published; refits %llu total / "
+          "%llu skipped / %llu incremental\n",
           (unsigned long long)stats->queries_total,
           (unsigned long long)stats->queries_failed,
           (unsigned long long)stats->reads,
@@ -163,7 +165,11 @@ int main(int argc, char** argv) {
           (unsigned long long)stats->model_cache_insertions,
           (unsigned long long)stats->frames_received,
           (unsigned long long)stats->frames_sent,
-          (unsigned long long)stats->protocol_errors);
+          (unsigned long long)stats->protocol_errors,
+          (unsigned long long)stats->weight_epochs_published,
+          (unsigned long long)stats->weight_refits_total,
+          (unsigned long long)stats->weight_refits_skipped,
+          (unsigned long long)stats->weight_refits_incremental);
     }
   }
   if (client.connected()) (void)client.Close();

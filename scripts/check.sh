@@ -26,33 +26,43 @@ run_suite() {
 # loopback port, run the client smoke workload (mixed visibility
 # levels, one BATCH frame, STATS), then SIGTERM and require a clean
 # drain (exit 0). Exercises the full socket path the unit tests mock
-# at most one layer of.
+# at most one layer of. Startup races a busy host for its port: when
+# the server fails to come up (or the port it grabbed is stolen
+# before the client connects), retry the whole leg with a fresh
+# ephemeral port instead of failing outright.
 run_server_e2e() {
   local name="$1" build_dir="$2"
   echo "=== ${name}: server E2E ==="
   local port_file="${build_dir}/server_e2e.port"
-  rm -f "${port_file}"
-  "${build_dir}/mosaic_serve" --demo-world --port=0 \
-    --port-file="${port_file}" &
-  local server_pid=$!
-  for _ in $(seq 1 100); do
-    [[ -s "${port_file}" ]] && break
-    sleep 0.1
+  local attempts=3
+  for attempt in $(seq 1 "${attempts}"); do
+    rm -f "${port_file}"
+    "${build_dir}/mosaic_serve" --demo-world --port=0 \
+      --port-file="${port_file}" &
+    local server_pid=$!
+    for _ in $(seq 1 100); do
+      [[ -s "${port_file}" ]] && break
+      sleep 0.1
+    done
+    if [[ ! -s "${port_file}" ]]; then
+      echo "WARN: mosaic_serve did not come up (attempt ${attempt}/${attempts})" >&2
+      kill -9 "${server_pid}" 2>/dev/null || true
+      wait "${server_pid}" 2>/dev/null || true
+      continue
+    fi
+    if ! "${build_dir}/mosaic_client" --port="$(cat "${port_file}")" --smoke
+    then
+      echo "WARN: client smoke failed (attempt ${attempt}/${attempts})" >&2
+      kill -TERM "${server_pid}" 2>/dev/null || true
+      wait "${server_pid}" || true
+      continue
+    fi
+    kill -TERM "${server_pid}"
+    wait "${server_pid}"   # non-zero (unclean drain) fails the script
+    return 0
   done
-  if [[ ! -s "${port_file}" ]]; then
-    echo "ERROR: mosaic_serve did not come up" >&2
-    kill -9 "${server_pid}" 2>/dev/null || true
-    exit 1
-  fi
-  if ! "${build_dir}/mosaic_client" --port="$(cat "${port_file}")" --smoke
-  then
-    echo "ERROR: client smoke failed" >&2
-    kill -TERM "${server_pid}" 2>/dev/null || true
-    wait "${server_pid}" || true
-    exit 1
-  fi
-  kill -TERM "${server_pid}"
-  wait "${server_pid}"   # non-zero (unclean drain) fails the script
+  echo "ERROR: server E2E failed after ${attempts} attempts" >&2
+  exit 1
 }
 
 run_suite "Release" build-release -DCMAKE_BUILD_TYPE=Release
@@ -65,6 +75,17 @@ run_server_e2e "Release" build-release
 echo "=== Release + MOSAIC_MORSELS=4: ctest ==="
 MOSAIC_MORSELS=4 ctest --test-dir build-release --output-on-failure \
   -j "${JOBS}"
+
+# Weight-epoch pinning must hold on all three exec paths. The morsel
+# leg above already raced it through morsel-split batch execution;
+# run the concurrency suite again through the row-path oracle, and
+# once more with morsels + row path combined for good measure.
+echo "=== Release + MOSAIC_ROW_PATH=1: weight-epoch concurrency ==="
+MOSAIC_ROW_PATH=1 ctest --test-dir build-release --output-on-failure \
+  -R 'test_(weight_epochs|service)'
+echo "=== Release + MOSAIC_MORSELS=4 + MOSAIC_ROW_PATH=1: weight-epoch concurrency ==="
+MOSAIC_MORSELS=4 MOSAIC_ROW_PATH=1 ctest --test-dir build-release \
+  --output-on-failure -R 'test_(weight_epochs|service)'
 
 run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=address
@@ -80,13 +101,13 @@ if [[ "${1:-}" != "fast" ]]; then
     -DMOSAIC_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target \
     test_thread_pool test_lru_cache test_service test_sql_fuzz \
-    test_net_e2e
+    test_net_e2e test_weight_epochs
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs)'
   # And once more with engine-wide morsels on, so every service-level
   # query also fans intra-query morsels across the request pool.
   MOSAIC_MORSELS=4 ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs)'
 fi
 
 echo "All checks passed."

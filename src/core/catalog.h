@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/weights.h"
 #include "sql/ast.h"
 #include "stats/marginal.h"
 #include "storage/table.h"
@@ -43,7 +44,10 @@ struct SampleInfo {
   std::string population;
   Schema schema;
   Table data;
-  std::vector<double> weights;
+  /// Versioned copy-on-write per-tuple weights (§3.2). Readers pin
+  /// one immutable epoch per query; refits publish the next epoch
+  /// without disturbing pinned readers (core/weights.h).
+  WeightStore weights;
   sql::MechanismSpec mechanism;
   /// Defining predicate over the GP (e.g. email = 'Yahoo'), may be
   /// null.

@@ -251,15 +251,18 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
     }
     MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                             catalog_.GetSample(stmt.from));
+    // Pin one weight epoch for the whole query: concurrent refits
+    // publish new epochs without perturbing this reader.
+    WeightEpochPtr epoch = sample->weights.Pin();
     if (force_row_exec_) {
       MOSAIC_ASSIGN_OR_RETURN(Table with_w,
-                              WithWeights(sample->data, sample->weights));
+                              WithWeights(sample->data, epoch->weights));
       exec::ExecOptions opts;
       opts.use_row_path = true;
       return exec::ExecuteSelect(with_w, stmt, opts);
     }
     MOSAIC_ASSIGN_OR_RETURN(TableView view,
-                            MakeWeightedView(sample->data, sample->weights));
+                            MakeWeightedView(sample->data, epoch->weights));
     return exec::ExecuteSelect(view, SelectionVector::All(view.num_rows()),
                                stmt, BatchExecOptions());
   }
@@ -284,7 +287,10 @@ Result<SampleInfo*> Database::ChooseSample(const PopulationInfo& population) {
   if (union_samples_ && samples.size() > 1) {
     // §7 "Multiple Samples": union all same-schema samples and let
     // the debiasing reweight the combined tuples. Rebuild the scratch
-    // union only when the constituent samples changed.
+    // union only when the constituent samples changed. The rebuild
+    // mutates engine state, which is why the service runs *every*
+    // statement — SELECTs included — under the exclusive lock in
+    // union mode (QueryService::Run checks union_samples()).
     std::string key = ToLower(gp_name);
     for (SampleInfo* s : samples) {
       key += "|" + ToLower(s->name) + ":" +
@@ -304,7 +310,7 @@ Result<SampleInfo*> Database::ChooseSample(const PopulationInfo& population) {
         }
         MOSAIC_RETURN_IF_ERROR(merged.data.Concat(s->data));
       }
-      merged.weights.assign(merged.data.num_rows(), 1.0);
+      merged.weights.Reset(merged.data.num_rows());
       union_scratch_ = std::move(merged);
       union_scratch_key_ = key;
     }
@@ -402,14 +408,19 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
     }
     case sql::Visibility::kSemiOpen: {
       MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
-      MOSAIC_RETURN_IF_ERROR(ReweightForPopulation(population->name).status());
-      // ReweightForPopulation stored per-tuple weights on the sample;
-      // restrict to the population and answer over the weighted view
-      // (the weights live beside the sample and are attached as an
-      // external span — the sample tuples are never copied).
+      // The refit publishes (or no-op reuses) a weight epoch and pins
+      // it; the query answers over exactly that epoch, so a racing
+      // refit for another population over the same sample cannot
+      // inject its weights mid-query. Restrict to the population and
+      // answer over the weighted view (the pinned weights are
+      // attached as an external span — the sample tuples are never
+      // copied).
+      stats::IpfReport report;
+      MOSAIC_ASSIGN_OR_RETURN(WeightEpochPtr epoch,
+                              ReweightAndPin(population->name, &report));
       if (force_row_exec_) {
         MOSAIC_ASSIGN_OR_RETURN(Table with_w,
-                                WithWeights(sample->data, sample->weights));
+                                WithWeights(sample->data, epoch->weights));
         MOSAIC_ASSIGN_OR_RETURN(Table restricted,
                                 RestrictToPopulation(with_w, *population));
         exec::ExecOptions opts;
@@ -418,7 +429,7 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
         return exec::ExecuteSelect(restricted, stmt, opts);
       }
       MOSAIC_ASSIGN_OR_RETURN(TableView view,
-                              MakeWeightedView(sample->data, sample->weights));
+                              MakeWeightedView(sample->data, epoch->weights));
       MOSAIC_ASSIGN_OR_RETURN(SelectionVector sel,
                               PopulationSelection(view, *population));
       exec::ExecOptions opts = BatchExecOptions();
@@ -520,22 +531,85 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
 
 Result<stats::IpfReport> Database::ReweightForPopulation(
     const std::string& population_name) {
+  stats::IpfReport report;
+  MOSAIC_RETURN_IF_ERROR(ReweightAndPin(population_name, &report).status());
+  return report;
+}
+
+std::string Database::GpIpfFitSignature(size_t rows) const {
+  const stats::IpfOptions& ipf = semi_open_.ipf;
+  return "ipf-gp|n=" + std::to_string(rows) +
+         "|mv=" + std::to_string(metadata_version_.load()) +
+         "|it=" + std::to_string(ipf.max_iterations) +
+         "|tol=" + FormatDouble(ipf.tolerance, 17) +
+         "|scale=" + (ipf.scale_to_population ? "1" : "0");
+}
+
+std::string Database::PopulationIpfFitSignature(
+    const PopulationInfo& population, size_t rows) const {
+  const stats::IpfOptions& ipf = semi_open_.ipf;
+  return "ipf-pop|" + ToLower(population.name) + "|n=" +
+         std::to_string(rows) +
+         "|mv=" + std::to_string(metadata_version_.load()) +
+         "|it=" + std::to_string(ipf.max_iterations) +
+         "|tol=" + FormatDouble(ipf.tolerance, 17) +
+         "|scale=" + (ipf.scale_to_population ? "1" : "0");
+}
+
+WeightEpochPtr Database::PublishWeights(SampleInfo* sample,
+                                        std::vector<double> weights,
+                                        WeightFitInfo fit) {
+  bool published = false;
+  WeightEpochPtr epoch =
+      sample->weights.Publish(std::move(weights), std::move(fit), &published);
+  if (published) {
+    weight_epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return epoch;
+}
+
+Result<WeightEpochPtr> Database::ReweightAndPin(
+    const std::string& population_name, stats::IpfReport* report) {
   MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* population,
                           catalog_.GetPopulation(population_name));
   MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
+  const size_t rows = sample->data.num_rows();
+
+  // No-op refit detection: when the current epoch already holds the
+  // output of the exact computation this refit would run (same data
+  // size, marginal set, and IPF options — the fit signature), reuse
+  // it — no IPF cycles, no epoch swap, no cache invalidation.
+  // Convergence is not required: a cold refit is deterministic, so a
+  // matching signature implies it would reproduce these weights,
+  // converged or plateaued alike.
+  auto reuse_if_current = [&](const std::string& sig) -> WeightEpochPtr {
+    WeightEpochPtr cur = sample->weights.Pin();
+    if (cur->weights.size() == rows && cur->fit_signature == sig) {
+      weight_refits_skipped_.fetch_add(1, std::memory_order_relaxed);
+      report->converged = cur->fit_converged;
+      report->max_l1_error = cur->fit_error;
+      report->uncovered_target_mass = cur->fit_uncovered;
+      return cur;
+    }
+    return nullptr;
+  };
 
   // Known mechanism: Horvitz–Thompson, no marginals needed for the
   // uniform case (§4.1 "when the sampling mechanism is known ... we
   // use the known mechanism to reweight the sample by the inverse of
   // its inclusion probability").
   if (sample->mechanism.type == sql::MechanismSpec::Type::kUniform) {
+    std::string sig = "mech-uniform|p=" +
+                      FormatDouble(sample->mechanism.percent, 17) +
+                      "|n=" + std::to_string(rows);
+    if (WeightEpochPtr cur = reuse_if_current(sig)) return cur;
     MOSAIC_ASSIGN_OR_RETURN(
-        sample->weights,
-        stats::UniformMechanismWeights(sample->data.num_rows(),
-                                       sample->mechanism.percent));
-    stats::IpfReport report;
-    report.converged = true;
-    return report;
+        std::vector<double> weights,
+        stats::UniformMechanismWeights(rows, sample->mechanism.percent));
+    weight_refits_.fetch_add(1, std::memory_order_relaxed);
+    report->converged = true;
+    return PublishWeights(sample, std::move(weights),
+                          WeightFitInfo{sig, 0.0, 0.0, true});
   }
   if (sample->mechanism.type == sql::MechanismSpec::Type::kStratified) {
     // Inclusion probability per stratum needs the stratum sizes in
@@ -555,13 +629,18 @@ Result<stats::IpfReport> Database::ReweightForPopulation(
           "stratified mechanism on '" + sample->mechanism.stratify_attr +
           "' needs a 1-D GP marginal over that attribute");
     }
+    std::string sig = "mech-strat|" + ToLower(sample->mechanism.stratify_attr) +
+                      "|n=" + std::to_string(rows) +
+                      "|mv=" + std::to_string(metadata_version_.load());
+    if (WeightEpochPtr cur = reuse_if_current(sig)) return cur;
     MOSAIC_ASSIGN_OR_RETURN(
-        sample->weights,
+        std::vector<double> weights,
         stats::StratifiedMechanismWeights(
             sample->data, sample->mechanism.stratify_attr, *strat_marginal));
-    stats::IpfReport report;
-    report.converged = true;
-    return report;
+    weight_refits_.fetch_add(1, std::memory_order_relaxed);
+    report->converged = true;
+    return PublishWeights(sample, std::move(weights),
+                          WeightFitInfo{sig, 0.0, 0.0, true});
   }
 
   // Unknown mechanism: IPF against the marginals (Fig. 3).
@@ -569,18 +648,25 @@ Result<stats::IpfReport> Database::ReweightForPopulation(
   if (plan.reweight_to_global || population->global) {
     // Reweight the full sample to the GP; derived populations are
     // views over the reweighted sample.
-    std::vector<double> weights(sample->data.num_rows(), 1.0);
+    std::string sig = GpIpfFitSignature(rows);
+    if (WeightEpochPtr cur = reuse_if_current(sig)) return cur;
+    std::vector<double> weights(rows, 1.0);
     MOSAIC_ASSIGN_OR_RETURN(
-        auto report,
+        *report,
         stats::IterativeProportionalFit(sample->data, *plan.marginals,
                                         &weights, semi_open_.ipf));
-    sample->weights = std::move(weights);
-    return report;
+    weight_refits_.fetch_add(1, std::memory_order_relaxed);
+    return PublishWeights(
+        sample, std::move(weights),
+        WeightFitInfo{std::move(sig), report->max_l1_error,
+                      report->uncovered_target_mass, report->converged});
   }
   // Metadata on the query population itself: reweight the restricted
   // sample directly (bottom dashed line of Fig. 3). Weights of tuples
   // outside the population are zeroed — they do not represent any
   // population tuple.
+  std::string sig = PopulationIpfFitSignature(*population, rows);
+  if (WeightEpochPtr cur = reuse_if_current(sig)) return cur;
   MOSAIC_ASSIGN_OR_RETURN(Table restricted,
                           RestrictToPopulation(sample->data, *population));
   if (restricted.num_rows() == 0) {
@@ -590,24 +676,27 @@ Result<stats::IpfReport> Database::ReweightForPopulation(
   }
   std::vector<double> restricted_weights(restricted.num_rows(), 1.0);
   MOSAIC_ASSIGN_OR_RETURN(
-      auto report,
+      *report,
       stats::IterativeProportionalFit(restricted, *plan.marginals,
                                       &restricted_weights, semi_open_.ipf));
   // Map restricted weights back to the full sample.
-  std::vector<double> full(sample->data.num_rows(), 0.0);
+  std::vector<double> full(rows, 0.0);
   if (population->predicate == nullptr) {
     full.assign(restricted_weights.begin(), restricted_weights.end());
   } else {
     TableView view(sample->data);
     MOSAIC_ASSIGN_OR_RETURN(
-        SelectionVector rows,
+        SelectionVector keep,
         exec::SelectRows(view, *population->predicate));
-    for (size_t i = 0; i < rows.size(); ++i) {
-      full[rows[i]] = restricted_weights[i];
+    for (size_t i = 0; i < keep.size(); ++i) {
+      full[keep[i]] = restricted_weights[i];
     }
   }
-  sample->weights = std::move(full);
-  return report;
+  weight_refits_.fetch_add(1, std::memory_order_relaxed);
+  return PublishWeights(
+      sample, std::move(full),
+      WeightFitInfo{std::move(sig), report->max_l1_error,
+                    report->uncovered_target_mass, report->converged});
 }
 
 Result<Database::OpenWorldModel> Database::PrepareOpenWorldModel(
@@ -725,11 +814,16 @@ Status Database::ExecuteCreateTable(const sql::CreateTableStmt& stmt) {
   for (const auto& def : stmt.columns) {
     MOSAIC_RETURN_IF_ERROR(schema.AddColumn(def));
   }
-  return catalog_.AddTable(stmt.name, Table(std::move(schema)));
+  MOSAIC_RETURN_IF_ERROR(
+      catalog_.AddTable(stmt.name, Table(std::move(schema))));
+  BumpCatalogVersion();
+  return Status::OK();
 }
 
 Status Database::CreateTable(const std::string& name, Table table) {
-  return catalog_.AddTable(name, std::move(table));
+  MOSAIC_RETURN_IF_ERROR(catalog_.AddTable(name, std::move(table)));
+  BumpCatalogVersion();
+  return Status::OK();
 }
 
 Status Database::ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt) {
@@ -746,7 +840,9 @@ Status Database::ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt) {
       MOSAIC_RETURN_IF_ERROR(schema.AddColumn(def));
     }
     info.schema = std::move(schema);
-    return catalog_.AddPopulation(std::move(info));
+    MOSAIC_RETURN_IF_ERROR(catalog_.AddPopulation(std::move(info)));
+    BumpCatalogVersion();
+    return Status::OK();
   }
   // Derived population: defined by a SELECT over the GP (§3.1 "the
   // population must be defined with a SELECT statement over a global
@@ -783,7 +879,9 @@ Status Database::ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt) {
   if (sel->where != nullptr) {
     info.predicate = sel->where->Clone();
   }
-  return catalog_.AddPopulation(std::move(info));
+  MOSAIC_RETURN_IF_ERROR(catalog_.AddPopulation(std::move(info)));
+  BumpCatalogVersion();
+  return Status::OK();
 }
 
 Status Database::ExecuteCreateSample(sql::CreateSampleStmt* stmt) {
@@ -828,7 +926,9 @@ Status Database::ExecuteCreateSample(sql::CreateSampleStmt* stmt) {
     info.predicate = sel->where->Clone();
   }
   info.mechanism = stmt->mechanism;
-  return catalog_.AddSample(std::move(info));
+  MOSAIC_RETURN_IF_ERROR(catalog_.AddSample(std::move(info)));
+  BumpCatalogVersion();
+  return Status::OK();
 }
 
 Status Database::ExecuteCreateMetadata(sql::CreateMetadataStmt* stmt) {
@@ -869,7 +969,62 @@ Status Database::RegisterMarginal(const std::string& population,
   }
   pop->metadata_names.push_back(metadata_name);
   pop->marginals.push_back(std::move(marginal));
+  BumpCatalogVersion();
+  // Fit signatures embed the metadata version: weights fitted to the
+  // old marginal set can no longer satisfy a no-op refit check.
+  BumpMetadataVersion();
   InvalidateModelCache();
+  return Status::OK();
+}
+
+Status Database::ExtendWeightsAfterIngest(SampleInfo* sample,
+                                          const WeightEpochPtr& prev) {
+  const size_t rows = sample->data.num_rows();
+  // Incremental IPF (ROADMAP: "incremental IPF on sample ingest"):
+  // when the outgoing epoch was a converged GP-level fit, warm-start
+  // the refit from it instead of leaving the sample unfitted for the
+  // next SEMI-OPEN query to cold-refit. The published epoch carries
+  // the fresh GP fit signature, so that query then skips its refit
+  // entirely. Falls back to a cold full fit inside
+  // IncrementalProportionalFit when the warm fit regresses.
+  if (semi_open_.incremental_ingest &&
+      prev->fit_signature.compare(0, 7, "ipf-gp|") == 0) {
+    auto gp = catalog_.GlobalPopulation();
+    if (gp.ok() && !(*gp)->marginals.empty()) {
+      stats::IpfOptions ipf = semi_open_.ipf;
+      if (ipf.incremental_regress_threshold <= 0.0) {
+        // Default acceptance: the warm fit may plateau no worse than
+        // twice the outgoing epoch's error (plus tolerance) —
+        // uncovered marginal mass floors the achievable error for
+        // warm and cold fits alike, so requiring convergence would
+        // reject warm fits exactly where cold refits cannot converge
+        // either.
+        ipf.incremental_regress_threshold =
+            2.0 * prev->fit_error + ipf.tolerance;
+      }
+      std::vector<double> fitted;
+      auto fit = stats::IncrementalProportionalFit(
+          sample->data, (*gp)->marginals, prev->weights, &fitted, ipf);
+      if (fit.ok()) {
+        weight_refits_.fetch_add(1, std::memory_order_relaxed);
+        if (!fit->fell_back_to_cold) {
+          weight_refits_incremental_.fetch_add(1, std::memory_order_relaxed);
+        }
+        PublishWeights(sample, std::move(fitted),
+                       WeightFitInfo{GpIpfFitSignature(rows),
+                                     fit->max_l1_error,
+                                     fit->uncovered_target_mass,
+                                     fit->converged});
+        return Status::OK();
+      }
+      // A failed fit (e.g. the new rows broke marginal overlap) falls
+      // through to the unfitted extension; the next SEMI-OPEN query
+      // surfaces the error.
+    }
+  }
+  std::vector<double> extended = prev->weights;
+  extended.resize(rows, 1.0);
+  PublishWeights(sample, std::move(extended));
   return Status::OK();
 }
 
@@ -877,38 +1032,61 @@ Status Database::IngestSample(const std::string& sample_name,
                               const Table& rows) {
   MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                           catalog_.GetSample(sample_name));
-  for (size_t r = 0; r < rows.num_rows(); ++r) {
+  WeightEpochPtr prev = sample->weights.Pin();
+  // A mid-loop failure still leaves the earlier rows appended, so the
+  // version bump and the weight-epoch extension must run regardless —
+  // otherwise stale stamped cache entries keep matching and the
+  // current epoch stays shorter than the data, breaking every
+  // subsequent read of the sample.
+  Status ingest = Status::OK();
+  for (size_t r = 0; ingest.ok() && r < rows.num_rows(); ++r) {
     // Map by column name so ingests tolerate column order changes.
     std::vector<Value> row(sample->schema.num_columns());
-    for (size_t c = 0; c < sample->schema.num_columns(); ++c) {
-      MOSAIC_ASSIGN_OR_RETURN(
-          size_t src, rows.schema().ColumnIndex(sample->schema.column(c).name));
-      row[c] = rows.GetValue(r, src);
+    for (size_t c = 0; ingest.ok() && c < sample->schema.num_columns();
+         ++c) {
+      auto src = rows.schema().ColumnIndex(sample->schema.column(c).name);
+      if (!src.ok()) {
+        ingest = src.status();
+        break;
+      }
+      row[c] = rows.GetValue(r, *src);
     }
-    MOSAIC_RETURN_IF_ERROR(sample->data.AppendRow(row));
-    sample->weights.push_back(1.0);
+    if (ingest.ok()) ingest = sample->data.AppendRow(row);
   }
+  BumpCatalogVersion();
   InvalidateModelCache();
-  return Status::OK();
+  Status extend = ExtendWeightsAfterIngest(sample, prev);
+  return ingest.ok() ? extend : ingest;
 }
 
 Status Database::ExecuteInsert(const sql::InsertStmt& stmt) {
   if (catalog_.HasTable(stmt.table)) {
     MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.table));
+    // Bump even when a later row fails: the earlier rows landed, and
+    // stamped cache entries for this table are stale either way.
+    Status insert = Status::OK();
     for (const auto& row : stmt.rows) {
-      MOSAIC_RETURN_IF_ERROR(table->AppendRow(row));
+      insert = table->AppendRow(row);
+      if (!insert.ok()) break;
     }
-    return Status::OK();
+    BumpCatalogVersion();
+    return insert;
   }
   if (catalog_.HasSample(stmt.table)) {
     MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                             catalog_.GetSample(stmt.table));
+    WeightEpochPtr prev = sample->weights.Pin();
+    Status insert = Status::OK();
     for (const auto& row : stmt.rows) {
-      MOSAIC_RETURN_IF_ERROR(sample->data.AppendRow(row));
-      sample->weights.push_back(1.0);
+      insert = sample->data.AppendRow(row);
+      if (!insert.ok()) break;
     }
+    // As in IngestSample: keep version, model cache, and weight-epoch
+    // length consistent with whatever actually landed.
+    BumpCatalogVersion();
     InvalidateModelCache();
-    return Status::OK();
+    Status extend = ExtendWeightsAfterIngest(sample, prev);
+    return insert.ok() ? extend : insert;
   }
   return Status::NotFound("no table or sample named '" + stmt.table + "'");
 }
@@ -922,7 +1100,10 @@ Status Database::ExecuteCopy(const sql::CopyStmt& stmt) {
     buf << in.rdbuf();
     MOSAIC_ASSIGN_OR_RETURN(Table loaded,
                             ReadCsv(buf.str(), table->schema()));
-    return table->Concat(loaded);
+    // Bump even on a failed Concat — it may have partially applied.
+    Status concat = table->Concat(loaded);
+    BumpCatalogVersion();
+    return concat;
   }
   if (catalog_.HasSample(stmt.table)) {
     MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
@@ -953,9 +1134,11 @@ Status Database::ExecuteDrop(const sql::DropStmt& stmt) {
       break;
     case sql::DropStmt::Target::kMetadata:
       status = catalog_.DropMetadata(stmt.name);
+      if (status.ok()) BumpMetadataVersion();
       InvalidateModelCache();
       break;
   }
+  if (status.ok()) BumpCatalogVersion();
   if (!status.ok() && stmt.if_exists &&
       status.code() == StatusCode::kNotFound) {
     return Status::OK();
@@ -1054,9 +1237,14 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   if (catalog_.HasSample(stmt.table)) {
     MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                             catalog_.GetSample(stmt.table));
+    // Copy-on-write: evaluate all assignments against the pinned
+    // epoch, apply them to a copy, and publish the copy as the next
+    // epoch. A failing expression publishes nothing, and concurrent
+    // readers keep the epoch they pinned.
+    WeightEpochPtr prev = sample->weights.Pin();
     if (force_row_exec_) {
       MOSAIC_ASSIGN_OR_RETURN(Table with_w,
-                              WithWeights(sample->data, sample->weights));
+                              WithWeights(sample->data, prev->weights));
       std::vector<size_t> rows;
       if (stmt.where != nullptr) {
         MOSAIC_ASSIGN_OR_RETURN(rows, exec::FilterRows(with_w, *stmt.where));
@@ -1065,10 +1253,6 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
         std::iota(rows.begin(), rows.end(), size_t{0});
       }
       exec::Binder binder(&with_w.schema());
-      // Evaluate every assignment over every row before writing any,
-      // so a failing expression leaves the weights untouched — the
-      // same state the batch path (whole-batch evaluation) leaves
-      // behind.
       std::vector<std::vector<double>> new_weights;
       for (const auto& [col_name, expr] : stmt.assignments) {
         if (!EqualsIgnoreCase(col_name, kWeightColumn)) {
@@ -1086,22 +1270,23 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
         }
         new_weights.push_back(std::move(values));
       }
+      std::vector<double> next = prev->weights;
       for (const auto& values : new_weights) {
         for (size_t i = 0; i < rows.size(); ++i) {
           if (values[i] < 0.0) {
             return Status::InvalidArgument("weights must be non-negative");
           }
-          sample->weights[rows[i]] = values[i];
+          next[rows[i]] = values[i];
         }
       }
+      PublishWeights(sample, std::move(next));
       return Status::OK();
     }
-    // Batch path: weighted zero-copy view; assignments are evaluated
-    // as whole batches against the pre-update weights (the row path
-    // reads a snapshot copy, so batches are computed before any write
-    // lands), then written back in row order.
+    // Batch path: weighted zero-copy view over the pinned epoch;
+    // assignments are evaluated as whole batches against the
+    // pre-update weights, then written into the copy in row order.
     MOSAIC_ASSIGN_OR_RETURN(TableView view,
-                            MakeWeightedView(sample->data, sample->weights));
+                            MakeWeightedView(sample->data, prev->weights));
     SelectionVector rows = SelectionVector::All(view.num_rows());
     if (stmt.where != nullptr) {
       MOSAIC_ASSIGN_OR_RETURN(rows, exec::SelectRows(view, *stmt.where));
@@ -1118,14 +1303,16 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
                               exec::EvalDoubleBatch(*bound, view, rows.rows()));
       new_weights.push_back(std::move(values));
     }
+    std::vector<double> next = prev->weights;
     for (const auto& values : new_weights) {
       for (size_t i = 0; i < rows.size(); ++i) {
         if (values[i] < 0.0) {
           return Status::InvalidArgument("weights must be non-negative");
         }
-        sample->weights[rows[i]] = values[i];
+        next[rows[i]] = values[i];
       }
     }
+    PublishWeights(sample, std::move(next));
     return Status::OK();
   }
   if (!catalog_.HasTable(stmt.table)) {
@@ -1163,7 +1350,70 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
     MOSAIC_RETURN_IF_ERROR(updated.AppendRow(row));
   }
   *table = std::move(updated);
+  BumpCatalogVersion();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Cache stamps and weight counters
+// ---------------------------------------------------------------------------
+
+Database::CacheStamp Database::StampFor(const sql::Statement& stmt) {
+  CacheStamp stamp;
+  stamp.catalog_version = catalog_version();
+  // §7 union mode rebuilds scratch state inside SELECT; results are
+  // not attributable to a stable (version, epoch) pair.
+  if (union_samples_) return stamp;
+  if (stmt.Is<sql::ShowStmt>()) {
+    stamp.cacheable = true;
+    return stamp;
+  }
+  if (!stmt.Is<sql::SelectStmt>()) return stamp;
+  const auto& sel = stmt.As<sql::SelectStmt>();
+  if (catalog_.HasTable(sel.from)) {
+    stamp.cacheable = true;
+    return stamp;
+  }
+  if (catalog_.HasSample(sel.from)) {
+    // Direct sample reads expose the managed weight column: the
+    // answer belongs to the sample's current epoch.
+    auto sample = catalog_.GetSample(sel.from);
+    if (!sample.ok()) return stamp;
+    stamp.weight_epoch = (*sample)->weights.epoch();
+    stamp.cacheable = true;
+    return stamp;
+  }
+  if (catalog_.HasPopulation(sel.from)) {
+    auto population = catalog_.GetPopulation(sel.from);
+    if (!population.ok()) return stamp;
+    if (sel.visibility == sql::Visibility::kSemiOpen) {
+      // SEMI-OPEN answers over the weights its refit publishes; the
+      // epoch tags cached entries so they go stale the moment the
+      // weights move on. CLOSED and OPEN population answers never
+      // read the sample weights, so their entries deliberately carry
+      // no epoch — a refit does not invalidate them (the
+      // over-invalidation this stamp scheme exists to stop).
+      auto sample = ChooseSample(**population);
+      if (!sample.ok()) return stamp;
+      stamp.weight_epoch = (*sample)->weights.epoch();
+    }
+    stamp.cacheable = true;
+    return stamp;
+  }
+  // Unknown relation: the query will fail; nothing worth caching.
+  return stamp;
+}
+
+Database::WeightCounters Database::WeightCountersSnapshot() const {
+  WeightCounters c;
+  c.epochs_published =
+      weight_epochs_published_.load(std::memory_order_relaxed);
+  c.refits_total = weight_refits_.load(std::memory_order_relaxed);
+  c.refits_skipped =
+      weight_refits_skipped_.load(std::memory_order_relaxed);
+  c.refits_incremental =
+      weight_refits_incremental_.load(std::memory_order_relaxed);
+  return c;
 }
 
 }  // namespace core

@@ -6,8 +6,10 @@
 //               no reweighting, no generated tuples.
 //   SEMI-OPEN — reweight the sample: Horvitz–Thompson when the
 //               mechanism is known (§4.1), IPF against the marginals
-//               otherwise. Fitted weights are written back to the
-//               sample's weight metadata, as §3.2 prescribes.
+//               otherwise. Fitted weights are published as the
+//               sample's next immutable weight epoch (§3.2 weight
+//               metadata; core/weights.h), so concurrent readers
+//               keep the epoch they pinned.
 //   OPEN      — additionally generate missing tuples with the M-SWG
 //               (§5) and answer over the weighted generated
 //               population.
@@ -19,6 +21,7 @@
 #ifndef MOSAIC_CORE_DATABASE_H_
 #define MOSAIC_CORE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,6 +48,14 @@ namespace core {
 
 struct SemiOpenOptions {
   stats::IpfOptions ipf;
+  /// On sample ingest, when the previous weight epoch came from a
+  /// GP-level IPF fit (converged or plateaued — uncovered marginal
+  /// mass can keep even cold fits from converging), warm-start IPF
+  /// from it (extended with unit weights for the new rows) instead of
+  /// leaving the sample unfitted until the next SEMI-OPEN query
+  /// cold-refits it. Falls back to a cold refit when the warm fit
+  /// regresses (stats/ipf.h knobs).
+  bool incremental_ingest = true;
 };
 
 struct OpenOptions {
@@ -106,10 +117,47 @@ class Database {
                           stats::Marginal marginal);
 
   /// Compute SEMI-OPEN weights for `population`'s chosen sample and
-  /// store them in the sample's weight metadata. Returns the IPF
-  /// report (or a synthetic one for known mechanisms).
+  /// publish them as the sample's next weight epoch. Returns the IPF
+  /// report (or a synthetic one for known mechanisms). Refits whose
+  /// fit signature matches the current epoch (same debias path, data
+  /// size, metadata version and options — converged or plateaued
+  /// alike, since the rerun would reproduce the same fit) are no-ops:
+  /// nothing is recomputed or republished, so concurrent identical
+  /// refits collapse to one epoch. Thread-safe against concurrent
+  /// readers — they keep the epoch they pinned.
   Result<stats::IpfReport> ReweightForPopulation(
       const std::string& population);
+
+  /// Cache-key stamp for an already-parsed statement: the catalog
+  /// version plus (for statements that read a sample's weights or
+  /// data) the sample's current weight epoch. Two executions with
+  /// equal canonical SQL and equal stamps return identical results,
+  /// so the service keys its result cache on (SQL, stamp) and never
+  /// has to flush wholesale. `cacheable` is false when the answer
+  /// cannot be attributed to a (catalog version, epoch) pair — e.g.
+  /// §7 union-samples mode.
+  struct CacheStamp {
+    bool cacheable = false;
+    uint64_t catalog_version = 0;
+    uint64_t weight_epoch = 0;
+  };
+  CacheStamp StampFor(const sql::Statement& stmt);
+
+  /// Monotonic version of catalog structure + relation data (DDL,
+  /// ingest, metadata, aux-table DML). Weight publications do NOT
+  /// bump it — they are tracked per sample by weight epochs.
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregate counters over the versioned weight stores.
+  struct WeightCounters {
+    uint64_t epochs_published = 0;   ///< new epochs swapped in
+    uint64_t refits_total = 0;       ///< reweight computations run
+    uint64_t refits_skipped = 0;     ///< no-op refits (signature hit)
+    uint64_t refits_incremental = 0; ///< warm-started ingest refits
+  };
+  WeightCounters WeightCountersSnapshot() const;
 
   /// Train (or fetch the cached) M-SWG for the population and
   /// generate one weighted open-world table: `rows` generated tuples,
@@ -129,7 +177,12 @@ class Database {
   /// related samples and let IPF or the neural network reweight the
   /// tuples accordingly"). The unioned relation has no single
   /// mechanism, so reweighting always goes through IPF.
-  void set_union_samples(bool enabled) { union_samples_ = enabled; }
+  void set_union_samples(bool enabled) {
+    union_samples_ = enabled;
+    // Changes how population queries are answered; stamp-keyed cached
+    // results must not survive the flip.
+    BumpCatalogVersion();
+  }
   bool union_samples() const { return union_samples_; }
 
   /// Drop all cached trained generators (e.g. after new metadata).
@@ -212,6 +265,47 @@ class Database {
   /// the population's GP with the most rows.
   Result<SampleInfo*> ChooseSample(const PopulationInfo& population);
 
+  /// ReweightForPopulation's engine: refits (or no-op skips) and
+  /// returns the epoch holding the fitted weights, pinned — the
+  /// SEMI-OPEN query path answers over exactly this epoch even if a
+  /// concurrent refit for another population publishes over it.
+  Result<WeightEpochPtr> ReweightAndPin(const std::string& population_name,
+                                        stats::IpfReport* report);
+
+  /// Signatures of the reweighting computations ReweightAndPin can
+  /// run. A matching signature licenses the no-op refit skip: the
+  /// current epoch is already a fit of this exact (data size,
+  /// marginal set, IPF options) — bit-equal to what a cold refit
+  /// would produce when the epoch came from one (cold IPF is
+  /// deterministic), or an accepted warm-started fit of the same
+  /// constraints when it came from ingest-time incremental IPF
+  /// (which shares the GP-level signature by design: reusing the
+  /// incremental fit instead of re-running a cold one is the point).
+  std::string GpIpfFitSignature(size_t rows) const;
+  std::string PopulationIpfFitSignature(const PopulationInfo& population,
+                                        size_t rows) const;
+
+  /// Publish `weights` as `sample`'s next epoch, counting an actual
+  /// swap in the weight counters (a value-identical publication is a
+  /// no-op and counts nothing).
+  WeightEpochPtr PublishWeights(SampleInfo* sample,
+                                std::vector<double> weights,
+                                WeightFitInfo fit = WeightFitInfo());
+
+  /// After rows were appended to `sample`, publish the follow-up
+  /// weight epoch: a warm-started incremental IPF when the previous
+  /// epoch `prev` came from a GP-level fit (and the knob is on),
+  /// otherwise `prev`'s weights extended with unit weights.
+  Status ExtendWeightsAfterIngest(SampleInfo* sample,
+                                  const WeightEpochPtr& prev);
+
+  void BumpCatalogVersion() {
+    catalog_version_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpMetadataVersion() {
+    metadata_version_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Sample rows restricted to the population (applies the derived
   /// population's predicate); identity for the GP itself.
   Result<Table> RestrictToPopulation(const Table& sample_data,
@@ -277,6 +371,16 @@ class Database {
   std::mutex train_mu_;
   std::unordered_map<std::string, std::shared_ptr<std::mutex>>
       train_mutexes_;
+  /// Starts at 1 so a 0-valued stamp can never match a live catalog.
+  std::atomic<uint64_t> catalog_version_{1};
+  /// Bumped on metadata (marginal) registration/removal; part of fit
+  /// signatures so a refit never reuses weights fitted to dropped or
+  /// replaced marginals.
+  std::atomic<uint64_t> metadata_version_{1};
+  std::atomic<uint64_t> weight_epochs_published_{0};
+  std::atomic<uint64_t> weight_refits_{0};
+  std::atomic<uint64_t> weight_refits_skipped_{0};
+  std::atomic<uint64_t> weight_refits_incremental_{0};
   ThreadPool* gen_pool_ = nullptr;
   ThreadPool* morsel_pool_ = nullptr;
   size_t morsel_size_ = 0;

@@ -1,0 +1,157 @@
+// Versioned, copy-on-write sample weights.
+//
+// §3.2 stores per-tuple weights beside every sample, and SEMI-OPEN
+// queries refit them (IPF / known-mechanism reweighting) before
+// answering. Mutating the weight vector in place would force every
+// refit to serialize against all readers; instead each fitted weight
+// vector is published as an immutable WeightEpoch behind a
+// shared_ptr. Readers pin the current epoch once at query start and
+// keep using it — unperturbed — while a writer builds the next epoch
+// off to the side and swaps it in with a short critical section
+// (snapshot/epoch publication in the MVCC style of HyPer/Umbra-line
+// engines). Epoch ids are monotonic per store, which also gives the
+// query service a cheap cache-key component: a cached result tagged
+// with the epoch it was computed under can never be served once the
+// weights move on.
+//
+// An epoch optionally records *fit provenance*: which reweighting
+// computation produced it (a signature over the debias path, sample
+// size, metadata version and IPF options) and how well it fit. A
+// SEMI-OPEN refit whose signature matches the current epoch's is a
+// no-op — the weights it would compute are already published — so it
+// skips both the IPF cycles and the epoch swap, and every result
+// cached under this epoch stays valid.
+#ifndef MOSAIC_CORE_WEIGHTS_H_
+#define MOSAIC_CORE_WEIGHTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mosaic {
+namespace core {
+
+/// One immutable generation of a sample's per-tuple weights. Never
+/// modified after publication; readers hold it via shared_ptr for as
+/// long as a query runs, so eviction by a newer epoch cannot free the
+/// span under them.
+struct WeightEpoch {
+  /// Monotonically increasing per store; 0 is the initial (empty or
+  /// all-ones) epoch.
+  uint64_t id = 0;
+  std::vector<double> weights;
+  /// Non-empty when `weights` are the output of a reweighting
+  /// computation (see Database fit signatures); empty for manual
+  /// UPDATEs and plain unit-weight ingests.
+  std::string fit_signature;
+  /// Exit state of the fit that produced this epoch (max normalized
+  /// L1 marginal error, the irreducible uncovered target mass, and
+  /// the converged flag); meaningful only when fit_signature is
+  /// non-empty. A skipped no-op refit reports these back instead of
+  /// refitting.
+  double fit_error = 0.0;
+  double fit_uncovered = 0.0;
+  bool fit_converged = false;
+};
+
+using WeightEpochPtr = std::shared_ptr<const WeightEpoch>;
+
+/// Fit provenance attached to a publication.
+struct WeightFitInfo {
+  std::string signature;
+  double error = 0.0;
+  double uncovered = 0.0;
+  bool converged = false;
+};
+
+/// The versioned weight slot of one sample. Pin() and Publish() are
+/// safe to call concurrently from any number of threads; the critical
+/// section is a pointer swap, never a weight-vector copy. Move
+/// construction/assignment are NOT thread-safe and exist only for the
+/// serialized contexts that relocate whole SampleInfo objects
+/// (catalog registration, the union-scratch rebuild).
+class WeightStore {
+ public:
+  WeightStore() : current_(std::make_shared<const WeightEpoch>()) {}
+
+  WeightStore(WeightStore&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    current_ = std::move(other.current_);
+    other.current_ = std::make_shared<const WeightEpoch>();
+  }
+  WeightStore& operator=(WeightStore&& other) noexcept {
+    if (this != &other) {
+      WeightEpochPtr taken;
+      {
+        std::lock_guard<std::mutex> lock(other.mu_);
+        taken = std::move(other.current_);
+        other.current_ = std::make_shared<const WeightEpoch>();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = std::move(taken);
+    }
+    return *this;
+  }
+  WeightStore(const WeightStore&) = delete;
+  WeightStore& operator=(const WeightStore&) = delete;
+
+  /// The current epoch. A query pins exactly one epoch and reads all
+  /// weights from it, giving snapshot isolation against concurrent
+  /// publications.
+  WeightEpochPtr Pin() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Current epoch id without pinning.
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_->id;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_->weights.size();
+  }
+
+  /// Publish `weights` as the next epoch. When the values are
+  /// bit-identical to the current epoch's the publication is a no-op:
+  /// the existing epoch (id, provenance and all) stays current, so
+  /// results cached under it remain valid. Returns the epoch that is
+  /// current after the call; `published` (optional) reports whether a
+  /// new epoch was actually installed.
+  WeightEpochPtr Publish(std::vector<double> weights,
+                         WeightFitInfo fit = WeightFitInfo(),
+                         bool* published = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (weights == current_->weights) {
+      if (published != nullptr) *published = false;
+      return current_;
+    }
+    auto next = std::make_shared<WeightEpoch>();
+    next->id = current_->id + 1;
+    next->weights = std::move(weights);
+    next->fit_signature = std::move(fit.signature);
+    next->fit_error = fit.error;
+    next->fit_uncovered = fit.uncovered;
+    next->fit_converged = fit.converged;
+    current_ = std::move(next);
+    if (published != nullptr) *published = true;
+    return current_;
+  }
+
+  /// Reinitialize to `n` unit weights (sample creation / scratch
+  /// rebuild). Bumps the epoch unless already n ones.
+  void Reset(size_t n) { Publish(std::vector<double>(n, 1.0)); }
+
+ private:
+  mutable std::mutex mu_;
+  WeightEpochPtr current_;
+};
+
+}  // namespace core
+}  // namespace mosaic
+
+#endif  // MOSAIC_CORE_WEIGHTS_H_

@@ -550,7 +550,9 @@ std::string EncodeStatsReply(const StatsSnapshot& m) {
       m.model_cache_insertions, m.connections_opened,
       m.connections_active,   m.connections_rejected,
       m.frames_received,      m.frames_sent,
-      m.protocol_errors,
+      m.protocol_errors,      m.weight_epochs_published,
+      m.weight_refits_total,  m.weight_refits_skipped,
+      m.weight_refits_incremental,
   };
   constexpr size_t kNumFields = sizeof(fields) / sizeof(fields[0]);
   WireWriter w;
@@ -575,7 +577,9 @@ Result<StatsSnapshot> DecodeStatsReply(std::string_view payload) {
       &m.model_cache_insertions, &m.connections_opened,
       &m.connections_active,   &m.connections_rejected,
       &m.frames_received,      &m.frames_sent,
-      &m.protocol_errors,
+      &m.protocol_errors,      &m.weight_epochs_published,
+      &m.weight_refits_total,  &m.weight_refits_skipped,
+      &m.weight_refits_incremental,
   };
   constexpr size_t kNumFields = sizeof(fields) / sizeof(fields[0]);
   for (uint32_t i = 0; i < count; ++i) {

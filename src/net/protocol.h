@@ -234,6 +234,12 @@ struct StatsSnapshot {
   uint64_t frames_received = 0;
   uint64_t frames_sent = 0;
   uint64_t protocol_errors = 0;
+  /// Versioned weight-store activity (appended in protocol v1 — old
+  /// clients skip the tail, old servers leave these zero).
+  uint64_t weight_epochs_published = 0;
+  uint64_t weight_refits_total = 0;
+  uint64_t weight_refits_skipped = 0;
+  uint64_t weight_refits_incremental = 0;
 };
 
 std::string EncodeHelloRequest(const HelloRequest& m);

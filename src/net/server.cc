@@ -239,6 +239,10 @@ StatsSnapshot Server::Snapshot() const {
   snap.frames_received = nets.frames_received;
   snap.frames_sent = nets.frames_sent;
   snap.protocol_errors = nets.protocol_errors;
+  snap.weight_epochs_published = svc.weight_epochs_published;
+  snap.weight_refits_total = svc.weight_refits_total;
+  snap.weight_refits_skipped = svc.weight_refits_skipped;
+  snap.weight_refits_incremental = svc.weight_refits_incremental;
   return snap;
 }
 

@@ -107,6 +107,23 @@ std::vector<std::future<Result<Table>>> QueryService::SubmitBatch(
   return futures;
 }
 
+namespace {
+
+/// Result-cache key: canonical SQL tagged with the engine stamp. The
+/// unit separator only ever appears inside quoted string literals of
+/// canonicalized SQL, so the trailing stamp parses unambiguously.
+/// Entries are never flushed wholesale: a write bumps
+/// the catalog version and a refit bumps the sample's weight epoch,
+/// so stale entries simply stop matching and age out of the LRU while
+/// every unaffected entry keeps serving hits.
+std::string ComposeCacheKey(const std::string& canonical,
+                            const core::Database::CacheStamp& stamp) {
+  return canonical + '\x1f' + "v" + std::to_string(stamp.catalog_version) +
+         "w" + std::to_string(stamp.weight_epoch);
+}
+
+}  // namespace
+
 Result<Table> QueryService::Run(const std::string& sql,
                                 Session::State* session) {
   if (session != nullptr) {
@@ -130,18 +147,41 @@ Result<Table> QueryService::Run(const std::string& sql,
 
   if (treat_as_read) {
     reads_.fetch_add(1, std::memory_order_relaxed);
-    std::string key;
+    std::string canonical;
     if (auto canon = CanonicalizeSql(sql); canon.ok()) {
-      key = std::move(*canon);
-      if (auto cached = result_cache_.Get(key)) {
-        return Table(**cached);
-      }
+      canonical = std::move(*canon);
     }
     std::shared_lock<std::shared_mutex> read_lock(catalog_mu_);
+    // Stamped lookup under the shared lock: the stamp pins which
+    // catalog version and weight epoch the entry must have been
+    // computed under.
+    core::Database::CacheStamp stamp;
+    if (!canonical.empty()) {
+      stamp = db_.StampFor(stmt);
+      if (stamp.cacheable) {
+        if (auto cached = result_cache_.Get(ComposeCacheKey(canonical,
+                                                            stamp))) {
+          return Table(**cached);
+        }
+      }
+    }
     Result<Table> result = db_.ExecuteParsed(&stmt);
     if (!result.ok()) return fail(result.status());
-    if (!key.empty()) {
-      result_cache_.Put(key,
+    if (stamp.cacheable) {
+      // Keyed under the lookup stamp, never a re-read one: an entry
+      // can only be hit by statements that stamped the same (catalog
+      // version, epoch), i.e. that raced the same publications this
+      // execution did, and for those the pinned answer is a
+      // linearizable outcome. Re-stamping after execution could
+      // attribute the answer to an epoch published concurrently by an
+      // unrelated refit, serving it to strictly-later statements that
+      // would compute something else. The one cost: a SEMI-OPEN
+      // statement caches under its pre-refit epoch, so its first
+      // re-run at the post-refit epoch misses — but that re-run's
+      // refit no-op-skips (fit signatures, core/database.cc) and its
+      // Put then lands on the settled epoch, where every further
+      // repeat hits.
+      result_cache_.Put(ComposeCacheKey(canonical, stamp),
                         std::make_shared<const Table>(result.value()));
     }
     return result;
@@ -150,8 +190,9 @@ Result<Table> QueryService::Run(const std::string& sql,
   writes_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::shared_mutex> write_lock(catalog_mu_);
   Result<Table> result = db_.ExecuteParsed(&stmt);
-  // Catalog state may have changed; cached results are stale.
-  result_cache_.Clear();
+  // No cache flush: the write bumped the catalog version (or
+  // published a weight epoch), so every entry it could have staled is
+  // now unreachable by key. Unrelated entries keep their hits.
   if (!result.ok()) return fail(result.status());
   return result;
 }
@@ -171,6 +212,11 @@ ServiceStats QueryService::Stats() const {
   s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
   s.result_cache = result_cache_.Stats();
   s.model_cache = db_.ModelCacheStats();
+  core::Database::WeightCounters w = db_.WeightCountersSnapshot();
+  s.weight_epochs_published = w.epochs_published;
+  s.weight_refits_total = w.refits_total;
+  s.weight_refits_skipped = w.refits_skipped;
+  s.weight_refits_incremental = w.refits_incremental;
   return s;
 }
 

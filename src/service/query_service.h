@@ -2,11 +2,14 @@
 //
 // Threading model
 //   - A request pool runs submitted statements. Statements are
-//     classified up front (service/sql_canonical.h): reads (CLOSED /
-//     OPEN SELECTs, SHOW) execute under a shared lock, concurrently
-//     with each other; writers (DDL, DML, UPDATE, and SELECT
-//     SEMI-OPEN, which persists weights) take the lock exclusively,
-//     serializing catalog mutations.
+//     classified up front (service/sql_canonical.h): reads (SELECT at
+//     every visibility level, SHOW) execute under a shared lock,
+//     concurrently with each other — SEMI-OPEN included, because its
+//     refit publishes the fitted weights as an immutable
+//     copy-on-write epoch (core/weights.h) that swaps in without
+//     disturbing readers pinned to the previous one. Writers (DDL,
+//     DML, UPDATE) take the lock exclusively, serializing catalog
+//     mutations.
 //   - A second, dedicated generation pool is handed to the Database
 //     for parallel OPEN-query sample generation. Keeping the two
 //     pools separate means a request task blocking on generation
@@ -22,10 +25,14 @@
 // Caching
 //   - Model cache: the Database's bounded LRU of trained generators
 //     (shared across sessions; invalidated by metadata changes).
-//   - Result cache: canonicalized-SQL -> result table, bounded LRU.
-//     Only read-class statements are cached; any writer flushes it.
-//     OPEN answers are cacheable because generation seeds are
-//     deterministic (seed + sample index).
+//   - Result cache: (canonicalized SQL, catalog version, weight
+//     epoch) -> result table, bounded LRU. Only read-class statements
+//     are cached. Nothing is ever flushed wholesale: a write bumps
+//     the catalog version and a SEMI-OPEN refit bumps the sample's
+//     weight epoch, so exactly the stale entries stop matching and
+//     age out while unrelated entries keep serving hits. OPEN answers
+//     are cacheable because generation seeds are deterministic (seed
+//     + sample index).
 #ifndef MOSAIC_SERVICE_QUERY_SERVICE_H_
 #define MOSAIC_SERVICE_QUERY_SERVICE_H_
 
@@ -84,6 +91,11 @@ struct ServiceStats {
   uint64_t sessions_closed = 0;
   CacheStats result_cache;
   CacheStats model_cache;
+  /// Versioned weight-store activity (core/database.h).
+  uint64_t weight_epochs_published = 0;
+  uint64_t weight_refits_total = 0;
+  uint64_t weight_refits_skipped = 0;
+  uint64_t weight_refits_incremental = 0;
 };
 
 class QueryService;
@@ -153,10 +165,12 @@ class QueryService {
       const std::vector<std::string>& sqls);
 
   /// The owned engine, for programmatic setup (ingest, options).
-  /// Exclusive access — do not call while queries are in flight. The
-  /// SQL path flushes the result cache on writes, but mutations made
-  /// through this pointer bypass it: follow them with
-  /// InvalidateCaches() if the service already answered queries.
+  /// Exclusive access — do not call while queries are in flight.
+  /// Catalog and ingest mutations through this pointer bump the
+  /// engine's cache stamps like their SQL counterparts, but option
+  /// mutations (mutable_open_options and friends) do not: follow
+  /// those with InvalidateCaches() if the service already answered
+  /// queries.
   core::Database* database() { return &db_; }
 
   /// Drop both the result cache and the trained-model cache.

@@ -83,12 +83,12 @@ Result<std::string> CanonicalizeSql(const std::string& sql) {
 StatementClass ClassifyStatement(const sql::Statement& stmt) {
   if (stmt.Is<sql::ShowStmt>()) return StatementClass::kRead;
   if (stmt.Is<sql::SelectStmt>()) {
-    const auto& sel = stmt.As<sql::SelectStmt>();
-    // SEMI-OPEN persists the fitted weights on the sample (§3.2), so
-    // it is a writer despite being a SELECT.
-    return sel.visibility == sql::Visibility::kSemiOpen
-               ? StatementClass::kWrite
-               : StatementClass::kRead;
+    // Every SELECT — SEMI-OPEN included — is a shared-lock reader.
+    // SEMI-OPEN does persist fitted weights (§3.2), but it publishes
+    // them as a copy-on-write epoch that swaps in atomically
+    // (core/weights.h); classifying it as a writer would serialize
+    // every refit against all readers for no isolation gain.
+    return StatementClass::kRead;
   }
   return StatementClass::kWrite;
 }

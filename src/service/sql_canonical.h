@@ -20,18 +20,20 @@ Result<std::string> CanonicalizeSql(const std::string& sql);
 
 /// How the service must schedule a statement.
 enum class StatementClass {
-  /// Pure read over the catalog: runs under the shared lock and its
-  /// result may be cached (SELECT at CLOSED/OPEN visibility, SHOW).
+  /// Runs under the shared lock; its result may be cached (SELECT at
+  /// any visibility level, SHOW). SEMI-OPEN belongs here even though
+  /// it persists fitted weights (§3.2): weights are published as
+  /// immutable copy-on-write epochs (core/weights.h), a
+  /// self-synchronizing swap that never disturbs concurrent readers —
+  /// only catalog structure and sample data need the exclusive lock.
   kRead,
-  /// Mutates catalog state and runs exclusively: DDL/DML/UPDATE, and
-  /// SELECT SEMI-OPEN (it writes fitted weights back to the sample,
-  /// §3.2).
+  /// Mutates catalog state and runs exclusively: DDL/DML/UPDATE.
   kWrite,
 };
 
-/// Classify an already-parsed statement. OPEN queries count as
-/// reads: the only state they touch is the model cache, which
-/// synchronizes itself.
+/// Classify an already-parsed statement. OPEN queries count as reads
+/// (the model cache synchronizes itself), and so does SELECT
+/// SEMI-OPEN (epoch publication synchronizes itself; see above).
 StatementClass ClassifyStatement(const sql::Statement& stmt);
 
 /// Parse and classify one statement. Parse failures are returned

@@ -121,5 +121,61 @@ Result<IpfReport> IterativeProportionalFit(
   return report;
 }
 
+Result<IpfReport> IncrementalProportionalFit(
+    const Table& sample, const std::vector<Marginal>& marginals,
+    const std::vector<double>& previous_weights,
+    std::vector<double>* weights, const IpfOptions& options) {
+  if (weights == nullptr) {
+    return Status::InvalidArgument("weights must be non-null");
+  }
+  if (previous_weights.size() > sample.num_rows()) {
+    return Status::InvalidArgument(
+        "previous weights cover more rows than the sample");
+  }
+  // Seed: the previous epoch's fitted weights, unit weight for the
+  // newly ingested tail. IPF's fixpoint has the form w_i = seed_i *
+  // prod(cell factors), so a near-fitted seed leaves only the factors
+  // the new rows perturbed to be re-raked.
+  std::vector<double> warm(previous_weights);
+  warm.resize(sample.num_rows(), 1.0);
+  IpfOptions warm_opts = options;
+  if (options.incremental_max_iterations > 0) {
+    warm_opts.max_iterations = options.incremental_max_iterations;
+  }
+  auto warm_result =
+      IterativeProportionalFit(sample, marginals, &warm, warm_opts);
+  size_t warm_iterations = 0;
+  if (warm_result.ok()) {
+    IpfReport report = warm_result.value();
+    report.warm_started = true;
+    // With a threshold the warm fit is judged by its exit error alone
+    // — uncovered marginal mass can put a floor under the achievable
+    // error that keeps `converged` false for cold fits too, and a
+    // warm fit plateauing at the same floor is no regression. Without
+    // one, fall back whenever the warm fit failed to converge.
+    bool regressed = options.incremental_regress_threshold > 0.0
+                         ? report.max_l1_error >
+                               options.incremental_regress_threshold
+                         : !report.converged;
+    if (!regressed) {
+      *weights = std::move(warm);
+      return report;
+    }
+    warm_iterations = report.iterations;
+  }
+  // Warm attempt regressed (a seed can sit in a poorly covered corner
+  // of the marginal polytope) or errored outright (e.g. the seed has
+  // zero mass inside a marginal's support): cold full refit.
+  std::vector<double> cold(sample.num_rows(), 1.0);
+  MOSAIC_ASSIGN_OR_RETURN(
+      IpfReport cold_report,
+      IterativeProportionalFit(sample, marginals, &cold, options));
+  cold_report.warm_started = true;
+  cold_report.fell_back_to_cold = true;
+  cold_report.iterations += warm_iterations;
+  *weights = std::move(cold);
+  return cold_report;
+}
+
 }  // namespace stats
 }  // namespace mosaic

@@ -36,6 +36,17 @@ struct IpfOptions {
   /// marginal total — i.e. the weighted sample represents the
   /// population size, not the sample size.
   bool scale_to_population = true;
+  /// Knobs for IncrementalProportionalFit (warm-started refits on
+  /// sample ingest). Cycle budget for the warm attempt; 0 uses
+  /// max_iterations.
+  size_t incremental_max_iterations = 0;
+  /// Fall back to a cold full refit when the warm-started fit exits
+  /// with max_l1_error above this. When set it replaces the converged
+  /// flag as the acceptance test (uncovered marginal mass can floor
+  /// the achievable error above the convergence tolerance for warm
+  /// and cold fits alike); 0 falls back only when the warm fit failed
+  /// to converge.
+  double incremental_regress_threshold = 0.0;
 };
 
 struct IpfReport {
@@ -46,6 +57,14 @@ struct IpfReport {
   /// cells with zero sample coverage: reweighting can never recover
   /// it (SEMI-OPEN false negatives).
   double uncovered_target_mass = 0.0;
+  /// Set by IncrementalProportionalFit: a warm-seeded attempt ran
+  /// (the returned weights are cold-seeded anyway when
+  /// fell_back_to_cold is also set).
+  bool warm_started = false;
+  /// Set when the warm-started fit regressed past the threshold (or
+  /// failed to converge) and a cold full refit ran instead;
+  /// iterations then counts both attempts.
+  bool fell_back_to_cold = false;
 };
 
 /// Run IPF. `weights` must have one entry per sample row; it is used
@@ -54,6 +73,19 @@ struct IpfReport {
 /// support keep their weight for that marginal's update.
 Result<IpfReport> IterativeProportionalFit(
     const Table& sample, const std::vector<Marginal>& marginals,
+    std::vector<double>* weights, const IpfOptions& options = {});
+
+/// Incremental IPF for sample ingest: seed the fit from a previous
+/// epoch's fitted weights (`previous_weights`, covering the first
+/// rows of `sample`; newly ingested rows start at 1) instead of a
+/// cold all-ones start. Near-fitted seeds converge in a fraction of
+/// the cold cycle count. If the warm attempt fails to converge — or
+/// exits above options.incremental_regress_threshold — the function
+/// falls back to a cold full refit so the result is never worse than
+/// IterativeProportionalFit. `weights` receives the fitted weights.
+Result<IpfReport> IncrementalProportionalFit(
+    const Table& sample, const std::vector<Marginal>& marginals,
+    const std::vector<double>& previous_weights,
     std::vector<double>* weights, const IpfOptions& options = {});
 
 }  // namespace stats

@@ -278,11 +278,16 @@ TEST(WireCodec, MessagesRoundTrip) {
   stats.queries_total = 101;
   stats.protocol_errors = 3;
   stats.connections_active = 2;
+  stats.weight_epochs_published = 9;
+  stats.weight_refits_skipped = 4;
   auto stats2 = DecodeStatsReply(EncodeStatsReply(stats));
   ASSERT_TRUE(stats2.ok());
   EXPECT_EQ(stats2->queries_total, 101u);
   EXPECT_EQ(stats2->protocol_errors, 3u);
   EXPECT_EQ(stats2->connections_active, 2u);
+  // Appended tail fields (weight-store counters) round-trip too.
+  EXPECT_EQ(stats2->weight_epochs_published, 9u);
+  EXPECT_EQ(stats2->weight_refits_skipped, 4u);
 
   Status carried;
   ASSERT_TRUE(DecodeErrorReply(

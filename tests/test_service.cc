@@ -99,7 +99,9 @@ TEST(SqlCanonical, ClassifiesReadsAndWrites) {
   EXPECT_TRUE(read_class("SELECT CLOSED COUNT(*) FROM p"));
   EXPECT_TRUE(read_class("SELECT OPEN COUNT(*) FROM p"));
   EXPECT_TRUE(read_class("SHOW TABLES"));
-  EXPECT_FALSE(read_class("SELECT SEMI-OPEN COUNT(*) FROM p"));
+  // SEMI-OPEN persists weights, but as a copy-on-write epoch swap —
+  // it runs under the shared lock like every other SELECT.
+  EXPECT_TRUE(read_class("SELECT SEMI-OPEN COUNT(*) FROM p"));
   EXPECT_FALSE(read_class("INSERT INTO t VALUES (1)"));
   EXPECT_FALSE(read_class("CREATE TABLE t2 (a INT)"));
   EXPECT_FALSE(read_class("DROP TABLE t"));
@@ -251,7 +253,7 @@ TEST_F(ServiceTest, ResultCacheHitsOnEquivalentSql) {
   EXPECT_EQ(stats.insertions, 1u);
 }
 
-TEST_F(ServiceTest, WritesInvalidateTheResultCache) {
+TEST_F(ServiceTest, WritesMakeCachedResultsUnreachable) {
   auto before = service_->Execute("SELECT CLOSED COUNT(*) AS c FROM Things");
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->GetValue(0, 0).AsInt64(), 8);
@@ -259,9 +261,60 @@ TEST_F(ServiceTest, WritesInvalidateTheResultCache) {
       service_->Execute("INSERT INTO RedSample VALUES ('red','S')").ok());
   auto after = service_->Execute("SELECT CLOSED COUNT(*) AS c FROM Things");
   ASSERT_TRUE(after.ok());
-  // A stale cache would still answer 8.
+  // The INSERT bumped the catalog version, so the pre-insert entry no
+  // longer matches any key: a stale cache would still answer 8.
   EXPECT_EQ(after->GetValue(0, 0).AsInt64(), 9);
-  EXPECT_GE(service_->Stats().result_cache.invalidations, 1u);
+  // Nothing was flushed — the stale entry just stopped matching and
+  // a second entry was inserted under the new stamp.
+  CacheStats stats = service_->Stats().result_cache;
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.insertions, 2u);
+}
+
+// The headline regression for versioned cache keys: a SEMI-OPEN refit
+// publishes a new weight epoch for its sample, and cached results for
+// *unrelated* relations must keep serving hits (the old
+// clear-the-world invalidation evicted them all).
+TEST_F(ServiceTest, UnrelatedCachedQuerySurvivesSemiOpenRefit) {
+  const std::string unrelated = "SELECT COUNT(*) AS c FROM ColorReport";
+  ASSERT_TRUE(service_->Execute(unrelated).ok());
+  uint64_t hits_before = service_->Stats().result_cache.hits;
+
+  // A real refit: publishes a fresh weight epoch (the sample starts
+  // at unit weights, so this is not a no-op).
+  ASSERT_TRUE(
+      service_->Execute("SELECT SEMI-OPEN COUNT(*) FROM Things").ok());
+  EXPECT_GE(service_->Stats().weight_epochs_published, 1u);
+
+  auto again = service_->Execute(unrelated);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->GetValue(0, 0).AsInt64(), 2);
+  CacheStats stats = service_->Stats().result_cache;
+  EXPECT_EQ(stats.hits, hits_before + 1) << "refit evicted an unrelated "
+                                            "cached result";
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+// Re-running the same SEMI-OPEN statement must not republish: the
+// second refit's fit signature matches the current epoch, so it
+// no-ops (and the service answers the third run from the cache).
+TEST_F(ServiceTest, NoOpSemiOpenRefitSkipsEpochSwap) {
+  const std::string q = "SELECT SEMI-OPEN COUNT(*) AS c FROM Things";
+  auto first = service_->Execute(q);
+  ASSERT_TRUE(first.ok());
+  ServiceStats after_first = service_->Stats();
+  EXPECT_EQ(after_first.weight_refits_skipped, 0u);
+  uint64_t epochs = after_first.weight_epochs_published;
+
+  auto second = service_->Execute(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(TablesEqual(*first, *second));
+  ServiceStats after_second = service_->Stats();
+  EXPECT_EQ(after_second.weight_epochs_published, epochs);
+  // Second run was either a cache hit (no refit at all) or a skipped
+  // refit; both leave the epoch untouched.
+  EXPECT_GE(after_second.result_cache.hits + after_second.weight_refits_skipped,
+            1u);
 }
 
 TEST_F(ServiceTest, OpenQueryThroughServiceMatchesPlainEngine) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
@@ -59,7 +60,8 @@ Table MakeSynthetic(size_t rows) {
 }
 
 double RunTimedOpts(const Table& t, const sql::SelectStmt& stmt,
-                    const exec::ExecOptions& opts, int reps, Table* out) {
+                    const exec::ExecOptions& opts, int reps, Table* out,
+                    metrics::Histogram* hist = nullptr) {
   double best_ms = 1e300;
   for (int i = 0; i < reps; ++i) {
     auto start = std::chrono::steady_clock::now();
@@ -68,25 +70,38 @@ double RunTimedOpts(const Table& t, const sql::SelectStmt& stmt,
     Check(result.status(), "query");
     double ms =
         std::chrono::duration<double, std::milli>(end - start).count();
+    if (hist != nullptr) hist->Record(static_cast<uint64_t>(ms * 1000.0));
     if (ms < best_ms) best_ms = ms;
     *out = std::move(result).value();
   }
   return best_ms;
 }
 
+/// Emit one per-rep latency distribution as a JSON object (the
+/// BENCH_*.json consumers key on these field names).
+void PrintLatencyJson(std::FILE* json, const metrics::HistogramSnapshot& h) {
+  std::fprintf(json,
+               "\"latency_us\": {\"count\": %llu, \"p50\": %.1f, "
+               "\"p95\": %.1f, \"p99\": %.1f}",
+               (unsigned long long)h.count, h.Quantile(0.50),
+               h.Quantile(0.95), h.Quantile(0.99));
+}
+
 struct BenchResult {
   std::string name;
   double row_ms = 0.0;
   double batch_ms = 0.0;
+  /// Per-rep batch-path latencies (the production path).
+  metrics::HistogramSnapshot latency;
   double speedup() const { return batch_ms > 0.0 ? row_ms / batch_ms : 0.0; }
 };
 
 double RunTimed(const Table& t, const sql::SelectStmt& stmt, bool row_path,
-                int reps, Table* out) {
+                int reps, Table* out, metrics::Histogram* hist = nullptr) {
   exec::ExecOptions opts;
   opts.weight_column = "weight";
   opts.use_row_path = row_path;
-  return RunTimedOpts(t, stmt, opts, reps, out);
+  return RunTimedOpts(t, stmt, opts, reps, out, hist);
 }
 
 BenchResult RunBench(const Table& t, const std::string& name,
@@ -96,8 +111,11 @@ BenchResult RunBench(const Table& t, const std::string& name,
   BenchResult res;
   res.name = name;
   Table row_out, batch_out;
-  res.batch_ms = RunTimed(t, stmt, /*row_path=*/false, batch_reps, &batch_out);
+  metrics::Histogram hist;
+  res.batch_ms = RunTimed(t, stmt, /*row_path=*/false, batch_reps, &batch_out,
+                          &hist);
   res.row_ms = RunTimed(t, stmt, /*row_path=*/true, row_reps, &row_out);
+  res.latency = hist.Snapshot();
   // Parity sanity: identical shape and first cell.
   if (row_out.num_rows() != batch_out.num_rows() ||
       row_out.num_columns() != batch_out.num_columns()) {
@@ -122,6 +140,8 @@ struct MorselBenchResult {
   size_t threads = 1;
   double batch_ms = 0.0;
   double morsel_ms = 0.0;
+  /// Per-rep morsel-path latencies.
+  metrics::HistogramSnapshot latency;
   double ratio() const { return morsel_ms > 0.0 ? batch_ms / morsel_ms : 0.0; }
 };
 
@@ -149,14 +169,17 @@ MorselBenchResult RunMorselBench(const Table& t, const std::string& name,
   // the same machine state (frequency scaling and cache residency
   // drift across a run on small hosts).
   Table batch_out, morsel_out;
+  metrics::Histogram hist;
   res.batch_ms = 1e300;
   res.morsel_ms = 1e300;
   for (int i = 0; i < reps; ++i) {
     res.batch_ms =
         std::min(res.batch_ms, RunTimedOpts(t, stmt, batch_opts, 1, &batch_out));
     res.morsel_ms = std::min(
-        res.morsel_ms, RunTimedOpts(t, stmt, morsel_opts, 1, &morsel_out));
+        res.morsel_ms,
+        RunTimedOpts(t, stmt, morsel_opts, 1, &morsel_out, &hist));
   }
+  res.latency = hist.Snapshot();
 
   if (batch_out.num_rows() != morsel_out.num_rows() ||
       batch_out.num_columns() != morsel_out.num_columns()) {
@@ -224,9 +247,10 @@ int main() {
     const BenchResult& r = results[i];
     std::fprintf(json,
                  "    {\"name\": \"%s\", \"row_ms\": %.3f, "
-                 "\"batch_ms\": %.3f, \"speedup\": %.2f}%s\n",
-                 r.name.c_str(), r.row_ms, r.batch_ms, r.speedup(),
-                 i + 1 < results.size() ? "," : "");
+                 "\"batch_ms\": %.3f, \"speedup\": %.2f, ",
+                 r.name.c_str(), r.row_ms, r.batch_ms, r.speedup());
+    PrintLatencyJson(json, r.latency);
+    std::fprintf(json, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
@@ -275,10 +299,11 @@ int main() {
     std::fprintf(mjson,
                  "    {\"name\": \"%s\", \"morsel_size\": %zu, "
                  "\"threads\": %zu, \"batch_ms\": %.3f, "
-                 "\"morsel_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                 "\"morsel_ms\": %.3f, \"speedup\": %.2f, ",
                  r.name.c_str(), r.morsel_size, r.threads, r.batch_ms,
-                 r.morsel_ms, r.ratio(),
-                 i + 1 < morsel_results.size() ? "," : "");
+                 r.morsel_ms, r.ratio());
+    PrintLatencyJson(mjson, r.latency);
+    std::fprintf(mjson, "}%s\n", i + 1 < morsel_results.size() ? "," : "");
   }
   std::fprintf(mjson, "  ]\n}\n");
   std::fclose(mjson);

@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -195,7 +196,19 @@ int main(int argc, char** argv) {
                  results[i].queries, results[i].qps,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  // The statements above all flowed through the QueryService, so its
+  // registry histogram holds the per-statement latency distribution
+  // across every transport exercised.
+  const metrics::HistogramSnapshot lat =
+      metrics::Registry::Global()
+          .GetHistogram("mosaic_query_latency_us")
+          ->Snapshot();
+  std::fprintf(json,
+               "  ],\n  \"latency_us\": {\"count\": %llu, "
+               "\"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, "
+               "\"p99\": %.1f}\n}\n",
+               (unsigned long long)lat.count, lat.Mean(),
+               lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99));
   std::fclose(json);
   std::printf("wrote BENCH_net.json\n");
   return 0;

@@ -9,9 +9,11 @@
 //                                         scripts/check.sh)
 //
 // Exit code 0 iff every requested statement succeeded.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -70,6 +72,57 @@ int RunSmoke(net::Client* client) {
               (unsigned long long)stats->queries_total,
               (unsigned long long)stats->protocol_errors);
   return 0;
+}
+
+/// --stats output: one `name=value` per line, sorted by name, so the
+/// format is stable under diff and grep whatever order fields were
+/// added to the protocol in. Histograms print derived summary rows.
+void PrintStats(const net::StatsSnapshot& s) {
+  std::vector<std::pair<std::string, std::string>> rows = {
+      {"connections_active", std::to_string(s.connections_active)},
+      {"connections_closed", std::to_string(s.connections_closed)},
+      {"connections_opened", std::to_string(s.connections_opened)},
+      {"connections_rejected", std::to_string(s.connections_rejected)},
+      {"frames_received", std::to_string(s.frames_received)},
+      {"frames_sent", std::to_string(s.frames_sent)},
+      {"inflight_highwater", std::to_string(s.inflight_highwater)},
+      {"malformed_frames", std::to_string(s.malformed_frames)},
+      {"model_cache_hits", std::to_string(s.model_cache_hits)},
+      {"model_cache_insertions", std::to_string(s.model_cache_insertions)},
+      {"protocol_errors", std::to_string(s.protocol_errors)},
+      {"queries_failed", std::to_string(s.queries_failed)},
+      {"queries_total", std::to_string(s.queries_total)},
+      {"reads", std::to_string(s.reads)},
+      {"result_cache_entries", std::to_string(s.result_cache_entries)},
+      {"result_cache_hits", std::to_string(s.result_cache_hits)},
+      {"result_cache_misses", std::to_string(s.result_cache_misses)},
+      {"sessions_closed", std::to_string(s.sessions_closed)},
+      {"sessions_opened", std::to_string(s.sessions_opened)},
+      {"weight_epochs_published",
+       std::to_string(s.weight_epochs_published)},
+      {"weight_refits_incremental",
+       std::to_string(s.weight_refits_incremental)},
+      {"weight_refits_skipped", std::to_string(s.weight_refits_skipped)},
+      {"weight_refits_total", std::to_string(s.weight_refits_total)},
+      {"writes", std::to_string(s.writes)},
+  };
+  char buf[64];
+  for (const auto& h : s.histograms) {
+    rows.emplace_back(h.name + ".count",
+                      std::to_string(h.histogram.count));
+    std::snprintf(buf, sizeof(buf), "%.1f", h.histogram.Mean());
+    rows.emplace_back(h.name + ".mean", buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", h.histogram.Quantile(0.50));
+    rows.emplace_back(h.name + ".p50", buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", h.histogram.Quantile(0.95));
+    rows.emplace_back(h.name + ".p95", buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", h.histogram.Quantile(0.99));
+    rows.emplace_back(h.name + ".p99", buf);
+  }
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [name, value] : rows) {
+    std::printf("%s=%s\n", name.c_str(), value.c_str());
+  }
 }
 
 }  // namespace
@@ -139,37 +192,7 @@ int main(int argc, char** argv) {
                    stats.status().ToString().c_str());
       rc = 1;
     } else {
-      std::printf(
-          "queries_total=%llu queries_failed=%llu reads=%llu "
-          "writes=%llu\n"
-          "sessions=%llu open / %llu closed; connections=%llu opened, "
-          "%llu active, %llu rejected\n"
-          "result_cache: %llu hits / %llu misses (%llu entries); "
-          "model_cache: %llu hits, %llu trained\n"
-          "frames: %llu in / %llu out, %llu protocol errors\n"
-          "weights: %llu epochs published; refits %llu total / "
-          "%llu skipped / %llu incremental\n",
-          (unsigned long long)stats->queries_total,
-          (unsigned long long)stats->queries_failed,
-          (unsigned long long)stats->reads,
-          (unsigned long long)stats->writes,
-          (unsigned long long)stats->sessions_opened,
-          (unsigned long long)stats->sessions_closed,
-          (unsigned long long)stats->connections_opened,
-          (unsigned long long)stats->connections_active,
-          (unsigned long long)stats->connections_rejected,
-          (unsigned long long)stats->result_cache_hits,
-          (unsigned long long)stats->result_cache_misses,
-          (unsigned long long)stats->result_cache_entries,
-          (unsigned long long)stats->model_cache_hits,
-          (unsigned long long)stats->model_cache_insertions,
-          (unsigned long long)stats->frames_received,
-          (unsigned long long)stats->frames_sent,
-          (unsigned long long)stats->protocol_errors,
-          (unsigned long long)stats->weight_epochs_published,
-          (unsigned long long)stats->weight_refits_total,
-          (unsigned long long)stats->weight_refits_skipped,
-          (unsigned long long)stats->weight_refits_incremental);
+      PrintStats(*stats);
     }
   }
   if (client.connected()) (void)client.Close();

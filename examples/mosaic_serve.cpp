@@ -12,6 +12,13 @@
 //     --generation-threads=N   OPEN generation pool size  (default 4)
 //     --max-connections=N      concurrent connection cap  (default 64)
 //     --morsels=N              intra-query morsel size    (default off)
+//     --metrics-port=N         serve Prometheus text on
+//                              http://HOST:N/metrics (default off;
+//                              0 = ephemeral, port printed at startup)
+//     --trace                  trace every statement (spans feed the
+//                              slow-query log and EXPLAIN ANALYZE)
+//     --slow-query-ms=N        log the span tree of statements taking
+//                              >= N ms (implies tracing)
 //     --demo-world             preload the flights-style demo catalog
 //     --verbose                info-level logging
 //
@@ -21,11 +28,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "net/metrics_http.h"
 #include "net/server.h"
 #include "service/query_service.h"
 
@@ -88,6 +98,8 @@ int main(int argc, char** argv) {
   std::string port_file;
   uint64_t morsel_size = 0;
   bool demo_world = false;
+  bool metrics_enabled = false;
+  uint64_t metrics_port = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -107,6 +119,19 @@ int main(int argc, char** argv) {
       server_opts.max_connections = n;
     } else if (NumericFlag(arg, "morsels", &n)) {
       morsel_size = n;
+    } else if (NumericFlag(arg, "metrics-port", &n)) {
+      if (n > 65535) {
+        std::fprintf(stderr,
+                     "mosaic_serve: --metrics-port=%llu out of range\n",
+                     static_cast<unsigned long long>(n));
+        return 2;
+      }
+      metrics_enabled = true;
+      metrics_port = n;
+    } else if (NumericFlag(arg, "slow-query-ms", &n)) {
+      service_opts.slow_query_ms = static_cast<int64_t>(n);
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      service_opts.trace_queries = true;
     } else if (StringFlag(arg, "host", &server_opts.host) ||
                StringFlag(arg, "port-file", &port_file)) {
     } else if (std::strcmp(arg, "--demo-world") == 0) {
@@ -136,6 +161,76 @@ int main(int argc, char** argv) {
               service_opts.num_request_threads,
               service_opts.num_generation_threads,
               demo_world ? ", demo world loaded" : "");
+
+  // Optional Prometheus endpoint. The render callback mirrors the
+  // server/service counters into registry gauges at scrape time, so
+  // one page carries both the registry's native metrics (latency
+  // histograms) and the wire/server counters.
+  std::unique_ptr<net::MetricsHttpServer> metrics_http;
+  if (metrics_enabled) {
+    net::MetricsHttpServer::Options mopts;
+    mopts.host = server_opts.host;
+    mopts.port = static_cast<uint16_t>(metrics_port);
+    metrics_http = std::make_unique<net::MetricsHttpServer>(
+        [&server] {
+          auto& registry = metrics::Registry::Global();
+          const net::StatsSnapshot snap = server.Snapshot();
+          registry.GetGauge("mosaic_queries_total")
+              ->Set(static_cast<int64_t>(snap.queries_total));
+          registry.GetGauge("mosaic_queries_failed")
+              ->Set(static_cast<int64_t>(snap.queries_failed));
+          registry.GetGauge("mosaic_reads")
+              ->Set(static_cast<int64_t>(snap.reads));
+          registry.GetGauge("mosaic_writes")
+              ->Set(static_cast<int64_t>(snap.writes));
+          registry.GetGauge("mosaic_sessions_opened")
+              ->Set(static_cast<int64_t>(snap.sessions_opened));
+          registry.GetGauge("mosaic_sessions_closed")
+              ->Set(static_cast<int64_t>(snap.sessions_closed));
+          registry.GetGauge("mosaic_result_cache_hits")
+              ->Set(static_cast<int64_t>(snap.result_cache_hits));
+          registry.GetGauge("mosaic_result_cache_misses")
+              ->Set(static_cast<int64_t>(snap.result_cache_misses));
+          registry.GetGauge("mosaic_result_cache_entries")
+              ->Set(static_cast<int64_t>(snap.result_cache_entries));
+          registry.GetGauge("mosaic_model_cache_hits")
+              ->Set(static_cast<int64_t>(snap.model_cache_hits));
+          registry.GetGauge("mosaic_model_cache_insertions")
+              ->Set(static_cast<int64_t>(snap.model_cache_insertions));
+          registry.GetGauge("mosaic_connections_opened")
+              ->Set(static_cast<int64_t>(snap.connections_opened));
+          registry.GetGauge("mosaic_connections_active")
+              ->Set(static_cast<int64_t>(snap.connections_active));
+          registry.GetGauge("mosaic_connections_rejected")
+              ->Set(static_cast<int64_t>(snap.connections_rejected));
+          registry.GetGauge("mosaic_connections_closed")
+              ->Set(static_cast<int64_t>(snap.connections_closed));
+          registry.GetGauge("mosaic_frames_received")
+              ->Set(static_cast<int64_t>(snap.frames_received));
+          registry.GetGauge("mosaic_frames_sent")
+              ->Set(static_cast<int64_t>(snap.frames_sent));
+          registry.GetGauge("mosaic_protocol_errors")
+              ->Set(static_cast<int64_t>(snap.protocol_errors));
+          registry.GetGauge("mosaic_malformed_frames")
+              ->Set(static_cast<int64_t>(snap.malformed_frames));
+          registry.GetGauge("mosaic_inflight_highwater")
+              ->Set(static_cast<int64_t>(snap.inflight_highwater));
+          registry.GetGauge("mosaic_weight_epochs_published")
+              ->Set(static_cast<int64_t>(snap.weight_epochs_published));
+          registry.GetGauge("mosaic_weight_refits_total")
+              ->Set(static_cast<int64_t>(snap.weight_refits_total));
+          return registry.RenderPrometheus();
+        },
+        mopts);
+    Status mstarted = metrics_http->Start();
+    if (!mstarted.ok()) {
+      std::fprintf(stderr, "mosaic_serve: %s\n",
+                   mstarted.ToString().c_str());
+      return 1;
+    }
+    std::printf("mosaic_serve: metrics on http://%s:%u/metrics\n",
+                server_opts.host.c_str(), metrics_http->port());
+  }
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");

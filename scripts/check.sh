@@ -87,6 +87,48 @@ echo "=== Release + MOSAIC_MORSELS=4 + MOSAIC_ROW_PATH=1: weight-epoch concurren
 MOSAIC_MORSELS=4 MOSAIC_ROW_PATH=1 ctest --test-dir build-release \
   --output-on-failure -R 'test_(weight_epochs|service)'
 
+# Tracing must never change results: run the cross-path SQL parity
+# fuzzer and the service suite with per-query tracing forced on, so
+# every parity assertion doubles as a traced-vs-untraced check.
+echo "=== Release + MOSAIC_TRACE=1: traced parity ==="
+MOSAIC_TRACE=1 ctest --test-dir build-release --output-on-failure \
+  -R 'test_(sql_fuzz|service|net_e2e)'
+echo "=== Release + MOSAIC_TRACE=1 + MOSAIC_MORSELS=4: traced parity ==="
+MOSAIC_TRACE=1 MOSAIC_MORSELS=4 ctest --test-dir build-release \
+  --output-on-failure -R 'test_(sql_fuzz|service|net_e2e)'
+
+# Bench JSON smoke: the bench binaries must emit parseable JSON with
+# the latency histogram fields (BENCH_*.json feeds dashboards; a
+# malformed file fails silently downstream otherwise).
+echo "=== Release: bench JSON smoke ==="
+(
+  cd build-release
+  MOSAIC_BENCH_ROWS=20000 ./bench_executor >/dev/null
+  ./bench_net 2 50 >/dev/null
+  python3 - <<'EOF'
+import json, sys
+for name, want_latency in [("BENCH_executor.json", True),
+                           ("BENCH_morsel.json", True),
+                           ("BENCH_net.json", True)]:
+    with open(name) as f:
+        doc = json.load(f)
+    hists = []
+    if "latency_us" in doc:
+        hists.append(doc["latency_us"])
+    for section in doc.values():
+        if isinstance(section, list):
+            hists.extend(e["latency_us"] for e in section
+                         if isinstance(e, dict) and "latency_us" in e)
+    if want_latency and not hists:
+        sys.exit(f"{name}: no latency_us histogram fields found")
+    for h in hists:
+        for field in ("count", "p50", "p95", "p99"):
+            if field not in h:
+                sys.exit(f"{name}: latency_us missing '{field}': {h}")
+    print(f"{name}: OK ({len(hists)} latency summaries)")
+EOF
+)
+
 run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=address
 run_server_e2e "ASan" build-asan
@@ -101,13 +143,13 @@ if [[ "${1:-}" != "fast" ]]; then
     -DMOSAIC_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target \
     test_thread_pool test_lru_cache test_service test_sql_fuzz \
-    test_net_e2e test_weight_epochs
+    test_net_e2e test_weight_epochs test_metrics_registry
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs|metrics_registry)'
   # And once more with engine-wide morsels on, so every service-level
   # query also fans intra-query morsels across the request pool.
   MOSAIC_MORSELS=4 ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs|metrics_registry)'
 fi
 
 echo "All checks passed."

@@ -1,12 +1,24 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace mosaic {
 
 namespace {
 LogLevel g_level = LogLevel::kInfo;
+
+/// Serializes emission so concurrent server/pool threads never
+/// interleave partial lines.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();  // leaked: outlives all threads
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,6 +38,15 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+/// Short stable id for the calling thread (dense 1,2,3... in first-
+/// log order — readable, unlike the hashed native handle).
+unsigned ThreadLogId() {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
@@ -35,13 +56,28 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  // Wall-clock timestamp with microseconds: HH:MM:SS.uuuuuu.
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_buf;
+  localtime_r(&ts.tv_sec, &tm_buf);
+  char when[32];
+  std::snprintf(when, sizeof(when), "%02d:%02d:%02d.%06ld", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, ts.tv_nsec / 1000);
+  stream_ << "[" << when << " T" << ThreadLogId() << " " << LevelName(level)
+          << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ < g_level) return;
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::string line = stream_.str();
+  line += '\n';
+  // One write(2) per line under the mutex: the mutex orders lines
+  // within this process, the single syscall keeps a line contiguous
+  // even when stderr is shared with child processes.
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  ssize_t ignored = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)ignored;
 }
 
 }  // namespace internal

@@ -1,0 +1,192 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace mosaic {
+namespace metrics {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample (1-based, ceil like Prometheus's
+  // histogram_quantile).
+  double rank = q * double(count);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    uint64_t next = cumulative + buckets[i];
+    if (double(next) >= rank) {
+      // Interpolate inside bucket i: lower bound is the previous
+      // bucket's upper bound + 1 (0 for the zero bucket).
+      double lo = i == 0 ? 0.0 : double(Histogram::BucketUpperBound(i - 1));
+      double hi = i == 0 ? 0.0
+                  : i + 1 >= buckets.size()
+                      ? lo * 2.0  // open-ended last bucket: assume 2x
+                      : double(Histogram::BucketUpperBound(i));
+      double frac = (rank - double(cumulative)) / double(buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative = next;
+  }
+  return double(Histogram::BucketUpperBound(buckets.size() - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  size_t bits = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return std::min(bits, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i >= kNumBuckets - 1) return UINT64_MAX;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t(1) << i) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  // count is derived from the buckets so it always equals their
+  // total, even when the snapshot races a concurrent Record.
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();  // leaked: outlives all threads
+  return *g;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->Value();
+  return out;
+}
+
+std::map<std::string, int64_t> Registry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->Value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->Snapshot();
+  return out;
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    std::string n = PromName(name);
+    out << "# TYPE " << n << " counter\n";
+    out << n << " " << c->Value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string n = PromName(name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << " " << g->Value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string n = PromName(name);
+    HistogramSnapshot snap = h->Snapshot();
+    out << "# TYPE " << n << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      cumulative += snap.buckets[i];
+      // Collapse empty leading/trailing buckets is tempting, but a
+      // fixed bucket list keeps scrape output schema-stable.
+      out << n << "_bucket{le=\"";
+      if (i + 1 >= snap.buckets.size()) {
+        out << "+Inf";
+      } else {
+        out << Histogram::BucketUpperBound(i);
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << n << "_sum " << snap.sum << "\n";
+    out << n << "_count " << snap.count << "\n";
+  }
+  return out.str();
+}
+
+void Registry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace metrics
+}  // namespace mosaic

@@ -1,0 +1,101 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mosaic {
+namespace trace {
+
+uint32_t QueryTrace::Begin(uint32_t parent, const std::string& name) {
+  uint64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = static_cast<uint32_t>(spans_.size() + 1);
+  span.parent = parent;
+  span.name = name;
+  span.start_us = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void QueryTrace::End(uint32_t id) {
+  uint64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.end_us == 0) span.end_us = now;
+}
+
+void QueryTrace::AddTimed(uint32_t parent, const std::string& name,
+                          uint64_t start_us, uint64_t end_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = static_cast<uint32_t>(spans_.size() + 1);
+  span.parent = parent;
+  span.name = name;
+  span.start_us = start_us;
+  span.end_us = end_us;
+  spans_.push_back(std::move(span));
+}
+
+void QueryTrace::Note(uint32_t id, const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (!span.note.empty()) span.note += ' ';
+  span.note += text;
+}
+
+uint64_t QueryTrace::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::vector<Span> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+namespace {
+
+/// Pre-order walk over the span forest. Children keep creation order,
+/// which is also start-time order for same-thread spans.
+void Walk(const std::vector<Span>& spans, uint32_t parent, size_t depth,
+          const std::function<void(const Span&, size_t)>& visit) {
+  for (const Span& span : spans) {
+    if (span.parent != parent) continue;
+    visit(span, depth);
+    Walk(spans, span.id, depth + 1, visit);
+  }
+}
+
+}  // namespace
+
+void QueryTrace::Visit(
+    const std::function<void(const Span&, size_t)>& visit) const {
+  Walk(Spans(), kNoParent, 0, visit);
+}
+
+std::string QueryTrace::ToString() const {
+  std::vector<Span> spans = Spans();
+  std::ostringstream out;
+  Walk(spans, kNoParent, 0, [&](const Span& span, size_t depth) {
+    out << std::string(depth * 2, ' ') << span.name;
+    // Pad the name column so durations align for shallow trees.
+    size_t used = depth * 2 + span.name.size();
+    if (used < 32) out << std::string(32 - used, ' ');
+    out << StrFormat("%8llu us",
+                     static_cast<unsigned long long>(span.duration_us()));
+    if (!span.note.empty()) out << "  [" << span.note << "]";
+    out << "\n";
+  });
+  return out.str();
+}
+
+}  // namespace trace
+}  // namespace mosaic

@@ -10,10 +10,12 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "exec/batch_eval.h"
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
+#include "exec/trace_table.h"
 #include "sql/parser.h"
 #include "stats/reweight.h"
 #include "storage/csv.h"
@@ -157,11 +159,28 @@ exec::ExecOptions Database::BatchExecOptions() const {
 
 Result<Table> Database::Execute(const std::string& sql) {
   MOSAIC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
-  return ExecuteStatement(&stmt);
+  // Through ExecuteParsed so a standalone EXPLAIN ANALYZE (no service
+  // in front, e.g. the shell) still answers with its span table.
+  return ExecuteParsed(&stmt);
 }
 
-Result<Table> Database::ExecuteParsed(sql::Statement* stmt) {
-  return ExecuteStatement(stmt);
+Result<Table> Database::ExecuteParsed(sql::Statement* stmt,
+                                      trace::QueryTrace* trace,
+                                      uint32_t trace_parent) {
+  const bool explain = stmt->Is<sql::SelectStmt>() &&
+                       stmt->As<sql::SelectStmt>().explain_analyze;
+  if (explain && trace == nullptr) {
+    // Standalone EXPLAIN ANALYZE (no service in front): trace this
+    // execution and answer with the span table instead of the rows.
+    trace::QueryTrace local;
+    {
+      trace::ScopedSpan root(&local, trace::kNoParent, "execute");
+      MOSAIC_RETURN_IF_ERROR(
+          ExecuteStatement(stmt, &local, root.id()).status());
+    }
+    return exec::TraceToTable(local);
+  }
+  return ExecuteStatement(stmt, trace, trace_parent);
 }
 
 Result<Table> Database::ExecuteScript(const std::string& sql) {
@@ -171,14 +190,16 @@ Result<Table> Database::ExecuteScript(const std::string& sql) {
   }
   Table last;
   for (auto& stmt : stmts) {
-    MOSAIC_ASSIGN_OR_RETURN(last, ExecuteStatement(&stmt));
+    MOSAIC_ASSIGN_OR_RETURN(last, ExecuteParsed(&stmt));
   }
   return last;
 }
 
-Result<Table> Database::ExecuteStatement(sql::Statement* stmt) {
+Result<Table> Database::ExecuteStatement(sql::Statement* stmt,
+                                         trace::QueryTrace* trace,
+                                         uint32_t trace_parent) {
   if (stmt->Is<sql::SelectStmt>()) {
-    return ExecuteSelect(stmt->As<sql::SelectStmt>());
+    return ExecuteSelect(stmt->As<sql::SelectStmt>(), trace, trace_parent);
   }
   if (stmt->Is<sql::CreateTableStmt>()) {
     MOSAIC_RETURN_IF_ERROR(
@@ -226,7 +247,9 @@ Result<Table> Database::ExecuteStatement(sql::Statement* stmt) {
 // SELECT routing
 // ---------------------------------------------------------------------------
 
-Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
+Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt,
+                                      trace::QueryTrace* trace,
+                                      uint32_t trace_parent) {
   if (catalog_.HasTable(stmt.from)) {
     if (stmt.visibility != sql::Visibility::kDefault) {
       return Status::InvalidArgument(
@@ -236,6 +259,8 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
     MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.from));
     exec::ExecOptions opts = BatchExecOptions();
     opts.use_row_path = force_row_exec_;
+    opts.trace = trace;
+    opts.trace_parent = trace_parent;
     return exec::ExecuteSelect(*table, stmt, opts);
   }
   if (catalog_.HasSample(stmt.from)) {
@@ -253,23 +278,35 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
                             catalog_.GetSample(stmt.from));
     // Pin one weight epoch for the whole query: concurrent refits
     // publish new epochs without perturbing this reader.
-    WeightEpochPtr epoch = sample->weights.Pin();
+    WeightEpochPtr epoch;
+    {
+      trace::ScopedSpan pin_span(trace, trace_parent, "weight_pin");
+      epoch = sample->weights.Pin();
+      if (trace != nullptr) {
+        pin_span.Note("epoch=" + std::to_string(epoch->id));
+      }
+    }
     if (force_row_exec_) {
       MOSAIC_ASSIGN_OR_RETURN(Table with_w,
                               WithWeights(sample->data, epoch->weights));
       exec::ExecOptions opts;
       opts.use_row_path = true;
+      opts.trace = trace;
+      opts.trace_parent = trace_parent;
       return exec::ExecuteSelect(with_w, stmt, opts);
     }
     MOSAIC_ASSIGN_OR_RETURN(TableView view,
                             MakeWeightedView(sample->data, epoch->weights));
+    exec::ExecOptions opts = BatchExecOptions();
+    opts.trace = trace;
+    opts.trace_parent = trace_parent;
     return exec::ExecuteSelect(view, SelectionVector::All(view.num_rows()),
-                               stmt, BatchExecOptions());
+                               stmt, opts);
   }
   if (catalog_.HasPopulation(stmt.from)) {
     MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* pop,
                             catalog_.GetPopulation(stmt.from));
-    return ExecutePopulationQuery(stmt, pop);
+    return ExecutePopulationQuery(stmt, pop, trace, trace_parent);
   }
   return Status::NotFound("no relation named '" + stmt.from + "'");
 }
@@ -380,7 +417,9 @@ Result<Database::DebiasPlan> Database::PlanDebias(
 }
 
 Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
-                                               PopulationInfo* population) {
+                                               PopulationInfo* population,
+                                               trace::QueryTrace* trace,
+                                               uint32_t trace_parent) {
   sql::Visibility vis = stmt.visibility == sql::Visibility::kDefault
                             ? sql::Visibility::kClosed
                             : stmt.visibility;
@@ -398,13 +437,17 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
             RestrictToPopulation(sample->data, *population));
         exec::ExecOptions opts;
         opts.use_row_path = true;
+        opts.trace = trace;
+        opts.trace_parent = trace_parent;
         return exec::ExecuteSelect(restricted, stmt, opts);
       }
       TableView view(sample->data);
       MOSAIC_ASSIGN_OR_RETURN(SelectionVector sel,
                               PopulationSelection(view, *population));
-      return exec::ExecuteSelect(view, std::move(sel), stmt,
-                                 BatchExecOptions());
+      exec::ExecOptions opts = BatchExecOptions();
+      opts.trace = trace;
+      opts.trace_parent = trace_parent;
+      return exec::ExecuteSelect(view, std::move(sel), stmt, opts);
     }
     case sql::Visibility::kSemiOpen: {
       MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample, ChooseSample(*population));
@@ -416,8 +459,15 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
       // attached as an external span — the sample tuples are never
       // copied).
       stats::IpfReport report;
-      MOSAIC_ASSIGN_OR_RETURN(WeightEpochPtr epoch,
-                              ReweightAndPin(population->name, &report));
+      WeightEpochPtr epoch;
+      {
+        trace::ScopedSpan span(trace, trace_parent, "reweight");
+        MOSAIC_ASSIGN_OR_RETURN(epoch,
+                                ReweightAndPin(population->name, &report));
+        if (trace != nullptr) {
+          span.Note("epoch=" + std::to_string(epoch->id));
+        }
+      }
       if (force_row_exec_) {
         MOSAIC_ASSIGN_OR_RETURN(Table with_w,
                                 WithWeights(sample->data, epoch->weights));
@@ -426,6 +476,8 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
         exec::ExecOptions opts;
         opts.weight_column = kWeightColumn;
         opts.use_row_path = true;
+        opts.trace = trace;
+        opts.trace_parent = trace_parent;
         return exec::ExecuteSelect(restricted, stmt, opts);
       }
       MOSAIC_ASSIGN_OR_RETURN(TableView view,
@@ -434,6 +486,8 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
                               PopulationSelection(view, *population));
       exec::ExecOptions opts = BatchExecOptions();
       opts.weight_column = kWeightColumn;
+      opts.trace = trace;
+      opts.trace_parent = trace_parent;
       return exec::ExecuteSelect(view, std::move(sel), stmt, opts);
     }
     case sql::Visibility::kOpen: {
@@ -442,12 +496,21 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
       // independent generated samples — on the generation pool when
       // one is attached, sequentially otherwise. Each run k owns seed
       // generation_seed + k, so both paths are bit-identical.
-      MOSAIC_ASSIGN_OR_RETURN(OpenWorldModel model,
-                              PrepareOpenWorldModel(population->name));
+      OpenWorldModel model;
+      {
+        trace::ScopedSpan span(trace, trace_parent, "train_or_fetch_model");
+        MOSAIC_ASSIGN_OR_RETURN(model,
+                                PrepareOpenWorldModel(population->name));
+      }
       auto run_one = [&, this](size_t k) -> Result<Table> {
         // Exceptions must not escape: pool tasks reference this stack
         // frame, and an unwinding submitter would leave them dangling.
         try {
+          // Generation-pool threads record under the query's parent
+          // span by explicit id — there is no per-thread span stack
+          // to inherit (common/trace.h).
+          trace::ScopedSpan gen_span(
+              trace, trace_parent, ("generate " + std::to_string(k)).c_str());
           const uint64_t seed = open_.generation_seed + k;
           if (force_row_exec_) {
             MOSAIC_ASSIGN_OR_RETURN(
@@ -456,6 +519,8 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
             exec::ExecOptions opts;
             opts.weight_column = kWeightColumn;
             opts.use_row_path = true;
+            opts.trace = trace;
+            opts.trace_parent = gen_span.id();
             return exec::ExecuteSelect(generated, stmt, opts);
           }
           // Batch path: answer over a weighted view of the raw
@@ -475,6 +540,8 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
           }
           exec::ExecOptions opts = BatchExecOptions();
           opts.weight_column = kWeightColumn;
+          opts.trace = trace;
+          opts.trace_parent = gen_span.id();
           return exec::ExecuteSelect(view, std::move(sel), stmt, opts);
         } catch (const std::exception& e) {
           return Status::Internal(std::string("open-sample generation "
@@ -522,6 +589,7 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
           results.push_back(std::move(t));
         }
       }
+      trace::ScopedSpan combine_span(trace, trace_parent, "combine_runs");
       return CombineOpenRuns(results, stmt);
     }
     default:
@@ -1226,6 +1294,39 @@ Result<Table> Database::ExecuteShow(const sql::ShowStmt& stmt) {
       }
       return out;
     }
+    case sql::ShowStmt::What::kMetrics: {
+      // Dump of the process-wide registry, one row per metric in
+      // sorted name order (histograms expand to _count/_mean/_p50/
+      // _p95/_p99 rows). Deliberately never result-cached — see
+      // StampFor.
+      MOSAIC_RETURN_IF_ERROR(
+          schema.AddColumn({"metric", DataType::kString}));
+      MOSAIC_RETURN_IF_ERROR(schema.AddColumn({"value", DataType::kDouble}));
+      out = Table(schema);
+      auto& registry = metrics::Registry::Global();
+      for (const auto& [name, value] : registry.CounterValues()) {
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(name), Value(static_cast<double>(value))}));
+      }
+      for (const auto& [name, value] : registry.GaugeValues()) {
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(name), Value(static_cast<double>(value))}));
+      }
+      for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(name + "_count"),
+             Value(static_cast<double>(snap.count))}));
+        MOSAIC_RETURN_IF_ERROR(
+            out.AppendRow({Value(name + "_mean"), Value(snap.Mean())}));
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(name + "_p50"), Value(snap.Quantile(0.50))}));
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(name + "_p95"), Value(snap.Quantile(0.95))}));
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(name + "_p99"), Value(snap.Quantile(0.99))}));
+      }
+      return out;
+    }
   }
   return Status::Internal("unknown SHOW target");
 }
@@ -1365,11 +1466,17 @@ Database::CacheStamp Database::StampFor(const sql::Statement& stmt) {
   // not attributable to a stable (version, epoch) pair.
   if (union_samples_) return stamp;
   if (stmt.Is<sql::ShowStmt>()) {
-    stamp.cacheable = true;
+    // SHOW METRICS reads the live metrics registry, which moves on
+    // every query — a cached answer would freeze the counters.
+    stamp.cacheable =
+        stmt.As<sql::ShowStmt>().what != sql::ShowStmt::What::kMetrics;
     return stamp;
   }
   if (!stmt.Is<sql::SelectStmt>()) return stamp;
   const auto& sel = stmt.As<sql::SelectStmt>();
+  // EXPLAIN ANALYZE answers with this execution's span timings;
+  // serving a previous execution's timings would defeat it.
+  if (sel.explain_analyze) return stamp;
   if (catalog_.HasTable(sel.from)) {
     stamp.cacheable = true;
     return stamp;

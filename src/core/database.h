@@ -31,6 +31,7 @@
 #include "common/lru_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/catalog.h"
 #include "core/generator.h"
 #include "core/mswg.h"
@@ -96,7 +97,18 @@ class Database {
   /// Execute an already-parsed statement (the service layer parses
   /// once for classification and reuses the AST here). May consume
   /// parts of `*stmt`; single use only.
-  Result<Table> ExecuteParsed(sql::Statement* stmt);
+  ///
+  /// `trace` (optional) collects execution spans under `trace_parent`
+  /// — the engine records weight-pin / reweight / train / generate
+  /// phases and the executor its filter/aggregate/sort phases.
+  /// Tracing never changes results. EXPLAIN ANALYZE statements
+  /// executed with a null trace allocate their own and return the
+  /// span table; with a caller trace they return the query's rows and
+  /// leave rendering to the caller (the service, which owns the
+  /// enclosing parse/cache spans).
+  Result<Table> ExecuteParsed(sql::Statement* stmt,
+                              trace::QueryTrace* trace = nullptr,
+                              uint32_t trace_parent = 0);
 
   /// Execute a ';'-separated script, discarding intermediate results;
   /// returns the result of the last statement.
@@ -247,10 +259,16 @@ class Database {
   /// base every batch-path SELECT builds on.
   exec::ExecOptions BatchExecOptions() const;
 
-  Result<Table> ExecuteStatement(sql::Statement* stmt);
-  Result<Table> ExecuteSelect(const sql::SelectStmt& stmt);
+  Result<Table> ExecuteStatement(sql::Statement* stmt,
+                                 trace::QueryTrace* trace = nullptr,
+                                 uint32_t trace_parent = 0);
+  Result<Table> ExecuteSelect(const sql::SelectStmt& stmt,
+                              trace::QueryTrace* trace = nullptr,
+                              uint32_t trace_parent = 0);
   Result<Table> ExecutePopulationQuery(const sql::SelectStmt& stmt,
-                                       PopulationInfo* population);
+                                       PopulationInfo* population,
+                                       trace::QueryTrace* trace = nullptr,
+                                       uint32_t trace_parent = 0);
   Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
   Status ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt);
   Status ExecuteCreateSample(sql::CreateSampleStmt* stmt);

@@ -808,15 +808,26 @@ bool BatchLess(const BatchVec& batch, size_t a, size_t b) {
 Result<SelectionVector> MorselFilter(const TableView& view,
                                      const BoundExpr& pred,
                                      SelectionVector base,
-                                     const MorselDriver& driver) {
+                                     const MorselDriver& driver,
+                                     trace::QueryTrace* trace = nullptr,
+                                     uint32_t trace_parent = 0) {
   const size_t n = base.size();
   const size_t num_morsels = driver.NumMorsels(n);
   if (num_morsels <= 1) return FilterView(view, pred, std::move(base));
   std::vector<SelectionVector> parts(num_morsels);
   MOSAIC_RETURN_IF_ERROR(driver.Run(num_morsels, [&](size_t m) -> Status {
+    // One span per claimed morsel: its wall time covers claim-to-done
+    // on whichever pool thread ran it, so a trace shows how the
+    // claim loop spread work across workers.
+    trace::ScopedSpan span(trace, trace_parent,
+                           ("morsel " + std::to_string(m)).c_str());
     auto [begin, end] = driver.Range(n, m);
     MOSAIC_ASSIGN_OR_RETURN(
         parts[m], FilterSlice(view, pred, base.Slice(begin, end - begin)));
+    if (trace != nullptr) {
+      span.Note("rows=" + std::to_string(end - begin) +
+                " kept=" + std::to_string(parts[m].size()));
+    }
     return Status::OK();
   }));
   size_t total = 0;
@@ -1046,6 +1057,8 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     if (stmt.where->ContainsAggregate()) {
       return Status::BindError("aggregates are not allowed in WHERE");
     }
+    trace::ScopedSpan span(opts.trace, opts.trace_parent, "filter");
+    const size_t rows_in = sel.size();
     Binder where_binder(&schema);
     MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr pred,
                             where_binder.Bind(*stmt.where));
@@ -1054,7 +1067,12 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
                                std::string(DataTypeName(pred->type)));
     }
     MOSAIC_ASSIGN_OR_RETURN(
-        sel, MorselFilter(view, *pred, std::move(sel), morsels));
+        sel, MorselFilter(view, *pred, std::move(sel), morsels, opts.trace,
+                          span.id()));
+    if (opts.trace != nullptr) {
+      span.Note("rows=" + std::to_string(rows_in) + " kept=" +
+                std::to_string(sel.size()));
+    }
   }
 
   bool has_aggregates = false;
@@ -1112,6 +1130,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
       if (!all_in_output) {
         // Pre-sort the selection by source columns, then project only
         // the LIMIT prefix.
+        trace::ScopedSpan span(opts.trace, opts.trace_parent, "sort");
         std::vector<SortKeyCol> keys;
         for (const auto& o : stmt.order_by) {
           auto idx = schema.FindColumn(o.column);
@@ -1136,11 +1155,19 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     }
     std::vector<Column> columns;
     columns.reserve(bound_items.size());
-    for (const auto& item : bound_items) {
-      MOSAIC_ASSIGN_OR_RETURN(BatchVec batch,
-                              MorselEvalBatch(*item, view, sel, morsels));
-      MOSAIC_ASSIGN_OR_RETURN(Column col, ColumnFromBatch(std::move(batch)));
-      columns.push_back(std::move(col));
+    {
+      trace::ScopedSpan span(opts.trace, opts.trace_parent, "materialize");
+      for (const auto& item : bound_items) {
+        MOSAIC_ASSIGN_OR_RETURN(BatchVec batch,
+                                MorselEvalBatch(*item, view, sel, morsels));
+        MOSAIC_ASSIGN_OR_RETURN(Column col,
+                                ColumnFromBatch(std::move(batch)));
+        columns.push_back(std::move(col));
+      }
+      if (opts.trace != nullptr) {
+        span.Note("rows=" + std::to_string(sel.size()) +
+                  " cols=" + std::to_string(columns.size()));
+      }
     }
     Table out(out_schema, std::move(columns), sel.size());
     if (limit_only && limit && *limit < out.num_rows()) {
@@ -1149,6 +1176,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
       out = out.Filter(head);
     }
     if (!limit_only) {
+      trace::ScopedSpan span(opts.trace, opts.trace_parent, "sort");
       MOSAIC_RETURN_IF_ERROR(SortLimitTable(stmt, &out));
     }
     return std::optional<Table>(std::move(out));
@@ -1187,6 +1215,12 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
   }
 
   const size_t n = sel.size();
+
+  // Covers group-key building, accumulation, and emit; the phases
+  // inside are recorded retroactively (AddTimed) so the early
+  // returns (bind errors, row-path fallback) need no unwind hooks.
+  trace::ScopedSpan agg_span(opts.trace, opts.trace_parent, "aggregate");
+  uint64_t phase_t0 = opts.trace != nullptr ? opts.trace->NowUs() : 0;
 
   // --- Group ids: per-column dense codes packed into a uint64 key ----------
   std::vector<uint32_t> gid(n, 0);
@@ -1255,6 +1289,13 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     }
   }
   const size_t num_groups = group_packed.size();
+  if (opts.trace != nullptr) {
+    opts.trace->AddTimed(agg_span.id(), "group_keys", phase_t0,
+                         opts.trace->NowUs());
+    agg_span.Note("rows=" + std::to_string(n) +
+                  " groups=" + std::to_string(num_groups));
+    phase_t0 = opts.trace->NowUs();
+  }
 
   // --- Accumulate: tight loops over the selection --------------------------
   //
@@ -1397,6 +1438,12 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     }
   }
 
+  if (opts.trace != nullptr) {
+    opts.trace->AddTimed(agg_span.id(), "accumulate", phase_t0,
+                         opts.trace->NowUs());
+    phase_t0 = opts.trace->NowUs();
+  }
+
   // --- Finalize into sorted groups and emit --------------------------------
   SortedGroups sorted_groups;
   sorted_groups.reserve(num_groups);
@@ -1435,6 +1482,10 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
       Table out, EmitGroups(schema, stmt, bound_items, bound_having.get(),
                             aggs.specs, group_cols, sorted_groups, weighted));
   MOSAIC_RETURN_IF_ERROR(SortLimitTable(stmt, &out));
+  if (opts.trace != nullptr) {
+    opts.trace->AddTimed(agg_span.id(), "emit", phase_t0,
+                         opts.trace->NowUs());
+  }
   return std::optional<Table>(std::move(out));
 }
 
@@ -1458,6 +1509,7 @@ Result<double> TotalWeight(const Table& table,
 Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
                             const ExecOptions& opts) {
   if (opts.use_row_path) {
+    trace::ScopedSpan span(opts.trace, opts.trace_parent, "row_exec");
     return ExecuteSelectRow(source, stmt, opts);
   }
   TableView view(source);
@@ -1466,6 +1518,8 @@ Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
       ExecuteSelectBatch(view, SelectionVector::All(source.num_rows()), stmt,
                          opts));
   if (batched) return std::move(*batched);
+  trace::ScopedSpan span(opts.trace, opts.trace_parent, "row_exec");
+  span.Note("batch path declined");
   return ExecuteSelectRow(source, stmt, opts);
 }
 
@@ -1486,6 +1540,7 @@ Result<Table> ExecuteSelect(const TableView& view, SelectionVector sel,
   }
   // Row-path oracle (or batch fallback): materialize the selected
   // rows and run the legacy interpreter.
+  trace::ScopedSpan span(opts.trace, opts.trace_parent, "row_exec");
   Table materialized = view.Materialize(sel);
   return ExecuteSelectRow(materialized, stmt, opts);
 }

@@ -46,6 +46,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "exec/morsel.h"
 #include "sql/ast.h"
 #include "storage/table.h"
@@ -71,6 +72,15 @@ struct ExecOptions {
   /// thread count; float sums reduce serially in selection order to
   /// keep the rounding independent of the split (see exec/morsel.h).
   MorselOptions morsels;
+  /// Per-query trace to record execution spans (filter, aggregate,
+  /// sort, materialize, per-morsel work) into; null = tracing off,
+  /// and the instrumented paths cost two branches and no clock read.
+  /// Tracing never changes results — enforced by the fuzzer's traced
+  /// leg (scripts/check.sh).
+  trace::QueryTrace* trace = nullptr;
+  /// Span id the executor's spans hang under (kNoParent when the
+  /// caller has no enclosing span).
+  uint32_t trace_parent = 0;
 };
 
 /// Execute `stmt` against `source`. `stmt.from` is ignored — the

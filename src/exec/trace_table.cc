@@ -1,0 +1,26 @@
+#include "exec/trace_table.h"
+
+#include <string>
+
+namespace mosaic {
+namespace exec {
+
+Table TraceToTable(const trace::QueryTrace& trace) {
+  Schema schema;
+  // Schema construction cannot fail here: names are distinct.
+  (void)schema.AddColumn({"span", DataType::kString});
+  (void)schema.AddColumn({"start_us", DataType::kInt64});
+  (void)schema.AddColumn({"duration_us", DataType::kInt64});
+  (void)schema.AddColumn({"detail", DataType::kString});
+  Table out(schema);
+  trace.Visit([&](const trace::Span& span, size_t depth) {
+    (void)out.AppendRow({Value(std::string(depth * 2, ' ') + span.name),
+                         Value(static_cast<int64_t>(span.start_us)),
+                         Value(static_cast<int64_t>(span.duration_us())),
+                         Value(span.note)});
+  });
+  return out;
+}
+
+}  // namespace exec
+}  // namespace mosaic

@@ -1,0 +1,20 @@
+// Renders a QueryTrace as a result table — the body of EXPLAIN
+// ANALYZE output. Lives in exec/ (not common/) because common/ sits
+// below storage/ in the layering and cannot produce Tables.
+#ifndef MOSAIC_EXEC_TRACE_TABLE_H_
+#define MOSAIC_EXEC_TRACE_TABLE_H_
+
+#include "common/trace.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace exec {
+
+/// Columns (span, start_us, duration_us, detail); one row per span in
+/// tree pre-order, with two-space indentation in the span column.
+Table TraceToTable(const trace::QueryTrace& trace);
+
+}  // namespace exec
+}  // namespace mosaic
+
+#endif  // MOSAIC_EXEC_TRACE_TABLE_H_

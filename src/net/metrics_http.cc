@@ -1,0 +1,184 @@
+#include "net/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mosaic {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Read until the end of the request head ("\r\n\r\n"), a size cap,
+/// the deadline, or EOF. The body (if any) is ignored — GET carries
+/// none and we answer 405 to everything else anyway.
+bool ReadRequestHead(int fd, std::string* head) {
+  constexpr size_t kMaxHead = 8 * 1024;
+  constexpr int kDeadlineMs = 2000;
+  int budget_ms = kDeadlineMs;
+  char buf[1024];
+  while (head->size() < kMaxHead &&
+         head->find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int step_ms = 100;
+    const int nready = ::poll(&pfd, 1, step_ms);
+    if (nready < 0 && errno != EINTR) return false;
+    if (nready == 0) {
+      budget_ms -= step_ms;
+      if (budget_ms <= 0) return false;  // stalled client
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // EOF: take what we have
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return !head->empty();
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // client gone; a scrape reply is best-effort
+  }
+}
+
+std::string HttpResponse(const char* status_line, const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8";
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(RenderFn render, Options options)
+    : render_(std::move(render)), options_(std::move(options)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Shutdown(); }
+
+Status MetricsHttpServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("metrics server already started");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse bind address '" +
+                                   options_.host + "'");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto fail = [this](Status status) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  };
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail(Errno("bind"));
+  }
+  if (::listen(listen_fd_, 8) != 0) return fail(Errno("listen"));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return fail(Errno("getsockname"));
+  }
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  MOSAIC_LOG(Info) << "metrics endpoint on http://" << options_.host << ":"
+                   << port_ << "/metrics";
+  return Status::OK();
+}
+
+void MetricsHttpServer::Shutdown() {
+  if (!started_.load() || !running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int nready = ::poll(&pfd, 1, 100);
+    if (nready < 0 && errno != EINTR) {
+      MOSAIC_LOG(Error) << "metrics poll failed: " << std::strerror(errno);
+      return;
+    }
+    if (nready <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleOne(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleOne(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) return;
+  // Request line: METHOD SP PATH SP VERSION. Query strings are
+  // tolerated (Prometheus never sends one, curl users might).
+  const size_t line_end = head.find("\r\n");
+  const std::string line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    WriteAll(fd, HttpResponse("400 Bad Request", "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+  if (method != "GET") {
+    WriteAll(fd, HttpResponse("405 Method Not Allowed",
+                              "only GET is supported\n"));
+    return;
+  }
+  if (path != "/metrics") {
+    WriteAll(fd, HttpResponse("404 Not Found", "try /metrics\n"));
+    return;
+  }
+  WriteAll(fd, HttpResponse("200 OK", render_()));
+}
+
+}  // namespace net
+}  // namespace mosaic

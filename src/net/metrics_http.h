@@ -1,0 +1,71 @@
+// Minimal HTTP/1.0 exposition endpoint for Prometheus-style scrapes.
+//
+// Serves exactly one route, GET /metrics, whose body comes from a
+// caller-supplied render callback (typically
+// metrics::Registry::RenderPrometheus, optionally preceded by pushing
+// server counters into gauges — see examples/mosaic_serve.cpp). Any
+// other path answers 404; anything that is not a GET answers 405.
+//
+// Deliberately tiny: one thread, one request per connection,
+// Connection: close. A scrape endpoint is polled every few seconds by
+// one collector; concurrency machinery would be dead weight. The
+// accept loop polls with a short timeout so Shutdown() is prompt, and
+// slow or stalled clients are cut by a per-request deadline rather
+// than allowed to pin the serving thread.
+#ifndef MOSAIC_NET_METRICS_HTTP_H_
+#define MOSAIC_NET_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace mosaic {
+namespace net {
+
+class MetricsHttpServer {
+ public:
+  /// Called per scrape; returns the text-format body.
+  using RenderFn = std::function<std::string()>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port (read back via port()).
+    uint16_t port = 0;
+  };
+
+  MetricsHttpServer(RenderFn render, Options options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Bind, listen, and start the serving thread.
+  Status Start();
+
+  /// Port actually bound; valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// Stop serving and join. Idempotent; called by the destructor.
+  void Shutdown();
+
+ private:
+  void Serve();
+  void HandleOne(int fd);
+
+  RenderFn render_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace net
+}  // namespace mosaic
+
+#endif  // MOSAIC_NET_METRICS_HTTP_H_

@@ -459,6 +459,7 @@ std::string EncodeHelloReply(const HelloReply& m) {
   w.PutU32(m.version);
   w.PutU64(m.session_id);
   w.PutString(m.server_name);
+  w.PutU32(m.minor_version);
   return w.Take();
 }
 
@@ -468,6 +469,11 @@ Result<HelloReply> DecodeHelloReply(std::string_view payload) {
   MOSAIC_ASSIGN_OR_RETURN(m.version, r.ReadU32());
   MOSAIC_ASSIGN_OR_RETURN(m.session_id, r.ReadU64());
   MOSAIC_ASSIGN_OR_RETURN(m.server_name, r.ReadString());
+  // Minor-0 servers end the payload here.
+  m.minor_version = 0;
+  if (r.remaining() >= 4) {
+    MOSAIC_ASSIGN_OR_RETURN(m.minor_version, r.ReadU32());
+  }
   return m;
 }
 
@@ -540,6 +546,35 @@ Result<std::vector<QueryOutcome>> DecodeBatchResultReply(
   return outcomes;
 }
 
+void EncodeHistogramSnapshot(const std::string& name,
+                             const metrics::HistogramSnapshot& h,
+                             WireWriter* w) {
+  w->PutString(name);
+  w->PutU64(h.sum);
+  w->PutU32(static_cast<uint32_t>(h.buckets.size()));
+  for (uint64_t b : h.buckets) w->PutU64(b);
+}
+
+Result<StatsSnapshot::HistogramEntry> DecodeHistogramSnapshot(
+    WireReader* r) {
+  StatsSnapshot::HistogramEntry e;
+  MOSAIC_ASSIGN_OR_RETURN(e.name, r->ReadString());
+  MOSAIC_ASSIGN_OR_RETURN(e.histogram.sum, r->ReadU64());
+  MOSAIC_ASSIGN_OR_RETURN(uint32_t num_buckets, r->ReadU32());
+  if (static_cast<uint64_t>(num_buckets) * 8 > r->remaining()) {
+    return Status::InvalidArgument("histogram bucket count exceeds payload");
+  }
+  e.histogram.buckets.resize(num_buckets);
+  e.histogram.count = 0;
+  for (uint32_t i = 0; i < num_buckets; ++i) {
+    MOSAIC_ASSIGN_OR_RETURN(e.histogram.buckets[i], r->ReadU64());
+    // The total is derived, never trusted from the wire: a hostile
+    // count cannot contradict the buckets it claims to summarize.
+    e.histogram.count += e.histogram.buckets[i];
+  }
+  return e;
+}
+
 std::string EncodeStatsReply(const StatsSnapshot& m) {
   const uint64_t fields[] = {
       m.queries_total,        m.queries_failed,
@@ -553,11 +588,20 @@ std::string EncodeStatsReply(const StatsSnapshot& m) {
       m.protocol_errors,      m.weight_epochs_published,
       m.weight_refits_total,  m.weight_refits_skipped,
       m.weight_refits_incremental,
+      // Minor 1 — strictly appended.
+      m.connections_closed,   m.malformed_frames,
+      m.inflight_highwater,
   };
   constexpr size_t kNumFields = sizeof(fields) / sizeof(fields[0]);
   WireWriter w;
   w.PutU32(static_cast<uint32_t>(kNumFields));
   for (uint64_t f : fields) w.PutU64(f);
+  // Histogram section (minor 1), after the uint64 list: a minor-0
+  // decoder reads its declared field count and ignores the rest.
+  w.PutU32(static_cast<uint32_t>(m.histograms.size()));
+  for (const auto& e : m.histograms) {
+    EncodeHistogramSnapshot(e.name, e.histogram, &w);
+  }
   return w.Take();
 }
 
@@ -579,13 +623,29 @@ Result<StatsSnapshot> DecodeStatsReply(std::string_view payload) {
       &m.frames_received,      &m.frames_sent,
       &m.protocol_errors,      &m.weight_epochs_published,
       &m.weight_refits_total,  &m.weight_refits_skipped,
-      &m.weight_refits_incremental,
+      &m.weight_refits_incremental, &m.connections_closed,
+      &m.malformed_frames,     &m.inflight_highwater,
   };
   constexpr size_t kNumFields = sizeof(fields) / sizeof(fields[0]);
   for (uint32_t i = 0; i < count; ++i) {
     MOSAIC_ASSIGN_OR_RETURN(uint64_t v, r.ReadU64());
     // Unknown trailing fields from a newer server are skipped.
     if (i < kNumFields) *fields[i] = v;
+  }
+  // Histogram section: absent entirely from a minor-0 server.
+  if (r.AtEnd()) return m;
+  MOSAIC_ASSIGN_OR_RETURN(uint32_t num_histograms, r.ReadU32());
+  // Each histogram costs at least 16 bytes (empty name + sum +
+  // bucket count), so a count the payload cannot hold is rejected
+  // before any allocation.
+  if (num_histograms > r.remaining() / 16) {
+    return Status::InvalidArgument("histogram count exceeds payload");
+  }
+  m.histograms.reserve(num_histograms);
+  for (uint32_t i = 0; i < num_histograms; ++i) {
+    MOSAIC_ASSIGN_OR_RETURN(StatsSnapshot::HistogramEntry e,
+                            DecodeHistogramSnapshot(&r));
+    m.histograms.push_back(std::move(e));
   }
   return m;
 }

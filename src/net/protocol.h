@@ -46,6 +46,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/table.h"
 #include "storage/value.h"
@@ -57,6 +58,13 @@ namespace net {
 /// version; the server refuses mismatches with an ERROR frame so old
 /// clients fail loudly instead of misparsing.
 constexpr uint32_t kProtocolVersion = 1;
+
+/// Backwards-compatible revision within kProtocolVersion. Minor 1
+/// appends histogram snapshots and extra counters to STATS_RESULT and
+/// the server's minor version to HELLO_OK — all strictly appended, so
+/// a minor-0 peer decodes the prefix it knows and ignores the tail
+/// (decoders never require the appended bytes to be present).
+constexpr uint32_t kProtocolMinorVersion = 1;
 
 /// Upper bound on one frame's length field. Limits both directions:
 /// decoders reject bigger prefixes before allocating, encoders refuse
@@ -211,6 +219,8 @@ struct HelloReply {
   uint32_t version = kProtocolVersion;
   uint64_t session_id = 0;
   std::string server_name;
+  /// Appended in minor 1; decodes as 0 from a minor-0 server.
+  uint32_t minor_version = kProtocolMinorVersion;
 };
 
 /// Combined service + network counters answered to STATS. Encoded as
@@ -240,7 +250,29 @@ struct StatsSnapshot {
   uint64_t weight_refits_total = 0;
   uint64_t weight_refits_skipped = 0;
   uint64_t weight_refits_incremental = 0;
+  /// Appended in minor 1 (same skip-the-tail rule).
+  uint64_t connections_closed = 0;
+  uint64_t malformed_frames = 0;
+  uint64_t inflight_highwater = 0;
+
+  /// Named latency histograms, appended in minor 1 AFTER the uint64
+  /// list: a minor-0 client's decoder stops at the declared field
+  /// count and never sees them; a minor-1 decoder treats an absent
+  /// section (minor-0 server) as empty.
+  struct HistogramEntry {
+    std::string name;
+    metrics::HistogramSnapshot histogram;
+  };
+  std::vector<HistogramEntry> histograms;
 };
+
+/// Histogram codec (name + sum + buckets; the sample count is derived
+/// from the bucket totals on decode).
+void EncodeHistogramSnapshot(const std::string& name,
+                             const metrics::HistogramSnapshot& h,
+                             WireWriter* w);
+Result<StatsSnapshot::HistogramEntry> DecodeHistogramSnapshot(
+    WireReader* r);
 
 std::string EncodeHelloRequest(const HelloRequest& m);
 Result<HelloRequest> DecodeHelloRequest(std::string_view payload);

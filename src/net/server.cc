@@ -211,9 +211,12 @@ NetServerStats Server::stats() const {
   NetServerStats s;
   s.connections_opened = connections_opened_.load();
   s.connections_rejected = connections_rejected_.load();
+  s.connections_closed = connections_closed_.load();
   s.frames_received = frames_received_.load();
   s.frames_sent = frames_sent_.load();
   s.protocol_errors = protocol_errors_.load();
+  s.malformed_frames = malformed_frames_.load();
+  s.inflight_highwater = inflight_highwater_.load();
   s.connections_active = connections_active_.load();
   return s;
 }
@@ -243,6 +246,15 @@ StatsSnapshot Server::Snapshot() const {
   snap.weight_refits_total = svc.weight_refits_total;
   snap.weight_refits_skipped = svc.weight_refits_skipped;
   snap.weight_refits_incremental = svc.weight_refits_incremental;
+  snap.connections_closed = nets.connections_closed;
+  snap.malformed_frames = nets.malformed_frames;
+  snap.inflight_highwater = nets.inflight_highwater;
+  // Ship every registry histogram (the service's latency histograms
+  // and whatever else the process registered) so remote clients see
+  // the same distribution a local /metrics scrape would.
+  for (auto& [name, h] : metrics::Registry::Global().HistogramSnapshots()) {
+    snap.histograms.push_back({name, std::move(h)});
+  }
   return snap;
 }
 
@@ -428,7 +440,10 @@ Status Server::ReadFromConnection(Connection* conn) {
     if (!*got) break;
     frames_received_.fetch_add(1);
     Status s = HandleFrame(conn, std::move(frame));
-    if (!s.ok()) SendProtocolError(conn, s);
+    if (!s.ok()) {
+      malformed_frames_.fetch_add(1);
+      SendProtocolError(conn, s);
+    }
   }
   return Status::OK();
 }
@@ -514,10 +529,12 @@ void Server::DispatchQuery(Connection* conn, uint64_t seq,
       break;
     }
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    conn->inflight++;
+    depth = ++conn->inflight;
   }
+  RaiseInflightHighwater(depth);
   auto wake = wake_;
   conn->session->SubmitAsync(
       std::move(sql), [owner, wake, seq](Result<Table> result) {
@@ -542,10 +559,12 @@ void Server::DispatchBatch(Connection* conn, uint64_t seq,
       break;
     }
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    conn->inflight++;
+    depth = ++conn->inflight;
   }
+  RaiseInflightHighwater(depth);
   auto wake = wake_;
   if (sqls.empty()) {
     DeliverReply(owner, wake, seq,
@@ -639,6 +658,7 @@ void Server::CloseConnection(size_t index, bool abort_inflight) {
   ::close(conn->fd);
   conn->fd = -1;
   service_->CloseSession(*conn->session);
+  connections_closed_.fetch_add(1);
   connections_.erase(connections_.begin() +
                      static_cast<ptrdiff_t>(index));
   connections_active_.store(connections_.size());
@@ -646,6 +666,14 @@ void Server::CloseConnection(size_t index, bool abort_inflight) {
     // Completion callbacks still reference this connection; keep it
     // on the zombie list until they have all fired.
     zombies_.push_back(std::move(conn));
+  }
+}
+
+void Server::RaiseInflightHighwater(size_t depth) {
+  uint64_t hw = inflight_highwater_.load(std::memory_order_relaxed);
+  while (hw < depth &&
+         !inflight_highwater_.compare_exchange_weak(
+             hw, depth, std::memory_order_relaxed)) {
   }
 }
 

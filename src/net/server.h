@@ -69,9 +69,15 @@ struct ServerOptions {
 struct NetServerStats {
   uint64_t connections_opened = 0;
   uint64_t connections_rejected = 0;
+  uint64_t connections_closed = 0;
   uint64_t frames_received = 0;
   uint64_t frames_sent = 0;
   uint64_t protocol_errors = 0;
+  /// Frames whose payload failed to decode (a subset of
+  /// protocol_errors, which also counts framing and state violations).
+  uint64_t malformed_frames = 0;
+  /// Highest per-connection in-flight statement depth ever observed.
+  uint64_t inflight_highwater = 0;
   size_t connections_active = 0;
 };
 
@@ -117,6 +123,8 @@ class Server {
   Status WriteToConnection(Connection* conn);
   void SendProtocolError(Connection* conn, const Status& error);
   void CloseConnection(size_t index, bool abort_inflight);
+  /// CAS-max the in-flight highwater to `depth`.
+  void RaiseInflightHighwater(size_t depth);
   void WakePoll();
 
   service::QueryService* service_;
@@ -138,9 +146,12 @@ class Server {
 
   std::atomic<uint64_t> connections_opened_{0};
   std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> connections_closed_{0};
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> malformed_frames_{0};
+  std::atomic<uint64_t> inflight_highwater_{0};
   std::atomic<size_t> connections_active_{0};
 };
 

@@ -1,7 +1,12 @@
 #include "service/query_service.h"
 
+#include <cctype>
+#include <chrono>
 #include <utility>
 
+#include "common/env.h"
+#include "common/logging.h"
+#include "exec/trace_table.h"
 #include "sql/parser.h"
 
 namespace mosaic {
@@ -73,6 +78,21 @@ QueryService::QueryService(ServiceOptions options)
         std::make_unique<ThreadPool>(options.num_generation_threads);
     db_.set_generation_pool(generation_pool_.get());
   }
+  slow_query_us_ = options.slow_query_ms;
+  if (slow_query_us_ < 0) {
+    if (auto env = EnvSize("MOSAIC_SLOW_QUERY_MS")) {
+      slow_query_us_ = static_cast<int64_t>(*env);
+    }
+  }
+  if (slow_query_us_ >= 0) slow_query_us_ *= 1000;
+  // The slow-query log needs a span tree to print, so it implies
+  // tracing.
+  trace_enabled_ =
+      options.trace_queries || EnvFlag("MOSAIC_TRACE") || slow_query_us_ >= 0;
+  auto& registry = metrics::Registry::Global();
+  latency_all_ = registry.GetHistogram("mosaic_query_latency_us");
+  latency_read_ = registry.GetHistogram("mosaic_read_latency_us");
+  latency_write_ = registry.GetHistogram("mosaic_write_latency_us");
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -122,6 +142,30 @@ std::string ComposeCacheKey(const std::string& canonical,
          "w" + std::to_string(stamp.weight_epoch);
 }
 
+/// Cheap pre-parse check for EXPLAIN as the first token, so the trace
+/// (and its parse span) exists before parsing. A leading comment
+/// defeats it; the parser still sets the flag and the trace is then
+/// created after the fact (losing only the parse span).
+bool LooksLikeExplain(const std::string& sql) {
+  static const char kKeyword[] = "EXPLAIN";
+  size_t i = 0;
+  while (i < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  for (size_t k = 0; k + 1 < sizeof(kKeyword); ++k) {
+    if (i + k >= sql.size() ||
+        std::toupper(static_cast<unsigned char>(sql[i + k])) !=
+            kKeyword[k]) {
+      return false;
+    }
+  }
+  size_t end = i + sizeof(kKeyword) - 1;
+  return end >= sql.size() ||
+         !(std::isalnum(static_cast<unsigned char>(sql[end])) ||
+           sql[end] == '_');
+}
+
 }  // namespace
 
 Result<Table> QueryService::Run(const std::string& sql,
@@ -129,16 +173,64 @@ Result<Table> QueryService::Run(const std::string& sql,
   if (session != nullptr) {
     queries_total_.fetch_add(1, std::memory_order_relaxed);
   }
-  auto fail = [this](Status status) -> Result<Table> {
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  // EXPLAIN ANALYZE statements get a trace even when tracing is off —
+  // the trace IS their result.
+  std::unique_ptr<trace::QueryTrace> trace;
+  if (trace_enabled_ || LooksLikeExplain(sql)) {
+    trace = std::make_unique<trace::QueryTrace>();
+  }
+
+  bool is_read = false;
+  bool explain = false;
+  Result<Table> result = RunInternal(sql, trace.get(), &is_read, &explain);
+
+  const uint64_t elapsed_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  latency_all_->Record(elapsed_us);
+  (is_read ? latency_read_ : latency_write_)->Record(elapsed_us);
+
+  // The single failure-accounting point: every error path inside
+  // RunInternal (parse, classification, execution) lands here exactly
+  // once (tests/test_service.cc pins this down).
+  if (!result.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
-    return status;
-  };
+  }
+
+  if (trace != nullptr && slow_query_us_ >= 0 &&
+      elapsed_us >= static_cast<uint64_t>(slow_query_us_)) {
+    MOSAIC_LOG(Warning) << "slow query (" << elapsed_us / 1000 << " ms): "
+                        << sql << "\n"
+                        << trace->ToString();
+  }
+
+  if (result.ok() && explain && trace != nullptr) {
+    // All spans are closed by now (RunInternal returned), so the
+    // rendered tree accounts for the full pipeline.
+    return exec::TraceToTable(*trace);
+  }
+  return result;
+}
+
+Result<Table> QueryService::RunInternal(const std::string& sql,
+                                        trace::QueryTrace* trace,
+                                        bool* is_read, bool* explain) {
+  trace::ScopedSpan stmt_span(trace, trace::kNoParent, "statement");
 
   // Parse once: the AST classifies the statement and is then handed
   // to the engine for execution (ExecuteParsed).
-  auto parsed = sql::ParseStatement(sql);
-  if (!parsed.ok()) return fail(parsed.status());
-  sql::Statement stmt = std::move(parsed).value();
+  sql::Statement stmt;
+  {
+    trace::ScopedSpan span(trace, stmt_span.id(), "parse");
+    auto parsed = sql::ParseStatement(sql);
+    if (!parsed.ok()) return parsed.status();
+    stmt = std::move(parsed).value();
+  }
+  *explain = stmt.Is<sql::SelectStmt>() &&
+             stmt.As<sql::SelectStmt>().explain_analyze;
 
   // §7 "Multiple Samples" mode rebuilds the union scratch sample
   // lazily inside SELECT, so reads stop being read-only.
@@ -146,28 +238,46 @@ Result<Table> QueryService::Run(const std::string& sql,
                        !db_.union_samples();
 
   if (treat_as_read) {
+    *is_read = true;
     reads_.fetch_add(1, std::memory_order_relaxed);
     std::string canonical;
-    if (auto canon = CanonicalizeSql(sql); canon.ok()) {
-      canonical = std::move(*canon);
+    {
+      trace::ScopedSpan span(trace, stmt_span.id(), "canonicalize");
+      if (auto canon = CanonicalizeSql(sql); canon.ok()) {
+        canonical = std::move(*canon);
+      }
     }
-    std::shared_lock<std::shared_mutex> read_lock(catalog_mu_);
+    std::shared_lock<std::shared_mutex> read_lock(catalog_mu_,
+                                                  std::defer_lock);
+    {
+      trace::ScopedSpan span(trace, stmt_span.id(), "lock_wait");
+      read_lock.lock();
+    }
     // Stamped lookup under the shared lock: the stamp pins which
     // catalog version and weight epoch the entry must have been
-    // computed under.
+    // computed under. EXPLAIN ANALYZE never consults the cache — its
+    // answer is this execution's timings (StampFor also reports it
+    // uncacheable).
     core::Database::CacheStamp stamp;
-    if (!canonical.empty()) {
+    if (!canonical.empty() && !*explain) {
+      trace::ScopedSpan span(trace, stmt_span.id(), "cache_lookup");
       stamp = db_.StampFor(stmt);
       if (stamp.cacheable) {
         if (auto cached = result_cache_.Get(ComposeCacheKey(canonical,
                                                             stamp))) {
+          span.Note("hit");
           return Table(**cached);
         }
+        span.Note("miss");
       }
     }
-    Result<Table> result = db_.ExecuteParsed(&stmt);
-    if (!result.ok()) return fail(result.status());
+    Result<Table> result = [&]() -> Result<Table> {
+      trace::ScopedSpan span(trace, stmt_span.id(), "execute");
+      return db_.ExecuteParsed(&stmt, trace, span.id());
+    }();
+    if (!result.ok()) return result;
     if (stamp.cacheable) {
+      trace::ScopedSpan span(trace, stmt_span.id(), "cache_store");
       // Keyed under the lookup stamp, never a re-read one: an entry
       // can only be hit by statements that stamped the same (catalog
       // version, epoch), i.e. that raced the same publications this
@@ -188,12 +298,19 @@ Result<Table> QueryService::Run(const std::string& sql,
   }
 
   writes_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> write_lock(catalog_mu_);
-  Result<Table> result = db_.ExecuteParsed(&stmt);
+  std::unique_lock<std::shared_mutex> write_lock(catalog_mu_,
+                                                 std::defer_lock);
+  {
+    trace::ScopedSpan span(trace, stmt_span.id(), "lock_wait");
+    write_lock.lock();
+  }
+  Result<Table> result = [&]() -> Result<Table> {
+    trace::ScopedSpan span(trace, stmt_span.id(), "execute");
+    return db_.ExecuteParsed(&stmt, trace, span.id());
+  }();
   // No cache flush: the write bumped the catalog version (or
   // published a weight epoch), so every entry it could have staled is
   // now unreachable by key. Unrelated entries keep their hits.
-  if (!result.ok()) return fail(result.status());
   return result;
 }
 

@@ -45,8 +45,10 @@
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/database.h"
 #include "service/sql_canonical.h"
 #include "storage/table.h"
@@ -78,6 +80,17 @@ struct ServiceOptions {
   /// Max concurrent morsels per query, counting the thread executing
   /// the query; 0 = that thread plus every request worker.
   size_t morsel_parallelism = 0;
+  /// Trace every statement (parse, cache, execute, per-phase executor
+  /// spans). Results are bit-identical traced or not; the cost is the
+  /// span bookkeeping. Also enabled by MOSAIC_TRACE=1. EXPLAIN
+  /// ANALYZE statements are always traced regardless of this flag.
+  bool trace_queries = false;
+  /// Statements taking at least this many milliseconds log their span
+  /// tree at WARNING. Negative = disabled; also settable via
+  /// MOSAIC_SLOW_QUERY_MS (the option wins when >= 0). Enabling the
+  /// slow-query log implies trace_queries — without spans there would
+  /// be nothing to print.
+  int64_t slow_query_ms = -1;
 };
 
 /// Aggregate service counters; a consistent-enough snapshot for
@@ -187,6 +200,13 @@ class QueryService {
 
   Result<Table> Run(const std::string& sql, Session::State* session);
 
+  /// Run's parse/classify/lock/cache/execute pipeline. Failure
+  /// accounting (queries_failed) and latency recording live in Run —
+  /// the single exit point — so every error path counts exactly once.
+  Result<Table> RunInternal(const std::string& sql,
+                            trace::QueryTrace* trace, bool* is_read,
+                            bool* explain);
+
   ServiceOptions options_;
   core::Database db_;
   ThreadPool request_pool_;
@@ -203,6 +223,17 @@ class QueryService {
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> sessions_closed_{0};
+
+  /// Resolved tracing config (options + MOSAIC_TRACE /
+  /// MOSAIC_SLOW_QUERY_MS environment fallbacks).
+  bool trace_enabled_ = false;
+  int64_t slow_query_us_ = -1;  ///< < 0 disables the slow-query log
+  /// Latency histograms in the process-wide registry; recorded for
+  /// every statement whether or not tracing is on (a Record is three
+  /// relaxed atomic adds).
+  metrics::Histogram* latency_all_;
+  metrics::Histogram* latency_read_;
+  metrics::Histogram* latency_write_;
 };
 
 }  // namespace service

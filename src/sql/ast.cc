@@ -178,7 +178,7 @@ ExprPtr Expr::MakeAggregate(AggFunc func, ExprPtr arg, bool star) {
 }
 
 std::string SelectStmt::ToString() const {
-  std::string out = "SELECT ";
+  std::string out = explain_analyze ? "EXPLAIN ANALYZE SELECT " : "SELECT ";
   if (visibility != Visibility::kDefault) {
     out += std::string(VisibilityName(visibility)) + " ";
   }

@@ -118,6 +118,10 @@ struct OrderByItem {
 };
 
 struct SelectStmt {
+  /// EXPLAIN ANALYZE SELECT ...: execute the query normally but
+  /// return the span tree of the traced execution instead of the
+  /// query's rows. Never served from or stored into the result cache.
+  bool explain_analyze = false;
   Visibility visibility = Visibility::kDefault;
   bool select_star = false;       ///< SELECT *
   std::vector<SelectItem> items;  ///< empty when select_star
@@ -193,10 +197,13 @@ struct UpdateStmt {
   ExprPtr where;  ///< may be null
 };
 
-/// SHOW TABLES | POPULATIONS | SAMPLES | METADATA — catalog
-/// introspection (used by the interactive shell).
+/// SHOW TABLES | POPULATIONS | SAMPLES | METADATA | METRICS —
+/// catalog introspection (used by the interactive shell). METRICS
+/// dumps the process-wide metrics registry; unlike the catalog
+/// variants it is never result-cached (the registry moves on every
+/// query).
 struct ShowStmt {
-  enum class What { kTables, kPopulations, kSamples, kMetadata };
+  enum class What { kTables, kPopulations, kSamples, kMetadata, kMetrics };
   What what = What::kTables;
 };
 

@@ -73,6 +73,8 @@ bool IsReservedKeyword(const std::string& w) {
       "PERCENT", "UNIFORM", "STRATIFIED", "ON", "CLOSED", "SEMI", "OPEN",
       "SEMIOPEN", "FOR", "WEIGHT", "HAVING", "SHOW", "TABLES",
       "POPULATIONS", "SAMPLES",
+      // Observability
+      "EXPLAIN", "ANALYZE", "METRICS",
   };
   return kKeywords.count(w) > 0;
 }

@@ -37,6 +37,20 @@ class Parser {
       stmt.node = std::move(sel);
       return stmt;
     }
+    if (t.IsKeyword("EXPLAIN")) {
+      Advance();
+      // Plain EXPLAIN (no execution) has no plan to print in this
+      // engine; only the ANALYZE form exists.
+      MOSAIC_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+      if (!Peek().IsKeyword("SELECT")) {
+        return Error("EXPLAIN ANALYZE supports SELECT statements only");
+      }
+      MOSAIC_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+      sel.explain_analyze = true;
+      Statement stmt;
+      stmt.node = std::move(sel);
+      return stmt;
+    }
     if (t.IsKeyword("CREATE")) return ParseCreate();
     if (t.IsKeyword("INSERT")) return ParseInsert();
     if (t.IsKeyword("COPY")) return ParseCopy();
@@ -422,8 +436,11 @@ class Parser {
       stmt.what = ShowStmt::What::kSamples;
     } else if (MatchKeyword("METADATA")) {
       stmt.what = ShowStmt::What::kMetadata;
+    } else if (MatchKeyword("METRICS")) {
+      stmt.what = ShowStmt::What::kMetrics;
     } else {
-      return Error("expected TABLES, POPULATIONS, SAMPLES or METADATA");
+      return Error(
+          "expected TABLES, POPULATIONS, SAMPLES, METADATA or METRICS");
     }
     Statement out;
     out.node = stmt;

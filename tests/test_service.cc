@@ -490,6 +490,150 @@ TEST_F(ServiceTest, StatsExposeModelCache) {
   EXPECT_EQ(service_->Stats().model_cache.entries, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Observability: failure accounting, tracing, EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, QueriesFailedCountsEveryErrorPathExactlyOnce) {
+  auto failed = [this] { return service_->Stats().queries_failed; };
+  const uint64_t base = failed();
+  // Parse error.
+  EXPECT_FALSE(service_->Execute("SELEKT nonsense").ok());
+  EXPECT_EQ(failed(), base + 1);
+  // Read-path execution error (unknown table).
+  EXPECT_FALSE(service_->Execute("SELECT * FROM NoSuchTable").ok());
+  EXPECT_EQ(failed(), base + 2);
+  // Write-path execution error (duplicate table).
+  EXPECT_FALSE(
+      service_->Execute("CREATE TABLE ColorReport (color VARCHAR)").ok());
+  EXPECT_EQ(failed(), base + 3);
+  // Successes move nothing.
+  EXPECT_TRUE(service_->Execute("SELECT COUNT(*) FROM Things").ok());
+  EXPECT_EQ(failed(), base + 3);
+}
+
+TEST_F(ServiceTest, LatencyHistogramsRecordEveryStatement) {
+  auto count = [] {
+    return metrics::Registry::Global()
+        .GetHistogram("mosaic_query_latency_us")
+        ->Snapshot()
+        .count;
+  };
+  const uint64_t base = count();
+  ASSERT_TRUE(service_->Execute("SELECT COUNT(*) FROM Things").ok());
+  EXPECT_FALSE(service_->Execute("SELEKT nope").ok());  // failures too
+  ASSERT_TRUE(
+      service_->Execute("INSERT INTO ColorReport VALUES ('green', 1)")
+          .ok());
+  EXPECT_EQ(count(), base + 3);
+}
+
+TEST_F(ServiceTest, ExplainAnalyzeReturnsSpanTree) {
+  auto r = service_->Execute(
+      "EXPLAIN ANALYZE SELECT CLOSED COUNT(*) FROM Things");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_columns(), 4u);
+  EXPECT_EQ(r->schema().column(0).name, "span");
+  EXPECT_EQ(r->schema().column(1).name, "start_us");
+  EXPECT_EQ(r->schema().column(2).name, "duration_us");
+  ASSERT_GE(r->num_rows(), 3u);
+  // Root span first (pre-order), with parse and execute among its
+  // children.
+  EXPECT_EQ(r->GetValue(0, 0).AsString(), "statement");
+  bool saw_parse = false, saw_execute = false;
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    const std::string span = r->GetValue(row, 0).AsString();
+    if (span.find("parse") != std::string::npos) saw_parse = true;
+    if (span.find("execute") != std::string::npos) saw_execute = true;
+  }
+  EXPECT_TRUE(saw_parse);
+  EXPECT_TRUE(saw_execute);
+  // Never cached: a second EXPLAIN reports its own execution.
+  const uint64_t inserts_before = service_->Stats().result_cache.insertions;
+  ASSERT_TRUE(service_
+                  ->Execute(
+                      "EXPLAIN ANALYZE SELECT CLOSED COUNT(*) FROM Things")
+                  .ok());
+  EXPECT_EQ(service_->Stats().result_cache.insertions, inserts_before);
+}
+
+TEST_F(ServiceTest, ExplainAnalyzeSpansAccountForMostOfTheWallTime) {
+  auto r = service_->Execute(
+      "EXPLAIN ANALYZE SELECT CLOSED color, COUNT(*) FROM Things "
+      "GROUP BY color ORDER BY color");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Root duration ~ wall time; its direct children (parse,
+  // canonicalize, lock_wait, execute, ...) must cover >= 90% of it.
+  // Depth is encoded as two-space indentation in the span column.
+  const int64_t wall = r->GetValue(0, 2).AsInt64();
+  int64_t children = 0;
+  for (size_t row = 1; row < r->num_rows(); ++row) {
+    const std::string span = r->GetValue(row, 0).AsString();
+    const size_t indent = span.find_first_not_of(' ');
+    if (indent == 2) children += r->GetValue(row, 2).AsInt64();
+  }
+  // Span timestamps are microsecond-granular, so allow a small
+  // absolute slack on top of the 90% bar for very fast statements.
+  EXPECT_GE(children * 10 + 50, wall * 9)
+      << "children cover " << children << "us of " << wall << "us";
+}
+
+TEST_F(ServiceTest, TracedExecutionIsBitIdenticalToUntraced) {
+  ServiceOptions traced_opts;
+  traced_opts.num_request_threads = 4;
+  traced_opts.num_generation_threads = 2;
+  traced_opts.trace_queries = true;
+  QueryService traced(traced_opts);
+  SetUpTinyWorld(traced.database());
+
+  const std::vector<std::string> queries = {
+      "SELECT CLOSED color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color",
+      "SELECT SEMI-OPEN COUNT(*) AS c FROM Things",
+      "SELECT OPEN color, COUNT(*) AS c FROM Things GROUP BY color "
+      "ORDER BY color",
+      "SHOW TABLES",
+  };
+  for (const auto& sql : queries) {
+    auto plain = service_->Execute(sql);
+    auto with_trace = traced.Execute(sql);
+    ASSERT_TRUE(plain.ok()) << sql;
+    ASSERT_TRUE(with_trace.ok()) << sql;
+    EXPECT_TRUE(TablesEqual(*plain, *with_trace)) << sql;
+  }
+}
+
+TEST_F(ServiceTest, SlowQueryLogThresholdDoesNotDisturbResults) {
+  ServiceOptions opts;
+  opts.num_request_threads = 2;
+  opts.num_generation_threads = 0;
+  opts.slow_query_ms = 0;  // log everything: exercises the log path
+  QueryService noisy(opts);
+  SetUpTinyWorld(noisy.database());
+  auto r = noisy.Execute("SELECT CLOSED COUNT(*) AS c FROM Things");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetValue(0, 0).AsInt64(), 8);
+}
+
+TEST_F(ServiceTest, ShowMetricsListsRegistryMetrics) {
+  ASSERT_TRUE(service_->Execute("SELECT COUNT(*) FROM Things").ok());
+  auto r = service_->Execute("SHOW METRICS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_columns(), 2u);
+  EXPECT_EQ(r->schema().column(0).name, "metric");
+  EXPECT_EQ(r->schema().column(1).name, "value");
+  bool saw_latency_count = false;
+  std::string last_name;
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    const std::string name = r->GetValue(row, 0).AsString();
+    if (name == "mosaic_query_latency_us_count") {
+      saw_latency_count = true;
+      EXPECT_GE(r->GetValue(row, 1).AsDouble(), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_latency_count);
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace mosaic

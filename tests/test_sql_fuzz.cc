@@ -353,6 +353,26 @@ bool CheckExecutorParity(const Table& table, const std::string& sql,
         << sql;
   }
 
+  // Tracing must never change results: the batch path with a live
+  // QueryTrace attached is bit-identical to the untraced run (or
+  // fails with the identical status).
+  {
+    trace::QueryTrace query_trace;
+    ExecOptions traced_opts = batch_opts;
+    traced_opts.trace = &query_trace;
+    auto traced_res = ExecuteSelect(table, stmt, traced_opts);
+    EXPECT_EQ(batch_res.ok(), traced_res.ok())
+        << sql << "\n batch: " << batch_res.status().ToString()
+        << "\n traced: " << traced_res.status().ToString();
+    if (batch_res.ok() && traced_res.ok()) {
+      ExpectTablesIdentical(*batch_res, *traced_res, "traced: " + sql);
+    } else if (!batch_res.ok() && !traced_res.ok()) {
+      EXPECT_EQ(batch_res.status().ToString(),
+                traced_res.status().ToString())
+          << sql;
+    }
+  }
+
   for (size_t morsel_size : kMorselSizes) {
     ExecOptions morsel_opts = batch_opts;
     morsel_opts.morsels.morsel_size = morsel_size;
@@ -590,9 +610,11 @@ TEST(SqlFuzz, VisibilityLevelsBitIdenticalAcrossPaths) {
   core::Database row_db;
   core::Database batch_db;
   core::Database morsel_db;
+  core::Database traced_db;
   SetUpFuzzWorld(&row_db);
   SetUpFuzzWorld(&batch_db);
   SetUpFuzzWorld(&morsel_db);
+  SetUpFuzzWorld(&traced_db);
   if (::testing::Test::HasFatalFailure()) return;
   row_db.set_force_row_exec(true);
   morsel_db.set_morsel_pool(&pool);
@@ -612,6 +634,23 @@ TEST(SqlFuzz, VisibilityLevelsBitIdenticalAcrossPaths) {
     auto row_res = row_db.Execute(sql);
     auto batch_res = batch_db.Execute(sql);
     auto morsel_res = morsel_db.Execute(sql);
+    // Trace-enabled leg: the engine with a live QueryTrace collecting
+    // spans (weight pins, training, executor phases) must stay
+    // bit-identical to the untraced batch engine.
+    auto traced_res = [&]() -> Result<Table> {
+      auto parsed = sql::ParseStatement(sql);
+      if (!parsed.ok()) return parsed.status();
+      trace::QueryTrace query_trace;
+      trace::ScopedSpan root(&query_trace, trace::kNoParent, "statement");
+      return traced_db.ExecuteParsed(&*parsed, &query_trace, root.id());
+    }();
+    ASSERT_EQ(batch_res.ok(), traced_res.ok())
+        << sql << "\n batch: " << batch_res.status().ToString()
+        << "\n traced: " << traced_res.status().ToString();
+    if (batch_res.ok()) {
+      ExpectTablesIdentical(*batch_res, *traced_res, "traced: " + sql);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
     ASSERT_EQ(row_res.ok(), batch_res.ok())
         << sql << "\n row: " << row_res.status().ToString()
         << "\n batch: " << batch_res.status().ToString();

@@ -43,8 +43,8 @@ Table MakeSynthetic(size_t rows) {
   Rng rng(42);
   Column carrier(DataType::kString);
   carrier.Reserve(rows);
-  std::vector<int64_t> dist(rows);
-  std::vector<double> delay(rows), weight(rows);
+  AlignedVector<int64_t> dist(rows);
+  AlignedVector<double> delay(rows), weight(rows);
   for (size_t r = 0; r < rows; ++r) {
     carrier.AppendString(kCarriers[rng.UniformInt(uint64_t{8})]);
     dist[r] = rng.UniformInt(int64_t{0}, int64_t{2999});
@@ -242,7 +242,9 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_executor.json\n");
     return 1;
   }
-  std::fprintf(json, "{\n  \"rows\": %zu,\n  \"benches\": [\n", rows);
+  std::fprintf(json, "{\n  \"rows\": %zu,\n", rows);
+  PrintHostJson(json, /*morsel_threads=*/1);
+  std::fprintf(json, "  \"benches\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(json,
@@ -257,7 +259,13 @@ int main() {
   std::printf("wrote BENCH_executor.json\n");
 
   // --- Morsel-parallel configurations -----------------------------------
-  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  // Pool size defaults to the hardware; MOSAIC_BENCH_THREADS overrides
+  // it so the bench script can record an explicit multi-threaded leg
+  // (MOSAIC_MORSELS is taken: it sets the engine-wide morsel size).
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("MOSAIC_BENCH_THREADS")) {
+    hw = std::max<size_t>(1, static_cast<size_t>(std::atoll(env)));
+  }
   ThreadPool pool(hw);
   std::printf("morsel pool: %zu worker(s) + caller\n", pool.num_threads());
   const size_t morsel_sizes[] = {16384, 65536};
@@ -290,10 +298,10 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_morsel.json\n");
     return 1;
   }
-  std::fprintf(mjson,
-               "{\n  \"rows\": %zu,\n  \"pool_threads\": %zu,\n"
-               "  \"benches\": [\n",
+  std::fprintf(mjson, "{\n  \"rows\": %zu,\n  \"pool_threads\": %zu,\n",
                rows, pool.num_threads());
+  PrintHostJson(mjson, pool.num_threads() + 1);
+  std::fprintf(mjson, "  \"benches\": [\n");
   for (size_t i = 0; i < morsel_results.size(); ++i) {
     const MorselBenchResult& r = morsel_results[i];
     std::fprintf(mjson,

@@ -19,3 +19,15 @@ echo "--- BENCH_executor.json ---"
 cat BENCH_executor.json
 echo "--- BENCH_morsel.json ---"
 cat BENCH_morsel.json
+
+# Multi-threaded morsel leg: rerun the morsel comparison with an
+# explicit pool size so hosts whose default is one thread still record
+# a parallel data point (the JSON's host block says which is which).
+THREADS="${MOSAIC_BENCH_THREADS:-4}"
+if [[ "${THREADS}" -gt 1 ]]; then
+  MOSAIC_BENCH_ROWS="${ROWS}" MOSAIC_BENCH_THREADS="${THREADS}" \
+    ./build-release/bench_executor
+  mv BENCH_morsel.json "BENCH_morsel_t${THREADS}.json"
+  echo "--- BENCH_morsel_t${THREADS}.json ---"
+  cat "BENCH_morsel_t${THREADS}.json"
+fi

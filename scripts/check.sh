@@ -97,6 +97,27 @@ echo "=== Release + MOSAIC_TRACE=1 + MOSAIC_MORSELS=4: traced parity ==="
 MOSAIC_TRACE=1 MOSAIC_MORSELS=4 ctest --test-dir build-release \
   --output-on-failure -R 'test_(sql_fuzz|service|net_e2e)'
 
+# Scalar-parity leg: the SIMD kernels must be bit-identical to the
+# scalar reference end to end, not just per kernel. MOSAIC_SIMD=0
+# forces the scalar table; the SQL fuzzer (batch vs row oracle) and
+# the exec parity suite then prove scalar-batch == row, which together
+# with the default run (SIMD-batch == row) pins SIMD == scalar on
+# whole query plans.
+echo "=== Release + MOSAIC_SIMD=0: scalar kernel parity ==="
+MOSAIC_SIMD=0 ctest --test-dir build-release --output-on-failure \
+  -R 'test_(sql_fuzz|exec_parity|simd_kernels)'
+
+# UBSan leg over the executor tests: the SIMD layer leans on casts,
+# bit tricks, and alignment assumptions; undefined-behavior findings
+# there must fail CI even when the answers happen to come out right.
+echo "=== UBSan: executor + kernel tests ==="
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMOSAIC_SANITIZE=undefined
+cmake --build build-ubsan -j "${JOBS}" --target \
+  test_simd_kernels test_exec_parity test_executor test_sql_fuzz
+UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-ubsan \
+  --output-on-failure -R 'test_(simd_kernels|exec_parity|executor|sql_fuzz)'
+
 # Bench JSON smoke: the bench binaries must emit parseable JSON with
 # the latency histogram fields (BENCH_*.json feeds dashboards; a
 # malformed file fails silently downstream otherwise).

@@ -4,10 +4,31 @@
 #include <cmath>
 #include <numeric>
 
+#include "exec/simd.h"
+
 namespace mosaic {
 namespace exec {
 
 namespace {
+
+/// Comparison ops map 1:1 onto kernel predicates (callers only pass
+/// the six comparison BinaryOps here).
+inline simd::CmpOp ToSimdCmp(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return simd::CmpOp::kEq;
+    case sql::BinaryOp::kNe:
+      return simd::CmpOp::kNe;
+    case sql::BinaryOp::kLt:
+      return simd::CmpOp::kLt;
+    case sql::BinaryOp::kLe:
+      return simd::CmpOp::kLe;
+    case sql::BinaryOp::kGt:
+      return simd::CmpOp::kGt;
+    default:
+      return simd::CmpOp::kGe;
+  }
+}
 
 /// Double comparison matching Value::operator< / == (numeric Values
 /// always compare through their double view).
@@ -90,26 +111,19 @@ bool IsNumericSpan(const ColumnSpan& span) {
 void CodeCompareInto(const ColumnSpan& span, const std::string& literal,
                      sql::BinaryOp op, SelectionSlice rows,
                      uint8_t* mask) {
+  const simd::KernelTable& k = simd::ActiveKernels();
   if (op == sql::BinaryOp::kEq || op == sql::BinaryOp::kNe) {
     const int32_t code = span.dict->Find(literal);
-    if (op == sql::BinaryOp::kEq) {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        mask[i] = span.codes[rows[i]] == code;
-      }
-    } else {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        mask[i] = span.codes[rows[i]] != code;
-      }
-    }
+    k.mask_cmp_codes(span.codes, rows.data(), rows.size(), code,
+                     op == sql::BinaryOp::kEq, mask);
     return;
   }
   std::vector<uint8_t> table(span.dict->size());
   for (size_t c = 0; c < table.size(); ++c) {
     table[c] = CmpS(op, span.dict->Decode(static_cast<int32_t>(c)), literal);
   }
-  for (size_t i = 0; i < rows.size(); ++i) {
-    mask[i] = table[span.codes[rows[i]]];
-  }
+  k.mask_table_codes(span.codes, rows.data(), rows.size(), table.data(),
+                     mask);
 }
 
 Status CompareInto(const BoundExpr& expr, const TableView& view,
@@ -161,13 +175,20 @@ Status CompareInto(const BoundExpr& expr, const TableView& view,
   }
 
   // --- numeric comparisons ---------------------------------------------
+  const simd::KernelTable& k = simd::ActiveKernels();
   if (l.kind == BoundExpr::Kind::kColumnRef &&
       r.kind == BoundExpr::Kind::kLiteral &&
       IsNumericSpan(view.column(l.column_index))) {
     const ColumnSpan& span = view.column(l.column_index);
     MOSAIC_ASSIGN_OR_RETURN(double lit, r.literal.ToDouble());
-    for (size_t i = 0; i < n; ++i) {
-      mask[i] = CmpD(op, SpanDouble(span, rows[i]), lit);
+    if (span.type == DataType::kDouble) {
+      k.mask_cmp_f64(span.f64, rows.data(), n, ToSimdCmp(op), lit, mask);
+    } else if (span.type == DataType::kInt64) {
+      k.mask_cmp_i64(span.i64, rows.data(), n, ToSimdCmp(op), lit, mask);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = CmpD(op, SpanDouble(span, rows[i]), lit);
+      }
     }
     return Status::OK();
   }
@@ -177,8 +198,14 @@ Status CompareInto(const BoundExpr& expr, const TableView& view,
     const ColumnSpan& span = view.column(r.column_index);
     MOSAIC_ASSIGN_OR_RETURN(double lit, l.literal.ToDouble());
     const sql::BinaryOp rev = ReverseOp(op);
-    for (size_t i = 0; i < n; ++i) {
-      mask[i] = CmpD(rev, SpanDouble(span, rows[i]), lit);
+    if (span.type == DataType::kDouble) {
+      k.mask_cmp_f64(span.f64, rows.data(), n, ToSimdCmp(rev), lit, mask);
+    } else if (span.type == DataType::kInt64) {
+      k.mask_cmp_i64(span.i64, rows.data(), n, ToSimdCmp(rev), lit, mask);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = CmpD(rev, SpanDouble(span, rows[i]), lit);
+      }
     }
     return Status::OK();
   }
@@ -186,7 +213,7 @@ Status CompareInto(const BoundExpr& expr, const TableView& view,
                           EvalDoubleBatch(l, view, rows));
   MOSAIC_ASSIGN_OR_RETURN(std::vector<double> rv,
                           EvalDoubleBatch(r, view, rows));
-  for (size_t i = 0; i < n; ++i) mask[i] = CmpD(op, lv[i], rv[i]);
+  k.mask_cmp_f64_pair(lv.data(), rv.data(), n, ToSimdCmp(op), mask);
   return Status::OK();
 }
 
@@ -205,7 +232,8 @@ Status InInto(const BoundExpr& expr, const TableView& view,
         const int32_t code = span.dict->Find(item.AsString());
         if (code >= 0) member[code] = 1;
       }
-      for (size_t i = 0; i < n; ++i) mask[i] = member[span.codes[rows[i]]];
+      simd::ActiveKernels().mask_table_codes(span.codes, rows.data(), n,
+                                             member.data(), mask);
       return Status::OK();
     }
     MOSAIC_ASSIGN_OR_RETURN(BatchVec sb, EvalBatch(subject, view, rows));
@@ -227,14 +255,8 @@ Status InInto(const BoundExpr& expr, const TableView& view,
     MOSAIC_ASSIGN_OR_RETURN(double d, item.ToDouble());
     items.push_back(d);
   }
-  for (size_t i = 0; i < n; ++i) {
-    for (double item : items) {
-      if (vals[i] == item) {
-        mask[i] = 1;
-        break;
-      }
-    }
-  }
+  simd::ActiveKernels().mask_in_f64(vals.data(), n, items.data(),
+                                    items.size(), mask);
   return Status::OK();
 }
 
@@ -248,16 +270,11 @@ Status BetweenInto(const BoundExpr& expr, const TableView& view,
     const ColumnSpan& span = view.column(expr.child->column_index);
     MOSAIC_ASSIGN_OR_RETURN(double lo, expr.between_lo->literal.ToDouble());
     MOSAIC_ASSIGN_OR_RETURN(double hi, expr.between_hi->literal.ToDouble());
+    const simd::KernelTable& k = simd::ActiveKernels();
     if (span.type == DataType::kInt64) {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        const double v = static_cast<double>(span.i64[rows[i]]);
-        mask[i] = v >= lo && v <= hi;
-      }
+      k.mask_between_i64(span.i64, rows.data(), rows.size(), lo, hi, mask);
     } else if (span.type == DataType::kDouble) {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        const double v = span.f64[rows[i]];
-        mask[i] = v >= lo && v <= hi;
-      }
+      k.mask_between_f64(span.f64, rows.data(), rows.size(), lo, hi, mask);
     } else {
       for (size_t i = 0; i < rows.size(); ++i) {
         const double v = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
@@ -336,7 +353,7 @@ Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
     }
     case BoundExpr::Kind::kUnary: {
       MOSAIC_RETURN_IF_ERROR(EvalMaskInto(*expr.child, view, rows, dst));
-      for (size_t i = 0; i < n; ++i) dst[i] = !dst[i];
+      simd::ActiveKernels().mask_not(dst, n);
       return Status::OK();
     }
     case BoundExpr::Kind::kBinary: {
@@ -347,12 +364,12 @@ Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
         // `dst` and the right-side results are merged over it.
         const bool is_and = expr.binary_op == sql::BinaryOp::kAnd;
         MOSAIC_RETURN_IF_ERROR(EvalMaskInto(*expr.left, view, rows, dst));
-        std::vector<uint32_t> pending;
-        for (size_t i = 0; i < n; ++i) {
-          if (static_cast<bool>(dst[i]) == is_and) {
-            pending.push_back(rows[i]);
-          }
-        }
+        // Undecided rows are where the left mask equals the identity
+        // of the connective (1 for AND, 0 for OR).
+        AlignedVector<uint32_t> pending(n);
+        const size_t num_pending = simd::ActiveKernels().compact_rows(
+            rows.data(), dst, is_and ? 1 : 0, n, pending.data());
+        pending.resize(num_pending);
         std::vector<uint8_t> rmask(pending.size());
         MOSAIC_RETURN_IF_ERROR(
             EvalMaskInto(*expr.right, view, pending, rmask.data()));
@@ -394,19 +411,16 @@ Status EvalDoubleInto(const BoundExpr& expr, const TableView& view,
     }
     case BoundExpr::Kind::kColumnRef: {
       const ColumnSpan& span = view.column(expr.column_index);
+      const simd::KernelTable& k = simd::ActiveKernels();
       switch (span.type) {
         case DataType::kInt64:
-          for (size_t i = 0; i < n; ++i) {
-            dst[i] = static_cast<double>(span.i64[rows[i]]);
-          }
+          k.gather_i64_f64(span.i64, rows.data(), n, dst);
           return Status::OK();
         case DataType::kDouble:
-          for (size_t i = 0; i < n; ++i) dst[i] = span.f64[rows[i]];
+          k.gather_f64(span.f64, rows.data(), n, dst);
           return Status::OK();
         case DataType::kBool:
-          for (size_t i = 0; i < n; ++i) {
-            dst[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
-          }
+          k.gather_b8_f64(span.b8, rows.data(), n, dst);
           return Status::OK();
         default: {
           if (n == 0) return Status::OK();
@@ -507,7 +521,7 @@ Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
         }
         case BoundExpr::Kind::kColumnRef: {
           const ColumnSpan& span = view.column(expr.column_index);
-          for (size_t i = 0; i < n; ++i) dst[i] = span.i64[rows[i]];
+          simd::ActiveKernels().gather_i64(span.i64, rows.data(), n, dst);
           return Status::OK();
         }
         case BoundExpr::Kind::kUnary: {
@@ -538,7 +552,7 @@ Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
             return Status::Internal("batch output dictionary mismatch");
           }
           int32_t* dst = out->codes.data() + offset;
-          for (size_t i = 0; i < n; ++i) dst[i] = span.codes[rows[i]];
+          simd::ActiveKernels().gather_i32(span.codes, rows.data(), n, dst);
           return Status::OK();
         }
         case BoundExpr::Kind::kLiteral: {
@@ -594,15 +608,15 @@ std::vector<const BoundExpr*> FlattenConjuncts(const BoundExpr& predicate) {
 /// Refine an owning row list in place through the conjuncts.
 Status RefineRows(const TableView& view,
                   const std::vector<const BoundExpr*>& conjuncts,
-                  size_t first_conjunct, std::vector<uint32_t>* rows) {
+                  size_t first_conjunct, AlignedVector<uint32_t>* rows) {
   for (size_t c = first_conjunct; c < conjuncts.size(); ++c) {
     if (rows->empty()) break;
     MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
                             EvalMask(*conjuncts[c], view, *rows));
-    size_t kept = 0;
-    for (size_t i = 0; i < rows->size(); ++i) {
-      if (mask[i]) (*rows)[kept++] = (*rows)[i];
-    }
+    // In-place branchless compaction (out == rows is part of the
+    // kernel contract).
+    const size_t kept = simd::ActiveKernels().compact_rows(
+        rows->data(), mask.data(), 1, rows->size(), rows->data());
     rows->resize(kept);
   }
   return Status::OK();
@@ -614,7 +628,7 @@ Result<SelectionVector> FilterView(const TableView& view,
                                    const BoundExpr& predicate,
                                    SelectionVector base) {
   std::vector<const BoundExpr*> conjuncts = FlattenConjuncts(predicate);
-  std::vector<uint32_t> rows = std::move(*base.mutable_rows());
+  AlignedVector<uint32_t> rows = std::move(*base.mutable_rows());
   MOSAIC_RETURN_IF_ERROR(RefineRows(view, conjuncts, 0, &rows));
   return SelectionVector(std::move(rows));
 }
@@ -625,20 +639,19 @@ Result<SelectionVector> FilterSlice(const TableView& view,
   std::vector<const BoundExpr*> conjuncts = FlattenConjuncts(predicate);
   // First conjunct runs over the zero-copy slice; survivors become
   // the owning list the remaining conjuncts refine in place.
-  std::vector<uint32_t> rows;
+  AlignedVector<uint32_t> rows;
   if (conjuncts.empty() || base.empty()) {
     rows.assign(base.begin(), base.end());
     return SelectionVector(std::move(rows));
   }
   MOSAIC_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
                           EvalMask(*conjuncts[0], view, base));
-  // Worst case every row survives; reserving the slice size keeps the
-  // compaction allocation-free (morsel slices are small and short-
-  // lived, so over-reserving is cheap).
-  rows.reserve(base.size());
-  for (size_t i = 0; i < base.size(); ++i) {
-    if (mask[i]) rows.push_back(base[i]);
-  }
+  // Sized for the worst case (every row survives): compact_rows
+  // stores unconditionally, so the output needs full capacity.
+  rows.resize(base.size());
+  const size_t kept = simd::ActiveKernels().compact_rows(
+      base.data(), mask.data(), 1, base.size(), rows.data());
+  rows.resize(kept);
   MOSAIC_RETURN_IF_ERROR(RefineRows(view, conjuncts, 1, &rows));
   return SelectionVector(std::move(rows));
 }

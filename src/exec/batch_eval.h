@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "exec/expr_eval.h"
 #include "storage/table_view.h"
@@ -34,10 +35,12 @@ namespace exec {
 /// into `strs` (no dictionary).
 struct BatchVec {
   DataType type = DataType::kNull;
-  std::vector<int64_t> i64;
-  std::vector<double> f64;
-  std::vector<uint8_t> b8;
-  std::vector<int32_t> codes;
+  // Aligned payloads: these move zero-copy into Column storage when a
+  // batch is materialized, and the SIMD kernels want 64-byte bases.
+  AlignedVector<int64_t> i64;
+  AlignedVector<double> f64;
+  AlignedVector<uint8_t> b8;
+  AlignedVector<int32_t> codes;
   std::shared_ptr<const Dictionary> dict;
   std::vector<std::string> strs;
 

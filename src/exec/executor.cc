@@ -9,9 +9,11 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/aligned.h"
 #include "common/string_util.h"
 #include "exec/batch_eval.h"
 #include "exec/expr_eval.h"
+#include "exec/simd.h"
 
 namespace mosaic {
 namespace exec {
@@ -498,6 +500,23 @@ std::vector<int32_t> DictionaryRanks(const Dictionary& dict) {
   return rank;
 }
 
+/// Numeric sort-key gather through the active kernel table.
+void GatherNumKey(const ColumnSpan& span, const uint32_t* rows, size_t n,
+                  double* out) {
+  const simd::KernelTable& k = simd::ActiveKernels();
+  switch (span.type) {
+    case DataType::kInt64:
+      k.gather_i64_f64(span.i64, rows, n, out);
+      break;
+    case DataType::kDouble:
+      k.gather_f64(span.f64, rows, n, out);
+      break;
+    default:
+      k.gather_b8_f64(span.b8, rows, n, out);
+      break;
+  }
+}
+
 SortKeyCol MakeSortKey(const ColumnSpan& span, SelectionSlice rows,
                        bool desc) {
   SortKeyCol key;
@@ -511,19 +530,7 @@ SortKeyCol MakeSortKey(const ColumnSpan& span, SelectionSlice rows,
     }
   } else {
     key.num.resize(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      switch (span.type) {
-        case DataType::kInt64:
-          key.num[i] = static_cast<double>(span.i64[rows[i]]);
-          break;
-        case DataType::kDouble:
-          key.num[i] = span.f64[rows[i]];
-          break;
-        default:
-          key.num[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
-          break;
-      }
-    }
+    GatherNumKey(span, rows.data(), rows.size(), key.num.data());
   }
   return key;
 }
@@ -531,11 +538,20 @@ SortKeyCol MakeSortKey(const ColumnSpan& span, SelectionSlice rows,
 /// Positions 0..n-1 ordered by the keys; index tiebreak makes the
 /// order total, so the result equals a stable sort and partial_sort
 /// under LIMIT yields exactly the stable-sorted prefix.
+///
+/// Single numeric key with a small LIMIT takes a top-N fast path: a
+/// k-element heap holds the current best, and the SIMD compare kernel
+/// scans the remaining keys in blocks against the heap's worst value,
+/// compacting only the (rare) candidates that beat it. Ties with the
+/// threshold are skipped soundly because heap indices are always
+/// smaller than scanned indices, so an equal-valued candidate loses
+/// the index tiebreak anyway. NaN keys disable the path (the
+/// threshold compare would mis-prune); `*used_topn` reports the
+/// choice for trace annotation.
 std::vector<uint32_t> SortPermutation(const std::vector<SortKeyCol>& keys,
-                                      size_t n,
-                                      std::optional<size_t> limit) {
-  std::vector<uint32_t> perm(n);
-  std::iota(perm.begin(), perm.end(), uint32_t{0});
+                                      size_t n, std::optional<size_t> limit,
+                                      bool* used_topn = nullptr) {
+  if (used_topn != nullptr) *used_topn = false;
   auto cmp = [&](uint32_t a, uint32_t b) {
     for (const SortKeyCol& k : keys) {
       if (k.is_string) {
@@ -548,6 +564,51 @@ std::vector<uint32_t> SortPermutation(const std::vector<SortKeyCol>& keys,
     }
     return a < b;
   };
+  if (limit && *limit > 0 && *limit < n && *limit * 8 <= n &&
+      keys.size() == 1 && !keys[0].is_string) {
+    const std::vector<double>& num = keys[0].num;
+    bool has_nan = false;
+    for (size_t i = 0; i < n && !has_nan; ++i) has_nan = std::isnan(num[i]);
+    if (!has_nan) {
+      const size_t k = *limit;
+      // Max-heap under cmp: the front is the worst of the current
+      // best-k, and num[front] is the pruning threshold.
+      std::vector<uint32_t> heap(k);
+      std::iota(heap.begin(), heap.end(), uint32_t{0});
+      std::make_heap(heap.begin(), heap.end(), cmp);
+      double tau = num[heap.front()];
+      const simd::KernelTable& kt = simd::ActiveKernels();
+      const simd::CmpOp op =
+          keys[0].desc ? simd::CmpOp::kGt : simd::CmpOp::kLt;
+      constexpr size_t kBlock = 4096;
+      AlignedVector<uint8_t> mask(kBlock);
+      AlignedVector<uint32_t> cand(kBlock);
+      for (size_t base = k; base < n; base += kBlock) {
+        const size_t bn = std::min(kBlock, n - base);
+        kt.mask_cmp_f64(num.data() + base, nullptr, bn, op, tau,
+                        mask.data());
+        const size_t c =
+            kt.compact_rows(nullptr, mask.data(), 1, bn, cand.data());
+        for (size_t j = 0; j < c; ++j) {
+          const uint32_t idx = static_cast<uint32_t>(base + cand[j]);
+          // Re-check with the full comparator: tau only tightens
+          // within a block, so the mask can be stale-loose but never
+          // drops a true member.
+          if (cmp(idx, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), cmp);
+            heap.back() = idx;
+            std::push_heap(heap.begin(), heap.end(), cmp);
+            tau = num[heap.front()];
+          }
+        }
+      }
+      std::sort(heap.begin(), heap.end(), cmp);
+      if (used_topn != nullptr) *used_topn = true;
+      return heap;
+    }
+  }
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), uint32_t{0});
   if (limit && *limit < n) {
     std::partial_sort(perm.begin(), perm.begin() + *limit, perm.end(), cmp);
     perm.resize(*limit);
@@ -566,7 +627,8 @@ std::optional<size_t> LimitOf(const sql::SelectStmt& stmt) {
 /// ORDER BY + LIMIT over a materialized result table using typed sort
 /// keys (and top-N selection instead of full sort when LIMIT is
 /// present).
-Status SortLimitTable(const sql::SelectStmt& stmt, Table* out) {
+Status SortLimitTable(const sql::SelectStmt& stmt, Table* out,
+                      bool* used_topn = nullptr) {
   std::optional<size_t> limit = LimitOf(stmt);
   if (!stmt.order_by.empty()) {
     std::vector<SortKeyCol> keys;
@@ -582,7 +644,7 @@ Status SortLimitTable(const sql::SelectStmt& stmt, Table* out) {
                                  identity, o.descending));
     }
     std::vector<uint32_t> perm =
-        SortPermutation(keys, out->num_rows(), limit);
+        SortPermutation(keys, out->num_rows(), limit, used_topn);
     std::vector<size_t> order(perm.begin(), perm.end());
     *out = out->Filter(order);
     return Status::OK();
@@ -675,6 +737,81 @@ struct GroupKeyCol {
   }
 };
 
+/// Open-addressing map from a 64-bit group key to its dense
+/// first-seen group id — the probe pass of the two-pass group-id
+/// build (the hash pass runs the SIMD hash kernel over key blocks).
+/// Linear probing over a power-of-two table; a slot is empty while
+/// its gid is kEmpty. Probing serially in selection order assigns
+/// gids in exactly the first-seen order the unordered_map paths
+/// produced.
+///
+/// `self_equal` carries NaN semantics for double keys: a NaN key
+/// never equals anything (matching unordered_map's operator==), so
+/// each NaN probe walks to an empty slot and allocates a fresh group.
+class GroupIdIndex {
+ public:
+  GroupIdIndex() {
+    bits_.resize(kInitialCap);
+    gids_.assign(kInitialCap, kEmpty);
+    mask_ = kInitialCap - 1;
+  }
+
+  /// Group id for `key` (its hash precomputed by the hash pass);
+  /// `next_gid` is assigned on a miss, and `*inserted` tells the
+  /// caller to extend its decode table.
+  uint32_t InsertOrGet(uint64_t key, uint64_t hash, bool self_equal,
+                       uint32_t next_gid, bool* inserted) {
+    if ((filled_ + 1) * 4 > (mask_ + 1) * 3) Grow();
+    size_t i = hash & mask_;
+    while (true) {
+      if (gids_[i] == kEmpty) {
+        bits_[i] = key;
+        gids_[i] = next_gid;
+        ++filled_;
+        *inserted = true;
+        return next_gid;
+      }
+      if (self_equal && bits_[i] == key) {
+        *inserted = false;
+        return gids_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+  static constexpr size_t kInitialCap = 2048;
+
+  void Grow() {
+    std::vector<uint64_t> old_bits = std::move(bits_);
+    std::vector<uint32_t> old_gids = std::move(gids_);
+    const size_t cap = (mask_ + 1) * 2;
+    bits_.assign(cap, 0);
+    gids_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+    // Reinsert with the same hash function the SIMD pass uses, so
+    // grown tables stay probe-compatible; gids carry over unchanged.
+    for (size_t j = 0; j < old_gids.size(); ++j) {
+      if (old_gids[j] == kEmpty) continue;
+      size_t i = simd::HashU64(old_bits[j]) & mask_;
+      while (gids_[i] != kEmpty) i = (i + 1) & mask_;
+      bits_[i] = old_bits[j];
+      gids_[i] = old_gids[j];
+    }
+  }
+
+  std::vector<uint64_t> bits_;
+  std::vector<uint32_t> gids_;
+  size_t mask_ = 0;
+  size_t filled_ = 0;
+};
+
+/// Block size for the two-pass group-id builds: values/hashes for one
+/// block are produced by SIMD kernels, then the probe pass walks them
+/// serially (first-seen order is part of the executor's contract).
+constexpr size_t kGroupHashBlock = 4096;
+
 GroupKeyCol MakeGroupKey(const ColumnSpan& span, SelectionSlice rows) {
   GroupKeyCol key;
   key.type = span.type;
@@ -695,34 +832,48 @@ GroupKeyCol MakeGroupKey(const ColumnSpan& span, SelectionSlice rows) {
       key.card = 2;
       break;
     }
-    case DataType::kInt64: {
+    case DataType::kInt64:
+    case DataType::kDouble: {
       // Key identity goes through double, matching the row path's
       // std::map<Value> comparator (Value compares all numerics as
       // doubles, merging int64 keys that collide beyond 2^53). The
-      // decode table keeps the first-seen int64, which is exactly the
+      // decode table keeps the first-seen value, which is exactly the
       // key the row path's map retains.
-      std::unordered_map<double, uint32_t> ids;
-      ids.reserve(rows.size());
-      for (size_t i = 0; i < rows.size(); ++i) {
-        auto [it, inserted] = ids.try_emplace(
-            static_cast<double>(span.i64[rows[i]]),
-            static_cast<uint32_t>(key.i64_vals.size()));
-        if (inserted) key.i64_vals.push_back(span.i64[rows[i]]);
-        key.codes[i] = it->second;
+      //
+      // Two-pass build: gather + hash one block of keys with the SIMD
+      // kernels, then probe serially in selection order.
+      const bool is_int = span.type == DataType::kInt64;
+      const simd::KernelTable& k = simd::ActiveKernels();
+      AlignedVector<double> vals(kGroupHashBlock);
+      AlignedVector<uint64_t> hashes(kGroupHashBlock);
+      GroupIdIndex index;
+      for (size_t base = 0; base < rows.size(); base += kGroupHashBlock) {
+        const size_t m = std::min(kGroupHashBlock, rows.size() - base);
+        if (is_int) {
+          k.gather_i64_f64(span.i64, rows.data() + base, m, vals.data());
+        } else {
+          k.gather_f64(span.f64, rows.data() + base, m, vals.data());
+        }
+        k.hash_f64(vals.data(), m, hashes.data());
+        for (size_t i = 0; i < m; ++i) {
+          const double v = vals[i];
+          const uint32_t next = static_cast<uint32_t>(
+              is_int ? key.i64_vals.size() : key.f64_vals.size());
+          bool inserted = false;
+          key.codes[base + i] =
+              index.InsertOrGet(simd::CanonicalF64Bits(v), hashes[i],
+                                !std::isnan(v), next, &inserted);
+          if (inserted) {
+            if (is_int) {
+              key.i64_vals.push_back(span.i64[rows[base + i]]);
+            } else {
+              key.f64_vals.push_back(v);
+            }
+          }
+        }
       }
-      key.card = std::max<uint64_t>(1, key.i64_vals.size());
-      break;
-    }
-    case DataType::kDouble: {
-      std::unordered_map<double, uint32_t> ids;
-      ids.reserve(rows.size());
-      for (size_t i = 0; i < rows.size(); ++i) {
-        auto [it, inserted] = ids.try_emplace(
-            span.f64[rows[i]], static_cast<uint32_t>(key.f64_vals.size()));
-        if (inserted) key.f64_vals.push_back(span.f64[rows[i]]);
-        key.codes[i] = it->second;
-      }
-      key.card = std::max<uint64_t>(1, key.f64_vals.size());
+      key.card = std::max<uint64_t>(
+          1, is_int ? key.i64_vals.size() : key.f64_vals.size());
       break;
     }
     default:
@@ -731,26 +882,31 @@ GroupKeyCol MakeGroupKey(const ColumnSpan& span, SelectionSlice rows) {
   return key;
 }
 
-/// Convert a typed aggregate-argument batch to the double view the
-/// row path obtains via Value::ToDouble, with its exact error on
-/// string input.
-Result<std::vector<double>> BatchToDoubles(const BatchVec& batch) {
-  std::vector<double> out(batch.size());
+/// Double view of a typed aggregate-argument batch, matching what the
+/// row path obtains via Value::ToDouble (its exact error on string
+/// input included). kDouble aliases the batch payload directly;
+/// kInt64/kBool widen into `scratch`, which must outlive the view.
+Result<const double*> BatchDoubles(const BatchVec& batch,
+                                   AlignedVector<double>* scratch) {
   switch (batch.type) {
     case DataType::kInt64:
-      for (size_t i = 0; i < out.size(); ++i) {
-        out[i] = static_cast<double>(batch.i64[i]);
-      }
-      return out;
+      scratch->resize(batch.i64.size());
+      simd::ActiveKernels().widen_i64_f64(batch.i64.data(), batch.i64.size(),
+                                          scratch->data());
+      return static_cast<const double*>(scratch->data());
     case DataType::kDouble:
-      return batch.f64;
+      return batch.f64.data();
     case DataType::kBool:
-      for (size_t i = 0; i < out.size(); ++i) {
-        out[i] = batch.b8[i] != 0 ? 1.0 : 0.0;
+      scratch->resize(batch.b8.size());
+      for (size_t i = 0; i < batch.b8.size(); ++i) {
+        (*scratch)[i] = batch.b8[i] != 0 ? 1.0 : 0.0;
       }
-      return out;
+      return static_cast<const double*>(scratch->data());
     case DataType::kString: {
-      if (out.empty()) return out;
+      if (batch.size() == 0) {
+        scratch->clear();
+        return static_cast<const double*>(scratch->data());
+      }
       auto err = Value(batch.StringAt(0)).ToDouble();
       return err.status();
     }
@@ -832,7 +988,7 @@ Result<SelectionVector> MorselFilter(const TableView& view,
   }));
   size_t total = 0;
   for (const auto& part : parts) total += part.size();
-  std::vector<uint32_t> rows;
+  AlignedVector<uint32_t> rows;
   rows.reserve(total);
   for (const auto& part : parts) {
     rows.insert(rows.end(), part.rows().begin(), part.rows().end());
@@ -866,7 +1022,7 @@ Result<BatchVec> MorselEvalBatch(const BoundExpr& expr, const TableView& view,
 Result<std::vector<double>> MorselGatherWeights(const ColumnSpan& wspan,
                                                 const SelectionVector& sel,
                                                 const MorselDriver& driver) {
-  const std::vector<uint32_t>& rows = sel.rows();
+  const AlignedVector<uint32_t>& rows = sel.rows();
   const size_t n = rows.size();
   std::vector<double> w(n);
   MOSAIC_RETURN_IF_ERROR(
@@ -874,7 +1030,8 @@ Result<std::vector<double>> MorselGatherWeights(const ColumnSpan& wspan,
         auto [begin, end] = driver.Range(n, m);
         if (wspan.type == DataType::kDouble) {
           // The managed weight column is always a double span.
-          for (size_t i = begin; i < end; ++i) w[i] = wspan.f64[rows[i]];
+          simd::ActiveKernels().gather_f64(wspan.f64, rows.data() + begin,
+                                           end - begin, w.data() + begin);
         } else {
           for (size_t i = begin; i < end; ++i) {
             MOSAIC_ASSIGN_OR_RETURN(w[i], wspan.GetDouble(rows[i]));
@@ -890,7 +1047,7 @@ Result<std::vector<double>> MorselGatherWeights(const ColumnSpan& wspan,
 SortKeyCol MakeSortKeyMorsel(const ColumnSpan& span,
                              const SelectionVector& sel, bool desc,
                              const MorselDriver& driver) {
-  const std::vector<uint32_t>& rows = sel.rows();
+  const AlignedVector<uint32_t>& rows = sel.rows();
   const size_t n = rows.size();
   const size_t num_morsels = driver.NumMorsels(n);
   if (num_morsels <= 1) return MakeSortKey(span, rows, desc);
@@ -911,21 +1068,8 @@ SortKeyCol MakeSortKeyMorsel(const ColumnSpan& span,
     key.num.resize(n);
     (void)driver.Run(num_morsels, [&](size_t m) {
       auto [begin, end] = driver.Range(n, m);
-      switch (span.type) {
-        case DataType::kInt64:
-          for (size_t i = begin; i < end; ++i) {
-            key.num[i] = static_cast<double>(span.i64[rows[i]]);
-          }
-          break;
-        case DataType::kDouble:
-          for (size_t i = begin; i < end; ++i) key.num[i] = span.f64[rows[i]];
-          break;
-        default:
-          for (size_t i = begin; i < end; ++i) {
-            key.num[i] = span.b8[rows[i]] != 0 ? 1.0 : 0.0;
-          }
-          break;
-      }
+      GatherNumKey(span, rows.data() + begin, end - begin,
+                   key.num.data() + begin);
       return Status::OK();
     });
   }
@@ -942,7 +1086,7 @@ SortKeyCol MakeSortKeyMorsel(const ColumnSpan& span,
 GroupKeyCol MakeGroupKeyMorsel(const ColumnSpan& span,
                                const SelectionVector& sel,
                                const MorselDriver& driver) {
-  const std::vector<uint32_t>& rows = sel.rows();
+  const AlignedVector<uint32_t>& rows = sel.rows();
   const size_t n = rows.size();
   const size_t num_morsels = driver.NumMorsels(n);
   if (num_morsels <= 1) return MakeGroupKey(span, rows);
@@ -1071,7 +1215,8 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
                           span.id()));
     if (opts.trace != nullptr) {
       span.Note("rows=" + std::to_string(rows_in) + " kept=" +
-                std::to_string(sel.size()));
+                std::to_string(sel.size()) + " isa=" +
+                simd::ActiveIsaName());
     }
   }
 
@@ -1123,30 +1268,56 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
         items_can_error ? std::nullopt : limit;
     bool presorted = false;
     if (!stmt.order_by.empty()) {
-      bool all_in_output = true;
+      // Sorting the selection before projection works whenever every
+      // ORDER BY key can be read off a source span: either the key
+      // names an output column that is a plain column reference (its
+      // projected values equal the source values row for row), or it
+      // is not in the output at all (only the source has it). Under
+      // LIMIT only the prefix is then materialized; the index
+      // tiebreak over selection positions reproduces exactly the
+      // post-materialize table sort. Computed output columns fall
+      // back to sorting the materialized table.
+      bool presortable = true;
+      std::vector<size_t> order_src;
+      order_src.reserve(stmt.order_by.size());
       for (const auto& o : stmt.order_by) {
-        if (!out_schema.FindColumn(o.column)) all_in_output = false;
-      }
-      if (!all_in_output) {
-        // Pre-sort the selection by source columns, then project only
-        // the LIMIT prefix.
-        trace::ScopedSpan span(opts.trace, opts.trace_parent, "sort");
-        std::vector<SortKeyCol> keys;
-        for (const auto& o : stmt.order_by) {
+        auto out_idx = out_schema.FindColumn(o.column);
+        if (out_idx) {
+          const BoundExpr& item = *bound_items[*out_idx];
+          if (item.kind == BoundExpr::Kind::kColumnRef) {
+            order_src.push_back(item.column_index);
+          } else {
+            presortable = false;
+            break;
+          }
+        } else {
           auto idx = schema.FindColumn(o.column);
           if (!idx) {
             return Status::BindError("ORDER BY column '" + o.column +
                                      "' not found");
           }
-          keys.push_back(MakeSortKeyMorsel(view.column(*idx), sel,
-                                           o.descending, morsels));
+          order_src.push_back(*idx);
         }
+      }
+      if (presortable) {
+        trace::ScopedSpan span(opts.trace, opts.trace_parent, "sort");
+        std::vector<SortKeyCol> keys;
+        for (size_t ki = 0; ki < stmt.order_by.size(); ++ki) {
+          keys.push_back(MakeSortKeyMorsel(view.column(order_src[ki]), sel,
+                                           stmt.order_by[ki].descending,
+                                           morsels));
+        }
+        bool topn = false;
         std::vector<uint32_t> perm =
-            SortPermutation(keys, sel.size(), eval_limit);
-        std::vector<uint32_t> sorted(perm.size());
+            SortPermutation(keys, sel.size(), eval_limit, &topn);
+        AlignedVector<uint32_t> sorted(perm.size());
         for (size_t i = 0; i < perm.size(); ++i) sorted[i] = sel[perm[i]];
         *sel.mutable_rows() = std::move(sorted);
         presorted = true;
+        if (opts.trace != nullptr) {
+          span.Note(std::string("sort=") + (topn ? "topn" : "full") +
+                    " presort isa=" + simd::ActiveIsaName());
+        }
       }
     }
     const bool limit_only = presorted || stmt.order_by.empty();
@@ -1177,7 +1348,11 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     }
     if (!limit_only) {
       trace::ScopedSpan span(opts.trace, opts.trace_parent, "sort");
-      MOSAIC_RETURN_IF_ERROR(SortLimitTable(stmt, &out));
+      bool topn = false;
+      MOSAIC_RETURN_IF_ERROR(SortLimitTable(stmt, &out, &topn));
+      if (opts.trace != nullptr) {
+        span.Note(std::string("sort=") + (topn ? "topn" : "full"));
+      }
     }
     return std::optional<Table>(std::move(out));
   }
@@ -1226,6 +1401,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
   std::vector<uint32_t> gid(n, 0);
   std::vector<uint64_t> group_packed;
   std::vector<GroupKeyCol> key_cols;
+  const char* idx_mode = "global";
   if (group_cols.empty()) {
     // Global aggregate: one group, even over zero rows.
     group_packed.push_back(0);
@@ -1248,15 +1424,18 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
       return std::optional<Table>();  // fall back to the row path
     }
     const uint64_t packed_card = static_cast<uint64_t>(code_space);
-    std::vector<uint64_t> packed(n);
+    // Mixed-radix packing through the widen / mul-add kernels; each
+    // morsel covers its disjoint range, so the concatenation equals
+    // the serial loop.
+    AlignedVector<uint64_t> packed(n);
     (void)morsels.Run(morsels.NumMorsels(n), [&](size_t m) {
       auto [begin, end] = morsels.Range(n, m);
-      for (size_t i = begin; i < end; ++i) {
-        uint64_t key = key_cols[0].codes[i];
-        for (size_t k = 1; k < key_cols.size(); ++k) {
-          key = key * key_cols[k].card + key_cols[k].codes[i];
-        }
-        packed[i] = key;
+      const simd::KernelTable& k = simd::ActiveKernels();
+      k.widen_u32_u64(key_cols[0].codes.data() + begin, end - begin,
+                      packed.data() + begin);
+      for (size_t c = 1; c < key_cols.size(); ++c) {
+        k.pack_mul_add(packed.data() + begin, key_cols[c].codes.data() + begin,
+                       key_cols[c].card, end - begin);
       }
       return Status::OK();
     });
@@ -1268,6 +1447,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     constexpr uint64_t kDirectTableMax = uint64_t{1} << 20;
     if (packed_card <= kDirectTableMax &&
         packed_card <= std::max<uint64_t>(1024, 4 * n)) {
+      idx_mode = "direct";
       std::vector<int32_t> slot(packed_card, -1);
       for (size_t i = 0; i < n; ++i) {
         int32_t& g = slot[packed[i]];
@@ -1278,13 +1458,23 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
         gid[i] = static_cast<uint32_t>(g);
       }
     } else {
-      std::unordered_map<uint64_t, uint32_t> slot;
-      slot.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        auto [it, inserted] = slot.try_emplace(
-            packed[i], static_cast<uint32_t>(group_packed.size()));
-        if (inserted) group_packed.push_back(packed[i]);
-        gid[i] = it->second;
+      // Two-pass open addressing: the SIMD kernel hashes a block of
+      // packed keys, then the probe pass assigns first-seen group ids
+      // serially in selection order.
+      idx_mode = "two_pass";
+      const simd::KernelTable& k = simd::ActiveKernels();
+      AlignedVector<uint64_t> hashes(kGroupHashBlock);
+      GroupIdIndex index;
+      for (size_t base = 0; base < n; base += kGroupHashBlock) {
+        const size_t m = std::min(kGroupHashBlock, n - base);
+        k.hash_u64(packed.data() + base, m, hashes.data());
+        for (size_t i = 0; i < m; ++i) {
+          bool inserted = false;
+          gid[base + i] = index.InsertOrGet(
+              packed[base + i], hashes[i], /*self_equal=*/true,
+              static_cast<uint32_t>(group_packed.size()), &inserted);
+          if (inserted) group_packed.push_back(packed[base + i]);
+        }
       }
     }
   }
@@ -1293,7 +1483,8 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     opts.trace->AddTimed(agg_span.id(), "group_keys", phase_t0,
                          opts.trace->NowUs());
     agg_span.Note("rows=" + std::to_string(n) +
-                  " groups=" + std::to_string(num_groups));
+                  " groups=" + std::to_string(num_groups) + " idx=" +
+                  idx_mode + " isa=" + simd::ActiveIsaName());
     phase_t0 = opts.trace->NowUs();
   }
 
@@ -1362,8 +1553,9 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
     MOSAIC_ASSIGN_OR_RETURN(arg_batches[a],
                             MorselEvalBatch(*spec.arg, view, sel, morsels));
     if (spec.func == sql::AggFunc::kSum || spec.func == sql::AggFunc::kAvg) {
-      MOSAIC_ASSIGN_OR_RETURN(std::vector<double> x,
-                              BatchToDoubles(arg_batches[a]));
+      AlignedVector<double> x_scratch;
+      MOSAIC_ASSIGN_OR_RETURN(const double* x,
+                              BatchDoubles(arg_batches[a], &x_scratch));
       auto& acc = sum_wx[a];
       acc.assign(num_groups, 0.0);
       // Ordered serial reduction (see block comment above); the
@@ -1510,6 +1702,7 @@ Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
                             const ExecOptions& opts) {
   if (opts.use_row_path) {
     trace::ScopedSpan span(opts.trace, opts.trace_parent, "row_exec");
+    span.Note("agg=per_row");
     return ExecuteSelectRow(source, stmt, opts);
   }
   TableView view(source);

@@ -1,0 +1,98 @@
+// Runtime kernel dispatch: combine what was compiled (per-ISA
+// translation units), what the CPU supports (common/cpu.h), and the
+// MOSAIC_SIMD override into the one table the executor uses.
+#include "exec/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+
+#include "exec/simd_internal.h"
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+
+namespace {
+
+const KernelTable* BestAvailable() {
+  for (SimdIsa isa :
+       {SimdIsa::kNeon, SimdIsa::kAvx2, SimdIsa::kSse2}) {
+    const KernelTable* t = KernelsFor(isa);
+    if (t != nullptr) return t;
+  }
+  return &ScalarKernels();
+}
+
+/// Resolve MOSAIC_SIMD once. Values: unset/""/"1"/"auto" = best
+/// available; "0"/"off"/"scalar" = scalar; "sse2"/"avx2"/"neon" =
+/// that level (falling back to auto with a warning when it is not
+/// available on this build/CPU).
+const KernelTable* Resolve() {
+  const char* env = std::getenv("MOSAIC_SIMD");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "1") == 0 ||
+      std::strcmp(env, "auto") == 0) {
+    return BestAvailable();
+  }
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+      std::strcmp(env, "scalar") == 0) {
+    return &ScalarKernels();
+  }
+  SimdIsa want = SimdIsa::kScalar;
+  bool known = true;
+  if (std::strcmp(env, "sse2") == 0) {
+    want = SimdIsa::kSse2;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    want = SimdIsa::kAvx2;
+  } else if (std::strcmp(env, "neon") == 0) {
+    want = SimdIsa::kNeon;
+  } else {
+    known = false;
+  }
+  if (known) {
+    const KernelTable* t = KernelsFor(want);
+    if (t != nullptr) return t;
+    std::fprintf(stderr,
+                 "mosaic: MOSAIC_SIMD=%s not available on this build/CPU; "
+                 "using auto\n",
+                 env);
+    return BestAvailable();
+  }
+  std::fprintf(stderr,
+               "mosaic: unknown MOSAIC_SIMD value '%s' "
+               "(want 0|scalar|sse2|avx2|neon|auto); using auto\n",
+               env);
+  return BestAvailable();
+}
+
+}  // namespace
+
+const KernelTable* KernelsFor(SimdIsa isa) {
+  if (!CpuSupports(isa)) return isa == SimdIsa::kScalar ? &ScalarKernels()
+                                                        : nullptr;
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return &ScalarKernels();
+    case SimdIsa::kSse2:
+      return internal::Sse2KernelsOrNull();
+    case SimdIsa::kAvx2:
+      return internal::Avx2KernelsOrNull();
+    case SimdIsa::kNeon:
+      return internal::NeonKernelsOrNull();
+  }
+  return nullptr;
+}
+
+const KernelTable& ActiveKernels() {
+  static const KernelTable* table = Resolve();
+  return *table;
+}
+
+SimdIsa ActiveIsa() { return ActiveKernels().isa; }
+
+const char* ActiveIsaName() { return SimdIsaName(ActiveIsa()); }
+
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic

@@ -1,0 +1,590 @@
+// AVX2 kernel table: 4x f64 / 8x i32 lanes, hardware gathers, and
+// LUT-driven left-packing compaction. Compiled with -mavx2 -mbmi2 on
+// x86-64 (per-file flags in CMakeLists.txt); every kernel is
+// bit-identical to the scalar reference, including NaN predicates
+// (ordered/unordered compare immediates chosen to match C semantics)
+// and int64->double conversion (exact in-range fast path, scalar
+// convert per 4-lane block otherwise).
+#include "exec/simd_internal.h"
+
+#if defined(__AVX2__) && !defined(MOSAIC_SIMD_DISABLED)
+
+#include <immintrin.h>
+
+// GCC's gather intrinsics seed their unmasked lanes with
+// _mm256_undefined_pd(), which trips -Wmaybe-uninitialized even
+// though every lane is overwritten (the mask is all-ones).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+namespace internal {
+namespace {
+
+// --- mask byte <-> lane plumbing -------------------------------------------
+
+/// idx[m] = positions of the set bits of m, left-packed — the operand
+/// of vpermd that moves surviving lanes to the front.
+struct CompactLut {
+  alignas(32) uint32_t idx[256][8];
+  constexpr CompactLut() : idx{} {
+    for (unsigned m = 0; m < 256; ++m) {
+      unsigned k = 0;
+      for (unsigned b = 0; b < 8; ++b) {
+        if (m & (1u << b)) idx[m][k++] = b;
+      }
+      for (; k < 8; ++k) idx[m][k] = 0;
+    }
+  }
+};
+constexpr CompactLut kCompactLut{};
+
+// --- exact int64 -> double -------------------------------------------------
+
+constexpr double kMagic = 6755399441055744.0;  // 1.5 * 2^52
+
+/// Exact conversion for |v| < 2^51 via the add-magic bit trick;
+/// returns false (leaving *out untouched) when any lane is out of
+/// range so the caller can convert that block scalar-exactly.
+inline bool CvtI64F64InRange(__m256i v, __m256d* out) {
+  const __m256i biased = _mm256_add_epi64(v, _mm256_set1_epi64x(1ll << 51));
+  const __m256i hi_bits = _mm256_set1_epi64x(~((1ll << 52) - 1));
+  if (!_mm256_testz_si256(biased, hi_bits)) return false;
+  const __m256i magic_bits = _mm256_castpd_si256(_mm256_set1_pd(kMagic));
+  *out = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_add_epi64(v, magic_bits)),
+      _mm256_set1_pd(kMagic));
+  return true;
+}
+
+inline __m256d CvtI64F64(__m256i v) {
+  __m256d d;
+  if (CvtI64F64InRange(v, &d)) return d;
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return _mm256_set_pd(
+      static_cast<double>(lanes[3]), static_cast<double>(lanes[2]),
+      static_cast<double>(lanes[1]), static_cast<double>(lanes[0]));
+}
+
+// --- loads -----------------------------------------------------------------
+
+inline __m128i LoadRows4(const uint32_t* rows, size_t i) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+}
+
+inline __m256i LoadRows8(const uint32_t* rows, size_t i) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+}
+
+template <bool Dense>
+inline __m256d LoadF64(const double* base, const uint32_t* rows, size_t i) {
+  if (Dense) return _mm256_loadu_pd(base + i);
+  return _mm256_i32gather_pd(base, LoadRows4(rows, i), 8);
+}
+
+template <bool Dense>
+inline __m256i LoadI64(const int64_t* base, const uint32_t* rows, size_t i) {
+  if (Dense) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + i));
+  }
+  return _mm256_i32gather_epi64(
+      reinterpret_cast<const long long*>(base), LoadRows4(rows, i), 8);
+}
+
+template <bool Dense>
+inline __m256i LoadI32(const int32_t* base, const uint32_t* rows, size_t i) {
+  if (Dense) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + i));
+  }
+  return _mm256_i32gather_epi32(base, LoadRows8(rows, i), 4);
+}
+
+// --- comparison loops ------------------------------------------------------
+//
+// Each loop handles n & ~3 elements; entry functions delegate the
+// tail (and any non-gatherable row list) to the scalar reference, so
+// semantics live in exactly one place.
+
+template <int Pred, bool Dense>
+void CmpF64Loop(const double* base, const uint32_t* rows, size_t n,
+                double lit, uint8_t* out) {
+  const __m256d vlit = _mm256_set1_pd(lit);
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    const __m256d v = LoadF64<Dense>(base, rows, i);
+    StoreMaskBytes4(out + i,
+                    _mm256_movemask_pd(_mm256_cmp_pd(v, vlit, Pred)));
+  }
+}
+
+template <int Pred, bool Dense>
+void CmpI64Loop(const int64_t* base, const uint32_t* rows, size_t n,
+                double lit, uint8_t* out) {
+  const __m256d vlit = _mm256_set1_pd(lit);
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    const __m256d v = CvtI64F64(LoadI64<Dense>(base, rows, i));
+    StoreMaskBytes4(out + i,
+                    _mm256_movemask_pd(_mm256_cmp_pd(v, vlit, Pred)));
+  }
+}
+
+template <int Pred>
+void CmpF64PairLoop(const double* a, const double* b, size_t n,
+                    uint8_t* out) {
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    StoreMaskBytes4(out + i,
+                    _mm256_movemask_pd(_mm256_cmp_pd(
+                        _mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                        Pred)));
+  }
+}
+
+/// op -> compare-immediate instantiation. The OQ/UQ immediates
+/// reproduce C's scalar semantics on NaN: every predicate false
+/// except !=.
+template <template <int, bool> class Loop, bool Dense, typename... Args>
+bool DispatchCmp(CmpOp op, Args... args) {
+  switch (op) {
+    case CmpOp::kEq:
+      Loop<_CMP_EQ_OQ, Dense>::Run(args...);
+      return true;
+    case CmpOp::kNe:
+      Loop<_CMP_NEQ_UQ, Dense>::Run(args...);
+      return true;
+    case CmpOp::kLt:
+      Loop<_CMP_LT_OQ, Dense>::Run(args...);
+      return true;
+    case CmpOp::kLe:
+      Loop<_CMP_LE_OQ, Dense>::Run(args...);
+      return true;
+    case CmpOp::kGt:
+      Loop<_CMP_GT_OQ, Dense>::Run(args...);
+      return true;
+    case CmpOp::kGe:
+      Loop<_CMP_GE_OQ, Dense>::Run(args...);
+      return true;
+  }
+  return false;
+}
+
+template <int Pred, bool Dense>
+struct CmpF64LoopT {
+  static void Run(const double* base, const uint32_t* rows, size_t n,
+                  double lit, uint8_t* out) {
+    CmpF64Loop<Pred, Dense>(base, rows, n, lit, out);
+  }
+};
+
+template <int Pred, bool Dense>
+struct CmpI64LoopT {
+  static void Run(const int64_t* base, const uint32_t* rows, size_t n,
+                  double lit, uint8_t* out) {
+    CmpI64Loop<Pred, Dense>(base, rows, n, lit, out);
+  }
+};
+
+template <int Pred, bool Dense>
+struct CmpF64PairLoopT {
+  static void Run(const double* a, const double* b, size_t n, uint8_t* out) {
+    CmpF64PairLoop<Pred>(a, b, n, out);
+  }
+};
+
+// --- kernel entries --------------------------------------------------------
+
+void MaskCmpF64(const double* base, const uint32_t* rows, size_t n,
+                CmpOp op, double lit, uint8_t* out) {
+  const size_t main = n & ~size_t{3};
+  if (DenseRows(rows, n)) {
+    const double* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+    DispatchCmp<CmpF64LoopT, true>(op, b, nullptr, n, lit, out);
+    ref::MaskCmpF64(b + main, nullptr, n - main, op, lit, out + main);
+    return;
+  }
+  if (!RowsFitGather(rows, n)) {
+    ref::MaskCmpF64(base, rows, n, op, lit, out);
+    return;
+  }
+  DispatchCmp<CmpF64LoopT, false>(op, base, rows, n, lit, out);
+  ref::MaskCmpF64(base, rows + main, n - main, op, lit, out + main);
+}
+
+void MaskCmpI64(const int64_t* base, const uint32_t* rows, size_t n,
+                CmpOp op, double lit, uint8_t* out) {
+  const size_t main = n & ~size_t{3};
+  if (DenseRows(rows, n)) {
+    const int64_t* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+    DispatchCmp<CmpI64LoopT, true>(op, b, nullptr, n, lit, out);
+    ref::MaskCmpI64(b + main, nullptr, n - main, op, lit, out + main);
+    return;
+  }
+  if (!RowsFitGather(rows, n)) {
+    ref::MaskCmpI64(base, rows, n, op, lit, out);
+    return;
+  }
+  DispatchCmp<CmpI64LoopT, false>(op, base, rows, n, lit, out);
+  ref::MaskCmpI64(base, rows + main, n - main, op, lit, out + main);
+}
+
+void MaskCmpF64Pair(const double* a, const double* b, size_t n, CmpOp op,
+                    uint8_t* out) {
+  const size_t main = n & ~size_t{3};
+  DispatchCmp<CmpF64PairLoopT, true>(op, a, b, n, out);
+  ref::MaskCmpF64Pair(a + main, b + main, n - main, op, out + main);
+}
+
+template <bool Dense>
+void BetweenF64Loop(const double* base, const uint32_t* rows, size_t n,
+                    double lo, double hi, uint8_t* out) {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    const __m256d v = LoadF64<Dense>(base, rows, i);
+    const __m256d m = _mm256_and_pd(_mm256_cmp_pd(v, vlo, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(v, vhi, _CMP_LE_OQ));
+    StoreMaskBytes4(out + i, _mm256_movemask_pd(m));
+  }
+}
+
+void MaskBetweenF64(const double* base, const uint32_t* rows, size_t n,
+                    double lo, double hi, uint8_t* out) {
+  const size_t main = n & ~size_t{3};
+  if (DenseRows(rows, n)) {
+    const double* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+    BetweenF64Loop<true>(b, nullptr, n, lo, hi, out);
+    ref::MaskBetweenF64(b + main, nullptr, n - main, lo, hi, out + main);
+    return;
+  }
+  if (!RowsFitGather(rows, n)) {
+    ref::MaskBetweenF64(base, rows, n, lo, hi, out);
+    return;
+  }
+  BetweenF64Loop<false>(base, rows, n, lo, hi, out);
+  ref::MaskBetweenF64(base, rows + main, n - main, lo, hi, out + main);
+}
+
+template <bool Dense>
+void BetweenI64Loop(const int64_t* base, const uint32_t* rows, size_t n,
+                    double lo, double hi, uint8_t* out) {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    const __m256d v = CvtI64F64(LoadI64<Dense>(base, rows, i));
+    const __m256d m = _mm256_and_pd(_mm256_cmp_pd(v, vlo, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(v, vhi, _CMP_LE_OQ));
+    StoreMaskBytes4(out + i, _mm256_movemask_pd(m));
+  }
+}
+
+void MaskBetweenI64(const int64_t* base, const uint32_t* rows, size_t n,
+                    double lo, double hi, uint8_t* out) {
+  const size_t main = n & ~size_t{3};
+  if (DenseRows(rows, n)) {
+    const int64_t* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+    BetweenI64Loop<true>(b, nullptr, n, lo, hi, out);
+    ref::MaskBetweenI64(b + main, nullptr, n - main, lo, hi, out + main);
+    return;
+  }
+  if (!RowsFitGather(rows, n)) {
+    ref::MaskBetweenI64(base, rows, n, lo, hi, out);
+    return;
+  }
+  BetweenI64Loop<false>(base, rows, n, lo, hi, out);
+  ref::MaskBetweenI64(base, rows + main, n - main, lo, hi, out + main);
+}
+
+template <bool Dense>
+void CmpCodesLoop(const int32_t* base, const uint32_t* rows, size_t n,
+                  int32_t code, unsigned flip, uint8_t* out) {
+  const __m256i vcode = _mm256_set1_epi32(code);
+  for (size_t i = 0; i + 8 <= n; i += 8) {
+    const __m256i v = LoadI32<Dense>(base, rows, i);
+    const unsigned bits =
+        static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, vcode)))) ^
+        flip;
+    StoreMaskBytes8(out + i, bits & 0xFFu);
+  }
+}
+
+void MaskCmpCodes(const int32_t* base, const uint32_t* rows, size_t n,
+                  int32_t code, bool want_eq, uint8_t* out) {
+  const size_t main = n & ~size_t{7};
+  const unsigned flip = want_eq ? 0u : 0xFFu;
+  if (DenseRows(rows, n)) {
+    const int32_t* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+    CmpCodesLoop<true>(b, nullptr, n, code, flip, out);
+    ref::MaskCmpCodes(b + main, nullptr, n - main, code, want_eq,
+                      out + main);
+    return;
+  }
+  if (!RowsFitGather(rows, n)) {
+    ref::MaskCmpCodes(base, rows, n, code, want_eq, out);
+    return;
+  }
+  CmpCodesLoop<false>(base, rows, n, code, flip, out);
+  ref::MaskCmpCodes(base, rows + main, n - main, code, want_eq, out + main);
+}
+
+void MaskInF64(const double* vals, size_t n, const double* items, size_t k,
+               uint8_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vals + i);
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t j = 0; j < k; ++j) {
+      acc = _mm256_or_pd(
+          acc, _mm256_cmp_pd(v, _mm256_set1_pd(items[j]), _CMP_EQ_OQ));
+    }
+    StoreMaskBytes4(out + i, _mm256_movemask_pd(acc));
+  }
+  ref::MaskInF64(vals + i, n - i, items, k, out + i);
+}
+
+void MaskNot(uint8_t* mask, size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi8(1);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i* p = reinterpret_cast<__m256i*>(mask + i);
+    const __m256i v = _mm256_loadu_si256(p);
+    _mm256_storeu_si256(
+        p, _mm256_and_si256(_mm256_cmpeq_epi8(v, zero), one));
+  }
+  ref::MaskNot(mask + i, n - i);
+}
+
+size_t CompactRows(const uint32_t* rows, const uint8_t* mask, uint8_t want,
+                   size_t n, uint32_t* out) {
+  const uint64_t want_xor = want != 0 ? 0ull : 0x0101010101010101ull;
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  size_t k = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t m8;
+    std::memcpy(&m8, mask + i, 8);
+    m8 ^= want_xor;
+    const unsigned bits =
+        static_cast<unsigned>((m8 * 0x0102040810204080ull) >> 56);
+    const __m256i v =
+        rows != nullptr
+            ? LoadRows8(rows, i)
+            : _mm256_add_epi32(iota, _mm256_set1_epi32(static_cast<int>(i)));
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kCompactLut.idx[bits]));
+    // Writing 8 lanes at out+k is safe for in-place use: k <= i
+    // always, so the store never reaches unread input.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                        _mm256_permutevar8x32_epi32(v, perm));
+    k += static_cast<size_t>(__builtin_popcount(bits));
+  }
+  for (; i < n; ++i) {
+    out[k] = rows != nullptr ? rows[i] : static_cast<uint32_t>(i);
+    k += (mask[i] == want);
+  }
+  return k;
+}
+
+void GatherF64(const double* base, const uint32_t* rows, size_t n,
+               double* out) {
+  const bool dense = DenseRows(rows, n);
+  if (dense || !RowsFitGather(rows, n)) {
+    ref::GatherF64(rows != nullptr && n > 0 && dense ? base + rows[0] : base,
+              dense ? nullptr : rows, n, out);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_i32gather_pd(base, LoadRows4(rows, i), 8));
+  }
+  for (; i < n; ++i) out[i] = base[rows[i]];
+}
+
+void GatherI64(const int64_t* base, const uint32_t* rows, size_t n,
+               int64_t* out) {
+  const bool dense = DenseRows(rows, n);
+  if (dense || !RowsFitGather(rows, n)) {
+    ref::GatherI64(rows != nullptr && n > 0 && dense ? base + rows[0] : base,
+              dense ? nullptr : rows, n, out);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_i32gather_epi64(reinterpret_cast<const long long*>(base),
+                               LoadRows4(rows, i), 8));
+  }
+  for (; i < n; ++i) out[i] = base[rows[i]];
+}
+
+void GatherI32(const int32_t* base, const uint32_t* rows, size_t n,
+               int32_t* out) {
+  const bool dense = DenseRows(rows, n);
+  if (dense || !RowsFitGather(rows, n)) {
+    ref::GatherI32(rows != nullptr && n > 0 && dense ? base + rows[0] : base,
+              dense ? nullptr : rows, n, out);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_i32gather_epi32(base, LoadRows8(rows, i), 4));
+  }
+  for (; i < n; ++i) out[i] = base[rows[i]];
+}
+
+template <bool Dense>
+void GatherI64F64Loop(const int64_t* base, const uint32_t* rows, size_t n,
+                      double* out) {
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, CvtI64F64(LoadI64<Dense>(base, rows, i)));
+  }
+}
+
+void GatherI64F64(const int64_t* base, const uint32_t* rows, size_t n,
+                  double* out) {
+  const size_t main = n & ~size_t{3};
+  if (DenseRows(rows, n)) {
+    const int64_t* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+    GatherI64F64Loop<true>(b, nullptr, n, out);
+    ref::GatherI64F64(b + main, nullptr, n - main, out + main);
+    return;
+  }
+  if (!RowsFitGather(rows, n)) {
+    ref::GatherI64F64(base, rows, n, out);
+    return;
+  }
+  GatherI64F64Loop<false>(base, rows, n, out);
+  ref::GatherI64F64(base, rows + main, n - main, out + main);
+}
+
+void WidenI64F64(const int64_t* vals, size_t n, double* out) {
+  const size_t main = n & ~size_t{3};
+  GatherI64F64Loop<true>(vals, nullptr, n, out);
+  ref::WidenI64F64(vals + main, n - main, out + main);
+}
+
+void WidenU32U64(const uint32_t* codes, size_t n, uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_cvtepu32_epi64(LoadRows4(codes, i)));
+  }
+  for (; i < n; ++i) out[i] = codes[i];
+}
+
+void PackMulAdd(uint64_t* acc, const uint32_t* codes, uint64_t card,
+                size_t n) {
+  // 64x32 multiply from two 32x32 halves (card < 2^32).
+  const __m256i vcard = _mm256_set1_epi64x(static_cast<long long>(card));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i lo = _mm256_mul_epu32(a, vcard);
+    const __m256i hi = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), vcard);
+    const __m256i prod = _mm256_add_epi64(lo, _mm256_slli_epi64(hi, 32));
+    const __m256i c = _mm256_cvtepu32_epi64(LoadRows4(codes, i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_add_epi64(prod, c));
+  }
+  for (; i < n; ++i) acc[i] = acc[i] * card + codes[i];
+}
+
+inline __m256i HashVec(__m256i x) {
+  constexpr uint64_t kC = 0x9E3779B97F4A7C15ull;
+  const __m256i clo =
+      _mm256_set1_epi64x(static_cast<long long>(kC & 0xffffffffull));
+  const __m256i chi = _mm256_set1_epi64x(static_cast<long long>(kC >> 32));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  // 64-bit mullo by constant: lo*Clo + ((lo*Chi + hi*Clo) << 32).
+  const __m256i lo = _mm256_mul_epu32(x, clo);
+  const __m256i mid =
+      _mm256_add_epi64(_mm256_mul_epu32(x, chi),
+                       _mm256_mul_epu32(_mm256_srli_epi64(x, 32), clo));
+  x = _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 29));
+}
+
+void HashU64Batch(const uint64_t* keys, size_t n, uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), HashVec(k));
+  }
+  ref::HashU64Batch(keys + i, n - i, out + i);
+}
+
+void HashF64Batch(const double* vals, size_t n, uint64_t* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vals + i);
+    // Canonicalize: lanes equal to 0.0 (that includes -0.0; NaN
+    // compares false and keeps its bits) hash as bit pattern 0.
+    const __m256d is_zero = _mm256_cmp_pd(v, zero, _CMP_EQ_OQ);
+    const __m256i bits = _mm256_andnot_si256(_mm256_castpd_si256(is_zero),
+                                             _mm256_castpd_si256(v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), HashVec(bits));
+  }
+  ref::HashF64Batch(vals + i, n - i, out + i);
+}
+
+}  // namespace
+
+const KernelTable* Avx2KernelsOrNull() {
+  static const KernelTable table = [] {
+    KernelTable t = MakeScalarTable();
+    t.isa = SimdIsa::kAvx2;
+    t.mask_cmp_f64 = &MaskCmpF64;
+    t.mask_cmp_i64 = &MaskCmpI64;
+    t.mask_cmp_f64_pair = &MaskCmpF64Pair;
+    t.mask_between_f64 = &MaskBetweenF64;
+    t.mask_between_i64 = &MaskBetweenI64;
+    t.mask_cmp_codes = &MaskCmpCodes;
+    t.mask_in_f64 = &MaskInF64;
+    t.mask_not = &MaskNot;
+    t.compact_rows = &CompactRows;
+    t.gather_f64 = &GatherF64;
+    t.gather_i64_f64 = &GatherI64F64;
+    t.gather_i64 = &GatherI64;
+    t.gather_i32 = &GatherI32;
+    t.widen_i64_f64 = &WidenI64F64;
+    t.widen_u32_u64 = &WidenU32U64;
+    t.pack_mul_add = &PackMulAdd;
+    t.hash_u64 = &HashU64Batch;
+    t.hash_f64 = &HashF64Batch;
+    // mask_table_codes / gather_b8_f64 stay scalar: byte-granular
+    // table lookups have no AVX2 gather form worth the setup.
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic
+
+#else  // !__AVX2__ || MOSAIC_SIMD_DISABLED
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+namespace internal {
+
+const KernelTable* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic
+
+#endif

@@ -1,0 +1,286 @@
+// Shared internals for the per-ISA kernel translation units. Not part
+// of the public simd.h surface.
+#ifndef MOSAIC_EXEC_SIMD_INTERNAL_H_
+#define MOSAIC_EXEC_SIMD_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "exec/simd.h"
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+namespace internal {
+
+/// Per-ISA table getters, each defined in its own translation unit
+/// (so ISA-specific compile flags stay per-file). A getter returns
+/// nullptr when its level is not compiled for this target.
+const KernelTable* Sse2KernelsOrNull();
+const KernelTable* Avx2KernelsOrNull();
+const KernelTable* NeonKernelsOrNull();
+
+/// Spread the low 4 bits of `bits` into 4 bytes (0/1 each) at `out`.
+/// Single multiply: bit j lands on byte j's LSB with no carry
+/// collisions (positions j+7k collide only at j==k).
+inline void StoreMaskBytes4(uint8_t* out, unsigned bits) {
+  uint32_t y = (static_cast<uint32_t>(bits) * 0x00204081u) & 0x01010101u;
+  std::memcpy(out, &y, 4);
+}
+
+/// Low 8 bits of `bits` as 8 bytes (0/1 each). The single-multiply
+/// trick carries at 8 lanes, so broadcast + per-byte bit select +
+/// nonzero-normalize instead.
+inline uint64_t ExpandBits8(unsigned bits) {
+  uint64_t y = (static_cast<uint64_t>(bits) * 0x0101010101010101ull) &
+               0x8040201008040201ull;
+  return ((y + 0x7f7f7f7f7f7f7f7full) & 0x8080808080808080ull) >> 7;
+}
+
+inline void StoreMaskBytes8(uint8_t* out, unsigned bits) {
+  const uint64_t y = ExpandBits8(bits);
+  std::memcpy(out, &y, 8);
+}
+
+/// 8 mask bytes (each strictly 0/1) -> 8 bits, byte j -> bit j.
+/// Single multiply; the only potential position collisions (j-j'=7)
+/// sit outside the extracted top byte's source terms.
+inline unsigned MaskBytesToBits8(const uint8_t* mask) {
+  uint64_t x;
+  std::memcpy(&x, mask, 8);
+  return static_cast<unsigned>((x * 0x0102040810204080ull) >> 56);
+}
+
+/// Row ids sign-extend through 32-bit SIMD gather indices, so gather
+/// paths require ids below 2^31; the ascending-rows invariant makes
+/// checking the last id sufficient. (Row kernels fall back to scalar
+/// loops above that — tables that large do not fit this engine's
+/// memory model anyway.)
+inline bool RowsFitGather(const uint32_t* rows, size_t n) {
+  if (n == 0 || rows == nullptr) return true;
+  // Selections may be permuted (ORDER BY gathers), so the last element
+  // is not necessarily the max; OR-reduce the whole list instead — any
+  // row id with the top bit set poisons the i32 gather indices.
+  uint32_t m = 0;
+  for (size_t i = 0; i < n; ++i) m |= rows[i];
+  return (m & 0x80000000u) == 0;
+}
+
+/// Scalar reference bodies, shared verbatim by the scalar table and
+/// by wider tables for the kernels they do not accelerate.
+namespace ref {
+
+inline void MaskCmpF64(const double* base, const uint32_t* rows, size_t n,
+                       CmpOp op, double lit, uint8_t* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = CmpApply(op, base[i], lit);
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = CmpApply(op, base[rows[i]], lit);
+  }
+}
+
+inline void MaskCmpI64(const int64_t* base, const uint32_t* rows, size_t n,
+                       CmpOp op, double lit, uint8_t* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = CmpApply(op, static_cast<double>(base[i]), lit);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = CmpApply(op, static_cast<double>(base[rows[i]]), lit);
+    }
+  }
+}
+
+inline void MaskCmpF64Pair(const double* a, const double* b, size_t n,
+                           CmpOp op, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = CmpApply(op, a[i], b[i]);
+}
+
+inline void MaskBetweenF64(const double* base, const uint32_t* rows, size_t n,
+                           double lo, double hi, uint8_t* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = base[i] >= lo && base[i] <= hi;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const double v = base[rows[i]];
+      out[i] = v >= lo && v <= hi;
+    }
+  }
+}
+
+inline void MaskBetweenI64(const int64_t* base, const uint32_t* rows, size_t n,
+                           double lo, double hi, uint8_t* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      const double v = static_cast<double>(base[i]);
+      out[i] = v >= lo && v <= hi;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const double v = static_cast<double>(base[rows[i]]);
+      out[i] = v >= lo && v <= hi;
+    }
+  }
+}
+
+inline void MaskCmpCodes(const int32_t* base, const uint32_t* rows, size_t n,
+                         int32_t code, bool want_eq, uint8_t* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = (base[i] == code) == want_eq;
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = (base[rows[i]] == code) == want_eq;
+    }
+  }
+}
+
+inline void MaskTableCodes(const int32_t* base, const uint32_t* rows,
+                           size_t n, const uint8_t* table, uint8_t* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = table[base[i]];
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = table[base[rows[i]]];
+  }
+}
+
+inline void MaskInF64(const double* vals, size_t n, const double* items,
+                      size_t k, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t hit = 0;
+    for (size_t j = 0; j < k; ++j) hit |= (vals[i] == items[j]);
+    out[i] = hit;
+  }
+}
+
+inline void MaskNot(uint8_t* mask, size_t n) {
+  for (size_t i = 0; i < n; ++i) mask[i] = mask[i] == 0;
+}
+
+inline size_t CompactRows(const uint32_t* rows, const uint8_t* mask,
+                          uint8_t want, size_t n, uint32_t* out) {
+  // Store-always / bump-conditionally: no per-row branch to
+  // mispredict; in-place (out == rows) is safe because the write
+  // index never passes the read index.
+  size_t k = 0;
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      out[k] = static_cast<uint32_t>(i);
+      k += (mask[i] == want);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[k] = rows[i];
+      k += (mask[i] == want);
+    }
+  }
+  return k;
+}
+
+inline void GatherF64(const double* base, const uint32_t* rows, size_t n,
+                      double* out) {
+  if (rows == nullptr) {
+    if (n != 0) std::memcpy(out, base, n * sizeof(double));
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = base[rows[i]];
+  }
+}
+
+inline void GatherI64F64(const int64_t* base, const uint32_t* rows, size_t n,
+                         double* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(base[i]);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<double>(base[rows[i]]);
+    }
+  }
+}
+
+inline void GatherB8F64(const uint8_t* base, const uint32_t* rows, size_t n,
+                        double* out) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = base[i] != 0 ? 1.0 : 0.0;
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = base[rows[i]] != 0 ? 1.0 : 0.0;
+  }
+}
+
+inline void GatherI64(const int64_t* base, const uint32_t* rows, size_t n,
+                      int64_t* out) {
+  if (rows == nullptr) {
+    if (n != 0) std::memcpy(out, base, n * sizeof(int64_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = base[rows[i]];
+  }
+}
+
+inline void GatherI32(const int32_t* base, const uint32_t* rows, size_t n,
+                      int32_t* out) {
+  if (rows == nullptr) {
+    if (n != 0) std::memcpy(out, base, n * sizeof(int32_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = base[rows[i]];
+  }
+}
+
+inline void WidenI64F64(const int64_t* vals, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(vals[i]);
+}
+
+inline void WidenU32U64(const uint32_t* codes, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = codes[i];
+}
+
+inline void PackMulAdd(uint64_t* acc, const uint32_t* codes, uint64_t card,
+                       size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] = acc[i] * card + codes[i];
+}
+
+inline void HashU64Batch(const uint64_t* keys, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = HashU64(keys[i]);
+}
+
+inline void HashF64Batch(const double* vals, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = HashU64(CanonicalF64Bits(vals[i]));
+}
+
+}  // namespace ref
+
+/// A table with every entry pointing at the scalar reference —
+/// wider ISAs copy this and overwrite what they accelerate.
+inline KernelTable MakeScalarTable() {
+  KernelTable t;
+  t.isa = SimdIsa::kScalar;
+  t.mask_cmp_f64 = &ref::MaskCmpF64;
+  t.mask_cmp_i64 = &ref::MaskCmpI64;
+  t.mask_cmp_f64_pair = &ref::MaskCmpF64Pair;
+  t.mask_between_f64 = &ref::MaskBetweenF64;
+  t.mask_between_i64 = &ref::MaskBetweenI64;
+  t.mask_cmp_codes = &ref::MaskCmpCodes;
+  t.mask_table_codes = &ref::MaskTableCodes;
+  t.mask_in_f64 = &ref::MaskInF64;
+  t.mask_not = &ref::MaskNot;
+  t.compact_rows = &ref::CompactRows;
+  t.gather_f64 = &ref::GatherF64;
+  t.gather_i64_f64 = &ref::GatherI64F64;
+  t.gather_b8_f64 = &ref::GatherB8F64;
+  t.gather_i64 = &ref::GatherI64;
+  t.gather_i32 = &ref::GatherI32;
+  t.widen_i64_f64 = &ref::WidenI64F64;
+  t.widen_u32_u64 = &ref::WidenU32U64;
+  t.pack_mul_add = &ref::PackMulAdd;
+  t.hash_u64 = &ref::HashU64Batch;
+  t.hash_f64 = &ref::HashF64Batch;
+  return t;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic
+
+#endif  // MOSAIC_EXEC_SIMD_INTERNAL_H_

@@ -1,0 +1,171 @@
+// NEON kernel table for aarch64: 2x f64 / 4x i32 lanes. Same modest
+// subset as SSE2 (dense compare + BETWEEN masks, code compares, IN
+// lists, mask negation); everything else runs the scalar reference.
+#include "exec/simd_internal.h"
+
+#if defined(__aarch64__) && !defined(MOSAIC_SIMD_DISABLED)
+
+#include <arm_neon.h>
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+namespace internal {
+namespace {
+
+inline void StoreMask2(uint8_t* out, uint64x2_t m) {
+  out[0] = static_cast<uint8_t>(vgetq_lane_u64(m, 0) & 1);
+  out[1] = static_cast<uint8_t>(vgetq_lane_u64(m, 1) & 1);
+}
+
+template <typename Cmp>
+void CmpF64DenseLoop(const double* base, size_t n, double lit, uint8_t* out,
+                     Cmp cmp) {
+  const float64x2_t vlit = vdupq_n_f64(lit);
+  for (size_t i = 0; i + 2 <= n; i += 2) {
+    StoreMask2(out + i, cmp(vld1q_f64(base + i), vlit));
+  }
+}
+
+void MaskCmpF64(const double* base, const uint32_t* rows, size_t n,
+                CmpOp op, double lit, uint8_t* out) {
+  if (!DenseRows(rows, n)) {
+    ref::MaskCmpF64(base, rows, n, op, lit, out);
+    return;
+  }
+  const double* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+  switch (op) {
+    case CmpOp::kEq:
+      CmpF64DenseLoop(b, n, lit, out, [](float64x2_t a, float64x2_t c) {
+        return vceqq_f64(a, c);
+      });
+      break;
+    case CmpOp::kNe:
+      // NaN != x is true: negate the (ordered, NaN-false) equality.
+      CmpF64DenseLoop(b, n, lit, out, [](float64x2_t a, float64x2_t c) {
+        return veorq_u64(vceqq_f64(a, c), vdupq_n_u64(~0ull));
+      });
+      break;
+    case CmpOp::kLt:
+      CmpF64DenseLoop(b, n, lit, out, [](float64x2_t a, float64x2_t c) {
+        return vcltq_f64(a, c);
+      });
+      break;
+    case CmpOp::kLe:
+      CmpF64DenseLoop(b, n, lit, out, [](float64x2_t a, float64x2_t c) {
+        return vcleq_f64(a, c);
+      });
+      break;
+    case CmpOp::kGt:
+      CmpF64DenseLoop(b, n, lit, out, [](float64x2_t a, float64x2_t c) {
+        return vcgtq_f64(a, c);
+      });
+      break;
+    case CmpOp::kGe:
+      CmpF64DenseLoop(b, n, lit, out, [](float64x2_t a, float64x2_t c) {
+        return vcgeq_f64(a, c);
+      });
+      break;
+  }
+  const size_t main = n & ~size_t{1};
+  ref::MaskCmpF64(b + main, nullptr, n - main, op, lit, out + main);
+}
+
+void MaskBetweenF64(const double* base, const uint32_t* rows, size_t n,
+                    double lo, double hi, uint8_t* out) {
+  if (!DenseRows(rows, n)) {
+    ref::MaskBetweenF64(base, rows, n, lo, hi, out);
+    return;
+  }
+  const double* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+  const float64x2_t vlo = vdupq_n_f64(lo);
+  const float64x2_t vhi = vdupq_n_f64(hi);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(b + i);
+    StoreMask2(out + i, vandq_u64(vcgeq_f64(v, vlo), vcleq_f64(v, vhi)));
+  }
+  ref::MaskBetweenF64(b + i, nullptr, n - i, lo, hi, out + i);
+}
+
+void MaskCmpCodes(const int32_t* base, const uint32_t* rows, size_t n,
+                  int32_t code, bool want_eq, uint8_t* out) {
+  if (!DenseRows(rows, n)) {
+    ref::MaskCmpCodes(base, rows, n, code, want_eq, out);
+    return;
+  }
+  const int32_t* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+  const int32x4_t vcode = vdupq_n_s32(code);
+  const uint32x4_t flip = vdupq_n_u32(want_eq ? 0u : ~0u);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t m = veorq_u32(vceqq_s32(vld1q_s32(b + i), vcode), flip);
+    out[i] = static_cast<uint8_t>(vgetq_lane_u32(m, 0) & 1);
+    out[i + 1] = static_cast<uint8_t>(vgetq_lane_u32(m, 1) & 1);
+    out[i + 2] = static_cast<uint8_t>(vgetq_lane_u32(m, 2) & 1);
+    out[i + 3] = static_cast<uint8_t>(vgetq_lane_u32(m, 3) & 1);
+  }
+  ref::MaskCmpCodes(b + i, nullptr, n - i, code, want_eq, out + i);
+}
+
+void MaskInF64(const double* vals, size_t n, const double* items, size_t k,
+               uint8_t* out) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(vals + i);
+    uint64x2_t acc = vdupq_n_u64(0);
+    for (size_t j = 0; j < k; ++j) {
+      acc = vorrq_u64(acc, vceqq_f64(v, vdupq_n_f64(items[j])));
+    }
+    StoreMask2(out + i, acc);
+  }
+  ref::MaskInF64(vals + i, n - i, items, k, out + i);
+}
+
+void MaskNot(uint8_t* mask, size_t n) {
+  const uint8x16_t zero = vdupq_n_u8(0);
+  const uint8x16_t one = vdupq_n_u8(1);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(mask + i);
+    vst1q_u8(mask + i, vandq_u8(vceqq_u8(v, zero), one));
+  }
+  ref::MaskNot(mask + i, n - i);
+}
+
+}  // namespace
+
+const KernelTable* NeonKernelsOrNull() {
+  static const KernelTable table = [] {
+    KernelTable t = MakeScalarTable();
+    t.isa = SimdIsa::kNeon;
+    t.mask_cmp_f64 = &MaskCmpF64;
+    t.mask_between_f64 = &MaskBetweenF64;
+    t.mask_cmp_codes = &MaskCmpCodes;
+    t.mask_in_f64 = &MaskInF64;
+    t.mask_not = &MaskNot;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic
+
+#else  // !__aarch64__ || MOSAIC_SIMD_DISABLED
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+namespace internal {
+
+const KernelTable* NeonKernelsOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic
+
+#endif

@@ -1,0 +1,17 @@
+// Pure-scalar kernel table: the parity reference every wider ISA is
+// tested against, and the fallback when MOSAIC_SIMD=0 or the CPU
+// supports nothing wider.
+#include "exec/simd_internal.h"
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = internal::MakeScalarTable();
+  return table;
+}
+
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic

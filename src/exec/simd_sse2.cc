@@ -1,0 +1,176 @@
+// SSE2 kernel table: 2x f64 / 4x i32 lanes, baseline x86-64 (no extra
+// compile flags needed). A deliberately modest subset — dense compare
+// and BETWEEN masks, dictionary-code compares, IN lists, mask
+// negation — everything else stays on the scalar reference. Mostly
+// exercised via MOSAIC_SIMD=sse2 in the parity tests; AVX2 is the
+// production path on current x86.
+#include "exec/simd_internal.h"
+
+#if (defined(__x86_64__) || defined(_M_X64) || defined(__SSE2__)) && \
+    !defined(MOSAIC_SIMD_DISABLED)
+
+#include <emmintrin.h>
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+namespace internal {
+namespace {
+
+template <typename Cmp>
+void CmpF64DenseLoop(const double* base, size_t n, double lit, uint8_t* out,
+                     Cmp cmp) {
+  const __m128d vlit = _mm_set1_pd(lit);
+  for (size_t i = 0; i + 2 <= n; i += 2) {
+    const int bits = _mm_movemask_pd(cmp(_mm_loadu_pd(base + i), vlit));
+    out[i] = static_cast<uint8_t>(bits & 1);
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+  }
+}
+
+void MaskCmpF64(const double* base, const uint32_t* rows, size_t n,
+                CmpOp op, double lit, uint8_t* out) {
+  if (!DenseRows(rows, n)) {
+    ref::MaskCmpF64(base, rows, n, op, lit, out);
+    return;
+  }
+  const double* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+  // The fixed-predicate SSE2 compare intrinsics match C's ordered
+  // semantics (cmpneq is the unordered one, as != requires).
+  switch (op) {
+    case CmpOp::kEq:
+      CmpF64DenseLoop(b, n, lit, out,
+                      [](__m128d a, __m128d c) { return _mm_cmpeq_pd(a, c); });
+      break;
+    case CmpOp::kNe:
+      CmpF64DenseLoop(b, n, lit, out, [](__m128d a, __m128d c) {
+        return _mm_cmpneq_pd(a, c);
+      });
+      break;
+    case CmpOp::kLt:
+      CmpF64DenseLoop(b, n, lit, out,
+                      [](__m128d a, __m128d c) { return _mm_cmplt_pd(a, c); });
+      break;
+    case CmpOp::kLe:
+      CmpF64DenseLoop(b, n, lit, out,
+                      [](__m128d a, __m128d c) { return _mm_cmple_pd(a, c); });
+      break;
+    case CmpOp::kGt:
+      CmpF64DenseLoop(b, n, lit, out,
+                      [](__m128d a, __m128d c) { return _mm_cmpgt_pd(a, c); });
+      break;
+    case CmpOp::kGe:
+      CmpF64DenseLoop(b, n, lit, out,
+                      [](__m128d a, __m128d c) { return _mm_cmpge_pd(a, c); });
+      break;
+  }
+  const size_t main = n & ~size_t{1};
+  ref::MaskCmpF64(b + main, nullptr, n - main, op, lit, out + main);
+}
+
+void MaskBetweenF64(const double* base, const uint32_t* rows, size_t n,
+                    double lo, double hi, uint8_t* out) {
+  if (!DenseRows(rows, n)) {
+    ref::MaskBetweenF64(base, rows, n, lo, hi, out);
+    return;
+  }
+  const double* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+  const __m128d vlo = _mm_set1_pd(lo);
+  const __m128d vhi = _mm_set1_pd(hi);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(b + i);
+    const int bits = _mm_movemask_pd(
+        _mm_and_pd(_mm_cmpge_pd(v, vlo), _mm_cmple_pd(v, vhi)));
+    out[i] = static_cast<uint8_t>(bits & 1);
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+  }
+  ref::MaskBetweenF64(b + i, nullptr, n - i, lo, hi, out + i);
+}
+
+void MaskCmpCodes(const int32_t* base, const uint32_t* rows, size_t n,
+                  int32_t code, bool want_eq, uint8_t* out) {
+  if (!DenseRows(rows, n)) {
+    ref::MaskCmpCodes(base, rows, n, code, want_eq, out);
+    return;
+  }
+  const int32_t* b = base + (rows != nullptr && n > 0 ? rows[0] : 0);
+  const __m128i vcode = _mm_set1_epi32(code);
+  const unsigned flip = want_eq ? 0u : 0xFu;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned bits =
+        static_cast<unsigned>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(v, vcode)))) ^
+        flip;
+    StoreMaskBytes4(out + i, bits);
+  }
+  ref::MaskCmpCodes(b + i, nullptr, n - i, code, want_eq, out + i);
+}
+
+void MaskInF64(const double* vals, size_t n, const double* items, size_t k,
+               uint8_t* out) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(vals + i);
+    __m128d acc = _mm_setzero_pd();
+    for (size_t j = 0; j < k; ++j) {
+      acc = _mm_or_pd(acc, _mm_cmpeq_pd(v, _mm_set1_pd(items[j])));
+    }
+    const int bits = _mm_movemask_pd(acc);
+    out[i] = static_cast<uint8_t>(bits & 1);
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+  }
+  ref::MaskInF64(vals + i, n - i, items, k, out + i);
+}
+
+void MaskNot(uint8_t* mask, size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi8(1);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i* p = reinterpret_cast<__m128i*>(mask + i);
+    const __m128i v = _mm_loadu_si128(p);
+    _mm_storeu_si128(p, _mm_and_si128(_mm_cmpeq_epi8(v, zero), one));
+  }
+  ref::MaskNot(mask + i, n - i);
+}
+
+}  // namespace
+
+const KernelTable* Sse2KernelsOrNull() {
+  static const KernelTable table = [] {
+    KernelTable t = MakeScalarTable();
+    t.isa = SimdIsa::kSse2;
+    t.mask_cmp_f64 = &MaskCmpF64;
+    t.mask_between_f64 = &MaskBetweenF64;
+    t.mask_cmp_codes = &MaskCmpCodes;
+    t.mask_in_f64 = &MaskInF64;
+    t.mask_not = &MaskNot;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic
+
+#else  // not x86-64 || MOSAIC_SIMD_DISABLED
+
+namespace mosaic {
+namespace exec {
+namespace simd {
+namespace internal {
+
+const KernelTable* Sse2KernelsOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace exec
+}  // namespace mosaic
+
+#endif

@@ -351,7 +351,7 @@ Result<Table> DecodeTable(WireReader* r) {
     switch (schema.column(c).type) {
       case DataType::kInt64: {
         if (r->remaining() < n * 8) return Truncated("int64 column");
-        std::vector<int64_t> vals(n);
+        AlignedVector<int64_t> vals(n);
         for (size_t i = 0; i < n; ++i) {
           MOSAIC_ASSIGN_OR_RETURN(vals[i], r->ReadI64());
         }
@@ -360,7 +360,7 @@ Result<Table> DecodeTable(WireReader* r) {
       }
       case DataType::kDouble: {
         if (r->remaining() < n * 8) return Truncated("double column");
-        std::vector<double> vals(n);
+        AlignedVector<double> vals(n);
         for (size_t i = 0; i < n; ++i) {
           MOSAIC_ASSIGN_OR_RETURN(vals[i], r->ReadDouble());
         }
@@ -369,7 +369,7 @@ Result<Table> DecodeTable(WireReader* r) {
       }
       case DataType::kBool: {
         if (r->remaining() < n) return Truncated("bool column");
-        std::vector<uint8_t> vals(n);
+        AlignedVector<uint8_t> vals(n);
         for (size_t i = 0; i < n; ++i) {
           MOSAIC_ASSIGN_OR_RETURN(vals[i], r->ReadU8());
         }
@@ -390,7 +390,7 @@ Result<Table> DecodeTable(WireReader* r) {
           }
         }
         if (r->remaining() < n * 4) return Truncated("string codes");
-        std::vector<int32_t> codes(n);
+        AlignedVector<int32_t> codes(n);
         for (size_t i = 0; i < n; ++i) {
           MOSAIC_ASSIGN_OR_RETURN(uint32_t code, r->ReadU32());
           if (code >= dict_size) {

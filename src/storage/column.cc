@@ -74,26 +74,26 @@ void Column::AppendCode(int32_t code) {
   codes_.push_back(code);
 }
 
-Column Column::FromInt64(std::vector<int64_t> values) {
+Column Column::FromInt64(AlignedVector<int64_t> values) {
   Column out(DataType::kInt64);
   out.ints_ = std::move(values);
   return out;
 }
 
-Column Column::FromDouble(std::vector<double> values) {
+Column Column::FromDouble(AlignedVector<double> values) {
   Column out(DataType::kDouble);
   out.doubles_ = std::move(values);
   return out;
 }
 
-Column Column::FromBool(std::vector<uint8_t> values) {
+Column Column::FromBool(AlignedVector<uint8_t> values) {
   Column out(DataType::kBool);
   out.bools_ = std::move(values);
   return out;
 }
 
 Column Column::FromCodes(std::shared_ptr<Dictionary> dict,
-                         std::vector<int32_t> codes) {
+                         AlignedVector<int32_t> codes) {
   Column out(DataType::kString);
   out.dict_ = std::move(dict);
   out.codes_ = std::move(codes);
@@ -141,7 +141,7 @@ std::vector<double> Column::ToDoubleVector() const {
       for (int64_t v : ints_) out.push_back(static_cast<double>(v));
       break;
     case DataType::kDouble:
-      out = doubles_;
+      out.assign(doubles_.begin(), doubles_.end());
       break;
     case DataType::kBool:
       for (uint8_t v : bools_) out.push_back(v ? 1.0 : 0.0);

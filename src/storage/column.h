@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "storage/dictionary.h"
 #include "storage/value.h"
@@ -38,12 +39,13 @@ class Column {
 
   /// Zero-copy construction from pre-built storage (the batch
   /// executor materializes result columns this way instead of
-  /// appending row by row).
-  static Column FromInt64(std::vector<int64_t> values);
-  static Column FromDouble(std::vector<double> values);
-  static Column FromBool(std::vector<uint8_t> values);
+  /// appending row by row). Takes AlignedVector so every column's
+  /// allocation base is 64-byte aligned for the SIMD kernels.
+  static Column FromInt64(AlignedVector<int64_t> values);
+  static Column FromDouble(AlignedVector<double> values);
+  static Column FromBool(AlignedVector<uint8_t> values);
   static Column FromCodes(std::shared_ptr<Dictionary> dict,
-                          std::vector<int32_t> codes);
+                          AlignedVector<int32_t> codes);
 
   /// Value at a row (decodes strings).
   Value GetValue(size_t row) const;
@@ -91,10 +93,10 @@ class Column {
 
  private:
   DataType type_;
-  std::vector<int64_t> ints_;
-  std::vector<double> doubles_;
-  std::vector<uint8_t> bools_;
-  std::vector<int32_t> codes_;
+  AlignedVector<int64_t> ints_;
+  AlignedVector<double> doubles_;
+  AlignedVector<uint8_t> bools_;
+  AlignedVector<int32_t> codes_;
   std::shared_ptr<Dictionary> dict_;
 };
 

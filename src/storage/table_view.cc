@@ -67,7 +67,7 @@ ColumnSpan ColumnSpan::Slice(size_t begin, size_t count) const {
 }
 
 SelectionVector SelectionVector::All(size_t n) {
-  std::vector<uint32_t> rows(n);
+  AlignedVector<uint32_t> rows(n);
   for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
   return SelectionVector(std::move(rows));
 }
@@ -114,25 +114,25 @@ Table TableView::Materialize(const SelectionVector& sel) const {
   for (const ColumnSpan& span : spans_) {
     switch (span.type) {
       case DataType::kInt64: {
-        std::vector<int64_t> data(sel.size());
+        AlignedVector<int64_t> data(sel.size());
         for (size_t i = 0; i < sel.size(); ++i) data[i] = span.i64[sel[i]];
         columns.push_back(Column::FromInt64(std::move(data)));
         break;
       }
       case DataType::kDouble: {
-        std::vector<double> data(sel.size());
+        AlignedVector<double> data(sel.size());
         for (size_t i = 0; i < sel.size(); ++i) data[i] = span.f64[sel[i]];
         columns.push_back(Column::FromDouble(std::move(data)));
         break;
       }
       case DataType::kBool: {
-        std::vector<uint8_t> data(sel.size());
+        AlignedVector<uint8_t> data(sel.size());
         for (size_t i = 0; i < sel.size(); ++i) data[i] = span.b8[sel[i]];
         columns.push_back(Column::FromBool(std::move(data)));
         break;
       }
       case DataType::kString: {
-        std::vector<int32_t> data(sel.size());
+        AlignedVector<int32_t> data(sel.size());
         for (size_t i = 0; i < sel.size(); ++i) data[i] = span.codes[sel[i]];
         // Sharing a dictionary across columns is the storage layer's
         // existing contract (Column::Gather does the same); shedding

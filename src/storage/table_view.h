@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "storage/schema.h"
 #include "storage/table.h"
@@ -67,6 +68,9 @@ class SelectionSlice {
   // NOLINTNEXTLINE(google-explicit-constructor)
   SelectionSlice(const std::vector<uint32_t>& rows)
       : data_(rows.data()), size_(rows.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  SelectionSlice(const AlignedVector<uint32_t>& rows)
+      : data_(rows.data()), size_(rows.size()) {}
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -94,8 +98,12 @@ class SelectionSlice {
 class SelectionVector {
  public:
   SelectionVector() = default;
-  explicit SelectionVector(std::vector<uint32_t> rows)
+  explicit SelectionVector(AlignedVector<uint32_t> rows)
       : rows_(std::move(rows)) {}
+  /// Convenience (copies into aligned storage) — test/boundary use;
+  /// hot paths build AlignedVector row lists directly.
+  explicit SelectionVector(const std::vector<uint32_t>& rows)
+      : rows_(rows.begin(), rows.end()) {}
 
   /// Dense selection 0..n-1.
   static SelectionVector All(size_t n);
@@ -104,8 +112,8 @@ class SelectionVector {
   bool empty() const { return rows_.empty(); }
   uint32_t operator[](size_t i) const { return rows_[i]; }
 
-  const std::vector<uint32_t>& rows() const { return rows_; }
-  std::vector<uint32_t>* mutable_rows() { return &rows_; }
+  const AlignedVector<uint32_t>& rows() const { return rows_; }
+  AlignedVector<uint32_t>* mutable_rows() { return &rows_; }
 
   /// Zero-copy view of positions [begin, begin+count) — the morsel
   /// executors slice the selection this way instead of copying row
@@ -119,7 +127,7 @@ class SelectionVector {
   }
 
  private:
-  std::vector<uint32_t> rows_;
+  AlignedVector<uint32_t> rows_;
 };
 
 /// Schema + one span per column. Constructed over a Table, optionally

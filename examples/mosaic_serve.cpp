@@ -19,14 +19,30 @@
 //                              slow-query log and EXPLAIN ANALYZE)
 //     --slow-query-ms=N        log the span tree of statements taking
 //                              >= N ms (implies tracing)
+//     --data-dir=PATH          durable mode: recover catalog + samples
+//                              + weights from PATH on startup and WAL
+//                              every mutation (also settable via the
+//                              MOSAIC_DATA_DIR environment variable;
+//                              the flag wins)
+//     --snapshot-interval-s=N  in durable mode, write a snapshot every
+//                              N seconds (default 300; 0 = only the
+//                              clean-shutdown snapshot)
+//     --no-fsync               durable mode without per-statement WAL
+//                              fsync (throughput over crash safety)
 //     --demo-world             preload the flights-style demo catalog
+//                              (skipped when a recovered data dir
+//                              already holds a catalog)
 //     --verbose                info-level logging
 //
 // Runs until SIGINT/SIGTERM, then drains: in-flight statements
 // finish, replies flush, connections close, and the process exits 0.
+// In durable mode a final snapshot is written before exit, so the
+// next start replays no WAL.
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -97,9 +113,13 @@ int main(int argc, char** argv) {
   service::ServiceOptions service_opts;
   std::string port_file;
   uint64_t morsel_size = 0;
+  uint64_t snapshot_interval_s = 300;
   bool demo_world = false;
   bool metrics_enabled = false;
   uint64_t metrics_port = 0;
+  if (const char* env = std::getenv("MOSAIC_DATA_DIR")) {
+    service_opts.data_dir = env;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -130,10 +150,15 @@ int main(int argc, char** argv) {
       metrics_port = n;
     } else if (NumericFlag(arg, "slow-query-ms", &n)) {
       service_opts.slow_query_ms = static_cast<int64_t>(n);
+    } else if (NumericFlag(arg, "snapshot-interval-s", &n)) {
+      snapshot_interval_s = n;
     } else if (std::strcmp(arg, "--trace") == 0) {
       service_opts.trace_queries = true;
+    } else if (std::strcmp(arg, "--no-fsync") == 0) {
+      service_opts.durable_fsync_dml = false;
     } else if (StringFlag(arg, "host", &server_opts.host) ||
-               StringFlag(arg, "port-file", &port_file)) {
+               StringFlag(arg, "port-file", &port_file) ||
+               StringFlag(arg, "data-dir", &service_opts.data_dir)) {
     } else if (std::strcmp(arg, "--demo-world") == 0) {
       demo_world = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -146,7 +171,34 @@ int main(int argc, char** argv) {
   service_opts.morsel_size = static_cast<size_t>(morsel_size);
 
   service::QueryService service(service_opts);
-  if (demo_world) BuildWorld(service.database());
+  if (!service.durability_status().ok()) {
+    // A failed recovery must never serve: the in-memory catalog may
+    // be partial and answers silently wrong.
+    std::fprintf(stderr, "mosaic_serve: recovery failed: %s\n",
+                 service.durability_status().ToString().c_str());
+    return 1;
+  }
+  const bool recovered_catalog =
+      service.storage_engine() != nullptr &&
+      (service.storage_engine()->recovery_info().tables > 0 ||
+       service.storage_engine()->recovery_info().populations > 0);
+  if (service.storage_engine() != nullptr) {
+    const durable::RecoveryInfo& rec =
+        service.storage_engine()->recovery_info();
+    std::printf("mosaic_serve: recovered %llu tables, %llu populations, "
+                "%llu samples from %s (%s snapshot, %llu WAL records, "
+                "%llu us)\n",
+                (unsigned long long)rec.tables,
+                (unsigned long long)rec.populations,
+                (unsigned long long)rec.samples,
+                service_opts.data_dir.c_str(),
+                rec.snapshot_loaded ? "with" : "no",
+                (unsigned long long)rec.wal_records_applied,
+                (unsigned long long)rec.recovery_us);
+  }
+  // The demo world is only seeded into a fresh data dir — a recovered
+  // catalog already holds it (re-running the DDL would fail anyway).
+  if (demo_world && !recovered_catalog) BuildWorld(service.database());
 
   net::Server server(&service, server_opts);
   Status started = server.Start();
@@ -233,24 +285,56 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
   if (!port_file.empty()) {
-    std::FILE* f = std::fopen(port_file.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "mosaic_serve: cannot write %s\n",
-                   port_file.c_str());
+    // Write-then-rename so a watching script can never read a torn or
+    // empty port file, with every stdio result checked (a full disk
+    // must not leave the script waiting on garbage).
+    const std::string tmp = port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    bool ok = f != nullptr;
+    if (ok) {
+      ok = std::fprintf(f, "%u\n", server.port()) > 0;
+      ok = (std::fclose(f) == 0) && ok;
+    }
+    if (ok) ok = std::rename(tmp.c_str(), port_file.c_str()) == 0;
+    if (!ok) {
+      std::fprintf(stderr, "mosaic_serve: cannot write %s: %s\n",
+                   port_file.c_str(), std::strerror(errno));
+      std::remove(tmp.c_str());
       return 1;
     }
-    std::fprintf(f, "%u\n", server.port());
-    std::fclose(f);
   }
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  const bool durable = service.storage_engine() != nullptr;
+  const auto snapshot_interval =
+      std::chrono::seconds(snapshot_interval_s);
+  auto last_snapshot = std::chrono::steady_clock::now();
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (durable && snapshot_interval_s > 0 &&
+        std::chrono::steady_clock::now() - last_snapshot >=
+            snapshot_interval) {
+      Status snap = service.TriggerSnapshot();
+      if (!snap.ok()) {
+        std::fprintf(stderr, "mosaic_serve: snapshot failed: %s\n",
+                     snap.ToString().c_str());
+      }
+      last_snapshot = std::chrono::steady_clock::now();
+    }
   }
 
   std::printf("mosaic_serve: draining...\n");
   server.Shutdown();
+  if (durable) {
+    // Final snapshot: the next start replays no WAL. Failure is not
+    // fatal — the WAL already holds everything.
+    Status snap = service.TriggerSnapshot();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "mosaic_serve: final snapshot failed: %s\n",
+                   snap.ToString().c_str());
+    }
+  }
   const net::NetServerStats nets = server.stats();
   const service::ServiceStats svc = service.Stats();
   std::printf("mosaic_serve: served %llu queries (%llu failed) over %llu "

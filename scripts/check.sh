@@ -65,8 +65,86 @@ run_server_e2e() {
   exit 1
 }
 
+# Crash-recovery E2E: boot mosaic_serve on a fresh data dir, ingest a
+# small world, record query answers, SIGKILL the server mid-flight,
+# restart it from the same dir, and require (a) bit-identical answers,
+# (b) zero IPF refits on the recovered process (the replayed weight
+# epochs carry their fit signatures, so SEMI-OPEN is a signature-match
+# no-op), then SIGTERM (which writes a final snapshot) and verify a
+# third boot from the snapshot too.
+run_crash_recovery() {
+  local name="$1" build_dir="$2"
+  echo "=== ${name}: crash-recovery E2E ==="
+  local data_dir port_file
+  data_dir="$(mktemp -d)"
+  port_file="${build_dir}/crash_recovery.port"
+  local q_closed="SELECT COUNT(*) AS c FROM Panel"
+  local q_open="SELECT SEMI-OPEN COUNT(*) AS c FROM People WHERE device = 'phone'"
+
+  start_server() {
+    rm -f "${port_file}"
+    "${build_dir}/mosaic_serve" --port=0 --port-file="${port_file}" \
+      --data-dir="${data_dir}" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+      [[ -s "${port_file}" ]] && break
+      sleep 0.1
+    done
+    [[ -s "${port_file}" ]] || { echo "ERROR: server did not come up" >&2; return 1; }
+    port="$(cat "${port_file}")"
+  }
+
+  # Phase 1: ingest, query, then die without any shutdown protocol.
+  start_server
+  "${build_dir}/mosaic_client" --port="${port}" \
+    "CREATE GLOBAL POPULATION People (email VARCHAR, device VARCHAR)" \
+    "CREATE TABLE EmailReport (email VARCHAR, cnt INT)" \
+    "INSERT INTO EmailReport VALUES ('gmail', 550), ('yahoo', 300), ('aol', 150)" \
+    "CREATE METADATA People_M1 AS (SELECT email, cnt FROM EmailReport)" \
+    "CREATE SAMPLE Panel AS (SELECT * FROM People)" \
+    "INSERT INTO Panel VALUES ('gmail','phone'), ('gmail','phone'), ('gmail','laptop'), ('yahoo','phone'), ('yahoo','laptop'), ('aol','laptop')" \
+    > /dev/null
+  "${build_dir}/mosaic_client" --port="${port}" \
+    "${q_closed}" "${q_open}" > "${build_dir}/crash_answers_live.txt"
+  kill -9 "${server_pid}"
+  wait "${server_pid}" 2>/dev/null || true
+
+  # Phase 2: recover from snapshot-less WAL, answers must match and
+  # the recovered process must not have retrained.
+  start_server
+  "${build_dir}/mosaic_client" --port="${port}" \
+    "${q_closed}" "${q_open}" > "${build_dir}/crash_answers_rec1.txt"
+  diff "${build_dir}/crash_answers_live.txt" \
+       "${build_dir}/crash_answers_rec1.txt"
+  "${build_dir}/mosaic_client" --port="${port}" --stats \
+    > "${build_dir}/crash_stats_rec1.txt"
+  grep -q '^weight_refits_total=0$' "${build_dir}/crash_stats_rec1.txt" || {
+    echo "ERROR: recovery retrained (weight_refits_total != 0):" >&2
+    grep '^weight_refits' "${build_dir}/crash_stats_rec1.txt" >&2 || true
+    exit 1
+  }
+  kill -TERM "${server_pid}"
+  wait "${server_pid}"   # clean drain writes a final snapshot
+
+  # Phase 3: boot again — now from the snapshot — and re-verify.
+  start_server
+  "${build_dir}/mosaic_client" --port="${port}" \
+    "${q_closed}" "${q_open}" > "${build_dir}/crash_answers_rec2.txt"
+  diff "${build_dir}/crash_answers_live.txt" \
+       "${build_dir}/crash_answers_rec2.txt"
+  "${build_dir}/mosaic_client" --port="${port}" --stats \
+    | grep -q '^weight_refits_total=0$' || {
+    echo "ERROR: snapshot recovery retrained" >&2; exit 1;
+  }
+  kill -TERM "${server_pid}"
+  wait "${server_pid}"
+  rm -rf "${data_dir}"
+  echo "${name}: crash-recovery OK"
+}
+
 run_suite "Release" build-release -DCMAKE_BUILD_TYPE=Release
 run_server_e2e "Release" build-release
+run_crash_recovery "Release" build-release
 
 # Morsel leg: every suite again with morsel-split batch execution
 # (MOSAIC_MORSELS sets the engine-wide morsel size; results must be
@@ -107,16 +185,20 @@ echo "=== Release + MOSAIC_SIMD=0: scalar kernel parity ==="
 MOSAIC_SIMD=0 ctest --test-dir build-release --output-on-failure \
   -R 'test_(sql_fuzz|exec_parity|simd_kernels)'
 
-# UBSan leg over the executor tests: the SIMD layer leans on casts,
-# bit tricks, and alignment assumptions; undefined-behavior findings
+# UBSan leg over the executor tests plus the durable storage suites:
+# the SIMD layer leans on casts, bit tricks, and alignment
+# assumptions, and the storage engine adds mmap'd column reads and
+# byte-level (de)serialization on top; undefined-behavior findings
 # there must fail CI even when the answers happen to come out right.
-echo "=== UBSan: executor + kernel tests ==="
+echo "=== UBSan: executor + kernel + storage tests ==="
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=undefined
 cmake --build build-ubsan -j "${JOBS}" --target \
-  test_simd_kernels test_exec_parity test_executor test_sql_fuzz
+  test_simd_kernels test_exec_parity test_executor test_sql_fuzz \
+  test_durable test_durable_recovery
 UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-ubsan \
-  --output-on-failure -R 'test_(simd_kernels|exec_parity|executor|sql_fuzz)'
+  --output-on-failure \
+  -R 'test_(simd_kernels|exec_parity|executor|sql_fuzz|durable|durable_recovery)'
 
 # Bench JSON smoke: the bench binaries must emit parseable JSON with
 # the latency histogram fields (BENCH_*.json feeds dashboards; a
@@ -153,6 +235,7 @@ EOF
 run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=address
 run_server_e2e "ASan" build-asan
+run_crash_recovery "ASan" build-asan
 
 if [[ "${1:-}" != "fast" ]]; then
   # TSan pass over the threaded subsystem tests (the full suite under

@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "core/durability.h"
 #include "exec/batch_eval.h"
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
@@ -27,6 +28,14 @@ namespace core {
 namespace {
 
 constexpr char kWeightColumn[] = "weight";
+
+/// Rows [begin, num_rows) of `table` as an owning table — the suffix
+/// a durability sink logs after an append.
+Table TailRows(const Table& table, size_t begin) {
+  std::vector<size_t> rows(table.num_rows() - begin);
+  std::iota(rows.begin(), rows.end(), begin);
+  return table.Filter(rows);
+}
 
 /// Attach a weight column to a copy of `data`.
 Result<Table> WithWeights(const Table& data,
@@ -624,16 +633,30 @@ std::string Database::PopulationIpfFitSignature(
          "|scale=" + (ipf.scale_to_population ? "1" : "0");
 }
 
-WeightEpochPtr Database::PublishWeights(SampleInfo* sample,
-                                        std::vector<double> weights,
-                                        WeightFitInfo fit) {
+Result<WeightEpochPtr> Database::PublishWeights(SampleInfo* sample,
+                                                std::vector<double> weights,
+                                                WeightFitInfo fit, bool log) {
   bool published = false;
   WeightEpochPtr epoch =
       sample->weights.Publish(std::move(weights), std::move(fit), &published);
   if (published) {
     weight_epochs_published_.fetch_add(1, std::memory_order_relaxed);
+    // The union-mode scratch relation is derived state, rebuilt from
+    // the real samples on demand — its publications are not logged.
+    if (log && durability_ != nullptr && sample != &union_scratch_) {
+      MOSAIC_RETURN_IF_ERROR(
+          durability_->LogPublishEpoch(sample->name, *epoch));
+    }
   }
   return epoch;
+}
+
+Status Database::RestoreSampleEpoch(const std::string& sample_name,
+                                    WeightEpoch epoch) {
+  MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
+                          catalog_.GetSample(sample_name));
+  sample->weights.Restore(std::move(epoch));
+  return Status::OK();
 }
 
 Result<WeightEpochPtr> Database::ReweightAndPin(
@@ -885,12 +908,20 @@ Status Database::ExecuteCreateTable(const sql::CreateTableStmt& stmt) {
   MOSAIC_RETURN_IF_ERROR(
       catalog_.AddTable(stmt.name, Table(std::move(schema))));
   BumpCatalogVersion();
+  if (durability_ != nullptr) {
+    MOSAIC_ASSIGN_OR_RETURN(Table* created, catalog_.GetTable(stmt.name));
+    MOSAIC_RETURN_IF_ERROR(durability_->LogCreateTable(stmt.name, *created));
+  }
   return Status::OK();
 }
 
 Status Database::CreateTable(const std::string& name, Table table) {
   MOSAIC_RETURN_IF_ERROR(catalog_.AddTable(name, std::move(table)));
   BumpCatalogVersion();
+  if (durability_ != nullptr) {
+    MOSAIC_ASSIGN_OR_RETURN(Table* created, catalog_.GetTable(name));
+    MOSAIC_RETURN_IF_ERROR(durability_->LogCreateTable(name, *created));
+  }
   return Status::OK();
 }
 
@@ -910,6 +941,11 @@ Status Database::ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt) {
     info.schema = std::move(schema);
     MOSAIC_RETURN_IF_ERROR(catalog_.AddPopulation(std::move(info)));
     BumpCatalogVersion();
+    if (durability_ != nullptr) {
+      MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* created,
+                              catalog_.GetPopulation(stmt->name));
+      MOSAIC_RETURN_IF_ERROR(durability_->LogCreatePopulation(*created));
+    }
     return Status::OK();
   }
   // Derived population: defined by a SELECT over the GP (§3.1 "the
@@ -949,6 +985,11 @@ Status Database::ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt) {
   }
   MOSAIC_RETURN_IF_ERROR(catalog_.AddPopulation(std::move(info)));
   BumpCatalogVersion();
+  if (durability_ != nullptr) {
+    MOSAIC_ASSIGN_OR_RETURN(PopulationInfo* created,
+                            catalog_.GetPopulation(stmt->name));
+    MOSAIC_RETURN_IF_ERROR(durability_->LogCreatePopulation(*created));
+  }
   return Status::OK();
 }
 
@@ -996,6 +1037,11 @@ Status Database::ExecuteCreateSample(sql::CreateSampleStmt* stmt) {
   info.mechanism = stmt->mechanism;
   MOSAIC_RETURN_IF_ERROR(catalog_.AddSample(std::move(info)));
   BumpCatalogVersion();
+  if (durability_ != nullptr) {
+    MOSAIC_ASSIGN_OR_RETURN(SampleInfo* created,
+                            catalog_.GetSample(stmt->name));
+    MOSAIC_RETURN_IF_ERROR(durability_->LogCreateSample(*created));
+  }
   return Status::OK();
 }
 
@@ -1042,6 +1088,10 @@ Status Database::RegisterMarginal(const std::string& population,
   // old marginal set can no longer satisfy a no-op refit check.
   BumpMetadataVersion();
   InvalidateModelCache();
+  if (durability_ != nullptr) {
+    MOSAIC_RETURN_IF_ERROR(durability_->LogRegisterMarginal(
+        pop->name, metadata_name, pop->marginals.back()));
+  }
   return Status::OK();
 }
 
@@ -1078,11 +1128,14 @@ Status Database::ExtendWeightsAfterIngest(SampleInfo* sample,
         if (!fit->fell_back_to_cold) {
           weight_refits_incremental_.fetch_add(1, std::memory_order_relaxed);
         }
+        // log=false: the ingest caller records one combined
+        // rows+epoch WAL record covering this publication.
         PublishWeights(sample, std::move(fitted),
                        WeightFitInfo{GpIpfFitSignature(rows),
                                      fit->max_l1_error,
                                      fit->uncovered_target_mass,
-                                     fit->converged});
+                                     fit->converged},
+                       /*log=*/false);
         return Status::OK();
       }
       // A failed fit (e.g. the new rows broke marginal overlap) falls
@@ -1092,7 +1145,8 @@ Status Database::ExtendWeightsAfterIngest(SampleInfo* sample,
   }
   std::vector<double> extended = prev->weights;
   extended.resize(rows, 1.0);
-  PublishWeights(sample, std::move(extended));
+  PublishWeights(sample, std::move(extended), WeightFitInfo(),
+                 /*log=*/false);
   return Status::OK();
 }
 
@@ -1101,6 +1155,7 @@ Status Database::IngestSample(const std::string& sample_name,
   MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                           catalog_.GetSample(sample_name));
   WeightEpochPtr prev = sample->weights.Pin();
+  const size_t rows_before = sample->data.num_rows();
   // A mid-loop failure still leaves the earlier rows appended, so the
   // version bump and the weight-epoch extension must run regardless —
   // otherwise stale stamped cache entries keep matching and the
@@ -1124,6 +1179,15 @@ Status Database::IngestSample(const std::string& sample_name,
   BumpCatalogVersion();
   InvalidateModelCache();
   Status extend = ExtendWeightsAfterIngest(sample, prev);
+  // One combined rows+epoch record: replay can never materialize the
+  // new rows without the weight epoch that covers them. Logged even
+  // after a mid-loop failure — whatever landed is committed state.
+  if (durability_ != nullptr && sample->data.num_rows() > rows_before) {
+    Status log = durability_->LogSampleIngest(
+        sample->name, TailRows(sample->data, rows_before),
+        *sample->weights.Pin());
+    if (ingest.ok() && extend.ok() && !log.ok()) return log;
+  }
   return ingest.ok() ? extend : ingest;
 }
 
@@ -1132,18 +1196,25 @@ Status Database::ExecuteInsert(const sql::InsertStmt& stmt) {
     MOSAIC_ASSIGN_OR_RETURN(Table* table, catalog_.GetTable(stmt.table));
     // Bump even when a later row fails: the earlier rows landed, and
     // stamped cache entries for this table are stale either way.
+    const size_t rows_before = table->num_rows();
     Status insert = Status::OK();
     for (const auto& row : stmt.rows) {
       insert = table->AppendRow(row);
       if (!insert.ok()) break;
     }
     BumpCatalogVersion();
+    if (durability_ != nullptr && table->num_rows() > rows_before) {
+      Status log = durability_->LogTableAppend(
+          stmt.table, TailRows(*table, rows_before));
+      if (insert.ok() && !log.ok()) return log;
+    }
     return insert;
   }
   if (catalog_.HasSample(stmt.table)) {
     MOSAIC_ASSIGN_OR_RETURN(SampleInfo* sample,
                             catalog_.GetSample(stmt.table));
     WeightEpochPtr prev = sample->weights.Pin();
+    const size_t rows_before = sample->data.num_rows();
     Status insert = Status::OK();
     for (const auto& row : stmt.rows) {
       insert = sample->data.AppendRow(row);
@@ -1154,6 +1225,12 @@ Status Database::ExecuteInsert(const sql::InsertStmt& stmt) {
     BumpCatalogVersion();
     InvalidateModelCache();
     Status extend = ExtendWeightsAfterIngest(sample, prev);
+    if (durability_ != nullptr && sample->data.num_rows() > rows_before) {
+      Status log = durability_->LogSampleIngest(
+          sample->name, TailRows(sample->data, rows_before),
+          *sample->weights.Pin());
+      if (insert.ok() && extend.ok() && !log.ok()) return log;
+    }
     return insert.ok() ? extend : insert;
   }
   return Status::NotFound("no table or sample named '" + stmt.table + "'");
@@ -1169,8 +1246,14 @@ Status Database::ExecuteCopy(const sql::CopyStmt& stmt) {
     MOSAIC_ASSIGN_OR_RETURN(Table loaded,
                             ReadCsv(buf.str(), table->schema()));
     // Bump even on a failed Concat — it may have partially applied.
+    const size_t rows_before = table->num_rows();
     Status concat = table->Concat(loaded);
     BumpCatalogVersion();
+    if (durability_ != nullptr && table->num_rows() > rows_before) {
+      Status log = durability_->LogTableAppend(
+          stmt.table, TailRows(*table, rows_before));
+      if (concat.ok() && !log.ok()) return log;
+    }
     return concat;
   }
   if (catalog_.HasSample(stmt.table)) {
@@ -1206,7 +1289,12 @@ Status Database::ExecuteDrop(const sql::DropStmt& stmt) {
       InvalidateModelCache();
       break;
   }
-  if (status.ok()) BumpCatalogVersion();
+  if (status.ok()) {
+    BumpCatalogVersion();
+    if (durability_ != nullptr) {
+      MOSAIC_RETURN_IF_ERROR(durability_->LogDrop(stmt.target, stmt.name));
+    }
+  }
   if (!status.ok() && stmt.if_exists &&
       status.code() == StatusCode::kNotFound) {
     return Status::OK();
@@ -1380,8 +1468,7 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
           next[rows[i]] = values[i];
         }
       }
-      PublishWeights(sample, std::move(next));
-      return Status::OK();
+      return PublishWeights(sample, std::move(next)).status();
     }
     // Batch path: weighted zero-copy view over the pinned epoch;
     // assignments are evaluated as whole batches against the
@@ -1413,8 +1500,7 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
         next[rows[i]] = values[i];
       }
     }
-    PublishWeights(sample, std::move(next));
-    return Status::OK();
+    return PublishWeights(sample, std::move(next)).status();
   }
   if (!catalog_.HasTable(stmt.table)) {
     return Status::NotFound("no table or sample named '" + stmt.table + "'");
@@ -1452,6 +1538,11 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   }
   *table = std::move(updated);
   BumpCatalogVersion();
+  // Cell rewrites have no suffix representation; log the whole
+  // rebuilt table as a replacement.
+  if (durability_ != nullptr) {
+    MOSAIC_RETURN_IF_ERROR(durability_->LogTableReplace(stmt.table, *table));
+  }
   return Status::OK();
 }
 

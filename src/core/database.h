@@ -47,6 +47,8 @@ struct ExecOptions;  // exec/executor.h — only named by value here
 
 namespace core {
 
+class DurabilitySink;  // core/durability.h
+
 struct SemiOpenOptions {
   stats::IpfOptions ipf;
   /// On sample ingest, when the previous weight epoch came from a
@@ -161,6 +163,34 @@ class Database {
   uint64_t catalog_version() const {
     return catalog_version_.load(std::memory_order_relaxed);
   }
+
+  /// Monotonic version of the registered marginal metadata (part of
+  /// fit signatures). Exposed so a durability layer can record it
+  /// with every mutation and restore it exactly on recovery.
+  uint64_t metadata_version() const {
+    return metadata_version_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Durability hooks (storage/durable) -----------------------------
+
+  /// Attach a sink that is handed every committed mutation (DDL,
+  /// ingest, weight publication) for write-ahead logging. Null
+  /// detaches. Must be set before concurrent use begins.
+  void set_durability_sink(DurabilitySink* sink) { durability_ = sink; }
+  DurabilitySink* durability_sink() const { return durability_; }
+
+  /// Recovery-only: force the version counters to exactly the values
+  /// a replayed WAL record carried. Exact (not monotonic) so fit
+  /// signatures computed after restart match their pre-crash
+  /// counterparts and refits no-op.
+  void RestoreVersions(uint64_t catalog_version, uint64_t metadata_version) {
+    catalog_version_.store(catalog_version, std::memory_order_relaxed);
+    metadata_version_.store(metadata_version, std::memory_order_relaxed);
+  }
+
+  /// Recovery-only: install a recovered weight epoch (id + fit
+  /// provenance intact) on the named sample. Never runs a fit.
+  Status RestoreSampleEpoch(const std::string& sample, WeightEpoch epoch);
 
   /// Aggregate counters over the versioned weight stores.
   struct WeightCounters {
@@ -305,10 +335,15 @@ class Database {
 
   /// Publish `weights` as `sample`'s next epoch, counting an actual
   /// swap in the weight counters (a value-identical publication is a
-  /// no-op and counts nothing).
-  WeightEpochPtr PublishWeights(SampleInfo* sample,
-                                std::vector<double> weights,
-                                WeightFitInfo fit = WeightFitInfo());
+  /// no-op and counts nothing). When a durability sink is attached
+  /// and `log` is true, an actual swap is WAL-logged (ingest-time
+  /// publications pass log=false — their caller logs one combined
+  /// rows+epoch record instead); a logging failure surfaces as the
+  /// error of the Result, with the epoch already published in memory.
+  Result<WeightEpochPtr> PublishWeights(SampleInfo* sample,
+                                        std::vector<double> weights,
+                                        WeightFitInfo fit = WeightFitInfo(),
+                                        bool log = true);
 
   /// After rows were appended to `sample`, publish the follow-up
   /// weight epoch: a warm-started incremental IPF when the previous
@@ -405,6 +440,8 @@ class Database {
   size_t morsel_parallelism_ = 0;
   bool union_samples_ = false;
   bool force_row_exec_ = false;
+  /// Write-ahead-logging hook; null when running without durability.
+  DurabilitySink* durability_ = nullptr;
   /// Scratch relation materializing the union of samples; rebuilt
   /// lazily when the underlying samples change size.
   SampleInfo union_scratch_;

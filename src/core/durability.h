@@ -1,0 +1,81 @@
+// Durability hook between core::Database and the storage engine.
+//
+// The engine (src/storage/durable/) implements this interface; the
+// database calls it after each state mutation commits in memory, while
+// the statement still holds whatever lock serialized the mutation. A
+// failed log call makes the statement fail loudly with the sink's
+// error — the in-memory mutation is NOT rolled back (the process keeps
+// serving its current state), but the caller knows the write may not
+// survive a crash.
+//
+// Records are *physical*: they carry the bytes that changed (appended
+// row suffixes, whole published WeightEpochs with their fit
+// provenance) rather than the SQL that produced them, so replay never
+// re-runs IPF, sampling, or model training. A replayed epoch carries
+// its original fit_signature, which is what lets the first post-restart
+// SEMI-OPEN query skip its refit.
+#ifndef MOSAIC_CORE_DURABILITY_H_
+#define MOSAIC_CORE_DURABILITY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/catalog.h"
+#include "core/weights.h"
+#include "sql/ast.h"
+#include "stats/marginal.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace core {
+
+class DurabilitySink {
+ public:
+  virtual ~DurabilitySink() = default;
+
+  /// A table was created (possibly pre-populated, for the programmatic
+  /// CreateTable path).
+  virtual Status LogCreateTable(const std::string& name,
+                                const Table& table) = 0;
+
+  /// A population (with any marginals it already carries) was created.
+  virtual Status LogCreatePopulation(const PopulationInfo& population) = 0;
+
+  /// A sample was created. Only the header is logged — `sample.data`
+  /// is empty at creation; rows arrive via LogSampleIngest.
+  virtual Status LogCreateSample(const SampleInfo& sample) = 0;
+
+  /// A marginal was registered on `population` under `metadata_name`.
+  virtual Status LogRegisterMarginal(const std::string& population,
+                                     const std::string& metadata_name,
+                                     const stats::Marginal& marginal) = 0;
+
+  /// A catalog object was dropped.
+  virtual Status LogDrop(sql::DropStmt::Target target,
+                         const std::string& name) = 0;
+
+  /// Rows were appended to auxiliary table `name`; `suffix` holds
+  /// exactly the appended rows, post-coercion, in append order.
+  virtual Status LogTableAppend(const std::string& name,
+                                const Table& suffix) = 0;
+
+  /// Auxiliary table `name` was rewritten in place (UPDATE).
+  virtual Status LogTableReplace(const std::string& name,
+                                 const Table& table) = 0;
+
+  /// Rows were ingested into sample `name` and `epoch` is the weight
+  /// epoch current after the ingest. One atomic record: recovery never
+  /// observes sample rows without the matching weights.
+  virtual Status LogSampleIngest(const std::string& name, const Table& suffix,
+                                 const WeightEpoch& epoch) = 0;
+
+  /// A new weight epoch was published for sample `name` (SEMI-OPEN
+  /// refit, UPDATE of the weight column, reweight-and-pin).
+  virtual Status LogPublishEpoch(const std::string& name,
+                                 const WeightEpoch& epoch) = 0;
+};
+
+}  // namespace core
+}  // namespace mosaic
+
+#endif  // MOSAIC_CORE_DURABILITY_H_

@@ -146,6 +146,18 @@ class WeightStore {
   /// rebuild). Bumps the epoch unless already n ones.
   void Reset(size_t n) { Publish(std::vector<double>(n, 1.0)); }
 
+  /// Install a recovered epoch verbatim — id, weights and fit
+  /// provenance exactly as recorded — so replay reproduces the
+  /// pre-crash store without re-running any fit. Ignores epochs older
+  /// than the current one: concurrent publications may be WAL-ordered
+  /// either way, and the max id always carries the final state.
+  void Restore(WeightEpoch epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch.id >= current_->id) {
+      current_ = std::make_shared<const WeightEpoch>(std::move(epoch));
+    }
+  }
+
  private:
   mutable std::mutex mu_;
   WeightEpochPtr current_;

@@ -1,6 +1,7 @@
 #include "net/metrics_http.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -53,6 +54,8 @@ bool ReadRequestHead(int fd, std::string* head) {
 }
 
 void WriteAll(int fd, const std::string& data) {
+  constexpr int kDeadlineMs = 2000;
+  int budget_ms = kDeadlineMs;
   size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
@@ -62,6 +65,20 @@ void WriteAll(int fd, const std::string& data) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Send buffer full: wait for drain instead of dropping the rest
+      // of the response, bounded so a stalled scraper cannot pin the
+      // serving thread.
+      pollfd pfd{fd, POLLOUT, 0};
+      const int step_ms = 100;
+      const int nready = ::poll(&pfd, 1, step_ms);
+      if (nready < 0 && errno != EINTR) return;
+      if (nready == 0) {
+        budget_ms -= step_ms;
+        if (budget_ms <= 0) return;  // stalled client
+      }
+      continue;
+    }
     return;  // client gone; a scrape reply is best-effort
   }
 }
@@ -144,6 +161,15 @@ void MetricsHttpServer::Serve() {
     if (nready <= 0 || !(pfd.revents & POLLIN)) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (options_.send_buffer_bytes > 0) {
+      // Tiny-buffer test mode: shrink the send buffer and go
+      // non-blocking, so WriteAll exercises its short-write/EAGAIN
+      // retry path instead of parking inside a blocking send.
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
     HandleOne(fd);
     ::close(fd);
   }

@@ -35,6 +35,10 @@ class MetricsHttpServer {
     std::string host = "127.0.0.1";
     /// 0 picks an ephemeral port (read back via port()).
     uint16_t port = 0;
+    /// SO_SNDBUF for accepted connections (0 = OS default). Mainly a
+    /// test knob: a tiny buffer forces the response writer through
+    /// its short-write/EAGAIN path deterministically.
+    int send_buffer_bytes = 0;
   };
 
   MetricsHttpServer(RenderFn render, Options options);

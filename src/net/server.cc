@@ -625,6 +625,9 @@ Status Server::WriteToConnection(Connection* conn) {
       conn->outpos += static_cast<size_t>(n);
       continue;
     }
+    // n == 0 sets no errno; don't let a stale one close the
+    // connection. Treat it as a full buffer and retry on POLLOUT.
+    if (n == 0) break;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     return Errno("send");

@@ -93,6 +93,22 @@ QueryService::QueryService(ServiceOptions options)
   latency_all_ = registry.GetHistogram("mosaic_query_latency_us");
   latency_read_ = registry.GetHistogram("mosaic_read_latency_us");
   latency_write_ = registry.GetHistogram("mosaic_write_latency_us");
+
+  // Durable mode: rebuild the catalog from the data dir before any
+  // query can run, then let the engine WAL everything from here on.
+  // Construction continues on failure (no exceptions); servers gate
+  // on durability_status().
+  if (!options.data_dir.empty()) {
+    durable::StorageEngineOptions eng_options;
+    eng_options.fsync_dml = options.durable_fsync_dml;
+    auto engine = durable::StorageEngine::Open(options.data_dir, eng_options);
+    if (!engine.ok()) {
+      durability_status_ = engine.status();
+    } else {
+      storage_engine_ = std::move(*engine);
+      durability_status_ = storage_engine_->Recover(&db_).status();
+    }
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -317,6 +333,22 @@ Result<Table> QueryService::RunInternal(const std::string& sql,
 void QueryService::InvalidateCaches() {
   result_cache_.Clear();
   db_.InvalidateModelCache();
+}
+
+Status QueryService::TriggerSnapshot() {
+  if (storage_engine_ == nullptr) {
+    return Status::InvalidArgument("service has no data dir");
+  }
+  if (!durability_status_.ok()) return durability_status_;
+  durable::StorageEngine::PendingSnapshot pending;
+  {
+    // Writers excluded: the captured image is a statement boundary.
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    auto begun = storage_engine_->BeginSnapshot(&db_);
+    if (!begun.ok()) return begun.status();
+    pending = std::move(*begun);
+  }
+  return storage_engine_->CommitSnapshot(std::move(pending));
 }
 
 ServiceStats QueryService::Stats() const {

@@ -51,6 +51,7 @@
 #include "common/trace.h"
 #include "core/database.h"
 #include "service/sql_canonical.h"
+#include "storage/durable/engine.h"
 #include "storage/table.h"
 
 namespace mosaic {
@@ -91,6 +92,15 @@ struct ServiceOptions {
   /// slow-query log implies trace_queries — without spans there would
   /// be nothing to print.
   int64_t slow_query_ms = -1;
+  /// Directory for durable state (snapshots + WAL,
+  /// storage/durable/engine.h). Empty = in-memory only. When set, the
+  /// service recovers the catalog from it at construction (check
+  /// durability_status() before serving) and write-ahead-logs every
+  /// mutation afterwards.
+  std::string data_dir;
+  /// fsync the WAL on every logged mutation (durable::
+  /// StorageEngineOptions::fsync_dml).
+  bool durable_fsync_dml = true;
 };
 
 /// Aggregate service counters; a consistent-enough snapshot for
@@ -189,6 +199,25 @@ class QueryService {
   /// Drop both the result cache and the trained-model cache.
   void InvalidateCaches();
 
+  // ---- Durability (ServiceOptions::data_dir) --------------------------
+
+  /// OK when the service runs without a data dir or recovery
+  /// succeeded; the recovery/open error otherwise. A server must
+  /// refuse to serve on a non-OK status — the in-memory catalog may
+  /// be partial.
+  Status durability_status() const { return durability_status_; }
+
+  /// Null without a data dir.
+  const durable::StorageEngine* storage_engine() const {
+    return storage_engine_.get();
+  }
+
+  /// Write a snapshot of the current state and GC obsolete WALs.
+  /// Takes the catalog lock exclusively only for the in-memory
+  /// capture; the file write runs outside the lock, concurrent with
+  /// queries. No-op error when the service is not durable.
+  Status TriggerSnapshot();
+
   ServiceStats Stats() const;
 
   /// Drain both pools and stop accepting work. Called by the
@@ -209,6 +238,14 @@ class QueryService {
 
   ServiceOptions options_;
   core::Database db_;
+  /// Owns the data dir; attached to db_ as its durability sink after
+  /// recovery. Declared after db_ but destroyed first (members
+  /// destruct in reverse order), so the sink must be detached in
+  /// Shutdown before db_ could outlive it — it isn't: db_ only logs
+  /// through the pointer during statement execution, which Shutdown's
+  /// pool drain ends first.
+  std::unique_ptr<durable::StorageEngine> storage_engine_;
+  Status durability_status_ = Status::OK();
   ThreadPool request_pool_;
   /// Null when num_generation_threads == 0 (sequential OPEN path).
   std::unique_ptr<ThreadPool> generation_pool_;

@@ -220,7 +220,13 @@ Status WriteCsvFile(const Table& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out << WriteCsv(table);
+  // A buffered write can look fine until the bytes hit the file
+  // system; flush and close explicitly — the destructor would swallow
+  // both failures (e.g. a full disk) and report success.
+  out.flush();
   if (!out) return Status::IOError("write failed: " + path);
+  out.close();
+  if (out.fail()) return Status::IOError("close failed: " + path);
   return Status::OK();
 }
 

@@ -80,6 +80,15 @@ TableView::TableView(const Table& table)
   }
 }
 
+TableView TableView::FromSpans(Schema schema, std::vector<ColumnSpan> spans,
+                               size_t num_rows) {
+  TableView view;
+  view.schema_ = std::move(schema);
+  view.spans_ = std::move(spans);
+  view.num_rows_ = num_rows;
+  return view;
+}
+
 Status TableView::AddDoubleSpan(const std::string& name, const double* data,
                                 size_t n) {
   if (!spans_.empty() && n != num_rows_) {

@@ -138,6 +138,13 @@ class TableView {
   TableView() = default;
   explicit TableView(const Table& table);
 
+  /// Assemble a view from pre-built spans (the mmap'd-snapshot path:
+  /// spans point into a durable::MappedSnapshot instead of a Table).
+  /// Span count must match the schema; the span storage must outlive
+  /// the view.
+  static TableView FromSpans(Schema schema, std::vector<ColumnSpan> spans,
+                             size_t num_rows);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return spans_.size(); }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 namespace mosaic {
 namespace {
 
@@ -109,6 +111,20 @@ TEST(Csv, FileRoundTrip) {
 TEST(Csv, MissingFileFails) {
   EXPECT_EQ(ReadCsvFile("/nonexistent/path.csv").status().code(),
             StatusCode::kIOError);
+}
+
+TEST(Csv, WriteToUnwritablePathFails) {
+  Schema s = FlightsSchema();
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value("AA"), Value(int64_t{100})}).ok());
+  // A directory that does not exist: open fails.
+  EXPECT_EQ(WriteCsvFile(t, "/nonexistent/dir/out.csv").code(),
+            StatusCode::kIOError);
+  // A path that opens but cannot take the bytes: /dev/full makes the
+  // flush fail, which the pre-fix writer swallowed in the destructor.
+  if (std::ifstream("/dev/full").good()) {
+    EXPECT_EQ(WriteCsvFile(t, "/dev/full").code(), StatusCode::kIOError);
+  }
 }
 
 TEST(Csv, CrLfTolerated) {

@@ -1,0 +1,516 @@
+// Durable storage formats (storage/durable): CRC, serde round-trips,
+// WAL framing + torn-tail policy, snapshot build/load, and the
+// mmap'd zero-copy snapshot view (SIMD-grade alignment included).
+// Crash-recovery end-to-end scenarios live in
+// tests/test_durable_recovery.cc.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "durable_test_util.h"
+#include "sql/parser.h"
+#include "stats/marginal.h"
+#include "storage/durable/crc32.h"
+#include "storage/durable/io.h"
+#include "storage/durable/serde.h"
+#include "storage/durable/snapshot.h"
+#include "storage/durable/wal.h"
+
+namespace mosaic {
+namespace durable {
+namespace {
+
+using testutil::MakeTempDir;
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, MatchesReferenceCheckValue) {
+  // The CRC-32/ISO-HDLC check value ("123456789" -> 0xCBF43926) pins
+  // the exact polynomial + reflection + init/final-xor combination;
+  // any change would silently invalidate every file on disk.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, SeedChainsAcrossSplits) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t first = Crc32(data.data(), split);
+    EXPECT_EQ(Crc32(data.data() + split, data.size() - split, first), whole);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serde round-trips
+// ---------------------------------------------------------------------------
+
+Table MixedTable() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn(ColumnDef{"i", DataType::kInt64}).ok());
+  EXPECT_TRUE(schema.AddColumn(ColumnDef{"d", DataType::kDouble}).ok());
+  EXPECT_TRUE(schema.AddColumn(ColumnDef{"s", DataType::kString}).ok());
+  EXPECT_TRUE(schema.AddColumn(ColumnDef{"b", DataType::kBool}).ok());
+  Table t(schema);
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{42}), Value(3.25), Value(std::string("x")),
+                   Value(true)})
+          .ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{-7}), Value(-0.5),
+                           Value(std::string("hello, world")), Value(false)})
+                  .ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{0}), Value(1e300), Value(std::string("x")),
+                   Value(true)})
+          .ok());
+  return t;
+}
+
+TEST(Serde, TableRoundTripIsBitExact) {
+  Table original = MixedTable();
+  std::string buf;
+  EncodeTable(&buf, original);
+  ByteReader in(buf.data(), buf.size());
+  auto decoded = DecodeTable(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  std::string a, b;
+  EncodeTable(&a, original);
+  EncodeTable(&b, *decoded);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(decoded->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(decoded->GetValue(r, c).ToString(),
+                original.GetValue(r, c).ToString());
+    }
+  }
+}
+
+TEST(Serde, EmptyTableRoundTrips) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn(ColumnDef{"v", DataType::kDouble}).ok());
+  Table original(schema);
+  std::string buf;
+  EncodeTable(&buf, original);
+  ByteReader in(buf.data(), buf.size());
+  auto decoded = DecodeTable(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_rows(), 0u);
+  EXPECT_EQ(decoded->num_columns(), 1u);
+}
+
+TEST(Serde, TruncatedTableFailsLoudly) {
+  std::string buf;
+  EncodeTable(&buf, MixedTable());
+  for (size_t len : {size_t{0}, size_t{1}, buf.size() / 2, buf.size() - 1}) {
+    ByteReader in(buf.data(), len);
+    EXPECT_FALSE(DecodeTable(&in).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(Serde, ExprRoundTrips) {
+  auto parsed = sql::ParseStatement(
+      "SELECT * FROM t WHERE (a > 3 AND b = 'x') OR c BETWEEN 1 AND 5 OR "
+      "d IN ('p', 'q') OR NOT e");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const sql::Expr* where = parsed->As<sql::SelectStmt>().where.get();
+  ASSERT_NE(where, nullptr);
+  std::string buf;
+  EncodeExpr(&buf, where);
+  ByteReader in(buf.data(), buf.size());
+  auto decoded = DecodeExpr(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_NE(decoded->get(), nullptr);
+  std::string again;
+  EncodeExpr(&again, decoded->get());
+  EXPECT_EQ(buf, again);
+
+  // Null expressions (absent predicates) survive too.
+  std::string null_buf;
+  EncodeExpr(&null_buf, nullptr);
+  ByteReader null_in(null_buf.data(), null_buf.size());
+  auto null_decoded = DecodeExpr(&null_in);
+  ASSERT_TRUE(null_decoded.ok());
+  EXPECT_EQ(null_decoded->get(), nullptr);
+}
+
+TEST(Serde, MarginalRoundTrips) {
+  std::vector<Value> categories;
+  categories.emplace_back(std::string("gmail"));
+  categories.emplace_back(std::string("yahoo"));
+  categories.emplace_back(std::string("aol"));
+  std::vector<stats::AttributeBinning> attrs = {
+      stats::AttributeBinning::Categorical("email", std::move(categories)),
+      stats::AttributeBinning::Continuous("age", 0.0, 100.0, 4)};
+  auto marginal = stats::Marginal::FromCounts(
+      std::move(attrs),
+      std::vector<double>{10, 20, 30, 40, 1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_TRUE(marginal.ok()) << marginal.status().ToString();
+  std::string buf;
+  EncodeMarginal(&buf, *marginal);
+  ByteReader in(buf.data(), buf.size());
+  auto decoded = DecodeMarginal(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  std::string again;
+  EncodeMarginal(&again, *decoded);
+  EXPECT_EQ(buf, again);
+  EXPECT_EQ(decoded->arity(), 2u);
+  EXPECT_EQ(decoded->counts(), marginal->counts());
+}
+
+TEST(Serde, WeightEpochKeepsFitProvenance) {
+  core::WeightEpoch epoch;
+  epoch.id = 17;
+  epoch.weights = {1.5, 0.0, 2.25};
+  epoch.fit_signature = "ipf-gp|n=3|mv=4|it=100|tol=x|scale=1";
+  epoch.fit_error = 1e-7;
+  epoch.fit_uncovered = 0.25;
+  epoch.fit_converged = true;
+  std::string buf;
+  EncodeWeightEpoch(&buf, epoch);
+  ByteReader in(buf.data(), buf.size());
+  auto decoded = DecodeWeightEpoch(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, epoch.id);
+  EXPECT_EQ(decoded->weights, epoch.weights);
+  EXPECT_EQ(decoded->fit_signature, epoch.fit_signature);
+  EXPECT_EQ(decoded->fit_error, epoch.fit_error);
+  EXPECT_EQ(decoded->fit_uncovered, epoch.fit_uncovered);
+  EXPECT_EQ(decoded->fit_converged, epoch.fit_converged);
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+WalRecord MakeRecord(uint8_t tag, const std::string& body) {
+  WalRecord r;
+  r.type = static_cast<WalRecordType>(tag);
+  r.catalog_version = 100 + tag;
+  r.metadata_version = 200 + tag;
+  r.body = body;
+  return r;
+}
+
+TEST(Wal, FileNamesRoundTrip) {
+  EXPECT_EQ(WalFileName(42), "wal-000042.log");
+  auto seq = ParseWalFileName("wal-000042.log");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 42u);
+  EXPECT_FALSE(ParseWalFileName("snapshot-000042.snap").ok());
+  EXPECT_FALSE(ParseWalFileName("wal-000042.log.tmp").ok());
+}
+
+TEST(Wal, AppendReadRoundTrip) {
+  const std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  const std::string path = dir + "/" + WalFileName(3);
+  auto writer = WalWriter::Create(path, 3);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<WalRecord> written = {
+      MakeRecord(1, "first"), MakeRecord(6, std::string(10000, 'x')),
+      MakeRecord(9, "")};
+  for (const auto& r : written) {
+    ASSERT_TRUE((*writer)->Append(r, /*sync=*/true).ok());
+  }
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->seq, 3u);
+  EXPECT_FALSE(read->tail_truncated);
+  ASSERT_EQ(read->records.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(read->records[i].type, written[i].type);
+    EXPECT_EQ(read->records[i].catalog_version, written[i].catalog_version);
+    EXPECT_EQ(read->records[i].metadata_version,
+              written[i].metadata_version);
+    EXPECT_EQ(read->records[i].body, written[i].body);
+  }
+}
+
+TEST(Wal, CreateRefusesExistingFile) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/" + WalFileName(1);
+  ASSERT_TRUE(WalWriter::Create(path, 1).ok());
+  EXPECT_FALSE(WalWriter::Create(path, 1).ok());
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+void WriteBytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Wal, TornTailAtEveryByteOffsetTruncates) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/" + WalFileName(1);
+  {
+    auto writer = WalWriter::Create(path, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(MakeRecord(1, "alpha"), true).ok());
+    ASSERT_TRUE((*writer)->Append(MakeRecord(8, "beta-rows"), true).ok());
+  }
+  const std::string full = FileBytes(path);
+  // Find where the last record starts: re-read after writing only the
+  // first record.
+  const std::string probe = dir + "/probe.log";
+  WriteBytes(probe, full);
+  auto whole = ReadWal(probe);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(whole->records.size(), 2u);
+  const uint64_t full_valid = whole->valid_bytes;
+  ASSERT_EQ(full_valid, full.size());
+
+  // Chop the file at every byte inside the last record's frame: each
+  // prefix must recover exactly the first record and report the torn
+  // tail, with valid_bytes at the start of the damage.
+  uint64_t last_start = 0;
+  {
+    std::string one = full;
+    // Binary-search-free: the first record ends where a 1-record read
+    // of a truncated file says it does.
+    for (uint64_t cut = full.size() - 1;; --cut) {
+      WriteBytes(probe, full.substr(0, cut));
+      auto r = ReadWal(probe);
+      ASSERT_TRUE(r.ok()) << "cut " << cut << ": " << r.status().ToString();
+      if (r->records.size() == 1) {
+        last_start = r->valid_bytes;
+        break;
+      }
+      ASSERT_GT(cut, 0u);
+    }
+  }
+  // A cut exactly on the record boundary is a clean (not torn) file.
+  WriteBytes(probe, full.substr(0, last_start));
+  {
+    auto r = ReadWal(probe);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->records.size(), 1u);
+    EXPECT_FALSE(r->tail_truncated);
+  }
+  for (uint64_t cut = last_start + 1; cut < full.size(); ++cut) {
+    WriteBytes(probe, full.substr(0, cut));
+    auto r = ReadWal(probe);
+    ASSERT_TRUE(r.ok()) << "cut " << cut << ": " << r.status().ToString();
+    ASSERT_EQ(r->records.size(), 1u) << "cut " << cut;
+    EXPECT_EQ(r->records[0].body, "alpha");
+    EXPECT_TRUE(r->tail_truncated) << "cut " << cut;
+    EXPECT_EQ(r->valid_bytes, last_start) << "cut " << cut;
+  }
+}
+
+TEST(Wal, CorruptLastRecordTruncatesButMidLogCorruptionFails) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/" + WalFileName(1);
+  {
+    auto writer = WalWriter::Create(path, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(MakeRecord(1, "alpha"), true).ok());
+    ASSERT_TRUE((*writer)->Append(MakeRecord(6, "beta"), true).ok());
+  }
+  const std::string full = FileBytes(path);
+
+  // Bit-flip inside the LAST record's payload: indistinguishable from
+  // a torn append, so it truncates to the first record.
+  {
+    std::string bytes = full;
+    bytes[bytes.size() - 2] = static_cast<char>(bytes[bytes.size() - 2] ^ 0x40);
+    const std::string probe = dir + "/tail.log";
+    WriteBytes(probe, bytes);
+    auto r = ReadWal(probe);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->records.size(), 1u);
+    EXPECT_TRUE(r->tail_truncated);
+  }
+
+  // Bit-flip inside the FIRST record with a valid record after it:
+  // silent mid-log corruption — recovery must fail, not truncate away
+  // acknowledged writes.
+  {
+    std::string bytes = full;
+    bytes[20] = static_cast<char>(bytes[20] ^ 0x01);  // in record 1's frame
+    const std::string probe = dir + "/mid.log";
+    WriteBytes(probe, bytes);
+    auto r = ReadWal(probe);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(Wal, BadHeaderOrWrongMagicFails) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/" + WalFileName(1);
+  WriteBytes(path, "NOTAWAL!");
+  EXPECT_FALSE(ReadWal(path).ok());
+  WriteBytes(path, "MOS");
+  EXPECT_FALSE(ReadWal(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+void BuildSmallWorld(core::Database* db) {
+  auto exec = [db](const std::string& sql) {
+    auto r = db->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  };
+  exec("CREATE GLOBAL POPULATION People (email VARCHAR, device VARCHAR)");
+  exec("CREATE TABLE EmailReport (email VARCHAR, cnt INT)");
+  exec("INSERT INTO EmailReport VALUES ('gmail', 550), ('yahoo', 300), "
+       "('aol', 150)");
+  exec("CREATE TABLE DeviceReport (device VARCHAR, cnt INT)");
+  exec("INSERT INTO DeviceReport VALUES ('phone', 600), ('laptop', 400)");
+  exec("CREATE METADATA People_M1 AS (SELECT email, cnt FROM EmailReport)");
+  exec("CREATE METADATA People_M2 AS "
+       "(SELECT device, cnt FROM DeviceReport)");
+  exec("CREATE SAMPLE Panel AS (SELECT * FROM People WHERE email = "
+       "'gmail')");
+  exec("INSERT INTO Panel VALUES ('gmail','phone'), ('gmail','phone'), "
+       "('gmail','phone'), ('gmail','phone'), ('gmail','laptop'), "
+       "('gmail','laptop')");
+  // Publish a fitted (IPF) epoch so the snapshot carries non-trivial
+  // weights and fit provenance.
+  exec("SELECT SEMI-OPEN COUNT(*) AS c FROM People");
+}
+
+TEST(Snapshot, BuildLoadRoundTripsWholeState) {
+  core::Database db;
+  BuildSmallWorld(&db);
+  auto image = BuildSnapshotImage(&db, /*next_wal_seq=*/7);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/" + SnapshotFileName(7);
+  ASSERT_TRUE(AtomicWriteFile(path, *image).ok());
+
+  auto state = LoadSnapshot(path);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state->next_wal_seq, 7u);
+  EXPECT_EQ(state->catalog_version, db.catalog_version());
+  EXPECT_EQ(state->metadata_version, db.metadata_version());
+  EXPECT_EQ(state->tables.size(), 2u);
+  EXPECT_EQ(state->populations.size(), 1u);
+  ASSERT_EQ(state->samples.size(), 1u);
+
+  const auto& sample = state->samples[0];
+  core::SampleInfo* live = *db.catalog()->GetSample("Panel");
+  EXPECT_EQ(sample.info.name, live->name);
+  EXPECT_EQ(sample.info.data.num_rows(), live->data.num_rows());
+  core::WeightEpochPtr live_epoch = live->weights.Pin();
+  EXPECT_EQ(sample.epoch.id, live_epoch->id);
+  EXPECT_EQ(sample.epoch.weights, live_epoch->weights);
+  EXPECT_EQ(sample.epoch.fit_signature, live_epoch->fit_signature);
+
+  std::string a, b;
+  EncodeTable(&a, sample.info.data);
+  EncodeTable(&b, live->data);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Snapshot, CorruptHeaderOrSegmentFailsLoudly) {
+  core::Database db;
+  BuildSmallWorld(&db);
+  auto image = BuildSnapshotImage(&db, 1);
+  ASSERT_TRUE(image.ok());
+  const std::string dir = MakeTempDir();
+
+  // Header CRC.
+  {
+    std::string bytes = *image;
+    bytes[9] = static_cast<char>(bytes[9] ^ 0x01);
+    const std::string path = dir + "/h.snap";
+    ASSERT_TRUE(AtomicWriteFile(path, bytes).ok());
+    EXPECT_FALSE(LoadSnapshot(path).ok());
+  }
+  // Segment payload (section A).
+  {
+    std::string bytes = *image;
+    bytes[60] = static_cast<char>(bytes[60] ^ 0x01);
+    const std::string path = dir + "/a.snap";
+    ASSERT_TRUE(AtomicWriteFile(path, bytes).ok());
+    EXPECT_FALSE(LoadSnapshot(path).ok());
+  }
+  // Column bytes (section B, last byte of the file is inside — or
+  // padding after — the last column; flip a byte a little earlier to
+  // land inside data protected by a column CRC).
+  {
+    std::string bytes = *image;
+    bytes[bytes.size() - 70] =
+        static_cast<char>(bytes[bytes.size() - 70] ^ 0x01);
+    const std::string path = dir + "/b.snap";
+    ASSERT_TRUE(AtomicWriteFile(path, bytes).ok());
+    EXPECT_FALSE(LoadSnapshot(path).ok());
+  }
+  // Truncation at any point fails (sampled across the file).
+  for (size_t cut = 0; cut < image->size(); cut += 97) {
+    const std::string path = dir + "/t.snap";
+    WriteBytes(path, image->substr(0, cut));
+    EXPECT_FALSE(LoadSnapshot(path).ok()) << "cut " << cut;
+  }
+}
+
+TEST(Snapshot, MappedViewServesAlignedBitIdenticalColumns) {
+  core::Database db;
+  BuildSmallWorld(&db);
+  auto image = BuildSnapshotImage(&db, 1);
+  ASSERT_TRUE(image.ok());
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/" + SnapshotFileName(1);
+  ASSERT_TRUE(AtomicWriteFile(path, *image).ok());
+
+  auto mapped = MappedSnapshot::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ((*mapped)->sample_names().size(), 1u);
+  EXPECT_EQ((*mapped)->sample_names()[0], "Panel");
+
+  auto view = (*mapped)->SampleView("Panel");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  core::SampleInfo* live = *db.catalog()->GetSample("Panel");
+  ASSERT_EQ(view->num_rows(), live->data.num_rows());
+  ASSERT_EQ(view->num_columns(), live->data.num_columns());
+  for (size_t c = 0; c < view->num_columns(); ++c) {
+    const ColumnSpan& span = view->column(c);
+    // The mmap path must hand the SIMD kernels the same 64-byte
+    // alignment AlignedVector guarantees.
+    const void* base = span.type == DataType::kString
+                           ? static_cast<const void*>(span.codes)
+                           : (span.type == DataType::kInt64
+                                  ? static_cast<const void*>(span.i64)
+                                  : (span.type == DataType::kDouble
+                                         ? static_cast<const void*>(span.f64)
+                                         : static_cast<const void*>(span.b8)));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(base) % 64, 0u) << "column " << c;
+    for (size_t r = 0; r < view->num_rows(); ++r) {
+      EXPECT_EQ(view->GetValue(r, c).ToString(),
+                live->data.GetValue(r, c).ToString());
+    }
+  }
+
+  auto epoch = (*mapped)->SampleEpoch("Panel");
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ((*epoch)->weights, live->weights.Pin()->weights);
+}
+
+TEST(Snapshot, FileNamesRoundTrip) {
+  EXPECT_EQ(SnapshotFileName(7), "snapshot-000007.snap");
+  auto seq = ParseSnapshotFileName("snapshot-000007.snap");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 7u);
+  EXPECT_FALSE(ParseSnapshotFileName("wal-000007.log").ok());
+}
+
+}  // namespace
+}  // namespace durable
+}  // namespace mosaic

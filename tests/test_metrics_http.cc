@@ -1,0 +1,127 @@
+// MetricsHttpServer short-write regression tests. The serving thread
+// writes through a non-blocking socket when Options::send_buffer_bytes
+// shrinks the kernel buffer; before the EAGAIN-retry fix, everything
+// past the first buffer-full send() was silently dropped and scrapes
+// returned truncated bodies.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "net/metrics_http.h"
+
+namespace mosaic {
+namespace net {
+namespace {
+
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+std::string ReadAll(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+std::string Scrape(uint16_t port, const std::string& path) {
+  const int fd = ConnectTo(port);
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string response = ReadAll(fd);
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttp, LargeBodySurvivesTinySendBuffer) {
+  // Body far larger than the send buffer: the writer must see
+  // EAGAIN/short writes repeatedly and still deliver every byte.
+  std::string body;
+  for (int i = 0; i < 8000; ++i) {
+    body += "mosaic_test_metric{index=\"" + std::to_string(i) + "\"} 1\n";
+  }
+  MetricsHttpServer::Options options;
+  options.send_buffer_bytes = 1024;
+  MetricsHttpServer server([&body] { return body; }, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response = Scrape(server.port(), "/metrics");
+  const size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos) << "no header/body split";
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const std::string got_body = response.substr(split + 4);
+  EXPECT_EQ(got_body.size(), body.size());
+  EXPECT_EQ(got_body, body);
+  server.Shutdown();
+}
+
+TEST(MetricsHttp, StalledReaderIsCutAndServerStaysHealthy) {
+  // A scraper that connects, sends a request, and never reads must
+  // not pin the single serving thread: the write deadline cuts it and
+  // the next scrape is served normally.
+  std::string body(1024 * 1024, 'm');
+  MetricsHttpServer::Options options;
+  options.send_buffer_bytes = 2048;
+  MetricsHttpServer server([&body] { return body; }, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int stalled = ConnectTo(server.port());
+  const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(stalled, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  // Do not read. The serving thread must give up within its deadline
+  // and come back for the next client.
+  const auto start = std::chrono::steady_clock::now();
+  const std::string response = Scrape(server.port(), "/metrics");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ::close(stalled);
+  const size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  EXPECT_EQ(response.substr(split + 4), body);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            10000);
+  server.Shutdown();
+}
+
+TEST(MetricsHttp, RoutesAndMethods) {
+  MetricsHttpServer server([] { return std::string("ok\n"); }, {});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Scrape(server.port(), "/metrics").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(Scrape(server.port(), "/nope").find("404"), std::string::npos);
+  {
+    const int fd = ConnectTo(server.port());
+    const std::string req = "POST /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    EXPECT_NE(ReadAll(fd).find("405"), std::string::npos);
+    ::close(fd);
+  }
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mosaic

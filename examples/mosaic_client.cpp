@@ -7,11 +7,19 @@
 //                                         (pairs with mosaic_serve
 //                                         --demo-world; used by
 //                                         scripts/check.sh)
+//   ./mosaic_client --port=N --trace SQL  tag each statement with a
+//                                         fresh trace context (wire
+//                                         minor 2) and print its
+//                                         trace_id; an EXPLAIN
+//                                         ANALYZE statement then
+//                                         returns the server-side
+//                                         span tree carrying that id
 //
 // Exit code 0 iff every requested statement succeeded.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -133,6 +141,7 @@ int main(int argc, char** argv) {
   net::ClientOptions opts;
   bool want_stats = false;
   bool want_smoke = false;
+  bool want_trace = false;
   std::vector<std::string> statements;
 
   for (int i = 1; i < argc; ++i) {
@@ -150,6 +159,8 @@ int main(int argc, char** argv) {
       want_stats = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       want_smoke = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      want_trace = true;
     } else if (StartsWith(arg, "--")) {
       std::fprintf(stderr, "mosaic_client: unknown flag %s\n", arg);
       return 2;
@@ -172,10 +183,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (want_trace && client.server_minor_version() < 2) {
+    std::fprintf(stderr,
+                 "mosaic_client: server speaks wire minor %u; --trace "
+                 "needs minor 2 — statements will run untraced\n",
+                 client.server_minor_version());
+  }
+
   int rc = 0;
   if (want_smoke) rc = RunSmoke(&client);
+  std::mt19937_64 trace_rng(std::random_device{}());
   for (const auto& sql : statements) {
-    auto result = client.Query(sql);
+    net::TraceContext ctx;
+    if (want_trace) {
+      do {
+        ctx.trace_id = trace_rng();
+      } while (ctx.trace_id == 0);  // 0 means "no trace" on the wire
+      ctx.sampled = true;
+      std::printf("trace_id=%016llx %s\n",
+                  static_cast<unsigned long long>(ctx.trace_id),
+                  sql.c_str());
+    }
+    auto result = want_trace ? client.Query(sql, ctx) : client.Query(sql);
     if (!result.ok()) {
       std::fprintf(stderr, "error (%s): %s\n", sql.c_str(),
                    result.status().ToString().c_str());

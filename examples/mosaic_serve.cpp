@@ -32,6 +32,12 @@
 //     --demo-world             preload the flights-style demo catalog
 //                              (skipped when a recovered data dir
 //                              already holds a catalog)
+//     --log-json=PATH          structured JSON-lines event log: server
+//                              lifecycle, recovery, snapshots, and the
+//                              slow-query log land in PATH (rotated to
+//                              PATH.1 at the size cap)
+//     --log-json-max-bytes=N   rotate the JSON event log at N bytes
+//                              (default 8 MiB)
 //     --verbose                info-level logging
 //
 // Runs until SIGINT/SIGTERM, then drains: in-flight statements
@@ -48,6 +54,7 @@
 #include <string>
 #include <thread>
 
+#include "common/event_log.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -112,6 +119,8 @@ int main(int argc, char** argv) {
   server_opts.port = 7878;
   service::ServiceOptions service_opts;
   std::string port_file;
+  std::string log_json_path;
+  uint64_t log_json_max_bytes = elog::EventLog::kDefaultMaxBytes;
   uint64_t morsel_size = 0;
   uint64_t snapshot_interval_s = 300;
   bool demo_world = false;
@@ -156,8 +165,11 @@ int main(int argc, char** argv) {
       service_opts.trace_queries = true;
     } else if (std::strcmp(arg, "--no-fsync") == 0) {
       service_opts.durable_fsync_dml = false;
+    } else if (NumericFlag(arg, "log-json-max-bytes", &n)) {
+      log_json_max_bytes = n;
     } else if (StringFlag(arg, "host", &server_opts.host) ||
                StringFlag(arg, "port-file", &port_file) ||
+               StringFlag(arg, "log-json", &log_json_path) ||
                StringFlag(arg, "data-dir", &service_opts.data_dir)) {
     } else if (std::strcmp(arg, "--demo-world") == 0) {
       demo_world = true;
@@ -169,6 +181,18 @@ int main(int argc, char** argv) {
     }
   }
   service_opts.morsel_size = static_cast<size_t>(morsel_size);
+
+  // Open the structured event sink before the service exists so
+  // recovery events from the durable engine land in it too.
+  if (!log_json_path.empty()) {
+    Status opened = elog::EventLog::Global().Open(
+        log_json_path, static_cast<size_t>(log_json_max_bytes));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "mosaic_serve: --log-json: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+  }
 
   service::QueryService service(service_opts);
   if (!service.durability_status().ok()) {
@@ -346,5 +370,11 @@ int main(int argc, char** argv) {
               (unsigned long long)nets.frames_received,
               (unsigned long long)nets.frames_sent,
               (unsigned long long)nets.protocol_errors);
+  elog::EventLog::Global().Emit(
+      LogLevel::kInfo, "serve_exit",
+      {{"queries_total", std::to_string(svc.queries_total)},
+       {"queries_failed", std::to_string(svc.queries_failed)},
+       {"connections_opened", std::to_string(nets.connections_opened)}});
+  elog::EventLog::Global().Close();
   return 0;
 }

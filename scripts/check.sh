@@ -167,13 +167,18 @@ MOSAIC_MORSELS=4 MOSAIC_ROW_PATH=1 ctest --test-dir build-release \
 
 # Tracing must never change results: run the cross-path SQL parity
 # fuzzer and the service suite with per-query tracing forced on, so
-# every parity assertion doubles as a traced-vs-untraced check.
+# every parity assertion doubles as a traced-vs-untraced check. The
+# system-tables suite rides along: its concurrent-introspection test
+# hammers system.queries/system.metrics readers against traced
+# writers asserting traced == untraced bit-identity, and MOSAIC_TRACE
+# makes every other statement in the suite leave a full span tree in
+# the ring those readers scan.
 echo "=== Release + MOSAIC_TRACE=1: traced parity ==="
 MOSAIC_TRACE=1 ctest --test-dir build-release --output-on-failure \
-  -R 'test_(sql_fuzz|service|net_e2e)'
+  -R 'test_(sql_fuzz|service|net_e2e|system_tables)'
 echo "=== Release + MOSAIC_TRACE=1 + MOSAIC_MORSELS=4: traced parity ==="
 MOSAIC_TRACE=1 MOSAIC_MORSELS=4 ctest --test-dir build-release \
-  --output-on-failure -R 'test_(sql_fuzz|service|net_e2e)'
+  --output-on-failure -R 'test_(sql_fuzz|service|net_e2e|system_tables)'
 
 # Scalar-parity leg: the SIMD kernels must be bit-identical to the
 # scalar reference end to end, not just per kernel. MOSAIC_SIMD=0
@@ -232,6 +237,22 @@ for name, want_latency in [("BENCH_executor.json", True),
 EOF
 )
 
+# Latency regression gate: diff this run's BENCH_*.json against the
+# saved baseline set and fail on >20% p50 regressions. The first run
+# on a machine seeds the baseline (nothing to compare against yet);
+# refresh it by deleting bench-baseline/ after an intentional perf
+# change. A self-comparison runs either way so the comparator itself
+# is exercised on every CI pass.
+echo "=== Release: bench latency regression gate ==="
+python3 scripts/bench_compare.py build-release build-release
+if [[ -d bench-baseline ]]; then
+  python3 scripts/bench_compare.py bench-baseline build-release
+else
+  mkdir -p bench-baseline
+  cp build-release/BENCH_*.json bench-baseline/
+  echo "bench-baseline/ seeded from this run; gate active on the next run"
+fi
+
 run_suite "ASan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMOSAIC_SANITIZE=address
 run_server_e2e "ASan" build-asan
@@ -247,13 +268,17 @@ if [[ "${1:-}" != "fast" ]]; then
     -DMOSAIC_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target \
     test_thread_pool test_lru_cache test_service test_sql_fuzz \
-    test_net_e2e test_weight_epochs test_metrics_registry
+    test_net_e2e test_weight_epochs test_metrics_registry \
+    test_system_tables test_event_log
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs|metrics_registry)'
-  # And once more with engine-wide morsels on, so every service-level
-  # query also fans intra-query morsels across the request pool.
-  MOSAIC_MORSELS=4 ctest --test-dir build-tsan --output-on-failure \
-    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs|metrics_registry)'
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs|metrics_registry|system_tables|event_log)'
+  # And once more with engine-wide morsels on (so every service-level
+  # query also fans intra-query morsels across the request pool) plus
+  # tracing forced on, racing the query-log ring and the system-table
+  # readers against traced execution.
+  MOSAIC_MORSELS=4 MOSAIC_TRACE=1 ctest --test-dir build-tsan \
+    --output-on-failure \
+    -R 'test_(thread_pool|lru_cache|service|sql_fuzz|net_e2e|weight_epochs|metrics_registry|system_tables|event_log)'
 fi
 
 echo "All checks passed."

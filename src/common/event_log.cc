@@ -1,0 +1,160 @@
+#include "common/event_log.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace mosaic {
+namespace elog {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+uint64_t WallUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();  // leaked: outlives all threads
+  return *log;
+}
+
+EventLog::~EventLog() { Close(); }
+
+Status EventLog::Open(const std::string& path, uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    enabled_.store(false, std::memory_order_release);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::IOError("cannot open event log " + path + ": " +
+                           std::strerror(errno));
+  }
+  long pos = std::ftell(f);
+  file_ = f;
+  path_ = path;
+  max_bytes_ = max_bytes == 0 ? kDefaultMaxBytes : max_bytes;
+  bytes_ = pos > 0 ? static_cast<uint64_t>(pos) : 0;
+  enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  enabled_.store(false, std::memory_order_release);
+}
+
+void EventLog::Emit(LogLevel level, const std::string& event,
+                    const Fields& fields, uint64_t trace_id) {
+  if (!enabled()) return;
+
+  std::string line;
+  line.reserve(128);
+  line += StrFormat("{\"ts_us\":%llu,\"level\":\"%s\",\"event\":\"",
+                    static_cast<unsigned long long>(WallUs()),
+                    LevelName(level));
+  line += JsonEscape(event);
+  line += '"';
+  if (trace_id != 0) {
+    line += StrFormat(",\"trace_id\":\"%016llx\"",
+                      static_cast<unsigned long long>(trace_id));
+  }
+  for (const auto& [key, value] : fields) {
+    line += ",\"";
+    line += JsonEscape(key);
+    line += "\":\"";
+    line += JsonEscape(value);
+    line += '"';
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;  // closed between the check and here
+  if (bytes_ + line.size() > max_bytes_ && bytes_ > 0) {
+    // Rotate: the live file becomes <path>.1 (clobbering the previous
+    // generation), and the line starts a fresh file. rename(2) keeps
+    // this atomic for readers tailing by path.
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string old = path_ + ".1";
+    if (std::rename(path_.c_str(), old.c_str()) != 0) {
+      // Rotation failed (e.g. EXDEV is impossible here, but EACCES is
+      // not): truncate in place rather than grow without bound.
+      std::remove(path_.c_str());
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      enabled_.store(false, std::memory_order_release);
+      return;
+    }
+    file_ = f;
+    bytes_ = 0;
+    rotations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) == line.size()) {
+    bytes_ += line.size();
+    events_written_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::fflush(file_);
+}
+
+}  // namespace elog
+}  // namespace mosaic

@@ -1,0 +1,99 @@
+// Structured event log: a JSON-lines sink for machine-readable
+// operational events (slow queries, server lifecycle, recovery,
+// snapshots), complementing the free-text MOSAIC_LOG stream.
+//
+// One line per event:
+//   {"ts_us":1754550000123456,"level":"warning","event":"slow_query",
+//    "trace_id":"00000000075bcd15","sql":"SELECT ...","elapsed_ms":"17"}
+//
+// `ts_us` is wall-clock microseconds since the Unix epoch (a number);
+// every other field value is an escaped JSON string — observability
+// pipelines parse strings fine, and uniform typing keeps the writer
+// trivial. `trace_id` (zero-padded hex, omitted when 0) correlates
+// events with the wire-propagated trace context in QueryTrace.
+//
+// Rotation. The sink is size-capped: when the live file would exceed
+// max_bytes it is renamed to <path>.1 (replacing the previous .1) and
+// a fresh file is opened, so disk use is bounded by ~2*max_bytes and
+// the most recent events always survive — the failure mode this
+// replaces was the slow-query log growing without bound.
+//
+// Thread-safety: Emit serializes on one mutex (an event is rare
+// relative to queries; the hot path never logs). When no file is open
+// the sink is disabled and Emit returns after one atomic load.
+#ifndef MOSAIC_COMMON_EVENT_LOG_H_
+#define MOSAIC_COMMON_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace mosaic {
+namespace elog {
+
+using Fields = std::vector<std::pair<std::string, std::string>>;
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+class EventLog {
+ public:
+  /// The process-wide sink (disabled until Open is called; programs
+  /// opt in via --log-json).
+  static EventLog& Global();
+
+  EventLog() = default;
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Open (appending) the sink at `path`, rotating to <path>.1 when
+  /// the file would exceed `max_bytes`. Replaces any previously open
+  /// sink.
+  Status Open(const std::string& path, uint64_t max_bytes = kDefaultMaxBytes);
+
+  /// Flush and close; Emit becomes a no-op again.
+  void Close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Write one event line. No-op (one atomic load) when disabled.
+  /// Events at a level below the global log level are still written —
+  /// the JSON sink is for machines, the stderr level is for humans.
+  void Emit(LogLevel level, const std::string& event, const Fields& fields,
+            uint64_t trace_id = 0);
+
+  /// Events written since Open (survives rotation, not Close).
+  uint64_t events_written() const {
+    return events_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr uint64_t kDefaultMaxBytes = 8ull << 20;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> events_written_{0};
+  std::atomic<uint64_t> rotations_{0};
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t max_bytes_ = kDefaultMaxBytes;
+  uint64_t bytes_ = 0;  ///< size of the live file
+};
+
+}  // namespace elog
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_EVENT_LOG_H_

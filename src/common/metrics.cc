@@ -85,22 +85,34 @@ Registry& Registry::Global() {
   return *g;
 }
 
-Counter* Registry::GetCounter(const std::string& name) {
+void Registry::SetHelpLocked(const std::string& name,
+                             const std::string& help) {
+  if (help.empty()) return;
+  auto& slot = helps_[name];
+  if (slot.empty()) slot = help;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
-Gauge* Registry::GetGauge(const std::string& name) {
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
-Histogram* Registry::GetHistogram(const std::string& name) {
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -128,39 +140,65 @@ std::map<std::string, HistogramSnapshot> Registry::HistogramSnapshots()
   return out;
 }
 
-namespace {
-
-std::string PromName(const std::string& name) {
-  std::string out = name;
+std::string PrometheusName(const std::string& name) {
+  // Text-format metric names match [a-zA-Z_:][a-zA-Z0-9_:]*. Replace
+  // every out-of-charset byte (isalnum is locale-sensitive and admits
+  // non-ASCII alphanumerics under some locales, so test bytes
+  // explicitly) and force a legal first character.
+  std::string out = name.empty() ? "_" : name;
   for (char& c : out) {
-    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-              c == ':';
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
     if (!ok) c = '_';
   }
-  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
-    out.insert(out.begin(), '_');
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PrometheusHelpEscape(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
   }
   return out;
 }
 
-}  // namespace
-
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
+  auto help_line = [&](const std::string& name, const std::string& n) {
+    auto it = helps_.find(name);
+    if (it != helps_.end() && !it->second.empty()) {
+      out << "# HELP " << n << " " << PrometheusHelpEscape(it->second)
+          << "\n";
+    }
+  };
   for (const auto& [name, c] : counters_) {
-    std::string n = PromName(name);
+    std::string n = PrometheusName(name);
+    help_line(name, n);
     out << "# TYPE " << n << " counter\n";
     out << n << " " << c->Value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    std::string n = PromName(name);
+    std::string n = PrometheusName(name);
+    help_line(name, n);
     out << "# TYPE " << n << " gauge\n";
     out << n << " " << g->Value() << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    std::string n = PromName(name);
+    std::string n = PrometheusName(name);
     HistogramSnapshot snap = h->Snapshot();
+    help_line(name, n);
     out << "# TYPE " << n << " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < snap.buckets.size(); ++i) {

@@ -110,17 +110,24 @@ class Registry {
   /// The process-wide registry every subsystem reports through.
   static Registry& Global();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  /// Find-or-create by name. `help` (optional) is the Prometheus HELP
+  /// string; the first non-empty help registered for a name wins, so
+  /// hot-path lookups can keep passing just the name.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
 
   std::map<std::string, uint64_t> CounterValues() const;
   std::map<std::string, int64_t> GaugeValues() const;
   std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
 
-  /// Prometheus text exposition format (one # TYPE line per metric;
-  /// histograms expand to _bucket{le=...}/_sum/_count series). Names
-  /// are sanitized to [a-zA-Z0-9_:].
+  /// Prometheus text exposition format (# HELP when registered plus
+  /// one # TYPE line per metric; histograms expand to
+  /// _bucket{le=...}/_sum/_count series). Names are validated against
+  /// the text-format charset [a-zA-Z_:][a-zA-Z0-9_:]* (invalid bytes
+  /// become '_'); HELP text is escaped per the format's rules
+  /// (backslash and newline).
   std::string RenderPrometheus() const;
 
   /// Zero every registered metric (registration survives). Tests
@@ -128,11 +135,22 @@ class Registry {
   void ResetForTesting();
 
  private:
+  void SetHelpLocked(const std::string& name, const std::string& help);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> helps_;
 };
+
+/// Sanitize a metric name to the Prometheus text-format charset:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*. Exposed for the golden-output test.
+std::string PrometheusName(const std::string& name);
+
+/// Escape a HELP string per the text format: backslash -> \\ and
+/// newline -> \n (other bytes pass through).
+std::string PrometheusHelpEscape(const std::string& help);
 
 }  // namespace metrics
 }  // namespace mosaic

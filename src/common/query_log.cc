@@ -1,0 +1,59 @@
+#include "common/query_log.h"
+
+#include <algorithm>
+
+namespace mosaic {
+namespace qlog {
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = new QueryLog();  // leaked: outlives all threads
+  return *log;
+}
+
+QueryLog::QueryLog(size_t capacity) {
+  slots_.reserve(capacity == 0 ? 1 : capacity);
+  for (size_t i = 0; i < std::max<size_t>(capacity, 1); ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+uint64_t QueryLog::Append(QueryRecord record) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  record.query_id = id;
+  Slot& slot = *slots_[(id - 1) % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // Wraparound race: two writers 'capacity' apart can contend for the
+  // slot; keep whichever record is newer so ids never go backwards
+  // within a slot.
+  if (record.query_id > slot.seq) {
+    slot.seq = record.query_id;
+    slot.record = std::move(record);
+  }
+  return id;
+}
+
+std::vector<QueryRecord> QueryLog::Snapshot() const {
+  std::vector<QueryRecord> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->seq != 0) out.push_back(slot->record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.query_id < b.query_id;
+            });
+  return out;
+}
+
+void QueryLog::ResetForTesting() {
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->seq = 0;
+    slot->record = QueryRecord();
+  }
+  next_id_.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace qlog
+}  // namespace mosaic

@@ -1,5 +1,7 @@
 #include "common/trace.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <functional>
 #include <sstream>
@@ -9,8 +11,20 @@
 namespace mosaic {
 namespace trace {
 
+uint64_t ThreadCpuNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
 uint32_t QueryTrace::Begin(uint32_t parent, const std::string& name) {
   uint64_t now = NowUs();
+  uint64_t cpu = ThreadCpuNs();
   std::lock_guard<std::mutex> lock(mu_);
   Span span;
   span.id = static_cast<uint32_t>(spans_.size() + 1);
@@ -18,15 +32,27 @@ uint32_t QueryTrace::Begin(uint32_t parent, const std::string& name) {
   span.name = name;
   span.start_us = now;
   spans_.push_back(std::move(span));
+  cpu_start_ns_.push_back(cpu);
   return spans_.back().id;
 }
 
 void QueryTrace::End(uint32_t id) {
+  // CPU clock first: CLOCK_THREAD_CPUTIME_ID is a real syscall on
+  // most kernels (~1-2us), and reading it before the wall timestamp
+  // keeps that cost inside this span instead of in the parent's
+  // uncovered gap (Begin orders the reads the mirror way).
+  uint64_t cpu = ThreadCpuNs();
   uint64_t now = NowUs();
   std::lock_guard<std::mutex> lock(mu_);
   if (id == 0 || id > spans_.size()) return;
   Span& span = spans_[id - 1];
-  if (span.end_us == 0) span.end_us = now;
+  if (span.end_us != 0) return;
+  span.end_us = now;
+  // Thread CPU attribution is only valid when End runs on the thread
+  // that called Begin (the ScopedSpan pattern); a cross-thread close
+  // would read a different thread's clock and could go "backwards".
+  uint64_t start_cpu = cpu_start_ns_[id - 1];
+  if (start_cpu != 0 && cpu >= start_cpu) span.cpu_ns = cpu - start_cpu;
 }
 
 void QueryTrace::AddTimed(uint32_t parent, const std::string& name,
@@ -39,6 +65,7 @@ void QueryTrace::AddTimed(uint32_t parent, const std::string& name,
   span.start_us = start_us;
   span.end_us = end_us;
   spans_.push_back(std::move(span));
+  cpu_start_ns_.push_back(0);
 }
 
 void QueryTrace::Note(uint32_t id, const std::string& text) {

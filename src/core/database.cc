@@ -11,8 +11,10 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/query_log.h"
 #include "common/string_util.h"
 #include "core/durability.h"
+#include "core/system_tables.h"
 #include "exec/batch_eval.h"
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
@@ -156,6 +158,80 @@ Database::Database() : model_cache_(kDefaultModelCacheCapacity) {
   if (auto size = EnvSize("MOSAIC_MORSELS"); size.has_value() && *size > 0) {
     morsel_size_ = *size;
   }
+  // The five system tables always resolve: queries and metrics read
+  // the live process-wide stores; sessions/connections/snapshots are
+  // empty schema stubs until the service/network layers override them
+  // with real providers at startup.
+  RegisterSystemTable(
+      "queries", [] { return BuildQueriesTable(qlog::QueryLog::Global()); });
+  RegisterSystemTable("metrics", [] { return BuildMetricsTable(); });
+  RegisterSystemTable("sessions", [] { return EmptySessionsTable(); });
+  RegisterSystemTable("connections", [] { return EmptyConnectionsTable(); });
+  RegisterSystemTable("snapshots", [] { return EmptySnapshotsTable(); });
+}
+
+void Database::RegisterSystemTable(const std::string& name,
+                                   SystemTableProvider provider) {
+  std::lock_guard<std::mutex> lock(system_mu_);
+  system_tables_[ToLower(name)] = std::move(provider);
+}
+
+bool Database::IsSystemRelation(const std::string& name) {
+  static constexpr char kPrefix[] = "system.";
+  if (name.size() <= sizeof(kPrefix) - 1) return false;
+  for (size_t i = 0; i < sizeof(kPrefix) - 1; ++i) {
+    char c = name[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != kPrefix[i]) return false;
+  }
+  return true;
+}
+
+Result<Table> Database::ExecuteSystemSelect(const sql::SelectStmt& stmt,
+                                            trace::QueryTrace* trace,
+                                            uint32_t trace_parent) {
+  if (stmt.visibility != sql::Visibility::kDefault) {
+    return Status::InvalidArgument(
+        "visibility levels apply to population queries; '" + stmt.from +
+        "' is a system table");
+  }
+  const std::string bare =
+      ToLower(stmt.from).substr(sizeof("system.") - 1);
+  SystemTableProvider provider;
+  {
+    std::lock_guard<std::mutex> lock(system_mu_);
+    auto it = system_tables_.find(bare);
+    if (it != system_tables_.end()) provider = it->second;
+  }
+  if (!provider) {
+    std::string names;
+    {
+      std::lock_guard<std::mutex> lock(system_mu_);
+      for (const auto& [name, p] : system_tables_) {
+        if (!names.empty()) names += ", ";
+        names += "system." + name;
+      }
+    }
+    return Status::NotFound("no system table named '" + stmt.from +
+                            "' (available: " + names + ")");
+  }
+  // Materialize the snapshot once, then run the ordinary executor
+  // over a zero-copy view of it — same three paths, same parity
+  // guarantees as any auxiliary table.
+  Table snapshot;
+  {
+    trace::ScopedSpan span(trace, trace_parent, "system_snapshot");
+    MOSAIC_ASSIGN_OR_RETURN(snapshot, provider());
+    if (trace != nullptr) {
+      span.Note("table=" + bare +
+                " rows=" + std::to_string(snapshot.num_rows()));
+    }
+  }
+  exec::ExecOptions opts = BatchExecOptions();
+  opts.use_row_path = force_row_exec_;
+  opts.trace = trace;
+  opts.trace_parent = trace_parent;
+  return exec::ExecuteSelect(snapshot, stmt, opts);
 }
 
 exec::ExecOptions Database::BatchExecOptions() const {
@@ -259,6 +335,11 @@ Result<Table> Database::ExecuteStatement(sql::Statement* stmt,
 Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt,
                                       trace::QueryTrace* trace,
                                       uint32_t trace_parent) {
+  if (IsSystemRelation(stmt.from)) {
+    // The "system." schema is reserved: it wins over (and hides) any
+    // catalog relation that happens to carry a dotted name.
+    return ExecuteSystemSelect(stmt, trace, trace_parent);
+  }
   if (catalog_.HasTable(stmt.from)) {
     if (stmt.visibility != sql::Visibility::kDefault) {
       return Status::InvalidArgument(
@@ -291,6 +372,7 @@ Result<Table> Database::ExecuteSelect(const sql::SelectStmt& stmt,
     {
       trace::ScopedSpan pin_span(trace, trace_parent, "weight_pin");
       epoch = sample->weights.Pin();
+      trace::CountEpochPin(trace);
       if (trace != nullptr) {
         pin_span.Note("epoch=" + std::to_string(epoch->id));
       }
@@ -473,6 +555,7 @@ Result<Table> Database::ExecutePopulationQuery(const sql::SelectStmt& stmt,
         trace::ScopedSpan span(trace, trace_parent, "reweight");
         MOSAIC_ASSIGN_OR_RETURN(epoch,
                                 ReweightAndPin(population->name, &report));
+        trace::CountEpochPin(trace);
         if (trace != nullptr) {
           span.Note("epoch=" + std::to_string(epoch->id));
         }
@@ -1383,37 +1466,10 @@ Result<Table> Database::ExecuteShow(const sql::ShowStmt& stmt) {
       return out;
     }
     case sql::ShowStmt::What::kMetrics: {
-      // Dump of the process-wide registry, one row per metric in
-      // sorted name order (histograms expand to _count/_mean/_p50/
-      // _p95/_p99 rows). Deliberately never result-cached — see
-      // StampFor.
-      MOSAIC_RETURN_IF_ERROR(
-          schema.AddColumn({"metric", DataType::kString}));
-      MOSAIC_RETURN_IF_ERROR(schema.AddColumn({"value", DataType::kDouble}));
-      out = Table(schema);
-      auto& registry = metrics::Registry::Global();
-      for (const auto& [name, value] : registry.CounterValues()) {
-        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
-            {Value(name), Value(static_cast<double>(value))}));
-      }
-      for (const auto& [name, value] : registry.GaugeValues()) {
-        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
-            {Value(name), Value(static_cast<double>(value))}));
-      }
-      for (const auto& [name, snap] : registry.HistogramSnapshots()) {
-        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
-            {Value(name + "_count"),
-             Value(static_cast<double>(snap.count))}));
-        MOSAIC_RETURN_IF_ERROR(
-            out.AppendRow({Value(name + "_mean"), Value(snap.Mean())}));
-        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
-            {Value(name + "_p50"), Value(snap.Quantile(0.50))}));
-        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
-            {Value(name + "_p95"), Value(snap.Quantile(0.95))}));
-        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
-            {Value(name + "_p99"), Value(snap.Quantile(0.99))}));
-      }
-      return out;
+      // Sugar over `SELECT * FROM system.metrics` — one shared
+      // builder so the two surfaces can never drift. Deliberately
+      // never result-cached — see StampFor.
+      return BuildMetricsTable();
     }
   }
   return Status::Internal("unknown SHOW target");
@@ -1568,6 +1624,9 @@ Database::CacheStamp Database::StampFor(const sql::Statement& stmt) {
   // EXPLAIN ANALYZE answers with this execution's span timings;
   // serving a previous execution's timings would defeat it.
   if (sel.explain_analyze) return stamp;
+  // System tables snapshot live mutable state (query log, registry,
+  // sessions) that moves independently of any version counter.
+  if (IsSystemRelation(sel.from)) return stamp;
   if (catalog_.HasTable(sel.from)) {
     stamp.cacheable = true;
     return stamp;

@@ -22,6 +22,8 @@
 #define MOSAIC_CORE_DATABASE_H_
 
 #include <atomic>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -210,6 +212,30 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
+  // ---- System tables (introspection) ----------------------------------
+
+  /// Provider materializing one `system.<name>` introspection table
+  /// as a point-in-time snapshot. Must be thread-safe: SELECTs over
+  /// system tables run under the service's *shared* lock from many
+  /// request threads at once.
+  using SystemTableProvider = std::function<Result<Table>()>;
+
+  /// Install (or replace) the provider behind `system.<name>`
+  /// (lower-case name without the "system." prefix). The database
+  /// pre-registers all five tables — queries/metrics backed by the
+  /// live query log and metrics registry, sessions/connections/
+  /// snapshots as empty schema stubs that the service and network
+  /// layers override at startup. Not thread-safe against in-flight
+  /// queries; call during setup.
+  void RegisterSystemTable(const std::string& name,
+                           SystemTableProvider provider);
+
+  /// True for names in the reserved "system." schema (any case).
+  /// These resolve before the catalog, are never cacheable, and are
+  /// rejected as DDL/DML targets by nature of not being catalog
+  /// relations.
+  static bool IsSystemRelation(const std::string& name);
+
   SemiOpenOptions* mutable_semi_open_options() { return &semi_open_; }
   OpenOptions* mutable_open_options() { return &open_; }
 
@@ -308,6 +334,13 @@ class Database {
   Status ExecuteDrop(const sql::DropStmt& stmt);
   Status ExecuteUpdate(const sql::UpdateStmt& stmt);
   Result<Table> ExecuteShow(const sql::ShowStmt& stmt);
+
+  /// Snapshot the named system table (name already lower-cased,
+  /// including the "system." prefix) and run `stmt` over it through
+  /// the configured exec path.
+  Result<Table> ExecuteSystemSelect(const sql::SelectStmt& stmt,
+                                    trace::QueryTrace* trace,
+                                    uint32_t trace_parent);
 
   /// The "single, optimal sample" of §4's assumption 2: the sample of
   /// the population's GP with the most rows.
@@ -442,6 +475,11 @@ class Database {
   bool force_row_exec_ = false;
   /// Write-ahead-logging hook; null when running without durability.
   DurabilitySink* durability_ = nullptr;
+  /// Providers behind the `system.*` schema, keyed by bare table name
+  /// ("queries"). The mutex only guards the map — providers run
+  /// outside it.
+  mutable std::mutex system_mu_;
+  std::map<std::string, SystemTableProvider> system_tables_;
   /// Scratch relation materializing the union of samples; rebuilt
   /// lazily when the underlying samples change size.
   SampleInfo union_scratch_;

@@ -1,0 +1,43 @@
+// Builders for the `system.*` introspection tables. Each builder
+// materializes a point-in-time snapshot of live engine state as a
+// plain Table; the planner (core::Database::ExecuteSelect) then runs
+// the ordinary row/batch/morsel executor over a zero-copy view of it,
+// so system tables get WHERE/GROUP BY/ORDER BY — and three-path
+// bit-identity — for free.
+//
+// The builders for state that lives above core (service sessions, net
+// connections, durable snapshots) are registered at startup via
+// Database::RegisterSystemTable; this header only fixes their schemas
+// so the tables exist (empty) even in a bare in-process Database.
+#ifndef MOSAIC_CORE_SYSTEM_TABLES_H_
+#define MOSAIC_CORE_SYSTEM_TABLES_H_
+
+#include "common/query_log.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mosaic {
+namespace core {
+
+/// `system.queries`: the query log, denormalized one row per recorded
+/// span (an untraced query contributes a single synthetic "statement"
+/// row carrying its totals), so span-level SQL like
+/// `SELECT span, duration_us FROM system.queries` works directly.
+/// Per-query resource totals repeat on each of the query's rows.
+Result<Table> BuildQueriesTable(const qlog::QueryLog& log);
+
+/// `system.metrics`: one row per registry metric, name-sorted;
+/// histograms expand to _count/_mean/_p50/_p95/_p99 rows. SHOW
+/// METRICS is sugar over this.
+Result<Table> BuildMetricsTable();
+
+/// Empty tables fixing the schemas of the externally-provided
+/// system tables (overridden by the service and network layers).
+Result<Table> EmptySessionsTable();
+Result<Table> EmptyConnectionsTable();
+Result<Table> EmptySnapshotsTable();
+
+}  // namespace core
+}  // namespace mosaic
+
+#endif  // MOSAIC_CORE_SYSTEM_TABLES_H_

@@ -87,6 +87,7 @@ Status Client::Connect(const ClientOptions& options) {
     return decoded.status();
   }
   session_id_ = decoded->session_id;
+  server_minor_ = decoded->minor_version;
   return Status::OK();
 }
 
@@ -162,9 +163,20 @@ Result<Frame> Client::Roundtrip(MessageType type, std::string_view payload,
 }
 
 Result<Table> Client::Query(const std::string& sql) {
+  return Query(sql, TraceContext());
+}
+
+Result<Table> Client::Query(const std::string& sql,
+                            const TraceContext& ctx) {
+  // Pre-minor-2 servers never saw a trace tail; send them the legacy
+  // payload so the context degrades to "untraced" instead of an error.
+  const std::string payload =
+      (ctx.empty() || server_minor_ < 2)
+          ? EncodeQueryRequest(sql)
+          : EncodeQueryRequest(QueryRequest{sql, ctx});
   MOSAIC_ASSIGN_OR_RETURN(
-      Frame reply, Roundtrip(MessageType::kQuery, EncodeQueryRequest(sql),
-                             MessageType::kResult));
+      Frame reply,
+      Roundtrip(MessageType::kQuery, payload, MessageType::kResult));
   MOSAIC_ASSIGN_OR_RETURN(QueryOutcome outcome,
                           DecodeResultReply(reply.payload));
   if (!outcome.ok()) return outcome.status;
@@ -173,9 +185,18 @@ Result<Table> Client::Query(const std::string& sql) {
 
 Result<std::vector<QueryOutcome>> Client::Batch(
     const std::vector<std::string>& sqls) {
+  return Batch(sqls, TraceContext());
+}
+
+Result<std::vector<QueryOutcome>> Client::Batch(
+    const std::vector<std::string>& sqls, const TraceContext& ctx) {
+  const std::string payload =
+      (ctx.empty() || server_minor_ < 2)
+          ? EncodeBatchRequest(sqls)
+          : EncodeBatchRequest(BatchRequest{sqls, ctx});
   MOSAIC_ASSIGN_OR_RETURN(
-      Frame reply, Roundtrip(MessageType::kBatch, EncodeBatchRequest(sqls),
-                             MessageType::kBatchResult));
+      Frame reply,
+      Roundtrip(MessageType::kBatch, payload, MessageType::kBatchResult));
   MOSAIC_ASSIGN_OR_RETURN(std::vector<QueryOutcome> outcomes,
                           DecodeBatchResultReply(reply.payload));
   if (outcomes.size() != sqls.size()) {

@@ -45,15 +45,31 @@ class Client {
   /// Server-assigned session id (valid after Connect).
   uint64_t session_id() const { return session_id_; }
 
+  /// Minor protocol revision the server reported in HELLO_OK (0 for a
+  /// pre-minor-1 server). Trace contexts reach the server only when
+  /// this is >= 2; older servers would reject the appended tail.
+  uint32_t server_minor_version() const { return server_minor_; }
+
   /// Run one statement; returns the result table or the statement's
   /// error. Transport or protocol failures also surface as Status and
   /// leave the connection closed.
   Result<Table> Query(const std::string& sql);
 
+  /// Same, carrying a distributed-trace context (minor 2). With
+  /// `ctx.sampled` set, an EXPLAIN ANALYZE statement returns the full
+  /// server-side span tree annotated with `ctx.trace_id`. Against a
+  /// pre-minor-2 server the context is silently dropped (the legacy
+  /// payload is sent) rather than poisoning the connection.
+  Result<Table> Query(const std::string& sql, const TraceContext& ctx);
+
   /// Run a batch; the server fans the statements across its request
   /// pool and replies once with per-statement outcomes in input order.
   Result<std::vector<QueryOutcome>> Batch(
       const std::vector<std::string>& sqls);
+
+  /// Batch under one trace context covering every statement.
+  Result<std::vector<QueryOutcome>> Batch(
+      const std::vector<std::string>& sqls, const TraceContext& ctx);
 
   /// Fetch the server's combined service + network counters.
   Result<StatsSnapshot> Stats();
@@ -73,6 +89,7 @@ class Client {
 
   int fd_ = -1;
   uint64_t session_id_ = 0;
+  uint32_t server_minor_ = 0;
   FrameReader reader_;
 };
 

@@ -477,15 +477,57 @@ Result<HelloReply> DecodeHelloReply(std::string_view payload) {
   return m;
 }
 
+namespace {
+
+/// An empty context encodes as no tail at all, so untraced minor-2
+/// frames are byte-identical to what a minor-0/1 client sends — old
+/// servers accept them unchanged.
+void PutTraceContext(const TraceContext& ctx, WireWriter* w) {
+  if (ctx.empty()) return;
+  w->PutU64(ctx.trace_id);
+  w->PutU64(ctx.parent_span_id);
+  w->PutBool(ctx.sampled);
+}
+
+/// Minor-2 tail rule: nothing after the prefix means "no trace
+/// context" (a minor-0/1 peer sent the frame); a partial tail is a
+/// protocol error, never silently zero-filled.
+Status ReadTraceContextTail(WireReader* r, TraceContext* out) {
+  if (r->AtEnd()) {
+    *out = TraceContext();
+    return Status::OK();
+  }
+  if (r->remaining() < kTraceContextBytes) {
+    return Status::InvalidArgument("truncated trace context tail");
+  }
+  MOSAIC_ASSIGN_OR_RETURN(out->trace_id, r->ReadU64());
+  MOSAIC_ASSIGN_OR_RETURN(out->parent_span_id, r->ReadU64());
+  MOSAIC_ASSIGN_OR_RETURN(out->sampled, r->ReadBool());
+  // Anything further is a future minor's appended tail: ignored.
+  return Status::OK();
+}
+
+}  // namespace
+
 std::string EncodeQueryRequest(const std::string& sql) {
   WireWriter w;
   w.PutString(sql);
   return w.Take();
 }
 
-Result<std::string> DecodeQueryRequest(std::string_view payload) {
+std::string EncodeQueryRequest(const QueryRequest& m) {
+  WireWriter w;
+  w.PutString(m.sql);
+  PutTraceContext(m.trace, &w);
+  return w.Take();
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   WireReader r(payload);
-  return r.ReadString();
+  QueryRequest m;
+  MOSAIC_ASSIGN_OR_RETURN(m.sql, r.ReadString());
+  MOSAIC_RETURN_IF_ERROR(ReadTraceContextTail(&r, &m.trace));
+  return m;
 }
 
 std::string EncodeBatchRequest(const std::vector<std::string>& sqls) {
@@ -495,20 +537,28 @@ std::string EncodeBatchRequest(const std::vector<std::string>& sqls) {
   return w.Take();
 }
 
-Result<std::vector<std::string>> DecodeBatchRequest(
-    std::string_view payload) {
+std::string EncodeBatchRequest(const BatchRequest& m) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(m.sqls.size()));
+  for (const auto& sql : m.sqls) w.PutString(sql);
+  PutTraceContext(m.trace, &w);
+  return w.Take();
+}
+
+Result<BatchRequest> DecodeBatchRequest(std::string_view payload) {
   WireReader r(payload);
   MOSAIC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
   if (count > r.remaining() / 4) {
     return Status::InvalidArgument("batch count exceeds payload");
   }
-  std::vector<std::string> sqls;
-  sqls.reserve(count);
+  BatchRequest m;
+  m.sqls.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     MOSAIC_ASSIGN_OR_RETURN(std::string sql, r.ReadString());
-    sqls.push_back(std::move(sql));
+    m.sqls.push_back(std::move(sql));
   }
-  return sqls;
+  MOSAIC_RETURN_IF_ERROR(ReadTraceContextTail(&r, &m.trace));
+  return m;
 }
 
 std::string EncodeResultReply(const QueryOutcome& outcome) {

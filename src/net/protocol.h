@@ -63,8 +63,11 @@ constexpr uint32_t kProtocolVersion = 1;
 /// appends histogram snapshots and extra counters to STATS_RESULT and
 /// the server's minor version to HELLO_OK — all strictly appended, so
 /// a minor-0 peer decodes the prefix it knows and ignores the tail
-/// (decoders never require the appended bytes to be present).
-constexpr uint32_t kProtocolMinorVersion = 1;
+/// (decoders never require the appended bytes to be present). Minor 2
+/// appends a trace context (trace_id, parent_span_id, sample flag) to
+/// QUERY and BATCH under the same rule: an absent tail decodes as "no
+/// trace context", a partially present one is a protocol error.
+constexpr uint32_t kProtocolMinorVersion = 2;
 
 /// Upper bound on one frame's length field. Limits both directions:
 /// decoders reject bigger prefixes before allocating, encoders refuse
@@ -280,14 +283,44 @@ Result<HelloRequest> DecodeHelloRequest(std::string_view payload);
 std::string EncodeHelloReply(const HelloReply& m);
 Result<HelloReply> DecodeHelloReply(std::string_view payload);
 
-/// QUERY payload: the SQL text.
-std::string EncodeQueryRequest(const std::string& sql);
-Result<std::string> DecodeQueryRequest(std::string_view payload);
+/// Distributed-trace context appended (minor 2) to QUERY and BATCH.
+/// All-zero means "no context"; `sampled` asks the server to collect
+/// spans for the statement even when it does not trace by default.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = false;
 
-/// BATCH payload: uint32 count + SQL strings.
+  bool empty() const {
+    return trace_id == 0 && parent_span_id == 0 && !sampled;
+  }
+};
+
+/// Encoded size of a TraceContext tail (two u64 + one bool).
+constexpr size_t kTraceContextBytes = 17;
+
+/// QUERY payload: the SQL text, then (minor 2) the trace context.
+struct QueryRequest {
+  std::string sql;
+  TraceContext trace;
+};
+
+/// BATCH payload: uint32 count + SQL strings, then (minor 2) one
+/// trace context covering every statement in the batch.
+struct BatchRequest {
+  std::vector<std::string> sqls;
+  TraceContext trace;
+};
+
+/// Legacy (minor 0/1) shape: SQL only, no trace tail. Kept for wire
+/// compatibility tests and old-client emulation.
+std::string EncodeQueryRequest(const std::string& sql);
+std::string EncodeQueryRequest(const QueryRequest& m);
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
+
 std::string EncodeBatchRequest(const std::vector<std::string>& sqls);
-Result<std::vector<std::string>> DecodeBatchRequest(
-    std::string_view payload);
+std::string EncodeBatchRequest(const BatchRequest& m);
+Result<BatchRequest> DecodeBatchRequest(std::string_view payload);
 
 /// RESULT payload: one QueryOutcome.
 std::string EncodeResultReply(const QueryOutcome& outcome);

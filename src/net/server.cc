@@ -17,7 +17,9 @@
 #include <optional>
 #include <utility>
 
+#include "common/event_log.h"
 #include "common/logging.h"
+#include "core/system_tables.h"
 
 namespace mosaic {
 namespace net {
@@ -84,6 +86,7 @@ struct WakePipe {
 
 struct Server::Connection {
   int fd = -1;
+  uint64_t id = 0;  ///< stable id for `system.connections`
   std::optional<service::Session> session;
   FrameReader reader;
 
@@ -109,6 +112,11 @@ struct Server::Connection {
     std::lock_guard<std::mutex> lock(mu);
     return PendingLocked();
   }
+};
+
+struct Server::ConnRegistry {
+  std::mutex mu;
+  std::map<uint64_t, std::shared_ptr<Connection>> conns;  ///< by conn id
 };
 
 namespace {
@@ -174,10 +182,33 @@ Status Server::Start() {
   wake_ = std::make_shared<WakePipe>();
   wake_->write_fd = pipe_fds[1];
 
+  // Back `system.connections` with a registry the provider can hold
+  // past this Server's lifetime (queries run on request-pool threads).
+  conn_registry_ = std::make_shared<ConnRegistry>();
+  {
+    auto registry = conn_registry_;
+    service_->database()->RegisterSystemTable(
+        "connections", [registry]() -> Result<Table> {
+          MOSAIC_ASSIGN_OR_RETURN(Table out, core::EmptyConnectionsTable());
+          std::lock_guard<std::mutex> lock(registry->mu);
+          for (const auto& [id, conn] : registry->conns) {
+            MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+                {Value(static_cast<int64_t>(id)),
+                 Value(static_cast<int64_t>(
+                     conn->session.has_value() ? conn->session->id() : 0)),
+                 Value(static_cast<int64_t>(conn->Pending()))}));
+          }
+          return out;
+        });
+  }
+
   running_.store(true, std::memory_order_release);
   poll_thread_ = std::thread([this] { PollLoop(); });
   MOSAIC_LOG(Info) << "mosaic server listening on " << options_.host << ":"
                    << port_;
+  elog::EventLog::Global().Emit(
+      LogLevel::kInfo, "server_start",
+      {{"host", options_.host}, {"port", std::to_string(port_)}});
   return Status::OK();
 }
 
@@ -205,6 +236,14 @@ void Server::Shutdown() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (conn_registry_ != nullptr) {
+    std::lock_guard<std::mutex> lock(conn_registry_->mu);
+    conn_registry_->conns.clear();
+  }
+  elog::EventLog::Global().Emit(
+      LogLevel::kInfo, "server_stop",
+      {{"connections_closed", std::to_string(connections_closed_.load())},
+       {"frames_received", std::to_string(frames_received_.load())}});
 }
 
 NetServerStats Server::stats() const {
@@ -409,9 +448,13 @@ void Server::AcceptPending() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->id = connections_opened_.fetch_add(1) + 1;
     conn->session = service_->OpenSession();
+    if (conn_registry_ != nullptr) {
+      std::lock_guard<std::mutex> lock(conn_registry_->mu);
+      conn_registry_->conns.emplace(conn->id, conn);
+    }
     connections_.push_back(std::move(conn));
-    connections_opened_.fetch_add(1);
     connections_active_.store(connections_.size());
   }
 }
@@ -481,15 +524,23 @@ Status Server::HandleFrame(Connection* conn, Frame frame) {
   }
   switch (frame.type) {
     case MessageType::kQuery: {
-      MOSAIC_ASSIGN_OR_RETURN(std::string sql,
+      MOSAIC_ASSIGN_OR_RETURN(QueryRequest req,
                               DecodeQueryRequest(frame.payload));
-      DispatchQuery(conn, conn->next_seq++, std::move(sql));
+      service::RequestContext ctx;
+      ctx.trace_id = req.trace.trace_id;
+      ctx.parent_span_id = req.trace.parent_span_id;
+      ctx.sampled = req.trace.sampled;
+      DispatchQuery(conn, conn->next_seq++, std::move(req.sql), ctx);
       return Status::OK();
     }
     case MessageType::kBatch: {
-      MOSAIC_ASSIGN_OR_RETURN(std::vector<std::string> sqls,
+      MOSAIC_ASSIGN_OR_RETURN(BatchRequest req,
                               DecodeBatchRequest(frame.payload));
-      DispatchBatch(conn, conn->next_seq++, std::move(sqls));
+      service::RequestContext ctx;
+      ctx.trace_id = req.trace.trace_id;
+      ctx.parent_span_id = req.trace.parent_span_id;
+      ctx.sampled = req.trace.sampled;
+      DispatchBatch(conn, conn->next_seq++, std::move(req.sqls), ctx);
       return Status::OK();
     }
     case MessageType::kStats: {
@@ -519,7 +570,7 @@ Status Server::HandleFrame(Connection* conn, Frame frame) {
 }
 
 void Server::DispatchQuery(Connection* conn, uint64_t seq,
-                           std::string sql) {
+                           std::string sql, service::RequestContext ctx) {
   // Find the shared_ptr owner: the callback needs shared ownership so
   // an abrupt disconnect cannot free the connection under it.
   std::shared_ptr<Connection> owner;
@@ -537,7 +588,7 @@ void Server::DispatchQuery(Connection* conn, uint64_t seq,
   RaiseInflightHighwater(depth);
   auto wake = wake_;
   conn->session->SubmitAsync(
-      std::move(sql), [owner, wake, seq](Result<Table> result) {
+      std::move(sql), ctx, [owner, wake, seq](Result<Table> result) {
         QueryOutcome outcome;
         if (result.ok()) {
           outcome.table = std::move(result).value();
@@ -551,7 +602,8 @@ void Server::DispatchQuery(Connection* conn, uint64_t seq,
 }
 
 void Server::DispatchBatch(Connection* conn, uint64_t seq,
-                           std::vector<std::string> sqls) {
+                           std::vector<std::string> sqls,
+                           service::RequestContext ctx) {
   std::shared_ptr<Connection> owner;
   for (const auto& c : connections_) {
     if (c.get() == conn) {
@@ -584,7 +636,7 @@ void Server::DispatchBatch(Connection* conn, uint64_t seq,
   // with a single client attached.
   for (size_t i = 0; i < sqls.size(); ++i) {
     conn->session->SubmitAsync(
-        std::move(sqls[i]),
+        std::move(sqls[i]), ctx,
         [owner, wake, seq, batch, i](Result<Table> result) {
           if (result.ok()) {
             batch->outcomes[i].table = std::move(result).value();
@@ -660,6 +712,10 @@ void Server::CloseConnection(size_t index, bool abort_inflight) {
   }
   ::close(conn->fd);
   conn->fd = -1;
+  if (conn_registry_ != nullptr) {
+    std::lock_guard<std::mutex> lock(conn_registry_->mu);
+    conn_registry_->conns.erase(conn->id);
+  }
   service_->CloseSession(*conn->session);
   connections_closed_.fetch_add(1);
   connections_.erase(connections_.begin() +

@@ -110,15 +110,21 @@ class Server {
 
  public:
   struct Connection;
+  /// Thread-safe view of live connections backing `system.connections`
+  /// (the provider runs on request-pool threads and must survive the
+  /// Server object, so it holds this registry by shared_ptr).
+  struct ConnRegistry;
 
  private:
   void PollLoop();
   void AcceptPending();
   Status ReadFromConnection(Connection* conn);
   Status HandleFrame(Connection* conn, Frame frame);
-  void DispatchQuery(Connection* conn, uint64_t seq, std::string sql);
+  void DispatchQuery(Connection* conn, uint64_t seq, std::string sql,
+                     service::RequestContext ctx);
   void DispatchBatch(Connection* conn, uint64_t seq,
-                     std::vector<std::string> sqls);
+                     std::vector<std::string> sqls,
+                     service::RequestContext ctx);
   void FlushReady(Connection* conn);
   Status WriteToConnection(Connection* conn);
   void SendProtocolError(Connection* conn, const Status& error);
@@ -143,6 +149,7 @@ class Server {
   /// are retired by the poll loop once their in-flight count is zero.
   std::vector<std::shared_ptr<Connection>> connections_;
   std::vector<std::shared_ptr<Connection>> zombies_;
+  std::shared_ptr<ConnRegistry> conn_registry_;
 
   std::atomic<uint64_t> connections_opened_{0};
   std::atomic<uint64_t> connections_rejected_{0};

@@ -1,11 +1,21 @@
 #include "service/query_service.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 
 #include "common/env.h"
+#include "common/event_log.h"
 #include "common/logging.h"
+#include "common/query_log.h"
+#include "common/string_util.h"
+#include "core/system_tables.h"
+#include "exec/simd.h"
 #include "exec/trace_table.h"
 #include "sql/parser.h"
 
@@ -21,6 +31,12 @@ Result<Table> Session::Execute(const std::string& sql) {
   return service_->Run(sql, state_.get());
 }
 
+Result<Table> Session::Execute(const std::string& sql,
+                               const RequestContext& ctx) {
+  state_->submitted.fetch_add(1, std::memory_order_relaxed);
+  return service_->Run(sql, state_.get(), ctx);
+}
+
 std::future<Result<Table>> Session::Submit(const std::string& sql) {
   state_->submitted.fetch_add(1, std::memory_order_relaxed);
   QueryService* service = service_;
@@ -31,12 +47,18 @@ std::future<Result<Table>> Session::Submit(const std::string& sql) {
 
 void Session::SubmitAsync(std::string sql,
                           std::function<void(Result<Table>)> done) {
+  SubmitAsync(std::move(sql), RequestContext(), std::move(done));
+}
+
+void Session::SubmitAsync(std::string sql, RequestContext ctx,
+                          std::function<void(Result<Table>)> done) {
   state_->submitted.fetch_add(1, std::memory_order_relaxed);
   QueryService* service = service_;
   auto state = state_;
   service->request_pool_.Submit(
-      [service, state, sql = std::move(sql), done = std::move(done)] {
-        done(service->Run(sql, state.get()));
+      [service, state, sql = std::move(sql), ctx,
+       done = std::move(done)] {
+        done(service->Run(sql, state.get(), ctx));
       });
 }
 
@@ -109,6 +131,64 @@ QueryService::QueryService(ServiceOptions options)
       durability_status_ = storage_engine_->Recover(&db_).status();
     }
   }
+
+  RegisterSystemTables();
+}
+
+void QueryService::RegisterSystemTables() {
+  // Overrides the Database's empty-stub providers with live ones. The
+  // lambdas run on request-pool threads (inside a SELECT), so they
+  // may only touch thread-safe state.
+  db_.RegisterSystemTable("sessions", [this]() -> Result<Table> {
+    MOSAIC_ASSIGN_OR_RETURN(Table out, core::EmptySessionsTable());
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (auto state = it->second.lock()) {
+        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+            {Value(static_cast<int64_t>(state->id)),
+             Value(static_cast<int64_t>(
+                 state->submitted.load(std::memory_order_relaxed)))}));
+        ++it;
+      } else {
+        // All handles gone without CloseSession: drop lazily.
+        it = sessions_.erase(it);
+      }
+    }
+    return out;
+  });
+  if (storage_engine_ != nullptr) {
+    const std::string dir = storage_engine_->data_dir();
+    db_.RegisterSystemTable("snapshots", [dir]() -> Result<Table> {
+      MOSAIC_ASSIGN_OR_RETURN(Table out, core::EmptySnapshotsTable());
+      DIR* d = opendir(dir.c_str());
+      if (d == nullptr) return out;
+      std::vector<std::string> names;
+      while (struct dirent* entry = readdir(d)) {
+        const std::string name = entry->d_name;
+        const std::string suffix = ".snap";
+        if (name.rfind("snapshot-", 0) == 0 && name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+          names.push_back(name);
+        }
+      }
+      closedir(d);
+      std::sort(names.begin(), names.end());
+      for (const std::string& name : names) {
+        const uint64_t seq =
+            std::strtoull(name.c_str() + sizeof("snapshot-") - 1, nullptr, 10);
+        struct stat st;
+        int64_t bytes = 0;
+        if (::stat((dir + "/" + name).c_str(), &st) == 0) {
+          bytes = static_cast<int64_t>(st.st_size);
+        }
+        MOSAIC_RETURN_IF_ERROR(
+            out.AppendRow({Value(name), Value(static_cast<int64_t>(seq)),
+                           Value(bytes)}));
+      }
+      return out;
+    });
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -117,11 +197,18 @@ Session QueryService::OpenSession() {
   auto state = std::make_shared<Session::State>();
   state->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_[state->id] = state;
+  }
   return Session(this, std::move(state));
 }
 
 void QueryService::CloseSession(const Session& session) {
-  (void)session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session.state_->id);
+  }
   sessions_closed_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -185,22 +272,27 @@ bool LooksLikeExplain(const std::string& sql) {
 }  // namespace
 
 Result<Table> QueryService::Run(const std::string& sql,
-                                Session::State* session) {
+                                Session::State* session,
+                                const RequestContext& ctx) {
   if (session != nullptr) {
     queries_total_.fetch_add(1, std::memory_order_relaxed);
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
   // EXPLAIN ANALYZE statements get a trace even when tracing is off —
-  // the trace IS their result.
+  // the trace IS their result. A sampled request context forces
+  // tracing the same way (remote EXPLAIN ANALYZE, client --trace).
   std::unique_ptr<trace::QueryTrace> trace;
-  if (trace_enabled_ || LooksLikeExplain(sql)) {
+  if (trace_enabled_ || ctx.sampled || LooksLikeExplain(sql)) {
     trace = std::make_unique<trace::QueryTrace>();
+    trace->set_trace_id(ctx.trace_id);
   }
 
   bool is_read = false;
   bool explain = false;
-  Result<Table> result = RunInternal(sql, trace.get(), &is_read, &explain);
+  int cache_hit = -1;
+  Result<Table> result =
+      RunInternal(sql, trace.get(), ctx, &is_read, &explain, &cache_hit);
 
   const uint64_t elapsed_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -216,11 +308,59 @@ Result<Table> QueryService::Run(const std::string& sql,
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Every statement — traced or not, failed or not — leaves a record
+  // in the bounded query log (`system.queries`). Untraced statements
+  // record wall time and status only; traced ones add the span tree
+  // and resource counters.
+  {
+    qlog::QueryRecord record;
+    record.session_id = session != nullptr ? session->id : 0;
+    record.trace_id = ctx.trace_id;
+    record.sql = sql;
+    record.status =
+        result.ok() ? "OK" : StatusCodeName(result.status().code());
+    record.cache_hit = cache_hit;
+    record.wall_us = elapsed_us;
+    record.simd_isa = exec::simd::ActiveIsaName();
+    if (trace != nullptr) {
+      const trace::ResourceCounters& c = trace->counters();
+      record.rows_scanned = c.rows_scanned.load(std::memory_order_relaxed);
+      record.rows_produced = c.rows_produced.load(std::memory_order_relaxed);
+      record.morsels = c.morsels.load(std::memory_order_relaxed);
+      record.epoch_pins = c.epoch_pins.load(std::memory_order_relaxed);
+      std::vector<trace::Span> spans = trace->Spans();
+      record.spans.reserve(spans.size());
+      for (const trace::Span& s : spans) {
+        record.spans.push_back({s.id, s.parent, s.name, s.start_us,
+                                s.duration_us(), s.cpu_ns, s.note});
+        // The root "statement" span's thread-CPU time is the
+        // statement's own CPU cost (children nest inside it; morsel
+        // work on other threads is not included).
+        if (s.parent == trace::kNoParent && record.cpu_ns == 0) {
+          record.cpu_ns = s.cpu_ns;
+        }
+      }
+    }
+    qlog::QueryLog::Global().Append(std::move(record));
+  }
+
   if (trace != nullptr && slow_query_us_ >= 0 &&
       elapsed_us >= static_cast<uint64_t>(slow_query_us_)) {
-    MOSAIC_LOG(Warning) << "slow query (" << elapsed_us / 1000 << " ms): "
-                        << sql << "\n"
-                        << trace->ToString();
+    elog::EventLog& events = elog::EventLog::Global();
+    if (events.enabled()) {
+      events.Emit(LogLevel::kWarning, "slow_query",
+                  {{"sql", sql},
+                   {"elapsed_ms", std::to_string(elapsed_us / 1000)},
+                   {"status", result.ok() ? "OK"
+                                          : StatusCodeName(
+                                                result.status().code())},
+                   {"spans", trace->ToString()}},
+                  ctx.trace_id);
+    } else {
+      MOSAIC_LOG(Warning) << "slow query (" << elapsed_us / 1000 << " ms): "
+                          << sql << "\n"
+                          << trace->ToString();
+    }
   }
 
   if (result.ok() && explain && trace != nullptr) {
@@ -233,8 +373,22 @@ Result<Table> QueryService::Run(const std::string& sql,
 
 Result<Table> QueryService::RunInternal(const std::string& sql,
                                         trace::QueryTrace* trace,
-                                        bool* is_read, bool* explain) {
+                                        const RequestContext& ctx,
+                                        bool* is_read, bool* explain,
+                                        int* cache_hit) {
   trace::ScopedSpan stmt_span(trace, trace::kNoParent, "statement");
+  // Surface the caller's trace context on the statement span so a
+  // remote EXPLAIN ANALYZE (or span collector) can stitch the
+  // cross-process edge: the client sees its own trace_id come back.
+  if (trace != nullptr && ctx.trace_id != 0) {
+    stmt_span.Note(StrFormat("trace_id=%016llx",
+                             static_cast<unsigned long long>(ctx.trace_id)));
+    if (ctx.parent_span_id != 0) {
+      stmt_span.Note(StrFormat(
+          "parent_span=%llu",
+          static_cast<unsigned long long>(ctx.parent_span_id)));
+    }
+  }
 
   // Parse once: the AST classifies the statement and is then handed
   // to the engine for execution (ExecuteParsed).
@@ -282,9 +436,13 @@ Result<Table> QueryService::RunInternal(const std::string& sql,
         if (auto cached = result_cache_.Get(ComposeCacheKey(canonical,
                                                             stamp))) {
           span.Note("hit");
+          *cache_hit = 1;
+          trace::NoteCacheHit(trace, true);
           return Table(**cached);
         }
         span.Note("miss");
+        *cache_hit = 0;
+        trace::NoteCacheHit(trace, false);
       }
     }
     Result<Table> result = [&]() -> Result<Table> {

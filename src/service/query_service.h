@@ -39,6 +39,7 @@
 #include <atomic>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -123,6 +124,23 @@ struct ServiceStats {
 
 class QueryService;
 
+/// Caller-supplied distributed-trace context for one statement,
+/// transport-agnostic (the network server decodes it from the wire's
+/// minor-v2 trace fields; in-process callers can fill it directly —
+/// the same plumbing a scatter-gather coordinator reuses to stitch
+/// shard spans under one trace_id).
+struct RequestContext {
+  /// Trace this statement belongs to; 0 = none. Adopted onto the
+  /// QueryTrace so span trees and query-log records carry it.
+  uint64_t trace_id = 0;
+  /// The caller's enclosing span id (annotated on the statement span
+  /// so a collector can stitch the cross-process parent edge).
+  uint64_t parent_span_id = 0;
+  /// Force span collection for this statement even when the service
+  /// does not trace by default.
+  bool sampled = false;
+};
+
 /// A lightweight client handle. Sessions share the service's catalog
 /// and caches but keep their own submission counters; handles are
 /// cheap to copy and safe to use from several threads.
@@ -130,6 +148,9 @@ class Session {
  public:
   /// Run one statement synchronously on the calling thread.
   Result<Table> Execute(const std::string& sql);
+
+  /// Same, under a caller-supplied trace context.
+  Result<Table> Execute(const std::string& sql, const RequestContext& ctx);
 
   /// Enqueue one statement on the request pool.
   std::future<Result<Table>> Submit(const std::string& sql);
@@ -140,6 +161,11 @@ class Session {
   /// poll loop — avoid parking a thread per in-flight statement. The
   /// callback must not block on other request-pool work.
   void SubmitAsync(std::string sql,
+                   std::function<void(Result<Table>)> done);
+
+  /// SubmitAsync under a caller-supplied trace context (the network
+  /// server's QUERY/BATCH dispatch path).
+  void SubmitAsync(std::string sql, RequestContext ctx,
                    std::function<void(Result<Table>)> done);
 
   /// Fan a batch out across the request pool, one future per
@@ -227,14 +253,20 @@ class QueryService {
  private:
   friend class Session;
 
-  Result<Table> Run(const std::string& sql, Session::State* session);
+  Result<Table> Run(const std::string& sql, Session::State* session,
+                    const RequestContext& ctx = RequestContext());
 
   /// Run's parse/classify/lock/cache/execute pipeline. Failure
   /// accounting (queries_failed) and latency recording live in Run —
   /// the single exit point — so every error path counts exactly once.
   Result<Table> RunInternal(const std::string& sql,
-                            trace::QueryTrace* trace, bool* is_read,
-                            bool* explain);
+                            trace::QueryTrace* trace,
+                            const RequestContext& ctx, bool* is_read,
+                            bool* explain, int* cache_hit);
+
+  /// Register the service-backed system tables (`system.sessions`,
+  /// `system.snapshots`) on the owned database.
+  void RegisterSystemTables();
 
   ServiceOptions options_;
   core::Database db_;
@@ -252,6 +284,12 @@ class QueryService {
   /// Readers = read-class statements, writers = catalog mutations.
   std::shared_mutex catalog_mu_;
   LruCache<std::string, std::shared_ptr<const Table>> result_cache_;
+
+  /// Live session states for `system.sessions`, keyed by id. Weak
+  /// pointers: a session whose handles are all gone drops out on the
+  /// next snapshot; CloseSession erases eagerly.
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, std::weak_ptr<Session::State>> sessions_;
 
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> queries_total_{0};

@@ -177,6 +177,24 @@ class Parser {
     }
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     MOSAIC_ASSIGN_OR_RETURN(sel.from, ParseIdentifier("relation name"));
+    // Qualified relation names ("system.queries"): keep the dot in
+    // the name — resolution stays a flat catalog lookup, the `system`
+    // schema is just a reserved prefix the planner intercepts.
+    if (Match(TokenType::kDot)) {
+      // Any keyword is a valid name segment here ("system.metrics" —
+      // METRICS lexes as a keyword); nothing structural can follow a
+      // dot, so there is no ambiguity to guard against.
+      const Token& seg = Peek();
+      if (seg.type == TokenType::kIdentifier) {
+        Advance();
+        sel.from += "." + seg.text;
+      } else if (seg.type == TokenType::kKeyword) {
+        Advance();
+        sel.from += "." + ToLower(seg.text);
+      } else {
+        return Error("expected relation name after '.'");
+      }
+    }
     if (MatchKeyword("WHERE")) {
       MOSAIC_ASSIGN_OR_RETURN(sel.where, ParseExpr());
     }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/event_log.h"
 #include "core/database.h"
 #include "storage/durable/serde.h"
 #include "storage/durable/snapshot.h"
@@ -185,6 +186,16 @@ Result<RecoveryInfo> StorageEngine::Recover(core::Database* db) {
   recovery_wal_records_total_->Inc(info.wal_records_applied);
   recovery_us_->Record(info.recovery_us);
   recovery_info_ = info;
+  elog::EventLog::Global().Emit(
+      LogLevel::kInfo, "recovery_complete",
+      {{"data_dir", data_dir_},
+       {"tables", std::to_string(info.tables)},
+       {"populations", std::to_string(info.populations)},
+       {"samples", std::to_string(info.samples)},
+       {"snapshot_loaded", info.snapshot_loaded ? "true" : "false"},
+       {"wal_records_applied", std::to_string(info.wal_records_applied)},
+       {"wal_tail_truncated", info.wal_tail_truncated ? "true" : "false"},
+       {"recovery_us", std::to_string(info.recovery_us)}});
   return info;
 }
 
@@ -314,6 +325,11 @@ Status StorageEngine::CommitSnapshot(PendingSnapshot pending) {
   snapshots_total_->Inc();
   snapshot_bytes_total_->Inc(pending.image.size());
   snapshot_write_us_->Record(NowUs() - start_us);
+  elog::EventLog::Global().Emit(
+      LogLevel::kInfo, "snapshot_written",
+      {{"file", SnapshotFileName(pending.next_wal_seq)},
+       {"bytes", std::to_string(pending.image.size())},
+       {"write_us", std::to_string(NowUs() - start_us)}});
   // Only after the new snapshot is durable do its predecessors (and
   // the WAL generations it swallowed) become garbage.
   return GarbageCollect(pending.next_wal_seq);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -178,6 +179,70 @@ TEST(Registry, ResetForTestingZeroesButKeepsRegistration) {
   EXPECT_EQ(c->Value(), 0u);
   EXPECT_EQ(r.HistogramSnapshots().at("h").count, 0u);
   EXPECT_EQ(r.GetCounter("c"), c);  // same object survives
+}
+
+TEST(Registry, RenderPrometheusGoldenOutput) {
+  // Exact byte-for-byte exposition for a registry with a HELP'd
+  // counter, a bare counter, and a gauge. Counters render before
+  // gauges, each group name-sorted, so the output is deterministic.
+  Registry r;
+  r.GetCounter("mosaic_queries_total", "Total statements executed.")->Inc(7);
+  r.GetCounter("mosaic_cache_hits_total")->Inc(2);
+  r.GetGauge("mosaic_connections_open", "Open client connections.")->Set(3);
+  const std::string expected =
+      "# TYPE mosaic_cache_hits_total counter\n"
+      "mosaic_cache_hits_total 2\n"
+      "# HELP mosaic_queries_total Total statements executed.\n"
+      "# TYPE mosaic_queries_total counter\n"
+      "mosaic_queries_total 7\n"
+      "# HELP mosaic_connections_open Open client connections.\n"
+      "# TYPE mosaic_connections_open gauge\n"
+      "mosaic_connections_open 3\n";
+  EXPECT_EQ(r.RenderPrometheus(), expected);
+}
+
+TEST(Registry, PrometheusNameSanitizesTheCharset) {
+  EXPECT_EQ(PrometheusName("mosaic_queries_total"), "mosaic_queries_total");
+  EXPECT_EQ(PrometheusName("exec.batch.rows"), "exec_batch_rows");
+  EXPECT_EQ(PrometheusName("latency-us (p99)"), "latency_us__p99_");
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");  // legal first char forced
+  EXPECT_EQ(PrometheusName(""), "_");
+  EXPECT_EQ(PrometheusName("ok:colons_are:legal"), "ok:colons_are:legal");
+  // Non-ASCII bytes are out of charset regardless of locale.
+  EXPECT_EQ(PrometheusName("caf\xc3\xa9"), "caf__");
+}
+
+TEST(Registry, PrometheusHelpEscapesBackslashAndNewline) {
+  EXPECT_EQ(PrometheusHelpEscape("plain help"), "plain help");
+  EXPECT_EQ(PrometheusHelpEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(PrometheusHelpEscape("a\\b"), "a\\\\b");
+  // A hostile name and help still produce a parseable exposition.
+  Registry r;
+  r.GetCounter("bad name\n", "multi\nline \\ help")->Inc(1);
+  const std::string text = r.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP bad_name_ multi\\nline \\\\ help\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bad_name_ 1\n"), std::string::npos);
+  // No raw newline sneaks into the middle of a line: every line is a
+  // comment or exactly "name value".
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+  }
+}
+
+TEST(Registry, FirstNonEmptyHelpWins) {
+  Registry r;
+  r.GetCounter("c");  // hot-path lookup without help
+  r.GetCounter("c", "the real help");
+  r.GetCounter("c", "a different help");  // ignored: first non-empty wins
+  EXPECT_NE(r.RenderPrometheus().find("# HELP c the real help\n"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -391,6 +391,110 @@ TEST_F(NetE2ETest, ConnectionLimitRefusesExtraClients) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace propagation across the wire (protocol minor 2)
+// ---------------------------------------------------------------------------
+
+TEST_F(NetE2ETest, RemoteExplainAnalyzeCarriesClientTraceId) {
+  StartServer();
+  Client client = Connect();
+  EXPECT_GE(client.server_minor_version(), 2u);
+
+  TraceContext ctx;
+  ctx.trace_id = 0x4242deadbeef4242ull;
+  ctx.sampled = true;
+  auto r = client.Query(
+      "EXPLAIN ANALYZE SELECT CLOSED color, COUNT(*) AS c FROM Things "
+      "GROUP BY color",
+      ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The reply is the server-side span tree: (span, start_us,
+  // duration_us, detail) with the client's trace id stamped on the
+  // statement span's detail.
+  ASSERT_GE(r->num_columns(), 4u);
+  EXPECT_EQ(r->schema().columns()[0].name, "span");
+  ASSERT_GT(r->num_rows(), 1u) << "expected more than a root span";
+  bool found = false;
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    if (r->GetValue(row, 3).AsString().find("trace_id=4242deadbeef4242") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "client trace_id missing from server span tree";
+  ASSERT_TRUE(client.Close().ok());
+}
+
+TEST_F(NetE2ETest, SampledQueriesLandInSystemQueriesWithTheirTraceId) {
+  StartServer();
+  Client client = Connect();
+  TraceContext ctx;
+  ctx.trace_id = 0x0123456789abcdefull;
+  ctx.sampled = true;
+  auto r = client.Query("SELECT CLOSED COUNT(*) AS c FROM Things", ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // The query log is queryable over the same wire: find our statement
+  // by trace id and check its accounting columns.
+  auto log = client.Query(
+      "SELECT sql, status, wall_us FROM system.queries "
+      "WHERE span = 'statement' AND trace_id = '0123456789abcdef'");
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_EQ(log->num_rows(), 1u);
+  EXPECT_EQ(log->GetValue(0, 0).AsString(),
+            "SELECT CLOSED COUNT(*) AS c FROM Things");
+  EXPECT_EQ(log->GetValue(0, 1).AsString(), "OK");
+  EXPECT_GT(log->GetValue(0, 2).AsInt64(), 0);
+
+  // system.connections sees this live connection and its session.
+  auto conns = client.Query(
+      "SELECT conn_id, session_id FROM system.connections");
+  ASSERT_TRUE(conns.ok()) << conns.status().ToString();
+  EXPECT_GE(conns->num_rows(), 1u);
+  ASSERT_TRUE(client.Close().ok());
+}
+
+TEST_F(NetE2ETest, LegacyClientWithoutTraceTailStillServed) {
+  StartServer();
+  // A minor-<2 client: raw socket, legacy QUERY payload (no trace
+  // context tail). The server must treat it as untraced and reply
+  // normally.
+  const int fd = RawConnect(server_->port());
+  ASSERT_GE(fd, 0);
+  RawSend(fd, EncodeFrame(MessageType::kHello,
+                          EncodeHelloRequest({kProtocolVersion, "legacy"})));
+  auto hello = RawReadFrame(fd);
+  ASSERT_TRUE(hello.ok());
+  ASSERT_EQ(hello->type, MessageType::kHelloOk);
+  RawSend(fd, EncodeFrame(MessageType::kQuery,
+                          EncodeQueryRequest(std::string(
+                              "SELECT CLOSED COUNT(*) AS c FROM Things"))));
+  auto reply = RawReadFrame(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, MessageType::kResult);
+  auto outcome = DecodeResultReply(reply->payload);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->ok()) << outcome->status.ToString();
+  EXPECT_EQ(outcome->table.GetValue(0, 0).AsInt64(), 8);
+
+  // A torn trace tail (legacy payload + garbage shorter than a full
+  // context) is a protocol error, answered in-band.
+  RawSend(fd,
+          EncodeFrame(MessageType::kQuery,
+                      EncodeQueryRequest(std::string("SELECT 1")) +
+                          std::string(5, '\x01')));
+  auto err = RawReadFrame(fd);
+  ASSERT_TRUE(err.ok());
+  EXPECT_TRUE(err->type == MessageType::kError ||
+              err->type == MessageType::kResult);
+  if (err->type == MessageType::kResult) {
+    auto torn = DecodeResultReply(err->payload);
+    ASSERT_TRUE(torn.ok());
+    EXPECT_FALSE(torn->ok());
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
 // Graceful drain
 // ---------------------------------------------------------------------------
 

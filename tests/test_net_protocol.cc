@@ -272,7 +272,8 @@ TEST(WireCodec, MessagesRoundTrip) {
   const std::vector<std::string> sqls = {"SELECT 1", "", "SHOW TABLES"};
   auto batch2 = DecodeBatchRequest(EncodeBatchRequest(sqls));
   ASSERT_TRUE(batch2.ok());
-  EXPECT_EQ(*batch2, sqls);
+  EXPECT_EQ(batch2->sqls, sqls);
+  EXPECT_TRUE(batch2->trace.empty());
 
   StatsSnapshot stats;
   stats.queries_total = 101;
@@ -468,6 +469,138 @@ TEST(WireCodecFuzz, TruncatedExtendedStatsNeverCrash) {
       }
     }
     (void)DecodeStatsReply(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol minor 2: trace context appended to QUERY / BATCH
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, QueryRequestRoundTripsTraceContext) {
+  TraceContext ctx;
+  ctx.trace_id = 0xdeadbeefcafef00dull;
+  ctx.parent_span_id = 42;
+  ctx.sampled = true;
+  auto decoded =
+      DecodeQueryRequest(EncodeQueryRequest(QueryRequest{"SELECT 1", ctx}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sql, "SELECT 1");
+  EXPECT_EQ(decoded->trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(decoded->trace.parent_span_id, 42u);
+  EXPECT_TRUE(decoded->trace.sampled);
+
+  TraceContext none;
+  auto plain =
+      DecodeQueryRequest(EncodeQueryRequest(QueryRequest{"SELECT 2", none}));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->trace.empty());
+}
+
+TEST(WireCodec, BatchRequestRoundTripsTraceContext) {
+  TraceContext ctx;
+  ctx.trace_id = 0x1122334455667788ull;
+  ctx.sampled = true;
+  const std::vector<std::string> sqls = {"SELECT 1", "SHOW TABLES"};
+  auto decoded =
+      DecodeBatchRequest(EncodeBatchRequest(BatchRequest{sqls, ctx}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sqls, sqls);
+  EXPECT_EQ(decoded->trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(decoded->trace.parent_span_id, 0u);
+  EXPECT_TRUE(decoded->trace.sampled);
+}
+
+TEST(WireCodec, OldClientQueryPayloadDecodesWithEmptyTrace) {
+  // A minor-<2 client encodes just the SQL string — the legacy
+  // overload produces exactly those bytes. A minor-2 server must
+  // accept it and see an absent (all-default) trace context.
+  const std::string legacy = EncodeQueryRequest(std::string("SELECT 1"));
+  auto decoded = DecodeQueryRequest(legacy);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sql, "SELECT 1");
+  EXPECT_TRUE(decoded->trace.empty());
+
+  const std::vector<std::string> sqls = {"SELECT 1"};
+  auto batch = DecodeBatchRequest(EncodeBatchRequest(sqls));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->trace.empty());
+
+  // The legacy and the empty-context encodings are byte-identical:
+  // a minor-2 client talking to a minor-<2 server sends frames that
+  // old server already understands.
+  EXPECT_EQ(legacy, EncodeQueryRequest(QueryRequest{"SELECT 1", {}}));
+}
+
+TEST(WireCodec, PartialTraceContextTailIsRejected) {
+  TraceContext ctx;
+  ctx.trace_id = 0xabc;
+  ctx.sampled = true;
+  const std::string full =
+      EncodeQueryRequest(QueryRequest{"SELECT 1", ctx});
+  // Dropping 1..kTraceContextBytes-1 tail bytes leaves a torn context:
+  // neither absent nor complete. That is a framing error, not a
+  // silent fallback.
+  for (size_t drop = 1; drop < kTraceContextBytes; ++drop) {
+    auto decoded = DecodeQueryRequest(
+        std::string_view(full).substr(0, full.size() - drop));
+    EXPECT_FALSE(decoded.ok()) << "drop=" << drop;
+  }
+  // Dropping the whole tail reproduces a legacy frame: accepted.
+  auto legacy = DecodeQueryRequest(
+      std::string_view(full).substr(0, full.size() - kTraceContextBytes));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_TRUE(legacy->trace.empty());
+}
+
+TEST(WireCodec, ExtraTailBeyondTraceContextIsIgnored) {
+  // A hypothetical minor-3 client may append more fields after the
+  // trace context; a minor-2 server reads what it knows and ignores
+  // the rest.
+  TraceContext ctx;
+  ctx.trace_id = 99;
+  std::string payload = EncodeQueryRequest(QueryRequest{"SELECT 1", ctx});
+  payload += std::string(11, '\x5a');
+  auto decoded = DecodeQueryRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sql, "SELECT 1");
+  EXPECT_EQ(decoded->trace.trace_id, 99u);
+}
+
+TEST(WireCodecFuzz, MutatedTracedRequestsNeverCrash) {
+  std::mt19937 rng(424242);
+  TraceContext ctx;
+  ctx.trace_id = 0xfeedface;
+  ctx.parent_span_id = 7;
+  ctx.sampled = true;
+  const std::string query_payload =
+      EncodeQueryRequest(QueryRequest{"SELECT a FROM t WHERE x > 1", ctx});
+  const std::string batch_payload = EncodeBatchRequest(
+      BatchRequest{{"SELECT 1", "SELECT 2", "EXPLAIN ANALYZE SELECT 3"},
+                   ctx});
+  auto mutate = [&rng](std::string s) {
+    if (s.empty()) return s;
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0) {
+      s.resize(rng() % s.size());  // truncate (tears the trace tail)
+    } else if (op == 1) {
+      s[rng() % s.size()] = static_cast<char>(rng());  // flip a byte
+    } else {
+      for (int i = 0; i < 8 && !s.empty(); ++i) {
+        s[rng() % s.size()] = static_cast<char>(rng());
+      }
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    (void)DecodeQueryRequest(mutate(query_payload));
+    (void)DecodeBatchRequest(mutate(batch_payload));
+  }
+  // Exhaustive truncation sweep as well.
+  for (size_t len = 0; len <= query_payload.size(); ++len) {
+    (void)DecodeQueryRequest(std::string_view(query_payload).substr(0, len));
+  }
+  for (size_t len = 0; len <= batch_payload.size(); ++len) {
+    (void)DecodeBatchRequest(std::string_view(batch_payload).substr(0, len));
   }
 }
 

@@ -558,24 +558,35 @@ TEST_F(ServiceTest, ExplainAnalyzeReturnsSpanTree) {
 }
 
 TEST_F(ServiceTest, ExplainAnalyzeSpansAccountForMostOfTheWallTime) {
-  auto r = service_->Execute(
-      "EXPLAIN ANALYZE SELECT CLOSED color, COUNT(*) FROM Things "
-      "GROUP BY color ORDER BY color");
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
-  // Root duration ~ wall time; its direct children (parse,
-  // canonicalize, lock_wait, execute, ...) must cover >= 90% of it.
-  // Depth is encoded as two-space indentation in the span column.
-  const int64_t wall = r->GetValue(0, 2).AsInt64();
+  // The whole statement runs in ~100us, so a single scheduler
+  // preemption landing between two spans blows the coverage bar for
+  // that attempt (~8% of runs on a loaded 1-core host, at the seed
+  // too). A systematic coverage hole fails every attempt, so retry a
+  // few times and require the strict bar once.
+  int64_t wall = 0;
   int64_t children = 0;
-  for (size_t row = 1; row < r->num_rows(); ++row) {
-    const std::string span = r->GetValue(row, 0).AsString();
-    const size_t indent = span.find_first_not_of(' ');
-    if (indent == 2) children += r->GetValue(row, 2).AsInt64();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto r = service_->Execute(
+        "EXPLAIN ANALYZE SELECT CLOSED color, COUNT(*) FROM Things "
+        "GROUP BY color ORDER BY color");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Root duration ~ wall time; its direct children (parse,
+    // canonicalize, lock_wait, execute, ...) must cover >= 90% of it.
+    // Depth is encoded as two-space indentation in the span column.
+    wall = r->GetValue(0, 2).AsInt64();
+    children = 0;
+    for (size_t row = 1; row < r->num_rows(); ++row) {
+      const std::string span = r->GetValue(row, 0).AsString();
+      const size_t indent = span.find_first_not_of(' ');
+      if (indent == 2) children += r->GetValue(row, 2).AsInt64();
+    }
+    // Span timestamps are microsecond-granular, so allow a small
+    // absolute slack on top of the 90% bar for very fast statements.
+    if (children * 10 + 50 >= wall * 9) return;
   }
-  // Span timestamps are microsecond-granular, so allow a small
-  // absolute slack on top of the 90% bar for very fast statements.
   EXPECT_GE(children * 10 + 50, wall * 9)
-      << "children cover " << children << "us of " << wall << "us";
+      << "children cover " << children << "us of " << wall
+      << "us on every attempt";
 }
 
 TEST_F(ServiceTest, TracedExecutionIsBitIdenticalToUntraced) {

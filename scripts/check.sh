@@ -4,8 +4,10 @@
 # (MOSAIC_SANITIZE=address), and a ThreadSanitizer pass over the
 # concurrency-sensitive tests (the query service routes reads through
 # the shared-lock batch executor and morsels fan intra-query work onto
-# the shared request pool, so the TSan leg is not optional). Pass
-# "fast" as $1 to skip the TSan leg for quick local iterations.
+# the shared request pool, so the TSan leg is not optional). A static
+# leg (lint gate + Clang thread-safety analysis + clang-tidy) runs
+# first when the tooling is present. Pass "fast" as $1 to skip the
+# static and TSan legs for quick local iterations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -141,6 +143,72 @@ run_crash_recovery() {
   rm -rf "${data_dir}"
   echo "${name}: crash-recovery OK"
 }
+
+# Static-analysis leg: the repo-invariant lint gate, its self-tests,
+# and (when a Clang toolchain is present) the thread-safety analysis
+# build plus clang-tidy over changed files. Runs by default; `fast`
+# skips it like the TSan leg. Every failure names the violated rule:
+# lint.py prints `path:line: [rule] ...`, the analysis build fails on
+# -Werror=thread-safety, and tidy findings carry their check name.
+run_static() {
+  echo "=== static: lint gate (scripts/lint.py) ==="
+  python3 scripts/lint.py src
+  echo "=== static: lint self-tests ==="
+  python3 scripts/test_lint.py
+
+  # The annotations must stay a no-op outside Clang: the deliberate
+  # thread-safety violation below is well-formed C++ and has to pass a
+  # plain GCC syntax check.
+  echo "=== static: GCC no-op check on the compile-fail fixture ==="
+  g++ -std=c++17 -fsyntax-only -Isrc tests/compile_fail/unguarded_access.cc
+
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "static: clang++ not found; skipping thread-safety analysis" \
+         "and clang-tidy (annotations compile as no-ops here)" >&2
+    return 0
+  fi
+
+  echo "=== static: Clang thread-safety analysis build ==="
+  cmake -B build-analyze -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER=clang++ -DMOSAIC_ANALYZE=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build-analyze -j "${JOBS}"
+
+  # The negative control: a deliberately unguarded access must FAIL
+  # under the analysis, or the whole leg is a rubber stamp.
+  echo "=== static: compile-fail check (unguarded access must not build) ==="
+  if clang++ -std=c++17 -fsyntax-only -Isrc \
+       -Wthread-safety -Werror=thread-safety \
+       tests/compile_fail/unguarded_access.cc 2>/dev/null; then
+    echo "ERROR: rule thread-safety-analysis did not fire on" \
+         "tests/compile_fail/unguarded_access.cc" >&2
+    exit 1
+  fi
+  echo "compile-fail fixture rejected as expected"
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # Tidy only what this branch touched: the full tree takes minutes
+    # and legacy findings would drown new ones. Fall back to the last
+    # commit's files when there is no merge base (shallow CI clones).
+    echo "=== static: clang-tidy over changed files ==="
+    local changed
+    changed="$( (git diff --name-only --diff-filter=d origin/main... 2>/dev/null \
+                 || git diff --name-only --diff-filter=d HEAD~1 2>/dev/null \
+                 || true) | grep -E '^src/.*\.cc$' || true)"
+    if [[ -z "${changed}" ]]; then
+      echo "static: no changed src/*.cc files; skipping clang-tidy"
+    else
+      # shellcheck disable=SC2086
+      clang-tidy -p build-analyze --quiet ${changed}
+    fi
+  else
+    echo "static: clang-tidy not found; skipping" >&2
+  fi
+}
+
+if [[ "${1:-}" != "fast" ]]; then
+  run_static
+fi
 
 run_suite "Release" build-release -DCMAKE_BUILD_TYPE=Release
 run_server_e2e "Release" build-release

@@ -29,7 +29,8 @@ class AlignedAllocator {
 
   AlignedAllocator() = default;
   template <typename U>
-  // NOLINTNEXTLINE(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): converting rebind
+  // copy, required implicit by the allocator protocol.
   AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
 
   template <typename U>

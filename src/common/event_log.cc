@@ -66,14 +66,16 @@ std::string JsonEscape(const std::string& s) {
 }
 
 EventLog& EventLog::Global() {
-  static EventLog* log = new EventLog();  // leaked: outlives all threads
+  // lint:allow naked-new: intentionally leaked singleton so events
+  // emitted during static destruction never touch a dead object.
+  static EventLog* log = new EventLog();
   return *log;
 }
 
 EventLog::~EventLog() { Close(); }
 
 Status EventLog::Open(const std::string& path, uint64_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -94,7 +96,7 @@ Status EventLog::Open(const std::string& path, uint64_t max_bytes) {
 }
 
 void EventLog::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -126,7 +128,7 @@ void EventLog::Emit(LogLevel level, const std::string& event,
   }
   line += "}\n";
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;  // closed between the check and here
   if (bytes_ + line.size() > max_bytes_ && bytes_ > 0) {
     // Rotate: the live file becomes <path>.1 (clobbering the previous

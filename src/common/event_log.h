@@ -27,13 +27,13 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 
 namespace mosaic {
 namespace elog {
@@ -59,7 +59,7 @@ class EventLog {
   /// Open (appending) the sink at `path`, rotating to <path>.1 when
   /// the file would exceed `max_bytes`. Replaces any previously open
   /// sink.
-  Status Open(const std::string& path, uint64_t max_bytes = kDefaultMaxBytes);
+  [[nodiscard]] Status Open(const std::string& path, uint64_t max_bytes = kDefaultMaxBytes);
 
   /// Flush and close; Emit becomes a no-op again.
   void Close();
@@ -86,11 +86,11 @@ class EventLog {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> events_written_{0};
   std::atomic<uint64_t> rotations_{0};
-  std::mutex mu_;
-  std::FILE* file_ = nullptr;
-  std::string path_;
-  uint64_t max_bytes_ = kDefaultMaxBytes;
-  uint64_t bytes_ = 0;  ///< size of the live file
+  Mutex mu_;
+  std::FILE* file_ GUARDED_BY(mu_) = nullptr;
+  std::string path_ GUARDED_BY(mu_);
+  uint64_t max_bytes_ GUARDED_BY(mu_) = kDefaultMaxBytes;
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;  ///< size of the live file
 };
 
 }  // namespace elog

@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
-#include <mutex>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 
@@ -15,8 +16,10 @@ LogLevel g_level = LogLevel::kInfo;
 
 /// Serializes emission so concurrent server/pool threads never
 /// interleave partial lines.
-std::mutex& EmitMutex() {
-  static std::mutex* mu = new std::mutex();  // leaked: outlives all threads
+Mutex& EmitMutex() {
+  // Leaked so it outlives all threads; a function-local static object
+  // would be destroyed before detached pool threads stop logging.
+  static Mutex* mu = new Mutex();  // lint:allow naked-new: intentional leak
   return *mu;
 }
 
@@ -75,7 +78,7 @@ LogMessage::~LogMessage() {
   // One write(2) per line under the mutex: the mutex orders lines
   // within this process, the single syscall keeps a line contiguous
   // even when stderr is shared with child processes.
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(EmitMutex());
   ssize_t ignored = ::write(STDERR_FILENO, line.data(), line.size());
   (void)ignored;
 }

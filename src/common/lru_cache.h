@@ -10,11 +10,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 
@@ -45,7 +46,7 @@ class LruCache {
 
   /// Returns the value and refreshes recency, or nullopt on miss.
   std::optional<V> Get(const K& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
@@ -60,7 +61,7 @@ class LruCache {
   /// re-check in double-checked locking, where the first Get already
   /// accounted for the lookup.
   std::optional<V> Peek(const K& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) return std::nullopt;
     order_.splice(order_.begin(), order_, it->second);
@@ -70,7 +71,7 @@ class LruCache {
   /// Insert or overwrite; evicts the least-recently-used entry when
   /// over capacity.
   void Put(const K& key, V value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (capacity_ == 0) return;
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -90,7 +91,7 @@ class LruCache {
 
   /// Drops one entry if present.
   void Erase(const K& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) return;
     order_.erase(it->second);
@@ -100,7 +101,7 @@ class LruCache {
 
   /// Drops every entry (counted as invalidations, not evictions).
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.invalidations += order_.size();
     order_.clear();
     index_.clear();
@@ -109,7 +110,7 @@ class LruCache {
   /// Change the bound; evicts LRU entries if shrinking below the
   /// current size.
   void set_capacity(size_t capacity) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     capacity_ = capacity;
     while (order_.size() > capacity_) {
       index_.erase(order_.back().first);
@@ -119,12 +120,12 @@ class LruCache {
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return order_.size();
   }
 
   CacheStats Stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CacheStats out = stats_;
     out.entries = order_.size();
     out.capacity = capacity_;
@@ -132,12 +133,12 @@ class LruCache {
   }
 
  private:
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::list<std::pair<K, V>> order_;  ///< front = most recent
+  mutable Mutex mu_;
+  size_t capacity_ GUARDED_BY(mu_);
+  std::list<std::pair<K, V>> order_ GUARDED_BY(mu_);  ///< front = most recent
   std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
-      index_;
-  CacheStats stats_;
+      index_ GUARDED_BY(mu_);
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace mosaic

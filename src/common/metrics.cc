@@ -81,7 +81,9 @@ void Histogram::Reset() {
 // ---------------------------------------------------------------------------
 
 Registry& Registry::Global() {
-  static Registry* g = new Registry();  // leaked: outlives all threads
+  // lint:allow naked-new: intentionally leaked singleton, outlives all
+  // threads so metrics recorded during static destruction stay safe.
+  static Registry* g = new Registry();
   return *g;
 }
 
@@ -94,7 +96,7 @@ void Registry::SetHelpLocked(const std::string& name,
 
 Counter* Registry::GetCounter(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SetHelpLocked(name, help);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -102,7 +104,7 @@ Counter* Registry::GetCounter(const std::string& name,
 }
 
 Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SetHelpLocked(name, help);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -111,7 +113,7 @@ Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
 
 Histogram* Registry::GetHistogram(const std::string& name,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SetHelpLocked(name, help);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
@@ -119,14 +121,14 @@ Histogram* Registry::GetHistogram(const std::string& name,
 }
 
 std::map<std::string, uint64_t> Registry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->Value();
   return out;
 }
 
 std::map<std::string, int64_t> Registry::GaugeValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, g] : gauges_) out[name] = g->Value();
   return out;
@@ -134,7 +136,7 @@ std::map<std::string, int64_t> Registry::GaugeValues() const {
 
 std::map<std::string, HistogramSnapshot> Registry::HistogramSnapshots()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, HistogramSnapshot> out;
   for (const auto& [name, h] : histograms_) out[name] = h->Snapshot();
   return out;
@@ -174,11 +176,15 @@ std::string PrometheusHelpEscape(const std::string& help) {
 }
 
 std::string Registry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
+  // Local alias: the lambda body is analyzed as its own function with
+  // no capabilities held, so it must not touch the guarded field
+  // directly.
+  const std::map<std::string, std::string>& helps = helps_;
   auto help_line = [&](const std::string& name, const std::string& n) {
-    auto it = helps_.find(name);
-    if (it != helps_.end() && !it->second.empty()) {
+    auto it = helps.find(name);
+    if (it != helps.end() && !it->second.empty()) {
       out << "# HELP " << n << " " << PrometheusHelpEscape(it->second)
           << "\n";
     }
@@ -220,7 +226,7 @@ std::string Registry::RenderPrometheus() const {
 }
 
 void Registry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

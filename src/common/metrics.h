@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 namespace metrics {
@@ -135,13 +136,15 @@ class Registry {
   void ResetForTesting();
 
  private:
-  void SetHelpLocked(const std::string& name, const std::string& help);
+  void SetHelpLocked(const std::string& name, const std::string& help)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> helps_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::string> helps_ GUARDED_BY(mu_);
 };
 
 /// Sanitize a metric name to the Prometheus text-format charset:

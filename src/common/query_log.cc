@@ -6,7 +6,9 @@ namespace mosaic {
 namespace qlog {
 
 QueryLog& QueryLog::Global() {
-  static QueryLog* log = new QueryLog();  // leaked: outlives all threads
+  // lint:allow naked-new: intentionally leaked singleton, outlives all
+  // threads (records can arrive during static destruction).
+  static QueryLog* log = new QueryLog();
   return *log;
 }
 
@@ -21,7 +23,7 @@ uint64_t QueryLog::Append(QueryRecord record) {
   const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   record.query_id = id;
   Slot& slot = *slots_[(id - 1) % slots_.size()];
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   // Wraparound race: two writers 'capacity' apart can contend for the
   // slot; keep whichever record is newer so ids never go backwards
   // within a slot.
@@ -36,7 +38,7 @@ std::vector<QueryRecord> QueryLog::Snapshot() const {
   std::vector<QueryRecord> out;
   out.reserve(slots_.size());
   for (const auto& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot->mu);
+    MutexLock lock(slot->mu);
     if (slot->seq != 0) out.push_back(slot->record);
   }
   std::sort(out.begin(), out.end(),
@@ -48,7 +50,7 @@ std::vector<QueryRecord> QueryLog::Snapshot() const {
 
 void QueryLog::ResetForTesting() {
   for (auto& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot->mu);
+    MutexLock lock(slot->mu);
     slot->seq = 0;
     slot->record = QueryRecord();
   }

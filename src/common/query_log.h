@@ -19,9 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 namespace qlog {
@@ -89,9 +90,9 @@ class QueryLog {
 
  private:
   struct Slot {
-    mutable std::mutex mu;
-    uint64_t seq = 0;  ///< 0 = never written
-    QueryRecord record;
+    mutable Mutex mu;
+    uint64_t seq GUARDED_BY(mu) = 0;  ///< 0 = never written
+    QueryRecord record GUARDED_BY(mu);
   };
 
   std::atomic<uint64_t> next_id_{1};

@@ -35,45 +35,49 @@ const char* StatusCodeName(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]] on the class makes silently dropping any returned
+/// Status a compiler warning (an error under -Werror builds); discard
+/// deliberately with a `(void)` cast and a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
       : code_(code), msg_(std::move(msg)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status BindError(std::string msg) {
+  [[nodiscard]] static Status BindError(std::string msg) {
     return Status(StatusCode::kBindError, std::move(msg));
   }
-  static Status TypeError(std::string msg) {
+  [[nodiscard]] static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
-  static Status ExecutionError(std::string msg) {
+  [[nodiscard]] static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status NotConverged(std::string msg) {
+  [[nodiscard]] static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
   }
 
@@ -94,8 +98,10 @@ class Status {
 };
 
 /// A value or an error. Moves the value out with ValueOrDie()/operator*.
+/// [[nodiscard]] for the same reason as Status: an ignored Result is
+/// an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {

@@ -30,7 +30,7 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   return true;
 }
 
-Result<uint64_t> ParseUint64(std::string_view s) {
+[[nodiscard]] Result<uint64_t> ParseUint64(std::string_view s) {
   const std::string_view trimmed = Trim(s);
   if (trimmed.empty()) {
     return Status::InvalidArgument("expected a number, got empty string");

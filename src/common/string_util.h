@@ -42,7 +42,7 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// (common/env.h) and the server binaries' flag parsing, so a typo'd
 /// `MOSAIC_MORSELS=1e6` or `--port=80x` fails loudly instead of
 /// silently misconfiguring.
-Result<uint64_t> ParseUint64(std::string_view s);
+[[nodiscard]] Result<uint64_t> ParseUint64(std::string_view s);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)

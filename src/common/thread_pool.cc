@@ -19,40 +19,39 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_worker_.wait(lock,
-                        [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) wake_worker_.Wait(lock);
       if (queue_.empty()) return;  // stopping_ and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --scheduled_;
-      if (scheduled_ == 0) all_done_.notify_all();
+      if (scheduled_ == 0) all_done_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return scheduled_ == 0; });
+  MutexLock lock(mu_);
+  while (scheduled_ != 0) all_done_.Wait(lock);
 }
 
 bool ThreadPool::TryRunOne() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
   }
   task();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --scheduled_;
-    if (scheduled_ == 0) all_done_.notify_all();
+    if (scheduled_ == 0) all_done_.NotifyAll();
   }
   return true;
 }
@@ -64,34 +63,34 @@ void ThreadPool::HelpUntil(const std::function<bool()>& ready) {
     // another worker. Sleep until new work is queued (we might help
     // with it) or a short timeout re-checks `ready` — the awaited
     // completion has no dedicated signal.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!queue_.empty()) continue;
-    wake_worker_.wait_for(lock, std::chrono::milliseconds(1));
+    wake_worker_.WaitFor(lock, std::chrono::milliseconds(1));
   }
   // While waiting we may have consumed a Submit's notify_one that was
   // meant for an idle worker; if work is still queued as we leave,
   // pass the baton on so no task is stranded behind our exit.
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!queue_.empty()) wake_worker_.notify_one();
+  MutexLock lock(mu_);
+  if (!queue_.empty()) wake_worker_.NotifyOne();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     accepting_ = false;
     stopping_ = true;
   }
-  wake_worker_.notify_all();
+  wake_worker_.NotifyAll();
   // join_mu_ makes Shutdown safe to call from several threads: the
   // joinable() check and join() must be atomic per worker.
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  MutexLock join_lock(join_mu_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return scheduled_;
 }
 

@@ -20,16 +20,16 @@
 #ifndef MOSAIC_COMMON_THREAD_POOL_H_
 #define MOSAIC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 
@@ -54,16 +54,16 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!accepting_) {
-        lock.unlock();
+        lock.Unlock();
         (*task)();
         return future;
       }
       queue_.emplace_back([task] { (*task)(); });
       ++scheduled_;
     }
-    wake_worker_.notify_one();
+    wake_worker_.NotifyOne();
     return future;
   }
 
@@ -96,15 +96,18 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::mutex join_mu_;
-  std::condition_variable wake_worker_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  /// Serializes concurrent Shutdown() callers over the join loop.
+  Mutex join_mu_;
+  CondVar wake_worker_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  /// Written only in the constructor (before any sharing), joined
+  /// under join_mu_; num_threads() reads it lock-free.
   std::vector<std::thread> workers_;
-  size_t scheduled_ = 0;  ///< queued + running
-  bool accepting_ = true;
-  bool stopping_ = false;
+  size_t scheduled_ GUARDED_BY(mu_) = 0;  ///< queued + running
+  bool accepting_ GUARDED_BY(mu_) = true;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mosaic

@@ -25,7 +25,7 @@ uint64_t ThreadCpuNs() {
 uint32_t QueryTrace::Begin(uint32_t parent, const std::string& name) {
   uint64_t now = NowUs();
   uint64_t cpu = ThreadCpuNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Span span;
   span.id = static_cast<uint32_t>(spans_.size() + 1);
   span.parent = parent;
@@ -43,7 +43,7 @@ void QueryTrace::End(uint32_t id) {
   // uncovered gap (Begin orders the reads the mirror way).
   uint64_t cpu = ThreadCpuNs();
   uint64_t now = NowUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id == 0 || id > spans_.size()) return;
   Span& span = spans_[id - 1];
   if (span.end_us != 0) return;
@@ -57,7 +57,7 @@ void QueryTrace::End(uint32_t id) {
 
 void QueryTrace::AddTimed(uint32_t parent, const std::string& name,
                           uint64_t start_us, uint64_t end_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Span span;
   span.id = static_cast<uint32_t>(spans_.size() + 1);
   span.parent = parent;
@@ -69,7 +69,7 @@ void QueryTrace::AddTimed(uint32_t parent, const std::string& name,
 }
 
 void QueryTrace::Note(uint32_t id, const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id == 0 || id > spans_.size()) return;
   Span& span = spans_[id - 1];
   if (!span.note.empty()) span.note += ' ';
@@ -84,7 +84,7 @@ uint64_t QueryTrace::NowUs() const {
 }
 
 std::vector<Span> QueryTrace::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 

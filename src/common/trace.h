@@ -22,9 +22,10 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 namespace trace {
@@ -124,11 +125,11 @@ class QueryTrace {
   const std::chrono::steady_clock::time_point epoch_;
   uint64_t trace_id_ = 0;
   ResourceCounters counters_;
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ GUARDED_BY(mu_);
   /// Thread-CPU clock reading captured at Begin, consumed by End on
   /// the same thread; 0 for AddTimed spans (no live interval).
-  std::vector<uint64_t> cpu_start_ns_;
+  std::vector<uint64_t> cpu_start_ns_ GUARDED_BY(mu_);
 };
 
 /// Null-safe counter bumps: the instrumented executor paths call

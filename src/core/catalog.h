@@ -59,13 +59,13 @@ struct SampleInfo {
 /// a table and a population with the same name).
 class Catalog {
  public:
-  Status AddPopulation(PopulationInfo population);
-  Status AddSample(SampleInfo sample);
-  Status AddTable(const std::string& name, Table table);
+  [[nodiscard]] Status AddPopulation(PopulationInfo population);
+  [[nodiscard]] Status AddSample(SampleInfo sample);
+  [[nodiscard]] Status AddTable(const std::string& name, Table table);
 
-  Result<PopulationInfo*> GetPopulation(const std::string& name);
-  Result<SampleInfo*> GetSample(const std::string& name);
-  Result<Table*> GetTable(const std::string& name);
+  [[nodiscard]] Result<PopulationInfo*> GetPopulation(const std::string& name);
+  [[nodiscard]] Result<SampleInfo*> GetSample(const std::string& name);
+  [[nodiscard]] Result<Table*> GetTable(const std::string& name);
 
   bool HasPopulation(const std::string& name) const;
   bool HasSample(const std::string& name) const;
@@ -73,16 +73,16 @@ class Catalog {
   /// Any relation kind registered under this name?
   bool HasName(const std::string& name) const;
 
-  Status DropPopulation(const std::string& name);
-  Status DropSample(const std::string& name);
-  Status DropTable(const std::string& name);
+  [[nodiscard]] Status DropPopulation(const std::string& name);
+  [[nodiscard]] Status DropSample(const std::string& name);
+  [[nodiscard]] Status DropTable(const std::string& name);
   /// Remove one metadata entry (marginal) by name from its population.
-  Status DropMetadata(const std::string& metadata_name);
+  [[nodiscard]] Status DropMetadata(const std::string& metadata_name);
 
   /// The unique global population; errors when none or several exist
   /// (the paper assumes a single GP; multiple GPs are future work,
   /// §7).
-  Result<PopulationInfo*> GlobalPopulation();
+  [[nodiscard]] Result<PopulationInfo*> GlobalPopulation();
 
   /// All samples drawn from the given population.
   std::vector<SampleInfo*> SamplesOf(const std::string& population);

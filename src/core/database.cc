@@ -40,7 +40,7 @@ Table TailRows(const Table& table, size_t begin) {
 }
 
 /// Attach a weight column to a copy of `data`.
-Result<Table> WithWeights(const Table& data,
+[[nodiscard]] Result<Table> WithWeights(const Table& data,
                           const std::vector<double>& weights) {
   if (data.schema().FindColumn(kWeightColumn)) {
     return Status::InvalidArgument(
@@ -55,7 +55,7 @@ Result<Table> WithWeights(const Table& data,
 /// Zero-copy counterpart of WithWeights: a view over `data`'s columns
 /// plus a span over the external weight vector. `weights` must
 /// outlive the view.
-Result<TableView> MakeWeightedView(const Table& data,
+[[nodiscard]] Result<TableView> MakeWeightedView(const Table& data,
                                    const std::vector<double>& weights) {
   if (data.schema().FindColumn(kWeightColumn)) {
     return Status::InvalidArgument(
@@ -70,7 +70,7 @@ Result<TableView> MakeWeightedView(const Table& data,
 
 /// Selection of `view`'s rows belonging to the population (all rows
 /// for the GP or a predicate-less population).
-Result<SelectionVector> PopulationSelection(const TableView& view,
+[[nodiscard]] Result<SelectionVector> PopulationSelection(const TableView& view,
                                             const PopulationInfo& population) {
   if (population.global || population.predicate == nullptr) {
     return SelectionVector::All(view.num_rows());
@@ -81,7 +81,7 @@ Result<SelectionVector> PopulationSelection(const TableView& view,
 /// Average numeric cells across several per-run result tables,
 /// keeping only group keys "appearing in all answers" — the paper's
 /// §5.3 variance-reduction rule for multi-sample OPEN answers.
-Result<Table> CombineOpenRuns(const std::vector<Table>& runs,
+[[nodiscard]] Result<Table> CombineOpenRuns(const std::vector<Table>& runs,
                               const sql::SelectStmt& stmt) {
   if (runs.size() == 1) return runs[0];
   const Schema& schema = runs[0].schema();
@@ -172,7 +172,7 @@ Database::Database() : model_cache_(kDefaultModelCacheCapacity) {
 
 void Database::RegisterSystemTable(const std::string& name,
                                    SystemTableProvider provider) {
-  std::lock_guard<std::mutex> lock(system_mu_);
+  MutexLock lock(system_mu_);
   system_tables_[ToLower(name)] = std::move(provider);
 }
 
@@ -199,14 +199,14 @@ Result<Table> Database::ExecuteSystemSelect(const sql::SelectStmt& stmt,
       ToLower(stmt.from).substr(sizeof("system.") - 1);
   SystemTableProvider provider;
   {
-    std::lock_guard<std::mutex> lock(system_mu_);
+    MutexLock lock(system_mu_);
     auto it = system_tables_.find(bare);
     if (it != system_tables_.end()) provider = it->second;
   }
   if (!provider) {
     std::string names;
     {
-      std::lock_guard<std::mutex> lock(system_mu_);
+      MutexLock lock(system_mu_);
       for (const auto& [name, p] : system_tables_) {
         if (!names.empty()) names += ", ";
         names += "system." + name;
@@ -914,11 +914,14 @@ Result<Database::OpenWorldModel> Database::PrepareOpenWorldModel(
   // twice; different keys train concurrently.
   std::shared_ptr<std::mutex> key_mu;
   {
-    std::lock_guard<std::mutex> map_lock(train_mu_);
+    MutexLock map_lock(train_mu_);
     auto& slot = train_mutexes_[cache_key];
     if (slot == nullptr) slot = std::make_shared<std::mutex>();
     key_mu = slot;
   }
+  // Plain std::mutex on purpose: these locks are per-key and dynamic,
+  // guarding a *protocol* (one trainer per key) rather than any named
+  // field, so capability annotations have nothing to attach to.
   std::lock_guard<std::mutex> train_lock(*key_mu);
   if (open_.cache_models) {
     // Peek, not Get: the pre-lock Get already counted this lookup.
@@ -1213,13 +1216,13 @@ Status Database::ExtendWeightsAfterIngest(SampleInfo* sample,
         }
         // log=false: the ingest caller records one combined
         // rows+epoch WAL record covering this publication.
-        PublishWeights(sample, std::move(fitted),
-                       WeightFitInfo{GpIpfFitSignature(rows),
-                                     fit->max_l1_error,
-                                     fit->uncovered_target_mass,
-                                     fit->converged},
-                       /*log=*/false);
-        return Status::OK();
+        return PublishWeights(sample, std::move(fitted),
+                              WeightFitInfo{GpIpfFitSignature(rows),
+                                            fit->max_l1_error,
+                                            fit->uncovered_target_mass,
+                                            fit->converged},
+                              /*log=*/false)
+            .status();
       }
       // A failed fit (e.g. the new rows broke marginal overlap) falls
       // through to the unfitted extension; the next SEMI-OPEN query
@@ -1228,9 +1231,9 @@ Status Database::ExtendWeightsAfterIngest(SampleInfo* sample,
   }
   std::vector<double> extended = prev->weights;
   extended.resize(rows, 1.0);
-  PublishWeights(sample, std::move(extended), WeightFitInfo(),
-                 /*log=*/false);
-  return Status::OK();
+  return PublishWeights(sample, std::move(extended), WeightFitInfo(),
+                        /*log=*/false)
+      .status();
 }
 
 Status Database::IngestSample(const std::string& sample_name,

@@ -32,6 +32,7 @@
 
 #include "common/lru_cache.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/catalog.h"
@@ -96,7 +97,7 @@ class Database {
 
   /// Parse and execute one statement. SELECTs return their result
   /// table; DDL/DML return an empty table.
-  Result<Table> Execute(const std::string& sql);
+  [[nodiscard]] Result<Table> Execute(const std::string& sql);
 
   /// Execute an already-parsed statement (the service layer parses
   /// once for classification and reuses the AST here). May consume
@@ -110,25 +111,25 @@ class Database {
   /// span table; with a caller trace they return the query's rows and
   /// leave rendering to the caller (the service, which owns the
   /// enclosing parse/cache spans).
-  Result<Table> ExecuteParsed(sql::Statement* stmt,
+  [[nodiscard]] Result<Table> ExecuteParsed(sql::Statement* stmt,
                               trace::QueryTrace* trace = nullptr,
                               uint32_t trace_parent = 0);
 
   /// Execute a ';'-separated script, discarding intermediate results;
   /// returns the result of the last statement.
-  Result<Table> ExecuteScript(const std::string& sql);
+  [[nodiscard]] Result<Table> ExecuteScript(const std::string& sql);
 
   // ---- Programmatic API (what the SQL surface is sugar for) -----------
 
   /// Register an auxiliary table.
-  Status CreateTable(const std::string& name, Table table);
+  [[nodiscard]] Status CreateTable(const std::string& name, Table table);
 
   /// Append rows (matching the sample schema) to a sample relation;
   /// new tuples get weight 1.
-  Status IngestSample(const std::string& sample, const Table& rows);
+  [[nodiscard]] Status IngestSample(const std::string& sample, const Table& rows);
 
   /// Attach a marginal to a population as named metadata.
-  Status RegisterMarginal(const std::string& population,
+  [[nodiscard]] Status RegisterMarginal(const std::string& population,
                           const std::string& metadata_name,
                           stats::Marginal marginal);
 
@@ -141,7 +142,7 @@ class Database {
   /// nothing is recomputed or republished, so concurrent identical
   /// refits collapse to one epoch. Thread-safe against concurrent
   /// readers — they keep the epoch they pinned.
-  Result<stats::IpfReport> ReweightForPopulation(
+  [[nodiscard]] Result<stats::IpfReport> ReweightForPopulation(
       const std::string& population);
 
   /// Cache-key stamp for an already-parsed statement: the catalog
@@ -192,7 +193,7 @@ class Database {
 
   /// Recovery-only: install a recovered weight epoch (id + fit
   /// provenance intact) on the named sample. Never runs a fit.
-  Status RestoreSampleEpoch(const std::string& sample, WeightEpoch epoch);
+  [[nodiscard]] Status RestoreSampleEpoch(const std::string& sample, WeightEpoch epoch);
 
   /// Aggregate counters over the versioned weight stores.
   struct WeightCounters {
@@ -206,7 +207,7 @@ class Database {
   /// Train (or fetch the cached) M-SWG for the population and
   /// generate one weighted open-world table: `rows` generated tuples,
   /// each carrying weight population_size / rows in column "weight".
-  Result<Table> GenerateOpenWorldTable(const std::string& population,
+  [[nodiscard]] Result<Table> GenerateOpenWorldTable(const std::string& population,
                                        size_t rows, uint64_t seed);
 
   Catalog* catalog() { return &catalog_; }
@@ -258,7 +259,7 @@ class Database {
   /// they keep their shared_ptr to the model they already fetched.
   void InvalidateModelCache() {
     model_cache_.Clear();
-    std::lock_guard<std::mutex> lock(train_mu_);
+    MutexLock lock(train_mu_);
     train_mutexes_.clear();
   }
 
@@ -315,42 +316,42 @@ class Database {
   /// base every batch-path SELECT builds on.
   exec::ExecOptions BatchExecOptions() const;
 
-  Result<Table> ExecuteStatement(sql::Statement* stmt,
+  [[nodiscard]] Result<Table> ExecuteStatement(sql::Statement* stmt,
                                  trace::QueryTrace* trace = nullptr,
                                  uint32_t trace_parent = 0);
-  Result<Table> ExecuteSelect(const sql::SelectStmt& stmt,
+  [[nodiscard]] Result<Table> ExecuteSelect(const sql::SelectStmt& stmt,
                               trace::QueryTrace* trace = nullptr,
                               uint32_t trace_parent = 0);
-  Result<Table> ExecutePopulationQuery(const sql::SelectStmt& stmt,
+  [[nodiscard]] Result<Table> ExecutePopulationQuery(const sql::SelectStmt& stmt,
                                        PopulationInfo* population,
                                        trace::QueryTrace* trace = nullptr,
                                        uint32_t trace_parent = 0);
-  Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
-  Status ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt);
-  Status ExecuteCreateSample(sql::CreateSampleStmt* stmt);
-  Status ExecuteCreateMetadata(sql::CreateMetadataStmt* stmt);
-  Status ExecuteInsert(const sql::InsertStmt& stmt);
-  Status ExecuteCopy(const sql::CopyStmt& stmt);
-  Status ExecuteDrop(const sql::DropStmt& stmt);
-  Status ExecuteUpdate(const sql::UpdateStmt& stmt);
-  Result<Table> ExecuteShow(const sql::ShowStmt& stmt);
+  [[nodiscard]] Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
+  [[nodiscard]] Status ExecuteCreatePopulation(sql::CreatePopulationStmt* stmt);
+  [[nodiscard]] Status ExecuteCreateSample(sql::CreateSampleStmt* stmt);
+  [[nodiscard]] Status ExecuteCreateMetadata(sql::CreateMetadataStmt* stmt);
+  [[nodiscard]] Status ExecuteInsert(const sql::InsertStmt& stmt);
+  [[nodiscard]] Status ExecuteCopy(const sql::CopyStmt& stmt);
+  [[nodiscard]] Status ExecuteDrop(const sql::DropStmt& stmt);
+  [[nodiscard]] Status ExecuteUpdate(const sql::UpdateStmt& stmt);
+  [[nodiscard]] Result<Table> ExecuteShow(const sql::ShowStmt& stmt);
 
   /// Snapshot the named system table (name already lower-cased,
   /// including the "system." prefix) and run `stmt` over it through
   /// the configured exec path.
-  Result<Table> ExecuteSystemSelect(const sql::SelectStmt& stmt,
+  [[nodiscard]] Result<Table> ExecuteSystemSelect(const sql::SelectStmt& stmt,
                                     trace::QueryTrace* trace,
                                     uint32_t trace_parent);
 
   /// The "single, optimal sample" of §4's assumption 2: the sample of
   /// the population's GP with the most rows.
-  Result<SampleInfo*> ChooseSample(const PopulationInfo& population);
+  [[nodiscard]] Result<SampleInfo*> ChooseSample(const PopulationInfo& population);
 
   /// ReweightForPopulation's engine: refits (or no-op skips) and
   /// returns the epoch holding the fitted weights, pinned — the
   /// SEMI-OPEN query path answers over exactly this epoch even if a
   /// concurrent refit for another population publishes over it.
-  Result<WeightEpochPtr> ReweightAndPin(const std::string& population_name,
+  [[nodiscard]] Result<WeightEpochPtr> ReweightAndPin(const std::string& population_name,
                                         stats::IpfReport* report);
 
   /// Signatures of the reweighting computations ReweightAndPin can
@@ -373,7 +374,7 @@ class Database {
   /// publications pass log=false — their caller logs one combined
   /// rows+epoch record instead); a logging failure surfaces as the
   /// error of the Result, with the epoch already published in memory.
-  Result<WeightEpochPtr> PublishWeights(SampleInfo* sample,
+  [[nodiscard]] Result<WeightEpochPtr> PublishWeights(SampleInfo* sample,
                                         std::vector<double> weights,
                                         WeightFitInfo fit = WeightFitInfo(),
                                         bool log = true);
@@ -382,7 +383,7 @@ class Database {
   /// weight epoch: a warm-started incremental IPF when the previous
   /// epoch `prev` came from a GP-level fit (and the knob is on),
   /// otherwise `prev`'s weights extended with unit weights.
-  Status ExtendWeightsAfterIngest(SampleInfo* sample,
+  [[nodiscard]] Status ExtendWeightsAfterIngest(SampleInfo* sample,
                                   const WeightEpochPtr& prev);
 
   void BumpCatalogVersion() {
@@ -394,7 +395,7 @@ class Database {
 
   /// Sample rows restricted to the population (applies the derived
   /// population's predicate); identity for the GP itself.
-  Result<Table> RestrictToPopulation(const Table& sample_data,
+  [[nodiscard]] Result<Table> RestrictToPopulation(const Table& sample_data,
                                      const PopulationInfo& population);
 
   /// Marginals + population size to debias against, following Fig. 3:
@@ -405,7 +406,7 @@ class Database {
     bool reweight_to_global = false;
     double population_size = 0.0;
   };
-  Result<DebiasPlan> PlanDebias(PopulationInfo* population);
+  [[nodiscard]] Result<DebiasPlan> PlanDebias(PopulationInfo* population);
 
   /// A trained (or cache-fetched) generator plus everything needed to
   /// turn it into weighted open-world tables without touching the
@@ -424,7 +425,7 @@ class Database {
   /// Fetch the population's generator from the LRU cache or train it.
   /// Training of a given key happens at most once even under
   /// concurrent OPEN queries.
-  Result<OpenWorldModel> PrepareOpenWorldModel(
+  [[nodiscard]] Result<OpenWorldModel> PrepareOpenWorldModel(
       const std::string& population_name);
 
   /// Raw generated tuples plus their uniform §5.3 weights
@@ -436,13 +437,13 @@ class Database {
     Table data;
     std::vector<double> weights;
   };
-  Result<GeneratedSample> GenerateSample(const OpenWorldModel& model,
+  [[nodiscard]] Result<GeneratedSample> GenerateSample(const OpenWorldModel& model,
                                          size_t rows, uint64_t seed) const;
 
   /// Generate one weighted open-world table from a prepared model.
   /// Const and thread-safe: generation threads share the model and
   /// differ only in their seed.
-  Result<Table> GenerateFromModel(const OpenWorldModel& model, size_t rows,
+  [[nodiscard]] Result<Table> GenerateFromModel(const OpenWorldModel& model, size_t rows,
                                   uint64_t seed) const;
 
   Catalog catalog_;
@@ -454,9 +455,9 @@ class Database {
   /// train independently. train_mu_ only guards the lock map itself
   /// (cleared together with the model cache, so it cannot grow
   /// without bound as ingest changes keys).
-  std::mutex train_mu_;
+  Mutex train_mu_;
   std::unordered_map<std::string, std::shared_ptr<std::mutex>>
-      train_mutexes_;
+      train_mutexes_ GUARDED_BY(train_mu_);
   /// Starts at 1 so a 0-valued stamp can never match a live catalog.
   std::atomic<uint64_t> catalog_version_{1};
   /// Bumped on metadata (marginal) registration/removal; part of fit
@@ -478,8 +479,9 @@ class Database {
   /// Providers behind the `system.*` schema, keyed by bare table name
   /// ("queries"). The mutex only guards the map — providers run
   /// outside it.
-  mutable std::mutex system_mu_;
-  std::map<std::string, SystemTableProvider> system_tables_;
+  mutable Mutex system_mu_;
+  std::map<std::string, SystemTableProvider> system_tables_
+      GUARDED_BY(system_mu_);
   /// Scratch relation materializing the union of samples; rebuilt
   /// lazily when the underlying samples change size.
   SampleInfo union_scratch_;

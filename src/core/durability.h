@@ -35,43 +35,43 @@ class DurabilitySink {
 
   /// A table was created (possibly pre-populated, for the programmatic
   /// CreateTable path).
-  virtual Status LogCreateTable(const std::string& name,
+  [[nodiscard]] virtual Status LogCreateTable(const std::string& name,
                                 const Table& table) = 0;
 
   /// A population (with any marginals it already carries) was created.
-  virtual Status LogCreatePopulation(const PopulationInfo& population) = 0;
+  [[nodiscard]] virtual Status LogCreatePopulation(const PopulationInfo& population) = 0;
 
   /// A sample was created. Only the header is logged — `sample.data`
   /// is empty at creation; rows arrive via LogSampleIngest.
-  virtual Status LogCreateSample(const SampleInfo& sample) = 0;
+  [[nodiscard]] virtual Status LogCreateSample(const SampleInfo& sample) = 0;
 
   /// A marginal was registered on `population` under `metadata_name`.
-  virtual Status LogRegisterMarginal(const std::string& population,
+  [[nodiscard]] virtual Status LogRegisterMarginal(const std::string& population,
                                      const std::string& metadata_name,
                                      const stats::Marginal& marginal) = 0;
 
   /// A catalog object was dropped.
-  virtual Status LogDrop(sql::DropStmt::Target target,
+  [[nodiscard]] virtual Status LogDrop(sql::DropStmt::Target target,
                          const std::string& name) = 0;
 
   /// Rows were appended to auxiliary table `name`; `suffix` holds
   /// exactly the appended rows, post-coercion, in append order.
-  virtual Status LogTableAppend(const std::string& name,
+  [[nodiscard]] virtual Status LogTableAppend(const std::string& name,
                                 const Table& suffix) = 0;
 
   /// Auxiliary table `name` was rewritten in place (UPDATE).
-  virtual Status LogTableReplace(const std::string& name,
+  [[nodiscard]] virtual Status LogTableReplace(const std::string& name,
                                  const Table& table) = 0;
 
   /// Rows were ingested into sample `name` and `epoch` is the weight
   /// epoch current after the ingest. One atomic record: recovery never
   /// observes sample rows without the matching weights.
-  virtual Status LogSampleIngest(const std::string& name, const Table& suffix,
+  [[nodiscard]] virtual Status LogSampleIngest(const std::string& name, const Table& suffix,
                                  const WeightEpoch& epoch) = 0;
 
   /// A new weight epoch was published for sample `name` (SEMI-OPEN
   /// refit, UPDATE of the weight column, reweight-and-pin).
-  virtual Status LogPublishEpoch(const std::string& name,
+  [[nodiscard]] virtual Status LogPublishEpoch(const std::string& name,
                                  const WeightEpoch& epoch) = 0;
 };
 

@@ -51,27 +51,27 @@ class MixedEncoder {
   /// are min-max scaled over the range observed in the sample,
   /// widened to cover any range information present in `marginals`
   /// (population marginals can reach beyond the biased sample).
-  static Result<MixedEncoder> Fit(
+  [[nodiscard]] static Result<MixedEncoder> Fit(
       const Table& sample, const std::vector<stats::Marginal>& marginals,
       CategoricalEncoding cat_encoding = CategoricalEncoding::kOneHot);
 
   size_t encoded_dim() const { return encoded_dim_; }
   size_t num_attributes() const { return attrs_.size(); }
   const AttributeEncoding& attribute(size_t i) const { return attrs_[i]; }
-  Result<const AttributeEncoding*> AttributeByName(
+  [[nodiscard]] Result<const AttributeEncoding*> AttributeByName(
       const std::string& name) const;
 
   /// Encode a table into an (n x encoded_dim) matrix.
-  Result<nn::Matrix> Encode(const Table& table) const;
+  [[nodiscard]] Result<nn::Matrix> Encode(const Table& table) const;
 
   /// Decode generated rows back to a table with the original schema.
   /// One-hot blocks are decoded by argmax; numeric outputs are
   /// clamped to [0,1], unscaled and rounded for integer columns.
-  Result<Table> Decode(const nn::Matrix& encoded) const;
+  [[nodiscard]] Result<Table> Decode(const nn::Matrix& encoded) const;
 
   /// Encoded columns touched by a marginal (the subspace its loss
   /// term lives in).
-  Result<std::vector<size_t>> MarginalColumns(
+  [[nodiscard]] Result<std::vector<size_t>> MarginalColumns(
       const stats::Marginal& marginal) const;
 
   /// Draw `n` encoded-space target points from a marginal: sample
@@ -79,7 +79,7 @@ class MixedEncoder {
   /// one-hot for categorical bins, scaled (and jittered within the
   /// bin for continuous binnings) for numeric bins. The output is
   /// (n x MarginalColumns(m).size()), columns in the same order.
-  Result<nn::Matrix> SampleMarginalTargets(const stats::Marginal& marginal,
+  [[nodiscard]] Result<nn::Matrix> SampleMarginalTargets(const stats::Marginal& marginal,
                                            size_t n, Rng* rng) const;
 
   /// Scale a raw numeric value of an attribute into [0,1].

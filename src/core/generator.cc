@@ -24,7 +24,7 @@ class MswgGenerator : public PopulationGenerator {
   explicit MswgGenerator(std::unique_ptr<Mswg> model)
       : model_(std::move(model)) {}
 
-  Result<Table> Generate(size_t n, Rng* rng) const override {
+  [[nodiscard]] Result<Table> Generate(size_t n, Rng* rng) const override {
     return model_->Generate(n, rng);
   }
   std::string name() const override { return "m-swg"; }
@@ -38,7 +38,7 @@ class BayesNetGenerator : public PopulationGenerator {
   explicit BayesNetGenerator(stats::ChowLiuTree tree)
       : tree_(std::move(tree)) {}
 
-  Result<Table> Generate(size_t n, Rng* rng) const override {
+  [[nodiscard]] Result<Table> Generate(size_t n, Rng* rng) const override {
     return tree_.SampleRows(n, rng);
   }
   std::string name() const override { return "bayes-net"; }
@@ -51,7 +51,7 @@ class KdeGenerator : public PopulationGenerator {
  public:
   explicit KdeGenerator(stats::MixedKde kde) : kde_(std::move(kde)) {}
 
-  Result<Table> Generate(size_t n, Rng* rng) const override {
+  [[nodiscard]] Result<Table> Generate(size_t n, Rng* rng) const override {
     return kde_.Sample(n, rng);
   }
   std::string name() const override { return "kde"; }
@@ -62,7 +62,7 @@ class KdeGenerator : public PopulationGenerator {
 
 /// The explicit engines debias first: IPF-reweight the sample against
 /// the marginals, then model the weighted sample.
-Result<std::vector<double>> DebiasWeights(
+[[nodiscard]] Result<std::vector<double>> DebiasWeights(
     const Table& sample, const std::vector<stats::Marginal>& marginals,
     const stats::IpfOptions& ipf) {
   std::vector<double> weights(sample.num_rows(), 1.0);
@@ -76,7 +76,7 @@ Result<std::vector<double>> DebiasWeights(
 
 }  // namespace
 
-Result<std::unique_ptr<PopulationGenerator>> TrainPopulationGenerator(
+[[nodiscard]] Result<std::unique_ptr<PopulationGenerator>> TrainPopulationGenerator(
     OpenEngine engine, const Table& sample,
     const std::vector<stats::Marginal>& marginals,
     const GeneratorOptions& options) {

@@ -42,7 +42,7 @@ class PopulationGenerator {
   /// Generate n synthetic population tuples. Const — a trained model
   /// is immutable, so concurrent Generate calls (each with their own
   /// Rng) are safe; parallel OPEN answering relies on this.
-  virtual Result<Table> Generate(size_t n, Rng* rng) const = 0;
+  [[nodiscard]] virtual Result<Table> Generate(size_t n, Rng* rng) const = 0;
 
   /// Engine name for logs and reports ("m-swg", "bayes-net", "kde").
   virtual std::string name() const = 0;
@@ -65,7 +65,7 @@ struct GeneratorOptions {
 
 /// Train a generator of the selected kind on a biased sample plus
 /// population marginals.
-Result<std::unique_ptr<PopulationGenerator>> TrainPopulationGenerator(
+[[nodiscard]] Result<std::unique_ptr<PopulationGenerator>> TrainPopulationGenerator(
     OpenEngine engine, const Table& sample,
     const std::vector<stats::Marginal>& marginals,
     const GeneratorOptions& options);

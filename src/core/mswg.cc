@@ -10,7 +10,7 @@
 namespace mosaic {
 namespace core {
 
-Result<std::vector<stats::Marginal>> AddSampleMarginalsForUncovered(
+[[nodiscard]] Result<std::vector<stats::Marginal>> AddSampleMarginalsForUncovered(
     const Table& sample, std::vector<stats::Marginal> marginals,
     size_t continuous_bins) {
   for (size_t c = 0; c < sample.num_columns(); ++c) {

@@ -79,7 +79,7 @@ class Mswg {
   /// marginals added automatically (§5.2: "we add marginals from the
   /// sample into the set of population marginals for those uncovered
   /// attributes").
-  static Result<std::unique_ptr<Mswg>> Train(
+  [[nodiscard]] static Result<std::unique_ptr<Mswg>> Train(
       const Table& sample, std::vector<stats::Marginal> marginals,
       const MswgOptions& options);
 
@@ -87,11 +87,11 @@ class Mswg {
   /// safe to call from several threads concurrently (each caller
   /// brings its own Rng): inference uses nn::Sequential::Infer, which
   /// never touches the training caches.
-  Result<Table> Generate(size_t n, Rng* rng) const;
+  [[nodiscard]] Result<Table> Generate(size_t n, Rng* rng) const;
 
   /// Generate n encoded-space rows (pre-decode; softmax left
   /// continuous).
-  Result<nn::Matrix> GenerateEncoded(size_t n, Rng* rng) const;
+  [[nodiscard]] Result<nn::Matrix> GenerateEncoded(size_t n, Rng* rng) const;
 
   /// Per-epoch training losses (total of the three Eq.-1 terms).
   const std::vector<double>& loss_history() const { return loss_history_; }
@@ -117,7 +117,7 @@ class Mswg {
 /// §5.2's uncovered-attribute rule, exposed for tests: returns
 /// `marginals` extended with 1-D sample marginals for every sample
 /// attribute no input marginal covers.
-Result<std::vector<stats::Marginal>> AddSampleMarginalsForUncovered(
+[[nodiscard]] Result<std::vector<stats::Marginal>> AddSampleMarginalsForUncovered(
     const Table& sample, std::vector<stats::Marginal> marginals,
     size_t continuous_bins = 32);
 

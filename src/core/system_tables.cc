@@ -11,7 +11,7 @@ namespace core {
 
 namespace {
 
-Result<Schema> QueriesSchema() {
+[[nodiscard]] Result<Schema> QueriesSchema() {
   Schema schema;
   for (const auto& [name, type] : std::initializer_list<
            std::pair<const char*, DataType>>{
@@ -48,7 +48,7 @@ std::string TraceIdHex(uint64_t trace_id) {
 
 }  // namespace
 
-Result<Table> BuildQueriesTable(const qlog::QueryLog& log) {
+[[nodiscard]] Result<Table> BuildQueriesTable(const qlog::QueryLog& log) {
   MOSAIC_ASSIGN_OR_RETURN(Schema schema, QueriesSchema());
   Table out(schema);
   for (const qlog::QueryRecord& rec : log.Snapshot()) {
@@ -89,7 +89,7 @@ Result<Table> BuildQueriesTable(const qlog::QueryLog& log) {
   return out;
 }
 
-Result<Table> BuildMetricsTable() {
+[[nodiscard]] Result<Table> BuildMetricsTable() {
   Schema schema;
   MOSAIC_RETURN_IF_ERROR(schema.AddColumn({"metric", DataType::kString}));
   MOSAIC_RETURN_IF_ERROR(schema.AddColumn({"value", DataType::kDouble}));
@@ -118,7 +118,7 @@ Result<Table> BuildMetricsTable() {
   return out;
 }
 
-Result<Table> EmptySessionsTable() {
+[[nodiscard]] Result<Table> EmptySessionsTable() {
   Schema schema;
   MOSAIC_RETURN_IF_ERROR(
       schema.AddColumn({"session_id", DataType::kInt64}));
@@ -127,7 +127,7 @@ Result<Table> EmptySessionsTable() {
   return Table(schema);
 }
 
-Result<Table> EmptyConnectionsTable() {
+[[nodiscard]] Result<Table> EmptyConnectionsTable() {
   Schema schema;
   MOSAIC_RETURN_IF_ERROR(schema.AddColumn({"conn_id", DataType::kInt64}));
   MOSAIC_RETURN_IF_ERROR(
@@ -136,7 +136,7 @@ Result<Table> EmptyConnectionsTable() {
   return Table(schema);
 }
 
-Result<Table> EmptySnapshotsTable() {
+[[nodiscard]] Result<Table> EmptySnapshotsTable() {
   Schema schema;
   MOSAIC_RETURN_IF_ERROR(schema.AddColumn({"file", DataType::kString}));
   MOSAIC_RETURN_IF_ERROR(

@@ -24,18 +24,18 @@ namespace core {
 /// row carrying its totals), so span-level SQL like
 /// `SELECT span, duration_us FROM system.queries` works directly.
 /// Per-query resource totals repeat on each of the query's rows.
-Result<Table> BuildQueriesTable(const qlog::QueryLog& log);
+[[nodiscard]] Result<Table> BuildQueriesTable(const qlog::QueryLog& log);
 
 /// `system.metrics`: one row per registry metric, name-sorted;
 /// histograms expand to _count/_mean/_p50/_p95/_p99 rows. SHOW
 /// METRICS is sugar over this.
-Result<Table> BuildMetricsTable();
+[[nodiscard]] Result<Table> BuildMetricsTable();
 
 /// Empty tables fixing the schemas of the externally-provided
 /// system tables (overridden by the service and network layers).
-Result<Table> EmptySessionsTable();
-Result<Table> EmptyConnectionsTable();
-Result<Table> EmptySnapshotsTable();
+[[nodiscard]] Result<Table> EmptySessionsTable();
+[[nodiscard]] Result<Table> EmptyConnectionsTable();
+[[nodiscard]] Result<Table> EmptySnapshotsTable();
 
 }  // namespace core
 }  // namespace mosaic

@@ -26,9 +26,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 namespace core {
@@ -77,7 +78,7 @@ class WeightStore {
   WeightStore() : current_(std::make_shared<const WeightEpoch>()) {}
 
   WeightStore(WeightStore&& other) noexcept {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     current_ = std::move(other.current_);
     other.current_ = std::make_shared<const WeightEpoch>();
   }
@@ -85,11 +86,11 @@ class WeightStore {
     if (this != &other) {
       WeightEpochPtr taken;
       {
-        std::lock_guard<std::mutex> lock(other.mu_);
+        MutexLock lock(other.mu_);
         taken = std::move(other.current_);
         other.current_ = std::make_shared<const WeightEpoch>();
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       current_ = std::move(taken);
     }
     return *this;
@@ -101,18 +102,18 @@ class WeightStore {
   /// weights from it, giving snapshot isolation against concurrent
   /// publications.
   WeightEpochPtr Pin() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return current_;
   }
 
   /// Current epoch id without pinning.
   uint64_t epoch() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return current_->id;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return current_->weights.size();
   }
 
@@ -125,7 +126,7 @@ class WeightStore {
   WeightEpochPtr Publish(std::vector<double> weights,
                          WeightFitInfo fit = WeightFitInfo(),
                          bool* published = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (weights == current_->weights) {
       if (published != nullptr) *published = false;
       return current_;
@@ -152,15 +153,15 @@ class WeightStore {
   /// than the current one: concurrent publications may be WAL-ordered
   /// either way, and the max id always carries the final state.
   void Restore(WeightEpoch epoch) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (epoch.id >= current_->id) {
       current_ = std::make_shared<const WeightEpoch>(std::move(epoch));
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  WeightEpochPtr current_;
+  mutable Mutex mu_;
+  WeightEpochPtr current_ GUARDED_BY(mu_);
 };
 
 }  // namespace core

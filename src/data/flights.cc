@@ -72,7 +72,7 @@ Table GenerateFlights(const FlightsOptions& options, Rng* rng) {
   return table;
 }
 
-Result<Table> DrawBiasedFlightsSample(const Table& population,
+[[nodiscard]] Result<Table> DrawBiasedFlightsSample(const Table& population,
                                       const FlightsBiasOptions& options,
                                       Rng* rng) {
   if (options.sample_fraction <= 0.0 || options.sample_fraction > 1.0) {

@@ -51,7 +51,7 @@ struct FlightsBiasOptions {
 /// Draw the biased sample: `bias` of the tuples come from flights
 /// with elapsed_time > threshold, the rest from the complement
 /// (uniformly within each part).
-Result<Table> DrawBiasedFlightsSample(const Table& population,
+[[nodiscard]] Result<Table> DrawBiasedFlightsSample(const Table& population,
                                       const FlightsBiasOptions& options,
                                       Rng* rng);
 

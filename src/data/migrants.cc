@@ -76,7 +76,7 @@ Table GenerateMigrantsPopulation(const MigrantsOptions& options, Rng* rng) {
 }
 
 namespace {
-Result<Table> Report(const Table& population, const std::string& attr) {
+[[nodiscard]] Result<Table> Report(const Table& population, const std::string& attr) {
   MOSAIC_ASSIGN_OR_RETURN(
       auto stmt, sql::ParseStatement("SELECT " + attr +
                                      ", COUNT(*) AS reported_count FROM pop "
@@ -86,15 +86,15 @@ Result<Table> Report(const Table& population, const std::string& attr) {
 }
 }  // namespace
 
-Result<Table> EurostatCountryReport(const Table& population) {
+[[nodiscard]] Result<Table> EurostatCountryReport(const Table& population) {
   return Report(population, "country");
 }
 
-Result<Table> EurostatEmailReport(const Table& population) {
+[[nodiscard]] Result<Table> EurostatEmailReport(const Table& population) {
   return Report(population, "email");
 }
 
-Result<Table> YahooSample(const Table& population) {
+[[nodiscard]] Result<Table> YahooSample(const Table& population) {
   MOSAIC_ASSIGN_OR_RETURN(
       auto stmt,
       sql::ParseStatement("SELECT * FROM pop WHERE email = 'Yahoo'"));

@@ -34,14 +34,14 @@ Table GenerateMigrantsPopulation(const MigrantsOptions& options, Rng* rng);
 
 /// The "Eurostat" report: (country, reported_count) aggregated from
 /// the population.
-Result<Table> EurostatCountryReport(const Table& population);
+[[nodiscard]] Result<Table> EurostatCountryReport(const Table& population);
 
 /// The "Eurostat" report: (email, reported_count).
-Result<Table> EurostatEmailReport(const Table& population);
+[[nodiscard]] Result<Table> EurostatEmailReport(const Table& population);
 
 /// All tuples whose email provider is "Yahoo" — the biased sample the
 /// motivating example queries.
-Result<Table> YahooSample(const Table& population);
+[[nodiscard]] Result<Table> YahooSample(const Table& population);
 
 }  // namespace data
 }  // namespace mosaic

@@ -24,7 +24,7 @@ Table GenerateSpiralPopulation(const SpiralOptions& options, Rng* rng) {
   return table;
 }
 
-Result<Table> DrawBiasedSpiralSample(const Table& population,
+[[nodiscard]] Result<Table> DrawBiasedSpiralSample(const Table& population,
                                      const SpiralBiasOptions& options,
                                      Rng* rng) {
   if (options.sample_size > population.num_rows()) {

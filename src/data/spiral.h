@@ -37,7 +37,7 @@ struct SpiralBiasOptions {
 /// population generated with the same options. The bias depends on
 /// the position along the arm, which correlates with both x and y —
 /// exactly the kind of bias 1-D marginals only partially describe.
-Result<Table> DrawBiasedSpiralSample(const Table& population,
+[[nodiscard]] Result<Table> DrawBiasedSpiralSample(const Table& population,
                                      const SpiralBiasOptions& options,
                                      Rng* rng);
 

@@ -126,7 +126,7 @@ void CodeCompareInto(const ColumnSpan& span, const std::string& literal,
                      mask);
 }
 
-Status CompareInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status CompareInto(const BoundExpr& expr, const TableView& view,
                    SelectionSlice rows, uint8_t* mask) {
   const BoundExpr& l = *expr.left;
   const BoundExpr& r = *expr.right;
@@ -217,7 +217,7 @@ Status CompareInto(const BoundExpr& expr, const TableView& view,
   return Status::OK();
 }
 
-Status InInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status InInto(const BoundExpr& expr, const TableView& view,
               SelectionSlice rows, uint8_t* mask) {
   const BoundExpr& subject = *expr.child;
   const size_t n = rows.size();
@@ -260,7 +260,7 @@ Status InInto(const BoundExpr& expr, const TableView& view,
   return Status::OK();
 }
 
-Status BetweenInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status BetweenInto(const BoundExpr& expr, const TableView& view,
                    SelectionSlice rows, uint8_t* mask) {
   // Fused fast path: numeric column between literal bounds.
   if (expr.child->kind == BoundExpr::Kind::kColumnRef &&
@@ -299,7 +299,7 @@ Status BetweenInto(const BoundExpr& expr, const TableView& view,
 /// into `out`; int64-typed results round through double exactly like
 /// the row evaluator (llround, then back to double when consumed in
 /// an enclosing numeric context).
-Status ArithDoubleInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status ArithDoubleInto(const BoundExpr& expr, const TableView& view,
                        SelectionSlice rows, double* out) {
   const size_t n = rows.size();
   MOSAIC_RETURN_IF_ERROR(EvalDoubleInto(*expr.left, view, rows, out));
@@ -337,7 +337,7 @@ Status ArithDoubleInto(const BoundExpr& expr, const TableView& view,
 
 }  // namespace
 
-Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
                     SelectionSlice rows, uint8_t* dst) {
   const size_t n = rows.size();
   switch (expr.kind) {
@@ -391,7 +391,7 @@ Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
   return Status::Internal("unreachable bound expression kind");
 }
 
-Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
+[[nodiscard]] Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
                                       const TableView& view,
                                       SelectionSlice rows) {
   std::vector<uint8_t> mask(rows.size());
@@ -399,7 +399,7 @@ Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
   return mask;
 }
 
-Status EvalDoubleInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status EvalDoubleInto(const BoundExpr& expr, const TableView& view,
                       SelectionSlice rows, double* dst) {
   const size_t n = rows.size();
   switch (expr.kind) {
@@ -463,7 +463,7 @@ Status EvalDoubleInto(const BoundExpr& expr, const TableView& view,
   return Status::Internal("expression has no numeric batch form");
 }
 
-Result<std::vector<double>> EvalDoubleBatch(
+[[nodiscard]] Result<std::vector<double>> EvalDoubleBatch(
     const BoundExpr& expr, const TableView& view,
     SelectionSlice rows) {
   std::vector<double> out(rows.size());
@@ -471,7 +471,7 @@ Result<std::vector<double>> EvalDoubleBatch(
   return out;
 }
 
-Status PrepareBatchVec(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status PrepareBatchVec(const BoundExpr& expr, const TableView& view,
                        size_t n, BatchVec* out) {
   out->type = expr.type;
   switch (expr.type) {
@@ -500,7 +500,7 @@ Status PrepareBatchVec(const BoundExpr& expr, const TableView& view,
   }
 }
 
-Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
                      SelectionSlice rows, BatchVec* out, size_t offset) {
   const size_t n = rows.size();
   if (out->type != expr.type) {
@@ -569,7 +569,7 @@ Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
   }
 }
 
-Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
                            SelectionSlice rows) {
   BatchVec out;
   MOSAIC_RETURN_IF_ERROR(PrepareBatchVec(expr, view, rows.size(), &out));
@@ -577,7 +577,7 @@ Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
   return out;
 }
 
-Result<SelectionVector> FilterView(const TableView& view,
+[[nodiscard]] Result<SelectionVector> FilterView(const TableView& view,
                                    const BoundExpr& predicate) {
   return FilterView(view, predicate, SelectionVector::All(view.num_rows()));
 }
@@ -606,7 +606,7 @@ std::vector<const BoundExpr*> FlattenConjuncts(const BoundExpr& predicate) {
 }
 
 /// Refine an owning row list in place through the conjuncts.
-Status RefineRows(const TableView& view,
+[[nodiscard]] Status RefineRows(const TableView& view,
                   const std::vector<const BoundExpr*>& conjuncts,
                   size_t first_conjunct, AlignedVector<uint32_t>* rows) {
   for (size_t c = first_conjunct; c < conjuncts.size(); ++c) {
@@ -624,7 +624,7 @@ Status RefineRows(const TableView& view,
 
 }  // namespace
 
-Result<SelectionVector> FilterView(const TableView& view,
+[[nodiscard]] Result<SelectionVector> FilterView(const TableView& view,
                                    const BoundExpr& predicate,
                                    SelectionVector base) {
   std::vector<const BoundExpr*> conjuncts = FlattenConjuncts(predicate);
@@ -633,7 +633,7 @@ Result<SelectionVector> FilterView(const TableView& view,
   return SelectionVector(std::move(rows));
 }
 
-Result<SelectionVector> FilterSlice(const TableView& view,
+[[nodiscard]] Result<SelectionVector> FilterSlice(const TableView& view,
                                     const BoundExpr& predicate,
                                     SelectionSlice base) {
   std::vector<const BoundExpr*> conjuncts = FlattenConjuncts(predicate);
@@ -656,7 +656,7 @@ Result<SelectionVector> FilterSlice(const TableView& view,
   return SelectionVector(std::move(rows));
 }
 
-Result<SelectionVector> SelectRows(const TableView& view,
+[[nodiscard]] Result<SelectionVector> SelectRows(const TableView& view,
                                    const sql::Expr& predicate) {
   Binder binder(&view.schema());
   MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(predicate));

@@ -67,7 +67,7 @@ struct BatchVec {
 
 /// Evaluate a boolean expression over `rows`; out[i] is the truth
 /// value at view row rows[i].
-Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
+[[nodiscard]] Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
                                       const TableView& view,
                                       SelectionSlice rows);
 
@@ -76,23 +76,23 @@ Result<std::vector<uint8_t>> EvalMask(const BoundExpr& expr,
 /// disjoint range of a shared preallocated output — no per-morsel
 /// result vector, no splice copy afterwards. `dst` must hold
 /// rows.size() bytes.
-Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status EvalMaskInto(const BoundExpr& expr, const TableView& view,
                     SelectionSlice rows, uint8_t* dst);
 
 /// Evaluate a numeric expression over `rows` as doubles (the
 /// aggregation input form). Errors exactly like Value::ToDouble for
 /// non-numeric expressions (on the first row).
-Result<std::vector<double>> EvalDoubleBatch(const BoundExpr& expr,
+[[nodiscard]] Result<std::vector<double>> EvalDoubleBatch(const BoundExpr& expr,
                                             const TableView& view,
                                             SelectionSlice rows);
 
 /// Offset-writing form of EvalDoubleBatch; `dst` must hold
 /// rows.size() doubles.
-Status EvalDoubleInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status EvalDoubleInto(const BoundExpr& expr, const TableView& view,
                       SelectionSlice rows, double* dst);
 
 /// Evaluate an expression over `rows` into its statically typed batch.
-Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
                            SelectionSlice rows);
 
 /// Size `out` for `n` results of `expr` (type, payload vector, and —
@@ -100,25 +100,25 @@ Result<BatchVec> EvalBatch(const BoundExpr& expr, const TableView& view,
 /// evaluating anything. The morsel executor prepares one output this
 /// way, then each morsel fills its range via EvalBatchInto. Errors on
 /// untyped expressions, like EvalBatch.
-Status PrepareBatchVec(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status PrepareBatchVec(const BoundExpr& expr, const TableView& view,
                        size_t n, BatchVec* out);
 
 /// Evaluate into `out` at [offset, offset + rows.size()): the
 /// offset-writing form of EvalBatch over a prepared output. The
 /// payload must already be sized (PrepareBatchVec) and `out->type`
 /// must match the expression.
-Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Status EvalBatchInto(const BoundExpr& expr, const TableView& view,
                      SelectionSlice rows, BatchVec* out, size_t offset);
 
 /// Rows of `view` where the bound boolean predicate holds. Conjuncts
 /// refine the selection left to right, so the right side of an AND is
 /// only evaluated on surviving rows (row-path short-circuit parity).
-Result<SelectionVector> FilterView(const TableView& view,
+[[nodiscard]] Result<SelectionVector> FilterView(const TableView& view,
                                    const BoundExpr& predicate);
 
 /// As above, but refines an existing selection (e.g. a population
 /// restriction) instead of starting from all rows.
-Result<SelectionVector> FilterView(const TableView& view,
+[[nodiscard]] Result<SelectionVector> FilterView(const TableView& view,
                                    const BoundExpr& predicate,
                                    SelectionVector base);
 
@@ -126,13 +126,13 @@ Result<SelectionVector> FilterView(const TableView& view,
 /// that survive the predicate are returned as a fresh (owning)
 /// SelectionVector; concatenating the results of consecutive slices
 /// in slice order reproduces the whole-selection filter exactly.
-Result<SelectionVector> FilterSlice(const TableView& view,
+[[nodiscard]] Result<SelectionVector> FilterSlice(const TableView& view,
                                     const BoundExpr& predicate,
                                     SelectionSlice base);
 
 /// Bind `predicate` against the view's schema and filter. The batch
 /// counterpart of FilterRows (expr_eval.h).
-Result<SelectionVector> SelectRows(const TableView& view,
+[[nodiscard]] Result<SelectionVector> SelectRows(const TableView& view,
                                    const sql::Expr& predicate);
 
 }  // namespace exec

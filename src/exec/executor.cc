@@ -47,7 +47,7 @@ struct AggCollection {
   Binder* binder = nullptr;
   Status error;
 
-  Result<size_t> MapAggregate(const sql::Expr& expr) {
+  [[nodiscard]] Result<size_t> MapAggregate(const sql::Expr& expr) {
     std::string key = expr.ToString();
     for (size_t i = 0; i < specs.size(); ++i) {
       if (specs[i].rendering == key) return i;
@@ -69,7 +69,7 @@ struct AggCollection {
     return specs.size() - 1;
   }
 
-  static Result<size_t> MapAggregateThunk(const sql::Expr& expr, void* ctx) {
+  [[nodiscard]] static Result<size_t> MapAggregateThunk(const sql::Expr& expr, void* ctx) {
     return static_cast<AggCollection*>(ctx)->MapAggregate(expr);
   }
 };
@@ -86,7 +86,7 @@ std::string OutputName(const sql::SelectItem& item) {
 /// In an aggregate query, any column reference outside an aggregate
 /// must be a GROUP BY key (non-key columns have no single value per
 /// group).
-Status ValidateGroupColumnRefs(const sql::Expr& expr,
+[[nodiscard]] Status ValidateGroupColumnRefs(const sql::Expr& expr,
                                const std::vector<std::string>& group_by) {
   if (expr.kind == sql::Expr::Kind::kAggregate) return Status::OK();
   if (expr.kind == sql::Expr::Kind::kColumnRef) {
@@ -109,7 +109,7 @@ Status ValidateGroupColumnRefs(const sql::Expr& expr,
 
 /// Add an output column, suffixing "_2", "_3", ... on name collisions
 /// (SQL permits duplicate select-item names; our schemas do not).
-Status AddOutputColumn(Schema* schema, std::string name, DataType type) {
+[[nodiscard]] Status AddOutputColumn(Schema* schema, std::string name, DataType type) {
   if (!schema->FindColumn(name)) {
     return schema->AddColumn(ColumnDef{std::move(name), type});
   }
@@ -121,7 +121,7 @@ Status AddOutputColumn(Schema* schema, std::string name, DataType type) {
   }
 }
 
-Result<Value> Finalize(const AggSpec& spec, const AggAccum& acc,
+[[nodiscard]] Result<Value> Finalize(const AggSpec& spec, const AggAccum& acc,
                        bool weighted) {
   switch (spec.func) {
     case sql::AggFunc::kCount:
@@ -166,7 +166,7 @@ DataType AggOutputType(const AggSpec& spec, bool weighted) {
 /// via a one-row synthetic table carrying the group key — shared by
 /// the row and batch paths so post-aggregation semantics cannot
 /// drift.
-Result<Table> EmitGroups(const Schema& schema, const sql::SelectStmt& stmt,
+[[nodiscard]] Result<Table> EmitGroups(const Schema& schema, const sql::SelectStmt& stmt,
                          const std::vector<BoundExprPtr>& bound_items,
                          const BoundExpr* bound_having,
                          const std::vector<AggSpec>& specs,
@@ -240,7 +240,7 @@ Result<Table> EmitGroups(const Schema& schema, const sql::SelectStmt& stmt,
 // Row path (legacy interpreter, kept as the parity oracle)
 // ---------------------------------------------------------------------------
 
-Status ApplyOrderByAndLimit(const sql::SelectStmt& stmt, Table* out,
+[[nodiscard]] Status ApplyOrderByAndLimit(const sql::SelectStmt& stmt, Table* out,
                             bool skip_order = false) {
   if (!stmt.order_by.empty() && !skip_order) {
     std::vector<std::pair<size_t, bool>> keys;  // (col, desc)
@@ -273,7 +273,7 @@ Status ApplyOrderByAndLimit(const sql::SelectStmt& stmt, Table* out,
   return Status::OK();
 }
 
-Result<Table> ExecuteSelectRow(const Table& source,
+[[nodiscard]] Result<Table> ExecuteSelectRow(const Table& source,
                                const sql::SelectStmt& stmt,
                                const ExecOptions& opts) {
   const Schema& schema = source.schema();
@@ -627,7 +627,7 @@ std::optional<size_t> LimitOf(const sql::SelectStmt& stmt) {
 /// ORDER BY + LIMIT over a materialized result table using typed sort
 /// keys (and top-N selection instead of full sort when LIMIT is
 /// present).
-Status SortLimitTable(const sql::SelectStmt& stmt, Table* out,
+[[nodiscard]] Status SortLimitTable(const sql::SelectStmt& stmt, Table* out,
                       bool* used_topn = nullptr) {
   std::optional<size_t> limit = LimitOf(stmt);
   if (!stmt.order_by.empty()) {
@@ -657,7 +657,7 @@ Status SortLimitTable(const sql::SelectStmt& stmt, Table* out,
   return Status::OK();
 }
 
-Result<Column> ColumnFromBatch(BatchVec batch) {
+[[nodiscard]] Result<Column> ColumnFromBatch(BatchVec batch) {
   switch (batch.type) {
     case DataType::kInt64:
       return Column::FromInt64(std::move(batch.i64));
@@ -886,7 +886,7 @@ GroupKeyCol MakeGroupKey(const ColumnSpan& span, SelectionSlice rows) {
 /// row path obtains via Value::ToDouble (its exact error on string
 /// input included). kDouble aliases the batch payload directly;
 /// kInt64/kBool widen into `scratch`, which must outlive the view.
-Result<const double*> BatchDoubles(const BatchVec& batch,
+[[nodiscard]] Result<const double*> BatchDoubles(const BatchVec& batch,
                                    AlignedVector<double>* scratch) {
   switch (batch.type) {
     case DataType::kInt64:
@@ -961,7 +961,7 @@ bool BatchLess(const BatchVec& batch, size_t a, size_t b) {
 
 /// WHERE refinement per morsel over zero-copy slices of the base
 /// selection; survivors concatenate in morsel order.
-Result<SelectionVector> MorselFilter(const TableView& view,
+[[nodiscard]] Result<SelectionVector> MorselFilter(const TableView& view,
                                      const BoundExpr& pred,
                                      SelectionVector base,
                                      const MorselDriver& driver,
@@ -1002,7 +1002,7 @@ Result<SelectionVector> MorselFilter(const TableView& view,
 /// morsel's final evaluation loop directly at its disjoint range, so
 /// there is no per-morsel result vector and no splice copy afterwards
 /// — the write that computes a value is the write that lands it.
-Result<BatchVec> MorselEvalBatch(const BoundExpr& expr, const TableView& view,
+[[nodiscard]] Result<BatchVec> MorselEvalBatch(const BoundExpr& expr, const TableView& view,
                                  const SelectionVector& sel,
                                  const MorselDriver& driver) {
   const size_t n = sel.size();
@@ -1020,7 +1020,7 @@ Result<BatchVec> MorselEvalBatch(const BoundExpr& expr, const TableView& view,
 
 /// Per-tuple weight gather, each morsel writing its disjoint range of
 /// the preallocated output.
-Result<std::vector<double>> MorselGatherWeights(const ColumnSpan& wspan,
+[[nodiscard]] Result<std::vector<double>> MorselGatherWeights(const ColumnSpan& wspan,
                                                 const SelectionVector& sel,
                                                 const MorselDriver& driver) {
   const AlignedVector<uint32_t>& rows = sel.rows();
@@ -1180,7 +1180,7 @@ GroupKeyCol MakeGroupKeyMorsel(const ColumnSpan& span,
 /// Vectorized SELECT over a view restricted to `sel`. Returns nullopt
 /// when the plan must fall back to the row path (group-key code space
 /// overflowing 64-bit packing).
-Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
+[[nodiscard]] Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
                                                 SelectionVector sel,
                                                 const sql::SelectStmt& stmt,
                                                 const ExecOptions& opts) {
@@ -1688,7 +1688,7 @@ Result<std::optional<Table>> ExecuteSelectBatch(const TableView& view,
 
 }  // namespace
 
-Result<double> TotalWeight(const Table& table,
+[[nodiscard]] Result<double> TotalWeight(const Table& table,
                            const std::string& weight_column) {
   if (weight_column.empty()) {
     return static_cast<double>(table.num_rows());
@@ -1721,7 +1721,7 @@ void CountScanProduce(const ExecOptions& opts, uint64_t rows_scanned,
 
 }  // namespace
 
-Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
+[[nodiscard]] Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
                             const ExecOptions& opts) {
   const uint64_t rows_in = source.num_rows();
   if (opts.use_row_path) {
@@ -1750,7 +1750,7 @@ Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
   return result;
 }
 
-Result<Table> ExecuteSelect(const TableView& view, SelectionVector sel,
+[[nodiscard]] Result<Table> ExecuteSelect(const TableView& view, SelectionVector sel,
                             const sql::SelectStmt& stmt,
                             const ExecOptions& opts) {
   const uint64_t rows_in = sel.size();

@@ -86,20 +86,20 @@ struct ExecOptions {
 /// Execute `stmt` against `source`. `stmt.from` is ignored — the
 /// caller has already resolved the relation (Mosaic's core engine
 /// routes population queries to reweighted/generated tables first).
-Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
+[[nodiscard]] Result<Table> ExecuteSelect(const Table& source, const sql::SelectStmt& stmt,
                             const ExecOptions& opts = {});
 
 /// Execute `stmt` against a zero-copy view restricted to `sel` —
 /// the core engine answers population queries this way without
 /// materializing the restricted (or weight-extended) relation. WHERE
 /// further refines `sel` (taken by value: move it in).
-Result<Table> ExecuteSelect(const TableView& view, SelectionVector sel,
+[[nodiscard]] Result<Table> ExecuteSelect(const TableView& view, SelectionVector sel,
                             const sql::SelectStmt& stmt,
                             const ExecOptions& opts = {});
 
 /// Total weight of the table (sum of the weight column, or row count
 /// when `weight_column` is empty).
-Result<double> TotalWeight(const Table& table,
+[[nodiscard]] Result<double> TotalWeight(const Table& table,
                            const std::string& weight_column);
 
 }  // namespace exec

@@ -15,7 +15,7 @@ bool IsNumericType(DataType t) {
 }
 
 /// Static result type of an arithmetic binary op.
-Result<DataType> ArithmeticType(sql::BinaryOp op, DataType lhs,
+[[nodiscard]] Result<DataType> ArithmeticType(sql::BinaryOp op, DataType lhs,
                                 DataType rhs) {
   if (!IsNumericType(lhs) || !IsNumericType(rhs)) {
     return Status::TypeError("arithmetic requires numeric operands");
@@ -210,7 +210,7 @@ void SpecializeStringPredicates(BoundExpr* expr, const Table& table) {
   }
 }
 
-Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
+[[nodiscard]] Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
                            size_t row, const std::vector<Value>* agg_values) {
   switch (expr.kind) {
     case BoundExpr::Kind::kLiteral:
@@ -347,7 +347,7 @@ Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
   return Status::Internal("unreachable bound expression kind");
 }
 
-Result<std::vector<size_t>> FilterRows(const Table& table,
+[[nodiscard]] Result<std::vector<size_t>> FilterRows(const Table& table,
                                        const sql::Expr& predicate) {
   Binder binder(&table.schema());
   MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(predicate));
@@ -364,7 +364,7 @@ Result<std::vector<size_t>> FilterRows(const Table& table,
   return rows;
 }
 
-Result<Value> EvaluateScalarOnRow(const Table& table, size_t row,
+[[nodiscard]] Result<Value> EvaluateScalarOnRow(const Table& table, size_t row,
                                   const sql::Expr& expr) {
   Binder binder(&table.schema());
   MOSAIC_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(expr));

@@ -64,7 +64,7 @@ class Binder {
 
   /// Bind a scalar expression. Errors on aggregates unless an
   /// aggregate mapper is installed via set_aggregate_mapper.
-  Result<BoundExprPtr> Bind(const sql::Expr& expr);
+  [[nodiscard]] Result<BoundExprPtr> Bind(const sql::Expr& expr);
 
   /// Install a callback that maps an aggregate AST node to a slot
   /// index (used when projecting SELECT items after aggregation).
@@ -82,7 +82,7 @@ class Binder {
 
 /// Evaluate a bound expression for one row of `table`. For
 /// kAggResult nodes, `agg_values` supplies the slot values.
-Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
+[[nodiscard]] Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& table,
                            size_t row,
                            const std::vector<Value>* agg_values = nullptr);
 
@@ -96,12 +96,12 @@ void SpecializeStringPredicates(BoundExpr* expr, const Table& table);
 
 /// Evaluate a predicate over every row; returns indices where it is
 /// true. The predicate must be aggregate-free and boolean-typed.
-Result<std::vector<size_t>> FilterRows(const Table& table,
+[[nodiscard]] Result<std::vector<size_t>> FilterRows(const Table& table,
                                        const sql::Expr& predicate);
 
 /// Convenience: bind + evaluate an aggregate-free expression on one
 /// row.
-Result<Value> EvaluateScalarOnRow(const Table& table, size_t row,
+[[nodiscard]] Result<Value> EvaluateScalarOnRow(const Table& table, size_t row,
                                   const sql::Expr& expr);
 
 }  // namespace exec

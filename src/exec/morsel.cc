@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace mosaic {
 namespace exec {
@@ -33,8 +33,11 @@ struct ClaimState {
   /// that morsel and only read after `done` reached `total`
   /// (release/acquire on `done` orders the accesses).
   std::vector<Status> status;
-  std::mutex mu;
-  std::condition_variable all_done;
+  /// mu orders the final notify against the driver's wait; the data
+  /// it fences (done/status) is already atomic-ordered, so nothing is
+  /// GUARDED_BY it.
+  Mutex mu;
+  CondVar all_done;
   /// Null once the driver returned; guarded by the claim protocol:
   /// only dereferenced for a successfully claimed morsel, and the
   /// driver cannot return while any morsel is claimed but unfinished.
@@ -63,8 +66,8 @@ void ClaimLoop(ClaimState* state) {
     // without breaking the done-counter protocol.
     if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state->total) {
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->all_done.notify_all();
+      MutexLock lock(state->mu);
+      state->all_done.NotifyAll();
     }
   }
 }
@@ -116,10 +119,10 @@ Status MorselDriver::Run(size_t num_morsels,
   }
   ClaimLoop(state.get());
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->all_done.wait(lock, [&state] {
-      return state->done.load(std::memory_order_acquire) == state->total;
-    });
+    MutexLock lock(state->mu);
+    while (state->done.load(std::memory_order_acquire) != state->total) {
+      state->all_done.Wait(lock);
+    }
   }
   state->fn = nullptr;
   for (size_t m = 0; m < num_morsels; ++m) {

@@ -84,7 +84,7 @@ class MorselDriver {
   /// (deterministic regardless of execution interleaving). Blocks
   /// until every started morsel finished; never blocks on pool
   /// capacity.
-  Status Run(size_t num_morsels,
+  [[nodiscard]] Status Run(size_t num_morsels,
              const std::function<Status(size_t)>& fn) const;
 
  private:

@@ -38,7 +38,7 @@ class Client {
 
   /// Connect and run the HELLO handshake. The client is usable only
   /// after this succeeds.
-  Status Connect(const ClientOptions& options);
+  [[nodiscard]] Status Connect(const ClientOptions& options);
 
   bool connected() const { return fd_ >= 0; }
 
@@ -53,37 +53,37 @@ class Client {
   /// Run one statement; returns the result table or the statement's
   /// error. Transport or protocol failures also surface as Status and
   /// leave the connection closed.
-  Result<Table> Query(const std::string& sql);
+  [[nodiscard]] Result<Table> Query(const std::string& sql);
 
   /// Same, carrying a distributed-trace context (minor 2). With
   /// `ctx.sampled` set, an EXPLAIN ANALYZE statement returns the full
   /// server-side span tree annotated with `ctx.trace_id`. Against a
   /// pre-minor-2 server the context is silently dropped (the legacy
   /// payload is sent) rather than poisoning the connection.
-  Result<Table> Query(const std::string& sql, const TraceContext& ctx);
+  [[nodiscard]] Result<Table> Query(const std::string& sql, const TraceContext& ctx);
 
   /// Run a batch; the server fans the statements across its request
   /// pool and replies once with per-statement outcomes in input order.
-  Result<std::vector<QueryOutcome>> Batch(
+  [[nodiscard]] Result<std::vector<QueryOutcome>> Batch(
       const std::vector<std::string>& sqls);
 
   /// Batch under one trace context covering every statement.
-  Result<std::vector<QueryOutcome>> Batch(
+  [[nodiscard]] Result<std::vector<QueryOutcome>> Batch(
       const std::vector<std::string>& sqls, const TraceContext& ctx);
 
   /// Fetch the server's combined service + network counters.
-  Result<StatsSnapshot> Stats();
+  [[nodiscard]] Result<StatsSnapshot> Stats();
 
   /// Polite shutdown: CLOSE, wait for GOODBYE, close the socket.
   /// Also called by the destructor (best effort, errors swallowed).
-  Status Close();
+  [[nodiscard]] Status Close();
 
  private:
-  Status SendFrame(MessageType type, std::string_view payload);
+  [[nodiscard]] Status SendFrame(MessageType type, std::string_view payload);
   /// Block until one full frame arrives. An ERROR frame is surfaced
   /// as its carried Status and closes the connection.
-  Result<Frame> ReadFrame();
-  Result<Frame> Roundtrip(MessageType type, std::string_view payload,
+  [[nodiscard]] Result<Frame> ReadFrame();
+  [[nodiscard]] Result<Frame> Roundtrip(MessageType type, std::string_view payload,
                           MessageType expected_reply);
   void Disconnect();
 

@@ -17,7 +17,9 @@ namespace net {
 
 namespace {
 
-Status Errno(const char* what) {
+[[nodiscard]] Status Errno(const char* what) {
+  // lint:allow errno-no-syscall: called on the failure path right
+  // after the syscall; errno still holds that call's error.
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 

@@ -48,7 +48,7 @@ class MetricsHttpServer {
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
 
   /// Bind, listen, and start the serving thread.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// Port actually bound; valid after Start().
   uint16_t port() const { return port_; }

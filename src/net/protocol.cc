@@ -11,7 +11,7 @@ namespace net {
 
 namespace {
 
-Status Truncated(const char* what) {
+[[nodiscard]] Status Truncated(const char* what) {
   return Status::InvalidArgument(std::string("truncated frame: ") + what);
 }
 
@@ -95,8 +95,10 @@ void FrameReader::Feed(const char* data, size_t n) {
 Result<bool> FrameReader::Next(Frame* frame) {
   if (!error_.ok()) return error_;
   if (buffered() < kFrameLengthBytes) return false;
-  const unsigned char* p =
-      reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  // This *is* the bounds-checked cursor: buffered() was tested
+  // against kFrameLengthBytes above.
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(
+      buf_.data() + pos_);  // lint:allow wire-pointer-arith: see above
   const uint32_t length = static_cast<uint32_t>(p[0]) |
                           (static_cast<uint32_t>(p[1]) << 8) |
                           (static_cast<uint32_t>(p[2]) << 16) |
@@ -230,7 +232,7 @@ void EncodeValue(const Value& v, WireWriter* w) {
   }
 }
 
-Result<Value> DecodeValue(WireReader* r) {
+[[nodiscard]] Result<Value> DecodeValue(WireReader* r) {
   MOSAIC_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
   if (tag > kMaxDataTypeTag) {
     return Status::InvalidArgument("unknown value type tag " +
@@ -264,7 +266,7 @@ void EncodeStatus(const Status& s, WireWriter* w) {
   w->PutString(s.message());
 }
 
-Status DecodeStatus(WireReader* r, Status* out) {
+[[nodiscard]] Status DecodeStatus(WireReader* r, Status* out) {
   MOSAIC_ASSIGN_OR_RETURN(uint8_t code, r->ReadU8());
   if (code > kMaxStatusCode) {
     return Status::InvalidArgument("unknown status code " +
@@ -315,7 +317,7 @@ void EncodeTable(const Table& t, WireWriter* w) {
   }
 }
 
-Result<Table> DecodeTable(WireReader* r) {
+[[nodiscard]] Result<Table> DecodeTable(WireReader* r) {
   MOSAIC_ASSIGN_OR_RETURN(uint32_t num_columns, r->ReadU32());
   // Each declared column costs at least 5 bytes (empty name + type),
   // so a count the payload cannot hold is rejected up front.
@@ -421,7 +423,7 @@ void EncodeQueryOutcome(const QueryOutcome& o, WireWriter* w) {
   }
 }
 
-Result<QueryOutcome> DecodeQueryOutcome(WireReader* r) {
+[[nodiscard]] Result<QueryOutcome> DecodeQueryOutcome(WireReader* r) {
   MOSAIC_ASSIGN_OR_RETURN(bool ok, r->ReadBool());
   QueryOutcome outcome;
   if (ok) {
@@ -446,7 +448,7 @@ std::string EncodeHelloRequest(const HelloRequest& m) {
   return w.Take();
 }
 
-Result<HelloRequest> DecodeHelloRequest(std::string_view payload) {
+[[nodiscard]] Result<HelloRequest> DecodeHelloRequest(std::string_view payload) {
   WireReader r(payload);
   HelloRequest m;
   MOSAIC_ASSIGN_OR_RETURN(m.version, r.ReadU32());
@@ -463,7 +465,7 @@ std::string EncodeHelloReply(const HelloReply& m) {
   return w.Take();
 }
 
-Result<HelloReply> DecodeHelloReply(std::string_view payload) {
+[[nodiscard]] Result<HelloReply> DecodeHelloReply(std::string_view payload) {
   WireReader r(payload);
   HelloReply m;
   MOSAIC_ASSIGN_OR_RETURN(m.version, r.ReadU32());
@@ -492,7 +494,7 @@ void PutTraceContext(const TraceContext& ctx, WireWriter* w) {
 /// Minor-2 tail rule: nothing after the prefix means "no trace
 /// context" (a minor-0/1 peer sent the frame); a partial tail is a
 /// protocol error, never silently zero-filled.
-Status ReadTraceContextTail(WireReader* r, TraceContext* out) {
+[[nodiscard]] Status ReadTraceContextTail(WireReader* r, TraceContext* out) {
   if (r->AtEnd()) {
     *out = TraceContext();
     return Status::OK();
@@ -522,7 +524,7 @@ std::string EncodeQueryRequest(const QueryRequest& m) {
   return w.Take();
 }
 
-Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+[[nodiscard]] Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   WireReader r(payload);
   QueryRequest m;
   MOSAIC_ASSIGN_OR_RETURN(m.sql, r.ReadString());
@@ -545,7 +547,7 @@ std::string EncodeBatchRequest(const BatchRequest& m) {
   return w.Take();
 }
 
-Result<BatchRequest> DecodeBatchRequest(std::string_view payload) {
+[[nodiscard]] Result<BatchRequest> DecodeBatchRequest(std::string_view payload) {
   WireReader r(payload);
   MOSAIC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
   if (count > r.remaining() / 4) {
@@ -567,7 +569,7 @@ std::string EncodeResultReply(const QueryOutcome& outcome) {
   return w.Take();
 }
 
-Result<QueryOutcome> DecodeResultReply(std::string_view payload) {
+[[nodiscard]] Result<QueryOutcome> DecodeResultReply(std::string_view payload) {
   WireReader r(payload);
   return DecodeQueryOutcome(&r);
 }
@@ -580,7 +582,7 @@ std::string EncodeBatchResultReply(
   return w.Take();
 }
 
-Result<std::vector<QueryOutcome>> DecodeBatchResultReply(
+[[nodiscard]] Result<std::vector<QueryOutcome>> DecodeBatchResultReply(
     std::string_view payload) {
   WireReader r(payload);
   MOSAIC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
@@ -605,7 +607,7 @@ void EncodeHistogramSnapshot(const std::string& name,
   for (uint64_t b : h.buckets) w->PutU64(b);
 }
 
-Result<StatsSnapshot::HistogramEntry> DecodeHistogramSnapshot(
+[[nodiscard]] Result<StatsSnapshot::HistogramEntry> DecodeHistogramSnapshot(
     WireReader* r) {
   StatsSnapshot::HistogramEntry e;
   MOSAIC_ASSIGN_OR_RETURN(e.name, r->ReadString());
@@ -655,7 +657,7 @@ std::string EncodeStatsReply(const StatsSnapshot& m) {
   return w.Take();
 }
 
-Result<StatsSnapshot> DecodeStatsReply(std::string_view payload) {
+[[nodiscard]] Result<StatsSnapshot> DecodeStatsReply(std::string_view payload) {
   WireReader r(payload);
   MOSAIC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
   if (static_cast<uint64_t>(count) * 8 > r.remaining()) {
@@ -706,7 +708,7 @@ std::string EncodeErrorReply(const Status& status) {
   return w.Take();
 }
 
-Status DecodeErrorReply(std::string_view payload, Status* out) {
+[[nodiscard]] Status DecodeErrorReply(std::string_view payload, Status* out) {
   WireReader r(payload);
   return DecodeStatus(&r, out);
 }

@@ -121,7 +121,7 @@ class FrameReader {
   /// Pop the next complete frame into `*frame`. Returns true when a
   /// frame was produced, false when more bytes are needed; Status on
   /// an oversized or corrupt length prefix.
-  Result<bool> Next(Frame* frame);
+  [[nodiscard]] Result<bool> Next(Frame* frame);
 
   /// Bytes buffered but not yet returned as frames.
   size_t buffered() const { return buf_.size() - pos_; }
@@ -160,20 +160,20 @@ class WireReader {
  public:
   explicit WireReader(std::string_view data) : data_(data) {}
 
-  Result<uint8_t> ReadU8();
-  Result<bool> ReadBool();
-  Result<uint32_t> ReadU32();
-  Result<uint64_t> ReadU64();
-  Result<int64_t> ReadI64();
-  Result<double> ReadDouble();
+  [[nodiscard]] Result<uint8_t> ReadU8();
+  [[nodiscard]] Result<bool> ReadBool();
+  [[nodiscard]] Result<uint32_t> ReadU32();
+  [[nodiscard]] Result<uint64_t> ReadU64();
+  [[nodiscard]] Result<int64_t> ReadI64();
+  [[nodiscard]] Result<double> ReadDouble();
   /// Rejects declared lengths exceeding the bytes actually present.
-  Result<std::string> ReadString();
+  [[nodiscard]] Result<std::string> ReadString();
 
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return remaining() == 0; }
 
  private:
-  Status Need(size_t n, const char* what);
+  [[nodiscard]] Status Need(size_t n, const char* what);
 
   std::string_view data_;
   size_t pos_ = 0;
@@ -185,17 +185,17 @@ class WireReader {
 
 /// Scalar Value: one type tag byte + payload; NULL is the tag alone.
 void EncodeValue(const Value& v, WireWriter* w);
-Result<Value> DecodeValue(WireReader* r);
+[[nodiscard]] Result<Value> DecodeValue(WireReader* r);
 
 /// Status: code byte + message string. (Decode uses an out-parameter
 /// because Result<Status> would be ill-formed.)
 void EncodeStatus(const Status& s, WireWriter* w);
-Status DecodeStatus(WireReader* r, Status* out);
+[[nodiscard]] Status DecodeStatus(WireReader* r, Status* out);
 
 /// Columnar table codec (schema, row count, column payloads; string
 /// columns as dictionary + codes).
 void EncodeTable(const Table& t, WireWriter* w);
-Result<Table> DecodeTable(WireReader* r);
+[[nodiscard]] Result<Table> DecodeTable(WireReader* r);
 
 /// Outcome of one statement as it travels the wire: `table` is
 /// meaningful iff `status.ok()`.
@@ -207,7 +207,7 @@ struct QueryOutcome {
 };
 
 void EncodeQueryOutcome(const QueryOutcome& o, WireWriter* w);
-Result<QueryOutcome> DecodeQueryOutcome(WireReader* r);
+[[nodiscard]] Result<QueryOutcome> DecodeQueryOutcome(WireReader* r);
 
 // ---------------------------------------------------------------------------
 // Messages
@@ -274,14 +274,14 @@ struct StatsSnapshot {
 void EncodeHistogramSnapshot(const std::string& name,
                              const metrics::HistogramSnapshot& h,
                              WireWriter* w);
-Result<StatsSnapshot::HistogramEntry> DecodeHistogramSnapshot(
+[[nodiscard]] Result<StatsSnapshot::HistogramEntry> DecodeHistogramSnapshot(
     WireReader* r);
 
 std::string EncodeHelloRequest(const HelloRequest& m);
-Result<HelloRequest> DecodeHelloRequest(std::string_view payload);
+[[nodiscard]] Result<HelloRequest> DecodeHelloRequest(std::string_view payload);
 
 std::string EncodeHelloReply(const HelloReply& m);
-Result<HelloReply> DecodeHelloReply(std::string_view payload);
+[[nodiscard]] Result<HelloReply> DecodeHelloReply(std::string_view payload);
 
 /// Distributed-trace context appended (minor 2) to QUERY and BATCH.
 /// All-zero means "no context"; `sampled` asks the server to collect
@@ -316,27 +316,27 @@ struct BatchRequest {
 /// compatibility tests and old-client emulation.
 std::string EncodeQueryRequest(const std::string& sql);
 std::string EncodeQueryRequest(const QueryRequest& m);
-Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
+[[nodiscard]] Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
 
 std::string EncodeBatchRequest(const std::vector<std::string>& sqls);
 std::string EncodeBatchRequest(const BatchRequest& m);
-Result<BatchRequest> DecodeBatchRequest(std::string_view payload);
+[[nodiscard]] Result<BatchRequest> DecodeBatchRequest(std::string_view payload);
 
 /// RESULT payload: one QueryOutcome.
 std::string EncodeResultReply(const QueryOutcome& outcome);
-Result<QueryOutcome> DecodeResultReply(std::string_view payload);
+[[nodiscard]] Result<QueryOutcome> DecodeResultReply(std::string_view payload);
 
 /// BATCH_RESULT payload: uint32 count + outcomes, in request order.
 std::string EncodeBatchResultReply(const std::vector<QueryOutcome>& outcomes);
-Result<std::vector<QueryOutcome>> DecodeBatchResultReply(
+[[nodiscard]] Result<std::vector<QueryOutcome>> DecodeBatchResultReply(
     std::string_view payload);
 
 std::string EncodeStatsReply(const StatsSnapshot& m);
-Result<StatsSnapshot> DecodeStatsReply(std::string_view payload);
+[[nodiscard]] Result<StatsSnapshot> DecodeStatsReply(std::string_view payload);
 
 /// ERROR payload: the Status that killed the conversation.
 std::string EncodeErrorReply(const Status& status);
-Status DecodeErrorReply(std::string_view payload, Status* out);
+[[nodiscard]] Status DecodeErrorReply(std::string_view payload, Status* out);
 
 }  // namespace net
 }  // namespace mosaic

@@ -92,7 +92,7 @@ class Server {
 
   /// Bind, listen, and start the poll thread. Fails (without leaking
   /// sockets) when the address is unavailable.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// Port actually bound (resolves port 0); valid after Start().
   uint16_t port() const { return port_; }
@@ -118,15 +118,15 @@ class Server {
  private:
   void PollLoop();
   void AcceptPending();
-  Status ReadFromConnection(Connection* conn);
-  Status HandleFrame(Connection* conn, Frame frame);
+  [[nodiscard]] Status ReadFromConnection(Connection* conn);
+  [[nodiscard]] Status HandleFrame(Connection* conn, Frame frame);
   void DispatchQuery(Connection* conn, uint64_t seq, std::string sql,
                      service::RequestContext ctx);
   void DispatchBatch(Connection* conn, uint64_t seq,
                      std::vector<std::string> sqls,
                      service::RequestContext ctx);
   void FlushReady(Connection* conn);
-  Status WriteToConnection(Connection* conn);
+  [[nodiscard]] Status WriteToConnection(Connection* conn);
   void SendProtocolError(Connection* conn, const Status& error);
   void CloseConnection(size_t index, bool abort_inflight);
   /// CAS-max the in-flight highwater to `depth`.

@@ -139,23 +139,8 @@ void QueryService::RegisterSystemTables() {
   // Overrides the Database's empty-stub providers with live ones. The
   // lambdas run on request-pool threads (inside a SELECT), so they
   // may only touch thread-safe state.
-  db_.RegisterSystemTable("sessions", [this]() -> Result<Table> {
-    MOSAIC_ASSIGN_OR_RETURN(Table out, core::EmptySessionsTable());
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-      if (auto state = it->second.lock()) {
-        MOSAIC_RETURN_IF_ERROR(out.AppendRow(
-            {Value(static_cast<int64_t>(state->id)),
-             Value(static_cast<int64_t>(
-                 state->submitted.load(std::memory_order_relaxed)))}));
-        ++it;
-      } else {
-        // All handles gone without CloseSession: drop lazily.
-        it = sessions_.erase(it);
-      }
-    }
-    return out;
-  });
+  db_.RegisterSystemTable("sessions",
+                          [this]() { return SessionsTable(); });
   if (storage_engine_ != nullptr) {
     const std::string dir = storage_engine_->data_dir();
     db_.RegisterSystemTable("snapshots", [dir]() -> Result<Table> {
@@ -191,6 +176,24 @@ void QueryService::RegisterSystemTables() {
   }
 }
 
+Result<Table> QueryService::SessionsTable() {
+  MOSAIC_ASSIGN_OR_RETURN(Table out, core::EmptySessionsTable());
+  MutexLock lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (auto state = it->second.lock()) {
+      MOSAIC_RETURN_IF_ERROR(out.AppendRow(
+          {Value(static_cast<int64_t>(state->id)),
+           Value(static_cast<int64_t>(
+               state->submitted.load(std::memory_order_relaxed)))}));
+      ++it;
+    } else {
+      // All handles gone without CloseSession: drop lazily.
+      it = sessions_.erase(it);
+    }
+  }
+  return out;
+}
+
 QueryService::~QueryService() { Shutdown(); }
 
 Session QueryService::OpenSession() {
@@ -198,7 +201,7 @@ Session QueryService::OpenSession() {
   state->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions_[state->id] = state;
   }
   return Session(this, std::move(state));
@@ -206,7 +209,7 @@ Session QueryService::OpenSession() {
 
 void QueryService::CloseSession(const Session& session) {
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions_.erase(session.state_->id);
   }
   sessions_closed_.fetch_add(1, std::memory_order_relaxed);
@@ -417,11 +420,10 @@ Result<Table> QueryService::RunInternal(const std::string& sql,
         canonical = std::move(*canon);
       }
     }
-    std::shared_lock<std::shared_mutex> read_lock(catalog_mu_,
-                                                  std::defer_lock);
+    ReaderLock read_lock(catalog_mu_, std::defer_lock);
     {
       trace::ScopedSpan span(trace, stmt_span.id(), "lock_wait");
-      read_lock.lock();
+      read_lock.Lock();
     }
     // Stamped lookup under the shared lock: the stamp pins which
     // catalog version and weight epoch the entry must have been
@@ -472,11 +474,10 @@ Result<Table> QueryService::RunInternal(const std::string& sql,
   }
 
   writes_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> write_lock(catalog_mu_,
-                                                 std::defer_lock);
+  WriterLock write_lock(catalog_mu_, std::defer_lock);
   {
     trace::ScopedSpan span(trace, stmt_span.id(), "lock_wait");
-    write_lock.lock();
+    write_lock.Lock();
   }
   Result<Table> result = [&]() -> Result<Table> {
     trace::ScopedSpan span(trace, stmt_span.id(), "execute");
@@ -501,12 +502,17 @@ Status QueryService::TriggerSnapshot() {
   durable::StorageEngine::PendingSnapshot pending;
   {
     // Writers excluded: the captured image is a statement boundary.
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-    auto begun = storage_engine_->BeginSnapshot(&db_);
+    WriterLock lock(catalog_mu_);
+    auto begun = CaptureSnapshotLocked();
     if (!begun.ok()) return begun.status();
     pending = std::move(*begun);
   }
   return storage_engine_->CommitSnapshot(std::move(pending));
+}
+
+Result<durable::StorageEngine::PendingSnapshot>
+QueryService::CaptureSnapshotLocked() {
+  return storage_engine_->BeginSnapshot(&db_);
 }
 
 ServiceStats QueryService::Stats() const {

@@ -36,7 +36,7 @@ const char* PunctText(sql::TokenType type) {
 
 }  // namespace
 
-Result<std::string> CanonicalizeSql(const std::string& sql) {
+[[nodiscard]] Result<std::string> CanonicalizeSql(const std::string& sql) {
   MOSAIC_ASSIGN_OR_RETURN(auto tokens, sql::Lex(sql));
   std::string out;
   out.reserve(sql.size());
@@ -93,7 +93,7 @@ StatementClass ClassifyStatement(const sql::Statement& stmt) {
   return StatementClass::kWrite;
 }
 
-Result<StatementClass> ClassifySql(const std::string& sql) {
+[[nodiscard]] Result<StatementClass> ClassifySql(const std::string& sql) {
   MOSAIC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   return ClassifyStatement(stmt);
 }

@@ -16,7 +16,7 @@ namespace service {
 /// literals normalized — so "select  COUNT(*) from T" and
 /// "SELECT count(*) FROM t" share one result-cache entry. Fails on
 /// statements the lexer rejects.
-Result<std::string> CanonicalizeSql(const std::string& sql);
+[[nodiscard]] Result<std::string> CanonicalizeSql(const std::string& sql);
 
 /// How the service must schedule a statement.
 enum class StatementClass {
@@ -38,7 +38,7 @@ StatementClass ClassifyStatement(const sql::Statement& stmt);
 
 /// Parse and classify one statement. Parse failures are returned
 /// verbatim so the caller can surface them without re-parsing.
-Result<StatementClass> ClassifySql(const std::string& sql);
+[[nodiscard]] Result<StatementClass> ClassifySql(const std::string& sql);
 
 }  // namespace service
 }  // namespace mosaic

@@ -79,7 +79,7 @@ bool IsReservedKeyword(const std::string& w) {
   return kKeywords.count(w) > 0;
 }
 
-Result<std::vector<Token>> Lex(const std::string& input) {
+[[nodiscard]] Result<std::vector<Token>> Lex(const std::string& input) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = input.size();

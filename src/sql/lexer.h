@@ -17,7 +17,7 @@ bool IsReservedKeyword(const std::string& upper_word);
 
 /// Tokenize the whole input. The returned vector always ends with an
 /// kEof token. Errors carry the byte offset of the offending char.
-Result<std::vector<Token>> Lex(const std::string& input);
+[[nodiscard]] Result<std::vector<Token>> Lex(const std::string& input);
 
 }  // namespace sql
 }  // namespace mosaic

@@ -13,7 +13,7 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<std::vector<Statement>> ParseScript() {
+  [[nodiscard]] Result<std::vector<Statement>> ParseScript() {
     std::vector<Statement> out;
     while (!AtEof()) {
       if (Peek().type == TokenType::kSemicolon) {
@@ -29,7 +29,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseStatement() {
+  [[nodiscard]] Result<Statement> ParseStatement() {
     const Token& t = Peek();
     if (t.IsKeyword("SELECT")) {
       MOSAIC_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
@@ -85,7 +85,7 @@ class Parser {
     return false;
   }
 
-  Status Expect(TokenType type, const char* what) {
+  [[nodiscard]] Status Expect(TokenType type, const char* what) {
     if (Peek().type != type) {
       return Status::ParseError(std::string("expected ") + what + ", got " +
                                 Describe(Peek()));
@@ -94,7 +94,7 @@ class Parser {
     return Status::OK();
   }
 
-  Status ExpectKeyword(const char* kw) {
+  [[nodiscard]] Status ExpectKeyword(const char* kw) {
     if (!Peek().IsKeyword(kw)) {
       return Status::ParseError(std::string("expected ") + kw + ", got " +
                                 Describe(Peek()));
@@ -108,7 +108,7 @@ class Parser {
     return TokenTypeName(t.type) + " '" + t.text + "'";
   }
 
-  Status Error(const std::string& msg) const {
+  [[nodiscard]] Status Error(const std::string& msg) const {
     return Status::ParseError(
         msg + StrFormat(" (at offset %zu)", Peek().offset));
   }
@@ -116,7 +116,7 @@ class Parser {
   /// Identifier, or any keyword usable as a name (we keep the reserved
   /// set small, but e.g. a column called "percent" would clash; allow
   /// non-structural keywords as identifiers where unambiguous).
-  Result<std::string> ParseIdentifier(const char* what) {
+  [[nodiscard]] Result<std::string> ParseIdentifier(const char* what) {
     const Token& t = Peek();
     if (t.type == TokenType::kIdentifier) {
       Advance();
@@ -139,7 +139,7 @@ class Parser {
 
   // ---- SELECT ------------------------------------------------------------
 
-  Result<SelectStmt> ParseSelect() {
+  [[nodiscard]] Result<SelectStmt> ParseSelect() {
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     SelectStmt sel;
     // Visibility keyword (paper §3.3). "SEMI-OPEN" lexes as
@@ -240,7 +240,7 @@ class Parser {
 
   // ---- CREATE ------------------------------------------------------------
 
-  Result<Statement> ParseCreate() {
+  [[nodiscard]] Result<Statement> ParseCreate() {
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
     bool temporary = MatchKeyword("TEMPORARY");
     bool global = MatchKeyword("GLOBAL");
@@ -267,7 +267,7 @@ class Parser {
     return Error("expected TABLE, POPULATION, SAMPLE or METADATA");
   }
 
-  Result<std::vector<ColumnDef>> ParseColumnDefs() {
+  [[nodiscard]] Result<std::vector<ColumnDef>> ParseColumnDefs() {
     MOSAIC_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
     std::vector<ColumnDef> defs;
     for (;;) {
@@ -283,7 +283,7 @@ class Parser {
     return defs;
   }
 
-  Result<Statement> ParseCreateTable(bool temporary) {
+  [[nodiscard]] Result<Statement> ParseCreateTable(bool temporary) {
     CreateTableStmt stmt;
     stmt.temporary = temporary;
     MOSAIC_ASSIGN_OR_RETURN(stmt.name, ParseIdentifier("table name"));
@@ -295,7 +295,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseCreatePopulation(bool global) {
+  [[nodiscard]] Result<Statement> ParseCreatePopulation(bool global) {
     CreatePopulationStmt stmt;
     stmt.global = global;
     MOSAIC_ASSIGN_OR_RETURN(stmt.name, ParseIdentifier("population name"));
@@ -313,7 +313,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseCreateSample() {
+  [[nodiscard]] Result<Statement> ParseCreateSample() {
     CreateSampleStmt stmt;
     MOSAIC_ASSIGN_OR_RETURN(stmt.name, ParseIdentifier("sample name"));
     if (Peek().type == TokenType::kLParen && !Peek(1).IsKeyword("SELECT")) {
@@ -357,7 +357,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseCreateMetadata() {
+  [[nodiscard]] Result<Statement> ParseCreateMetadata() {
     CreateMetadataStmt stmt;
     MOSAIC_ASSIGN_OR_RETURN(stmt.name, ParseIdentifier("metadata name"));
     if (MatchKeyword("FOR")) {
@@ -382,7 +382,7 @@ class Parser {
 
   // ---- INSERT / COPY / DROP / UPDATE --------------------------------------
 
-  Result<Statement> ParseInsert() {
+  [[nodiscard]] Result<Statement> ParseInsert() {
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("INTO"));
     InsertStmt stmt;
@@ -405,7 +405,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseCopy() {
+  [[nodiscard]] Result<Statement> ParseCopy() {
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("COPY"));
     CopyStmt stmt;
     MOSAIC_ASSIGN_OR_RETURN(stmt.table, ParseIdentifier("table name"));
@@ -419,7 +419,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseDrop() {
+  [[nodiscard]] Result<Statement> ParseDrop() {
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("DROP"));
     DropStmt stmt;
     if (MatchKeyword("TABLE")) {
@@ -443,7 +443,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseShow() {
+  [[nodiscard]] Result<Statement> ParseShow() {
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
     ShowStmt stmt;
     if (MatchKeyword("TABLES")) {
@@ -465,7 +465,7 @@ class Parser {
     return out;
   }
 
-  Result<Statement> ParseUpdate() {
+  [[nodiscard]] Result<Statement> ParseUpdate() {
     MOSAIC_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
     UpdateStmt stmt;
     MOSAIC_ASSIGN_OR_RETURN(stmt.table, ParseIdentifier("table name"));
@@ -489,9 +489,9 @@ class Parser {
   // ---- Expressions ---------------------------------------------------------
   // Precedence: OR < AND < NOT < comparison/IN/BETWEEN < add < mul < unary.
 
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  [[nodiscard]] Result<ExprPtr> ParseExpr() { return ParseOr(); }
 
-  Result<ExprPtr> ParseOr() {
+  [[nodiscard]] Result<ExprPtr> ParseOr() {
     MOSAIC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
     while (MatchKeyword("OR")) {
       MOSAIC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
@@ -500,7 +500,7 @@ class Parser {
     return lhs;
   }
 
-  Result<ExprPtr> ParseAnd() {
+  [[nodiscard]] Result<ExprPtr> ParseAnd() {
     MOSAIC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
     while (MatchKeyword("AND")) {
       MOSAIC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
@@ -509,7 +509,7 @@ class Parser {
     return lhs;
   }
 
-  Result<ExprPtr> ParseNot() {
+  [[nodiscard]] Result<ExprPtr> ParseNot() {
     if (MatchKeyword("NOT")) {
       MOSAIC_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
       return Expr::MakeUnary(UnaryOp::kNot, std::move(operand));
@@ -517,7 +517,7 @@ class Parser {
     return ParseComparison();
   }
 
-  Result<ExprPtr> ParseComparison() {
+  [[nodiscard]] Result<ExprPtr> ParseComparison() {
     MOSAIC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
     // IN / NOT IN / BETWEEN
     if (MatchKeyword("IN")) {
@@ -562,7 +562,7 @@ class Parser {
     return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
   }
 
-  Result<ExprPtr> ParseInList(ExprPtr subject, bool negated) {
+  [[nodiscard]] Result<ExprPtr> ParseInList(ExprPtr subject, bool negated) {
     MOSAIC_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' or '['"));
     std::vector<Value> list;
     for (;;) {
@@ -576,7 +576,7 @@ class Parser {
     return in;
   }
 
-  Result<ExprPtr> ParseAdditive() {
+  [[nodiscard]] Result<ExprPtr> ParseAdditive() {
     MOSAIC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
     for (;;) {
       BinaryOp op;
@@ -593,7 +593,7 @@ class Parser {
     }
   }
 
-  Result<ExprPtr> ParseMultiplicative() {
+  [[nodiscard]] Result<ExprPtr> ParseMultiplicative() {
     MOSAIC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
     for (;;) {
       BinaryOp op;
@@ -610,7 +610,7 @@ class Parser {
     }
   }
 
-  Result<ExprPtr> ParseUnary() {
+  [[nodiscard]] Result<ExprPtr> ParseUnary() {
     if (Match(TokenType::kMinus)) {
       MOSAIC_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
       return Expr::MakeUnary(UnaryOp::kNeg, std::move(operand));
@@ -621,7 +621,7 @@ class Parser {
     return ParsePrimary();
   }
 
-  Result<ExprPtr> ParsePrimary() {
+  [[nodiscard]] Result<ExprPtr> ParsePrimary() {
     const Token& t = Peek();
     switch (t.type) {
       case TokenType::kIntLiteral:
@@ -692,7 +692,7 @@ class Parser {
     }
   }
 
-  Result<Value> ParseLiteralValue() {
+  [[nodiscard]] Result<Value> ParseLiteralValue() {
     const Token& t = Peek();
     bool negate = false;
     if (t.type == TokenType::kMinus) {
@@ -743,7 +743,7 @@ class Parser {
 
 }  // namespace
 
-Result<Statement> ParseStatement(const std::string& input) {
+[[nodiscard]] Result<Statement> ParseStatement(const std::string& input) {
   MOSAIC_ASSIGN_OR_RETURN(auto stmts, ParseScript(input));
   if (stmts.empty()) return Status::ParseError("empty statement");
   if (stmts.size() > 1) {
@@ -753,7 +753,7 @@ Result<Statement> ParseStatement(const std::string& input) {
   return std::move(stmts[0]);
 }
 
-Result<std::vector<Statement>> ParseScript(const std::string& input) {
+[[nodiscard]] Result<std::vector<Statement>> ParseScript(const std::string& input) {
   MOSAIC_ASSIGN_OR_RETURN(auto tokens, Lex(input));
   Parser parser(std::move(tokens));
   return parser.ParseScript();

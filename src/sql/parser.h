@@ -37,10 +37,10 @@ namespace mosaic {
 namespace sql {
 
 /// Parse one statement (trailing ';' allowed).
-Result<Statement> ParseStatement(const std::string& input);
+[[nodiscard]] Result<Statement> ParseStatement(const std::string& input);
 
 /// Parse a ';'-separated script.
-Result<std::vector<Statement>> ParseScript(const std::string& input);
+[[nodiscard]] Result<std::vector<Statement>> ParseScript(const std::string& input);
 
 }  // namespace sql
 }  // namespace mosaic

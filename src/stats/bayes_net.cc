@@ -16,7 +16,7 @@ namespace {
 
 /// Binning for one table column: categorical for strings/ints/bools,
 /// equi-width for doubles.
-Result<AttributeBinning> BinningForColumn(const Table& data, size_t col,
+[[nodiscard]] Result<AttributeBinning> BinningForColumn(const Table& data, size_t col,
                                           size_t continuous_bins) {
   const Column& c = data.column(col);
   const std::string& name = data.schema().column(col).name;

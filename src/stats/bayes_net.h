@@ -34,7 +34,7 @@ class ChowLiuTree {
   /// Learn structure (maximum spanning tree on pairwise mutual
   /// information) and CPTs from `data`, optionally weighted by
   /// `weight_column`. All table columns become nodes.
-  static Result<ChowLiuTree> Fit(const Table& data,
+  [[nodiscard]] static Result<ChowLiuTree> Fit(const Table& data,
                                  const std::string& weight_column = "",
                                  const BayesNetOptions& options = {});
 
@@ -49,24 +49,24 @@ class ChowLiuTree {
   /// Probability that each attribute falls in its allowed bin set
   /// (empty set = unconstrained). Exact tree inference by upward
   /// message passing.
-  Result<double> MarginalProbability(
+  [[nodiscard]] Result<double> MarginalProbability(
       const std::vector<std::vector<size_t>>& allowed_bins) const;
 
   /// Estimated COUNT(*) for the constraint, given the population
   /// size.
-  Result<double> EstimateCount(
+  [[nodiscard]] Result<double> EstimateCount(
       const std::vector<std::vector<size_t>>& allowed_bins,
       double population_size) const;
 
   /// Ancestral sampling: generate n rows with the original schema.
   /// Continuous attributes are jittered uniformly within the bin.
-  Result<Table> SampleRows(size_t n, Rng* rng) const;
+  [[nodiscard]] Result<Table> SampleRows(size_t n, Rng* rng) const;
 
   /// Binning of a node (to map predicate values to bin sets).
   const AttributeBinning& binning(size_t node) const;
 
   /// Node index by attribute name.
-  Result<size_t> NodeIndex(const std::string& attr) const;
+  [[nodiscard]] Result<size_t> NodeIndex(const std::string& attr) const;
 
  private:
   struct Node {

@@ -49,7 +49,7 @@ class Histogram {
 
   /// Total variation distance between two histograms with identical
   /// binning (0.5 * L1 of normalized masses).
-  static Result<double> TotalVariation(const Histogram& a,
+  [[nodiscard]] static Result<double> TotalVariation(const Histogram& a,
                                        const Histogram& b);
 
  private:

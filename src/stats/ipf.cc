@@ -7,7 +7,7 @@
 namespace mosaic {
 namespace stats {
 
-Result<IpfReport> IterativeProportionalFit(
+[[nodiscard]] Result<IpfReport> IterativeProportionalFit(
     const Table& sample, const std::vector<Marginal>& marginals,
     std::vector<double>* weights, const IpfOptions& options) {
   if (weights == nullptr || weights->size() != sample.num_rows()) {
@@ -121,7 +121,7 @@ Result<IpfReport> IterativeProportionalFit(
   return report;
 }
 
-Result<IpfReport> IncrementalProportionalFit(
+[[nodiscard]] Result<IpfReport> IncrementalProportionalFit(
     const Table& sample, const std::vector<Marginal>& marginals,
     const std::vector<double>& previous_weights,
     std::vector<double>* weights, const IpfOptions& options) {

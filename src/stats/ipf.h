@@ -71,7 +71,7 @@ struct IpfReport {
 /// as the starting point (the paper initializes weights to 1) and is
 /// overwritten with the fitted weights. Rows outside a marginal's
 /// support keep their weight for that marginal's update.
-Result<IpfReport> IterativeProportionalFit(
+[[nodiscard]] Result<IpfReport> IterativeProportionalFit(
     const Table& sample, const std::vector<Marginal>& marginals,
     std::vector<double>* weights, const IpfOptions& options = {});
 
@@ -83,7 +83,7 @@ Result<IpfReport> IterativeProportionalFit(
 /// exits above options.incremental_regress_threshold — the function
 /// falls back to a cold full refit so the result is never worse than
 /// IterativeProportionalFit. `weights` receives the fitted weights.
-Result<IpfReport> IncrementalProportionalFit(
+[[nodiscard]] Result<IpfReport> IncrementalProportionalFit(
     const Table& sample, const std::vector<Marginal>& marginals,
     const std::vector<double>& previous_weights,
     std::vector<double>* weights, const IpfOptions& options = {});

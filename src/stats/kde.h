@@ -38,13 +38,13 @@ class MixedKde {
   /// Fit to (weighted) data; weights must be non-negative with
   /// positive total. Numeric bandwidths use the weighted standard
   /// deviation.
-  static Result<MixedKde> Fit(const Table& data,
+  [[nodiscard]] static Result<MixedKde> Fit(const Table& data,
                               const std::vector<double>& weights,
                               const KdeOptions& options = {});
 
   /// Draw n tuples with the source schema. Integer attributes are
   /// rounded after perturbation.
-  Result<Table> Sample(size_t n, Rng* rng) const;
+  [[nodiscard]] Result<Table> Sample(size_t n, Rng* rng) const;
 
   /// Per-numeric-attribute bandwidths (diagnostics / tests).
   const std::vector<double>& bandwidths() const { return bandwidths_; }

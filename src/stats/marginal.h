@@ -40,7 +40,7 @@ class AttributeBinning {
   /// Bin index of a value. Continuous values clamp into the edge
   /// bins; unseen categorical values return NotFound (they are
   /// outside the marginal's support).
-  Result<size_t> BinOf(const Value& v) const;
+  [[nodiscard]] Result<size_t> BinOf(const Value& v) const;
 
   /// Representative value of a bin: the category, or the bin center.
   Value BinRepresentative(size_t bin) const;
@@ -68,7 +68,7 @@ class Marginal {
  public:
   /// From explicit binnings and counts (counts.size() must equal the
   /// product of bin counts; all counts must be >= 0).
-  static Result<Marginal> FromCounts(std::vector<AttributeBinning> attrs,
+  [[nodiscard]] static Result<Marginal> FromCounts(std::vector<AttributeBinning> attrs,
                                      std::vector<double> counts);
 
   /// From a metadata relation shaped like the paper's
@@ -76,7 +76,7 @@ class Marginal {
   /// output: 1 or 2 attribute columns followed by one numeric count
   /// column. String/int attribute columns get categorical bins over
   /// their distinct values.
-  static Result<Marginal> FromMetadataTable(const Table& table);
+  [[nodiscard]] static Result<Marginal> FromMetadataTable(const Table& table);
 
   /// Ground-truth construction from raw data (used by benches for the
   /// true population and for adding sample marginals over uncovered
@@ -87,7 +87,7 @@ class Marginal {
   /// they have more than `max_int_categories` distinct values, in
   /// which case they fall back to equi-width bins. `weight_column`
   /// optionally weights rows.
-  static Result<Marginal> FromData(
+  [[nodiscard]] static Result<Marginal> FromData(
       const Table& data, const std::vector<std::string>& attrs,
       size_t continuous_bins = 50, const std::string& weight_column = "",
       size_t max_int_categories = static_cast<size_t>(-1));
@@ -109,11 +109,11 @@ class Marginal {
   /// Flattened cell of one table row (resolves attribute columns by
   /// name). NotFound when a categorical value is outside the
   /// marginal's support.
-  Result<size_t> CellOfRow(const Table& table, size_t row) const;
+  [[nodiscard]] Result<size_t> CellOfRow(const Table& table, size_t row) const;
 
   /// Cell ids for every row of `table`; -1 marks rows outside the
   /// marginal's support. Column lookups are hoisted out of the loop.
-  Result<std::vector<int64_t>> CellIds(const Table& table) const;
+  [[nodiscard]] Result<std::vector<int64_t>> CellIds(const Table& table) const;
 
   /// Draw n cells with probability proportional to their counts.
   std::vector<size_t> SampleCells(size_t n, Rng* rng) const;
@@ -123,7 +123,7 @@ class Marginal {
   /// the support contribute their mass to the error). This is the
   /// convergence diagnostic for IPF and the marginal-fit metric in
   /// the benches.
-  Result<double> L1Error(const Table& table,
+  [[nodiscard]] Result<double> L1Error(const Table& table,
                          const std::vector<double>& weights) const;
 
   /// Pretty rendering for debugging.

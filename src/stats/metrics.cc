@@ -6,7 +6,7 @@
 namespace mosaic {
 namespace stats {
 
-Result<double> KolmogorovSmirnov(const std::vector<double>& xs,
+[[nodiscard]] Result<double> KolmogorovSmirnov(const std::vector<double>& xs,
                                  const std::vector<double>& ys) {
   if (xs.empty() || ys.empty()) {
     return Status::InvalidArgument("KS requires non-empty samples");
@@ -28,7 +28,7 @@ Result<double> KolmogorovSmirnov(const std::vector<double>& xs,
   return sup;
 }
 
-Result<double> PearsonCorrelation(const std::vector<double>& xs,
+[[nodiscard]] Result<double> PearsonCorrelation(const std::vector<double>& xs,
                                   const std::vector<double>& ys) {
   if (xs.size() != ys.size()) {
     return Status::InvalidArgument("correlation requires equal sizes");
@@ -55,7 +55,7 @@ Result<double> PearsonCorrelation(const std::vector<double>& xs,
   return cov / std::sqrt(vx * vy);
 }
 
-Result<double> ChiSquare(const std::vector<double>& observed,
+[[nodiscard]] Result<double> ChiSquare(const std::vector<double>& observed,
                          const std::vector<double>& expected) {
   if (observed.size() != expected.size() || observed.empty()) {
     return Status::InvalidArgument("chi-square requires equal-size inputs");
@@ -88,7 +88,7 @@ Result<double> ChiSquare(const std::vector<double>& observed,
   return stat;
 }
 
-Result<double> JensenShannon(const std::vector<double>& p,
+[[nodiscard]] Result<double> JensenShannon(const std::vector<double>& p,
                              const std::vector<double>& q) {
   if (p.size() != q.size() || p.empty()) {
     return Status::InvalidArgument("JS requires equal-size inputs");

@@ -3,7 +3,7 @@
 namespace mosaic {
 namespace stats {
 
-Result<std::vector<double>> UniformMechanismWeights(size_t num_rows,
+[[nodiscard]] Result<std::vector<double>> UniformMechanismWeights(size_t num_rows,
                                                     double percent) {
   if (percent <= 0.0 || percent > 100.0) {
     return Status::InvalidArgument("percent must be in (0, 100]");
@@ -11,7 +11,7 @@ Result<std::vector<double>> UniformMechanismWeights(size_t num_rows,
   return std::vector<double>(num_rows, 100.0 / percent);
 }
 
-Result<std::vector<double>> UniformWeightsToPopulation(
+[[nodiscard]] Result<std::vector<double>> UniformWeightsToPopulation(
     size_t num_rows, double population_size) {
   if (num_rows == 0) {
     return Status::InvalidArgument("empty sample");
@@ -23,7 +23,7 @@ Result<std::vector<double>> UniformWeightsToPopulation(
                              population_size / static_cast<double>(num_rows));
 }
 
-Result<std::vector<double>> StratifiedMechanismWeights(
+[[nodiscard]] Result<std::vector<double>> StratifiedMechanismWeights(
     const Table& sample, const std::string& attr,
     const Marginal& population_marginal) {
   if (population_marginal.arity() != 1 ||

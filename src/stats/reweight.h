@@ -18,20 +18,20 @@ namespace stats {
 
 /// Uniform mechanism with the given sampling percent: every tuple had
 /// inclusion probability percent/100, so every weight is 100/percent.
-Result<std::vector<double>> UniformMechanismWeights(size_t num_rows,
+[[nodiscard]] Result<std::vector<double>> UniformMechanismWeights(size_t num_rows,
                                                     double percent);
 
 /// Uniform reweighting to a known population size: w = N / n for all
 /// tuples (the paper's Unif baseline, which assumes nothing about the
 /// bias).
-Result<std::vector<double>> UniformWeightsToPopulation(
+[[nodiscard]] Result<std::vector<double>> UniformWeightsToPopulation(
     size_t num_rows, double population_size);
 
 /// Stratified mechanism on one attribute: within stratum h the
 /// inclusion probability is n_h / N_h, where n_h counts sample tuples
 /// in the stratum and N_h comes from a 1-D population marginal over
 /// the stratification attribute. Weights are N_h / n_h.
-Result<std::vector<double>> StratifiedMechanismWeights(
+[[nodiscard]] Result<std::vector<double>> StratifiedMechanismWeights(
     const Table& sample, const std::string& attr,
     const Marginal& population_marginal);
 

@@ -15,7 +15,7 @@ struct Atom {
   double mass;
 };
 
-Result<std::vector<Atom>> NormalizedAtoms(const std::vector<double>& xs,
+[[nodiscard]] Result<std::vector<Atom>> NormalizedAtoms(const std::vector<double>& xs,
                                           const std::vector<double>& ws) {
   if (xs.size() != ws.size()) {
     return Status::InvalidArgument("values/weights size mismatch");
@@ -44,7 +44,7 @@ Result<std::vector<Atom>> NormalizedAtoms(const std::vector<double>& xs,
 
 }  // namespace
 
-Result<double> Wasserstein1D(const std::vector<double>& xs,
+[[nodiscard]] Result<double> Wasserstein1D(const std::vector<double>& xs,
                              const std::vector<double>& wx,
                              const std::vector<double>& ys,
                              const std::vector<double>& wy) {
@@ -72,13 +72,13 @@ Result<double> Wasserstein1D(const std::vector<double>& xs,
   return w1;
 }
 
-Result<double> Wasserstein1D(const std::vector<double>& xs,
+[[nodiscard]] Result<double> Wasserstein1D(const std::vector<double>& xs,
                              const std::vector<double>& ys) {
   std::vector<double> wx(xs.size(), 1.0), wy(ys.size(), 1.0);
   return Wasserstein1D(xs, wx, ys, wy);
 }
 
-Result<double> Wasserstein2SquaredMatched(std::vector<double> xs,
+[[nodiscard]] Result<double> Wasserstein2SquaredMatched(std::vector<double> xs,
                                           std::vector<double> ys) {
   if (xs.size() != ys.size() || xs.empty()) {
     return Status::InvalidArgument(
@@ -94,7 +94,7 @@ Result<double> Wasserstein2SquaredMatched(std::vector<double> xs,
   return acc / static_cast<double>(xs.size());
 }
 
-Result<std::vector<std::pair<size_t, size_t>>> SortedMatching(
+[[nodiscard]] Result<std::vector<std::pair<size_t, size_t>>> SortedMatching(
     const std::vector<double>& xs, const std::vector<double>& ys) {
   if (xs.size() != ys.size()) {
     return Status::InvalidArgument("SortedMatching requires equal sizes");
@@ -125,7 +125,7 @@ std::vector<double> Project(const PointSet& points,
   return out;
 }
 
-Result<double> SlicedWasserstein(const PointSet& p, const PointSet& q,
+[[nodiscard]] Result<double> SlicedWasserstein(const PointSet& p, const PointSet& q,
                                  size_t num_projections, Rng* rng) {
   if (p.d != q.d) {
     return Status::InvalidArgument("dimension mismatch in sliced W");

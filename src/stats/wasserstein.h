@@ -22,14 +22,14 @@ namespace stats {
 
 /// Exact W1 between two weighted 1-D empirical distributions. Weights
 /// are normalized internally; both sides need positive total mass.
-Result<double> Wasserstein1D(const std::vector<double>& xs,
+[[nodiscard]] Result<double> Wasserstein1D(const std::vector<double>& xs,
                              const std::vector<double>& wx,
                              const std::vector<double>& ys,
                              const std::vector<double>& wy);
 
 /// Exact W1 between two *uniform* empirical distributions (unit
 /// weights).
-Result<double> Wasserstein1D(const std::vector<double>& xs,
+[[nodiscard]] Result<double> Wasserstein1D(const std::vector<double>& xs,
                              const std::vector<double>& ys);
 
 /// Exact squared W2 between equal-size uniform empirical
@@ -37,14 +37,14 @@ Result<double> Wasserstein1D(const std::vector<double>& xs,
 /// differentiable per-batch loss term the M-SWG trains on: its
 /// gradient with respect to x_(i) is 2 (x_(i) - y_(i)) / n under the
 /// (fixed) sorted matching.
-Result<double> Wasserstein2SquaredMatched(std::vector<double> xs,
+[[nodiscard]] Result<double> Wasserstein2SquaredMatched(std::vector<double> xs,
                                           std::vector<double> ys);
 
 /// Sorted matching permutation: pairs[i] = (index into xs, index into
 /// ys) such that the i-th smallest x is matched to the i-th smallest
 /// y. Requires xs.size() == ys.size(). Exposed so the NN training
 /// loop can backpropagate through the matching.
-Result<std::vector<std::pair<size_t, size_t>>> SortedMatching(
+[[nodiscard]] Result<std::vector<std::pair<size_t, size_t>>> SortedMatching(
     const std::vector<double>& xs, const std::vector<double>& ys);
 
 /// Points in R^d, row-major (n x d).
@@ -64,7 +64,7 @@ std::vector<double> Project(const PointSet& points,
 /// Sliced W1 between two d-dimensional point sets: the average of the
 /// exact 1-D W1 over `num_projections` random unit directions drawn
 /// from `rng`.
-Result<double> SlicedWasserstein(const PointSet& p, const PointSet& q,
+[[nodiscard]] Result<double> SlicedWasserstein(const PointSet& p, const PointSet& q,
                                  size_t num_projections, Rng* rng);
 
 }  // namespace stats

@@ -27,7 +27,7 @@ class Column {
 
   /// Append with coercion (int64 -> double column etc.). Errors on
   /// NULL or non-coercible values.
-  Status Append(const Value& v);
+  [[nodiscard]] Status Append(const Value& v);
 
   /// Fast typed appends (require matching column type).
   void AppendInt64(int64_t v);
@@ -51,7 +51,7 @@ class Column {
   Value GetValue(size_t row) const;
 
   /// Numeric view of a row; errors for string columns.
-  Result<double> GetDouble(size_t row) const;
+  [[nodiscard]] Result<double> GetDouble(size_t row) const;
 
   /// Dictionary code at a row (string columns only).
   int32_t GetCode(size_t row) const;

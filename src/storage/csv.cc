@@ -11,7 +11,7 @@ namespace mosaic {
 namespace {
 
 // Split one CSV line honoring double-quoted fields with "" escapes.
-Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+[[nodiscard]] Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
@@ -66,7 +66,7 @@ bool ParsesAsDouble(const std::string& s) {
   }
 }
 
-Result<std::vector<std::vector<std::string>>> ParseLines(
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> ParseLines(
     const std::string& text) {
   std::vector<std::vector<std::string>> lines;
   std::istringstream in(text);
@@ -82,7 +82,7 @@ Result<std::vector<std::vector<std::string>>> ParseLines(
 
 }  // namespace
 
-Result<Table> ReadCsv(const std::string& text, const Schema& schema) {
+[[nodiscard]] Result<Table> ReadCsv(const std::string& text, const Schema& schema) {
   MOSAIC_ASSIGN_OR_RETURN(auto lines, ParseLines(text));
   const auto& header = lines[0];
   // Map CSV columns to schema columns.
@@ -147,7 +147,7 @@ Result<Table> ReadCsv(const std::string& text, const Schema& schema) {
   return table;
 }
 
-Result<Table> ReadCsvInferSchema(const std::string& text) {
+[[nodiscard]] Result<Table> ReadCsvInferSchema(const std::string& text) {
   MOSAIC_ASSIGN_OR_RETURN(auto lines, ParseLines(text));
   const auto& header = lines[0];
   size_t ncols = header.size();
@@ -176,7 +176,7 @@ Result<Table> ReadCsvInferSchema(const std::string& text) {
   return ReadCsv(text, schema);
 }
 
-Result<Table> ReadCsvFile(const std::string& path) {
+[[nodiscard]] Result<Table> ReadCsvFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream buf;
@@ -216,7 +216,7 @@ std::string WriteCsv(const Table& table) {
   return out;
 }
 
-Status WriteCsvFile(const Table& table, const std::string& path) {
+[[nodiscard]] Status WriteCsvFile(const Table& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out << WriteCsv(table);

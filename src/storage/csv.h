@@ -14,22 +14,22 @@ namespace mosaic {
 /// Parse CSV text into a table with the given schema. The first line
 /// must be a header whose names match the schema (case-insensitive,
 /// any order). Values are coerced to the column types.
-Result<Table> ReadCsv(const std::string& text, const Schema& schema);
+[[nodiscard]] Result<Table> ReadCsv(const std::string& text, const Schema& schema);
 
 /// Parse CSV text inferring the schema: a column is INT if every value
 /// parses as an integer, else DOUBLE if every value parses as a
 /// number, else VARCHAR.
-Result<Table> ReadCsvInferSchema(const std::string& text);
+[[nodiscard]] Result<Table> ReadCsvInferSchema(const std::string& text);
 
 /// Load a CSV file from disk with schema inference.
-Result<Table> ReadCsvFile(const std::string& path);
+[[nodiscard]] Result<Table> ReadCsvFile(const std::string& path);
 
 /// Serialize a table to CSV (header + rows). Strings are quoted only
 /// when they contain separators/quotes.
 std::string WriteCsv(const Table& table);
 
 /// Write a table to a CSV file.
-Status WriteCsvFile(const Table& table, const std::string& path);
+[[nodiscard]] Status WriteCsvFile(const Table& table, const std::string& path);
 
 }  // namespace mosaic
 

@@ -162,15 +162,21 @@ Result<RecoveryInfo> StorageEngine::Recover(core::Database* db) {
     ++next_wal_seq;
   }
 
-  // 4. Reopen (or start) the live WAL and attach.
-  if (have_wal) {
-    MOSAIC_ASSIGN_OR_RETURN(
-        wal_, WalWriter::OpenForAppend(PathOf(WalFileName(last_wal_seq)),
-                                       last_wal_seq));
-  } else {
-    MOSAIC_ASSIGN_OR_RETURN(
-        wal_, WalWriter::Create(PathOf(WalFileName(replay_from)),
-                                replay_from));
+  // 4. Reopen (or start) the live WAL and attach. Recovery is
+  // single-threaded by contract, but wal_ is lock-guarded for the
+  // serving phase — take the (uncontended) lock so the discipline
+  // holds everywhere.
+  {
+    MutexLock lock(wal_mu_);
+    if (have_wal) {
+      MOSAIC_ASSIGN_OR_RETURN(
+          wal_, WalWriter::OpenForAppend(PathOf(WalFileName(last_wal_seq)),
+                                         last_wal_seq));
+    } else {
+      MOSAIC_ASSIGN_OR_RETURN(
+          wal_, WalWriter::Create(PathOf(WalFileName(replay_from)),
+                                  replay_from));
+    }
   }
   db_ = db;
   db->set_durability_sink(this);
@@ -279,7 +285,7 @@ Status StorageEngine::AppendRecord(WalRecordType type, std::string body) {
   record.catalog_version = db_->catalog_version();
   record.metadata_version = db_->metadata_version();
   {
-    std::lock_guard<std::mutex> lock(wal_mu_);
+    MutexLock lock(wal_mu_);
     if (wal_ == nullptr) {
       return Status::Internal("durable: log call before Recover");
     }
@@ -296,7 +302,7 @@ Result<StorageEngine::PendingSnapshot> StorageEngine::BeginSnapshot(
     core::Database* db) {
   PendingSnapshot pending;
   {
-    std::lock_guard<std::mutex> lock(wal_mu_);
+    MutexLock lock(wal_mu_);
     if (wal_ == nullptr) {
       return Status::Internal("durable: BeginSnapshot before Recover");
     }

@@ -36,11 +36,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "core/durability.h"
 #include "storage/durable/wal.h"
 
@@ -75,7 +75,7 @@ class StorageEngine : public core::DurabilitySink {
  public:
   /// Open (creating if needed) a data directory. No recovery happens
   /// yet; call Recover exactly once before logging anything.
-  static Result<std::unique_ptr<StorageEngine>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<StorageEngine>> Open(
       const std::string& data_dir, StorageEngineOptions options = {});
 
   ~StorageEngine() override = default;
@@ -84,7 +84,7 @@ class StorageEngine : public core::DurabilitySink {
   /// protocol above), then attach this engine as the database's
   /// durability sink. `db` must be freshly constructed (empty
   /// catalog).
-  Result<RecoveryInfo> Recover(core::Database* db);
+  [[nodiscard]] Result<RecoveryInfo> Recover(core::Database* db);
 
   /// Opaque product of BeginSnapshot, consumed by CommitSnapshot.
   struct PendingSnapshot {
@@ -97,30 +97,30 @@ class StorageEngine : public core::DurabilitySink {
   /// (the service holds its exclusive catalog lock); the call does no
   /// data-file I/O beyond creating the next WAL, so the lock hold is
   /// short.
-  Result<PendingSnapshot> BeginSnapshot(core::Database* db);
+  [[nodiscard]] Result<PendingSnapshot> BeginSnapshot(core::Database* db);
 
   /// Publish the captured image atomically, then GC snapshots and
   /// WALs made obsolete by it. Runs without any engine lock — DML
   /// continues appending to the rotated WAL meanwhile.
-  Status CommitSnapshot(PendingSnapshot pending);
+  [[nodiscard]] Status CommitSnapshot(PendingSnapshot pending);
 
   const std::string& data_dir() const { return data_dir_; }
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
 
   // --- core::DurabilitySink ---
-  Status LogCreateTable(const std::string& name, const Table& table) override;
-  Status LogCreatePopulation(const core::PopulationInfo& population) override;
-  Status LogCreateSample(const core::SampleInfo& sample) override;
-  Status LogRegisterMarginal(const std::string& population,
+  [[nodiscard]] Status LogCreateTable(const std::string& name, const Table& table) override;
+  [[nodiscard]] Status LogCreatePopulation(const core::PopulationInfo& population) override;
+  [[nodiscard]] Status LogCreateSample(const core::SampleInfo& sample) override;
+  [[nodiscard]] Status LogRegisterMarginal(const std::string& population,
                              const std::string& metadata_name,
                              const stats::Marginal& marginal) override;
-  Status LogDrop(sql::DropStmt::Target target,
+  [[nodiscard]] Status LogDrop(sql::DropStmt::Target target,
                  const std::string& name) override;
-  Status LogTableAppend(const std::string& name, const Table& suffix) override;
-  Status LogTableReplace(const std::string& name, const Table& table) override;
-  Status LogSampleIngest(const std::string& name, const Table& suffix,
+  [[nodiscard]] Status LogTableAppend(const std::string& name, const Table& suffix) override;
+  [[nodiscard]] Status LogTableReplace(const std::string& name, const Table& table) override;
+  [[nodiscard]] Status LogSampleIngest(const std::string& name, const Table& suffix,
                          const core::WeightEpoch& epoch) override;
-  Status LogPublishEpoch(const std::string& name,
+  [[nodiscard]] Status LogPublishEpoch(const std::string& name,
                          const core::WeightEpoch& epoch) override;
 
  private:
@@ -132,12 +132,12 @@ class StorageEngine : public core::DurabilitySink {
 
   /// Serialize versions from the attached database and append under
   /// the WAL mutex. Every sink method funnels here.
-  Status AppendRecord(WalRecordType type, std::string body);
+  [[nodiscard]] Status AppendRecord(WalRecordType type, std::string body);
 
-  Status ApplyWalRecord(core::Database* db, const WalRecord& record);
+  [[nodiscard]] Status ApplyWalRecord(core::Database* db, const WalRecord& record);
 
   /// Delete snapshots and WALs with seq < `keep_seq` (post-commit GC).
-  Status GarbageCollect(uint64_t keep_seq);
+  [[nodiscard]] Status GarbageCollect(uint64_t keep_seq);
 
   std::string data_dir_;
   StorageEngineOptions options_;
@@ -149,8 +149,8 @@ class StorageEngine : public core::DurabilitySink {
   /// are real; rotation in BeginSnapshot runs under the service's
   /// exclusive lock but still takes this mutex for the programmatic
   /// (service-less) users.
-  std::mutex wal_mu_;
-  std::unique_ptr<WalWriter> wal_;
+  Mutex wal_mu_;
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(wal_mu_);
 
   metrics::Counter* wal_appends_total_;
   metrics::Counter* wal_append_bytes_total_;

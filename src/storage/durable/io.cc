@@ -17,6 +17,8 @@ namespace durable {
 namespace {
 
 std::string Errno(const std::string& what, const std::string& path) {
+  // lint:allow errno-no-syscall: called on the failure path right
+  // after the syscall; errno still holds that call's error.
   return what + " " + path + ": " + std::strerror(errno);
 }
 
@@ -28,7 +30,7 @@ std::string DirName(const std::string& path) {
   return path.substr(0, slash);
 }
 
-Status CloseFd(int fd, const std::string& path) {
+[[nodiscard]] Status CloseFd(int fd, const std::string& path) {
   // close(2) can surface deferred write errors; retrying close on
   // EINTR is unsafe (the fd state is unspecified), so report and move
   // on.
@@ -40,7 +42,7 @@ Status CloseFd(int fd, const std::string& path) {
 
 }  // namespace
 
-Status EnsureDir(const std::string& dir) {
+[[nodiscard]] Status EnsureDir(const std::string& dir) {
   if (dir.empty()) return Status::InvalidArgument("empty directory path");
   // Create parents first (mkdir -p).
   for (size_t i = 1; i < dir.size(); ++i) {
@@ -65,7 +67,7 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
 }
 
-Result<std::vector<std::string>> ListDir(const std::string& dir) {
+[[nodiscard]] Result<std::vector<std::string>> ListDir(const std::string& dir) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return Status::IOError(Errno("opendir", dir));
   std::vector<std::string> names;
@@ -82,7 +84,7 @@ Result<std::vector<std::string>> ListDir(const std::string& dir) {
   return names;
 }
 
-Result<std::string> ReadFile(const std::string& path) {
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return Status::IOError(Errno("open", path));
   std::string out;
@@ -103,7 +105,7 @@ Result<std::string> ReadFile(const std::string& path) {
   return out;
 }
 
-Status WriteFull(int fd, const void* data, size_t n) {
+[[nodiscard]] Status WriteFull(int fd, const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   size_t off = 0;
   while (off < n) {
@@ -118,7 +120,7 @@ Status WriteFull(int fd, const void* data, size_t n) {
   return Status::OK();
 }
 
-Status SyncFd(int fd) {
+[[nodiscard]] Status SyncFd(int fd) {
   while (::fsync(fd) != 0) {
     if (errno == EINTR) continue;
     return Status::IOError(std::string("fsync: ") + std::strerror(errno));
@@ -126,7 +128,7 @@ Status SyncFd(int fd) {
   return Status::OK();
 }
 
-Status SyncDirOf(const std::string& path) {
+[[nodiscard]] Status SyncDirOf(const std::string& path) {
   const std::string dir = DirName(path);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) return Status::IOError(Errno("open dir", dir));
@@ -136,7 +138,7 @@ Status SyncDirOf(const std::string& path) {
   return close;
 }
 
-Status AtomicWriteFile(const std::string& path, const std::string& data) {
+[[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
   const int fd =
       ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
@@ -157,7 +159,7 @@ Status AtomicWriteFile(const std::string& path, const std::string& data) {
   return SyncDirOf(path);
 }
 
-Status TruncateFile(const std::string& path, uint64_t size) {
+[[nodiscard]] Status TruncateFile(const std::string& path, uint64_t size) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
   if (fd < 0) return Status::IOError(Errno("open", path));
   Status st = Status::OK();
@@ -170,7 +172,7 @@ Status TruncateFile(const std::string& path, uint64_t size) {
   return close;
 }
 
-Status RemoveFile(const std::string& path) {
+[[nodiscard]] Status RemoveFile(const std::string& path) {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError(Errno("unlink", path));
   }

@@ -17,39 +17,39 @@ namespace mosaic {
 namespace durable {
 
 /// Create `dir` (and missing parents) with 0755; OK if it exists.
-Status EnsureDir(const std::string& dir);
+[[nodiscard]] Status EnsureDir(const std::string& dir);
 
 /// True if `path` names an existing regular file.
 bool FileExists(const std::string& path);
 
 /// Regular-file names (not paths) inside `dir`, sorted ascending.
-Result<std::vector<std::string>> ListDir(const std::string& dir);
+[[nodiscard]] Result<std::vector<std::string>> ListDir(const std::string& dir);
 
 /// Whole file contents.
-Result<std::string> ReadFile(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
 
 /// Write all of `data[0..n)` to `fd`, retrying on EINTR and partial
 /// writes.
-Status WriteFull(int fd, const void* data, size_t n);
+[[nodiscard]] Status WriteFull(int fd, const void* data, size_t n);
 
 /// fsync(fd); on failure the file's durability is unknown, so the
 /// caller must treat the write as failed.
-Status SyncFd(int fd);
+[[nodiscard]] Status SyncFd(int fd);
 
 /// fsync the directory containing `path`, making a completed rename
 /// of `path` durable.
-Status SyncDirOf(const std::string& path);
+[[nodiscard]] Status SyncDirOf(const std::string& path);
 
 /// Atomically publish `data` at `path`: write `<path>.tmp`, fsync it,
 /// rename over `path`, fsync the directory. Readers never observe a
 /// partial file — only the old state or the new one.
-Status AtomicWriteFile(const std::string& path, const std::string& data);
+[[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& data);
 
 /// Truncate `path` to `size` bytes and fsync (drops a torn WAL tail).
-Status TruncateFile(const std::string& path, uint64_t size);
+[[nodiscard]] Status TruncateFile(const std::string& path, uint64_t size);
 
 /// Delete a file; OK if it does not exist.
-Status RemoveFile(const std::string& path);
+[[nodiscard]] Status RemoveFile(const std::string& path);
 
 /// Read-only memory mapping of a whole file. Movable, not copyable;
 /// unmaps on destruction. The mapping base is page-aligned, so any
@@ -63,7 +63,7 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
-  static Result<MappedFile> Open(const std::string& path);
+  [[nodiscard]] static Result<MappedFile> Open(const std::string& path);
 
   const uint8_t* data() const { return data_; }
   size_t size() const { return size_; }

@@ -17,7 +17,7 @@ namespace {
 // inputs should never hit this, so tripping it means a format bug.
 constexpr int kMaxExprDepth = 256;
 
-Status Truncated(const char* what) {
+[[nodiscard]] Status Truncated(const char* what) {
   return Status::InvalidArgument(std::string("serde: truncated ") + what);
 }
 
@@ -68,6 +68,8 @@ void PutBytes(std::string* out, const void* data, size_t n) {
 
 Result<const uint8_t*> ByteReader::Raw(size_t n) {
   if (remaining() < n) return Truncated("bytes");
+  // lint:allow wire-pointer-arith: the cursor primitive itself; the
+  // remaining() check above bounds every byte handed out.
   const uint8_t* p = data_ + pos_;
   pos_ += n;
   return p;
@@ -113,6 +115,8 @@ Result<double> ByteReader::F64() {
 Result<std::string> ByteReader::String() {
   MOSAIC_ASSIGN_OR_RETURN(uint32_t n, U32());
   if (remaining() < n) return Truncated("string");
+  // lint:allow wire-pointer-arith: cursor primitive, bounds-checked by
+  // the remaining() test on the line above.
   std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
   pos_ += n;
   return s;
@@ -140,7 +144,7 @@ void EncodeValue(std::string* out, const Value& v) {
   }
 }
 
-Result<Value> DecodeValue(ByteReader* in) {
+[[nodiscard]] Result<Value> DecodeValue(ByteReader* in) {
   MOSAIC_ASSIGN_OR_RETURN(uint8_t tag, in->U8());
   switch (static_cast<DataType>(tag)) {
     case DataType::kNull:
@@ -176,7 +180,7 @@ void EncodeSchema(std::string* out, const Schema& s) {
   }
 }
 
-Result<Schema> DecodeSchema(ByteReader* in) {
+[[nodiscard]] Result<Schema> DecodeSchema(ByteReader* in) {
   MOSAIC_ASSIGN_OR_RETURN(uint32_t n, in->U32());
   std::vector<ColumnDef> cols;
   cols.reserve(n);
@@ -224,7 +228,7 @@ void EncodeTable(std::string* out, const Table& t) {
   }
 }
 
-Result<Table> DecodeTable(ByteReader* in) {
+[[nodiscard]] Result<Table> DecodeTable(ByteReader* in) {
   MOSAIC_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(in));
   MOSAIC_ASSIGN_OR_RETURN(uint64_t rows64, in->U64());
   const size_t rows = static_cast<size_t>(rows64);
@@ -309,7 +313,7 @@ void EncodeExpr(std::string* out, const sql::Expr* e) {
 
 namespace {
 
-Result<sql::ExprPtr> DecodeExprDepth(ByteReader* in, int depth) {
+[[nodiscard]] Result<sql::ExprPtr> DecodeExprDepth(ByteReader* in, int depth) {
   if (depth > kMaxExprDepth) {
     return Status::InvalidArgument("serde: expression nesting too deep");
   }
@@ -347,7 +351,7 @@ Result<sql::ExprPtr> DecodeExprDepth(ByteReader* in, int depth) {
 
 }  // namespace
 
-Result<sql::ExprPtr> DecodeExpr(ByteReader* in) {
+[[nodiscard]] Result<sql::ExprPtr> DecodeExpr(ByteReader* in) {
   return DecodeExprDepth(in, 0);
 }
 
@@ -359,7 +363,7 @@ void EncodeMechanism(std::string* out, const sql::MechanismSpec& m) {
   PutF64(out, m.percent);
 }
 
-Result<sql::MechanismSpec> DecodeMechanism(ByteReader* in) {
+[[nodiscard]] Result<sql::MechanismSpec> DecodeMechanism(ByteReader* in) {
   sql::MechanismSpec m;
   MOSAIC_ASSIGN_OR_RETURN(uint8_t type, in->U8());
   if (type > static_cast<uint8_t>(sql::MechanismSpec::Type::kStratified)) {
@@ -392,7 +396,7 @@ void EncodeMarginal(std::string* out, const stats::Marginal& m) {
   for (const double c : m.counts()) PutF64(out, c);
 }
 
-Result<stats::Marginal> DecodeMarginal(ByteReader* in) {
+[[nodiscard]] Result<stats::Marginal> DecodeMarginal(ByteReader* in) {
   MOSAIC_ASSIGN_OR_RETURN(uint32_t arity, in->U32());
   std::vector<stats::AttributeBinning> attrs;
   attrs.reserve(arity);
@@ -439,7 +443,7 @@ void EncodeWeightEpoch(std::string* out, const core::WeightEpoch& e) {
   PutU8(out, e.fit_converged ? 1 : 0);
 }
 
-Result<core::WeightEpoch> DecodeWeightEpoch(ByteReader* in) {
+[[nodiscard]] Result<core::WeightEpoch> DecodeWeightEpoch(ByteReader* in) {
   core::WeightEpoch e;
   MOSAIC_ASSIGN_OR_RETURN(e.id, in->U64());
   MOSAIC_ASSIGN_OR_RETURN(uint64_t n, in->U64());
@@ -470,7 +474,7 @@ void EncodePopulation(std::string* out, const core::PopulationInfo& p) {
   }
 }
 
-Result<core::PopulationInfo> DecodePopulation(ByteReader* in) {
+[[nodiscard]] Result<core::PopulationInfo> DecodePopulation(ByteReader* in) {
   core::PopulationInfo p;
   MOSAIC_ASSIGN_OR_RETURN(p.name, in->String());
   MOSAIC_ASSIGN_OR_RETURN(uint8_t global, in->U8());
@@ -498,7 +502,7 @@ void EncodeSampleHeader(std::string* out, const core::SampleInfo& s) {
   EncodeExpr(out, s.predicate.get());
 }
 
-Result<core::SampleInfo> DecodeSampleHeader(ByteReader* in) {
+[[nodiscard]] Result<core::SampleInfo> DecodeSampleHeader(ByteReader* in) {
   core::SampleInfo s;
   MOSAIC_ASSIGN_OR_RETURN(s.name, in->String());
   MOSAIC_ASSIGN_OR_RETURN(s.population, in->String());

@@ -41,14 +41,14 @@ class ByteReader {
   size_t remaining() const { return size_ - pos_; }
   /// Pointer to the current position (for zero-copy reads); advances
   /// by `n`. Errors if fewer than `n` bytes remain.
-  Result<const uint8_t*> Raw(size_t n);
+  [[nodiscard]] Result<const uint8_t*> Raw(size_t n);
 
-  Result<uint8_t> U8();
-  Result<uint32_t> U32();
-  Result<uint64_t> U64();
-  Result<int64_t> I64();
-  Result<double> F64();
-  Result<std::string> String();
+  [[nodiscard]] Result<uint8_t> U8();
+  [[nodiscard]] Result<uint32_t> U32();
+  [[nodiscard]] Result<uint64_t> U64();
+  [[nodiscard]] Result<int64_t> I64();
+  [[nodiscard]] Result<double> F64();
+  [[nodiscard]] Result<std::string> String();
 
  private:
   const uint8_t* data_;
@@ -59,35 +59,35 @@ class ByteReader {
 // --- state-object serde ---
 
 void EncodeValue(std::string* out, const Value& v);
-Result<Value> DecodeValue(ByteReader* in);
+[[nodiscard]] Result<Value> DecodeValue(ByteReader* in);
 
 void EncodeSchema(std::string* out, const Schema& s);
-Result<Schema> DecodeSchema(ByteReader* in);
+[[nodiscard]] Result<Schema> DecodeSchema(ByteReader* in);
 
 void EncodeTable(std::string* out, const Table& t);
-Result<Table> DecodeTable(ByteReader* in);
+[[nodiscard]] Result<Table> DecodeTable(ByteReader* in);
 
 /// `e` may be null (encoded as an absence marker).
 void EncodeExpr(std::string* out, const sql::Expr* e);
 /// May return a null ExprPtr.
-Result<sql::ExprPtr> DecodeExpr(ByteReader* in);
+[[nodiscard]] Result<sql::ExprPtr> DecodeExpr(ByteReader* in);
 
 void EncodeMechanism(std::string* out, const sql::MechanismSpec& m);
-Result<sql::MechanismSpec> DecodeMechanism(ByteReader* in);
+[[nodiscard]] Result<sql::MechanismSpec> DecodeMechanism(ByteReader* in);
 
 void EncodeMarginal(std::string* out, const stats::Marginal& m);
-Result<stats::Marginal> DecodeMarginal(ByteReader* in);
+[[nodiscard]] Result<stats::Marginal> DecodeMarginal(ByteReader* in);
 
 void EncodeWeightEpoch(std::string* out, const core::WeightEpoch& e);
-Result<core::WeightEpoch> DecodeWeightEpoch(ByteReader* in);
+[[nodiscard]] Result<core::WeightEpoch> DecodeWeightEpoch(ByteReader* in);
 
 void EncodePopulation(std::string* out, const core::PopulationInfo& p);
-Result<core::PopulationInfo> DecodePopulation(ByteReader* in);
+[[nodiscard]] Result<core::PopulationInfo> DecodePopulation(ByteReader* in);
 
 /// Sample header only: name, population, schema, mechanism, predicate.
 /// The decoded SampleInfo has empty data and a default WeightStore.
 void EncodeSampleHeader(std::string* out, const core::SampleInfo& s);
-Result<core::SampleInfo> DecodeSampleHeader(ByteReader* in);
+[[nodiscard]] Result<core::SampleInfo> DecodeSampleHeader(ByteReader* in);
 
 }  // namespace durable
 }  // namespace mosaic

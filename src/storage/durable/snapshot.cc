@@ -100,11 +100,11 @@ struct Parsed {
   std::vector<ParsedSample> samples;
 };
 
-Status Corrupt(const std::string& what) {
+[[nodiscard]] Status Corrupt(const std::string& what) {
   return Status::IOError("snapshot: " + what);
 }
 
-Result<Parsed> Parse(const uint8_t* data, size_t size) {
+[[nodiscard]] Result<Parsed> Parse(const uint8_t* data, size_t size) {
   if (size < kHeaderSize) return Corrupt("file shorter than header");
   if (std::memcmp(data, kSnapMagic, sizeof(kSnapMagic)) != 0) {
     return Corrupt("bad magic");
@@ -292,7 +292,7 @@ std::string SnapshotFileName(uint64_t seq) {
   return buf;
 }
 
-Result<uint64_t> ParseSnapshotFileName(const std::string& name) {
+[[nodiscard]] Result<uint64_t> ParseSnapshotFileName(const std::string& name) {
   if (name.size() < 15 || name.compare(0, 9, "snapshot-") != 0 ||
       name.compare(name.size() - 5, 5, ".snap") != 0) {
     return Status::NotFound("not a snapshot file: " + name);
@@ -311,7 +311,7 @@ Result<uint64_t> ParseSnapshotFileName(const std::string& name) {
   return seq;
 }
 
-Result<std::string> BuildSnapshotImage(core::Database* db,
+[[nodiscard]] Result<std::string> BuildSnapshotImage(core::Database* db,
                                        uint64_t next_wal_seq) {
   core::Catalog* catalog = db->catalog();
   std::string image;
@@ -381,7 +381,7 @@ Result<std::string> BuildSnapshotImage(core::Database* db,
   return image;
 }
 
-Result<SnapshotState> LoadSnapshot(const std::string& path) {
+[[nodiscard]] Result<SnapshotState> LoadSnapshot(const std::string& path) {
   MOSAIC_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
   MOSAIC_ASSIGN_OR_RETURN(
       Parsed parsed,

@@ -53,13 +53,13 @@ class Database;
 namespace durable {
 
 std::string SnapshotFileName(uint64_t seq);
-Result<uint64_t> ParseSnapshotFileName(const std::string& name);
+[[nodiscard]] Result<uint64_t> ParseSnapshotFileName(const std::string& name);
 
 /// Serialize the database's entire durable state into a snapshot
 /// image (the exact file bytes). Pure in-memory capture — the caller
 /// holds whatever lock excludes writers, then publishes the image
 /// outside the lock with AtomicWriteFile.
-Result<std::string> BuildSnapshotImage(core::Database* db,
+[[nodiscard]] Result<std::string> BuildSnapshotImage(core::Database* db,
                                        uint64_t next_wal_seq);
 
 /// Fully decoded snapshot (owning copies of all data).
@@ -77,7 +77,7 @@ struct SnapshotState {
 };
 
 /// Read + validate + materialize a snapshot file into RAM.
-Result<SnapshotState> LoadSnapshot(const std::string& path);
+[[nodiscard]] Result<SnapshotState> LoadSnapshot(const std::string& path);
 
 /// Zero-copy access to a snapshot's sample columns through mmap.
 /// Catalog objects (schemas, marginals, dictionaries, weight epochs)
@@ -86,7 +86,7 @@ Result<SnapshotState> LoadSnapshot(const std::string& path);
 /// TableView it hands out.
 class MappedSnapshot {
  public:
-  static Result<std::unique_ptr<MappedSnapshot>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<MappedSnapshot>> Open(
       const std::string& path);
 
   uint64_t next_wal_seq() const { return next_wal_seq_; }
@@ -97,10 +97,10 @@ class MappedSnapshot {
 
   /// Zero-copy view of a sample's columns (no weight column attached;
   /// callers add one from epoch() via TableView::AddDoubleSpan).
-  Result<TableView> SampleView(const std::string& name) const;
+  [[nodiscard]] Result<TableView> SampleView(const std::string& name) const;
 
   /// The sample's weight epoch as captured (decoded into RAM).
-  Result<const core::WeightEpoch*> SampleEpoch(const std::string& name) const;
+  [[nodiscard]] Result<const core::WeightEpoch*> SampleEpoch(const std::string& name) const;
 
  private:
   struct MappedSample {

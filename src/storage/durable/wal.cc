@@ -32,7 +32,7 @@ std::string EncodePayload(const WalRecord& record) {
   return payload;
 }
 
-Result<WalRecord> DecodePayload(const uint8_t* data, size_t size) {
+[[nodiscard]] Result<WalRecord> DecodePayload(const uint8_t* data, size_t size) {
   ByteReader in(data, size);
   WalRecord record;
   MOSAIC_ASSIGN_OR_RETURN(uint8_t type, in.U8());
@@ -76,7 +76,7 @@ std::string WalFileName(uint64_t seq) {
   return buf;
 }
 
-Result<uint64_t> ParseWalFileName(const std::string& name) {
+[[nodiscard]] Result<uint64_t> ParseWalFileName(const std::string& name) {
   if (name.size() < 9 || name.compare(0, 4, "wal-") != 0 ||
       name.compare(name.size() - 4, 4, ".log") != 0) {
     return Status::NotFound("not a wal file: " + name);
@@ -148,7 +148,7 @@ Status WalWriter::Append(const WalRecord& record, bool sync) {
 
 Status WalWriter::Sync() { return SyncFd(fd_); }
 
-Result<WalReadResult> ReadWal(const std::string& path) {
+[[nodiscard]] Result<WalReadResult> ReadWal(const std::string& path) {
   MOSAIC_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
   const auto* data = reinterpret_cast<const uint8_t*>(contents.data());
   const size_t size = contents.size();

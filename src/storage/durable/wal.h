@@ -54,7 +54,7 @@ struct WalRecord {
 std::string WalFileName(uint64_t seq);
 /// Parse a WAL file name back to its sequence number; nullopt-style
 /// NotFound for non-WAL names.
-Result<uint64_t> ParseWalFileName(const std::string& name);
+[[nodiscard]] Result<uint64_t> ParseWalFileName(const std::string& name);
 
 /// Appender. Not thread-safe; the storage engine serializes appends
 /// behind its own mutex.
@@ -66,19 +66,19 @@ class WalWriter {
 
   /// Create a fresh WAL file (fails if it exists) and make its
   /// existence durable.
-  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
                                                    uint64_t seq);
 
   /// Reopen an existing WAL for append after recovery validated it
   /// (and truncated any torn tail).
-  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> OpenForAppend(
       const std::string& path, uint64_t seq);
 
   /// Append one record; when `sync`, fsync before returning so the
   /// record survives a crash the moment the statement is acknowledged.
-  Status Append(const WalRecord& record, bool sync);
+  [[nodiscard]] Status Append(const WalRecord& record, bool sync);
 
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   uint64_t seq() const { return seq_; }
   const std::string& path() const { return path_; }
@@ -106,7 +106,7 @@ struct WalReadResult {
 /// Read and validate a whole WAL file. Applies the torn-tail policy
 /// above; does not modify the file (the caller truncates to
 /// `valid_bytes` before reopening for append).
-Result<WalReadResult> ReadWal(const std::string& path);
+[[nodiscard]] Result<WalReadResult> ReadWal(const std::string& path);
 
 }  // namespace durable
 }  // namespace mosaic

@@ -38,10 +38,10 @@ class Schema {
   std::optional<size_t> FindColumn(const std::string& name) const;
 
   /// Index of the column; NotFound status if absent.
-  Result<size_t> ColumnIndex(const std::string& name) const;
+  [[nodiscard]] Result<size_t> ColumnIndex(const std::string& name) const;
 
   /// Append a column; errors on duplicate name.
-  Status AddColumn(ColumnDef def);
+  [[nodiscard]] Status AddColumn(ColumnDef def);
 
   /// Sub-schema with the given column indices, in order.
   Schema Project(const std::vector<size_t>& indices) const;

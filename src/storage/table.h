@@ -32,10 +32,10 @@ class Table {
   Column* mutable_column(size_t i) { return &columns_[i]; }
 
   /// Column by name; NotFound if absent.
-  Result<const Column*> ColumnByName(const std::string& name) const;
+  [[nodiscard]] Result<const Column*> ColumnByName(const std::string& name) const;
 
   /// Append one row; values are coerced to column types.
-  Status AppendRow(const std::vector<Value>& row);
+  [[nodiscard]] Status AppendRow(const std::vector<Value>& row);
 
   /// Value at (row, col).
   Value GetValue(size_t row, size_t col) const;
@@ -50,14 +50,14 @@ class Table {
   Table Project(const std::vector<size_t>& column_indices) const;
 
   /// Append every row of `other` (schemas must be equal).
-  Status Concat(const Table& other);
+  [[nodiscard]] Status Concat(const Table& other);
 
   /// Add a column filled from `values` (size must equal num_rows, or
   /// table must be empty).
-  Status AddColumn(ColumnDef def, const std::vector<Value>& values);
+  [[nodiscard]] Status AddColumn(ColumnDef def, const std::vector<Value>& values);
 
   /// Add a double column from raw doubles (fast path used for weights).
-  Status AddDoubleColumn(const std::string& name,
+  [[nodiscard]] Status AddDoubleColumn(const std::string& name,
                          const std::vector<double>& values);
 
   /// Row indices sorted by the given column ascending (stable).

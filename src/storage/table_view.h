@@ -44,7 +44,7 @@ struct ColumnSpan {
   Value GetValue(size_t row) const;
 
   /// Numeric view of a row; errors for string spans.
-  Result<double> GetDouble(size_t row) const;
+  [[nodiscard]] Result<double> GetDouble(size_t row) const;
 
   static ColumnSpan FromColumn(const Column& column);
   static ColumnSpan FromDoubles(const double* data, size_t n);
@@ -65,10 +65,12 @@ class SelectionSlice {
   SelectionSlice() = default;
   SelectionSlice(const uint32_t* data, size_t size)
       : data_(data), size_(size) {}
-  // NOLINTNEXTLINE(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  // so selections and morsel slices share one kernel signature.
   SelectionSlice(const std::vector<uint32_t>& rows)
       : data_(rows.data()), size_(rows.size()) {}
-  // NOLINTNEXTLINE(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): same implicit-accept
+  // contract as the std::vector overload above.
   SelectionSlice(const AlignedVector<uint32_t>& rows)
       : data_(rows.data()), size_(rows.size()) {}
 
@@ -154,7 +156,7 @@ class TableView {
   /// weights living in a std::vector<double> beside the table).
   /// Errors on duplicate name or size mismatch against a non-empty
   /// view.
-  Status AddDoubleSpan(const std::string& name, const double* data,
+  [[nodiscard]] Status AddDoubleSpan(const std::string& name, const double* data,
                        size_t n);
 
   /// Boxed value at (row, col) — boundary/debug use.

@@ -22,7 +22,7 @@ const char* DataTypeName(DataType type) {
   return "?";
 }
 
-Result<DataType> ParseDataType(const std::string& name) {
+[[nodiscard]] Result<DataType> ParseDataType(const std::string& name) {
   std::string up = ToUpper(name);
   if (up == "INT" || up == "INTEGER" || up == "BIGINT" || up == "SMALLINT") {
     return DataType::kInt64;

@@ -22,7 +22,7 @@ const char* DataTypeName(DataType type);
 
 /// Parse a SQL type name (INT/INTEGER/BIGINT, DOUBLE/FLOAT/REAL,
 /// VARCHAR/TEXT/STRING, BOOL/BOOLEAN). Case-insensitive.
-Result<DataType> ParseDataType(const std::string& name);
+[[nodiscard]] Result<DataType> ParseDataType(const std::string& name);
 
 /// A dynamically typed scalar. Small enough to pass by value in
 /// row-oriented code paths (parser literals, query results).
@@ -51,11 +51,11 @@ class Value {
 
   /// Numeric view: int64/double/bool coerced to double. Errors on
   /// strings and NULL.
-  Result<double> ToDouble() const;
+  [[nodiscard]] Result<double> ToDouble() const;
 
   /// Lossless-ish coercion to the target type (int<->double,
   /// anything->string via formatting). Errors when not representable.
-  Result<Value> CastTo(DataType target) const;
+  [[nodiscard]] Result<Value> CastTo(DataType target) const;
 
   /// SQL-ish rendering: NULL, 42, 1.5, 'abc', TRUE.
   std::string ToString() const;

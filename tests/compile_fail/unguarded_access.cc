@@ -1,0 +1,50 @@
+// Deliberate thread-safety violations. This file must FAIL to compile
+// under `clang -fsyntax-only -Wthread-safety -Werror` — that failure
+// is the test (driven by the `static` leg of scripts/check.sh, which
+// inverts the exit code). Under GCC, or Clang without -Wthread-safety,
+// the file is well-formed C++ and compiles cleanly: the same property
+// that makes the annotations zero-cost in production builds.
+//
+// Expected diagnostics (one per numbered block):
+//   1. -Wthread-safety-analysis: reading `count_` requires holding
+//      mutex `mu_`
+//   2. -Wthread-safety-analysis: calling `IncrementLocked` requires
+//      holding mutex `mu_` exclusively
+//   3. -Wthread-safety-analysis: mutex `mu_` is still held at the end
+//      of function (ACQUIRE with no matching release)
+#include "common/synchronization.h"
+
+namespace mosaic {
+
+class UnguardedAccess {
+ public:
+  // (1) Guarded field read with no lock held.
+  int Read() const { return count_; }
+
+  // (2) REQUIRES method called without the capability.
+  void Bump() { IncrementLocked(); }
+
+  // (3) Lock acquired and never released, with no ACQUIRE annotation
+  // declaring the handoff intentional.
+  void Leak() { mu_.Lock(); }
+
+  // Correct usage, for contrast: must produce no diagnostic.
+  int ReadLocked() const {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mu_) { ++count_; }
+
+  mutable Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mosaic
+
+int main() {
+  mosaic::UnguardedAccess u;
+  u.Bump();
+  return u.ReadLocked();
+}

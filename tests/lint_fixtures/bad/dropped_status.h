@@ -1,0 +1,23 @@
+// Fixture: Status/Result declarations missing [[nodiscard]].
+// Expected findings: nodiscard-status x3.
+#ifndef FIXTURE_DROPPED_STATUS_H_
+#define FIXTURE_DROPPED_STATUS_H_
+
+class Status;
+template <typename T>
+class Result;
+class Table;
+
+Status Flush();                                    // finding
+static Status Validate(const Table& t);            // finding
+Result<Table> Load(const char* path);              // finding
+
+[[nodiscard]] Status AnnotatedFlush();             // clean
+// lint:allow nodiscard-status: legacy shim kept signature-stable for
+// the v0 tooling; every caller checks the global error flag instead.
+Status LegacyShim();                               // suppressed
+
+Status& MutableStatusRef();                        // clean: reference
+inline int NotAStatus(Status s);                   // clean: param only
+
+#endif  // FIXTURE_DROPPED_STATUS_H_

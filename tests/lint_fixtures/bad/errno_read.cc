@@ -1,0 +1,32 @@
+// Fixture: errno read with no syscall in the enclosing block.
+// Expected findings: errno-no-syscall x1 and bare-nolint x2.
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+int StaleErrno() {
+  int x = 1 + 2;
+  return errno + x;  // finding: no syscall anywhere near
+}
+
+int SuppressedStale() {
+  // lint:allow errno-no-syscall: fixture helper mirrors the real
+  // Errno() wrappers that run on their caller's failure path.
+  return errno;  // suppressed
+}
+
+std::string FreshErrno(const char* path) {
+  FILE* f = fopen(path, "rb");
+  if (f == nullptr) {
+    return std::string("open failed: ") + std::to_string(errno);  // clean
+  }
+  fclose(f);
+  return "ok";
+}
+
+void BareNolints() {
+  // The first suppression names no check; the second names a check but
+  // gives no reason. Both must be rejected.
+  int y = 0;  // NOLINT
+  (void)y;    // NOLINT(readability-container-size-empty)
+}

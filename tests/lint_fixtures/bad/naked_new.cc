@@ -1,0 +1,33 @@
+// Fixture: naked new/delete outside smart-pointer wraps.
+// Expected findings: naked-new x3 (two `new`, one `delete`).
+#include <memory>
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;  // clean: deleted function, not delete-expr
+};
+
+Widget* MakeWidget() {
+  return new Widget();  // finding: ownership invisible in the type
+}
+
+void UseWidget() {
+  Widget* w = new Widget();  // finding
+  delete w;                  // finding
+}
+
+std::unique_ptr<Widget> MakeOwnedWidget() {
+  return std::unique_ptr<Widget>(new Widget());  // clean: wrapped
+}
+
+std::unique_ptr<Widget> MakeOwnedWidgetWrapped() {
+  return std::unique_ptr<Widget>(
+      new Widget());  // clean: wrap on previous line of same statement
+}
+
+Widget* MakeLeakedSingleton() {
+  // lint:allow naked-new: intentionally leaked process-lifetime
+  // singleton for the fixture suite.
+  static Widget* g = new Widget();  // suppressed
+  return g;
+}

@@ -1,0 +1,25 @@
+// Fixture: raw wire-pointer arithmetic in a decoder file. The path
+// suffix (net/protocol.cc) is what opts this file into the rule.
+// Expected findings: wire-pointer-arith x2.
+#include <cstdint>
+#include <string>
+
+struct Reader {
+  std::string buf_;
+  const uint8_t* data_ = nullptr;
+  size_t pos_ = 0;
+
+  const char* Peek() {
+    return buf_.data() + pos_;  // finding: unchecked arithmetic
+  }
+
+  uint8_t Byte() {
+    return *(data_ + pos_);  // finding
+  }
+
+  const char* CheckedPeek() {
+    // lint:allow wire-pointer-arith: fixture stand-in for the real
+    // cursor primitive; bounds are checked by the caller.
+    return buf_.data() + pos_;  // suppressed
+  }
+};

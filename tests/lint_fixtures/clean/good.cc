@@ -1,0 +1,28 @@
+// Fixture: a source file obeying every lint rule.
+#include <cerrno>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+struct Widget {
+  Widget(const Widget&) = delete;  // deleted function, not delete-expr
+};
+
+std::unique_ptr<Widget> MakeOwned() {
+  return std::make_unique<Widget>();
+}
+
+std::string ReadHeader(const char* path) {
+  FILE* f = fopen(path, "rb");
+  if (f == nullptr) {
+    // errno read in the same block as the failing fopen: legal.
+    return "open failed: " + std::to_string(errno);
+  }
+  char buf[16];
+  size_t n = fread(buf, 1, sizeof(buf), f);
+  fclose(f);
+  // Pointer arithmetic is fine here: this file is not a wire decoder
+  // (the wire-pointer-arith rule is scoped to the protocol/serde
+  // paths by filename).
+  return std::string(buf, buf + n);
+}

@@ -1,0 +1,26 @@
+// Fixture: a header obeying every lint rule — the whole clean/ tree
+// must produce zero findings.
+#ifndef FIXTURE_GOOD_H_
+#define FIXTURE_GOOD_H_
+
+#include <memory>
+#include <string>
+
+class Status;
+template <typename T>
+class Result;
+class Table;
+
+[[nodiscard]] Status Flush();
+[[nodiscard]] static Status Validate(const Table& t);
+[[nodiscard]] Result<Table> Load(const std::string& path);
+[[nodiscard]] Result<std::unique_ptr<Table>> Open(const char* path);
+
+// Not subject to nodiscard-status: returns a reference.
+Status& MutableStatusRef();
+
+// NOLINTNEXTLINE(google-explicit-constructor): implicit conversion is
+// the documented contract of this fixture type.
+struct Implicit {};
+
+#endif  // FIXTURE_GOOD_H_

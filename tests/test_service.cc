@@ -214,7 +214,7 @@ TEST_F(ServiceTest, SessionsGetDistinctIdsAndCountSubmissions) {
   Session b = service_->OpenSession();
   EXPECT_NE(a.id(), b.id());
   ASSERT_TRUE(a.Execute("SELECT COUNT(*) FROM Things").ok());
-  a.Submit("SELECT COUNT(*) FROM Things").get();
+  EXPECT_TRUE(a.Submit("SELECT COUNT(*) FROM Things").get().ok());
   EXPECT_EQ(a.queries_submitted(), 2u);
   EXPECT_EQ(b.queries_submitted(), 0u);
   EXPECT_EQ(service_->Stats().sessions_opened, 2u);
